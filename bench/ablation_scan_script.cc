@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation: progressive scan script and color treatment. The paper's
+ * storage experiments (Fig. 6, Tables III/IV) read scan prefixes of a
+ * spectral-selection stream; real progressive JPEG additionally offers
+ * successive approximation (bit-plane refinement) and 4:2:0 chroma
+ * subsampling. This harness quantifies what those buy on the
+ * bytes-vs-SSIM axis every storage experiment shares: bytes to reach
+ * the SSIM thresholds the Section V calibrator searches over
+ * ([0.94, 1.0]), per scan prefix, for each (script, color) pairing.
+ */
+
+#include <array>
+
+#include "bench/bench_common.hh"
+#include "codec/progressive.hh"
+#include "image/color.hh"
+#include "image/metrics.hh"
+#include "sim/dataset.hh"
+
+using namespace tamres;
+
+namespace {
+
+struct ModeSpec
+{
+    const char *name;
+    bool successive;
+    ColorMode color;
+};
+
+constexpr std::array<ModeSpec, 4> kModes = {{
+    {"spectral/planar", false, ColorMode::Planar},
+    {"successive/planar", true, ColorMode::Planar},
+    {"spectral/420", false, ColorMode::YCbCr420},
+    {"successive/420", true, ColorMode::YCbCr420},
+}};
+
+/** SSIM thresholds of interest (the calibrator's search interval). */
+constexpr std::array<double, 3> kThresholds = {0.94, 0.96, 0.98};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("ablation_scan_script",
+                  "scan script (spectral vs successive approximation) "
+                  "x color mode (planar vs 4:2:0)");
+
+    const int n = std::max(4, bench::calImages() / 4);
+
+    for (const bool cars : {false, true}) {
+        SyntheticDataset ds(cars ? carsLike() : imagenetLike(), n, 71);
+
+        TablePrinter tab(std::string(cars ? "Cars-like" : "ImageNet-like") +
+                         ": mean bytes to reach SSIM threshold "
+                         "(vs full decode; Huffman entropy)");
+        tab.setHeader({"mode", "total B", "B@.94", "B@.96", "B@.98",
+                       "scans"});
+
+        for (const ModeSpec &mode : kModes) {
+            double total = 0.0;
+            std::array<double, kThresholds.size()> at_bytes{};
+            int num_scans = 0;
+            for (int i = 0; i < n; ++i) {
+                // Restore natural chroma statistics (the generator
+                // textures channels independently; photos do not).
+                const Image img = desaturateChroma(ds.render(i), 0.35f);
+                ProgressiveConfig cfg;
+                cfg.quality = ds.spec().encode_quality;
+                cfg.entropy = EntropyCoder::Huffman;
+                cfg.color = mode.color;
+                if (mode.successive)
+                    cfg.scans = ProgressiveConfig::successiveScans();
+                const EncodedImage enc = encodeProgressive(img, cfg);
+                num_scans = enc.numScans();
+                total += static_cast<double>(enc.totalBytes());
+                const Image full = decodeProgressive(enc);
+                // First prefix whose SSIM (vs the full decode) clears
+                // each threshold; charged the full stream if none.
+                std::array<bool, kThresholds.size()> hit{};
+                for (int k = 1; k <= enc.numScans(); ++k) {
+                    const double s = ssim(decodeProgressive(enc, k),
+                                          full);
+                    for (size_t t = 0; t < kThresholds.size(); ++t) {
+                        if (!hit[t] && s >= kThresholds[t]) {
+                            hit[t] = true;
+                            at_bytes[t] += static_cast<double>(
+                                enc.bytesForScans(k));
+                        }
+                    }
+                }
+                for (size_t t = 0; t < kThresholds.size(); ++t) {
+                    if (!hit[t])
+                        at_bytes[t] += static_cast<double>(
+                            enc.totalBytes());
+                }
+            }
+            tab.addRow({mode.name, TablePrinter::num(total / n, 0),
+                        TablePrinter::num(at_bytes[0] / n, 0),
+                        TablePrinter::num(at_bytes[1] / n, 0),
+                        TablePrinter::num(at_bytes[2] / n, 0),
+                        std::to_string(num_scans)});
+        }
+        tab.print();
+    }
+
+    std::printf(
+        "\nexpected shape: successive approximation reaches mid SSIM "
+        "thresholds with fewer bytes than pure spectral selection "
+        "(full spatial coverage arrives in the cheap coarse scans), "
+        "at a modest total-size overhead; 4:2:0 shrinks every column "
+        "by roughly a third on natural-chroma content. Both effects "
+        "compose with the Section V calibration, lowering the "
+        "read-fraction floor of Tables III/IV.\n");
+    return 0;
+}

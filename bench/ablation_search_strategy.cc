@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: search strategy (random / anneal / genetic) and
+ * cost-model pre-ranking vs. achieved throughput at fixed measurement
+ * budgets, on the hot conv shapes of ResNet-18 at 224 and 280. This
+ * probes the methodology choice behind Section VI: how much of the
+ * tuned win depends on *how* the space is searched, and how much
+ * measurement the analytic pre-ranker saves.
+ */
+
+#include "bench/bench_common.hh"
+#include "tuning/cost_model.hh"
+#include "tuning/tuner.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("ablation_search_strategy",
+                  "Section VI methodology (search strategy & "
+                  "cost-model pre-ranking)");
+
+    // Two hot shapes: an early wide layer and a deep narrow one.
+    const std::vector<ConvProblem> problems = {
+        {1, 64, 56, 56, 64, 3, 3, 1, 1, 1},
+        {1, 256, 18, 18, 256, 3, 3, 1, 1, 1},
+    };
+    const int budget = std::max(6, static_cast<int>(
+        envInt("TAMRES_TUNING_TRIALS", 12)));
+
+    TablePrinter out("achieved GFLOP/s by search strategy (budget = " +
+                     std::to_string(budget) + " measurements)");
+    out.setHeader({"shape", "strategy", "GFLOP/s", "tune time(s)"});
+    for (const ConvProblem &p : problems) {
+        struct Entry
+        {
+            const char *name;
+            TuneOptions opts;
+        };
+        TuneOptions base;
+        base.trials = budget;
+        base.reps = 2;
+        base.time_budget_s = 1e9;
+
+        std::vector<Entry> entries;
+        entries.push_back({"random", base});
+        {
+            TuneOptions o = base;
+            o.strategy = SearchStrategy::Anneal;
+            entries.push_back({"anneal", o});
+        }
+        {
+            TuneOptions o = base;
+            o.strategy = SearchStrategy::Genetic;
+            entries.push_back({"genetic", o});
+        }
+        {
+            TuneOptions o = base;
+            o.use_cost_model = true;
+            o.cost_model_top_k = std::max(2, budget / 3);
+            entries.push_back({"random+costmodel", o});
+        }
+        for (const auto &e : entries) {
+            AutoTuner tuner; // no cache: force a fresh search
+            Timer t;
+            const MeasureResult r = tuner.tune(p, e.opts);
+            out.addRow({p.key(), e.name,
+                        TablePrinter::num(r.gflops(p), 2),
+                        TablePrinter::num(t.seconds(), 2)});
+        }
+    }
+    out.print();
+    std::printf(
+        "\nexpected shape: all strategies land within a few percent "
+        "of each other at equal budgets on this smooth space (random "
+        "search is a strong baseline, as the AutoTVM line of work "
+        "found); the cost-model pre-ranker reaches comparable "
+        "throughput while timing ~1/3 of the candidates, cutting "
+        "tuning wall-clock accordingly.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation A1 (DESIGN.md): autotuning search budget vs. achieved
+ * throughput on the hot ResNet conv shapes at a non-library resolution
+ * (280). Shows how quickly measurement-driven search closes the gap to
+ * its best configuration.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("ablation_tuning_budget",
+                  "Ablation: tuner trials vs. achieved GFLOPs/s");
+
+    // The hot shapes: ResNet's 3x3 stage convs at 280 input.
+    const std::vector<ConvProblem> shapes = {
+        {.n = 1, .ic = 64, .ih = 70, .iw = 70, .oc = 64, .kh = 3,
+         .kw = 3, .stride = 1, .pad = 1},
+        {.n = 1, .ic = 128, .ih = 35, .iw = 35, .oc = 128, .kh = 3,
+         .kw = 3, .stride = 1, .pad = 1},
+    };
+
+    TablePrinter table("tuning budget ablation @280-family shapes");
+    table.setHeader({"shape", "trials", "best GFLOPs/s",
+                     "vs library"});
+    for (const auto &p : shapes) {
+        const MeasureResult lib =
+            measureConv(p, KernelSelector::libraryConfig(p), 2);
+        for (int trials : {2, 4, 8, 16, 32}) {
+            AutoTuner tuner; // no cache: honest per-budget search
+            TuneOptions opts;
+            opts.trials = trials;
+            opts.reps = 2;
+            opts.time_budget_s = 1e9; // trials-bounded
+            const MeasureResult best = tuner.tune(p, opts);
+            table.addRow({p.key(), std::to_string(trials),
+                          TablePrinter::num(best.gflops(p), 2),
+                          TablePrinter::num(lib.seconds / best.seconds,
+                                            2)});
+        }
+    }
+    table.print();
+    std::printf("\nexpected: throughput is non-decreasing in budget "
+                "and saturates; the first few trials recover most of "
+                "the gain (AutoTVM-style behaviour).\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dynamic batching on the serving endpoint (extends the Section
+ * VIII-a load study). Stage 1 measures real batched inference
+ * latency on the engine — batch-b GEMMs amortize packing and weight
+ * reuse, so per-item cost falls with b. Stage 2 feeds the measured
+ * curve into the batched queueing simulation and sweeps offered load
+ * against the maximum batch size, reporting the capacity gained and
+ * the latency paid.
+ */
+
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/serving.hh"
+#include "nn/passes.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("batched_serving",
+                  "dynamic batching vs offered load (Section VIII-a "
+                  "extension)");
+
+    constexpr int kRes = 224;
+    const std::vector<int> batches = {1, 2, 4, 8};
+
+    auto net = bench::buildBackbone(BackboneArch::ResNet18);
+    foldBatchNorms(*net);
+    fuseConvRelu(*net);
+    bench::ensureTuned(*net, kRes);
+    KernelSelector::instance().setMode(KernelMode::Tuned);
+
+    // Stage 1: measured batch latency (seconds per whole batch).
+    std::vector<double> batch_lat(batches.size());
+    TablePrinter meas("measured ResNet-18 @224 tuned batch latency");
+    meas.setHeader({"batch", "total ms", "ms/item", "vs batch-1"});
+    for (size_t bi = 0; bi < batches.size(); ++bi) {
+        const int b = batches[bi];
+        Tensor in({b, 3, kRes, kRes});
+        Rng rng(100 + b);
+        fillUniform(in, rng, 0.0f, 1.0f);
+        batch_lat[bi] = medianRunSeconds(
+            [&] { net->run(in); }, bench::latencyReps());
+        meas.addRow({std::to_string(b),
+                     TablePrinter::num(batch_lat[bi] * 1e3, 1),
+                     TablePrinter::num(batch_lat[bi] * 1e3 / b, 1),
+                     TablePrinter::num(batch_lat[bi] * 1e3 / b /
+                                           (batch_lat[0] * 1e3), 2)});
+    }
+    meas.print();
+    KernelSelector::instance().setMode(KernelMode::Library);
+
+    // Stage 2: sweep offered load x amortizable-cost fraction in the
+    // simulator. On this single-core host the measured curve is flat
+    // (phi ~ 0): a saturated scalar engine has no per-request cost
+    // that batching can share, so batch-b costs b times batch-1. A
+    // GPU- or pool-backed endpoint (the deployment Section VIII-a has
+    // in mind) amortizes kernel dispatch, weight streaming and
+    // scale-model overhead across the batch; phi parameterizes that
+    // fraction: service(b) = base * ((1 - phi) * b + phi).
+    const double base_s = batch_lat[0];
+    const double cap1 = 1.0 / base_s; //!< batch-1 capacity, Hz
+    TablePrinter sim("simulated endpoint: p99 latency (ms) / mean "
+                     "batch, max_batch 8, 4 ms linger");
+    sim.setHeader({"load (x cap1)", "no batching", "phi=0 (host)",
+                   "phi=0.3", "phi=0.6"});
+    for (const double load : {0.6, 0.9, 1.3, 2.0}) {
+        std::vector<std::string> row{TablePrinter::num(load, 1)};
+        for (const double phi : {-1.0, 0.0, 0.3, 0.6}) {
+            BatchedConfig cfg;
+            cfg.base.arrival_rate_hz = load * cap1;
+            cfg.base.num_requests = 4000;
+            cfg.base.seed = 31;
+            cfg.max_batch = phi < 0.0 ? 1 : 8;
+            cfg.linger_s = 0.004;
+            const double amortized = std::max(phi, 0.0);
+            const auto reqs = simulateServingBatched(
+                cfg, [&](int, int batch, int) {
+                    const double s =
+                        base_s * ((1.0 - amortized) * batch + amortized);
+                    return std::pair{kRes, s};
+                });
+            const ServingStats st = ServingStats::fromRequests(reqs);
+            row.push_back(TablePrinter::num(st.p99_latency_s * 1e3, 0) +
+                          " / " + TablePrinter::num(st.mean_batch, 1));
+        }
+        sim.addRow(row);
+    }
+    sim.print();
+
+    std::printf(
+        "\nmeasured shape: per-item latency is FLAT in batch size on "
+        "this host — a fully compute-bound single-core engine has "
+        "nothing for batching to amortize, so the measured table is "
+        "the phi~0 column. The simulation shows where the technique "
+        "starts to pay: with 30-60%% of per-request cost amortizable "
+        "(dispatch, weight streaming, the scale model of the "
+        "two-model pipeline), batch-8 absorbs loads past the batch-1 "
+        "capacity that overwhelm the unbatched server. Batching "
+        "composes with the paper's dynamic-resolution shedding: "
+        "resolution changes per-item cost, batching per-request "
+        "overhead.\n");
+    return 0;
+}

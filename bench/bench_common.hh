@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: environment-tunable
+ * budgets, network latency measurement under a kernel mode, and
+ * network tuning with a persistent config cache.
+ *
+ * Budgets (override via environment):
+ *   TAMRES_EVAL_IMAGES       pixel-free accuracy sample size
+ *   TAMRES_EVAL_IMAGES_PIX   pixel-rendering eval sample size
+ *   TAMRES_CAL_IMAGES        images per storage-calibration table
+ *   TAMRES_TRAIN_IMAGES      scale-model training images
+ *   TAMRES_TUNING_TRIALS     autotuner candidates per conv shape
+ *   TAMRES_TUNING_BUDGET_S   autotuner wall-clock budget per shape
+ *   TAMRES_LATENCY_REPS      timed repetitions per latency point
+ *   TAMRES_CACHE             tuning-cache path
+ */
+
+#ifndef TAMRES_BENCH_BENCH_COMMON_HH
+#define TAMRES_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "nn/kernel_selector.hh"
+#include "tensor/tensor_ops.hh"
+#include "tuning/tuner.hh"
+#include "util/rng.hh"
+#include "util/env.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+namespace tamres {
+namespace bench {
+
+inline int evalImages() { return static_cast<int>(envInt("TAMRES_EVAL_IMAGES", 20000)); }
+inline int evalImagesPix() { return static_cast<int>(envInt("TAMRES_EVAL_IMAGES_PIX", 400)); }
+inline int calImages() { return static_cast<int>(envInt("TAMRES_CAL_IMAGES", 42)); }
+inline int trainImages() { return static_cast<int>(envInt("TAMRES_TRAIN_IMAGES", 480)); }
+inline int latencyReps() { return static_cast<int>(envInt("TAMRES_LATENCY_REPS", 2)); }
+
+inline std::string
+cachePath()
+{
+    return envString("TAMRES_CACHE", "tamres_tuning_cache.txt");
+}
+
+inline TuneOptions
+tuneOptions()
+{
+    TuneOptions opts;
+    opts.trials = static_cast<int>(envInt("TAMRES_TUNING_TRIALS", 10));
+    opts.reps = 2;
+    opts.time_budget_s = envDouble("TAMRES_TUNING_BUDGET_S", 1.2);
+    return opts;
+}
+
+/** The shared persistent tuning cache. */
+inline ConfigCache &
+tuningCache()
+{
+    static ConfigCache cache(cachePath());
+    return cache;
+}
+
+/**
+ * Tune every conv of @p graph at @p resolution (cache-backed) and
+ * register the winners with the KernelSelector.
+ */
+inline void
+ensureTuned(Graph &graph, int resolution)
+{
+    AutoTuner tuner(&tuningCache());
+    tuner.tuneNetwork(graph, {1, 3, resolution, resolution},
+                      tuneOptions());
+}
+
+/** Build a backbone graph for an arch. */
+inline std::unique_ptr<Graph>
+buildBackbone(BackboneArch arch, uint64_t seed = 1)
+{
+    return arch == BackboneArch::ResNet18 ? buildResNet18(1000, seed)
+                                          : buildResNet50(1000, seed);
+}
+
+/**
+ * Median wall-clock seconds of one batch-1 forward pass at
+ * @p resolution under @p mode.
+ */
+inline double
+networkLatency(Graph &graph, int resolution, KernelMode mode)
+{
+    KernelSelector::instance().setMode(mode);
+    Tensor in({1, 3, resolution, resolution});
+    Rng rng(resolution);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    const double s = medianRunSeconds([&] { graph.run(in); },
+                                      latencyReps());
+    KernelSelector::instance().setMode(KernelMode::Library);
+    return s;
+}
+
+/** Print a standard header naming the experiment and the host. */
+inline void
+banner(const char *experiment, const char *paper_ref)
+{
+    std::printf("================================================\n");
+    std::printf("tamres experiment: %s\n", experiment);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("note: single-host CPU substitutes for the paper's "
+                "4790K/2990WX testbeds (see EXPERIMENTS.md)\n");
+    std::printf("================================================\n");
+}
+
+} // namespace bench
+} // namespace tamres
+
+#endif // TAMRES_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cloud bill projection (Sections I and VIII-b): prices a
+ * representative inference workload under full reads, the calibrated
+ * static policy, and the dynamic pipeline, using *measured* read
+ * fractions from the storage calibration machinery. This is the
+ * monetary consequence of Tables III/IV.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/calibration.hh"
+#include "core/pipeline.hh"
+#include "storage/cost.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("cloud_cost",
+                  "Sections I/VIII-b (storage & egress billing)");
+
+    const int n_cal = bench::calImages();
+    const int n_train = bench::trainImages();
+
+    TablePrinter out("projected monthly bill: 1M-image corpus, 10M "
+                     "reads/month (USD)");
+    out.setHeader({"dataset", "policy", "read frac", "storage$",
+                   "egress$", "requests$", "total$", "vs full"});
+
+    for (const bool cars : {false, true}) {
+        SyntheticDataset ds(cars ? carsLike() : imagenetLike(),
+                            n_train + n_cal, 41);
+        const BackboneAccuracyModel model(BackboneArch::ResNet50,
+                                          ds.spec(), 1);
+        QualityTable table(ds, n_train, n_train + n_cal,
+                           paperResolutions());
+
+        ScaleModelOptions sopts;
+        ScaleModel scale(paperResolutions(), sopts);
+        scale.train(ds, 0, n_train, BackboneArch::ResNet50,
+                    {0.56, 0.75, 1.0}, 224);
+
+        CalibrationOptions copts;
+        copts.max_accuracy_loss = 0.02;
+        const StoragePolicy policy = calibrate(table, ds, model,
+                                               copts);
+
+        // Measured mean encoded size over the calibration slice.
+        double mean_bytes = 0.0;
+        {
+            ProgressiveConfig cfg;
+            cfg.quality = ds.spec().encode_quality;
+            for (int i = n_train; i < n_train + n_cal; ++i)
+                mean_bytes += static_cast<double>(
+                    encodeProgressive(ds.render(i), cfg).totalBytes());
+            mean_bytes /= n_cal;
+        }
+
+        // Static-280 calibrated row and the dynamic row.
+        int idx280 = 0;
+        const auto &grid = table.resolutions();
+        for (size_t r = 0; r < grid.size(); ++r)
+            if (grid[r] == 280)
+                idx280 = static_cast<int>(r);
+        SyntheticDataset pop_ds(ds.spec(), bench::evalImages() / 2,
+                                4242);
+        const EvalPopulation pop{&pop_ds, pop_ds.size()};
+        const StorageRow static280 = evalStaticStorage(
+            table, ds, model, idx280, policy, 0.75, pop);
+        const StorageRow dynamic = evalDynamicStorage(
+            table, ds, model, scale, policy, 0.75, pop);
+
+        struct Row
+        {
+            const char *name;
+            double frac;
+            double extra_requests;
+        };
+        const Row rows[] = {
+            {"full reads", 1.0, 0.0},
+            {"calibrated static-280", static280.read_fraction, 0.0},
+            // The dynamic pipeline's second (incremental) fetch is an
+            // extra ranged GET on roughly the fraction of requests
+            // whose chosen resolution needs more than the preview.
+            {"dynamic", dynamic.read_fraction, 0.5},
+        };
+        double full_total = 0.0;
+        for (const Row &r : rows) {
+            Workload w;
+            w.corpus_images = 1000000;
+            w.mean_image_bytes = mean_bytes;
+            w.reads_per_month = 10000000;
+            w.mean_read_fraction = r.frac;
+            w.extra_requests_per_read = r.extra_requests;
+            const MonthlyCost c = monthlyCost(w);
+            if (r.frac == 1.0)
+                full_total = c.total();
+            out.addRow({cars ? "Cars-like" : "ImageNet-like", r.name,
+                        TablePrinter::num(r.frac, 3),
+                        TablePrinter::num(c.storage_usd, 0),
+                        TablePrinter::num(c.egress_usd, 0),
+                        TablePrinter::num(c.request_usd, 0),
+                        TablePrinter::num(c.total(), 0),
+                        TablePrinter::num(c.total() / full_total * 100,
+                                          1) + "%"});
+        }
+    }
+    out.print();
+    std::printf(
+        "\nexpected shape: egress dominates the bill at this read "
+        "volume, so the 20-30%% (ImageNet) and 40-50%% (Cars) "
+        "measured read reductions translate almost 1:1 into total "
+        "savings; the dynamic pipeline's extra ranged GETs cost "
+        "cents against thousands saved (Section VIII-b).\n");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: accuracy vs. FLOPs for static and
+ * dynamic resolution with ResNet-18/50 on the ImageNet-like dataset
+ * across 25/56/75/100% center crops.
+ */
+
+#include "bench/fig_dynamic_common.hh"
+
+int
+main()
+{
+    tamres::bench::banner(
+        "fig8_dynamic_imagenet",
+        "Figure 8 (a-h): static vs. dynamic resolution, ImageNet");
+    tamres::bench::runDynamicFigure(tamres::imagenetLike(), "Fig.8");
+    std::printf("expected shape (paper): smaller crops favor lower "
+                "resolutions; the dynamic point sits near the apex of "
+                "each static curve at lower average FLOPs.\n");
+    return 0;
+}

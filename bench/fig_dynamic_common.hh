@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared driver for Figures 8 and 9: accuracy vs. FLOPs with static
+ * and dynamic resolution across center-crop ratios, for ResNet-18 and
+ * ResNet-50 on one dataset profile.
+ */
+
+#ifndef TAMRES_BENCH_FIG_DYNAMIC_COMMON_HH
+#define TAMRES_BENCH_FIG_DYNAMIC_COMMON_HH
+
+#include "bench/bench_common.hh"
+
+namespace tamres {
+namespace bench {
+
+inline void
+runDynamicFigure(const DatasetSpec &spec, const char *figure)
+{
+    const int n_train = trainImages();
+    const int n_eval = evalImagesPix();
+    const int n_eval_fast = evalImages(); // static rows need no pixels
+    SyntheticDataset ds(spec, n_train + std::max(n_eval, n_eval_fast),
+                        42);
+    const std::vector<double> crops = {0.25, 0.56, 0.75, 1.0};
+
+    for (const BackboneArch arch :
+         {BackboneArch::ResNet18, BackboneArch::ResNet50}) {
+        BackboneAccuracyModel model(arch, spec, 1);
+
+        // Train the scale model with the Figure-5 sharding scheme and
+        // crop augmentation (test crops are unknown at train time).
+        ScaleModelOptions opts;
+        opts.epochs = static_cast<int>(envInt("TAMRES_SCALE_EPOCHS", 30));
+        ScaleModel scale(paperResolutions(), opts);
+        Timer t_train;
+        const double loss =
+            scale.train(ds, 0, n_train, arch, crops,
+                        static_cast<int>(envInt("TAMRES_PREVIEW_SIDE",
+                                                192)));
+        std::printf("[%s %s] scale model trained on %d imgs in %.1fs "
+                    "(final BCE %.3f)\n",
+                    figure, archName(arch).c_str(), n_train,
+                    t_train.seconds(), loss);
+
+        for (const double crop : crops) {
+            TablePrinter table(std::string(figure) + " — " + spec.name +
+                               " " + archName(arch) + " " +
+                               TablePrinter::num(crop * 100, 0) +
+                               "% center crop");
+            table.setHeader({"method", "res", "GFLOPs", "accuracy"});
+            double best_static = 0.0;
+            for (int r : paperResolutions()) {
+                const PipelineResult s = evalStatic(
+                    ds, n_train, n_train + n_eval_fast, model, r, crop);
+                best_static = std::max(best_static, s.accuracy);
+                table.addRow({"static", std::to_string(r),
+                              TablePrinter::num(s.mean_gflops, 2),
+                              TablePrinter::num(s.accuracy * 100, 1)});
+            }
+            std::vector<int> hist;
+            const PipelineResult d = evalDynamic(
+                ds, n_train, n_train + n_eval, model, scale, crop,
+                static_cast<int>(envInt("TAMRES_PREVIEW_SIDE", 192)),
+                &hist);
+            table.addRow({"dynamic", "per-image",
+                          TablePrinter::num(d.mean_gflops, 2),
+                          TablePrinter::num(d.accuracy * 100, 1)});
+            table.print();
+            std::printf("  dynamic resolution histogram:");
+            for (size_t i = 0; i < hist.size(); ++i) {
+                std::printf(" %d:%d", paperResolutions()[i], hist[i]);
+            }
+            std::printf("  | best static %.1f%%, dynamic %.1f%%\n\n",
+                        best_static * 100, d.accuracy * 100);
+        }
+    }
+}
+
+} // namespace bench
+} // namespace tamres
+
+#endif // TAMRES_BENCH_FIG_DYNAMIC_COMMON_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The paper's headline comparison (Sections I, VII-b, IX): dynamic
+ * resolution as an alternative to fine-tuning for a known object
+ * scale [31]. A backbone fine-tuned for the assumed (75% crop, best
+ * resolution) operating point is evaluated across the full crop range
+ * against (a) the vanilla static backbone and (b) the dynamic
+ * two-model pipeline. Fine-tuning wins (narrowly) where its
+ * assumption holds and collapses off-assumption; the dynamic pipeline
+ * tracks the apex everywhere without knowing the crop in advance.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/finetune.hh"
+#include "core/pipeline.hh"
+#include "core/scale_model.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("finetune_vs_dynamic",
+                  "Sections I/VII-b/IX (dynamic resolution vs. "
+                  "fine-tuning for a known scale [31])");
+
+    // Static rows are pixel-free and use the large budget; the dynamic
+    // pipeline renders a preview per image, so it uses the (smaller)
+    // pixel budget, as in fig8/fig9.
+    const int n_eval = bench::evalImages();
+    const int n_eval_pix = bench::evalImagesPix();
+    const int n_train = 3 * n_eval / 4;
+    SyntheticDataset ds(imagenetLike(), n_eval + n_train, 21);
+    const BackboneAccuracyModel vanilla(BackboneArch::ResNet18,
+                                        ds.spec(), 1);
+
+    // Fine-tuned baseline: assumes the canonical 75% crop and the
+    // resolution that crop favors (280, Figure 8) — the advantage the
+    // paper grants its baselines.
+    const double assumed_crop = 0.75;
+    const int assumed_res = 280;
+    const BackboneAccuracyModel tuned =
+        fineTunedBackbone(BackboneArch::ResNet18, ds, 1, 0, n_train,
+                          assumed_crop, assumed_res);
+
+    // Dynamic pipeline: scale model trained across crops.
+    ScaleModelOptions sopts;
+    ScaleModel scale(paperResolutions(), sopts);
+    scale.train(ds, 0, std::min(n_train, bench::trainImages()),
+                BackboneArch::ResNet18, {0.25, 0.56, 0.75, 1.0}, 224);
+
+    TablePrinter table(
+        "top-1 accuracy across test-time crops (ResNet-18, "
+        "ImageNet-like)");
+    table.setHeader({"crop", "static-224", "finetuned@75%/280",
+                     "dynamic", "best-static", "best-res"});
+    for (const double crop : {0.25, 0.56, 0.75, 1.0}) {
+        const auto s224 =
+            evalStatic(ds, n_train, n_train + n_eval, vanilla, 224,
+                       crop);
+        // The fine-tuned model runs at its assumed resolution.
+        const auto ft = evalStatic(ds, n_train, n_train + n_eval,
+                                   tuned, assumed_res, crop);
+        const auto dyn =
+            evalDynamic(ds, n_train, n_train + n_eval_pix, vanilla,
+                        scale, crop, 224);
+        double best = 0.0;
+        int best_res = 0;
+        for (const int r : paperResolutions()) {
+            const double a =
+                evalStatic(ds, n_train, n_train + n_eval, vanilla, r,
+                           crop).accuracy;
+            if (a > best) {
+                best = a;
+                best_res = r;
+            }
+        }
+        table.addRow({TablePrinter::num(crop * 100, 0) + "%",
+                      TablePrinter::num(s224.accuracy * 100, 1),
+                      TablePrinter::num(ft.accuracy * 100, 1),
+                      TablePrinter::num(dyn.accuracy * 100, 1),
+                      TablePrinter::num(best * 100, 1),
+                      std::to_string(best_res)});
+    }
+    table.print();
+    std::printf(
+        "\nexpected shape: at the assumed 75%% crop the fine-tuned "
+        "model is at or above every alternative; as the test crop "
+        "departs from the assumption its accuracy falls below the "
+        "dynamic pipeline, which stays within ~1-2 points of the "
+        "per-crop best static without knowing the crop — the paper's "
+        "Section IX conclusion.\n");
+    return 0;
+}

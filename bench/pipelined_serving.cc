@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Section VII-c experiment: hiding the scale model's runtime by
+ * pipelining it with backbone inference. The paper measures the scale
+ * model at ~30% of a tuned ResNet-50@224 pass and argues the overhead
+ * can be hidden by overlapping the next request's scale inference
+ * with the current request's backbone inference; this bench runs the
+ * sequential and pipelined endpoint models side by side across
+ * arrival rates and reports where each saturates.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/serving.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("pipelined_serving",
+                  "Section VII-c (scale-model overhead hidden by "
+                  "pipelining)");
+
+    // Analytic service model at a fixed host throughput, as in
+    // serving_load: the paper's ratio — scale model ~30% of the
+    // backbone pass.
+    const double host_gflops = 8.0;
+    const double backbone_s =
+        backboneGflops(BackboneArch::ResNet50, 224) / host_gflops;
+    const double scale_s = 0.3 * backbone_s;
+
+    const double seq_cap = 1.0 / (backbone_s + scale_s);
+    const double pipe_cap = 1.0 / backbone_s;
+
+    TablePrinter out("sequential vs pipelined two-model endpoint");
+    out.setHeader({"arrival(hz)", "model", "mean lat(ms)",
+                   "p99 lat(ms)", "util"});
+    for (const double frac : {0.5, 0.85, 1.05, 1.25}) {
+        // Rates set relative to the sequential capacity so the
+        // crossover region (between the two capacities) is sampled.
+        const double rate = frac * seq_cap;
+        ServingConfig cfg;
+        cfg.arrival_rate_hz = rate;
+        cfg.num_requests = 4000;
+        cfg.seed = 13;
+
+        const auto seq = simulateServing(cfg, [&](int, int) {
+            return std::make_pair(224, scale_s + backbone_s);
+        });
+        const auto pipe = simulateServingPipelined(cfg, [&](int, int) {
+            return StagedService{224, scale_s, backbone_s};
+        });
+        for (const auto &[name, reqs] :
+             {std::make_pair("sequential", &seq),
+              std::make_pair("pipelined", &pipe)}) {
+            const auto stats = ServingStats::fromRequests(*reqs);
+            // A request's start-to-finish span includes in-pipeline
+            // waiting, so the generic utilization over-counts for the
+            // tandem model; report the bottleneck (backbone) stage's
+            // utilization instead.
+            const bool pipelined = reqs == &pipe;
+            const double util =
+                pipelined ? cfg.num_requests * backbone_s /
+                                reqs->back().finish_s
+                          : stats.utilization;
+            out.addRow({TablePrinter::num(rate, 2), name,
+                        TablePrinter::num(stats.mean_latency_s * 1e3,
+                                          1),
+                        TablePrinter::num(stats.p99_latency_s * 1e3,
+                                          1),
+                        TablePrinter::num(util, 2)});
+        }
+    }
+    out.print();
+    std::printf(
+        "\ncapacities: sequential %.2f req/s, pipelined %.2f req/s "
+        "(+%.0f%%).\nexpected shape: below the sequential capacity "
+        "the two models differ only by the per-request scale latency; "
+        "between the two capacities the sequential endpoint's queue "
+        "diverges while the pipelined endpoint stays bounded — the "
+        "scale model's throughput cost is fully hidden, leaving only "
+        "its (pipelinable) latency (Section VII-c).\n",
+        seq_cap, pipe_cap, (pipe_cap / seq_cap - 1.0) * 100);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Section VIII-a serving experiment: a Poisson request stream served
+ * by (a) a static-resolution endpoint and (b) a dynamic endpoint that
+ * sheds load by shrinking the crop when the queue builds (the scale
+ * model then selects cheaper resolutions automatically). Service
+ * times are derived from the backbone FLOPs at each resolution under
+ * a fixed host throughput, so this bench is deterministic and
+ * CPU-independent; see table2_latency for measured wall-clock.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/serving.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("serving_load",
+                  "Section VIII-a (load shedding via dynamic "
+                  "resolution)");
+
+    // Analytic service model: seconds = GFLOPs / host_gflops.
+    const double host_gflops = 8.0;
+    auto service_at = [&](int res) {
+        return (backboneGflops(BackboneArch::ResNet50, res) +
+                scaleModelGflops()) / host_gflops;
+    };
+
+    // Under a normal crop the dynamic pipeline mostly picks 280; under
+    // a shed (tight) crop it drops toward 168 (Figures 8/9 histograms).
+    const int normal_res = 280;
+    const int shed_res = 168;
+
+    TablePrinter table("M/D/1 serving: static vs load-shedding dynamic");
+    table.setHeader({"arrival(hz)", "policy", "mean lat(ms)",
+                     "p99 lat(ms)", "util"});
+    for (const double rate : {0.6, 0.9, 1.2, 1.8}) {
+        ServingConfig cfg;
+        cfg.arrival_rate_hz = rate;
+        cfg.num_requests = 4000;
+        cfg.seed = 11;
+
+        auto static_policy = [&](int, int) {
+            return std::make_pair(normal_res, service_at(normal_res));
+        };
+        auto dynamic_policy = [&](int, int depth) {
+            const int res = depth > 2 ? shed_res : normal_res;
+            return std::make_pair(res, service_at(res));
+        };
+
+        for (const auto &[name, policy] :
+             {std::make_pair("static-280",
+                             ServicePolicy(static_policy)),
+              std::make_pair("dynamic-shed",
+                             ServicePolicy(dynamic_policy))}) {
+            const auto stats = ServingStats::fromRequests(
+                simulateServing(cfg, policy));
+            table.addRow({TablePrinter::num(rate, 1), name,
+                          TablePrinter::num(stats.mean_latency_s * 1e3,
+                                            1),
+                          TablePrinter::num(stats.p99_latency_s * 1e3,
+                                            1),
+                          TablePrinter::num(stats.utilization, 2)});
+        }
+    }
+    table.print();
+    std::printf("\nexpected: near the static policy's saturation "
+                "point the shedding policy bounds p99 by dropping to "
+                "a cheaper resolution only while the queue is deep — "
+                "no model swap, bounded accuracy impact (the crop "
+                "shrink keeps object scales matched, Sec. VIII-a).\n");
+    return 0;
+}

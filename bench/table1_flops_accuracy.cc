@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Table I: compute complexity (GFLOPs) and accuracy
+ * of ResNet-18 across inference resolutions, with the model "trained"
+ * at 224 (the train-test resolution discrepancy makes 280 the peak).
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace tamres;
+
+int
+main()
+{
+    bench::banner("table1_flops_accuracy",
+                  "Table I (GFLOPs + accuracy vs. resolution, "
+                  "ResNet-18 / ImageNet, 75% crop)");
+
+    const int n = bench::evalImages();
+    SyntheticDataset ds(imagenetLike(), n, 42);
+    BackboneAccuracyModel model(BackboneArch::ResNet18, ds.spec(), 1);
+    auto rn18 = buildResNet18();
+
+    TablePrinter table("Table I — ResNet-18, crop 75%");
+    table.setHeader({"Model", "Resolution", "GFLOPs", "Accuracy"});
+    for (int r : paperResolutions()) {
+        const double gflops =
+            static_cast<double>(rn18->flops({1, 3, r, r})) / 1e9;
+        const PipelineResult res = evalStatic(ds, 0, n, model, r, 0.75);
+        table.addRow({"ResNet-18", std::to_string(r) + "x" +
+                                       std::to_string(r),
+                      TablePrinter::num(gflops, 1),
+                      TablePrinter::num(res.accuracy * 100, 1)});
+    }
+    table.print();
+
+    std::printf("\npaper anchors: 0.5/1.1/1.8/2.9/4.2/5.8/7.3 GFLOPs;"
+                " 47.8/62.7/69.5/70.7/70.1/69.4/68.9 %% top-1\n");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Table III: ImageNet read-bandwidth savings —
+ * accuracy reading all data vs. reading per the SSIM-calibrated
+ * policy, per resolution and for the dynamic pipeline, across crops.
+ */
+
+#include "bench/table_savings_common.hh"
+
+int
+main()
+{
+    tamres::bench::banner(
+        "table3_imagenet_savings",
+        "Table III (ImageNet read bandwidth savings)");
+    tamres::bench::runSavingsTable(tamres::imagenetLike(), "Table III");
+    std::printf("paper: per-resolution savings 2-28%%; dynamic saves "
+                "~7-11%% with <=0.1%% accuracy drop; savings are "
+                "crop-independent (no pre-cropped copies stored).\n");
+    return 0;
+}

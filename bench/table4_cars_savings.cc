@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces paper Table IV: Stanford-Cars read-bandwidth savings —
+ * the shape-dominated dataset tolerates much lower fidelity, so
+ * savings are far larger than on ImageNet.
+ */
+
+#include "bench/table_savings_common.hh"
+
+int
+main()
+{
+    tamres::bench::banner("table4_cars_savings",
+                          "Table IV (Cars read bandwidth savings)");
+    tamres::bench::runSavingsTable(tamres::carsLike(), "Table IV");
+    std::printf("paper: per-resolution savings up to ~69%%; dynamic "
+                "saves 43-49%%; Cars >> ImageNet savings at matched "
+                "accuracy loss.\n");
+    return 0;
+}

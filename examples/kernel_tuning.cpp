@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Kernel-tuning walkthrough (paper Section VI): autotune the
+ * convolution layers of ResNet-18 at a non-library resolution and
+ * compare per-layer throughput against the library implementation
+ * whose blocking was fixed offline for 224.
+ *
+ * Build & run:  ./build/examples/kernel_tuning [resolution]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/builders.hh"
+#include "nn/kernel_selector.hh"
+#include "tuning/tuner.hh"
+#include "util/table.hh"
+
+using namespace tamres;
+
+int
+main(int argc, char **argv)
+{
+    const int resolution = argc > 1 ? std::atoi(argv[1]) : 168;
+    std::printf("tamres example — autotuning ResNet-18 convolutions "
+                "at %dx%d\n\n", resolution, resolution);
+
+    auto net = buildResNet18();
+    const auto problems =
+        AutoTuner::convProblems(*net, {1, 3, resolution, resolution});
+    std::printf("found %zu unique conv shapes\n\n", problems.size());
+
+    AutoTuner tuner;
+    TuneOptions opts;
+    opts.trials = 8;
+    opts.reps = 2;
+    opts.time_budget_s = 1.0;
+
+    TablePrinter table("per-layer tuning results");
+    table.setHeader({"shape", "library GF/s", "tuned GF/s", "speedup",
+                     "winning config"});
+    double lib_total = 0.0, tuned_total = 0.0;
+    for (const auto &p : problems) {
+        const MeasureResult lib =
+            measureConv(p, KernelSelector::libraryConfig(p), 2);
+        const MeasureResult best = tuner.tune(p, opts);
+        lib_total += lib.seconds;
+        tuned_total += best.seconds;
+        table.addRow({p.key(), TablePrinter::num(lib.gflops(p), 2),
+                      TablePrinter::num(best.gflops(p), 2),
+                      TablePrinter::num(lib.seconds / best.seconds, 2),
+                      best.config.toString()});
+    }
+    table.print();
+    std::printf("\nsummed conv time: library %.1f ms, tuned %.1f ms "
+                "(%.2fx)\n", lib_total * 1e3, tuned_total * 1e3,
+                lib_total / tuned_total);
+    std::printf("the gap is the Section VI effect: blocking chosen "
+                "for 224-family shapes loses utilization at %d.\n",
+                resolution);
+    return 0;
+}

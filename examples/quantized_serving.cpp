@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Composing the efficiency levers on one endpoint:
+ *   1. build ResNet-18, fold batch norms and fuse ReLUs,
+ *   2. calibrate and rewrite it to int8 (nn/quant),
+ *   3. measure fp32 vs int8 latency at two resolutions,
+ *   4. serve a bursty request stream through the batched queueing
+ *      simulation with the measured costs, comparing a static-
+ *      resolution endpoint against one that sheds to the lower
+ *      resolution when the queue grows (the paper's Section VIII-a
+ *      load-adaptation story, with quantization underneath).
+ *
+ * Build & run:  ./build/examples/quantized_serving
+ */
+
+#include <cstdio>
+
+#include "core/serving.hh"
+#include "nn/builders.hh"
+#include "nn/passes.hh"
+#include "nn/quant.hh"
+#include "tensor/tensor_ops.hh"
+#include "util/rng.hh"
+#include "util/timer.hh"
+
+using namespace tamres;
+
+namespace {
+
+double
+latencyAt(Graph &g, int res)
+{
+    Tensor in({1, 3, res, res});
+    Rng rng(res);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    return medianRunSeconds([&] { g.run(in); }, 3);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("tamres quantized serving example\n\n");
+
+    // 1-2. Inference-optimized fp32 and int8 builds of the same net.
+    auto fp32 = buildResNet18(1000, 1);
+    foldBatchNorms(*fp32);
+    fuseConvRelu(*fp32);
+
+    auto int8 = buildResNet18(1000, 1);
+    foldBatchNorms(*int8);
+    fuseConvRelu(*int8);
+    Tensor cal({1, 3, 224, 224});
+    Rng cal_rng(42);
+    fillUniform(cal, cal_rng, 0.0f, 1.0f);
+    const QuantCalibration calib = calibrateActivations(*int8, {cal});
+    const int n_quant = quantizeConvs(*int8, &calib);
+    std::printf("rewrote %d convolutions to int8\n\n", n_quant);
+
+    // 3. Measured latencies.
+    std::printf("%-10s %-12s %-12s\n", "res", "fp32 ms", "int8 ms");
+    double int8_hi = 0.0, int8_lo = 0.0;
+    for (const int res : {224, 112}) {
+        const double f = latencyAt(*fp32, res);
+        const double q = latencyAt(*int8, res);
+        if (res == 224)
+            int8_hi = q;
+        else
+            int8_lo = q;
+        std::printf("%-10d %-12.1f %-12.1f\n", res, f * 1e3, q * 1e3);
+    }
+
+    // 4. Bursty load through the batched simulator: offered load sits
+    //    above the 224-only capacity; the shedding policy drops to 112
+    //    when more than four requests wait.
+    BatchedConfig cfg;
+    cfg.base.arrival_rate_hz = 1.3 / int8_hi;
+    cfg.base.num_requests = 2000;
+    cfg.base.seed = 9;
+    cfg.max_batch = 4;
+    cfg.linger_s = 0.002;
+
+    const auto static_reqs = simulateServingBatched(
+        cfg, [&](int, int batch, int) {
+            return std::pair{224, int8_hi * batch};
+        });
+    const auto shed_reqs = simulateServingBatched(
+        cfg, [&](int, int batch, int depth) {
+            const bool shed = depth > 4;
+            return std::pair{shed ? 112 : 224,
+                             (shed ? int8_lo : int8_hi) * batch};
+        });
+
+    const ServingStats s_static = ServingStats::fromRequests(static_reqs);
+    const ServingStats s_shed = ServingStats::fromRequests(shed_reqs);
+    int shed_count = 0;
+    for (const auto &r : shed_reqs)
+        shed_count += r.resolution == 112;
+
+    std::printf("\nendpoint at 1.3x the 224-only capacity:\n");
+    std::printf("  static 224 : p99 %7.0f ms, mean queue %6.2f s\n",
+                s_static.p99_latency_s * 1e3, s_static.mean_queueing_s);
+    std::printf("  shed to 112: p99 %7.0f ms, mean queue %6.2f s "
+                "(%d/%d requests shed)\n",
+                s_shed.p99_latency_s * 1e3, s_shed.mean_queueing_s,
+                shed_count, cfg.base.num_requests);
+    std::printf("\nthe queue-aware policy absorbs the burst by paying "
+                "resolution, not latency — and the scale model keeps "
+                "object scales matched at 112 (Section VIII-a).\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bit-granular writer/reader used by the progressive codec's entropy
+ * layer.
+ */
+
+#ifndef TAMRES_CODEC_BITSTREAM_HH
+#define TAMRES_CODEC_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+/** Append-only MSB-first bit writer. */
+class BitWriter
+{
+  public:
+    /** Write the low @p nbits bits of @p value, MSB first. */
+    void
+    writeBits(uint32_t value, int nbits)
+    {
+        tamres_assert(nbits >= 0 && nbits <= 32, "bad bit count");
+        for (int i = nbits - 1; i >= 0; --i)
+            writeBit((value >> i) & 1u);
+    }
+
+    /** Write a single bit. */
+    void
+    writeBit(uint32_t bit)
+    {
+        if (bitpos_ == 0)
+            bytes_.push_back(0);
+        if (bit)
+            bytes_.back() |= static_cast<uint8_t>(1u << (7 - bitpos_));
+        bitpos_ = (bitpos_ + 1) & 7;
+    }
+
+    /** Pad to a byte boundary with zero bits. */
+    void
+    align()
+    {
+        bitpos_ = 0;
+    }
+
+    /** The accumulated bytes. */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    /** Move the accumulated bytes out. */
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    int bitpos_ = 0;
+};
+
+/** MSB-first bit reader over a byte span. */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {}
+
+    /** Read @p nbits bits MSB-first; panics past end of stream. */
+    uint32_t
+    readBits(int nbits)
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < nbits; ++i)
+            v = (v << 1) | readBit();
+        return v;
+    }
+
+    /** Read one bit. */
+    uint32_t
+    readBit()
+    {
+        tamres_assert(bytepos_ < size_, "bitstream overrun");
+        const uint32_t bit =
+            (data_[bytepos_] >> (7 - bitpos_)) & 1u;
+        if (++bitpos_ == 8) {
+            bitpos_ = 0;
+            ++bytepos_;
+        }
+        return bit;
+    }
+
+    /** Bytes consumed so far (rounded up to the current byte). */
+    size_t
+    bytesConsumed() const
+    {
+        return bytepos_ + (bitpos_ ? 1 : 0);
+    }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t bytepos_ = 0;
+    int bitpos_ = 0;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_CODEC_BITSTREAM_HH

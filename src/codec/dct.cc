@@ -1,0 +1,84 @@
+#include "codec/dct.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace tamres {
+
+namespace {
+
+/** Cosine basis: basis[k][n] = c(k) * cos((2n+1)k*pi/16). */
+struct DctTables
+{
+    float basis[8][8];
+
+    DctTables()
+    {
+        for (int k = 0; k < 8; ++k) {
+            const double ck = k == 0 ? std::sqrt(1.0 / 8.0)
+                                     : std::sqrt(2.0 / 8.0);
+            for (int n = 0; n < 8; ++n) {
+                basis[k][n] = static_cast<float>(
+                    ck * std::cos((2 * n + 1) * k * M_PI / 16.0));
+            }
+        }
+    }
+};
+
+const DctTables tables;
+
+} // namespace
+
+void
+forwardDct8x8(const float *in, float *out)
+{
+    float tmp[64];
+    // Rows: tmp[y][k] = sum_x in[y][x] * basis[k][x]
+    for (int y = 0; y < 8; ++y) {
+        for (int k = 0; k < 8; ++k) {
+            float acc = 0.0f;
+            for (int x = 0; x < 8; ++x)
+                acc += in[y * 8 + x] * tables.basis[k][x];
+            tmp[y * 8 + k] = acc;
+        }
+    }
+    // Columns: out[k][x] = sum_y tmp[y][x] * basis[k][y]
+    float result[64];
+    for (int k = 0; k < 8; ++k) {
+        for (int x = 0; x < 8; ++x) {
+            float acc = 0.0f;
+            for (int y = 0; y < 8; ++y)
+                acc += tmp[y * 8 + x] * tables.basis[k][y];
+            result[k * 8 + x] = acc;
+        }
+    }
+    std::memcpy(out, result, sizeof(result));
+}
+
+void
+inverseDct8x8(const float *in, float *out)
+{
+    float tmp[64];
+    // Columns: tmp[y][x] = sum_k in[k][x] * basis[k][y]
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            float acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += in[k * 8 + x] * tables.basis[k][y];
+            tmp[y * 8 + x] = acc;
+        }
+    }
+    // Rows: out[y][x] = sum_k tmp[y][k] * basis[k][x]
+    float result[64];
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            float acc = 0.0f;
+            for (int k = 0; k < 8; ++k)
+                acc += tmp[y * 8 + k] * tables.basis[k][x];
+            result[y * 8 + x] = acc;
+        }
+    }
+    std::memcpy(out, result, sizeof(result));
+}
+
+} // namespace tamres

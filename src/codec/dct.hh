@@ -1,0 +1,22 @@
+/**
+ * @file
+ * 8x8 forward and inverse type-II DCT used by the progressive codec.
+ */
+
+#ifndef TAMRES_CODEC_DCT_HH
+#define TAMRES_CODEC_DCT_HH
+
+namespace tamres {
+
+/**
+ * Forward 8x8 DCT-II (orthonormal). @p in and @p out are row-major
+ * 64-element arrays; they may alias.
+ */
+void forwardDct8x8(const float *in, float *out);
+
+/** Inverse of forwardDct8x8 (DCT-III with orthonormal scaling). */
+void inverseDct8x8(const float *in, float *out);
+
+} // namespace tamres
+
+#endif // TAMRES_CODEC_DCT_HH

@@ -1,0 +1,233 @@
+#include "codec/huffman.hh"
+
+#include <algorithm>
+#include <queue>
+
+namespace tamres {
+
+namespace {
+
+/** Heap node for the initial (unlimited-length) Huffman tree. */
+struct Node
+{
+    uint64_t freq;
+    int index;        //!< into the node pool
+    int left = -1;    //!< pool index, -1 for leaves
+    int right = -1;
+    int symbol = -1;  //!< leaf symbol, -1 for internal
+};
+
+struct NodeCmp
+{
+    bool
+    operator()(const Node &a, const Node &b) const
+    {
+        // Tie-break on index for determinism.
+        return a.freq != b.freq ? a.freq > b.freq : a.index > b.index;
+    }
+};
+
+/** Depth-first code length assignment. */
+void
+assignDepths(const std::vector<Node> &pool, int node, int depth,
+             std::vector<int> &lengths)
+{
+    const Node &n = pool[node];
+    if (n.symbol >= 0) {
+        // A single-symbol alphabet still needs a 1-bit code.
+        lengths[n.symbol] = std::max(depth, 1);
+        return;
+    }
+    assignDepths(pool, n.left, depth + 1, lengths);
+    assignDepths(pool, n.right, depth + 1, lengths);
+}
+
+} // namespace
+
+HuffmanTable
+HuffmanTable::fromFrequencies(const std::vector<uint64_t> &freq)
+{
+    tamres_assert(freq.size() <= 256, "symbol space too large");
+
+    std::vector<Node> pool;
+    std::priority_queue<Node, std::vector<Node>, NodeCmp> heap;
+    for (size_t s = 0; s < freq.size(); ++s) {
+        if (freq[s] == 0)
+            continue;
+        Node n;
+        n.freq = freq[s];
+        n.index = static_cast<int>(pool.size());
+        n.symbol = static_cast<int>(s);
+        pool.push_back(n);
+        heap.push(n);
+    }
+    tamres_assert(!heap.empty(), "at least one symbol must occur");
+
+    while (heap.size() > 1) {
+        Node a = heap.top();
+        heap.pop();
+        Node b = heap.top();
+        heap.pop();
+        Node parent;
+        parent.freq = a.freq + b.freq;
+        parent.index = static_cast<int>(pool.size());
+        parent.left = a.index;
+        parent.right = b.index;
+        pool.push_back(parent);
+        heap.push(parent);
+    }
+
+    std::vector<int> lengths(freq.size(), 0);
+    assignDepths(pool, heap.top().index, 0, lengths);
+
+    // Length-limit to kMaxHuffmanBits: repeatedly move an overlong
+    // leaf's cost onto a shallower sibling (JPEG Annex K.3 flavor,
+    // operating on the length histogram).
+    std::vector<int> hist(64, 0);
+    for (size_t s = 0; s < lengths.size(); ++s)
+        if (lengths[s])
+            ++hist[lengths[s]];
+    for (int l = 63; l > kMaxHuffmanBits; --l) {
+        while (hist[l] > 0) {
+            // Find a leaf at depth j < l-1 to pair with.
+            int j = l - 2;
+            while (j > 0 && hist[j] == 0)
+                --j;
+            tamres_assert(j > 0, "length-limiting failed");
+            // Two leaves at depth l become one at l-1; the donor at j
+            // becomes two at j+1.
+            hist[l] -= 2;
+            hist[l - 1] += 1;
+            hist[j] -= 1;
+            hist[j + 1] += 2;
+        }
+    }
+
+    // Re-derive per-symbol lengths: sort symbols by (original length,
+    // symbol) and deal them into the adjusted histogram shortest-first.
+    std::vector<int> order;
+    for (size_t s = 0; s < lengths.size(); ++s)
+        if (lengths[s])
+            order.push_back(static_cast<int>(s));
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return lengths[a] != lengths[b] ? lengths[a] < lengths[b]
+                                        : a < b;
+    });
+
+    HuffmanTable table;
+    size_t at = 0;
+    for (int l = 1; l <= kMaxHuffmanBits; ++l) {
+        for (int k = 0; k < hist[l]; ++k) {
+            tamres_assert(at < order.size(), "histogram mismatch");
+            const int sym = order[at++];
+            table.lengths_[sym] = static_cast<uint8_t>(l);
+            table.counts_[l]++;
+            table.symbols_.push_back(static_cast<uint8_t>(sym));
+        }
+    }
+    tamres_assert(at == order.size(), "histogram mismatch");
+    table.assignCanonical();
+    return table;
+}
+
+HuffmanTable
+HuffmanTable::fromLengths(const std::vector<uint8_t> &counts,
+                          const std::vector<uint8_t> &symbols)
+{
+    tamres_assert(counts.size() == kMaxHuffmanBits,
+                  "need 16 length counts");
+    HuffmanTable table;
+    size_t total = 0;
+    for (int l = 1; l <= kMaxHuffmanBits; ++l) {
+        table.counts_[l] = counts[l - 1];
+        total += counts[l - 1];
+    }
+    tamres_assert(total == symbols.size() && total > 0,
+                  "symbol count mismatch");
+    table.symbols_ = symbols;
+    size_t at = 0;
+    for (int l = 1; l <= kMaxHuffmanBits; ++l)
+        for (int k = 0; k < table.counts_[l]; ++k)
+            table.lengths_[table.symbols_[at++]] =
+                static_cast<uint8_t>(l);
+    table.assignCanonical();
+    return table;
+}
+
+void
+HuffmanTable::assignCanonical()
+{
+    // Canonical codes: ascending length, then table order.
+    uint32_t code = 0;
+    size_t index = 0;
+    for (int l = 1; l <= kMaxHuffmanBits; ++l) {
+        first_code_[l] = static_cast<int32_t>(code);
+        first_index_[l] = static_cast<int32_t>(index);
+        for (int k = 0; k < counts_[l]; ++k) {
+            const uint8_t sym = symbols_[index++];
+            codes_[sym] = static_cast<uint16_t>(code++);
+        }
+        tamres_assert(code <= (1u << l), "canonical code overflow");
+        code <<= 1;
+    }
+}
+
+void
+HuffmanTable::encode(BitWriter &bw, uint8_t symbol) const
+{
+    const int len = lengths_[symbol];
+    tamres_assert(len > 0, "symbol has no code");
+    bw.writeBits(codes_[symbol], len);
+}
+
+uint8_t
+HuffmanTable::decode(BitReader &br) const
+{
+    int32_t code = 0;
+    for (int l = 1; l <= kMaxHuffmanBits; ++l) {
+        code = (code << 1) | static_cast<int32_t>(br.readBit());
+        const int32_t offset = code - first_code_[l];
+        if (offset >= 0 && offset < counts_[l])
+            return symbols_[first_index_[l] + offset];
+    }
+    panic("invalid Huffman prefix");
+}
+
+void
+HuffmanTable::serialize(BitWriter &bw) const
+{
+    for (int l = 1; l <= kMaxHuffmanBits; ++l)
+        bw.writeBits(counts_[l], 8);
+    for (uint8_t s : symbols_)
+        bw.writeBits(s, 8);
+}
+
+HuffmanTable
+HuffmanTable::deserialize(BitReader &br)
+{
+    std::vector<uint8_t> counts(kMaxHuffmanBits);
+    size_t total = 0;
+    for (int l = 0; l < kMaxHuffmanBits; ++l) {
+        counts[l] = static_cast<uint8_t>(br.readBits(8));
+        total += counts[l];
+    }
+    std::vector<uint8_t> symbols(total);
+    for (size_t i = 0; i < total; ++i)
+        symbols[i] = static_cast<uint8_t>(br.readBits(8));
+    return fromLengths(counts, symbols);
+}
+
+uint64_t
+HuffmanTable::costBits(const std::vector<uint64_t> &freq) const
+{
+    uint64_t bits = 0;
+    for (size_t s = 0; s < freq.size(); ++s) {
+        if (freq[s] == 0)
+            continue;
+        tamres_assert(lengths_[s] > 0, "frequency for uncoded symbol");
+        bits += freq[s] * lengths_[s];
+    }
+    return bits;
+}
+
+} // namespace tamres

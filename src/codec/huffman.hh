@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Canonical Huffman coding for the progressive codec's entropy layer.
+ *
+ * The default entropy layer (progressive.hh) spends a fixed 8 bits per
+ * (run, size) symbol; real progressive JPEG assigns those symbols
+ * variable-length Huffman codes built from per-scan statistics. This
+ * module provides the JPEG-style machinery: code construction from
+ * symbol frequencies with the 16-bit length limit (package-merge-free
+ * "adjust" rebalancing, as in Annex K.3), canonical code assignment,
+ * compact table serialization (length histogram + symbols in canonical
+ * order), and bit-level encode/decode against a BitReader/BitWriter.
+ *
+ * Enabling EntropyCoder::Huffman in ProgressiveConfig roughly halves
+ * scan sizes relative to the fixed-size layer (measured ~2.2-2.3x on
+ * both dataset profiles — bench/ablation_entropy_coder), which
+ * directly tightens the bytes-read axis of the paper's storage
+ * experiments.
+ */
+
+#ifndef TAMRES_CODEC_HUFFMAN_HH
+#define TAMRES_CODEC_HUFFMAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/bitstream.hh"
+
+namespace tamres {
+
+/** Maximum code length, as in JPEG. */
+constexpr int kMaxHuffmanBits = 16;
+
+/** A canonical Huffman code over byte-valued symbols. */
+class HuffmanTable
+{
+  public:
+    HuffmanTable() = default;
+
+    /**
+     * Build a length-limited canonical code from @p freq (one count per
+     * symbol value; zero-frequency symbols get no code). At least one
+     * symbol must have nonzero frequency.
+     */
+    static HuffmanTable fromFrequencies(const std::vector<uint64_t> &freq);
+
+    /**
+     * Reconstruct from the serialized form: @p counts[i] = number of
+     * codes of length i+1 (16 entries), @p symbols in canonical order.
+     */
+    static HuffmanTable fromLengths(const std::vector<uint8_t> &counts,
+                                    const std::vector<uint8_t> &symbols);
+
+    /** Number of coded symbols. */
+    int numSymbols() const { return static_cast<int>(symbols_.size()); }
+
+    /** True when @p symbol has a code. */
+    bool hasCode(uint8_t symbol) const { return lengths_[symbol] != 0; }
+
+    /** Code length in bits for @p symbol (0 when absent). */
+    int codeLength(uint8_t symbol) const { return lengths_[symbol]; }
+
+    /** Append the code for @p symbol; panics when absent. */
+    void encode(BitWriter &bw, uint8_t symbol) const;
+
+    /** Read one symbol; panics on an invalid prefix. */
+    uint8_t decode(BitReader &br) const;
+
+    /**
+     * Serialize: writes the 16-byte length histogram then the symbols
+     * in canonical order (JPEG DHT payload layout).
+     */
+    void serialize(BitWriter &bw) const;
+
+    /** Inverse of serialize(). */
+    static HuffmanTable deserialize(BitReader &br);
+
+    /** Total coded bits for a message with the given frequencies. */
+    uint64_t costBits(const std::vector<uint64_t> &freq) const;
+
+  private:
+    void assignCanonical();
+
+    /** counts_[l] = number of codes with length l (1-based, 16 max). */
+    uint8_t counts_[kMaxHuffmanBits + 1] = {};
+    std::vector<uint8_t> symbols_;        //!< canonical order
+    uint16_t codes_[256] = {};            //!< code bits per symbol
+    uint8_t lengths_[256] = {};           //!< code length per symbol
+    /** Canonical decode acceleration: first code & index per length. */
+    int32_t first_code_[kMaxHuffmanBits + 1] = {};
+    int32_t first_index_[kMaxHuffmanBits + 1] = {};
+};
+
+} // namespace tamres
+
+#endif // TAMRES_CODEC_HUFFMAN_HH

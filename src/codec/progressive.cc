@@ -1,0 +1,755 @@
+#include "codec/progressive.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "codec/bitstream.hh"
+#include "codec/dct.hh"
+#include "codec/huffman.hh"
+#include "image/color.hh"
+
+namespace tamres {
+
+namespace {
+
+/** JPEG Annex-K luminance quantization table, row-major. */
+const int kBaseQuantLuma[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+};
+
+/** JPEG Annex-K chrominance quantization table, row-major. */
+const int kBaseQuantChroma[64] = {
+    17, 18, 24, 47, 99, 99, 99, 99,
+    18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99,
+};
+
+/** Zig-zag order: zz index -> row-major position. */
+struct Zigzag
+{
+    int order[64];
+
+    Zigzag()
+    {
+        int idx = 0;
+        for (int s = 0; s < 15; ++s) {
+            if (s % 2 == 0) {
+                // Walking up-right on even anti-diagonals.
+                for (int y = std::min(s, 7); y >= std::max(0, s - 7); --y)
+                    order[idx++] = y * 8 + (s - y);
+            } else {
+                for (int y = std::max(0, s - 7); y <= std::min(s, 7); ++y)
+                    order[idx++] = y * 8 + (s - y);
+            }
+        }
+    }
+};
+
+const Zigzag zz_tables;
+
+/** Entropy symbols: run in [0,14], size in [0,14]; escapes below. */
+constexpr uint32_t kEobRun = 15;   //!< run=15,size=15: end of band
+constexpr uint32_t kLongZero = 15; //!< run=15,size=0: 15 zeros, no coeff
+
+int
+magnitudeCategory(int v)
+{
+    int a = std::abs(v);
+    int s = 0;
+    while (a) {
+        a >>= 1;
+        ++s;
+    }
+    return s;
+}
+
+/**
+ * JPEG point transform: sign-preserving right shift toward zero, so
+ * pt(-1, 1) == 0 like pt(1, 1) (a plain arithmetic shift would send
+ * -1 to -1 forever).
+ */
+int
+pointTransform(int v, int al)
+{
+    return v >= 0 ? (v >> al) : -((-v) >> al);
+}
+
+/**
+ * Symbol sinks for the band coder. Each provides symbol() for one
+ * (run, size) pair packed as run<<4|size and rawBits() for the
+ * sign/magnitude payload that is stored verbatim under every entropy
+ * layer.
+ */
+struct RawSink
+{
+    BitWriter &bw;
+
+    void symbol(uint8_t s) { bw.writeBits(s, 8); }
+    void rawBits(uint32_t v, int n) { bw.writeBits(v, n); }
+};
+
+struct HuffmanSink
+{
+    BitWriter &bw;
+    const HuffmanTable &table;
+
+    void symbol(uint8_t s) { table.encode(bw, s); }
+    void rawBits(uint32_t v, int n) { bw.writeBits(v, n); }
+};
+
+/** Counting pass used to build per-scan Huffman statistics. */
+struct FreqSink
+{
+    std::vector<uint64_t> &freq;
+
+    void symbol(uint8_t s) { ++freq[s]; }
+    void rawBits(uint32_t, int) {}
+};
+
+/** Symbol sources mirroring the sinks. */
+struct RawSource
+{
+    BitReader &br;
+
+    uint8_t symbol() { return static_cast<uint8_t>(br.readBits(8)); }
+    uint32_t rawBits(int n) { return br.readBits(n); }
+};
+
+struct HuffmanSource
+{
+    BitReader &br;
+    const HuffmanTable &table;
+
+    uint8_t symbol() { return table.decode(br); }
+    uint32_t rawBits(int n) { return br.readBits(n); }
+};
+
+/**
+ * Encode a first (significance) pass over one band of one block.
+ * Coefficients are signed quantized values; each is sent with its low
+ * @p al bits dropped.
+ */
+template <typename Sink>
+void
+encodeBand(Sink &sink, const int *coeffs, int lo, int hi, int al)
+{
+    int run = 0;
+    for (int i = lo; i <= hi; ++i) {
+        const int v = pointTransform(coeffs[i], al);
+        if (v == 0) {
+            ++run;
+            continue;
+        }
+        while (run >= 15) {
+            sink.symbol(static_cast<uint8_t>(kLongZero << 4));
+            run -= 15;
+        }
+        const int size = magnitudeCategory(v);
+        tamres_assert(size >= 1 && size <= 14,
+                      "coefficient magnitude out of range");
+        sink.symbol(static_cast<uint8_t>((run << 4) | size));
+        // Sign bit then size-1 magnitude bits (implicit leading 1).
+        const uint32_t sign = v < 0 ? 1u : 0u;
+        const uint32_t mag = static_cast<uint32_t>(std::abs(v));
+        sink.rawBits((sign << (size - 1)) |
+                         (mag & ((1u << (size - 1)) - 1u)),
+                     size);
+        run = 0;
+    }
+    if (run > 0) {
+        // End-of-band marker (trailing zeros).
+        sink.symbol(static_cast<uint8_t>((kEobRun << 4) | 15));
+    }
+}
+
+/** Decode a first pass of one band into @p coeffs (values << al). */
+template <typename Source>
+void
+decodeBand(Source &src, int *coeffs, int lo, int hi, int al)
+{
+    int i = lo;
+    while (i <= hi) {
+        const uint8_t sym = src.symbol();
+        const uint32_t run = sym >> 4;
+        const uint32_t size = sym & 15u;
+        if (run == kEobRun && size == 15) {
+            // Rest of the band is zero.
+            while (i <= hi)
+                coeffs[i++] = 0;
+            return;
+        }
+        if (run == kLongZero && size == 0) {
+            for (int k = 0; k < 15 && i <= hi; ++k)
+                coeffs[i++] = 0;
+            continue;
+        }
+        for (uint32_t k = 0; k < run && i <= hi; ++k)
+            coeffs[i++] = 0;
+        tamres_assert(i <= hi, "corrupt band: coefficient past band end");
+        const uint32_t payload = src.rawBits(static_cast<int>(size));
+        const uint32_t sign = (payload >> (size - 1)) & 1u;
+        uint32_t mag = (1u << (size - 1)) |
+                       (payload & ((1u << (size - 1)) - 1u));
+        const int v = sign ? -static_cast<int>(mag)
+                           : static_cast<int>(mag);
+        coeffs[i++] = v << al;
+    }
+}
+
+/**
+ * Encode a refinement pass: one extra precision bit for every
+ * coefficient in the band.
+ *
+ * Positions whose coefficient is already significant (nonzero at the
+ * previous bit-plane, i.e. |v| >> (al+1) != 0) contribute a single raw
+ * correction bit, emitted in positional order. Positions still zero
+ * can only become +/-1 at this plane; newly significant ones are coded
+ * with the (run, size=1) symbol machinery counting intervening
+ * still-zero positions, followed by a raw sign bit at the position
+ * itself. An EOB symbol says "no further newly-significant
+ * coefficients in this band" (correction bits keep flowing after it).
+ *
+ * Encoder and decoder walk positions in lock-step, so the stream needs
+ * no explicit interleaving markers.
+ */
+template <typename Sink>
+void
+encodeRefineBand(Sink &sink, const int *coeffs, int lo, int hi, int al)
+{
+    int skip = -1;           //!< still-zero positions left before the
+                             //!< pending event; -1 = no symbol pending
+    bool pending_sig = false;
+    bool after_eob = false;
+    for (int i = lo; i <= hi; ++i) {
+        const int mag = std::abs(coeffs[i]);
+        if ((mag >> (al + 1)) != 0) {
+            // Already significant: raw correction bit.
+            sink.rawBits((mag >> al) & 1u, 1);
+            continue;
+        }
+        if (after_eob)
+            continue;
+        if (skip < 0) {
+            // Look ahead over still-zero positions for the next
+            // newly-significant coefficient.
+            int run = 0;
+            bool found = false;
+            for (int j = i; j <= hi; ++j) {
+                const int m = std::abs(coeffs[j]);
+                if ((m >> (al + 1)) != 0)
+                    continue; // correction position, not counted
+                if ((m >> al) == 1) {
+                    found = true;
+                    break;
+                }
+                ++run;
+            }
+            if (!found) {
+                sink.symbol(static_cast<uint8_t>((kEobRun << 4) | 15));
+                after_eob = true;
+                continue;
+            }
+            if (run >= 15) {
+                sink.symbol(static_cast<uint8_t>(kLongZero << 4));
+                skip = 15;
+            } else {
+                sink.symbol(static_cast<uint8_t>((run << 4) | 1));
+                skip = run;
+                pending_sig = true;
+            }
+        }
+        if (skip > 0) {
+            --skip;
+            if (skip == 0 && !pending_sig)
+                skip = -1; // long-zero exhausted; next needs a symbol
+            continue;
+        }
+        // skip == 0 with a pending significance event: this is it.
+        tamres_assert(pending_sig, "refine encoder state corrupt");
+        sink.rawBits(coeffs[i] < 0 ? 1u : 0u, 1);
+        pending_sig = false;
+        skip = -1;
+    }
+}
+
+/** Decode a refinement pass, updating the reconstruction in place. */
+template <typename Source>
+void
+decodeRefineBand(Source &src, int *coeffs, int lo, int hi, int al)
+{
+    int skip = -1;
+    bool pending_sig = false;
+    bool after_eob = false;
+    for (int i = lo; i <= hi; ++i) {
+        if (coeffs[i] != 0) {
+            // Already significant: read the correction bit.
+            if (src.rawBits(1)) {
+                coeffs[i] += coeffs[i] > 0 ? (1 << al) : -(1 << al);
+            }
+            continue;
+        }
+        if (after_eob)
+            continue;
+        if (skip < 0) {
+            const uint8_t sym = src.symbol();
+            const uint32_t run = sym >> 4;
+            const uint32_t size = sym & 15u;
+            if (run == kEobRun && size == 15) {
+                after_eob = true;
+                continue;
+            }
+            if (run == kLongZero && size == 0) {
+                skip = 15;
+            } else {
+                tamres_assert(size == 1,
+                              "corrupt refinement scan: size %u", size);
+                skip = static_cast<int>(run);
+                pending_sig = true;
+            }
+        }
+        if (skip > 0) {
+            --skip;
+            if (skip == 0 && !pending_sig)
+                skip = -1;
+            continue;
+        }
+        tamres_assert(pending_sig, "refine decoder state corrupt");
+        coeffs[i] = src.rawBits(1) ? -(1 << al) : (1 << al);
+        pending_sig = false;
+        skip = -1;
+    }
+}
+
+/** Per-plane block geometry. */
+struct PlaneGeom
+{
+    int h = 0;       //!< plane height in pixels
+    int w = 0;       //!< plane width in pixels
+    int bh = 0;      //!< blocks per column
+    int bw = 0;      //!< blocks per row
+    bool chroma = false;
+
+    int numBlocks() const { return bh * bw; }
+};
+
+/** Geometry of every coded plane for an image + color mode. */
+std::vector<PlaneGeom>
+planeGeometry(int height, int width, int channels, ColorMode color)
+{
+    std::vector<PlaneGeom> geoms(channels);
+    for (int c = 0; c < channels; ++c) {
+        PlaneGeom &g = geoms[c];
+        const bool sub = color == ColorMode::YCbCr420 && c > 0;
+        g.h = sub ? (height + 1) / 2 : height;
+        g.w = sub ? (width + 1) / 2 : width;
+        g.bh = (g.h + 7) / 8;
+        g.bw = (g.w + 7) / 8;
+        g.chroma = color != ColorMode::Planar && c > 0;
+    }
+    return geoms;
+}
+
+int
+quantStepFor(int zz, int quality, bool chroma)
+{
+    return chroma ? quantStepChroma(zz, quality) : quantStep(zz, quality);
+}
+
+/** Forward transform one plane into quantized zig-zag coefficients. */
+void
+planeToCoeffs(const float *plane, const PlaneGeom &g, int quality,
+              int *out)
+{
+    int block_idx = 0;
+    for (int by = 0; by < g.bh; ++by) {
+        for (int bx = 0; bx < g.bw; ++bx, ++block_idx) {
+            float block[64];
+            for (int y = 0; y < 8; ++y) {
+                const int sy = std::min(by * 8 + y, g.h - 1);
+                for (int x = 0; x < 8; ++x) {
+                    const int sx = std::min(bx * 8 + x, g.w - 1);
+                    // Level shift to be roughly zero-centered.
+                    block[y * 8 + x] =
+                        plane[sy * g.w + sx] * 255.0f - 128.0f;
+                }
+            }
+            float freq[64];
+            forwardDct8x8(block, freq);
+            int *dst = out + static_cast<size_t>(block_idx) * 64;
+            for (int i = 0; i < 64; ++i) {
+                const int q = quantStepFor(i, quality, g.chroma);
+                const float v = freq[zz_tables.order[i]];
+                dst[i] = static_cast<int>(std::lround(v / q));
+            }
+        }
+    }
+}
+
+/** Inverse transform quantized zig-zag coefficients into a plane. */
+void
+coeffsToPlane(const int *coeffs, const PlaneGeom &g, int quality,
+              float *plane)
+{
+    int block_idx = 0;
+    for (int by = 0; by < g.bh; ++by) {
+        for (int bx = 0; bx < g.bw; ++bx, ++block_idx) {
+            const int *in = coeffs + static_cast<size_t>(block_idx) * 64;
+            float freq[64] = {};
+            for (int i = 0; i < 64; ++i) {
+                if (in[i] == 0)
+                    continue;
+                const int q = quantStepFor(i, quality, g.chroma);
+                freq[zz_tables.order[i]] = static_cast<float>(in[i]) * q;
+            }
+            float block[64];
+            inverseDct8x8(freq, block);
+            for (int y = 0; y < 8; ++y) {
+                const int dy = by * 8 + y;
+                if (dy >= g.h)
+                    break;
+                for (int x = 0; x < 8; ++x) {
+                    const int dx = bx * 8 + x;
+                    if (dx >= g.w)
+                        break;
+                    plane[dy * g.w + dx] =
+                        (block[y * 8 + x] + 128.0f) / 255.0f;
+                }
+            }
+        }
+    }
+}
+
+/** Run one scan over every block of every plane through @p sink. */
+template <typename Sink>
+void
+scanEncodePass(Sink &sink, const ScanBand &scan,
+               const std::vector<std::vector<int>> &coeffs)
+{
+    for (const auto &plane : coeffs) {
+        const int nblocks = static_cast<int>(plane.size() / 64);
+        for (int b = 0; b < nblocks; ++b) {
+            const int *block = plane.data() +
+                               static_cast<size_t>(b) * 64;
+            if (scan.refinement)
+                encodeRefineBand(sink, block, scan.lo, scan.hi, scan.al);
+            else
+                encodeBand(sink, block, scan.lo, scan.hi, scan.al);
+        }
+    }
+}
+
+template <typename Source>
+void
+scanDecodePass(Source &src, const ScanBand &scan,
+               std::vector<std::vector<int>> &coeffs)
+{
+    for (auto &plane : coeffs) {
+        const int nblocks = static_cast<int>(plane.size() / 64);
+        for (int b = 0; b < nblocks; ++b) {
+            int *block = plane.data() + static_cast<size_t>(b) * 64;
+            if (scan.refinement)
+                decodeRefineBand(src, block, scan.lo, scan.hi, scan.al);
+            else
+                decodeBand(src, block, scan.lo, scan.hi, scan.al);
+        }
+    }
+}
+
+} // namespace
+
+const char *
+entropyCoderName(EntropyCoder coder)
+{
+    switch (coder) {
+      case EntropyCoder::RunLength: return "runlength";
+      case EntropyCoder::Huffman: return "huffman";
+    }
+    return "?";
+}
+
+const char *
+colorModeName(ColorMode mode)
+{
+    switch (mode) {
+      case ColorMode::Planar: return "planar";
+      case ColorMode::YCbCr: return "ycbcr";
+      case ColorMode::YCbCr420: return "ycbcr420";
+    }
+    return "?";
+}
+
+bool
+scanScriptValid(const std::vector<ScanBand> &scans, std::string *why)
+{
+    auto fail = [why](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (scans.empty())
+        return fail("scan script must be non-empty");
+    // Per-coefficient successive-approximation state; -2 = unsent.
+    int state[64];
+    std::fill(std::begin(state), std::end(state), -2);
+    for (size_t s = 0; s < scans.size(); ++s) {
+        const ScanBand &b = scans[s];
+        if (b.lo < 0 || b.hi > 63 || b.lo > b.hi) {
+            return fail("scan " + std::to_string(s) +
+                        ": band outside [0, 63]");
+        }
+        if (b.al < 0 || b.al > 13) {
+            return fail("scan " + std::to_string(s) +
+                        ": al outside [0, 13]");
+        }
+        for (int i = b.lo; i <= b.hi; ++i) {
+            if (!b.refinement) {
+                if (state[i] != -2) {
+                    return fail("scan " + std::to_string(s) +
+                                ": coefficient " + std::to_string(i) +
+                                " sent by two first passes");
+                }
+            } else {
+                if (state[i] == -2) {
+                    return fail("scan " + std::to_string(s) +
+                                ": refinement of unsent coefficient " +
+                                std::to_string(i));
+                }
+                if (state[i] != b.al + 1) {
+                    return fail("scan " + std::to_string(s) +
+                                ": refinement al " +
+                                std::to_string(b.al) +
+                                " does not follow al " +
+                                std::to_string(state[i]));
+                }
+            }
+            state[i] = b.al;
+        }
+    }
+    for (int i = 0; i < 64; ++i) {
+        if (state[i] != 0) {
+            return fail("coefficient " + std::to_string(i) +
+                        (state[i] == -2 ? " never sent"
+                                        : " not refined to al 0"));
+        }
+    }
+    return true;
+}
+
+std::vector<ScanBand>
+ProgressiveConfig::defaultScans()
+{
+    // DC first, then rising-frequency AC bands (mirrors Fig. 2's five
+    // scans).
+    return {{0, 0}, {1, 5}, {6, 14}, {15, 27}, {28, 63}};
+}
+
+std::vector<ScanBand>
+ProgressiveConfig::successiveScans()
+{
+    // Spectral selection + successive approximation: DC exact, low AC
+    // at half precision, the rest at quarter precision, then bit-plane
+    // refinements. Early prefixes carry full spatial coverage at a
+    // fraction of the bytes.
+    return {
+        {0, 0, 0, false},
+        {1, 5, 1, false},
+        {6, 63, 2, false},
+        {6, 63, 1, true},
+        {1, 5, 0, true},
+        {6, 63, 0, true},
+    };
+}
+
+const int *
+zigzagOrder()
+{
+    return zz_tables.order;
+}
+
+namespace {
+
+int
+scaledQuant(const int *base, int zz, int quality)
+{
+    tamres_assert(zz >= 0 && zz < 64, "zigzag index out of range");
+    tamres_assert(quality >= 1 && quality <= 100, "quality out of range");
+    // libjpeg-style quality scaling.
+    const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+    const int b = base[zz_tables.order[zz]];
+    return std::clamp((b * scale + 50) / 100, 1, 32767);
+}
+
+} // namespace
+
+int
+quantStep(int zz, int quality)
+{
+    return scaledQuant(kBaseQuantLuma, zz, quality);
+}
+
+int
+quantStepChroma(int zz, int quality)
+{
+    return scaledQuant(kBaseQuantChroma, zz, quality);
+}
+
+EncodedImage
+encodeProgressive(const Image &img, const ProgressiveConfig &config)
+{
+    tamres_assert(!img.empty(), "cannot encode an empty image");
+    std::string why;
+    tamres_assert(scanScriptValid(config.scans, &why),
+                  "invalid scan script: %s", why.c_str());
+    tamres_assert(config.color == ColorMode::Planar ||
+                      img.channels() == 3,
+                  "YCbCr color modes require 3 channels, got %d",
+                  img.channels());
+
+    const int h = img.height();
+    const int w = img.width();
+    const auto geoms = planeGeometry(h, w, img.channels(), config.color);
+
+    // Build the planes actually coded (possibly converted/subsampled).
+    const Image *src = &img;
+    Image ycc;
+    if (config.color != ColorMode::Planar) {
+        ycc = rgbToYcbcr(img);
+        src = &ycc;
+    }
+
+    // Quantized coefficients per plane, blocks in row-major order,
+    // each block 64 zig-zag values.
+    std::vector<std::vector<int>> coeffs(img.channels());
+    for (int c = 0; c < img.channels(); ++c) {
+        const PlaneGeom &g = geoms[c];
+        coeffs[c].resize(static_cast<size_t>(g.numBlocks()) * 64);
+        if (config.color == ColorMode::YCbCr420 && c > 0) {
+            Image chroma(src->height(), src->width(), 1);
+            std::memcpy(chroma.plane(0), src->plane(c),
+                        sizeof(float) * chroma.numel());
+            const Image sub = downsamplePlane2x2(chroma);
+            tamres_assert(sub.height() == g.h && sub.width() == g.w,
+                          "chroma geometry mismatch");
+            planeToCoeffs(sub.plane(0), g, config.quality,
+                          coeffs[c].data());
+        } else {
+            planeToCoeffs(src->plane(c), g, config.quality,
+                          coeffs[c].data());
+        }
+    }
+
+    EncodedImage enc;
+    enc.height = h;
+    enc.width = w;
+    enc.channels = img.channels();
+    enc.quality = config.quality;
+    enc.entropy = config.entropy;
+    enc.color = config.color;
+    enc.scans = config.scans;
+    enc.scan_offsets.push_back(0);
+
+    for (const auto &scan : config.scans) {
+        BitWriter bw_scan;
+        if (config.entropy == EntropyCoder::RunLength) {
+            RawSink sink{bw_scan};
+            scanEncodePass(sink, scan, coeffs);
+        } else {
+            // Pass 1: per-scan symbol statistics.
+            std::vector<uint64_t> freq(256, 0);
+            FreqSink counter{freq};
+            scanEncodePass(counter, scan, coeffs);
+            if (std::all_of(freq.begin(), freq.end(),
+                            [](uint64_t f) { return f == 0; })) {
+                // Refinement scans of all-significant bands emit raw
+                // bits only; give the table a dummy symbol.
+                freq[0] = 1;
+            }
+            // Pass 2: serialized table, then Huffman-coded payload.
+            const HuffmanTable table =
+                HuffmanTable::fromFrequencies(freq);
+            table.serialize(bw_scan);
+            HuffmanSink sink{bw_scan, table};
+            scanEncodePass(sink, scan, coeffs);
+        }
+        auto bytes = bw_scan.take();
+        enc.bytes.insert(enc.bytes.end(), bytes.begin(), bytes.end());
+        enc.scan_offsets.push_back(enc.bytes.size());
+    }
+    return enc;
+}
+
+Image
+decodeProgressive(const EncodedImage &enc, int num_scans)
+{
+    tamres_assert(num_scans >= 0 && num_scans <= enc.numScans(),
+                  "scan count out of range");
+    tamres_assert(enc.scan_offsets.size() ==
+                      static_cast<size_t>(enc.numScans()) + 1,
+                  "corrupt scan offset table");
+    // A truncated or vandalized byte buffer must fail here, not as an
+    // out-of-bounds read inside the bit reader.
+    tamres_assert(enc.scan_offsets[num_scans] <= enc.bytes.size(),
+                  "encoded stream truncated: scan %d needs %zu bytes, "
+                  "have %zu", num_scans,
+                  enc.scan_offsets[num_scans], enc.bytes.size());
+    const int h = enc.height;
+    const int w = enc.width;
+    const auto geoms = planeGeometry(h, w, enc.channels, enc.color);
+
+    std::vector<std::vector<int>> coeffs(enc.channels);
+    for (int c = 0; c < enc.channels; ++c) {
+        coeffs[c].assign(static_cast<size_t>(geoms[c].numBlocks()) * 64,
+                         0);
+    }
+
+    for (int s = 0; s < num_scans; ++s) {
+        const size_t begin = enc.scan_offsets[s];
+        const size_t end = enc.scan_offsets[s + 1];
+        BitReader br(enc.bytes.data() + begin, end - begin);
+        if (enc.entropy == EntropyCoder::RunLength) {
+            RawSource src{br};
+            scanDecodePass(src, enc.scans[s], coeffs);
+        } else {
+            const HuffmanTable table = HuffmanTable::deserialize(br);
+            HuffmanSource src{br, table};
+            scanDecodePass(src, enc.scans[s], coeffs);
+        }
+    }
+
+    // Reconstruct the coded planes.
+    Image coded(h, w, enc.channels);
+    for (int c = 0; c < enc.channels; ++c) {
+        const PlaneGeom &g = geoms[c];
+        if (g.h == h && g.w == w) {
+            coeffsToPlane(coeffs[c].data(), g, enc.quality,
+                          coded.plane(c));
+        } else {
+            Image sub(g.h, g.w, 1);
+            coeffsToPlane(coeffs[c].data(), g, enc.quality,
+                          sub.plane(0));
+            const Image up = upsamplePlane2x(sub, h, w);
+            std::memcpy(coded.plane(c), up.plane(0),
+                        sizeof(float) * static_cast<size_t>(h) * w);
+        }
+    }
+
+    Image img = enc.color == ColorMode::Planar ? std::move(coded)
+                                               : ycbcrToRgb(coded);
+    img.clamp01();
+    return img;
+}
+
+} // namespace tamres

@@ -1,0 +1,70 @@
+#include "core/calibration.hh"
+
+namespace tamres {
+
+PolicyEval
+evaluateThreshold(const QualityTable &table,
+                  const SyntheticDataset &dataset,
+                  const BackboneAccuracyModel &model, int res_idx,
+                  double threshold, double crop_area,
+                  const EvalPopulation &pop)
+{
+    const int num_res = static_cast<int>(table.resolutions().size());
+    const int resolution = table.resolutions()[res_idx];
+    const int n_tab = table.numImages();
+
+    PolicyEval eval;
+    int correct_full = 0;
+    int correct_policy = 0;
+    double read = 0.0;
+    const int n = pop.dataset ? pop.count : n_tab;
+    for (int i = 0; i < n; ++i) {
+        const int t = i % n_tab;
+        const ImageRecord &rec =
+            pop.dataset ? pop.dataset->record(i)
+                        : dataset.record(table.recordIndex(t));
+        if (model.correct(rec, crop_area, resolution, 1.0))
+            ++correct_full;
+        const int scans = table.scansForThreshold(t, res_idx, threshold);
+        const double q = table.entry(t).ssimAt(scans, res_idx, num_res);
+        if (model.correct(rec, crop_area, resolution, q))
+            ++correct_policy;
+        read += table.entry(t).read_fraction[scans];
+    }
+    eval.accuracy_full = static_cast<double>(correct_full) / n;
+    eval.accuracy_policy = static_cast<double>(correct_policy) / n;
+    eval.read_fraction = read / n;
+    return eval;
+}
+
+StoragePolicy
+calibrate(const QualityTable &table, const SyntheticDataset &dataset,
+          const BackboneAccuracyModel &model,
+          const CalibrationOptions &opts, const EvalPopulation &pop)
+{
+    StoragePolicy policy;
+    policy.resolutions = table.resolutions();
+    const int num_res = static_cast<int>(policy.resolutions.size());
+    for (int r = 0; r < num_res; ++r) {
+        // Binary search the minimal feasible threshold. Lower
+        // thresholds read less but can violate the accuracy target;
+        // the interval invariant keeps `hi` feasible.
+        double lo = opts.ssim_lo;
+        double hi = opts.ssim_hi;
+        while (hi - lo > opts.min_step) {
+            const double mid = 0.5 * (lo + hi);
+            const PolicyEval eval = evaluateThreshold(
+                table, dataset, model, r, mid, opts.crop_area, pop);
+            const double loss =
+                eval.accuracy_full - eval.accuracy_policy;
+            if (loss <= opts.max_accuracy_loss)
+                hi = mid;
+            else
+                lo = mid;
+        }
+        policy.thresholds.push_back(hi);
+    }
+    return policy;
+}
+
+} // namespace tamres

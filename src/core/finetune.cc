@@ -1,0 +1,41 @@
+#include "core/finetune.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+double
+meanApparentScalePx(const SyntheticDataset &dataset, int first, int last,
+                    double crop_area, int resolution, double f_cap)
+{
+    tamres_assert(first >= 0 && last <= dataset.size() && first < last,
+                  "bad dataset slice");
+    tamres_assert(crop_area > 0.0 && crop_area <= 1.0,
+                  "crop area fraction must be in (0, 1]");
+    const double side_frac = std::sqrt(crop_area);
+    double acc = 0.0;
+    for (int i = first; i < last; ++i) {
+        const double f_eff =
+            dataset.record(i).object_scale / side_frac;
+        acc += resolution * std::min(f_eff, f_cap);
+    }
+    return acc / (last - first);
+}
+
+BackboneAccuracyModel
+fineTunedBackbone(BackboneArch arch, const SyntheticDataset &dataset,
+                  uint64_t model_seed, int first, int last,
+                  double assumed_crop_area, int assumed_resolution)
+{
+    BackboneAccuracyModel model(arch, dataset.spec(), model_seed);
+    const double s_px = meanApparentScalePx(
+        dataset, first, last, assumed_crop_area, assumed_resolution,
+        model.params().f_cap);
+    model.fineTuneToScale(s_px);
+    return model;
+}
+
+} // namespace tamres

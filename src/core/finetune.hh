@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The fine-tuning baseline (Touvron et al. [31]) the paper positions
+ * dynamic resolution against.
+ *
+ * "Fixing the train-test resolution discrepancy" fine-tunes a trained
+ * backbone for the object-scale distribution expected at test time;
+ * with the scale matched, accuracy at the target (crop, resolution)
+ * recovers. Its weakness — the one the paper's Section VII-b exploits
+ * — is that the test crop must be *known in advance*: a backbone
+ * fine-tuned for a 75% crop loses accuracy when requests arrive
+ * cropped at 25%.
+ *
+ * In our calibrated accuracy model, fine-tuning is a shift of the
+ * backbone's preferred apparent object size s*: we estimate the mean
+ * apparent size (in pixels) a dataset sample presents at the assumed
+ * (crop, resolution) and move s* there. bench/finetune_vs_dynamic
+ * reproduces the paper's claim: dynamic resolution matches the
+ * fine-tuned model where the assumption holds and degrades far more
+ * gracefully where it does not.
+ */
+
+#ifndef TAMRES_CORE_FINETUNE_HH
+#define TAMRES_CORE_FINETUNE_HH
+
+#include "sim/accuracy_model.hh"
+#include "sim/dataset.hh"
+
+namespace tamres {
+
+/**
+ * Mean apparent object size in pixels that records [first, last) of
+ * @p dataset present at the given center-crop fraction and inference
+ * resolution. @p f_cap saturates the apparent-scale gain of cropping
+ * (objects clipped by the crop stop growing), mirroring the accuracy
+ * model's cap.
+ */
+double meanApparentScalePx(const SyntheticDataset &dataset, int first,
+                           int last, double crop_area, int resolution,
+                           double f_cap = 1.25);
+
+/**
+ * A backbone fine-tuned for the scale distribution of @p dataset at
+ * an assumed (crop, resolution): same architecture/seed as a vanilla
+ * backbone, preferred scale shifted per meanApparentScalePx.
+ */
+BackboneAccuracyModel fineTunedBackbone(BackboneArch arch,
+                                        const SyntheticDataset &dataset,
+                                        uint64_t model_seed, int first,
+                                        int last,
+                                        double assumed_crop_area,
+                                        int assumed_resolution);
+
+} // namespace tamres
+
+#endif // TAMRES_CORE_FINETUNE_HH

@@ -1,0 +1,362 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "image/metrics.hh"
+
+namespace tamres {
+
+const std::vector<int> &
+paperResolutions()
+{
+    static const std::vector<int> res = {112, 168, 224, 280, 336, 392,
+                                         448};
+    return res;
+}
+
+double
+backboneGflops(BackboneArch arch, int resolution)
+{
+    // Graphs are expensive to build; cache per (arch, resolution).
+    static std::map<std::pair<int, int>, double> cache;
+    static std::unique_ptr<Graph> rn18, rn50;
+    const auto key = std::make_pair(static_cast<int>(arch), resolution);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    Graph *g = nullptr;
+    if (arch == BackboneArch::ResNet18) {
+        if (!rn18)
+            rn18 = buildResNet18();
+        g = rn18.get();
+    } else {
+        if (!rn50)
+            rn50 = buildResNet50();
+        g = rn50.get();
+    }
+    const double gf =
+        static_cast<double>(g->flops({1, 3, resolution, resolution})) /
+        1e9;
+    cache[key] = gf;
+    return gf;
+}
+
+double
+scaleModelGflops()
+{
+    static double cached = -1.0;
+    if (cached < 0) {
+        auto mbv2 = buildMobileNetV2();
+        cached = static_cast<double>(mbv2->flops({1, 3, 112, 112})) / 1e9;
+    }
+    return cached;
+}
+
+PipelineResult
+evalStatic(const SyntheticDataset &dataset, int first, int last,
+           const BackboneAccuracyModel &model, int resolution,
+           double crop_area)
+{
+    PipelineResult res;
+    int correct = 0;
+    for (int i = first; i < last; ++i) {
+        if (model.correct(dataset.record(i), crop_area, resolution, 1.0))
+            ++correct;
+    }
+    const int n = last - first;
+    res.accuracy = static_cast<double>(correct) / n;
+    res.mean_gflops = backboneGflops(model.arch(), resolution);
+    res.mean_read_fraction = 1.0;
+    return res;
+}
+
+PipelineResult
+evalDynamic(const SyntheticDataset &dataset, int first, int last,
+            const BackboneAccuracyModel &model, const ScaleModel &scale,
+            double crop_area, int preview_side,
+            std::vector<int> *chosen_hist)
+{
+    const auto &resolutions = scale.resolutions();
+    if (chosen_hist)
+        chosen_hist->assign(resolutions.size(), 0);
+    PipelineResult res;
+    int correct = 0;
+    double gflops = 0.0;
+    for (int i = first; i < last; ++i) {
+        const Image full = dataset.renderAt(i, preview_side);
+        const Image cropped = centerCropFraction(full, crop_area);
+        const Image preview = resize(cropped, scale.options().input_res,
+                                     scale.options().input_res);
+        const int r_idx = scale.chooseResolutionIndex(preview);
+        const int r = resolutions[r_idx];
+        if (chosen_hist)
+            ++(*chosen_hist)[r_idx];
+        if (model.correct(dataset.record(i), crop_area, r, 1.0))
+            ++correct;
+        gflops += backboneGflops(model.arch(), r) + scaleModelGflops();
+    }
+    const int n = last - first;
+    res.accuracy = static_cast<double>(correct) / n;
+    res.mean_gflops = gflops / n;
+    res.mean_read_fraction = 1.0;
+    return res;
+}
+
+StorageRow
+evalStaticStorage(const QualityTable &table,
+                  const SyntheticDataset &dataset,
+                  const BackboneAccuracyModel &model, int res_idx,
+                  const StoragePolicy &policy, double crop_area,
+                  const EvalPopulation &pop)
+{
+    const PolicyEval eval =
+        evaluateThreshold(table, dataset, model, res_idx,
+                          policy.thresholdFor(res_idx), crop_area, pop);
+    StorageRow row;
+    row.accuracy_default = eval.accuracy_full;
+    row.accuracy_calibrated = eval.accuracy_policy;
+    row.read_fraction = eval.read_fraction;
+    return row;
+}
+
+StorageRow
+evalDynamicStorage(const QualityTable &table,
+                   const SyntheticDataset &dataset,
+                   const BackboneAccuracyModel &model,
+                   const ScaleModel &scale, const StoragePolicy &policy,
+                   double crop_area, const EvalPopulation &pop,
+                   int preview_scans)
+{
+    const auto &resolutions = table.resolutions();
+    const int num_res = static_cast<int>(resolutions.size());
+
+    // The preview resolution (112) must be part of the grid: the scale
+    // model reads it first, so its scans lower-bound every read.
+    int idx112 = 0;
+    for (int r = 0; r < num_res; ++r) {
+        if (resolutions[r] <= resolutions[idx112])
+            idx112 = r;
+    }
+
+    ProgressiveConfig cfg;
+    cfg.quality = dataset.spec().encode_quality;
+
+    // Phase 1: run the real preview -> scale-model flow once per
+    // measured table image, recording the chosen resolution and the
+    // total scans the calibrated policy demands.
+    struct Decision
+    {
+        int r_idx;
+        int k_total;
+        double f_eff; //!< apparent scale driving the choice
+    };
+    const int n_tab = table.numImages();
+    std::vector<Decision> decisions;
+    decisions.reserve(n_tab);
+    const double side_frac = std::sqrt(crop_area);
+    for (int i = 0; i < n_tab; ++i) {
+        const int rec_idx = table.recordIndex(i);
+
+        // First fetch: scans the calibrated policy wants for the
+        // preview resolution — or the explicitly calibrated preview
+        // depth when the Section VII-b extension is active.
+        const int k112 =
+            preview_scans > 0
+                ? std::min(preview_scans, table.numScans())
+                : table.scansForThreshold(
+                      i, idx112, policy.thresholdFor(idx112));
+
+        // Decode the actual preview the scale model would see.
+        const Image stored = dataset.render(rec_idx);
+        const EncodedImage enc = encodeProgressive(stored, cfg);
+        const Image preview_full = decodeProgressive(enc, k112);
+        const Image cropped =
+            centerCropFraction(preview_full, crop_area);
+        const Image preview = resize(
+            cropped, scale.options().input_res,
+            scale.options().input_res);
+
+        const int r_idx = scale.chooseResolutionIndex(preview);
+
+        // Second (incremental) fetch, only if the chosen resolution
+        // needs more scans than already read.
+        const int k_r = table.scansForThreshold(
+            i, r_idx, policy.thresholdFor(r_idx));
+        decisions.push_back(
+            {r_idx, std::max(k112, k_r),
+             dataset.record(rec_idx).object_scale / side_frac});
+    }
+
+    // Phase 2: score. Without a population, score the table images
+    // directly. With one, transfer each population record to the
+    // measured decision of the table image with the closest apparent
+    // scale — the signal the preview-based choice is driven by — so
+    // the dynamic row is sampled consistently with the static rows.
+    StorageRow row;
+    int correct_default = 0;
+    int correct_policy = 0;
+    double read = 0.0;
+    const int n = pop.dataset ? pop.count : n_tab;
+    for (int i = 0; i < n; ++i) {
+        const ImageRecord &rec =
+            pop.dataset ? pop.dataset->record(i)
+                        : dataset.record(table.recordIndex(i % n_tab));
+        int t = i % n_tab;
+        if (pop.dataset) {
+            const double f_eff = rec.object_scale / side_frac;
+            double best = 1e30;
+            for (int j = 0; j < n_tab; ++j) {
+                const double d = std::abs(decisions[j].f_eff - f_eff);
+                if (d < best) {
+                    best = d;
+                    t = j;
+                }
+            }
+        }
+        const Decision &d = decisions[t];
+        const int r = resolutions[d.r_idx];
+        const double q =
+            table.entry(t).ssimAt(d.k_total, d.r_idx, num_res);
+        if (model.correct(rec, crop_area, r, 1.0))
+            ++correct_default;
+        if (model.correct(rec, crop_area, r, q))
+            ++correct_policy;
+        read += table.entry(t).read_fraction[d.k_total];
+    }
+    row.accuracy_default = static_cast<double>(correct_default) / n;
+    row.accuracy_calibrated = static_cast<double>(correct_policy) / n;
+    row.read_fraction = read / n;
+    return row;
+}
+
+std::vector<double>
+previewAgreementByDepth(const QualityTable &table,
+                        const SyntheticDataset &dataset,
+                        const ScaleModel &scale, double crop_area)
+{
+    const int n_tab = table.numImages();
+    tamres_assert(n_tab > 0, "empty quality table");
+
+    ProgressiveConfig cfg;
+    cfg.quality = dataset.spec().encode_quality;
+    const int num_scans = table.numScans();
+    const int side = scale.options().input_res;
+
+    // Decisions per (depth, image); each image rendered and encoded
+    // once.
+    std::vector<std::vector<int>> choices(
+        num_scans + 1, std::vector<int>(n_tab, -1));
+    for (int i = 0; i < n_tab; ++i) {
+        const Image stored = dataset.render(table.recordIndex(i));
+        const EncodedImage enc = encodeProgressive(stored, cfg);
+        for (int k = 1; k <= num_scans; ++k) {
+            const Image decoded = decodeProgressive(enc, k);
+            const Image cropped =
+                centerCropFraction(decoded, crop_area);
+            const Image preview = resize(cropped, side, side);
+            choices[k][i] = scale.chooseResolutionIndex(preview);
+        }
+    }
+    std::vector<double> agreement(num_scans);
+    for (int k = 1; k <= num_scans; ++k) {
+        int agree = 0;
+        for (int i = 0; i < n_tab; ++i)
+            if (choices[k][i] == choices[num_scans][i])
+                ++agree;
+        agreement[k - 1] = static_cast<double>(agree) / n_tab;
+    }
+    return agreement;
+}
+
+PreviewPolicy
+calibratePreviewScans(const QualityTable &table,
+                      const SyntheticDataset &dataset,
+                      const ScaleModel &scale, double crop_area,
+                      double min_agreement)
+{
+    tamres_assert(min_agreement > 0.0 && min_agreement <= 1.0,
+                  "agreement target must be in (0, 1]");
+    const std::vector<double> agreement =
+        previewAgreementByDepth(table, dataset, scale, crop_area);
+
+    PreviewPolicy policy;
+    policy.scans = table.numScans();
+    for (size_t k = 0; k < agreement.size(); ++k) {
+        if (agreement[k] >= min_agreement) {
+            policy.scans = static_cast<int>(k) + 1;
+            policy.agreement = agreement[k];
+            break;
+        }
+    }
+    return policy;
+}
+
+// ---------------------------------------------------------------------
+// DynamicPipeline
+// ---------------------------------------------------------------------
+
+DynamicPipeline::DynamicPipeline(ObjectStore &store,
+                                 const ScaleModel &scale, Config config)
+    : store_(store), scale_(scale), config_(std::move(config))
+{
+    tamres_assert(!config_.resolutions.empty(),
+                  "pipeline needs candidate resolutions");
+    tamres_assert(config_.resolutions.size() ==
+                      config_.policy.thresholds.size(),
+                  "policy must cover every resolution");
+}
+
+void
+DynamicPipeline::setCropArea(double crop_area)
+{
+    tamres_assert(crop_area > 0.0 && crop_area <= 1.0,
+                  "crop area out of range");
+    config_.crop_area = crop_area;
+}
+
+DynamicPipeline::Decision
+DynamicPipeline::process(uint64_t id)
+{
+    const EncodedImage &enc = store_.peek(id);
+    const int preview_scans =
+        std::min(config_.preview_scans, enc.numScans());
+
+    // Fetch + decode the preview, run the scale model.
+    Image preview_full = store_.readScans(id, preview_scans);
+    const Image preview = resize(
+        centerCropFraction(preview_full, config_.crop_area),
+        scale_.options().input_res, scale_.options().input_res);
+    const int r_idx = scale_.chooseResolutionIndex(preview);
+    const int resolution = config_.resolutions[r_idx];
+
+    // Incrementally fetch scans until quality converges at the chosen
+    // resolution: stop when one more scan no longer moves the decoded
+    // image past the calibrated SSIM threshold (a deployable,
+    // reference-free variant of the calibration rule — the offline
+    // tables use the true reference instead).
+    const double threshold = config_.policy.thresholdFor(r_idx);
+    int scans = preview_scans;
+    Image current = preview_full;
+    while (scans < enc.numScans()) {
+        Image next =
+            store_.readAdditionalScans(id, scans, scans + 1);
+        ++scans;
+        const Image a = resize(current, resolution, resolution);
+        const Image b = resize(next, resolution, resolution);
+        current = std::move(next);
+        if (ssim(a, b) >= threshold)
+            break; // the refinement no longer changes the input
+    }
+
+    Decision d;
+    d.resolution = resolution;
+    d.scans_read = scans;
+    d.bytes_read = enc.bytesForScans(scans);
+    d.input = resize(centerCropFraction(current, config_.crop_area),
+                     resolution, resolution);
+    return d;
+}
+
+} // namespace tamres

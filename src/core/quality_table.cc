@@ -1,0 +1,83 @@
+#include "core/quality_table.hh"
+
+#include "image/metrics.hh"
+
+namespace tamres {
+
+QualityTable::QualityTable(const SyntheticDataset &dataset, int first,
+                           int last, std::vector<int> resolutions)
+    : QualityTable(dataset, first, last, std::move(resolutions),
+                   [&dataset] {
+                       ProgressiveConfig cfg;
+                       cfg.quality = dataset.spec().encode_quality;
+                       return cfg;
+                   }())
+{}
+
+QualityTable::QualityTable(const SyntheticDataset &dataset, int first,
+                           int last, std::vector<int> resolutions,
+                           const ProgressiveConfig &cfg)
+    : first_(first), resolutions_(std::move(resolutions))
+{
+    tamres_assert(first >= 0 && last <= dataset.size() && first < last,
+                  "invalid quality-table range");
+    tamres_assert(!resolutions_.empty(), "no resolutions given");
+
+    const int num_res = static_cast<int>(resolutions_.size());
+    num_scans_ = static_cast<int>(cfg.scans.size());
+
+    entries_.reserve(last - first);
+    for (int i = first; i < last; ++i) {
+        const Image full = dataset.render(i);
+        const EncodedImage enc = encodeProgressive(full, cfg);
+
+        ImageQuality q;
+        q.id = dataset.record(i).id;
+        q.num_scans = num_scans_;
+        q.read_fraction.resize(num_scans_ + 1);
+        q.ssim.resize(static_cast<size_t>(num_scans_ + 1) * num_res);
+
+        // Reference: the full decode (what "reading everything" gives),
+        // resized per resolution.
+        const Image full_dec = decodeProgressive(enc);
+        std::vector<Image> full_at_res;
+        full_at_res.reserve(num_res);
+        for (int r : resolutions_)
+            full_at_res.push_back(resize(full_dec, r, r));
+
+        for (int k = 0; k <= num_scans_; ++k) {
+            q.read_fraction[k] =
+                static_cast<double>(enc.bytesForScans(k)) /
+                static_cast<double>(enc.totalBytes());
+            if (k == num_scans_) {
+                for (int r = 0; r < num_res; ++r)
+                    q.ssim[static_cast<size_t>(k) * num_res + r] = 1.0;
+                continue;
+            }
+            const Image partial = decodeProgressive(enc, k);
+            for (int r = 0; r < num_res; ++r) {
+                const Image partial_r =
+                    resize(partial, resolutions_[r], resolutions_[r]);
+                q.ssim[static_cast<size_t>(k) * num_res + r] =
+                    ssim(partial_r, full_at_res[r]);
+            }
+        }
+        entries_.push_back(std::move(q));
+    }
+}
+
+int
+QualityTable::scansForThreshold(int i, int res_idx,
+                                double threshold) const
+{
+    const ImageQuality &q = entry(i);
+    for (int k = 0; k <= q.num_scans; ++k) {
+        if (q.ssimAt(k, res_idx, static_cast<int>(resolutions_.size())) >=
+            threshold) {
+            return k;
+        }
+    }
+    return q.num_scans;
+}
+
+} // namespace tamres

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The scale model (paper Section IV): a lightweight learned predictor
+ * that, given a low-resolution preview of an image, predicts for each
+ * candidate inference resolution whether the backbone would classify
+ * the image correctly, and picks the most promising resolution.
+ *
+ * Training follows the paper exactly:
+ *  - multilabel objective, binary cross-entropy per resolution;
+ *  - Figure-5 cross-validation sharding: K backbone instances are
+ *    "trained" on disjoint shards, and each training image is labeled
+ *    by the backbone that has NOT seen its shard;
+ *  - the preview is low resolution (default 112), so the model is
+ *    cheap relative to the backbone.
+ *
+ * Two predictor variants are provided:
+ *  - Mlp (default): engineered multi-scale saliency/extent features
+ *    feeding a small MLP — trains in milliseconds and captures the
+ *    object-scale signal robustly;
+ *  - Cnn: a small convolutional net on raw preview pixels, trained
+ *    with our backprop stack — the paper-faithful architecture choice
+ *    (an ablation bench compares the two).
+ */
+
+#ifndef TAMRES_CORE_SCALE_MODEL_HH
+#define TAMRES_CORE_SCALE_MODEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "image/image.hh"
+#include "nn/train.hh"
+#include "sim/accuracy_model.hh"
+
+namespace tamres {
+
+/** Predictor family for the scale model. */
+enum class ScaleModelKind
+{
+    Mlp, //!< engineered features + MLP
+    Cnn, //!< small CNN on raw preview pixels
+};
+
+/** Scale-model hyperparameters. */
+struct ScaleModelOptions
+{
+    ScaleModelKind kind = ScaleModelKind::Mlp;
+    int input_res = 112;  //!< preview resolution fed to the model
+    int epochs = 30;      //!< Mlp epochs (Cnn uses epochs/4, min 2)
+    int batch = 16;
+    int hidden = 32;      //!< MLP hidden width / CNN base width
+    int num_shards = 4;   //!< Figure-5 cross-validation shards
+    SgdOptions sgd{.lr = 0.05f, .momentum = 0.9f,
+                   .weight_decay = 1e-4f};
+    uint64_t seed = 11;
+};
+
+/**
+ * Engineered features summarizing the apparent object scale of a
+ * preview: gradient-energy statistics and multi-percentile bounding
+ * extents, plus polynomial terms in the log extent.
+ */
+std::vector<float> extractScaleFeatures(const Image &preview);
+
+/** Dimension of extractScaleFeatures' output. */
+int scaleFeatureDim();
+
+/** The trained per-image resolution selector. */
+class ScaleModel
+{
+  public:
+    ScaleModel(std::vector<int> resolutions, ScaleModelOptions opts);
+
+    const std::vector<int> &resolutions() const { return resolutions_; }
+    const ScaleModelOptions &options() const { return opts_; }
+
+    /**
+     * Train on images [first, last) of @p dataset against @p arch
+     * backbones using the Figure-5 sharding scheme. @p crop_areas is
+     * the augmentation pool of crop fractions sampled per image (test
+     * crops are unknown, so train across a range).
+     * @param preview_side long-side pixel budget for training previews.
+     * Returns the final mean training loss.
+     */
+    double train(const SyntheticDataset &dataset, int first, int last,
+                 BackboneArch arch,
+                 const std::vector<double> &crop_areas,
+                 int preview_side = 224);
+
+    /** Multilabel logits for one preview. */
+    Tensor predictLogits(const Image &preview) const;
+
+    /**
+     * Index (into resolutions()) of the resolution with the highest
+     * predicted correctness likelihood; ties break toward the cheaper
+     * resolution.
+     */
+    int chooseResolutionIndex(const Image &preview) const;
+
+    /** The chosen resolution in pixels. */
+    int
+    chooseResolution(const Image &preview) const
+    {
+        return resolutions_[chooseResolutionIndex(preview)];
+    }
+
+    /**
+     * Cost-aware selection (paper Section VIII-d): maximize
+     * P(correct) - lambda * normalized_cost, where the per-resolution
+     * cost vector (e.g. backbone GFLOPs) is normalized by its maximum.
+     * lambda = 0 reduces to the accuracy-only rule.
+     */
+    int chooseResolutionIndexCostAware(
+        const Image &preview, double lambda,
+        const std::vector<double> &costs) const;
+
+  private:
+    Tensor featurize(const Image &preview) const;
+    void buildNet();
+
+    std::vector<int> resolutions_;
+    ScaleModelOptions opts_;
+    mutable SequentialNet net_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_CORE_SCALE_MODEL_HH

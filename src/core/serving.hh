@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Discrete-event serving simulation (paper Section VIII-a).
+ *
+ * Models an inference endpoint as a single-server FIFO queue with
+ * Poisson arrivals. Per-request service time is the backbone latency
+ * at the resolution the policy picks (plus the scale-model latency for
+ * dynamic policies). The paper's load-shedding claim — under a burst,
+ * shrinking the crop lets the dynamic pipeline drop to cheaper
+ * resolutions without a model swap — shows up as bounded queueing
+ * delay; a static policy at the same accuracy has no such knob.
+ */
+
+#ifndef TAMRES_CORE_SERVING_HH
+#define TAMRES_CORE_SERVING_HH
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace tamres {
+
+/** One simulated request outcome. */
+struct ServedRequest
+{
+    double arrival_s = 0.0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+    int resolution = 0;
+    int batch = 1; //!< size of the batch this request was served in
+
+    double queueing() const { return start_s - arrival_s; }
+    double latency() const { return finish_s - arrival_s; }
+};
+
+/** Aggregate latency statistics. */
+struct ServingStats
+{
+    double mean_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+    double mean_queueing_s = 0.0;
+    double utilization = 0.0; //!< busy time / makespan
+    double mean_batch = 1.0;  //!< requests per served batch
+
+    static ServingStats fromRequests(
+        const std::vector<ServedRequest> &reqs);
+};
+
+/** Simulation parameters. */
+struct ServingConfig
+{
+    double arrival_rate_hz = 5.0; //!< Poisson arrival rate
+    int num_requests = 1000;
+    uint64_t seed = 1;
+};
+
+/**
+ * Per-request policy hook: given the request index and the current
+ * queue depth at arrival, return (resolution, service seconds).
+ * Queue depth is how load-aware policies decide to shed.
+ */
+using ServicePolicy =
+    std::function<std::pair<int, double>(int request, int queue_depth)>;
+
+/**
+ * Run the single-server FIFO simulation and return per-request
+ * outcomes in arrival order.
+ */
+std::vector<ServedRequest> simulateServing(const ServingConfig &config,
+                                           const ServicePolicy &policy);
+
+/**
+ * Two-stage policy hook for the pipelined simulation: returns
+ * (resolution, scale-model seconds, backbone seconds).
+ */
+struct StagedService
+{
+    int resolution = 0;
+    double scale_s = 0.0;    //!< stage-1 (scale model) service time
+    double backbone_s = 0.0; //!< stage-2 (backbone) service time
+};
+
+using StagedPolicy =
+    std::function<StagedService(int request, int queue_depth)>;
+
+/**
+ * Tandem two-station pipeline (paper Section VII-c's remedy for the
+ * scale-model overhead): stage 1 runs the scale model, stage 2 the
+ * backbone, each a single FIFO server, so the scale model of request
+ * i+1 overlaps the backbone of request i. Under load, throughput is
+ * set by max(stage times), not their sum; the scale model's latency
+ * is hidden whenever it is shorter than the backbone. Queue depth
+ * reported to the policy is the total in-system count at arrival.
+ */
+std::vector<ServedRequest> simulateServingPipelined(
+    const ServingConfig &config, const StagedPolicy &policy);
+
+/** Parameters for the dynamically batched endpoint. */
+struct BatchedConfig
+{
+    ServingConfig base;
+
+    /** Largest batch the server will form. */
+    int max_batch = 8;
+
+    /**
+     * How long the server lingers after it could start, waiting for
+     * the batch to fill (0 = serve whatever is queued immediately).
+     * The classic dynamic-batching throughput/latency knob: linger
+     * converts idle head-of-line time into batch occupancy under
+     * load, and is pure added latency when the system is idle.
+     */
+    double linger_s = 0.0;
+};
+
+/**
+ * Batched policy hook: given the first request index of the batch,
+ * the batch size, and the number of requests waiting at service
+ * start, return (resolution, service seconds for the whole batch).
+ * Sub-linear batch service times are what make batching pay; measure
+ * them with the real engine (e.g. bench/batched_serving).
+ */
+using BatchedPolicy =
+    std::function<std::pair<int, double>(int first_request,
+                                         int batch_size,
+                                         int queue_depth)>;
+
+/**
+ * Single server with dynamic batching: when free, the server takes up
+ * to max_batch queued requests; if the queue is shorter it lingers up
+ * to linger_s for late joiners, then serves whatever it has as one
+ * batch. All members of a batch share start and finish times. With
+ * max_batch == 1 this reduces exactly to simulateServing (same seed,
+ * same arrival sequence).
+ */
+std::vector<ServedRequest> simulateServingBatched(
+    const BatchedConfig &config, const BatchedPolicy &policy);
+
+} // namespace tamres
+
+#endif // TAMRES_CORE_SERVING_HH

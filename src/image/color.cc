@@ -1,0 +1,145 @@
+#include "image/color.hh"
+
+#include <algorithm>
+
+namespace tamres {
+
+Image
+rgbToYcbcr(const Image &rgb)
+{
+    tamres_assert(rgb.channels() == 3,
+                  "rgbToYcbcr needs a 3-channel image, got %d",
+                  rgb.channels());
+    const int h = rgb.height();
+    const int w = rgb.width();
+    Image out(h, w, 3);
+    const float *r = rgb.plane(0);
+    const float *g = rgb.plane(1);
+    const float *b = rgb.plane(2);
+    float *y = out.plane(0);
+    float *cb = out.plane(1);
+    float *cr = out.plane(2);
+    const size_t n = static_cast<size_t>(h) * w;
+    for (size_t i = 0; i < n; ++i) {
+        // JFIF full-range BT.601 coefficients.
+        y[i] = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
+        cb[i] = -0.168736f * r[i] - 0.331264f * g[i] + 0.5f * b[i] + 0.5f;
+        cr[i] = 0.5f * r[i] - 0.418688f * g[i] - 0.081312f * b[i] + 0.5f;
+    }
+    return out;
+}
+
+Image
+ycbcrToRgb(const Image &ycbcr)
+{
+    tamres_assert(ycbcr.channels() == 3,
+                  "ycbcrToRgb needs a 3-channel image, got %d",
+                  ycbcr.channels());
+    const int h = ycbcr.height();
+    const int w = ycbcr.width();
+    Image out(h, w, 3);
+    const float *y = ycbcr.plane(0);
+    const float *cb = ycbcr.plane(1);
+    const float *cr = ycbcr.plane(2);
+    float *r = out.plane(0);
+    float *g = out.plane(1);
+    float *b = out.plane(2);
+    const size_t n = static_cast<size_t>(h) * w;
+    for (size_t i = 0; i < n; ++i) {
+        const float cbv = cb[i] - 0.5f;
+        const float crv = cr[i] - 0.5f;
+        r[i] = y[i] + 1.402f * crv;
+        g[i] = y[i] - 0.344136f * cbv - 0.714136f * crv;
+        b[i] = y[i] + 1.772f * cbv;
+    }
+    out.clamp01();
+    return out;
+}
+
+Image
+downsamplePlane2x2(const Image &plane)
+{
+    tamres_assert(plane.channels() == 1,
+                  "downsamplePlane2x2 operates on single planes");
+    const int h = plane.height();
+    const int w = plane.width();
+    const int oh = (h + 1) / 2;
+    const int ow = (w + 1) / 2;
+    Image out(oh, ow, 1);
+    const float *src = plane.plane(0);
+    float *dst = out.plane(0);
+    for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x) {
+            float sum = 0.0f;
+            int cnt = 0;
+            for (int dy = 0; dy < 2; ++dy) {
+                const int sy = y * 2 + dy;
+                if (sy >= h)
+                    continue;
+                for (int dx = 0; dx < 2; ++dx) {
+                    const int sx = x * 2 + dx;
+                    if (sx >= w)
+                        continue;
+                    sum += src[sy * w + sx];
+                    ++cnt;
+                }
+            }
+            dst[y * ow + x] = sum / cnt;
+        }
+    }
+    return out;
+}
+
+Image
+upsamplePlane2x(const Image &plane, int out_h, int out_w)
+{
+    tamres_assert(plane.channels() == 1,
+                  "upsamplePlane2x operates on single planes");
+    tamres_assert(out_h >= plane.height() && out_w >= plane.width(),
+                  "upsample target smaller than the plane");
+    const int h = plane.height();
+    const int w = plane.width();
+    Image out(out_h, out_w, 1);
+    const float *src = plane.plane(0);
+    float *dst = out.plane(0);
+    for (int y = 0; y < out_h; ++y) {
+        // Sample at the center of the 2x2 cell that produced each
+        // low-res pixel (half-pixel phase).
+        const float fy = std::clamp((y - 0.5f) / 2.0f, 0.0f,
+                                    static_cast<float>(h - 1));
+        const int y0 = static_cast<int>(fy);
+        const int y1 = std::min(y0 + 1, h - 1);
+        const float wy = fy - y0;
+        for (int x = 0; x < out_w; ++x) {
+            const float fx = std::clamp((x - 0.5f) / 2.0f, 0.0f,
+                                        static_cast<float>(w - 1));
+            const int x0 = static_cast<int>(fx);
+            const int x1 = std::min(x0 + 1, w - 1);
+            const float wx = fx - x0;
+            const float top = src[y0 * w + x0] * (1.0f - wx) +
+                              src[y0 * w + x1] * wx;
+            const float bot = src[y1 * w + x0] * (1.0f - wx) +
+                              src[y1 * w + x1] * wx;
+            dst[y * out_w + x] = top * (1.0f - wy) + bot * wy;
+        }
+    }
+    return out;
+}
+
+Image
+desaturateChroma(const Image &rgb, float keep)
+{
+    tamres_assert(keep >= 0.0f && keep <= 1.0f,
+                  "chroma keep factor must be in [0, 1]");
+    Image ycc = rgbToYcbcr(rgb);
+    for (int c = 1; c < 3; ++c) {
+        float *p = ycc.plane(c);
+        const size_t n =
+            static_cast<size_t>(ycc.height()) * ycc.width();
+        for (size_t i = 0; i < n; ++i)
+            p[i] = 0.5f + (p[i] - 0.5f) * keep;
+    }
+    return ycbcrToRgb(ycc);
+}
+
+} // namespace tamres

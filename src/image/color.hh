@@ -1,0 +1,56 @@
+/**
+ * @file
+ * RGB <-> YCbCr color transform (JPEG / BT.601 full-range convention).
+ *
+ * The progressive codec can operate either directly on the stored
+ * planes ("planar" mode, the historical default) or in a luma/chroma
+ * space, which is what real progressive JPEG does: the eye — and, it
+ * turns out, classification accuracy — is far more sensitive to
+ * luminance detail than to chrominance detail, so the chroma planes
+ * can be quantized harder and optionally subsampled 2x2 (4:2:0)
+ * before encoding. The transform here is the JFIF full-range variant:
+ * all three output planes span [0, 1], with Cb/Cr centered at 0.5.
+ */
+
+#ifndef TAMRES_IMAGE_COLOR_HH
+#define TAMRES_IMAGE_COLOR_HH
+
+#include "image/image.hh"
+
+namespace tamres {
+
+/**
+ * Convert a 3-channel RGB image in [0, 1] to full-range YCbCr.
+ * Plane 0 is luma; planes 1 and 2 are Cb/Cr offset to [0, 1].
+ */
+Image rgbToYcbcr(const Image &rgb);
+
+/** Inverse of rgbToYcbcr(); output is clamped to [0, 1]. */
+Image ycbcrToRgb(const Image &ycbcr);
+
+/**
+ * Box-downsample a single-channel plane by 2x2 (4:2:0 chroma
+ * subsampling). Odd dimensions round up: output is ceil(h/2) x
+ * ceil(w/2), edge pixels averaging only the in-bounds samples.
+ */
+Image downsamplePlane2x2(const Image &plane);
+
+/**
+ * Bilinear 2x upsample of a single-channel plane back to an explicit
+ * (out_h, out_w) full-resolution size (the inverse of
+ * downsamplePlane2x2 up to interpolation loss).
+ */
+Image upsamplePlane2x(const Image &plane, int out_h, int out_w);
+
+/**
+ * Scale chroma contrast of an RGB image by @p keep in [0, 1] (0 =
+ * grayscale, 1 = unchanged). The synthetic generator textures RGB
+ * channels independently, which is unnaturally chroma-busy compared
+ * with photographs, whose channels correlate strongly; experiments on
+ * chroma-aware codec modes use this to restore natural statistics.
+ */
+Image desaturateChroma(const Image &rgb, float keep);
+
+} // namespace tamres
+
+#endif // TAMRES_IMAGE_COLOR_HH

@@ -1,0 +1,252 @@
+#include "image/filters.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tamres {
+
+namespace {
+
+/** Catmull-Rom cubic kernel (a = -0.5), support [-2, 2]. */
+double
+cubicWeight(double x)
+{
+    const double a = -0.5;
+    x = std::fabs(x);
+    if (x < 1.0)
+        return ((a + 2.0) * x - (a + 3.0)) * x * x + 1.0;
+    if (x < 2.0)
+        return (((x - 5.0) * x + 8.0) * x - 4.0) * a;
+    return 0.0;
+}
+
+/** Lanczos-3 kernel, support [-3, 3]. */
+double
+lanczos3Weight(double x)
+{
+    x = std::fabs(x);
+    if (x < 1e-9)
+        return 1.0;
+    if (x >= 3.0)
+        return 0.0;
+    const double pix = M_PI * x;
+    return 3.0 * std::sin(pix) * std::sin(pix / 3.0) / (pix * pix);
+}
+
+/**
+ * One resampled axis as a sparse weight matrix: for each output
+ * coordinate, the first source tap and the normalized tap weights.
+ * When minifying, the kernel is stretched by the scale factor so it
+ * band-limits as well as interpolates.
+ */
+struct AxisTaps
+{
+    std::vector<int> first;       //!< first source index per output
+    std::vector<double> weights;  //!< taps_per_out weights per output
+    int taps_per_out = 0;
+};
+
+AxisTaps
+buildTaps(int in_size, int out_size, double support,
+          double (*kernel)(double))
+{
+    tamres_assert(in_size > 0 && out_size > 0, "resize sizes positive");
+    const double scale = static_cast<double>(in_size) / out_size;
+    const double stretch = std::max(1.0, scale);
+    const double radius = support * stretch;
+    AxisTaps taps;
+    taps.taps_per_out = static_cast<int>(std::ceil(radius * 2)) + 1;
+    taps.first.resize(out_size);
+    taps.weights.resize(static_cast<size_t>(out_size) *
+                        taps.taps_per_out);
+    for (int o = 0; o < out_size; ++o) {
+        const double center = (o + 0.5) * scale - 0.5;
+        int first = static_cast<int>(std::floor(center - radius));
+        taps.first[o] = first;
+        double sum = 0.0;
+        for (int t = 0; t < taps.taps_per_out; ++t) {
+            const double x = (center - (first + t)) / stretch;
+            const double w = kernel(x);
+            taps.weights[static_cast<size_t>(o) * taps.taps_per_out + t] =
+                w;
+            sum += w;
+        }
+        if (std::fabs(sum) > 1e-12) {
+            for (int t = 0; t < taps.taps_per_out; ++t)
+                taps.weights[static_cast<size_t>(o) * taps.taps_per_out +
+                             t] /= sum;
+        }
+    }
+    return taps;
+}
+
+/** Generic separable resampler over clamped source coordinates. */
+Image
+resampleSeparable(const Image &src, int out_h, int out_w, double support,
+                  double (*kernel)(double))
+{
+    const int in_h = src.height();
+    const int in_w = src.width();
+    const AxisTaps tx = buildTaps(in_w, out_w, support, kernel);
+    const AxisTaps ty = buildTaps(in_h, out_h, support, kernel);
+
+    Image dst(out_h, out_w, src.channels());
+    // Horizontal pass into an intermediate (in_h x out_w) buffer.
+    std::vector<double> tmp(static_cast<size_t>(in_h) * out_w);
+    for (int c = 0; c < src.channels(); ++c) {
+        const float *sp = src.plane(c);
+        for (int y = 0; y < in_h; ++y) {
+            for (int x = 0; x < out_w; ++x) {
+                double acc = 0.0;
+                const double *w =
+                    &tx.weights[static_cast<size_t>(x) * tx.taps_per_out];
+                for (int t = 0; t < tx.taps_per_out; ++t) {
+                    const int sx =
+                        std::clamp(tx.first[x] + t, 0, in_w - 1);
+                    acc += w[t] * sp[static_cast<size_t>(y) * in_w + sx];
+                }
+                tmp[static_cast<size_t>(y) * out_w + x] = acc;
+            }
+        }
+        // Vertical pass.
+        float *dp = dst.plane(c);
+        for (int y = 0; y < out_h; ++y) {
+            const double *w =
+                &ty.weights[static_cast<size_t>(y) * ty.taps_per_out];
+            for (int x = 0; x < out_w; ++x) {
+                double acc = 0.0;
+                for (int t = 0; t < ty.taps_per_out; ++t) {
+                    const int sy =
+                        std::clamp(ty.first[y] + t, 0, in_h - 1);
+                    acc += w[t] * tmp[static_cast<size_t>(sy) * out_w + x];
+                }
+                dp[static_cast<size_t>(y) * out_w + x] =
+                    static_cast<float>(std::clamp(acc, 0.0, 1.0));
+            }
+        }
+    }
+    return dst;
+}
+
+} // namespace
+
+const char *
+resizeFilterName(ResizeFilter filter)
+{
+    switch (filter) {
+      case ResizeFilter::Bilinear: return "bilinear";
+      case ResizeFilter::Area: return "area";
+      case ResizeFilter::Bicubic: return "bicubic";
+      case ResizeFilter::Lanczos3: return "lanczos3";
+    }
+    return "?";
+}
+
+Image
+resizeBicubic(const Image &src, int out_h, int out_w)
+{
+    return resampleSeparable(src, out_h, out_w, 2.0, cubicWeight);
+}
+
+Image
+resizeLanczos3(const Image &src, int out_h, int out_w)
+{
+    return resampleSeparable(src, out_h, out_w, 3.0, lanczos3Weight);
+}
+
+Image
+resizeWith(const Image &src, int out_h, int out_w, ResizeFilter filter)
+{
+    switch (filter) {
+      case ResizeFilter::Bilinear:
+        return resizeBilinear(src, out_h, out_w);
+      case ResizeFilter::Area:
+        return resizeArea(src, out_h, out_w);
+      case ResizeFilter::Bicubic:
+        return resizeBicubic(src, out_h, out_w);
+      case ResizeFilter::Lanczos3:
+        return resizeLanczos3(src, out_h, out_w);
+    }
+    panic("unknown resize filter");
+}
+
+Image
+gaussianBlur(const Image &src, double sigma)
+{
+    if (sigma <= 0.0)
+        return src;
+    const int radius = static_cast<int>(std::ceil(3.0 * sigma));
+    std::vector<double> kernel(2 * radius + 1);
+    double sum = 0.0;
+    for (int i = -radius; i <= radius; ++i) {
+        kernel[i + radius] = std::exp(-i * i / (2.0 * sigma * sigma));
+        sum += kernel[i + radius];
+    }
+    for (double &v : kernel)
+        v /= sum;
+
+    const int h = src.height();
+    const int w = src.width();
+    Image dst(h, w, src.channels());
+    std::vector<double> tmp(static_cast<size_t>(h) * w);
+    for (int c = 0; c < src.channels(); ++c) {
+        const float *sp = src.plane(c);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                double acc = 0.0;
+                for (int i = -radius; i <= radius; ++i) {
+                    const int xx = std::clamp(x + i, 0, w - 1);
+                    acc += kernel[i + radius] *
+                           sp[static_cast<size_t>(y) * w + xx];
+                }
+                tmp[static_cast<size_t>(y) * w + x] = acc;
+            }
+        }
+        float *dp = dst.plane(c);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                double acc = 0.0;
+                for (int i = -radius; i <= radius; ++i) {
+                    const int yy = std::clamp(y + i, 0, h - 1);
+                    acc += kernel[i + radius] *
+                           tmp[static_cast<size_t>(yy) * w + x];
+                }
+                dp[static_cast<size_t>(y) * w + x] =
+                    static_cast<float>(acc);
+            }
+        }
+    }
+    return dst;
+}
+
+Image
+sobelMagnitude(const Image &src)
+{
+    const int h = src.height();
+    const int w = src.width();
+    Image dst(h, w, 1);
+    float *dp = dst.plane(0);
+    for (int c = 0; c < src.channels(); ++c) {
+        const float *sp = src.plane(c);
+        auto px = [&](int y, int x) {
+            return sp[static_cast<size_t>(std::clamp(y, 0, h - 1)) * w +
+                      std::clamp(x, 0, w - 1)];
+        };
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                const double gx = px(y - 1, x + 1) + 2 * px(y, x + 1) +
+                                  px(y + 1, x + 1) - px(y - 1, x - 1) -
+                                  2 * px(y, x - 1) - px(y + 1, x - 1);
+                const double gy = px(y + 1, x - 1) + 2 * px(y + 1, x) +
+                                  px(y + 1, x + 1) - px(y - 1, x - 1) -
+                                  2 * px(y - 1, x) - px(y - 1, x + 1);
+                dp[static_cast<size_t>(y) * w + x] += static_cast<float>(
+                    std::sqrt(gx * gx + gy * gy) / src.channels());
+            }
+        }
+    }
+    return dst;
+}
+
+} // namespace tamres

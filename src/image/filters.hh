@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Higher-order resampling filters and spatial filtering.
+ *
+ * The paper's preprocessing stack (Section III) maps stored pixels to
+ * arbitrary inference resolutions; the choice of resampling filter
+ * trades aliasing against sharpness and affects both measured SSIM and
+ * downstream accuracy. Besides the bilinear/area filters in image.hh,
+ * this module provides the two classical high-quality kernels —
+ * Catmull-Rom bicubic and Lanczos-3 windowed sinc — plus a separable
+ * Gaussian blur used by the no-reference metrics and the synthetic
+ * image generator.
+ */
+
+#ifndef TAMRES_IMAGE_FILTERS_HH
+#define TAMRES_IMAGE_FILTERS_HH
+
+#include "image/image.hh"
+
+namespace tamres {
+
+/** Resampling filter families understood by resizeWith(). */
+enum class ResizeFilter
+{
+    Bilinear, //!< 2-tap triangle (image.hh fast path)
+    Area,     //!< box / pixel-area averaging
+    Bicubic,  //!< Catmull-Rom cubic (a = -0.5), 4-tap
+    Lanczos3, //!< Lanczos windowed sinc, 6-tap
+};
+
+/** "bilinear" / "area" / "bicubic" / "lanczos3". */
+const char *resizeFilterName(ResizeFilter filter);
+
+/**
+ * Catmull-Rom bicubic resize (a = -0.5). Sharper than bilinear with
+ * mild ringing; the default in most training data loaders.
+ */
+Image resizeBicubic(const Image &src, int out_h, int out_w);
+
+/**
+ * Lanczos-3 resize. Near-ideal sinc reconstruction for upsampling;
+ * when downscaling the kernel support is widened by the scale factor
+ * so the filter also band-limits (anti-aliases).
+ */
+Image resizeLanczos3(const Image &src, int out_h, int out_w);
+
+/** Dispatch on the filter enum. */
+Image resizeWith(const Image &src, int out_h, int out_w,
+                 ResizeFilter filter);
+
+/**
+ * Separable Gaussian blur with standard deviation @p sigma; the kernel
+ * radius is ceil(3 sigma). Edges clamp. sigma <= 0 returns a copy.
+ */
+Image gaussianBlur(const Image &src, double sigma);
+
+/**
+ * Per-plane Sobel gradient magnitude (single-channel output averaged
+ * over input channels); used by sharpness metrics and the scale
+ * features.
+ */
+Image sobelMagnitude(const Image &src);
+
+} // namespace tamres
+
+#endif // TAMRES_IMAGE_FILTERS_HH

@@ -1,0 +1,148 @@
+#include "image/image.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tamres {
+
+void
+Image::clamp01()
+{
+    for (float &v : data_)
+        v = std::clamp(v, 0.0f, 1.0f);
+}
+
+double
+Image::mean() const
+{
+    double acc = 0.0;
+    for (float v : data_)
+        acc += v;
+    return data_.empty() ? 0.0 : acc / static_cast<double>(data_.size());
+}
+
+Image
+resizeBilinear(const Image &src, int out_h, int out_w)
+{
+    tamres_assert(out_h > 0 && out_w > 0, "resize dims must be positive");
+    Image out(out_h, out_w, src.channels());
+    const double sy = static_cast<double>(src.height()) / out_h;
+    const double sx = static_cast<double>(src.width()) / out_w;
+    for (int c = 0; c < src.channels(); ++c) {
+        const float *sp = src.plane(c);
+        float *op = out.plane(c);
+        for (int y = 0; y < out_h; ++y) {
+            // Align sample centers (the "half-pixel" convention).
+            double fy = (y + 0.5) * sy - 0.5;
+            fy = std::clamp(fy, 0.0, static_cast<double>(src.height() - 1));
+            const int y0 = static_cast<int>(fy);
+            const int y1 = std::min(y0 + 1, src.height() - 1);
+            const double wy = fy - y0;
+            for (int x = 0; x < out_w; ++x) {
+                double fx = (x + 0.5) * sx - 0.5;
+                fx = std::clamp(fx, 0.0,
+                                static_cast<double>(src.width() - 1));
+                const int x0 = static_cast<int>(fx);
+                const int x1 = std::min(x0 + 1, src.width() - 1);
+                const double wx = fx - x0;
+                const double v00 = sp[y0 * src.width() + x0];
+                const double v01 = sp[y0 * src.width() + x1];
+                const double v10 = sp[y1 * src.width() + x0];
+                const double v11 = sp[y1 * src.width() + x1];
+                op[y * out_w + x] = static_cast<float>(
+                    v00 * (1 - wy) * (1 - wx) + v01 * (1 - wy) * wx +
+                    v10 * wy * (1 - wx) + v11 * wy * wx);
+            }
+        }
+    }
+    return out;
+}
+
+Image
+resizeArea(const Image &src, int out_h, int out_w)
+{
+    tamres_assert(out_h > 0 && out_w > 0, "resize dims must be positive");
+    Image out(out_h, out_w, src.channels());
+    const double sy = static_cast<double>(src.height()) / out_h;
+    const double sx = static_cast<double>(src.width()) / out_w;
+    for (int c = 0; c < src.channels(); ++c) {
+        const float *sp = src.plane(c);
+        float *op = out.plane(c);
+        for (int y = 0; y < out_h; ++y) {
+            const double y_begin = y * sy;
+            const double y_end = std::min((y + 1) * sy,
+                                          static_cast<double>(src.height()));
+            for (int x = 0; x < out_w; ++x) {
+                const double x_begin = x * sx;
+                const double x_end = std::min(
+                    (x + 1) * sx, static_cast<double>(src.width()));
+                double acc = 0.0;
+                double weight = 0.0;
+                for (int yy = static_cast<int>(y_begin);
+                     yy < static_cast<int>(std::ceil(y_end)); ++yy) {
+                    const double hy = std::min<double>(yy + 1, y_end) -
+                                      std::max<double>(yy, y_begin);
+                    for (int xx = static_cast<int>(x_begin);
+                         xx < static_cast<int>(std::ceil(x_end)); ++xx) {
+                        const double hx =
+                            std::min<double>(xx + 1, x_end) -
+                            std::max<double>(xx, x_begin);
+                        acc += sp[yy * src.width() + xx] * hy * hx;
+                        weight += hy * hx;
+                    }
+                }
+                op[y * out_w + x] =
+                    static_cast<float>(weight > 0 ? acc / weight : 0.0);
+            }
+        }
+    }
+    return out;
+}
+
+Image
+resize(const Image &src, int out_h, int out_w)
+{
+    if (src.height() == out_h && src.width() == out_w) {
+        Image out = src;
+        return out;
+    }
+    const bool big_shrink = src.height() > 2 * out_h ||
+                            src.width() > 2 * out_w;
+    return big_shrink ? resizeArea(src, out_h, out_w)
+                      : resizeBilinear(src, out_h, out_w);
+}
+
+Image
+crop(const Image &src, int top, int left, int h, int w)
+{
+    tamres_assert(top >= 0 && left >= 0 && h > 0 && w > 0 &&
+                  top + h <= src.height() && left + w <= src.width(),
+                  "crop rectangle out of bounds");
+    Image out(h, w, src.channels());
+    for (int c = 0; c < src.channels(); ++c) {
+        const float *sp = src.plane(c);
+        float *op = out.plane(c);
+        for (int y = 0; y < h; ++y) {
+            std::copy_n(sp + (top + y) * src.width() + left, w,
+                        op + y * w);
+        }
+    }
+    return out;
+}
+
+Image
+centerCropFraction(const Image &src, double area_fraction)
+{
+    tamres_assert(area_fraction > 0.0 && area_fraction <= 1.0,
+                  "area fraction must be in (0, 1]");
+    const double side = std::sqrt(area_fraction);
+    int h = std::max(1, static_cast<int>(std::lround(src.height() * side)));
+    int w = std::max(1, static_cast<int>(std::lround(src.width() * side)));
+    h = std::min(h, src.height());
+    w = std::min(w, src.width());
+    const int top = (src.height() - h) / 2;
+    const int left = (src.width() - w) / 2;
+    return crop(src, top, left, h, w);
+}
+
+} // namespace tamres

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Image representation used throughout the storage/codec/pipeline code.
+ *
+ * Images are stored planar (CHW) as float32 in [0, 1]; three channels
+ * unless stated otherwise. Planar layout matches both the codec (which
+ * processes channels independently) and the nn engine (NCHW).
+ */
+
+#ifndef TAMRES_IMAGE_IMAGE_HH
+#define TAMRES_IMAGE_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+/** Planar float image in [0, 1]. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Allocate a zero (black) image. */
+    Image(int height, int width, int channels = 3)
+        : height_(height), width_(width), channels_(channels),
+          data_(static_cast<size_t>(height) * width * channels, 0.0f)
+    {
+        tamres_assert(height > 0 && width > 0 && channels > 0,
+                      "image dims must be positive");
+    }
+
+    int height() const { return height_; }
+    int width() const { return width_; }
+    int channels() const { return channels_; }
+    bool empty() const { return data_.empty(); }
+
+    /** Total number of float samples. */
+    size_t numel() const { return data_.size(); }
+
+    /** Mutable sample access, planar layout. */
+    float &
+    at(int c, int y, int x)
+    {
+        return data_[(static_cast<size_t>(c) * height_ + y) * width_ + x];
+    }
+
+    /** Const sample access. */
+    float
+    at(int c, int y, int x) const
+    {
+        return data_[(static_cast<size_t>(c) * height_ + y) * width_ + x];
+    }
+
+    /** Pointer to the start of channel plane @p c. */
+    float *plane(int c) { return data_.data() + static_cast<size_t>(c) * height_ * width_; }
+    const float *plane(int c) const
+    {
+        return data_.data() + static_cast<size_t>(c) * height_ * width_;
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Clamp all samples to [0, 1]. */
+    void clamp01();
+
+    /** Mean sample value over all channels. */
+    double mean() const;
+
+  private:
+    int height_ = 0;
+    int width_ = 0;
+    int channels_ = 0;
+    std::vector<float> data_;
+};
+
+/** Bilinear resize to (out_h, out_w). */
+Image resizeBilinear(const Image &src, int out_h, int out_w);
+
+/**
+ * Area-averaging (box) resize — preferred for large downscales where
+ * bilinear aliases.
+ */
+Image resizeArea(const Image &src, int out_h, int out_w);
+
+/**
+ * Resize with automatic filter choice: area when shrinking by more than
+ * 2x in either dimension, bilinear otherwise. Mirrors common
+ * preprocessing stacks.
+ */
+Image resize(const Image &src, int out_h, int out_w);
+
+/**
+ * Extract a centered crop covering @p area_fraction of the source area
+ * (square root applied per axis), e.g. 0.75 keeps the central ~87% per
+ * side. area_fraction must be in (0, 1].
+ */
+Image centerCropFraction(const Image &src, double area_fraction);
+
+/** Extract an explicit rectangle; must lie within the image. */
+Image crop(const Image &src, int top, int left, int h, int w);
+
+} // namespace tamres
+
+#endif // TAMRES_IMAGE_IMAGE_HH

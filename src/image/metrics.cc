@@ -1,0 +1,243 @@
+#include "image/metrics.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace tamres {
+
+namespace {
+
+void
+checkSame(const Image &a, const Image &b)
+{
+    tamres_assert(a.height() == b.height() && a.width() == b.width() &&
+                  a.channels() == b.channels(),
+                  "metric inputs must have identical dimensions");
+}
+
+/** 11-tap Gaussian kernel with sigma 1.5, normalized to sum 1. */
+std::array<double, 11>
+gaussian11()
+{
+    std::array<double, 11> k{};
+    const double sigma = 1.5;
+    double sum = 0.0;
+    for (int i = 0; i < 11; ++i) {
+        const double d = i - 5;
+        k[i] = std::exp(-d * d / (2 * sigma * sigma));
+        sum += k[i];
+    }
+    for (double &v : k)
+        v /= sum;
+    return k;
+}
+
+/**
+ * Separable 11x11 Gaussian blur of a single plane with edge clamping.
+ */
+std::vector<double>
+blurPlane(const float *src, int h, int w)
+{
+    static const std::array<double, 11> kernel = gaussian11();
+    std::vector<double> tmp(static_cast<size_t>(h) * w);
+    std::vector<double> out(static_cast<size_t>(h) * w);
+    // Horizontal pass.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double acc = 0.0;
+            for (int i = 0; i < 11; ++i) {
+                int xx = std::clamp(x + i - 5, 0, w - 1);
+                acc += kernel[i] * src[y * w + xx];
+            }
+            tmp[static_cast<size_t>(y) * w + x] = acc;
+        }
+    }
+    // Vertical pass.
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double acc = 0.0;
+            for (int i = 0; i < 11; ++i) {
+                int yy = std::clamp(y + i - 5, 0, h - 1);
+                acc += kernel[i] * tmp[static_cast<size_t>(yy) * w + x];
+            }
+            out[static_cast<size_t>(y) * w + x] = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+double
+mse(const Image &a, const Image &b)
+{
+    checkSame(a, b);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    double acc = 0.0;
+    const size_t n = a.numel();
+    for (size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(pa[i]) - pb[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(n);
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    const double m = mse(a, b);
+    if (m <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(1.0 / m);
+}
+
+namespace {
+
+/** Per-channel mean contrast-structure term and mean full SSIM term. */
+struct SsimTerms
+{
+    double cs = 0.0;   //!< mean (2 cov + C2) / (va + vb + C2)
+    double full = 0.0; //!< mean full SSIM (luminance included)
+};
+
+SsimTerms
+ssimTerms(const Image &a, const Image &b)
+{
+    const double c1 = 0.01 * 0.01;
+    const double c2 = 0.03 * 0.03;
+    const int h = a.height();
+    const int w = a.width();
+    SsimTerms terms;
+    for (int c = 0; c < a.channels(); ++c) {
+        const float *pa = a.plane(c);
+        const float *pb = b.plane(c);
+        const size_t n = static_cast<size_t>(h) * w;
+
+        std::vector<float> aa(n), bb(n), ab(n);
+        for (size_t i = 0; i < n; ++i) {
+            aa[i] = pa[i] * pa[i];
+            bb[i] = pb[i] * pb[i];
+            ab[i] = pa[i] * pb[i];
+        }
+
+        const auto mu_a = blurPlane(pa, h, w);
+        const auto mu_b = blurPlane(pb, h, w);
+        const auto m_aa = blurPlane(aa.data(), h, w);
+        const auto m_bb = blurPlane(bb.data(), h, w);
+        const auto m_ab = blurPlane(ab.data(), h, w);
+
+        double acc_cs = 0.0, acc_full = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double ma = mu_a[i];
+            const double mb = mu_b[i];
+            const double va = m_aa[i] - ma * ma;
+            const double vb = m_bb[i] - mb * mb;
+            const double cov = m_ab[i] - ma * mb;
+            const double cs = (2 * cov + c2) / (va + vb + c2);
+            const double lum =
+                (2 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+            acc_cs += cs;
+            acc_full += lum * cs;
+        }
+        terms.cs += acc_cs / static_cast<double>(n);
+        terms.full += acc_full / static_cast<double>(n);
+    }
+    terms.cs /= a.channels();
+    terms.full /= a.channels();
+    return terms;
+}
+
+/** Downsample a plane pair by 2x2 averaging (shared by msSsim). */
+Image
+halve(const Image &src)
+{
+    const int h = std::max(1, src.height() / 2);
+    const int w = std::max(1, src.width() / 2);
+    return resizeArea(src, h, w);
+}
+
+} // namespace
+
+double
+msSsim(const Image &a, const Image &b, int levels)
+{
+    checkSame(a, b);
+    tamres_assert(levels >= 1, "msSsim needs at least one level");
+    // Standard MS-SSIM exponents (Wang et al. 2003).
+    static const double kWeights[5] = {0.0448, 0.2856, 0.3001, 0.2363,
+                                       0.1333};
+    levels = std::min(levels, 5);
+    // Keep the coarsest scale at least as large as the 11-tap window.
+    while (levels > 1 &&
+           (std::min(a.height(), a.width()) >> (levels - 1)) < 11)
+        --levels;
+
+    double wsum = 0.0;
+    for (int l = 0; l < levels; ++l)
+        wsum += kWeights[l];
+
+    Image ca = a, cb = b;
+    double score = 1.0;
+    for (int l = 0; l < levels; ++l) {
+        const SsimTerms t = ssimTerms(ca, cb);
+        const double weight = kWeights[l] / wsum;
+        // Luminance enters at the coarsest level only.
+        const double term = (l == levels - 1) ? t.full : t.cs;
+        score *= std::pow(std::max(term, 1e-9), weight);
+        if (l + 1 < levels) {
+            ca = halve(ca);
+            cb = halve(cb);
+        }
+    }
+    return score;
+}
+
+double
+ssim(const Image &a, const Image &b)
+{
+    checkSame(a, b);
+    const double c1 = 0.01 * 0.01;
+    const double c2 = 0.03 * 0.03;
+    const int h = a.height();
+    const int w = a.width();
+    double total = 0.0;
+    for (int c = 0; c < a.channels(); ++c) {
+        const float *pa = a.plane(c);
+        const float *pb = b.plane(c);
+        const size_t n = static_cast<size_t>(h) * w;
+
+        // Products needed for local variances/covariance.
+        std::vector<float> aa(n), bb(n), ab(n);
+        for (size_t i = 0; i < n; ++i) {
+            aa[i] = pa[i] * pa[i];
+            bb[i] = pb[i] * pb[i];
+            ab[i] = pa[i] * pb[i];
+        }
+
+        const auto mu_a = blurPlane(pa, h, w);
+        const auto mu_b = blurPlane(pb, h, w);
+        const auto m_aa = blurPlane(aa.data(), h, w);
+        const auto m_bb = blurPlane(bb.data(), h, w);
+        const auto m_ab = blurPlane(ab.data(), h, w);
+
+        double acc = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double ma = mu_a[i];
+            const double mb = mu_b[i];
+            const double va = m_aa[i] - ma * ma;
+            const double vb = m_bb[i] - mb * mb;
+            const double cov = m_ab[i] - ma * mb;
+            const double num = (2 * ma * mb + c1) * (2 * cov + c2);
+            const double den = (ma * ma + mb * mb + c1) * (va + vb + c2);
+            acc += num / den;
+        }
+        total += acc / static_cast<double>(n);
+    }
+    return total / a.channels();
+}
+
+} // namespace tamres

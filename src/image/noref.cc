@@ -1,0 +1,103 @@
+#include "image/noref.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tamres {
+
+double
+blockiness(const Image &img)
+{
+    const int h = img.height();
+    const int w = img.width();
+    tamres_assert(h >= 16 && w >= 16,
+                  "blockiness needs at least two 8x8 blocks per axis");
+    double boundary = 0.0, interior = 0.0;
+    int64_t nb = 0, ni = 0;
+    for (int c = 0; c < img.channels(); ++c) {
+        const float *p = img.plane(c);
+        // Vertical edges: steps between columns x-1 and x.
+        for (int y = 0; y < h; ++y) {
+            for (int x = 1; x < w; ++x) {
+                const double d =
+                    std::fabs(static_cast<double>(
+                                  p[static_cast<size_t>(y) * w + x]) -
+                              p[static_cast<size_t>(y) * w + x - 1]);
+                if (x % 8 == 0) {
+                    boundary += d;
+                    ++nb;
+                } else {
+                    interior += d;
+                    ++ni;
+                }
+            }
+        }
+        // Horizontal edges: steps between rows y-1 and y.
+        for (int y = 1; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                const double d =
+                    std::fabs(static_cast<double>(
+                                  p[static_cast<size_t>(y) * w + x]) -
+                              p[static_cast<size_t>(y - 1) * w + x]);
+                if (y % 8 == 0) {
+                    boundary += d;
+                    ++nb;
+                } else {
+                    interior += d;
+                    ++ni;
+                }
+            }
+        }
+    }
+    const double mb = nb ? boundary / nb : 0.0;
+    const double mi = ni ? interior / ni : 0.0;
+    // Stabilize against flat images where both means vanish.
+    return (mb + 1e-6) / (mi + 1e-6);
+}
+
+double
+sharpness(const Image &img)
+{
+    const int h = img.height();
+    const int w = img.width();
+    tamres_assert(h >= 3 && w >= 3, "sharpness needs a 3x3 support");
+    double total = 0.0;
+    for (int c = 0; c < img.channels(); ++c) {
+        const float *p = img.plane(c);
+        double sum = 0.0, sq = 0.0;
+        int64_t n = 0;
+        for (int y = 1; y < h - 1; ++y) {
+            for (int x = 1; x < w - 1; ++x) {
+                const double lap =
+                    4.0 * p[static_cast<size_t>(y) * w + x] -
+                    p[static_cast<size_t>(y - 1) * w + x] -
+                    p[static_cast<size_t>(y + 1) * w + x] -
+                    p[static_cast<size_t>(y) * w + x - 1] -
+                    p[static_cast<size_t>(y) * w + x + 1];
+                sum += lap;
+                sq += lap * lap;
+                ++n;
+            }
+        }
+        const double mean = sum / n;
+        total += sq / n - mean * mean;
+    }
+    return total / img.channels();
+}
+
+double
+norefQuality(const Image &img, double sharpness_ref)
+{
+    tamres_assert(sharpness_ref > 0.0, "reference sharpness positive");
+    // Sharpness recovery: fraction of the family's full-fidelity
+    // Laplacian energy present in this decode (capped at 1).
+    const double s = std::min(1.0, sharpness(img) / sharpness_ref);
+    // Blockiness penalty: 1 when boundary steps match interior steps,
+    // decaying as the 8x8 grid signature emerges.
+    const double b = blockiness(img);
+    const double grid = std::max(0.0, b - 1.0);
+    const double block_score = 1.0 / (1.0 + 0.75 * grid);
+    return std::clamp(0.5 * s + 0.5 * block_score, 0.0, 1.0);
+}
+
+} // namespace tamres

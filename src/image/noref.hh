@@ -1,0 +1,52 @@
+/**
+ * @file
+ * No-reference (blind) image quality metrics.
+ *
+ * Section VIII-c of the paper points at reduced- and no-reference
+ * metrics [33] as the path past SSIM's main operational weakness: SSIM
+ * needs the fully decoded reference, so a storage policy that wants to
+ * stop reading early must either have pre-tabulated quality (our
+ * QualityTable) or estimate quality from the truncated decode alone.
+ * These estimators work from the truncated decode alone:
+ *
+ *  - blockiness(): energy of discontinuities across the codec's 8x8
+ *    block grid relative to within-block discontinuities. Truncated
+ *    spectral-selection decodes are piecewise-smooth per block, so the
+ *    grid signature rises as fewer scans are read.
+ *  - sharpness(): variance of the 3x3 Laplacian — a classical focus
+ *    measure; high-frequency scans restore it.
+ *  - norefQuality(): a bounded [0, 1] score combining both, oriented
+ *    like SSIM (1 = full fidelity). Monotonicity with scan count is
+ *    locked by tests; NorefCalibrator maps it to read policies the same
+ *    way Section V calibrates SSIM.
+ */
+
+#ifndef TAMRES_IMAGE_NOREF_HH
+#define TAMRES_IMAGE_NOREF_HH
+
+#include "image/image.hh"
+
+namespace tamres {
+
+/**
+ * Blocking-artifact strength over the fixed 8x8 codec grid: mean
+ * absolute step across block boundaries divided by mean absolute step
+ * inside blocks. ~1 for natural images, rising with quantization or
+ * truncated decodes. Needs at least 2 blocks per axis.
+ */
+double blockiness(const Image &img);
+
+/** Variance of the 3x3 Laplacian response, averaged over channels. */
+double sharpness(const Image &img);
+
+/**
+ * Blind quality score in [0, 1], oriented like SSIM (higher = closer
+ * to the full decode). Combines a blockiness penalty with a sharpness
+ * ratio against @p sharpness_ref, the sharpness the image family shows
+ * at full fidelity (estimated during calibration from training data).
+ */
+double norefQuality(const Image &img, double sharpness_ref);
+
+} // namespace tamres
+
+#endif // TAMRES_IMAGE_NOREF_HH

@@ -1,0 +1,178 @@
+#include "image/synthetic.hh"
+#include <algorithm>
+
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace tamres {
+
+namespace {
+
+/** Integer lattice hash -> [0, 1). */
+double
+latticeNoise(uint64_t seed, int64_t x, int64_t y)
+{
+    uint64_t h = seed;
+    h ^= static_cast<uint64_t>(x) * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<uint64_t>(y) * 0xc2b2ae3d27d4eb4full;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 32;
+    return (h >> 11) * 0x1.0p-53;
+}
+
+/** Smoothly interpolated value noise at one frequency. */
+double
+valueNoise(uint64_t seed, double x, double y)
+{
+    const int64_t x0 = static_cast<int64_t>(std::floor(x));
+    const int64_t y0 = static_cast<int64_t>(std::floor(y));
+    const double fx = x - x0;
+    const double fy = y - y0;
+    // smoothstep weights
+    const double wx = fx * fx * (3 - 2 * fx);
+    const double wy = fy * fy * (3 - 2 * fy);
+    const double v00 = latticeNoise(seed, x0, y0);
+    const double v01 = latticeNoise(seed, x0 + 1, y0);
+    const double v10 = latticeNoise(seed, x0, y0 + 1);
+    const double v11 = latticeNoise(seed, x0 + 1, y0 + 1);
+    return v00 * (1 - wy) * (1 - wx) + v01 * (1 - wy) * wx +
+           v10 * wy * (1 - wx) + v11 * wy * wx;
+}
+
+/** Multi-octave 1/f-ish noise in [0, 1]. */
+double
+fractalNoise(uint64_t seed, double x, double y, int octaves,
+             double detail)
+{
+    double acc = 0.0;
+    double amp = 1.0;
+    double norm = 0.0;
+    double freq = 1.0;
+    for (int o = 0; o < octaves; ++o) {
+        acc += amp * valueNoise(seed + o * 1000003ull, x * freq, y * freq);
+        norm += amp;
+        // "detail" shifts energy toward higher octaves.
+        amp *= 0.35 + 0.45 * detail;
+        freq *= 2.0;
+    }
+    return acc / norm;
+}
+
+/**
+ * Signed distance-like membership of a point in the class's shape
+ * archetype. (px, py) are object-local coordinates in [-1, 1].
+ * Returns > 0 inside the shape, with soft edges handled by caller.
+ */
+double
+shapeMembership(int archetype, double px, double py)
+{
+    const double r = std::sqrt(px * px + py * py);
+    switch (archetype % 8) {
+      case 0: // disk
+        return 1.0 - r;
+      case 1: // square
+        return 1.0 - std::max(std::fabs(px), std::fabs(py));
+      case 2: // ring
+        return 0.35 - std::fabs(r - 0.65);
+      case 3: // diamond
+        return 1.0 - (std::fabs(px) + std::fabs(py));
+      case 4: // horizontal bar
+        return std::min(1.0 - std::fabs(px), 0.45 - std::fabs(py));
+      case 5: // cross
+        return std::max(std::min(1.0 - std::fabs(px),
+                                 0.3 - std::fabs(py)),
+                        std::min(1.0 - std::fabs(py),
+                                 0.3 - std::fabs(px)));
+      case 6: // triangle (upward)
+        return std::min({py + 0.8, 0.8 - py - 1.6 * px,
+                         0.8 - py + 1.6 * px}) / 1.6;
+      default: // crescent
+        return std::min(1.0 - r,
+                        std::sqrt((px - 0.35) * (px - 0.35) + py * py) -
+                            0.55);
+    }
+}
+
+} // namespace
+
+Image
+generateSyntheticImage(const SyntheticImageSpec &spec)
+{
+    tamres_assert(spec.num_classes > 0 &&
+                  spec.class_id >= 0 && spec.class_id < spec.num_classes,
+                  "class id out of range");
+    tamres_assert(spec.object_scale > 0.0 && spec.object_scale <= 1.5,
+                  "object scale must be in (0, 1.5]");
+
+    Rng rng(spec.seed * 0x9e3779b97f4a7c15ull + spec.class_id);
+    Image img(spec.height, spec.width, 3);
+
+    // Class-dependent appearance parameters.
+    const int archetype = spec.class_id;
+    Rng class_rng(0xabcdull + spec.class_id * 7919ull);
+    const double hue[3] = {class_rng.uniform(0.2, 1.0),
+                           class_rng.uniform(0.2, 1.0),
+                           class_rng.uniform(0.2, 1.0)};
+    // Texture frequency painted on the object; classes differ so that
+    // fine detail carries class-discriminative information (like the
+    // paper's remark on texture vs. shape importance across datasets).
+    const double obj_freq = 2.0 + 2.0 * (spec.class_id % 4);
+
+    // Instance pose: small random offset and rotation.
+    const double cx = 0.5 + rng.uniform(-0.08, 0.08);
+    const double cy = 0.5 + rng.uniform(-0.08, 0.08);
+    const double theta = rng.uniform(0.0, 2 * M_PI);
+    const double cos_t = std::cos(theta);
+    const double sin_t = std::sin(theta);
+
+    const double short_side = std::min(spec.height, spec.width);
+    const double radius = 0.5 * spec.object_scale * short_side;
+
+    const uint64_t bg_seed = rng.next();
+    const uint64_t tex_seed = rng.next();
+    const double bg_base_freq = 4.0 / short_side;
+
+    for (int y = 0; y < spec.height; ++y) {
+        for (int x = 0; x < spec.width; ++x) {
+            // Background: colored fractal noise.
+            for (int c = 0; c < 3; ++c) {
+                const double v = fractalNoise(
+                    bg_seed + c * 17ull, x * bg_base_freq * 8,
+                    y * bg_base_freq * 8, 5, spec.texture_detail);
+                img.at(c, y, x) = static_cast<float>(0.25 + 0.5 * v);
+            }
+
+            // Object-local coordinates (rotated, normalized by radius).
+            const double dx = (x - cx * spec.width) / radius;
+            const double dy = (y - cy * spec.height) / radius;
+            const double px = cos_t * dx - sin_t * dy;
+            const double py = sin_t * dx + cos_t * dy;
+            if (std::fabs(px) > 1.4 || std::fabs(py) > 1.4)
+                continue;
+
+            const double m = shapeMembership(archetype, px, py);
+            if (m <= 0.0)
+                continue;
+            // Soft edge over ~6% of the radius for band-limited borders.
+            const double alpha = std::min(1.0, m / 0.06);
+
+            // Object texture: class-frequency stripes + noise.
+            const double stripe =
+                0.5 + 0.35 * std::sin(obj_freq * M_PI * (px + py));
+            const double grain = fractalNoise(tex_seed, px * 6 + 9,
+                                              py * 6 + 9, 3, 0.7);
+            for (int c = 0; c < 3; ++c) {
+                const double obj_v =
+                    hue[c] * (0.55 * stripe + 0.45 * grain);
+                img.at(c, y, x) = static_cast<float>(
+                    (1 - alpha) * img.at(c, y, x) + alpha * obj_v);
+            }
+        }
+    }
+    img.clamp01();
+    return img;
+}
+
+} // namespace tamres

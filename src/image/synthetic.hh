@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Procedural generation of labeled synthetic images.
+ *
+ * Stands in for the ImageNet / Stanford-Cars pixels the paper uses.
+ * Every image contains a textured multi-octave noise background plus a
+ * single class-determined foreground object rendered at an explicit
+ * apparent scale (fraction of the short image side). The experiments in
+ * the paper consume exactly these degrees of freedom — object scale,
+ * image size, and frequency content (which drives how much progressive
+ * codec data a given SSIM requires) — so controlling them directly
+ * preserves the behaviour under study.
+ */
+
+#ifndef TAMRES_IMAGE_SYNTHETIC_HH
+#define TAMRES_IMAGE_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "image/image.hh"
+
+namespace tamres {
+
+/** Parameters for one synthetic image. */
+struct SyntheticImageSpec
+{
+    int height = 224;           //!< stored image height
+    int width = 224;            //!< stored image width
+    int class_id = 0;           //!< label; determines shape/texture family
+    int num_classes = 16;       //!< label alphabet size
+    /**
+     * Object size as a fraction of min(height, width); the "apparent
+     * scale" the paper's crop/resolution analysis revolves around.
+     */
+    double object_scale = 0.45;
+    uint64_t seed = 1;          //!< instance seed (pose, background)
+    /** Relative high-frequency energy of the background in [0, 1]. */
+    double texture_detail = 0.5;
+};
+
+/** Render a synthetic image from a spec. */
+Image generateSyntheticImage(const SyntheticImageSpec &spec);
+
+} // namespace tamres
+
+#endif // TAMRES_IMAGE_SYNTHETIC_HH

@@ -1,0 +1,240 @@
+#include "nn/builders.hh"
+
+#include "nn/ops.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+
+namespace {
+
+/** Builder helper managing names and common layer idioms. */
+class NetBuilder
+{
+  public:
+    explicit NetBuilder(uint64_t seed)
+        : graph_(std::make_unique<Graph>()), rng_(seed)
+    {}
+
+    using NodeId = Graph::NodeId;
+
+    NodeId
+    conv(const std::string &name, NodeId in, int ic, int oc, int k,
+         int stride, int pad, int groups = 1)
+    {
+        auto op = std::make_unique<Conv2d>(name, ic, oc, k, stride, pad,
+                                           groups, /*bias=*/false);
+        op->initKaiming(rng_);
+        return graph_->add(std::move(op), {in});
+    }
+
+    NodeId
+    bn(const std::string &name, NodeId in, int channels)
+    {
+        auto op = std::make_unique<BatchNorm2d>(name, channels);
+        op->initRandomStats(rng_);
+        return graph_->add(std::move(op), {in});
+    }
+
+    NodeId
+    relu(const std::string &name, NodeId in)
+    {
+        return graph_->add(std::make_unique<ReLU>(name), {in});
+    }
+
+    NodeId
+    convBnRelu(const std::string &name, NodeId in, int ic, int oc, int k,
+               int stride, int pad, int groups = 1)
+    {
+        NodeId x = conv(name + ".conv", in, ic, oc, k, stride, pad,
+                        groups);
+        x = bn(name + ".bn", x, oc);
+        return relu(name + ".relu", x);
+    }
+
+    NodeId
+    maxpool(const std::string &name, NodeId in, int k, int stride,
+            int pad)
+    {
+        return graph_->add(
+            std::make_unique<MaxPool2d>(name, k, stride, pad), {in});
+    }
+
+    NodeId
+    add(const std::string &name, NodeId a, NodeId b)
+    {
+        return graph_->add(std::make_unique<Add>(name), {a, b});
+    }
+
+    NodeId
+    gapFc(const std::string &prefix, NodeId in, int channels,
+          int num_classes)
+    {
+        NodeId x = graph_->add(
+            std::make_unique<GlobalAvgPool>(prefix + ".gap"), {in});
+        auto fc = std::make_unique<Linear>(prefix + ".fc", channels,
+                                           num_classes);
+        fc->initKaiming(rng_);
+        return graph_->add(std::move(fc), {x});
+    }
+
+    Graph *graph() { return graph_.get(); }
+    std::unique_ptr<Graph> take() { return std::move(graph_); }
+
+  private:
+    std::unique_ptr<Graph> graph_;
+    Rng rng_;
+};
+
+/** ResNet basic block (two 3x3 convs). */
+NetBuilder::NodeId
+basicBlock(NetBuilder &b, const std::string &name, NetBuilder::NodeId in,
+           int ic, int oc, int stride)
+{
+    auto x = b.conv(name + ".conv1", in, ic, oc, 3, stride, 1);
+    x = b.bn(name + ".bn1", x, oc);
+    x = b.relu(name + ".relu1", x);
+    x = b.conv(name + ".conv2", x, oc, oc, 3, 1, 1);
+    x = b.bn(name + ".bn2", x, oc);
+
+    auto shortcut = in;
+    if (stride != 1 || ic != oc) {
+        shortcut = b.conv(name + ".down.conv", in, ic, oc, 1, stride, 0);
+        shortcut = b.bn(name + ".down.bn", shortcut, oc);
+    }
+    x = b.add(name + ".add", x, shortcut);
+    return b.relu(name + ".relu2", x);
+}
+
+/** ResNet bottleneck block (1x1 -> 3x3 -> 1x1, expansion 4). */
+NetBuilder::NodeId
+bottleneckBlock(NetBuilder &b, const std::string &name,
+                NetBuilder::NodeId in, int ic, int mid, int stride)
+{
+    const int oc = mid * 4;
+    auto x = b.conv(name + ".conv1", in, ic, mid, 1, 1, 0);
+    x = b.bn(name + ".bn1", x, mid);
+    x = b.relu(name + ".relu1", x);
+    x = b.conv(name + ".conv2", x, mid, mid, 3, stride, 1);
+    x = b.bn(name + ".bn2", x, mid);
+    x = b.relu(name + ".relu2", x);
+    x = b.conv(name + ".conv3", x, mid, oc, 1, 1, 0);
+    x = b.bn(name + ".bn3", x, oc);
+
+    auto shortcut = in;
+    if (stride != 1 || ic != oc) {
+        shortcut = b.conv(name + ".down.conv", in, ic, oc, 1, stride, 0);
+        shortcut = b.bn(name + ".down.bn", shortcut, oc);
+    }
+    x = b.add(name + ".add", x, shortcut);
+    return b.relu(name + ".relu3", x);
+}
+
+} // namespace
+
+std::unique_ptr<Graph>
+buildResNet18(int num_classes, uint64_t seed)
+{
+    NetBuilder b(seed);
+    auto x = b.conv("stem.conv", Graph::kInput, 3, 64, 7, 2, 3);
+    x = b.bn("stem.bn", x, 64);
+    x = b.relu("stem.relu", x);
+    x = b.maxpool("stem.pool", x, 3, 2, 1);
+
+    const int channels[4] = {64, 128, 256, 512};
+    int ic = 64;
+    for (int stage = 0; stage < 4; ++stage) {
+        const int oc = channels[stage];
+        for (int block = 0; block < 2; ++block) {
+            const int stride = (stage > 0 && block == 0) ? 2 : 1;
+            x = basicBlock(b,
+                           "layer" + std::to_string(stage + 1) + "." +
+                               std::to_string(block),
+                           x, ic, oc, stride);
+            ic = oc;
+        }
+    }
+    b.gapFc("head", x, 512, num_classes);
+    return b.take();
+}
+
+std::unique_ptr<Graph>
+buildResNet50(int num_classes, uint64_t seed)
+{
+    NetBuilder b(seed);
+    auto x = b.conv("stem.conv", Graph::kInput, 3, 64, 7, 2, 3);
+    x = b.bn("stem.bn", x, 64);
+    x = b.relu("stem.relu", x);
+    x = b.maxpool("stem.pool", x, 3, 2, 1);
+
+    const int mids[4] = {64, 128, 256, 512};
+    const int counts[4] = {3, 4, 6, 3};
+    int ic = 64;
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < counts[stage]; ++block) {
+            const int stride = (stage > 0 && block == 0) ? 2 : 1;
+            x = bottleneckBlock(b,
+                                "layer" + std::to_string(stage + 1) +
+                                    "." + std::to_string(block),
+                                x, ic, mids[stage], stride);
+            ic = mids[stage] * 4;
+        }
+    }
+    b.gapFc("head", x, 2048, num_classes);
+    return b.take();
+}
+
+std::unique_ptr<Graph>
+buildMobileNetV2(int num_classes, uint64_t seed)
+{
+    NetBuilder b(seed);
+    auto x = b.convBnRelu("stem", Graph::kInput, 3, 32, 3, 2, 1);
+
+    // (expansion t, output channels c, repeats n, first stride s)
+    struct StageSpec { int t, c, n, s; };
+    const StageSpec stages[] = {
+        {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2}, {6, 64, 4, 2},
+        {6, 96, 3, 1},  {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+
+    int ic = 32;
+    int stage_idx = 0;
+    for (const auto &st : stages) {
+        for (int i = 0; i < st.n; ++i) {
+            const int stride = i == 0 ? st.s : 1;
+            const std::string name = "ir" + std::to_string(stage_idx) +
+                                     "." + std::to_string(i);
+            const int expanded = ic * st.t;
+            Graph::NodeId y = x;
+            if (st.t != 1) {
+                y = b.convBnRelu(name + ".expand", y, ic, expanded, 1, 1,
+                                 0);
+            }
+            y = b.convBnRelu(name + ".dw", y, expanded, expanded, 3,
+                             stride, 1, /*groups=*/expanded);
+            y = b.conv(name + ".project.conv", y, expanded, st.c, 1, 1,
+                       0);
+            y = b.bn(name + ".project.bn", y, st.c);
+            if (stride == 1 && ic == st.c)
+                y = b.add(name + ".add", y, x);
+            x = y;
+            ic = st.c;
+        }
+        ++stage_idx;
+    }
+    x = b.convBnRelu("head.expand", x, ic, 1280, 1, 1, 0);
+    b.gapFc("head", x, 1280, num_classes);
+    return b.take();
+}
+
+std::unique_ptr<Graph>
+buildTinyCnn(int num_classes, int width, uint64_t seed)
+{
+    NetBuilder b(seed);
+    auto x = b.convBnRelu("s1", Graph::kInput, 3, width, 3, 2, 1);
+    x = b.convBnRelu("s2", x, width, width * 2, 3, 2, 1);
+    x = b.convBnRelu("s3", x, width * 2, width * 4, 3, 2, 1);
+    b.gapFc("head", x, width * 4, num_classes);
+    return b.take();
+}
+
+} // namespace tamres

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Graph builders for the architectures the paper evaluates:
+ * ResNet-18 / ResNet-50 backbones and the MobileNetV2 scale model.
+ *
+ * All builders produce resolution-agnostic graphs (global average
+ * pooling ahead of the classifier), so one instance serves every
+ * inference resolution — the property Section IV-b relies on.
+ */
+
+#ifndef TAMRES_NN_BUILDERS_HH
+#define TAMRES_NN_BUILDERS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/graph.hh"
+
+namespace tamres {
+
+/** ResNet-18 (BasicBlock x {2,2,2,2}). */
+std::unique_ptr<Graph> buildResNet18(int num_classes = 1000,
+                                     uint64_t seed = 1);
+
+/** ResNet-50 (Bottleneck x {3,4,6,3}). */
+std::unique_ptr<Graph> buildResNet50(int num_classes = 1000,
+                                     uint64_t seed = 1);
+
+/** MobileNetV2 (width multiplier 1.0). */
+std::unique_ptr<Graph> buildMobileNetV2(int num_classes = 1000,
+                                        uint64_t seed = 1);
+
+/**
+ * A compact trainable CNN used as the scale model in cheap settings
+ * (three conv stages + classifier); built with the inference ops for
+ * latency studies. The trainable counterpart lives in nn/train.hh.
+ */
+std::unique_ptr<Graph> buildTinyCnn(int num_classes, int width = 16,
+                                    uint64_t seed = 1);
+
+} // namespace tamres
+
+#endif // TAMRES_NN_BUILDERS_HH

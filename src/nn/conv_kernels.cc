@@ -1,0 +1,746 @@
+#include "nn/conv_kernels.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+std::string
+ConvProblem::key() const
+{
+    std::ostringstream out;
+    out << n << "x" << ic << "x" << ih << "x" << iw << "_oc" << oc
+        << "_k" << kh << "x" << kw << "_s" << stride << "_p" << pad
+        << "_g" << groups;
+    return out.str();
+}
+
+const char *
+convAlgoName(ConvAlgo algo)
+{
+    switch (algo) {
+      case ConvAlgo::Reference: return "reference";
+      case ConvAlgo::Direct: return "direct";
+      case ConvAlgo::Im2col: return "im2col";
+      case ConvAlgo::Winograd: return "winograd";
+      case ConvAlgo::Depthwise: return "depthwise";
+    }
+    return "?";
+}
+
+std::string
+ConvConfig::toString() const
+{
+    std::ostringstream out;
+    switch (algo) {
+      case ConvAlgo::Reference:
+        out << "reference";
+        break;
+      case ConvAlgo::Direct:
+        out << "direct(oc_tile=" << oc_tile << ",ow_tile=" << ow_tile
+            << ")";
+        break;
+      case ConvAlgo::Im2col:
+        out << "im2col(mc=" << mc << ",kc=" << kc << ",nc=" << nc
+            << ",mr=" << mr << ",nr=" << nr << ")";
+        break;
+      case ConvAlgo::Winograd:
+        out << "winograd(tb=" << wino_tile_block << ",mc=" << mc
+            << ",kc=" << kc << ",nc=" << nc << ",mr=" << mr
+            << ",nr=" << nr << ")";
+        break;
+      case ConvAlgo::Depthwise:
+        out << "depthwise(ow_tile=" << ow_tile << ")";
+        break;
+    }
+    return out.str();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Reference kernel
+// ---------------------------------------------------------------------
+
+void
+referenceKernel(const ConvProblem &p, const float *in, const float *w,
+                const float *bias, float *out)
+{
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int icg = p.ic / p.groups;
+    const int ocg = p.oc / p.groups;
+    for (int n = 0; n < p.n; ++n) {
+        for (int g = 0; g < p.groups; ++g) {
+            for (int oc = 0; oc < ocg; ++oc) {
+                const int oc_abs = g * ocg + oc;
+                for (int y = 0; y < oh; ++y) {
+                    for (int x = 0; x < ow; ++x) {
+                        float acc = bias ? bias[oc_abs] : 0.0f;
+                        for (int ic = 0; ic < icg; ++ic) {
+                            const int ic_abs = g * icg + ic;
+                            for (int ky = 0; ky < p.kh; ++ky) {
+                                const int iy = y * p.stride + ky - p.pad;
+                                if (iy < 0 || iy >= p.ih)
+                                    continue;
+                                for (int kx = 0; kx < p.kw; ++kx) {
+                                    const int ix =
+                                        x * p.stride + kx - p.pad;
+                                    if (ix < 0 || ix >= p.iw)
+                                        continue;
+                                    const float iv = in[
+                                        ((static_cast<int64_t>(n) * p.ic +
+                                          ic_abs) * p.ih + iy) * p.iw +
+                                        ix];
+                                    const float wv = w[
+                                        ((static_cast<int64_t>(oc_abs) *
+                                          icg + ic) * p.kh + ky) * p.kw +
+                                        kx];
+                                    acc += iv * wv;
+                                }
+                            }
+                        }
+                        out[((static_cast<int64_t>(n) * p.oc + oc_abs) *
+                             oh + y) * ow + x] = acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Direct register-tiled kernel
+// ---------------------------------------------------------------------
+
+void
+directKernel(const ConvProblem &p, const float *in, const float *w,
+             const float *bias, float *out, const ConvConfig &cfg)
+{
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int icg = p.ic / p.groups;
+    const int ocg = p.oc / p.groups;
+    const int oct = std::max(1, cfg.oc_tile);
+    const int owt = std::max(1, cfg.ow_tile);
+    // Register accumulator block; bounded so the compiler can keep it
+    // in registers for sensible tile choices.
+    constexpr int kMaxOcTile = 8;
+    constexpr int kMaxOwTile = 32;
+    tamres_assert(oct <= kMaxOcTile && owt <= kMaxOwTile,
+                  "direct tile sizes out of range");
+    float acc[kMaxOcTile][kMaxOwTile];
+
+    for (int n = 0; n < p.n; ++n) {
+        for (int g = 0; g < p.groups; ++g) {
+            for (int oc0 = 0; oc0 < ocg; oc0 += oct) {
+                const int oc_lim = std::min(oct, ocg - oc0);
+                for (int y = 0; y < oh; ++y) {
+                    for (int x0 = 0; x0 < ow; x0 += owt) {
+                        const int ow_lim = std::min(owt, ow - x0);
+                        for (int a = 0; a < oc_lim; ++a)
+                            for (int b = 0; b < ow_lim; ++b)
+                                acc[a][b] = 0.0f;
+                        for (int ic = 0; ic < icg; ++ic) {
+                            const int ic_abs = g * icg + ic;
+                            const float *iplane =
+                                in + ((static_cast<int64_t>(n) * p.ic +
+                                       ic_abs) * p.ih) * p.iw;
+                            for (int ky = 0; ky < p.kh; ++ky) {
+                                const int iy = y * p.stride + ky - p.pad;
+                                if (iy < 0 || iy >= p.ih)
+                                    continue;
+                                const float *irow = iplane + iy * p.iw;
+                                for (int kx = 0; kx < p.kw; ++kx) {
+                                    for (int a = 0; a < oc_lim; ++a) {
+                                        const int oc_abs =
+                                            g * ocg + oc0 + a;
+                                        const float wv = w[
+                                            ((static_cast<int64_t>(
+                                                  oc_abs) * icg + ic) *
+                                             p.kh + ky) * p.kw + kx];
+                                        for (int b = 0; b < ow_lim;
+                                             ++b) {
+                                            const int ix =
+                                                (x0 + b) * p.stride +
+                                                kx - p.pad;
+                                            if (ix < 0 || ix >= p.iw)
+                                                continue;
+                                            acc[a][b] += wv * irow[ix];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        for (int a = 0; a < oc_lim; ++a) {
+                            const int oc_abs = g * ocg + oc0 + a;
+                            float *orow =
+                                out + ((static_cast<int64_t>(n) * p.oc +
+                                        oc_abs) * oh + y) * ow + x0;
+                            const float bv = bias ? bias[oc_abs] : 0.0f;
+                            for (int b = 0; b < ow_lim; ++b)
+                                orow[b] = acc[a][b] + bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Im2col + blocked GEMM kernel
+// ---------------------------------------------------------------------
+
+/**
+ * Micro-kernel: C[mr x nr] += A-panel (k-major, MR-contiguous) times
+ * B-panel (k-major, NR-contiguous) over kc steps. Accumulators live in
+ * a local array the compiler maps to vector registers.
+ */
+template <int MR, int NR>
+void
+microKernel(int kc, const float *ap, const float *bp, float *c,
+            int ldc)
+{
+    float acc[MR][NR] = {};
+    for (int k = 0; k < kc; ++k) {
+        const float *a = ap + k * MR;
+        const float *b = bp + k * NR;
+        for (int i = 0; i < MR; ++i) {
+            const float av = a[i];
+            for (int j = 0; j < NR; ++j)
+                acc[i][j] += av * b[j];
+        }
+    }
+    for (int i = 0; i < MR; ++i)
+        for (int j = 0; j < NR; ++j)
+            c[i * ldc + j] += acc[i][j];
+}
+
+using MicroFn = void (*)(int, const float *, const float *, float *, int);
+
+MicroFn
+microDispatch(int mr, int nr)
+{
+    switch (mr * 100 + nr) {
+      case 104: return microKernel<1, 4>;
+      case 108: return microKernel<1, 8>;
+      case 116: return microKernel<1, 16>;
+      case 204: return microKernel<2, 4>;
+      case 208: return microKernel<2, 8>;
+      case 216: return microKernel<2, 16>;
+      case 404: return microKernel<4, 4>;
+      case 408: return microKernel<4, 8>;
+      case 416: return microKernel<4, 16>;
+      case 604: return microKernel<6, 4>;
+      case 608: return microKernel<6, 8>;
+      case 616: return microKernel<6, 16>;
+      case 804: return microKernel<8, 4>;
+      case 808: return microKernel<8, 8>;
+      case 816: return microKernel<8, 16>;
+      default: return nullptr;
+    }
+}
+
+/** Thread-local scratch reused across calls to avoid reallocation. */
+struct Scratch
+{
+    std::vector<float> im2col;
+    std::vector<float> apack;
+    std::vector<float> bpack;
+    std::vector<float> ctile;
+};
+
+Scratch &
+scratch()
+{
+    thread_local Scratch s;
+    return s;
+}
+
+/**
+ * Build the full im2col matrix for one (batch, group):
+ * B[K = icg*kh*kw][N = oh*ow], row-major.
+ */
+void
+im2col(const ConvProblem &p, const float *in, int n, int g, float *col)
+{
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int icg = p.ic / p.groups;
+    const int N = oh * ow;
+    for (int ic = 0; ic < icg; ++ic) {
+        const int ic_abs = g * icg + ic;
+        const float *iplane =
+            in + ((static_cast<int64_t>(n) * p.ic + ic_abs) * p.ih) *
+                     p.iw;
+        for (int ky = 0; ky < p.kh; ++ky) {
+            for (int kx = 0; kx < p.kw; ++kx) {
+                float *crow =
+                    col + (static_cast<int64_t>(ic) * p.kh * p.kw +
+                           ky * p.kw + kx) * N;
+                for (int y = 0; y < oh; ++y) {
+                    const int iy = y * p.stride + ky - p.pad;
+                    float *dst = crow + y * ow;
+                    if (iy < 0 || iy >= p.ih) {
+                        std::memset(dst, 0, sizeof(float) * ow);
+                        continue;
+                    }
+                    const float *irow = iplane + iy * p.iw;
+                    // Fast path: the whole output row maps inside the
+                    // input row (common for interior kx).
+                    const int x_lo_in = kx - p.pad; // ix at x = 0
+                    if (p.stride == 1 && x_lo_in >= 0 &&
+                        x_lo_in + ow <= p.iw) {
+                        std::memcpy(dst, irow + x_lo_in,
+                                    sizeof(float) * ow);
+                        continue;
+                    }
+                    for (int x = 0; x < ow; ++x) {
+                        const int ix = x * p.stride + kx - p.pad;
+                        dst[x] = (ix < 0 || ix >= p.iw) ? 0.0f
+                                                        : irow[ix];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Blocked GEMM: C[M x N] += A[M x K] * B[K x N] (all row-major),
+ * GotoBLAS-style loop structure with packed panels.
+ */
+void
+blockedGemm(int M, int N, int K, const float *a, const float *b,
+            float *c, const ConvConfig &cfg)
+{
+    const int mc = std::max(cfg.mr, cfg.mc);
+    const int kc = std::max(1, cfg.kc);
+    const int nc = std::max(cfg.nr, cfg.nc);
+    const int mr = cfg.mr;
+    const int nr = cfg.nr;
+    MicroFn micro = microDispatch(mr, nr);
+    tamres_assert(micro, "unsupported micro-kernel %dx%d", mr, nr);
+
+    Scratch &s = scratch();
+    // Panels are padded up to multiples of mr/nr, which can exceed
+    // mc/nc when the micro-kernel does not divide the cache block.
+    s.apack.resize((static_cast<size_t>(mc) + mr) * kc);
+    s.bpack.resize((static_cast<size_t>(nc) + nr) * kc);
+    s.ctile.resize(static_cast<size_t>(mr) * nr);
+
+    for (int jc = 0; jc < N; jc += nc) {
+        const int nb = std::min(nc, N - jc);
+        const int nb_pad = (nb + nr - 1) / nr * nr;
+        for (int pc = 0; pc < K; pc += kc) {
+            const int kb = std::min(kc, K - pc);
+            // Pack B: kb x nb -> panels of NR columns, k-major.
+            for (int jr = 0; jr < nb_pad; jr += nr) {
+                float *dst = s.bpack.data() +
+                             static_cast<size_t>(jr) * kb;
+                const int jw = std::min(nr, nb - jr);
+                for (int k = 0; k < kb; ++k) {
+                    const float *src =
+                        b + static_cast<int64_t>(pc + k) * N + jc + jr;
+                    for (int j = 0; j < jw; ++j)
+                        dst[k * nr + j] = src[j];
+                    for (int j = jw; j < nr; ++j)
+                        dst[k * nr + j] = 0.0f;
+                }
+            }
+            for (int icb = 0; icb < M; icb += mc) {
+                const int mb = std::min(mc, M - icb);
+                const int mb_pad = (mb + mr - 1) / mr * mr;
+                // Pack A: mb x kb -> panels of MR rows, k-major.
+                for (int ir = 0; ir < mb_pad; ir += mr) {
+                    float *dst = s.apack.data() +
+                                 static_cast<size_t>(ir) * kb;
+                    const int iw_rows = std::min(mr, mb - ir);
+                    for (int k = 0; k < kb; ++k) {
+                        for (int i = 0; i < iw_rows; ++i) {
+                            dst[k * mr + i] =
+                                a[static_cast<int64_t>(icb + ir + i) *
+                                      K + pc + k];
+                        }
+                        for (int i = iw_rows; i < mr; ++i)
+                            dst[k * mr + i] = 0.0f;
+                    }
+                }
+                // Macro loop over micro tiles.
+                for (int jr = 0; jr < nb_pad; jr += nr) {
+                    const float *bp = s.bpack.data() +
+                                      static_cast<size_t>(jr) * kb;
+                    const int jw = std::min(nr, nb - jr);
+                    for (int ir = 0; ir < mb_pad; ir += mr) {
+                        const float *ap = s.apack.data() +
+                                          static_cast<size_t>(ir) * kb;
+                        const int iw_rows = std::min(mr, mb - ir);
+                        float *cdst = c +
+                                      static_cast<int64_t>(icb + ir) *
+                                          N + jc + jr;
+                        if (iw_rows == mr && jw == nr) {
+                            micro(kb, ap, bp, cdst, N);
+                        } else {
+                            // Edge tile: accumulate into scratch then
+                            // copy the valid region.
+                            std::fill(s.ctile.begin(), s.ctile.end(),
+                                      0.0f);
+                            micro(kb, ap, bp, s.ctile.data(), nr);
+                            for (int i = 0; i < iw_rows; ++i)
+                                for (int j = 0; j < jw; ++j)
+                                    cdst[i * N + j] +=
+                                        s.ctile[i * nr + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+im2colKernel(const ConvProblem &p, const float *in, const float *w,
+             const float *bias, float *out, const ConvConfig &cfg)
+{
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int icg = p.ic / p.groups;
+    const int ocg = p.oc / p.groups;
+    const int K = icg * p.kh * p.kw;
+    const int N = oh * ow;
+
+    // Pointwise fast path: a 1x1/stride-1/no-pad convolution is a
+    // plain GEMM over the input planes — skip the im2col copy.
+    const bool pointwise =
+        p.kh == 1 && p.kw == 1 && p.stride == 1 && p.pad == 0;
+
+    Scratch &s = scratch();
+    if (!pointwise)
+        s.im2col.resize(static_cast<size_t>(K) * N);
+
+    for (int n = 0; n < p.n; ++n) {
+        for (int g = 0; g < p.groups; ++g) {
+            const float *bmat;
+            if (pointwise) {
+                bmat = in + ((static_cast<int64_t>(n) * p.ic +
+                              g * icg) * p.ih) * p.iw;
+            } else {
+                im2col(p, in, n, g, s.im2col.data());
+                bmat = s.im2col.data();
+            }
+            float *cbase = out + ((static_cast<int64_t>(n) * p.oc +
+                                   g * ocg) * oh) * ow;
+            // Initialize output with bias (GEMM accumulates).
+            for (int oc = 0; oc < ocg; ++oc) {
+                const float bv = bias ? bias[g * ocg + oc] : 0.0f;
+                std::fill_n(cbase + static_cast<int64_t>(oc) * N, N, bv);
+            }
+            const float *abase =
+                w + static_cast<int64_t>(g) * ocg * K;
+            blockedGemm(ocg, N, K, abase, bmat, cbase, cfg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Winograd F(2x2, 3x3) kernel
+// ---------------------------------------------------------------------
+
+/**
+ * 1-D transform matrices for F(2, 3):
+ *   B^T (4x4) input, G (4x3) weight, A^T (2x4) output.
+ * The 2-D forms apply the 1-D transform along both axes.
+ */
+
+/** U[16][oc][icg]: transformed weights, k-major across the 16 freqs. */
+void
+winogradWeightTransform(const ConvProblem &p, const float *w,
+                        std::vector<float> &u)
+{
+    const int icg = p.ic / p.groups;
+    u.resize(static_cast<size_t>(16) * p.oc * icg);
+    for (int oc = 0; oc < p.oc; ++oc) {
+        for (int ic = 0; ic < icg; ++ic) {
+            const float *g =
+                w + (static_cast<int64_t>(oc) * icg + ic) * 9;
+            // t = G g (4x3 result).
+            float t[4][3];
+            for (int j = 0; j < 3; ++j) {
+                const float g0 = g[0 * 3 + j];
+                const float g1 = g[1 * 3 + j];
+                const float g2 = g[2 * 3 + j];
+                t[0][j] = g0;
+                t[1][j] = 0.5f * (g0 + g1 + g2);
+                t[2][j] = 0.5f * (g0 - g1 + g2);
+                t[3][j] = g2;
+            }
+            // uu = t G^T (4x4 result).
+            for (int i = 0; i < 4; ++i) {
+                const float t0 = t[i][0];
+                const float t1 = t[i][1];
+                const float t2 = t[i][2];
+                const float uu[4] = {t0, 0.5f * (t0 + t1 + t2),
+                                     0.5f * (t0 - t1 + t2), t2};
+                for (int j = 0; j < 4; ++j) {
+                    u[(static_cast<size_t>(i * 4 + j) * p.oc + oc) *
+                          icg + ic] = uu[j];
+                }
+            }
+        }
+    }
+}
+
+/** d (4x4) -> B^T d B, written into v[16] (freq-major scalars). */
+inline void
+winogradInputTransform4x4(const float d[4][4], float v[16])
+{
+    // t = B^T d.
+    float t[4][4];
+    for (int j = 0; j < 4; ++j) {
+        t[0][j] = d[0][j] - d[2][j];
+        t[1][j] = d[1][j] + d[2][j];
+        t[2][j] = d[2][j] - d[1][j];
+        t[3][j] = d[1][j] - d[3][j];
+    }
+    // v = t B.
+    for (int i = 0; i < 4; ++i) {
+        v[i * 4 + 0] = t[i][0] - t[i][2];
+        v[i * 4 + 1] = t[i][1] + t[i][2];
+        v[i * 4 + 2] = t[i][2] - t[i][1];
+        v[i * 4 + 3] = t[i][1] - t[i][3];
+    }
+}
+
+/** m (4x4) -> A^T m A (2x2 output). */
+inline void
+winogradOutputTransform(const float m[16], float y[2][2])
+{
+    float t[2][4];
+    for (int j = 0; j < 4; ++j) {
+        t[0][j] = m[0 * 4 + j] + m[1 * 4 + j] + m[2 * 4 + j];
+        t[1][j] = m[1 * 4 + j] - m[2 * 4 + j] - m[3 * 4 + j];
+    }
+    for (int i = 0; i < 2; ++i) {
+        y[i][0] = t[i][0] + t[i][1] + t[i][2];
+        y[i][1] = t[i][1] - t[i][2] - t[i][3];
+    }
+}
+
+void
+winogradKernel(const ConvProblem &p, const float *in, const float *w,
+               const float *bias, float *out, const ConvConfig &cfg)
+{
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int icg = p.ic / p.groups;
+    const int tiles_y = (oh + 1) / 2;
+    const int tiles_x = (ow + 1) / 2;
+    const int total_tiles = tiles_y * tiles_x;
+    const int tb = std::max(4, cfg.wino_tile_block);
+
+    std::vector<float> u;
+    winogradWeightTransform(p, w, u);
+
+    // Per tile-block scratch: V[16][icg][tb], M[16][oc][tb].
+    std::vector<float> v(static_cast<size_t>(16) * icg * tb);
+    std::vector<float> m(static_cast<size_t>(16) * p.oc * tb);
+
+    for (int n = 0; n < p.n; ++n) {
+        for (int t0 = 0; t0 < total_tiles; t0 += tb) {
+            const int tcount = std::min(tb, total_tiles - t0);
+            // Gather + transform input tiles.
+            for (int ic = 0; ic < icg; ++ic) {
+                const float *iplane =
+                    in + ((static_cast<int64_t>(n) * p.ic + ic) *
+                          p.ih) * p.iw;
+                for (int t = 0; t < tcount; ++t) {
+                    const int ty = (t0 + t) / tiles_x;
+                    const int tx = (t0 + t) % tiles_x;
+                    const int iy0 = ty * 2 - p.pad;
+                    const int ix0 = tx * 2 - p.pad;
+                    float d[4][4];
+                    for (int y = 0; y < 4; ++y) {
+                        const int iy = iy0 + y;
+                        for (int x = 0; x < 4; ++x) {
+                            const int ix = ix0 + x;
+                            d[y][x] = (iy < 0 || iy >= p.ih || ix < 0 ||
+                                       ix >= p.iw)
+                                          ? 0.0f
+                                          : iplane[static_cast<int64_t>(
+                                                       iy) * p.iw + ix];
+                        }
+                    }
+                    float freq[16];
+                    winogradInputTransform4x4(d, freq);
+                    for (int k = 0; k < 16; ++k)
+                        v[(static_cast<size_t>(k) * icg + ic) *
+                              tcount + t] = freq[k];
+                }
+            }
+            // 16 GEMMs: M[k] = U[k] (oc x icg) * V[k] (icg x tcount).
+            // Buffers are packed dense at the current block's width.
+            std::fill(m.begin(), m.end(), 0.0f);
+            for (int k = 0; k < 16; ++k) {
+                blockedGemm(p.oc, tcount, icg,
+                            u.data() + static_cast<size_t>(k) * p.oc *
+                                           icg,
+                            v.data() + static_cast<size_t>(k) * icg *
+                                           tcount,
+                            m.data() + static_cast<size_t>(k) * p.oc *
+                                           tcount,
+                            cfg);
+            }
+            // Inverse transform + scatter.
+            for (int oc = 0; oc < p.oc; ++oc) {
+                const float bv = bias ? bias[oc] : 0.0f;
+                float *oplane =
+                    out + ((static_cast<int64_t>(n) * p.oc + oc) * oh) *
+                              ow;
+                for (int t = 0; t < tcount; ++t) {
+                    const int ty = (t0 + t) / tiles_x;
+                    const int tx = (t0 + t) % tiles_x;
+                    float freq[16];
+                    for (int k = 0; k < 16; ++k)
+                        freq[k] = m[(static_cast<size_t>(k) * p.oc +
+                                     oc) * tcount + t];
+                    float y[2][2];
+                    winogradOutputTransform(freq, y);
+                    for (int dy = 0; dy < 2; ++dy) {
+                        const int oy = ty * 2 + dy;
+                        if (oy >= oh)
+                            break;
+                        for (int dx = 0; dx < 2; ++dx) {
+                            const int ox = tx * 2 + dx;
+                            if (ox >= ow)
+                                break;
+                            oplane[static_cast<int64_t>(oy) * ow + ox] =
+                                y[dy][dx] + bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Depthwise direct kernel
+// ---------------------------------------------------------------------
+
+void
+depthwiseKernel(const ConvProblem &p, const float *in, const float *w,
+                const float *bias, float *out, const ConvConfig &cfg)
+{
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int owt = std::max(1, cfg.ow_tile);
+    constexpr int kMaxOwTile = 32;
+    tamres_assert(owt <= kMaxOwTile, "depthwise tile out of range");
+    float acc[kMaxOwTile];
+
+    for (int n = 0; n < p.n; ++n) {
+        for (int c = 0; c < p.oc; ++c) {
+            const float *iplane =
+                in + ((static_cast<int64_t>(n) * p.ic + c) * p.ih) *
+                         p.iw;
+            const float *wk = w + static_cast<int64_t>(c) * p.kh * p.kw;
+            const float bv = bias ? bias[c] : 0.0f;
+            float *oplane =
+                out + ((static_cast<int64_t>(n) * p.oc + c) * oh) * ow;
+            for (int y = 0; y < oh; ++y) {
+                for (int x0 = 0; x0 < ow; x0 += owt) {
+                    const int lim = std::min(owt, ow - x0);
+                    for (int b = 0; b < lim; ++b)
+                        acc[b] = bv;
+                    for (int ky = 0; ky < p.kh; ++ky) {
+                        const int iy = y * p.stride + ky - p.pad;
+                        if (iy < 0 || iy >= p.ih)
+                            continue;
+                        const float *irow =
+                            iplane + static_cast<int64_t>(iy) * p.iw;
+                        for (int kx = 0; kx < p.kw; ++kx) {
+                            const float wv = wk[ky * p.kw + kx];
+                            for (int b = 0; b < lim; ++b) {
+                                const int ix =
+                                    (x0 + b) * p.stride + kx - p.pad;
+                                if (ix >= 0 && ix < p.iw)
+                                    acc[b] += wv * irow[ix];
+                            }
+                        }
+                    }
+                    for (int b = 0; b < lim; ++b)
+                        oplane[static_cast<int64_t>(y) * ow + x0 + b] =
+                            acc[b];
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+convConfigValid(const ConvProblem &p, const ConvConfig &cfg)
+{
+    switch (cfg.algo) {
+      case ConvAlgo::Reference:
+        return true;
+      case ConvAlgo::Direct:
+        return cfg.oc_tile >= 1 && cfg.oc_tile <= 8 && cfg.ow_tile >= 1 &&
+               cfg.ow_tile <= 32;
+      case ConvAlgo::Im2col:
+        return microDispatch(cfg.mr, cfg.nr) != nullptr && cfg.mc >= 1 &&
+               cfg.kc >= 1 && cfg.nc >= 1;
+      case ConvAlgo::Winograd:
+        return p.kh == 3 && p.kw == 3 && p.stride == 1 &&
+               p.groups == 1 && cfg.wino_tile_block >= 4 &&
+               cfg.wino_tile_block <= 4096 &&
+               microDispatch(cfg.mr, cfg.nr) != nullptr && cfg.mc >= 1 &&
+               cfg.kc >= 1 && cfg.nc >= 1;
+      case ConvAlgo::Depthwise:
+        return p.groups == p.ic && p.ic == p.oc && cfg.ow_tile >= 1 &&
+               cfg.ow_tile <= 32;
+    }
+    return false;
+}
+
+void
+convReference(const ConvProblem &p, const float *in, const float *w,
+              const float *bias, float *out)
+{
+    referenceKernel(p, in, w, bias, out);
+}
+
+void
+convForward(const ConvProblem &p, const float *in, const float *w,
+            const float *bias, float *out, const ConvConfig &cfg)
+{
+    tamres_assert(p.ic % p.groups == 0 && p.oc % p.groups == 0,
+                  "channels must divide groups");
+    tamres_assert(convConfigValid(p, cfg), "invalid conv config %s",
+                  cfg.toString().c_str());
+    switch (cfg.algo) {
+      case ConvAlgo::Reference:
+        referenceKernel(p, in, w, bias, out);
+        break;
+      case ConvAlgo::Direct:
+        directKernel(p, in, w, bias, out, cfg);
+        break;
+      case ConvAlgo::Im2col:
+        im2colKernel(p, in, w, bias, out, cfg);
+        break;
+      case ConvAlgo::Winograd:
+        winogradKernel(p, in, w, bias, out, cfg);
+        break;
+      case ConvAlgo::Depthwise:
+        depthwiseKernel(p, in, w, bias, out, cfg);
+        break;
+    }
+}
+
+} // namespace tamres

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Convolution problem/config definitions and kernel implementations.
+ *
+ * This is the substrate for the paper's Section VI: the performance of
+ * a convolution depends jointly on the input shape (resolution) and the
+ * implementation's blocking parameters. A library that fixes its
+ * blocking for the most common resolution (224) loses utilization at
+ * other resolutions; an autotuner that searches ConvConfig per shape
+ * recovers it. Three algorithm families are provided:
+ *
+ *  - Reference: textbook 7-deep loop nest; slow, used as ground truth.
+ *  - Direct:    register-tiled direct convolution (oc x ow register
+ *               blocks, unrolled reduction).
+ *  - Im2col:    im2col + cache-blocked packed GEMM with an (mr x nr)
+ *               micro-kernel (GotoBLAS-style mc/kc/nc blocking).
+ */
+
+#ifndef TAMRES_NN_CONV_KERNELS_HH
+#define TAMRES_NN_CONV_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tamres {
+
+/** Shape of a 2-D convolution (NCHW, square kernel assumed not). */
+struct ConvProblem
+{
+    int n = 1;       //!< batch
+    int ic = 1;      //!< input channels
+    int ih = 1;      //!< input height
+    int iw = 1;      //!< input width
+    int oc = 1;      //!< output channels
+    int kh = 1;      //!< kernel height
+    int kw = 1;      //!< kernel width
+    int stride = 1;  //!< stride (both axes)
+    int pad = 0;     //!< zero padding (both axes)
+    int groups = 1;  //!< channel groups (ic and oc divisible)
+
+    int oh() const { return (ih + 2 * pad - kh) / stride + 1; }
+    int ow() const { return (iw + 2 * pad - kw) / stride + 1; }
+
+    /** Multiply-accumulate count (the paper's "FLOPs" convention). */
+    int64_t
+    macs() const
+    {
+        return static_cast<int64_t>(n) * oc * oh() * ow() *
+               (ic / groups) * kh * kw;
+    }
+
+    /** A short key such as "1x64x56x56_oc64_k3s1p1_g1". */
+    std::string key() const;
+
+    bool operator==(const ConvProblem &) const = default;
+};
+
+/** Algorithm family for a convolution implementation. */
+enum class ConvAlgo
+{
+    Reference, //!< naive loop nest (correctness oracle)
+    Direct,    //!< register-tiled direct convolution
+    Im2col,    //!< im2col + blocked GEMM
+    /**
+     * Winograd F(2x2, 3x3): 2.25x fewer multiplies for 3x3/stride-1/
+     * ungrouped convolutions via 4x4 tile transforms and 16 batched
+     * GEMMs (reusing the blocked-GEMM knobs). The relative win grows
+     * with channel depth, so whether it beats im2col depends on the
+     * layer's position in the network and the resolution — exactly
+     * the shape-dependence the tuner is there to resolve.
+     */
+    Winograd,
+    /**
+     * Depthwise direct kernel for groups == ic == oc convolutions
+     * (MobileNetV2's dominant layer type); skips the degenerate
+     * 1-channel GEMM the generic paths would issue.
+     */
+    Depthwise,
+};
+
+/** "reference" / "direct" / "im2col" / "winograd" / "depthwise". */
+const char *convAlgoName(ConvAlgo algo);
+
+/** Tunable implementation parameters. */
+struct ConvConfig
+{
+    ConvAlgo algo = ConvAlgo::Im2col;
+
+    // --- Direct algorithm knobs ---
+    int oc_tile = 4;  //!< output channels per register block
+    int ow_tile = 8;  //!< output columns per register block
+
+    // --- Im2col/GEMM knobs (also used by Winograd's 16 GEMMs) ---
+    int mc = 64;      //!< rows of A (output channels) per L2 panel
+    int kc = 128;     //!< reduction block per L1 panel
+    int nc = 512;     //!< columns of B (pixels) per L3 panel
+    int mr = 4;       //!< micro-kernel rows (one of 1,2,4,6,8)
+    int nr = 8;       //!< micro-kernel cols (one of 4,8,16)
+
+    // --- Winograd knobs ---
+    int wino_tile_block = 256; //!< input tiles transformed per batch
+
+    /** Human-readable description for logs and cache files. */
+    std::string toString() const;
+
+    bool operator==(const ConvConfig &) const = default;
+};
+
+/**
+ * Run a convolution.
+ *
+ * @param p    problem shape
+ * @param in   input,  NCHW, n*ic*ih*iw floats
+ * @param w    weights, [oc, ic/groups, kh, kw]
+ * @param bias per-output-channel bias, may be nullptr
+ * @param out  output, n*oc*oh*ow floats (overwritten)
+ * @param cfg  implementation choice and blocking parameters
+ */
+void convForward(const ConvProblem &p, const float *in, const float *w,
+                 const float *bias, float *out, const ConvConfig &cfg);
+
+/** Reference implementation shortcut (ground truth for tests). */
+void convReference(const ConvProblem &p, const float *in, const float *w,
+                   const float *bias, float *out);
+
+/**
+ * Validity check: some (config, problem) pairs are rejected (e.g.
+ * micro-kernel sizes not in the supported set). Invalid configs are
+ * skipped by the tuner.
+ */
+bool convConfigValid(const ConvProblem &p, const ConvConfig &cfg);
+
+} // namespace tamres
+
+#endif // TAMRES_NN_CONV_KERNELS_HH

@@ -1,0 +1,218 @@
+#include "nn/graph.hh"
+
+#include "util/timer.hh"
+
+namespace tamres {
+
+Graph::Graph()
+{
+    nodes_.push_back(Node{}); // input placeholder
+}
+
+Graph::NodeId
+Graph::add(std::unique_ptr<Op> op, std::vector<NodeId> inputs)
+{
+    tamres_assert(op != nullptr, "null op");
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    for (NodeId in : inputs) {
+        tamres_assert(in >= 0 && in < id,
+                      "op '%s' consumes undefined node %d",
+                      op->name().c_str(), in);
+    }
+    nodes_.push_back(Node{std::move(op), std::move(inputs)});
+    output_ = id;
+    return id;
+}
+
+void
+Graph::setOutput(NodeId id)
+{
+    tamres_assert(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+                  "output node %d undefined", id);
+    output_ = id;
+}
+
+std::vector<Shape>
+Graph::inferShapes(const Shape &input_shape) const
+{
+    std::vector<Shape> shapes(nodes_.size());
+    shapes[kInput] = input_shape;
+    for (size_t i = 1; i < nodes_.size(); ++i) {
+        std::vector<Shape> in_shapes;
+        in_shapes.reserve(nodes_[i].inputs.size());
+        for (NodeId in : nodes_[i].inputs)
+            in_shapes.push_back(shapes[in]);
+        shapes[i] = nodes_[i].op->outputShape(in_shapes);
+    }
+    return shapes;
+}
+
+Op *
+Graph::opAt(NodeId id)
+{
+    tamres_assert(id >= 0 && id < numNodes(), "node id out of range");
+    return nodes_[id].op.get();
+}
+
+const std::vector<Graph::NodeId> &
+Graph::inputsOf(NodeId id) const
+{
+    tamres_assert(id >= 0 && id < numNodes(), "node id out of range");
+    return nodes_[id].inputs;
+}
+
+void
+Graph::replaceOp(NodeId id, std::unique_ptr<Op> op)
+{
+    tamres_assert(id > 0 && id < numNodes(),
+                  "replaceOp id out of range (cannot replace the "
+                  "input placeholder)");
+    tamres_assert(op != nullptr, "replacement op must be non-null");
+    nodes_[id].op = std::move(op);
+}
+
+void
+Graph::rewire(NodeId from, NodeId to)
+{
+    tamres_assert(from >= 0 && from < numNodes() && to >= 0 &&
+                  to < numNodes(), "rewire ids out of range");
+    tamres_assert(to < from || to == from,
+                  "rewire must not create a forward reference");
+    for (auto &node : nodes_) {
+        for (NodeId &in : node.inputs) {
+            if (in == from)
+                in = to;
+        }
+    }
+    if (output_ == from)
+        output_ = to;
+}
+
+std::vector<Graph::NodeId>
+Graph::liveNodes() const
+{
+    std::vector<bool> live(nodes_.size(), false);
+    std::vector<NodeId> stack{output_};
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        if (live[id])
+            continue;
+        live[id] = true;
+        for (NodeId in : nodes_[id].inputs)
+            stack.push_back(in);
+    }
+    std::vector<NodeId> out;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (live[i])
+            out.push_back(static_cast<NodeId>(i));
+    }
+    return out;
+}
+
+Tensor
+Graph::run(const Tensor &input)
+{
+    const auto shapes = inferShapes(input.shape());
+    std::vector<Tensor> values(nodes_.size());
+    values[kInput] = input;
+    for (NodeId i : liveNodes()) {
+        if (i == kInput)
+            continue;
+        std::vector<const Tensor *> ins;
+        ins.reserve(nodes_[i].inputs.size());
+        for (NodeId in : nodes_[i].inputs)
+            ins.push_back(&values[in]);
+        values[i] = Tensor(shapes[i]);
+        if (observer_)
+            observer_(*nodes_[i].op, ins);
+        nodes_[i].op->forward(ins, values[i]);
+    }
+    return values[output_];
+}
+
+int64_t
+Graph::flops(const Shape &input_shape) const
+{
+    const auto shapes = inferShapes(input_shape);
+    int64_t total = 0;
+    for (NodeId i : liveNodes()) {
+        if (i == kInput)
+            continue;
+        std::vector<Shape> in_shapes;
+        for (NodeId in : nodes_[i].inputs)
+            in_shapes.push_back(shapes[in]);
+        total += nodes_[i].op->flops(in_shapes);
+    }
+    return total;
+}
+
+std::vector<OpProfile>
+Graph::profile(const Tensor &input)
+{
+    const auto shapes = inferShapes(input.shape());
+    std::vector<Tensor> values(nodes_.size());
+    values[kInput] = input;
+    std::vector<OpProfile> out;
+    out.reserve(nodes_.size() - 1);
+    for (NodeId i_id : liveNodes()) {
+        if (i_id == kInput)
+            continue;
+        const size_t i = static_cast<size_t>(i_id);
+        std::vector<const Tensor *> ins;
+        std::vector<Shape> in_shapes;
+        for (NodeId in : nodes_[i].inputs) {
+            ins.push_back(&values[in]);
+            in_shapes.push_back(shapes[in]);
+        }
+        values[i] = Tensor(shapes[i]);
+        Timer t;
+        nodes_[i].op->forward(ins, values[i]);
+        out.push_back(OpProfile{nodes_[i].op->name(),
+                                nodes_[i].op->type(), shapes[i],
+                                nodes_[i].op->flops(in_shapes),
+                                t.seconds()});
+    }
+    return out;
+}
+
+void
+Graph::forEachOp(const std::function<void(Op &)> &fn)
+{
+    for (size_t i = 1; i < nodes_.size(); ++i)
+        fn(*nodes_[i].op);
+}
+
+void
+Graph::visitShapes(const Shape &input_shape,
+                   const std::function<void(Op &,
+                                            const std::vector<Shape> &)>
+                       &fn)
+{
+    const auto shapes = inferShapes(input_shape);
+    for (size_t i = 1; i < nodes_.size(); ++i) {
+        std::vector<Shape> in_shapes;
+        for (NodeId in : nodes_[i].inputs)
+            in_shapes.push_back(shapes[in]);
+        fn(*nodes_[i].op, in_shapes);
+    }
+}
+
+Shape
+Graph::outputShape(const Shape &input_shape) const
+{
+    return inferShapes(input_shape)[output_];
+}
+
+int64_t
+Graph::numParams()
+{
+    int64_t total = 0;
+    forEachOp([&](Op &op) {
+        for (Tensor *t : op.params())
+            total += t->numel();
+    });
+    return total;
+}
+
+} // namespace tamres

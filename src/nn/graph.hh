@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Inference graph: a DAG of operators executed at any input resolution.
+ */
+
+#ifndef TAMRES_NN_GRAPH_HH
+#define TAMRES_NN_GRAPH_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/op.hh"
+
+namespace tamres {
+
+/** Per-op profile entry from Graph::profile(). */
+struct OpProfile
+{
+    std::string name;
+    std::string type;
+    Shape output_shape;
+    int64_t flops = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * A single-input, single-output operator DAG. Nodes are added in
+ * topological order (inputs must already exist).
+ */
+class Graph
+{
+  public:
+    using NodeId = int;
+
+    /** Id of the graph input placeholder. */
+    static constexpr NodeId kInput = 0;
+
+    Graph();
+
+    /** Add an operator consuming the given nodes; returns its id. */
+    NodeId add(std::unique_ptr<Op> op, std::vector<NodeId> inputs);
+
+    /** Designate the output node (defaults to the last added). */
+    void setOutput(NodeId id);
+
+    /** Number of operator nodes (excluding the input placeholder). */
+    size_t numOps() const { return nodes_.size() - 1; }
+
+    /** Run the graph on @p input and return the output tensor. */
+    Tensor run(const Tensor &input);
+
+    /** Total MAC count for an input of the given shape. */
+    int64_t flops(const Shape &input_shape) const;
+
+    /** Run with per-op wall-clock timing. */
+    std::vector<OpProfile> profile(const Tensor &input);
+
+    /** Visit every op (e.g. to enumerate conv shapes or init params). */
+    void forEachOp(const std::function<void(Op &)> &fn);
+
+    /**
+     * Observer invoked before each op executes during run(), with the
+     * op and its actual input tensors. Used by quantization
+     * calibration to record activation ranges; pass nullptr to clear.
+     * The observer must not retain the tensor pointers.
+     */
+    using OpObserver =
+        std::function<void(const Op &,
+                           const std::vector<const Tensor *> &)>;
+    void setObserver(OpObserver obs) { observer_ = std::move(obs); }
+
+    /**
+     * Swap the operator at @p id for @p op, keeping the node's wiring.
+     * The replacement must preserve the output shape contract (same
+     * outputShape for the shapes the graph will see). Used by
+     * graph-rewriting passes such as conv quantization.
+     */
+    void replaceOp(NodeId id, std::unique_ptr<Op> op);
+
+    /**
+     * Visit every op together with the input shapes it would see for a
+     * graph input of @p input_shape (no tensors are allocated). Used by
+     * the tuner to enumerate per-resolution conv problems.
+     */
+    void visitShapes(const Shape &input_shape,
+                     const std::function<void(Op &,
+                                              const std::vector<Shape> &)>
+                         &fn);
+
+    /** Output shape for a given input shape without running. */
+    Shape outputShape(const Shape &input_shape) const;
+
+    /** Total parameter element count. */
+    int64_t numParams();
+
+    /** Number of nodes including the input placeholder. */
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+
+    /** The op at a node (nullptr for the input placeholder). */
+    Op *opAt(NodeId id);
+
+    /** Input node ids of a node. */
+    const std::vector<NodeId> &inputsOf(NodeId id) const;
+
+    /**
+     * Redirect every consumer of @p from to read @p to instead (used
+     * by graph-rewriting passes such as batch-norm folding). Nodes
+     * left without consumers are skipped during execution.
+     */
+    void rewire(NodeId from, NodeId to);
+
+    /** Node ids reachable backward from the output (always sorted). */
+    std::vector<NodeId> liveNodes() const;
+
+  private:
+    struct Node
+    {
+        std::unique_ptr<Op> op; //!< null for the input placeholder
+        std::vector<NodeId> inputs;
+    };
+
+    std::vector<Shape> inferShapes(const Shape &input_shape) const;
+
+    std::vector<Node> nodes_;
+    NodeId output_ = kInput;
+    OpObserver observer_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_NN_GRAPH_HH

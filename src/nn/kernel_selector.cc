@@ -1,0 +1,71 @@
+#include "nn/kernel_selector.hh"
+
+namespace tamres {
+
+KernelSelector &
+KernelSelector::instance()
+{
+    static KernelSelector selector;
+    return selector;
+}
+
+void
+KernelSelector::registerTuned(const ConvProblem &p, const ConvConfig &cfg)
+{
+    tuned_[p.key()] = cfg;
+}
+
+bool
+KernelSelector::hasTuned(const ConvProblem &p) const
+{
+    return tuned_.count(p.key()) != 0;
+}
+
+ConvConfig
+KernelSelector::select(const ConvProblem &p) const
+{
+    switch (mode_) {
+      case KernelMode::Naive:
+        return ConvConfig{.algo = ConvAlgo::Reference};
+      case KernelMode::Library:
+        return libraryConfig(p);
+      case KernelMode::Tuned: {
+        auto it = tuned_.find(p.key());
+        if (it != tuned_.end())
+            return it->second;
+        return libraryConfig(p);
+      }
+    }
+    return defaultConfig(p);
+}
+
+ConvConfig
+KernelSelector::libraryConfig(const ConvProblem &p)
+{
+    // Depthwise and other grouped convolutions take the direct path
+    // (im2col degenerates there), with tiles matched to 224-derived
+    // feature widths (112/56/28/14).
+    if (p.groups > 1) {
+        return ConvConfig{.algo = ConvAlgo::Direct, .oc_tile = 1,
+                          .ow_tile = 14};
+    }
+    // Dense convolutions: im2col + GEMM with panel sizes fixed for the
+    // 224-family GEMM geometry (N = 3136 columns at the hot 56x56
+    // layers; nc = 3136 makes exactly one clean panel there and mr x nr
+    // = 4x16 divides those panels without remainders).
+    return ConvConfig{.algo = ConvAlgo::Im2col, .mc = 64, .kc = 288,
+                      .nc = 3136, .mr = 4, .nr = 16};
+}
+
+ConvConfig
+KernelSelector::defaultConfig(const ConvProblem &p)
+{
+    if (p.groups > 1) {
+        return ConvConfig{.algo = ConvAlgo::Direct, .oc_tile = 1,
+                          .ow_tile = 8};
+    }
+    return ConvConfig{.algo = ConvAlgo::Im2col, .mc = 64, .kc = 128,
+                      .nc = 512, .mr = 4, .nr = 8};
+}
+
+} // namespace tamres

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-shape convolution implementation selection.
+ *
+ * Models the paper's distinction between a *library* implementation
+ * (fixed blocking chosen offline for the most common resolution, 224,
+ * emulating MKLDNN's shape overfitting) and *tuned* implementations
+ * (per-shape configs found by the autotuner and registered here).
+ */
+
+#ifndef TAMRES_NN_KERNEL_SELECTOR_HH
+#define TAMRES_NN_KERNEL_SELECTOR_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "nn/conv_kernels.hh"
+
+namespace tamres {
+
+/** Which implementation pool convolutions draw from. */
+enum class KernelMode
+{
+    Naive,   //!< reference loops (for debugging / lower bound)
+    Library, //!< fixed blocking chosen for 224-resolution shapes
+    Tuned,   //!< per-shape tuned configs (falls back to Library)
+};
+
+/** Registry mapping conv shapes to tuned configs. */
+class KernelSelector
+{
+  public:
+    /** The process-wide selector. */
+    static KernelSelector &instance();
+
+    /** Set the active mode (default Library). */
+    void setMode(KernelMode mode) { mode_ = mode; }
+    KernelMode mode() const { return mode_; }
+
+    /** Register a tuned config for a problem shape. */
+    void registerTuned(const ConvProblem &p, const ConvConfig &cfg);
+
+    /** Number of registered tuned configs. */
+    size_t tunedCount() const { return tuned_.size(); }
+
+    /** Drop all tuned registrations. */
+    void clearTuned() { tuned_.clear(); }
+
+    /** True when a tuned config exists for @p p. */
+    bool hasTuned(const ConvProblem &p) const;
+
+    /**
+     * Resolve the config to run @p p with under the current mode.
+     * Tuned mode falls back to the library config for unregistered
+     * shapes (mirroring a framework that only dispatches to tuned
+     * kernels it has).
+     */
+    ConvConfig select(const ConvProblem &p) const;
+
+    /**
+     * The fixed library config. Its blocking matches the feature-map
+     * geometry ResNet produces from 224x224 inputs (ow tiles of 14
+     * divide 56/28/14 evenly; GEMM panels sized for 3136-column
+     * matrices), so it is near-optimal there and progressively less so
+     * at other resolutions — the Section VI effect.
+     */
+    static ConvConfig libraryConfig(const ConvProblem &p);
+
+    /** A reasonable generic default used as the tuner's seed. */
+    static ConvConfig defaultConfig(const ConvProblem &p);
+
+  private:
+    KernelSelector() = default;
+
+    KernelMode mode_ = KernelMode::Library;
+    std::unordered_map<std::string, ConvConfig> tuned_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_NN_KERNEL_SELECTOR_HH

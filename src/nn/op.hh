@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Operator interface for the inference graph.
+ *
+ * Shapes are resolved at execution time from the actual input tensor, so
+ * one graph runs at any input resolution — the property the paper's
+ * backbone reuse across resolutions depends on (Section IV-b).
+ */
+
+#ifndef TAMRES_NN_OP_HH
+#define TAMRES_NN_OP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace tamres {
+
+/** Base class for graph operators. */
+class Op
+{
+  public:
+    explicit Op(std::string name) : name_(std::move(name)) {}
+    virtual ~Op() = default;
+
+    /** Instance name, e.g. "layer2.0.conv1". */
+    const std::string &name() const { return name_; }
+
+    /** Operator type, e.g. "Conv2d". */
+    virtual std::string type() const = 0;
+
+    /** Output shape as a function of the input shapes. */
+    virtual Shape outputShape(const std::vector<Shape> &inputs) const = 0;
+
+    /**
+     * Compute the output. @p out has already been allocated with
+     * outputShape().
+     */
+    virtual void forward(const std::vector<const Tensor *> &inputs,
+                         Tensor &out) = 0;
+
+    /**
+     * Multiply-accumulate count for the given input shapes (the
+     * paper's FLOPs convention: 1 MAC = 1 FLOP, so ResNet-18 at 224 is
+     * ~1.8 GFLOPs as in Table I).
+     */
+    virtual int64_t
+    flops(const std::vector<Shape> &inputs) const
+    {
+        (void)inputs;
+        return 0;
+    }
+
+    /** Parameter tensors (weights), if any, for counting/serializing. */
+    virtual std::vector<Tensor *> params() { return {}; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_NN_OP_HH

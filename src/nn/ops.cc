@@ -1,0 +1,421 @@
+#include "nn/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernel_selector.hh"
+#include "tensor/tensor_ops.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+
+namespace {
+
+void
+expectInputs(const std::vector<Shape> &inputs, size_t n,
+             const char *who)
+{
+    tamres_assert(inputs.size() == n, "%s expects %zu input(s), got %zu",
+                  who, n, inputs.size());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------
+
+Conv2d::Conv2d(std::string name, int ic, int oc, int kernel, int stride,
+               int pad, int groups, bool bias)
+    : Op(std::move(name)), ic_(ic), oc_(oc), kernel_(kernel),
+      stride_(stride), pad_(pad), groups_(groups), has_bias_(bias)
+{
+    tamres_assert(ic % groups == 0 && oc % groups == 0,
+                  "conv channels must divide groups");
+    weight_ = Tensor({oc, ic / groups, kernel, kernel});
+    if (has_bias_)
+        bias_ = Tensor({oc});
+}
+
+ConvProblem
+Conv2d::problemFor(const Shape &input) const
+{
+    tamres_assert(input.size() == 4, "Conv2d expects a 4-D input");
+    tamres_assert(input[1] == ic_, "Conv2d %s: expected %d channels, got"
+                  " %lld", name().c_str(), ic_,
+                  static_cast<long long>(input[1]));
+    ConvProblem p;
+    p.n = static_cast<int>(input[0]);
+    p.ic = ic_;
+    p.ih = static_cast<int>(input[2]);
+    p.iw = static_cast<int>(input[3]);
+    p.oc = oc_;
+    p.kh = kernel_;
+    p.kw = kernel_;
+    p.stride = stride_;
+    p.pad = pad_;
+    p.groups = groups_;
+    return p;
+}
+
+Shape
+Conv2d::outputShape(const std::vector<Shape> &inputs) const
+{
+    expectInputs(inputs, 1, "Conv2d");
+    const ConvProblem p = problemFor(inputs[0]);
+    return {p.n, p.oc, p.oh(), p.ow()};
+}
+
+void
+Conv2d::forward(const std::vector<const Tensor *> &inputs, Tensor &out)
+{
+    const Tensor &in = *inputs[0];
+    const ConvProblem p = problemFor(in.shape());
+    const ConvConfig cfg =
+        override_ ? *override_ : KernelSelector::instance().select(p);
+    convForward(p, in.data(), weight_.data(),
+                has_bias_ ? bias_.data() : nullptr, out.data(), cfg);
+    if (fused_relu_) {
+        float *o = out.data();
+        const size_t n = out.numel();
+        for (size_t i = 0; i < n; ++i)
+            o[i] = o[i] > 0.0f ? o[i] : 0.0f;
+    }
+}
+
+int64_t
+Conv2d::flops(const std::vector<Shape> &inputs) const
+{
+    return problemFor(inputs[0]).macs();
+}
+
+std::vector<Tensor *>
+Conv2d::params()
+{
+    std::vector<Tensor *> out{&weight_};
+    if (has_bias_)
+        out.push_back(&bias_);
+    return out;
+}
+
+void
+Conv2d::foldScaleShift(const Tensor &scale, const Tensor &shift)
+{
+    tamres_assert(scale.numel() == oc_ && shift.numel() == oc_,
+                  "foldScaleShift: affine size must match channels");
+    const int64_t per_oc = weight_.numel() / oc_;
+    for (int oc = 0; oc < oc_; ++oc) {
+        float *w = weight_.data() + oc * per_oc;
+        for (int64_t i = 0; i < per_oc; ++i)
+            w[i] *= scale[oc];
+    }
+    if (!has_bias_) {
+        bias_ = Tensor({oc_});
+        has_bias_ = true;
+    }
+    for (int oc = 0; oc < oc_; ++oc)
+        bias_[oc] = bias_[oc] * scale[oc] + shift[oc];
+}
+
+void
+Conv2d::initKaiming(Rng &rng)
+{
+    fillKaiming(weight_, rng,
+                static_cast<int64_t>(ic_ / groups_) * kernel_ * kernel_);
+    if (has_bias_)
+        bias_.fill(0.0f);
+}
+
+// ---------------------------------------------------------------------
+// BatchNorm2d
+// ---------------------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(std::string name, int channels, float eps)
+    : Op(std::move(name)), channels_(channels), eps_(eps),
+      gamma_({channels}, 1.0f), beta_({channels}, 0.0f),
+      mean_({channels}, 0.0f), var_({channels}, 1.0f)
+{
+}
+
+Shape
+BatchNorm2d::outputShape(const std::vector<Shape> &inputs) const
+{
+    expectInputs(inputs, 1, "BatchNorm2d");
+    tamres_assert(inputs[0].size() == 4 && inputs[0][1] == channels_,
+                  "BatchNorm2d %s: bad input shape %s", name().c_str(),
+                  shapeToString(inputs[0]).c_str());
+    return inputs[0];
+}
+
+void
+BatchNorm2d::forward(const std::vector<const Tensor *> &inputs,
+                     Tensor &out)
+{
+    const Tensor &in = *inputs[0];
+    const int64_t n = in.dim(0);
+    const int64_t c = in.dim(1);
+    const int64_t hw = in.dim(2) * in.dim(3);
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float scale = gamma_[ch] /
+                std::sqrt(var_[ch] + eps_);
+            const float shift = beta_[ch] - scale * mean_[ch];
+            const float *src = in.data() + (b * c + ch) * hw;
+            float *dst = out.data() + (b * c + ch) * hw;
+            for (int64_t i = 0; i < hw; ++i)
+                dst[i] = src[i] * scale + shift;
+        }
+    }
+}
+
+std::vector<Tensor *>
+BatchNorm2d::params()
+{
+    return {&gamma_, &beta_, &mean_, &var_};
+}
+
+void
+BatchNorm2d::affine(Tensor &scale, Tensor &shift) const
+{
+    scale = Tensor({channels_});
+    shift = Tensor({channels_});
+    for (int64_t i = 0; i < channels_; ++i) {
+        const float s = gamma_[i] / std::sqrt(var_[i] + eps_);
+        scale[i] = s;
+        shift[i] = beta_[i] - s * mean_[i];
+    }
+}
+
+void
+BatchNorm2d::initRandomStats(Rng &rng)
+{
+    for (int64_t i = 0; i < channels_; ++i) {
+        gamma_[i] = static_cast<float>(rng.uniform(0.5, 1.5));
+        beta_[i] = static_cast<float>(rng.uniform(-0.1, 0.1));
+        mean_[i] = static_cast<float>(rng.uniform(-0.1, 0.1));
+        var_[i] = static_cast<float>(rng.uniform(0.5, 1.5));
+    }
+}
+
+// ---------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------
+
+Shape
+ReLU::outputShape(const std::vector<Shape> &inputs) const
+{
+    expectInputs(inputs, 1, "ReLU");
+    return inputs[0];
+}
+
+void
+ReLU::forward(const std::vector<const Tensor *> &inputs, Tensor &out)
+{
+    reluInto(*inputs[0], out);
+}
+
+// ---------------------------------------------------------------------
+// MaxPool2d
+// ---------------------------------------------------------------------
+
+MaxPool2d::MaxPool2d(std::string name, int kernel, int stride, int pad)
+    : Op(std::move(name)), kernel_(kernel), stride_(stride), pad_(pad)
+{
+}
+
+Shape
+MaxPool2d::outputShape(const std::vector<Shape> &inputs) const
+{
+    expectInputs(inputs, 1, "MaxPool2d");
+    const Shape &s = inputs[0];
+    tamres_assert(s.size() == 4, "MaxPool2d expects a 4-D input");
+    const int64_t oh = (s[2] + 2 * pad_ - kernel_) / stride_ + 1;
+    const int64_t ow = (s[3] + 2 * pad_ - kernel_) / stride_ + 1;
+    return {s[0], s[1], oh, ow};
+}
+
+void
+MaxPool2d::forward(const std::vector<const Tensor *> &inputs, Tensor &out)
+{
+    const Tensor &in = *inputs[0];
+    const int64_t n = in.dim(0);
+    const int64_t c = in.dim(1);
+    const int64_t ih = in.dim(2);
+    const int64_t iw = in.dim(3);
+    const int64_t oh = out.dim(2);
+    const int64_t ow = out.dim(3);
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float *src = in.data() + (b * c + ch) * ih * iw;
+            float *dst = out.data() + (b * c + ch) * oh * ow;
+            for (int64_t y = 0; y < oh; ++y) {
+                for (int64_t x = 0; x < ow; ++x) {
+                    float best = -1e30f;
+                    for (int ky = 0; ky < kernel_; ++ky) {
+                        const int64_t iy = y * stride_ + ky - pad_;
+                        if (iy < 0 || iy >= ih)
+                            continue;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            const int64_t ix = x * stride_ + kx - pad_;
+                            if (ix < 0 || ix >= iw)
+                                continue;
+                            best = std::max(best, src[iy * iw + ix]);
+                        }
+                    }
+                    dst[y * ow + x] = best;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// GlobalAvgPool
+// ---------------------------------------------------------------------
+
+Shape
+GlobalAvgPool::outputShape(const std::vector<Shape> &inputs) const
+{
+    expectInputs(inputs, 1, "GlobalAvgPool");
+    tamres_assert(inputs[0].size() == 4,
+                  "GlobalAvgPool expects a 4-D input");
+    return {inputs[0][0], inputs[0][1]};
+}
+
+void
+GlobalAvgPool::forward(const std::vector<const Tensor *> &inputs,
+                       Tensor &out)
+{
+    const Tensor &in = *inputs[0];
+    const int64_t n = in.dim(0);
+    const int64_t c = in.dim(1);
+    const int64_t hw = in.dim(2) * in.dim(3);
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float *src = in.data() + (b * c + ch) * hw;
+            double acc = 0.0;
+            for (int64_t i = 0; i < hw; ++i)
+                acc += src[i];
+            out[b * c + ch] =
+                static_cast<float>(acc / static_cast<double>(hw));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------
+
+Linear::Linear(std::string name, int in_features, int out_features)
+    : Op(std::move(name)), in_features_(in_features),
+      out_features_(out_features),
+      weight_({out_features, in_features}), bias_({out_features})
+{
+}
+
+Shape
+Linear::outputShape(const std::vector<Shape> &inputs) const
+{
+    expectInputs(inputs, 1, "Linear");
+    tamres_assert(inputs[0].size() == 2 && inputs[0][1] == in_features_,
+                  "Linear %s: bad input shape %s", name().c_str(),
+                  shapeToString(inputs[0]).c_str());
+    return {inputs[0][0], out_features_};
+}
+
+void
+Linear::forward(const std::vector<const Tensor *> &inputs, Tensor &out)
+{
+    const Tensor &in = *inputs[0];
+    const int64_t n = in.dim(0);
+    for (int64_t b = 0; b < n; ++b) {
+        const float *src = in.data() + b * in_features_;
+        float *dst = out.data() + b * out_features_;
+        for (int o = 0; o < out_features_; ++o) {
+            const float *wrow = weight_.data() +
+                                static_cast<int64_t>(o) * in_features_;
+            float acc = bias_[o];
+            for (int i = 0; i < in_features_; ++i)
+                acc += wrow[i] * src[i];
+            dst[o] = acc;
+        }
+    }
+}
+
+int64_t
+Linear::flops(const std::vector<Shape> &inputs) const
+{
+    return inputs[0][0] * static_cast<int64_t>(in_features_) *
+           out_features_;
+}
+
+std::vector<Tensor *>
+Linear::params()
+{
+    return {&weight_, &bias_};
+}
+
+void
+Linear::initKaiming(Rng &rng)
+{
+    fillKaiming(weight_, rng, in_features_);
+    bias_.fill(0.0f);
+}
+
+// ---------------------------------------------------------------------
+// Add
+// ---------------------------------------------------------------------
+
+Shape
+Add::outputShape(const std::vector<Shape> &inputs) const
+{
+    expectInputs(inputs, 2, "Add");
+    tamres_assert(inputs[0] == inputs[1],
+                  "Add %s: mismatched input shapes %s vs %s",
+                  name().c_str(), shapeToString(inputs[0]).c_str(),
+                  shapeToString(inputs[1]).c_str());
+    return inputs[0];
+}
+
+void
+Add::forward(const std::vector<const Tensor *> &inputs, Tensor &out)
+{
+    addInto(*inputs[0], *inputs[1], out);
+}
+
+// ---------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------
+
+Shape
+Softmax::outputShape(const std::vector<Shape> &inputs) const
+{
+    expectInputs(inputs, 1, "Softmax");
+    tamres_assert(inputs[0].size() == 2, "Softmax expects a 2-D input");
+    return inputs[0];
+}
+
+void
+Softmax::forward(const std::vector<const Tensor *> &inputs, Tensor &out)
+{
+    const Tensor &in = *inputs[0];
+    const int64_t n = in.dim(0);
+    const int64_t k = in.dim(1);
+    for (int64_t b = 0; b < n; ++b) {
+        const float *src = in.data() + b * k;
+        float *dst = out.data() + b * k;
+        float mx = src[0];
+        for (int64_t i = 1; i < k; ++i)
+            mx = std::max(mx, src[i]);
+        double sum = 0.0;
+        for (int64_t i = 0; i < k; ++i) {
+            dst[i] = std::exp(src[i] - mx);
+            sum += dst[i];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (int64_t i = 0; i < k; ++i)
+            dst[i] *= inv;
+    }
+}
+
+} // namespace tamres

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Concrete operators: convolution, normalization, activations, pooling,
+ * linear, residual add, softmax.
+ */
+
+#ifndef TAMRES_NN_OPS_HH
+#define TAMRES_NN_OPS_HH
+
+#include <optional>
+
+#include "nn/conv_kernels.hh"
+#include "nn/op.hh"
+
+namespace tamres {
+
+class Rng;
+
+/** 2-D convolution (NCHW) with optional bias and channel groups. */
+class Conv2d : public Op
+{
+  public:
+    /**
+     * @param name     instance name
+     * @param ic,oc    channel counts
+     * @param kernel   square kernel size
+     * @param stride   stride
+     * @param pad      zero padding
+     * @param groups   channel groups (ic==oc==groups for depthwise)
+     * @param bias     whether a bias vector is present
+     */
+    Conv2d(std::string name, int ic, int oc, int kernel, int stride,
+           int pad, int groups = 1, bool bias = false);
+
+    std::string type() const override { return "Conv2d"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+    int64_t flops(const std::vector<Shape> &inputs) const override;
+    std::vector<Tensor *> params() override;
+
+    /** Initialize weights Kaiming-normal from @p rng. */
+    void initKaiming(Rng &rng);
+
+    /** The conv problem this op poses for a given input shape. */
+    ConvProblem problemFor(const Shape &input) const;
+
+    /**
+     * Pin a specific config, bypassing the KernelSelector (used by
+     * tuning measurement).
+     */
+    void setConfigOverride(std::optional<ConvConfig> cfg)
+    {
+        override_ = std::move(cfg);
+    }
+
+    int inChannels() const { return ic_; }
+    int outChannels() const { return oc_; }
+    int kernel() const { return kernel_; }
+    int stride() const { return stride_; }
+    int pad() const { return pad_; }
+    int groups() const { return groups_; }
+    bool hasBias() const { return has_bias_; }
+
+    /** Trained weights, [oc, ic/groups, k, k] (read-only). */
+    const Tensor &weight() const { return weight_; }
+
+    /** Bias vector, [oc]; empty when hasBias() is false. */
+    const Tensor &biasTensor() const { return bias_; }
+
+    /**
+     * Fold a per-output-channel affine transform y = x * scale + shift
+     * into the convolution's weights and bias (enables the bias when
+     * absent). Used by the batch-norm folding pass.
+     */
+    void foldScaleShift(const Tensor &scale, const Tensor &shift);
+
+    /**
+     * Apply ReLU to the output in the convolution's own epilogue
+     * (set by the fuseConvRelu pass): removes one full feature-map
+     * read/write per fused activation.
+     */
+    void setFusedRelu(bool fused) { fused_relu_ = fused; }
+    bool fusedRelu() const { return fused_relu_; }
+
+  private:
+    int ic_, oc_, kernel_, stride_, pad_, groups_;
+    bool has_bias_;
+    bool fused_relu_ = false;
+    Tensor weight_; //!< [oc, ic/groups, k, k]
+    Tensor bias_;   //!< [oc] (empty when !has_bias_)
+    std::optional<ConvConfig> override_;
+};
+
+/** Inference-mode batch normalization (affine scale/shift). */
+class BatchNorm2d : public Op
+{
+  public:
+    BatchNorm2d(std::string name, int channels, float eps = 1e-5f);
+
+    std::string type() const override { return "BatchNorm2d"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+    std::vector<Tensor *> params() override;
+
+    /** Give the running statistics plausible non-degenerate values. */
+    void initRandomStats(Rng &rng);
+
+    int channels() const { return channels_; }
+
+    /**
+     * The normalization expressed as a per-channel affine
+     * y = x * scale + shift.
+     */
+    void affine(Tensor &scale, Tensor &shift) const;
+
+  private:
+    int channels_;
+    float eps_;
+    Tensor gamma_, beta_, mean_, var_;
+};
+
+/** Elementwise rectified linear unit. */
+class ReLU : public Op
+{
+  public:
+    explicit ReLU(std::string name) : Op(std::move(name)) {}
+    std::string type() const override { return "ReLU"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+};
+
+/** Max pooling. */
+class MaxPool2d : public Op
+{
+  public:
+    MaxPool2d(std::string name, int kernel, int stride, int pad);
+    std::string type() const override { return "MaxPool2d"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+
+  private:
+    int kernel_, stride_, pad_;
+};
+
+/** Global average pooling: [n, c, h, w] -> [n, c]. */
+class GlobalAvgPool : public Op
+{
+  public:
+    explicit GlobalAvgPool(std::string name) : Op(std::move(name)) {}
+    std::string type() const override { return "GlobalAvgPool"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+};
+
+/** Fully connected layer on [n, in] inputs. */
+class Linear : public Op
+{
+  public:
+    Linear(std::string name, int in_features, int out_features);
+    std::string type() const override { return "Linear"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+    int64_t flops(const std::vector<Shape> &inputs) const override;
+    std::vector<Tensor *> params() override;
+
+    void initKaiming(Rng &rng);
+
+  private:
+    int in_features_, out_features_;
+    Tensor weight_; //!< [out, in]
+    Tensor bias_;   //!< [out]
+};
+
+/** Elementwise sum of two same-shaped inputs (residual join). */
+class Add : public Op
+{
+  public:
+    explicit Add(std::string name) : Op(std::move(name)) {}
+    std::string type() const override { return "Add"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+};
+
+/** Row-wise softmax on [n, k]. */
+class Softmax : public Op
+{
+  public:
+    explicit Softmax(std::string name) : Op(std::move(name)) {}
+    std::string type() const override { return "Softmax"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_NN_OPS_HH

@@ -1,0 +1,79 @@
+#include "nn/passes.hh"
+
+#include <vector>
+
+#include "nn/ops.hh"
+
+namespace tamres {
+
+int
+foldBatchNorms(Graph &graph)
+{
+    const int n = graph.numNodes();
+
+    // Consumer counts, to avoid folding a conv whose output feeds
+    // anything besides the batch norm (e.g. a residual shortcut).
+    std::vector<int> consumers(n, 0);
+    for (int id = 1; id < n; ++id) {
+        for (Graph::NodeId in : graph.inputsOf(id))
+            ++consumers[in];
+    }
+
+    int folded = 0;
+    for (int id = 1; id < n; ++id) {
+        auto *bn = dynamic_cast<BatchNorm2d *>(graph.opAt(id));
+        if (!bn)
+            continue;
+        const Graph::NodeId producer = graph.inputsOf(id)[0];
+        if (producer == Graph::kInput)
+            continue;
+        auto *conv = dynamic_cast<Conv2d *>(graph.opAt(producer));
+        if (!conv || consumers[producer] != 1)
+            continue;
+        if (conv->outChannels() != bn->channels())
+            continue;
+
+        Tensor scale, shift;
+        bn->affine(scale, shift);
+        conv->foldScaleShift(scale, shift);
+        graph.rewire(id, producer);
+        ++folded;
+    }
+    return folded;
+}
+
+int
+fuseConvRelu(Graph &graph)
+{
+    const int n = graph.numNodes();
+    // Count consumers over *live* nodes only: earlier passes (e.g.
+    // batch-norm folding) leave dead nodes whose stale input lists
+    // would otherwise pin their producers.
+    std::vector<int> consumers(n, 0);
+    for (Graph::NodeId id : graph.liveNodes()) {
+        for (Graph::NodeId in : graph.inputsOf(id))
+            ++consumers[in];
+    }
+
+    int fused = 0;
+    for (Graph::NodeId id : graph.liveNodes()) {
+        if (id == Graph::kInput)
+            continue;
+        auto *relu = dynamic_cast<ReLU *>(graph.opAt(id));
+        if (!relu)
+            continue;
+        const Graph::NodeId producer = graph.inputsOf(id)[0];
+        if (producer == Graph::kInput)
+            continue;
+        auto *conv = dynamic_cast<Conv2d *>(graph.opAt(producer));
+        if (!conv || consumers[producer] != 1 || conv->fusedRelu())
+            continue;
+
+        conv->setFusedRelu(true);
+        graph.rewire(id, producer);
+        ++fused;
+    }
+    return fused;
+}
+
+} // namespace tamres

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Graph-rewriting optimization passes for inference.
+ *
+ * Batch-norm folding absorbs every BatchNorm2d whose sole producer is
+ * a Conv2d into the convolution's weights and bias; ReLU fusion moves
+ * the activation into the convolution's epilogue. Each removes one
+ * full feature-map traversal per conv layer — standard inference
+ * optimizations complementary to the kernel tuning of Section VI.
+ */
+
+#ifndef TAMRES_NN_PASSES_HH
+#define TAMRES_NN_PASSES_HH
+
+#include "nn/graph.hh"
+
+namespace tamres {
+
+/**
+ * Fold Conv2d -> BatchNorm2d pairs. A pair folds when the batch norm's
+ * single input is a convolution and that convolution has no other
+ * consumer (otherwise folding would change the other consumer's
+ * values).
+ *
+ * @return the number of batch norms folded.
+ */
+int foldBatchNorms(Graph &graph);
+
+/**
+ * Fuse Conv2d -> ReLU pairs into the convolution's epilogue. A pair
+ * fuses when the ReLU's single input is a convolution with no other
+ * consumer (a conv feeding a residual shortcut as well must keep its
+ * pre-activation values). Run after foldBatchNorms so conv->bn->relu
+ * chains collapse to a single fused op.
+ *
+ * @return the number of activations fused.
+ */
+int fuseConvRelu(Graph &graph);
+
+} // namespace tamres
+
+#endif // TAMRES_NN_PASSES_HH

@@ -1,0 +1,272 @@
+#include "nn/quant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/graph.hh"
+
+namespace tamres {
+
+float
+maxAbsValue(const float *p, size_t n)
+{
+    float m = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        m = std::max(m, std::abs(p[i]));
+    return m;
+}
+
+float
+symmetricScale(float max_abs)
+{
+    return std::max(max_abs, 1e-8f) / 127.0f;
+}
+
+void
+quantizeSymmetric(const float *src, size_t n, float scale, int8_t *dst)
+{
+    const float inv = 1.0f / scale;
+    for (size_t i = 0; i < n; ++i) {
+        const float q = std::nearbyint(src[i] * inv);
+        dst[i] = static_cast<int8_t>(
+            std::clamp(q, -127.0f, 127.0f));
+    }
+}
+
+void
+dequantizeSymmetric(const int8_t *src, size_t n, float scale, float *dst)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<float>(src[i]) * scale;
+}
+
+void
+convForwardInt8(const ConvProblem &p, const float *in, float act_scale,
+                const int8_t *wq, const float *w_scales,
+                const float *bias, bool fused_relu, float *out)
+{
+    tamres_assert(p.groups == 1,
+                  "convForwardInt8 supports ungrouped convolutions");
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int npix = oh * ow;
+    const int K = p.ic * p.kh * p.kw;
+
+    std::vector<int8_t> qin(static_cast<size_t>(p.ic) * p.ih * p.iw);
+    // Patch matrix, one row of K contiguous values per output pixel.
+    // Values are int8-range but stored widened to int16: the
+    // int16 x int16 -> int32 dot is the idiom compilers reliably map
+    // to packed multiply-add vector instructions, where the
+    // sign-extending int8 form often stays scalar.
+    std::vector<int16_t> patches(static_cast<size_t>(npix) * K);
+    std::vector<int16_t> w16(static_cast<size_t>(p.oc) * K);
+    for (size_t i = 0; i < w16.size(); ++i)
+        w16[i] = wq[i];
+
+    for (int n = 0; n < p.n; ++n) {
+        const float *in_n = in + static_cast<size_t>(n) * p.ic *
+                            p.ih * p.iw;
+        const float scale =
+            act_scale > 0.0f
+                ? act_scale
+                : symmetricScale(maxAbsValue(in_n, qin.size()));
+        quantizeSymmetric(in_n, qin.size(), scale, qin.data());
+
+        // im2col, zero padding encoded as exact int8 zero.
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                int16_t *row = patches.data() +
+                              (static_cast<size_t>(oy) * ow + ox) * K;
+                int idx = 0;
+                for (int c = 0; c < p.ic; ++c) {
+                    const int8_t *plane =
+                        qin.data() + static_cast<size_t>(c) * p.ih *
+                        p.iw;
+                    for (int ky = 0; ky < p.kh; ++ky) {
+                        const int iy = oy * p.stride + ky - p.pad;
+                        if (iy < 0 || iy >= p.ih) {
+                            for (int kx = 0; kx < p.kw; ++kx)
+                                row[idx++] = 0;
+                            continue;
+                        }
+                        for (int kx = 0; kx < p.kw; ++kx) {
+                            const int ix = ox * p.stride + kx - p.pad;
+                            row[idx++] = (ix < 0 || ix >= p.iw)
+                                             ? static_cast<int16_t>(0)
+                                             : plane[iy * p.iw + ix];
+                        }
+                    }
+                }
+            }
+        }
+
+        float *out_n = out + static_cast<size_t>(n) * p.oc * npix;
+        // Pixel-blocked GEMM: each weight row stays hot across a block
+        // of patch rows; four independent accumulator chains per
+        // weight row give the compiler widening-multiply vector
+        // patterns and enough ILP to hide the accumulate latency.
+        constexpr int kPixBlock = 48;
+        for (int pb = 0; pb < npix; pb += kPixBlock) {
+            const int pe = std::min(pb + kPixBlock, npix);
+            for (int oc = 0; oc < p.oc; ++oc) {
+                const int16_t *__restrict wrow =
+                    w16.data() + static_cast<size_t>(oc) * K;
+                const float mult = scale * w_scales[oc];
+                const float b = bias ? bias[oc] : 0.0f;
+                float *orow = out_n + static_cast<size_t>(oc) * npix;
+                int px = pb;
+                for (; px + 4 <= pe; px += 4) {
+                    const int16_t *__restrict p0 =
+                        patches.data() + static_cast<size_t>(px) * K;
+                    const int16_t *__restrict p1 = p0 + K;
+                    const int16_t *__restrict p2 = p1 + K;
+                    const int16_t *__restrict p3 = p2 + K;
+                    int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+                    for (int k = 0; k < K; ++k) {
+                        const int32_t w32 = wrow[k];
+                        a0 += w32 * p0[k];
+                        a1 += w32 * p1[k];
+                        a2 += w32 * p2[k];
+                        a3 += w32 * p3[k];
+                    }
+                    const int32_t accs[4] = {a0, a1, a2, a3};
+                    for (int j = 0; j < 4; ++j) {
+                        float v = static_cast<float>(accs[j]) * mult +
+                                  b;
+                        if (fused_relu && v < 0.0f)
+                            v = 0.0f;
+                        orow[px + j] = v;
+                    }
+                }
+                for (; px < pe; ++px) {
+                    const int16_t *__restrict prow =
+                        patches.data() + static_cast<size_t>(px) * K;
+                    int32_t acc = 0;
+                    for (int k = 0; k < K; ++k)
+                        acc += static_cast<int32_t>(wrow[k]) * prow[k];
+                    float v = static_cast<float>(acc) * mult + b;
+                    if (fused_relu && v < 0.0f)
+                        v = 0.0f;
+                    orow[px] = v;
+                }
+            }
+        }
+    }
+}
+
+QuantConv2d::QuantConv2d(const Conv2d &src, float act_scale)
+    : Op(src.name()), ic_(src.inChannels()), oc_(src.outChannels()),
+      kernel_(src.kernel()), stride_(src.stride()), pad_(src.pad()),
+      has_bias_(src.hasBias()), fused_relu_(src.fusedRelu()),
+      act_scale_(act_scale)
+{
+    tamres_assert(src.groups() == 1,
+                  "QuantConv2d requires groups == 1 (layer '%s' has "
+                  "%d)", src.name().c_str(), src.groups());
+    const int K = ic_ * kernel_ * kernel_;
+    wq_.resize(static_cast<size_t>(oc_) * K);
+    w_scales_.resize(oc_);
+    const float *w = src.weight().data();
+    for (int oc = 0; oc < oc_; ++oc) {
+        const float *row = w + static_cast<size_t>(oc) * K;
+        const float scale = symmetricScale(maxAbsValue(row, K));
+        w_scales_[oc] = scale;
+        quantizeSymmetric(row, K, scale,
+                          wq_.data() + static_cast<size_t>(oc) * K);
+    }
+    if (has_bias_) {
+        const float *b = src.biasTensor().data();
+        bias_.assign(b, b + oc_);
+    }
+}
+
+ConvProblem
+QuantConv2d::problemFor(const Shape &input) const
+{
+    tamres_assert(input.size() == 4, "QuantConv2d expects NCHW input");
+    tamres_assert(input[1] == ic_,
+                  "QuantConv2d '%s': channel mismatch (%lld vs %d)",
+                  name().c_str(), static_cast<long long>(input[1]),
+                  ic_);
+    ConvProblem p;
+    p.n = static_cast<int>(input[0]);
+    p.ic = ic_;
+    p.ih = static_cast<int>(input[2]);
+    p.iw = static_cast<int>(input[3]);
+    p.oc = oc_;
+    p.kh = kernel_;
+    p.kw = kernel_;
+    p.stride = stride_;
+    p.pad = pad_;
+    p.groups = 1;
+    return p;
+}
+
+Shape
+QuantConv2d::outputShape(const std::vector<Shape> &inputs) const
+{
+    const ConvProblem p = problemFor(inputs.at(0));
+    return {p.n, p.oc, p.oh(), p.ow()};
+}
+
+void
+QuantConv2d::forward(const std::vector<const Tensor *> &inputs,
+                     Tensor &out)
+{
+    const Tensor &in = *inputs[0];
+    const ConvProblem p = problemFor(in.shape());
+    convForwardInt8(p, in.data(), act_scale_, wq_.data(),
+                    w_scales_.data(),
+                    has_bias_ ? bias_.data() : nullptr, fused_relu_,
+                    out.data());
+}
+
+int64_t
+QuantConv2d::flops(const std::vector<Shape> &inputs) const
+{
+    return problemFor(inputs.at(0)).macs();
+}
+
+QuantCalibration
+calibrateActivations(Graph &graph, const std::vector<Tensor> &samples)
+{
+    QuantCalibration cal;
+    graph.setObserver(
+        [&cal](const Op &op, const std::vector<const Tensor *> &ins) {
+            if (op.type() != "Conv2d" || ins.empty())
+                return;
+            const float m = maxAbsValue(ins[0]->data(),
+                                        static_cast<size_t>(
+                                            ins[0]->numel()));
+            auto [it, inserted] = cal.act_max.try_emplace(op.name(), m);
+            if (!inserted)
+                it->second = std::max(it->second, m);
+        });
+    for (const Tensor &t : samples)
+        graph.run(t);
+    graph.setObserver(nullptr);
+    return cal;
+}
+
+int
+quantizeConvs(Graph &graph, const QuantCalibration *cal)
+{
+    int rewritten = 0;
+    for (Graph::NodeId id = 1; id < graph.numNodes(); ++id) {
+        auto *conv = dynamic_cast<Conv2d *>(graph.opAt(id));
+        if (conv == nullptr || conv->groups() != 1)
+            continue;
+        float act_scale = 0.0f;
+        if (cal != nullptr) {
+            const auto it = cal->act_max.find(conv->name());
+            if (it != cal->act_max.end())
+                act_scale = symmetricScale(it->second);
+        }
+        graph.replaceOp(id,
+                        std::make_unique<QuantConv2d>(*conv, act_scale));
+        ++rewritten;
+    }
+    return rewritten;
+}
+
+} // namespace tamres

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Post-training int8 quantization for convolution layers.
+ *
+ * The paper's related work (Section II-a) lists quantization among the
+ * compute-efficiency techniques orthogonal to resolution tuning; this
+ * module makes the two composable in one engine so the ablation
+ * harness can measure how int8 inference interacts with
+ * resolution-specialized kernels.
+ *
+ * Scheme: symmetric linear quantization, real = scale * q with q in
+ * [-127, 127]. Weights are quantized per output channel (each output
+ * channel's filter gets its own scale — standard practice, it removes
+ * the cross-channel dynamic-range coupling that per-tensor scales
+ * suffer from). Activations are quantized per tensor, either with a
+ * static scale obtained from a calibration run over sample inputs, or
+ * dynamically from the batch's own max when no calibration is
+ * supplied.
+ *
+ * The integer kernel is an im2col + int8 GEMM with int32 accumulation
+ * (guaranteed overflow-free for every shape the backbones pose: the
+ * deepest reduction, 512 channels x 3x3, peaks at ~7.4e7 << 2^31).
+ * Only ungrouped convolutions are rewritten; depthwise layers keep
+ * fp32, which is also standard practice (they are cheap and
+ * range-sensitive).
+ */
+
+#ifndef TAMRES_NN_QUANT_HH
+#define TAMRES_NN_QUANT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/ops.hh"
+
+namespace tamres {
+
+class Graph;
+
+/** Largest |x| over @p n values (0 for empty input). */
+float maxAbsValue(const float *p, size_t n);
+
+/**
+ * Symmetric scale mapping [-max_abs, max_abs] onto [-127, 127]; never
+ * returns zero so a degenerate all-zero tensor stays decodable.
+ */
+float symmetricScale(float max_abs);
+
+/** q = clamp(round(x / scale), -127, 127). */
+void quantizeSymmetric(const float *src, size_t n, float scale,
+                       int8_t *dst);
+
+/** x = q * scale. */
+void dequantizeSymmetric(const int8_t *src, size_t n, float scale,
+                         float *dst);
+
+/**
+ * Integer convolution: quantizes @p in on the fly and runs an int8
+ * im2col GEMM.
+ *
+ * @param p          problem shape; p.groups must be 1
+ * @param in         fp32 input, NCHW
+ * @param act_scale  static activation scale, or <= 0 to derive it
+ *                   from this batch's max (dynamic quantization)
+ * @param wq         int8 weights, [oc, ic*kh*kw]
+ * @param w_scales   per-output-channel weight scales, [oc]
+ * @param bias       fp32 bias, may be nullptr
+ * @param fused_relu clamp negative outputs in the epilogue
+ * @param out        fp32 output, NCHW (overwritten)
+ */
+void convForwardInt8(const ConvProblem &p, const float *in,
+                     float act_scale, const int8_t *wq,
+                     const float *w_scales, const float *bias,
+                     bool fused_relu, float *out);
+
+/**
+ * Int8 replacement for an ungrouped Conv2d. Weights are quantized
+ * per output channel at construction; the activation scale is either
+ * fixed (static quantization) or derived per call (dynamic).
+ */
+class QuantConv2d : public Op
+{
+  public:
+    /**
+     * Build from a trained convolution. @p src must have groups == 1.
+     *
+     * @param act_scale static activation scale, or <= 0 for dynamic
+     */
+    explicit QuantConv2d(const Conv2d &src, float act_scale = 0.0f);
+
+    std::string type() const override { return "QuantConv2d"; }
+    Shape outputShape(const std::vector<Shape> &inputs) const override;
+    void forward(const std::vector<const Tensor *> &inputs,
+                 Tensor &out) override;
+    int64_t flops(const std::vector<Shape> &inputs) const override;
+
+    float actScale() const { return act_scale_; }
+    void setActScale(float scale) { act_scale_ = scale; }
+    bool fusedRelu() const { return fused_relu_; }
+    const std::vector<float> &weightScales() const { return w_scales_; }
+
+    /** The conv problem this op poses for a given input shape. */
+    ConvProblem problemFor(const Shape &input) const;
+
+  private:
+    int ic_, oc_, kernel_, stride_, pad_;
+    bool has_bias_;
+    bool fused_relu_;
+    float act_scale_;
+    std::vector<int8_t> wq_;       //!< [oc, ic*k*k]
+    std::vector<float> w_scales_;  //!< [oc]
+    std::vector<float> bias_;      //!< [oc] (empty when !has_bias_)
+};
+
+/** Per-layer activation ranges observed during calibration. */
+struct QuantCalibration
+{
+    /** Conv name -> max |input| seen across the calibration set. */
+    std::unordered_map<std::string, float> act_max;
+};
+
+/**
+ * Run the fp32 graph over @p samples recording, for every Conv2d, the
+ * largest |input| it sees. The graph is left unmodified (the run
+ * observer is restored to empty).
+ */
+QuantCalibration calibrateActivations(Graph &graph,
+                                      const std::vector<Tensor> &samples);
+
+/**
+ * Rewrite every eligible Conv2d (groups == 1) into a QuantConv2d.
+ * Layers found in @p cal get static activation scales; the rest (or
+ * all, when @p cal is null) quantize dynamically. Run after
+ * foldBatchNorms/fuseConvRelu so the fused epilogues carry over.
+ *
+ * @return the number of convolutions rewritten.
+ */
+int quantizeConvs(Graph &graph, const QuantCalibration *cal = nullptr);
+
+} // namespace tamres
+
+#endif // TAMRES_NN_QUANT_HH

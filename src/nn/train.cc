@@ -1,0 +1,397 @@
+#include "nn/train.hh"
+
+#include <cmath>
+
+#include "nn/kernel_selector.hh"
+#include "tensor/tensor_ops.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+
+namespace {
+
+/** v = momentum * v - lr * (g + wd * p); p += v. */
+void
+sgdUpdate(Tensor &param, Tensor &grad, Tensor &vel,
+          const SgdOptions &opts)
+{
+    float *p = param.data();
+    float *g = grad.data();
+    float *v = vel.data();
+    const int64_t n = param.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        const float step = g[i] + opts.weight_decay * p[i];
+        v[i] = opts.momentum * v[i] - opts.lr * step;
+        p[i] += v[i];
+        g[i] = 0.0f;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// TrainConv2d
+// ---------------------------------------------------------------------
+
+TrainConv2d::TrainConv2d(int ic, int oc, int kernel, int stride, int pad,
+                         Rng &rng)
+    : ic_(ic), oc_(oc), kernel_(kernel), stride_(stride), pad_(pad),
+      weight_({oc, ic, kernel, kernel}), bias_({oc}),
+      grad_weight_({oc, ic, kernel, kernel}), grad_bias_({oc}),
+      vel_weight_({oc, ic, kernel, kernel}), vel_bias_({oc})
+{
+    fillKaiming(weight_, rng,
+                static_cast<int64_t>(ic) * kernel * kernel);
+}
+
+ConvProblem
+TrainConv2d::problemFor(const Shape &in) const
+{
+    tamres_assert(in.size() == 4 && in[1] == ic_,
+                  "TrainConv2d: bad input shape %s",
+                  shapeToString(in).c_str());
+    ConvProblem p;
+    p.n = static_cast<int>(in[0]);
+    p.ic = ic_;
+    p.ih = static_cast<int>(in[2]);
+    p.iw = static_cast<int>(in[3]);
+    p.oc = oc_;
+    p.kh = kernel_;
+    p.kw = kernel_;
+    p.stride = stride_;
+    p.pad = pad_;
+    return p;
+}
+
+Tensor
+TrainConv2d::forward(const Tensor &in)
+{
+    cached_in_ = in;
+    const ConvProblem p = problemFor(in.shape());
+    Tensor out({p.n, p.oc, p.oh(), p.ow()});
+    convForward(p, in.data(), weight_.data(), bias_.data(), out.data(),
+                KernelSelector::defaultConfig(p));
+    return out;
+}
+
+Tensor
+TrainConv2d::backward(const Tensor &grad_out)
+{
+    const ConvProblem p = problemFor(cached_in_.shape());
+    const int oh = p.oh();
+    const int ow = p.ow();
+    Tensor grad_in(cached_in_.shape());
+
+    const float *go = grad_out.data();
+    const float *in = cached_in_.data();
+    const float *w = weight_.data();
+    float *gi = grad_in.data();
+    float *gw = grad_weight_.data();
+    float *gb = grad_bias_.data();
+
+    // Direct-form backward; the scale model is small so clarity wins.
+    for (int n = 0; n < p.n; ++n) {
+        for (int oc = 0; oc < p.oc; ++oc) {
+            for (int y = 0; y < oh; ++y) {
+                for (int x = 0; x < ow; ++x) {
+                    const float g = go[((static_cast<int64_t>(n) * p.oc +
+                                         oc) * oh + y) * ow + x];
+                    gb[oc] += g;
+                    for (int ic = 0; ic < p.ic; ++ic) {
+                        for (int ky = 0; ky < p.kh; ++ky) {
+                            const int iy = y * p.stride + ky - p.pad;
+                            if (iy < 0 || iy >= p.ih)
+                                continue;
+                            for (int kx = 0; kx < p.kw; ++kx) {
+                                const int ix = x * p.stride + kx - p.pad;
+                                if (ix < 0 || ix >= p.iw)
+                                    continue;
+                                const int64_t iidx =
+                                    ((static_cast<int64_t>(n) * p.ic +
+                                      ic) * p.ih + iy) * p.iw + ix;
+                                const int64_t widx =
+                                    ((static_cast<int64_t>(oc) * p.ic +
+                                      ic) * p.kh + ky) * p.kw + kx;
+                                gw[widx] += g * in[iidx];
+                                gi[iidx] += g * w[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+void
+TrainConv2d::step(const SgdOptions &opts)
+{
+    sgdUpdate(weight_, grad_weight_, vel_weight_, opts);
+    sgdUpdate(bias_, grad_bias_, vel_bias_, opts);
+}
+
+int64_t
+TrainConv2d::numParams() const
+{
+    return weight_.numel() + bias_.numel();
+}
+
+// ---------------------------------------------------------------------
+// TrainReLU
+// ---------------------------------------------------------------------
+
+Tensor
+TrainReLU::forward(const Tensor &in)
+{
+    cached_in_ = in;
+    Tensor out(in.shape());
+    reluInto(in, out);
+    return out;
+}
+
+Tensor
+TrainReLU::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(cached_in_.shape());
+    const float *in = cached_in_.data();
+    const float *go = grad_out.data();
+    float *gi = grad_in.data();
+    const int64_t n = cached_in_.numel();
+    for (int64_t i = 0; i < n; ++i)
+        gi[i] = in[i] > 0.0f ? go[i] : 0.0f;
+    return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// TrainGlobalAvgPool
+// ---------------------------------------------------------------------
+
+Tensor
+TrainGlobalAvgPool::forward(const Tensor &in)
+{
+    cached_shape_ = in.shape();
+    const int64_t n = in.dim(0);
+    const int64_t c = in.dim(1);
+    const int64_t hw = in.dim(2) * in.dim(3);
+    Tensor out({n, c});
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float *src = in.data() + (b * c + ch) * hw;
+            double acc = 0.0;
+            for (int64_t i = 0; i < hw; ++i)
+                acc += src[i];
+            out[b * c + ch] =
+                static_cast<float>(acc / static_cast<double>(hw));
+        }
+    }
+    return out;
+}
+
+Tensor
+TrainGlobalAvgPool::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(cached_shape_);
+    const int64_t n = cached_shape_[0];
+    const int64_t c = cached_shape_[1];
+    const int64_t hw = cached_shape_[2] * cached_shape_[3];
+    const float inv = 1.0f / static_cast<float>(hw);
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float g = grad_out[b * c + ch] * inv;
+            float *dst = grad_in.data() + (b * c + ch) * hw;
+            for (int64_t i = 0; i < hw; ++i)
+                dst[i] = g;
+        }
+    }
+    return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// TrainLinear
+// ---------------------------------------------------------------------
+
+TrainLinear::TrainLinear(int in_features, int out_features, Rng &rng)
+    : in_features_(in_features), out_features_(out_features),
+      weight_({out_features, in_features}), bias_({out_features}),
+      grad_weight_({out_features, in_features}), grad_bias_({out_features}),
+      vel_weight_({out_features, in_features}), vel_bias_({out_features})
+{
+    fillKaiming(weight_, rng, in_features);
+}
+
+Tensor
+TrainLinear::forward(const Tensor &in)
+{
+    tamres_assert(in.ndim() == 2 && in.dim(1) == in_features_,
+                  "TrainLinear: bad input shape %s",
+                  shapeToString(in.shape()).c_str());
+    cached_in_ = in;
+    const int64_t n = in.dim(0);
+    Tensor out({n, out_features_});
+    for (int64_t b = 0; b < n; ++b) {
+        const float *src = in.data() + b * in_features_;
+        float *dst = out.data() + b * out_features_;
+        for (int o = 0; o < out_features_; ++o) {
+            const float *wrow =
+                weight_.data() + static_cast<int64_t>(o) * in_features_;
+            float acc = bias_[o];
+            for (int i = 0; i < in_features_; ++i)
+                acc += wrow[i] * src[i];
+            dst[o] = acc;
+        }
+    }
+    return out;
+}
+
+Tensor
+TrainLinear::backward(const Tensor &grad_out)
+{
+    const int64_t n = cached_in_.dim(0);
+    Tensor grad_in({n, in_features_});
+    for (int64_t b = 0; b < n; ++b) {
+        const float *go = grad_out.data() + b * out_features_;
+        const float *src = cached_in_.data() + b * in_features_;
+        float *gi = grad_in.data() + b * in_features_;
+        for (int o = 0; o < out_features_; ++o) {
+            const float g = go[o];
+            grad_bias_[o] += g;
+            const float *wrow =
+                weight_.data() + static_cast<int64_t>(o) * in_features_;
+            float *gwrow = grad_weight_.data() +
+                           static_cast<int64_t>(o) * in_features_;
+            for (int i = 0; i < in_features_; ++i) {
+                gwrow[i] += g * src[i];
+                gi[i] += g * wrow[i];
+            }
+        }
+    }
+    return grad_in;
+}
+
+void
+TrainLinear::step(const SgdOptions &opts)
+{
+    sgdUpdate(weight_, grad_weight_, vel_weight_, opts);
+    sgdUpdate(bias_, grad_bias_, vel_bias_, opts);
+}
+
+int64_t
+TrainLinear::numParams() const
+{
+    return weight_.numel() + bias_.numel();
+}
+
+// ---------------------------------------------------------------------
+// SequentialNet
+// ---------------------------------------------------------------------
+
+void
+SequentialNet::add(std::unique_ptr<TrainLayer> layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+SequentialNet::forward(const Tensor &in)
+{
+    Tensor x = in;
+    for (auto &layer : layers_)
+        x = layer->forward(x);
+    return x;
+}
+
+void
+SequentialNet::backward(const Tensor &grad_out)
+{
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+}
+
+void
+SequentialNet::step(const SgdOptions &opts)
+{
+    for (auto &layer : layers_)
+        layer->step(opts);
+}
+
+int64_t
+SequentialNet::numParams() const
+{
+    int64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer->numParams();
+    return total;
+}
+
+// ---------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------
+
+double
+bceWithLogitsLoss(const Tensor &logits, const Tensor &targets,
+                  Tensor &grad)
+{
+    tamres_assert(logits.shape() == targets.shape(),
+                  "bce: logits/targets shape mismatch");
+    grad = Tensor(logits.shape());
+    const int64_t n = logits.numel();
+    const float inv = 1.0f / static_cast<float>(n);
+    double loss = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const float x = logits[i];
+        const float t = targets[i];
+        // log(1 + exp(-|x|)) + max(x, 0) - x*t, numerically stable.
+        const float max_x = x > 0 ? x : 0.0f;
+        loss += max_x - x * t + std::log1p(std::exp(-std::fabs(x)));
+        const float p = 1.0f / (1.0f + std::exp(-x));
+        grad[i] = (p - t) * inv;
+    }
+    return loss / static_cast<double>(n);
+}
+
+double
+softmaxCrossEntropyLoss(const Tensor &logits,
+                        const std::vector<int> &labels, Tensor &grad)
+{
+    tamres_assert(logits.ndim() == 2 &&
+                  logits.dim(0) == static_cast<int64_t>(labels.size()),
+                  "xent: bad shapes");
+    const int64_t n = logits.dim(0);
+    const int64_t k = logits.dim(1);
+    grad = Tensor(logits.shape());
+    double loss = 0.0;
+    const float inv = 1.0f / static_cast<float>(n);
+    for (int64_t b = 0; b < n; ++b) {
+        const float *src = logits.data() + b * k;
+        float *g = grad.data() + b * k;
+        float mx = src[0];
+        for (int64_t i = 1; i < k; ++i)
+            mx = std::max(mx, src[i]);
+        double sum = 0.0;
+        for (int64_t i = 0; i < k; ++i)
+            sum += std::exp(src[i] - mx);
+        const int label = labels[b];
+        tamres_assert(label >= 0 && label < k, "label out of range");
+        loss -= (src[label] - mx) - std::log(sum);
+        for (int64_t i = 0; i < k; ++i) {
+            const float p =
+                static_cast<float>(std::exp(src[i] - mx) / sum);
+            g[i] = (p - (i == label ? 1.0f : 0.0f)) * inv;
+        }
+    }
+    return loss / static_cast<double>(n);
+}
+
+Tensor
+sigmoid(const Tensor &logits)
+{
+    Tensor out(logits.shape());
+    const int64_t n = logits.numel();
+    for (int64_t i = 0; i < n; ++i)
+        out[i] = 1.0f / (1.0f + std::exp(-logits[i]));
+    return out;
+}
+
+} // namespace tamres

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Minimal training support: a sequential network of layers with
+ * explicit forward/backward, SGD with momentum, and the losses the
+ * paper's scale model needs (multilabel binary cross-entropy,
+ * Section IV-a) plus softmax cross-entropy for classification
+ * examples.
+ *
+ * This is deliberately a separate, compact stack from the inference
+ * graph: the paper trains only the small scale model (backbones are
+ * pre-trained), so the trainable layer set is the subset that model
+ * needs (conv / relu / global-average-pool / linear).
+ */
+
+#ifndef TAMRES_NN_TRAIN_HH
+#define TAMRES_NN_TRAIN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/conv_kernels.hh"
+#include "tensor/tensor.hh"
+
+namespace tamres {
+
+class Rng;
+
+/** SGD hyperparameters. */
+struct SgdOptions
+{
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    float weight_decay = 1e-4f;
+};
+
+/** A trainable layer with explicit backward. */
+class TrainLayer
+{
+  public:
+    virtual ~TrainLayer() = default;
+
+    virtual std::string type() const = 0;
+
+    /** Compute the output, caching whatever backward() needs. */
+    virtual Tensor forward(const Tensor &in) = 0;
+
+    /**
+     * Back-propagate: consume dL/d(output), accumulate parameter
+     * gradients, return dL/d(input).
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Apply one SGD step and clear gradients (no-op if stateless). */
+    virtual void step(const SgdOptions &opts) { (void)opts; }
+
+    /** Parameter element count. */
+    virtual int64_t numParams() const { return 0; }
+};
+
+/** Trainable convolution (bias included). */
+class TrainConv2d : public TrainLayer
+{
+  public:
+    TrainConv2d(int ic, int oc, int kernel, int stride, int pad,
+                Rng &rng);
+
+    std::string type() const override { return "TrainConv2d"; }
+    Tensor forward(const Tensor &in) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void step(const SgdOptions &opts) override;
+    int64_t numParams() const override;
+
+  private:
+    ConvProblem problemFor(const Shape &in) const;
+
+    int ic_, oc_, kernel_, stride_, pad_;
+    Tensor weight_, bias_;
+    Tensor grad_weight_, grad_bias_;
+    Tensor vel_weight_, vel_bias_; //!< momentum buffers
+    Tensor cached_in_;
+};
+
+/** Trainable ReLU. */
+class TrainReLU : public TrainLayer
+{
+  public:
+    std::string type() const override { return "TrainReLU"; }
+    Tensor forward(const Tensor &in) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Tensor cached_in_;
+};
+
+/** Trainable global average pooling: [n,c,h,w] -> [n,c]. */
+class TrainGlobalAvgPool : public TrainLayer
+{
+  public:
+    std::string type() const override { return "TrainGlobalAvgPool"; }
+    Tensor forward(const Tensor &in) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Shape cached_shape_;
+};
+
+/** Trainable fully connected layer. */
+class TrainLinear : public TrainLayer
+{
+  public:
+    TrainLinear(int in_features, int out_features, Rng &rng);
+
+    std::string type() const override { return "TrainLinear"; }
+    Tensor forward(const Tensor &in) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void step(const SgdOptions &opts) override;
+    int64_t numParams() const override;
+
+  private:
+    int in_features_, out_features_;
+    Tensor weight_, bias_;
+    Tensor grad_weight_, grad_bias_;
+    Tensor vel_weight_, vel_bias_;
+    Tensor cached_in_;
+};
+
+/** A sequential trainable network. */
+class SequentialNet
+{
+  public:
+    /** Append a layer. */
+    void add(std::unique_ptr<TrainLayer> layer);
+
+    /** Forward through all layers. */
+    Tensor forward(const Tensor &in);
+
+    /** Backward through all layers from the loss gradient. */
+    void backward(const Tensor &grad_out);
+
+    /** One SGD step on every layer. */
+    void step(const SgdOptions &opts);
+
+    int64_t numParams() const;
+    size_t numLayers() const { return layers_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<TrainLayer>> layers_;
+};
+
+/**
+ * Multilabel binary cross-entropy with logits (the scale model's
+ * objective). Returns mean loss; writes dL/dlogits into @p grad.
+ */
+double bceWithLogitsLoss(const Tensor &logits, const Tensor &targets,
+                         Tensor &grad);
+
+/** Softmax cross-entropy for integer labels; returns mean loss. */
+double softmaxCrossEntropyLoss(const Tensor &logits,
+                               const std::vector<int> &labels,
+                               Tensor &grad);
+
+/** Elementwise logistic sigmoid into a new tensor. */
+Tensor sigmoid(const Tensor &logits);
+
+} // namespace tamres
+
+#endif // TAMRES_NN_TRAIN_HH

@@ -1,0 +1,142 @@
+#include "sim/accuracy_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+std::string
+archName(BackboneArch arch)
+{
+    switch (arch) {
+      case BackboneArch::ResNet18: return "ResNet-18";
+      case BackboneArch::ResNet50: return "ResNet-50";
+    }
+    return "?";
+}
+
+AccuracyParams
+accuracyParams(BackboneArch arch, const DatasetSpec &spec)
+{
+    AccuracyParams p;
+    const bool rn50 = arch == BackboneArch::ResNet50;
+    if (spec.name == "cars-like") {
+        // Fine-grained classification: bigger objects (f ~ 0.68), a
+        // later peak (~336 for 75% crops), a steep low-resolution
+        // collapse, and high tolerance to fidelity loss.
+        p.s_star = 264.0;
+        p.base_logit = rn50 ? 2.66 : 2.55;
+        p.w_lo = rn50 ? 2.05 : 2.65;
+        p.w_hi = rn50 ? 1.70 : 2.00;
+        p.w_clip = rn50 ? 2.2 : 2.5;
+        p.w_q = 0.012;
+        p.q_knee0 = 0.988;
+        p.q_knee_slope = 0.014;
+    } else {
+        // ImageNet-like: peak near 280 for 75% crops, gentle decline
+        // above, flatter low-resolution falloff, texture-sensitive
+        // quality response.
+        p.s_star = 158.0;
+        p.base_logit = rn50 ? 1.25 : 1.05;
+        p.w_lo = rn50 ? 1.00 : 1.20;
+        p.w_hi = rn50 ? 0.34 : 0.44;
+        p.w_clip = rn50 ? 4.2 : 5.0;
+        p.w_up = 0.30;
+        p.w_q = 0.030;
+        p.q_knee0 = 0.995;
+        p.q_knee_slope = 0.012;
+    }
+    return p;
+}
+
+BackboneAccuracyModel::BackboneAccuracyModel(BackboneArch arch,
+                                             const DatasetSpec &spec,
+                                             uint64_t model_seed)
+    : arch_(arch), model_seed_(model_seed),
+      params_(accuracyParams(arch, spec))
+{
+    // Training-seed jitter: different training runs / data shards land
+    // at slightly different preferred scales and headrooms, producing
+    // the seed-to-seed spread visible in the paper's Figure 6.
+    uint64_t h = model_seed * 0x9e3779b97f4a7c15ull + 0x7777;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 32;
+    const double u1 = (h >> 11) * 0x1.0p-53;
+    const double u2 = ((h * 0x2545f4914f6cdd1dull) >> 11) * 0x1.0p-53;
+    params_.s_star *= 1.0 + 0.06 * (u1 - 0.5);
+    params_.base_logit += 0.06 * (u2 - 0.5);
+}
+
+double
+BackboneAccuracyModel::difficulty(const ImageRecord &rec) const
+{
+    // Logistic(0, 1) draw hashed from (image, model seed).
+    uint64_t h = rec.id * 0xc2b2ae3d27d4eb4full ^
+                 model_seed_ * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    double u = (h >> 11) * 0x1.0p-53;
+    u = std::clamp(u, 1e-12, 1.0 - 1e-12);
+    return std::log(u / (1.0 - u));
+}
+
+double
+BackboneAccuracyModel::margin(const ImageRecord &rec, double crop_area,
+                              int resolution, double ssim_q) const
+{
+    tamres_assert(crop_area > 0.0 && crop_area <= 1.0,
+                  "crop area fraction must be in (0, 1]");
+    tamres_assert(resolution > 0, "resolution must be positive");
+    const AccuracyParams &pp = params_;
+
+    const double side_frac = std::sqrt(crop_area);
+    const double f_eff = rec.object_scale / side_frac;
+
+    // Apparent object size in pixels at the inference resolution.
+    const double s_px = resolution * std::min(f_eff, pp.f_cap);
+    const double z = std::log(s_px / pp.s_star);
+    const double pen_scale =
+        (z < 0 ? pp.w_lo : pp.w_hi) * z * z;
+
+    // Crops tighter than the object truncate it: information is lost
+    // no matter the resolution.
+    const double clip_excess = std::max(0.0, f_eff - pp.clip_free);
+    const double pen_clip = pp.w_clip * clip_excess * clip_excess;
+
+    // Upsampling past the stored pixels adds no information and blurs.
+    const double src_side =
+        side_frac * std::min(rec.height, rec.width);
+    const double up = std::max(0.0, std::log(resolution / src_side));
+    const double pen_up = pp.w_up * up * up;
+
+    // Quality below the resolution-dependent SSIM knee.
+    const double knee =
+        pp.q_knee0 - pp.q_knee_slope * std::log(resolution / 112.0);
+    const double deficit = std::max(0.0, knee - ssim_q) * 100.0;
+    const double pen_q = pp.w_q * deficit * deficit;
+
+    return pp.base_logit - pen_scale - pen_clip - pen_up - pen_q;
+}
+
+double
+BackboneAccuracyModel::pCorrect(const ImageRecord &rec, double crop_area,
+                                int resolution, double ssim_q) const
+{
+    const double m =
+        margin(rec, crop_area, resolution, ssim_q) / params_.diff_scale;
+    return 1.0 / (1.0 + std::exp(-m));
+}
+
+bool
+BackboneAccuracyModel::correct(const ImageRecord &rec, double crop_area,
+                               int resolution, double ssim_q) const
+{
+    return margin(rec, crop_area, resolution, ssim_q) / params_.diff_scale
+           > difficulty(rec);
+}
+
+} // namespace tamres

@@ -1,0 +1,135 @@
+#include "sim/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace tamres {
+
+DatasetSpec
+imagenetLike()
+{
+    DatasetSpec spec;
+    spec.name = "imagenet-like";
+    spec.num_classes = 16;
+    spec.mean_height = 405;
+    spec.mean_width = 472;
+    spec.size_jitter = 0.25;
+    spec.object_scale_mean = 0.50;
+    spec.object_scale_sigma = 0.40;
+    spec.texture_detail = 0.65;
+    spec.encode_quality = 85;
+    return spec;
+}
+
+DatasetSpec
+carsLike()
+{
+    DatasetSpec spec;
+    spec.name = "cars-like";
+    spec.num_classes = 16;
+    spec.mean_height = 482;
+    spec.mean_width = 699;
+    spec.size_jitter = 0.30;
+    spec.object_scale_mean = 0.68; // cars fill more of the frame
+    spec.object_scale_sigma = 0.30;
+    spec.texture_detail = 0.45;    // shape-dominated appearance
+    spec.encode_quality = 85;
+    return spec;
+}
+
+SyntheticDataset::SyntheticDataset(DatasetSpec spec, int size,
+                                   uint64_t seed)
+    : spec_(std::move(spec))
+{
+    tamres_assert(size > 0, "dataset size must be positive");
+    records_.reserve(size);
+    Rng rng(seed ^ 0x1234abcdull);
+    for (int i = 0; i < size; ++i) {
+        ImageRecord rec;
+        rec.id = seed * 1000003ull + static_cast<uint64_t>(i);
+        rec.label = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(spec_.num_classes)));
+        const double size_factor =
+            std::exp(rng.normal(0.0, spec_.size_jitter));
+        rec.height = std::clamp(
+            static_cast<int>(std::lround(spec_.mean_height *
+                                         size_factor)), 96, 1024);
+        rec.width = std::clamp(
+            static_cast<int>(std::lround(spec_.mean_width *
+                                         size_factor)), 96, 1024);
+        rec.object_scale = std::clamp(
+            spec_.object_scale_mean *
+                std::exp(rng.normal(0.0, spec_.object_scale_sigma)),
+            0.08, 1.3);
+        rec.seed = rng.next();
+        records_.push_back(rec);
+    }
+}
+
+Image
+SyntheticDataset::render(int i) const
+{
+    const ImageRecord &rec = record(i);
+    SyntheticImageSpec spec;
+    spec.height = rec.height;
+    spec.width = rec.width;
+    spec.class_id = rec.label;
+    spec.num_classes = spec_.num_classes;
+    spec.object_scale = rec.object_scale;
+    spec.seed = rec.seed;
+    spec.texture_detail = spec_.texture_detail;
+    return generateSyntheticImage(spec);
+}
+
+Image
+SyntheticDataset::renderAt(int i, int max_side) const
+{
+    const ImageRecord &rec = record(i);
+    const int long_side = std::max(rec.height, rec.width);
+    const double scale =
+        std::min(1.0, static_cast<double>(max_side) / long_side);
+    SyntheticImageSpec spec;
+    spec.height = std::max(
+        32, static_cast<int>(std::lround(rec.height * scale)));
+    spec.width = std::max(
+        32, static_cast<int>(std::lround(rec.width * scale)));
+    spec.class_id = rec.label;
+    spec.num_classes = spec_.num_classes;
+    spec.object_scale = rec.object_scale;
+    spec.seed = rec.seed;
+    spec.texture_detail = spec_.texture_detail;
+    return generateSyntheticImage(spec);
+}
+
+void
+SyntheticDataset::ingest(ObjectStore &store, int first, int last) const
+{
+    ProgressiveConfig cfg;
+    cfg.quality = spec_.encode_quality;
+    ingest(store, first, last, cfg);
+}
+
+void
+SyntheticDataset::ingest(ObjectStore &store, int first, int last,
+                         const ProgressiveConfig &cfg) const
+{
+    tamres_assert(first >= 0 && last <= size() && first <= last,
+                  "invalid ingest range [%d, %d)", first, last);
+    for (int i = first; i < last; ++i)
+        store.put(record(i).id, encodeProgressive(render(i), cfg));
+}
+
+std::pair<int, int>
+shardRange(int size, int k, int which)
+{
+    tamres_assert(k > 0 && which >= 0 && which < k, "bad shard index");
+    const int base = size / k;
+    const int rem = size % k;
+    const int begin = which * base + std::min(which, rem);
+    const int len = base + (which < rem ? 1 : 0);
+    return {begin, begin + len};
+}
+
+} // namespace tamres

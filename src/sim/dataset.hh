@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Synthetic dataset generation with dataset-level profiles standing in
+ * for ImageNet and Stanford Cars.
+ *
+ * Each ImageRecord fixes the latent variables the paper's experiments
+ * manipulate: stored image size (ImageNet avg 472x405 vs Cars 699x482,
+ * Section V), the object's apparent scale (lognormal per dataset), and
+ * the instance seed that renders deterministic pixels. Images are
+ * rendered procedurally (image/synthetic.hh) and encoded with the
+ * progressive codec into an ObjectStore.
+ */
+
+#ifndef TAMRES_SIM_DATASET_HH
+#define TAMRES_SIM_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "image/synthetic.hh"
+#include "storage/object_store.hh"
+
+namespace tamres {
+
+/** Dataset-level distributional profile. */
+struct DatasetSpec
+{
+    std::string name;
+    int num_classes = 16;
+
+    // Stored image geometry (mean dimensions; per-image jitter).
+    int mean_height = 405;
+    int mean_width = 472;
+    double size_jitter = 0.25; //!< lognormal sigma of the size factor
+
+    // Apparent object scale f: fraction of the short image side.
+    double object_scale_mean = 0.50; //!< median of lognormal f
+    double object_scale_sigma = 0.40;
+
+    /** High-frequency energy of backgrounds/textures in [0, 1]. */
+    double texture_detail = 0.6;
+
+    /** Progressive-encoding quality used at ingest. */
+    int encode_quality = 85;
+};
+
+/**
+ * ImageNet-like profile: moderate image sizes, wide object-scale
+ * spread, texture-heavy classes (fine detail matters).
+ */
+DatasetSpec imagenetLike();
+
+/**
+ * Stanford-Cars-like profile: larger stored images, larger objects
+ * (cars fill the frame), shape-dominated classes that tolerate fidelity
+ * loss (the paper's Section V observation).
+ */
+DatasetSpec carsLike();
+
+/** Latent description of one dataset image. */
+struct ImageRecord
+{
+    uint64_t id = 0;
+    int label = 0;
+    int height = 0;         //!< stored pixel height
+    int width = 0;          //!< stored pixel width
+    double object_scale = 0.5; //!< f: object size / short side
+    uint64_t seed = 0;      //!< rendering seed
+};
+
+/**
+ * A deterministic synthetic dataset: records are derived from
+ * (spec, seed) only, so any split/seed combination is reproducible.
+ */
+class SyntheticDataset
+{
+  public:
+    SyntheticDataset(DatasetSpec spec, int size, uint64_t seed);
+
+    const DatasetSpec &spec() const { return spec_; }
+    int size() const { return static_cast<int>(records_.size()); }
+    const ImageRecord &record(int i) const { return records_.at(i); }
+
+    /** Render the stored-resolution pixels of image @p i. */
+    Image render(int i) const;
+
+    /**
+     * Render the same latent image with its long side clamped to
+     * @p max_side pixels (aspect preserved, same pose/texture seeds).
+     * Cheap substitute for render+downscale in compute-bound
+     * experiments that don't exercise the storage path.
+     */
+    Image renderAt(int i, int max_side) const;
+
+    /**
+     * Render, progressively encode, and insert images [first, last)
+     * into @p store keyed by record id, at the spec's encode quality
+     * with the default codec configuration.
+     */
+    void ingest(ObjectStore &store, int first, int last) const;
+
+    /**
+     * As above with an explicit codec configuration (scan script,
+     * color mode, entropy layer, quality) used verbatim — the spec's
+     * encode_quality is ignored. Storage experiments comparing codec
+     * modes must build their QualityTable with the same config.
+     */
+    void ingest(ObjectStore &store, int first, int last,
+                const ProgressiveConfig &cfg) const;
+
+  private:
+    DatasetSpec spec_;
+    std::vector<ImageRecord> records_;
+};
+
+/**
+ * Disjoint shard bounds for the paper's Figure-5 cross-validation
+ * training scheme: splits [0, size) into @p k near-equal shards and
+ * returns the half-open [begin, end) of shard @p which.
+ */
+std::pair<int, int> shardRange(int size, int k, int which);
+
+} // namespace tamres
+
+#endif // TAMRES_SIM_DATASET_HH

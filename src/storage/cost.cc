@@ -1,0 +1,30 @@
+#include "storage/cost.hh"
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+MonthlyCost
+monthlyCost(const Workload &w, const CloudPricing &p)
+{
+    tamres_assert(w.corpus_images >= 0 && w.mean_image_bytes >= 0 &&
+                  w.reads_per_month >= 0,
+                  "workload quantities must be non-negative");
+    tamres_assert(w.mean_read_fraction >= 0.0 &&
+                  w.mean_read_fraction <= 1.0,
+                  "read fraction must be in [0, 1]");
+    constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+    MonthlyCost cost;
+    cost.storage_usd = static_cast<double>(w.corpus_images) *
+                       w.mean_image_bytes / kGiB * p.storage_gb_month;
+    cost.egress_usd = static_cast<double>(w.reads_per_month) *
+                      w.mean_image_bytes * w.mean_read_fraction / kGiB *
+                      p.egress_gb;
+    cost.request_usd = static_cast<double>(w.reads_per_month) *
+                       (1.0 + w.extra_requests_per_read) / 10000.0 *
+                       p.request_per_10k;
+    return cost;
+}
+
+} // namespace tamres

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cloud cost accounting for image-serving workloads.
+ *
+ * The paper's motivation (Sections I and VIII-b) is monetary: cloud
+ * deployments bill stored bytes, egress bytes, and requests, so the
+ * 20-30% read reductions of calibrated/dynamic policies translate to
+ * dollars. This model prices a workload (image corpus + monthly
+ * inference volume) under a pricing sheet patterned on public object
+ * stores, so bench/cloud_cost can print full-read vs. calibrated vs.
+ * dynamic bills side by side.
+ */
+
+#ifndef TAMRES_STORAGE_COST_HH
+#define TAMRES_STORAGE_COST_HH
+
+#include <cstdint>
+
+namespace tamres {
+
+/** Pricing sheet (USD). Defaults mirror common object-store tiers. */
+struct CloudPricing
+{
+    double storage_gb_month = 0.023; //!< $/GB-month at rest
+    double egress_gb = 0.09;         //!< $/GB transferred out
+    double request_per_10k = 0.004;  //!< $/10k GET requests
+};
+
+/** A month of inference traffic against a stored corpus. */
+struct Workload
+{
+    int64_t corpus_images = 1000000;   //!< images at rest
+    double mean_image_bytes = 120000;  //!< full encoded size
+    int64_t reads_per_month = 10000000; //!< inference requests
+    /**
+     * Mean fraction of each image's bytes actually transferred per
+     * read (1.0 = full reads; calibrated/dynamic policies lower it;
+     * incremental fetches that need a second request are charged via
+     * extra_requests_per_read).
+     */
+    double mean_read_fraction = 1.0;
+    double extra_requests_per_read = 0.0; //!< e.g. second-range GETs
+};
+
+/** Itemized monthly bill. */
+struct MonthlyCost
+{
+    double storage_usd = 0.0;
+    double egress_usd = 0.0;
+    double request_usd = 0.0;
+
+    double total() const { return storage_usd + egress_usd + request_usd; }
+};
+
+/** Price @p workload under @p pricing. */
+MonthlyCost monthlyCost(const Workload &workload,
+                        const CloudPricing &pricing = {});
+
+} // namespace tamres
+
+#endif // TAMRES_STORAGE_COST_HH

@@ -1,0 +1,72 @@
+#include "storage/object_store.hh"
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+void
+ObjectStore::put(uint64_t id, EncodedImage image)
+{
+    objects_[id] = std::move(image);
+}
+
+bool
+ObjectStore::contains(uint64_t id) const
+{
+    return objects_.count(id) != 0;
+}
+
+uint64_t
+ObjectStore::storedBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[id, obj] : objects_)
+        total += obj.totalBytes();
+    return total;
+}
+
+const EncodedImage &
+ObjectStore::get(uint64_t id) const
+{
+    auto it = objects_.find(id);
+    tamres_assert(it != objects_.end(),
+                  "object %llu not in store",
+                  static_cast<unsigned long long>(id));
+    return it->second;
+}
+
+Image
+ObjectStore::readScans(uint64_t id, int num_scans)
+{
+    const EncodedImage &obj = get(id);
+    ++stats_.requests;
+    stats_.bytes_read += obj.bytesForScans(num_scans);
+    stats_.bytes_full += obj.totalBytes();
+    return decodeProgressive(obj, num_scans);
+}
+
+Image
+ObjectStore::readAdditionalScans(uint64_t id, int from_scans,
+                                 int to_scans)
+{
+    const EncodedImage &obj = get(id);
+    tamres_assert(from_scans >= 0 && to_scans >= from_scans &&
+                  to_scans <= obj.numScans(),
+                  "invalid incremental scan range [%d, %d]",
+                  from_scans, to_scans);
+    ++stats_.requests;
+    stats_.bytes_read +=
+        obj.bytesForScans(to_scans) - obj.bytesForScans(from_scans);
+    // The full-read denominator was already charged by the first read
+    // of this object in the same logical request, so don't double
+    // count it.
+    return decodeProgressive(obj, to_scans);
+}
+
+const EncodedImage &
+ObjectStore::peek(uint64_t id) const
+{
+    return get(id);
+}
+
+} // namespace tamres

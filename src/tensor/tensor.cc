@@ -1,0 +1,106 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace tamres {
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << shape[i];
+    }
+    out << "]";
+    return out.str();
+}
+
+int64_t
+shapeNumel(const Shape &shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape) {
+        tamres_assert(d >= 0, "negative dimension in shape");
+        n *= d;
+    }
+    return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), numel_(shapeNumel(shape_))
+{
+    data_ = std::shared_ptr<float[]>(new float[numel_]());
+}
+
+Tensor::Tensor(Shape shape, float value)
+    : Tensor(std::move(shape))
+{
+    fill(value);
+}
+
+Tensor::Tensor(Shape shape, const std::vector<float> &values)
+    : Tensor(std::move(shape))
+{
+    tamres_assert(static_cast<int64_t>(values.size()) == numel_,
+                  "value count %zu does not match shape %s",
+                  values.size(), shapeToString(shape_).c_str());
+    std::copy(values.begin(), values.end(), data_.get());
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill_n(data_.get(), numel_, value);
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor out(shape_);
+    std::memcpy(out.data(), data_.get(), sizeof(float) * numel_);
+    return out;
+}
+
+Tensor
+Tensor::reshaped(Shape shape) const
+{
+    tamres_assert(shapeNumel(shape) == numel_,
+                  "reshape %s -> %s changes element count",
+                  shapeToString(shape_).c_str(),
+                  shapeToString(shape).c_str());
+    Tensor out;
+    out.shape_ = std::move(shape);
+    out.numel_ = numel_;
+    out.data_ = data_;
+    return out;
+}
+
+double
+Tensor::sum() const
+{
+    double acc = 0.0;
+    for (int64_t i = 0; i < numel_; ++i)
+        acc += data_.get()[i];
+    return acc;
+}
+
+float
+Tensor::min() const
+{
+    tamres_assert(numel_ > 0, "min() of empty tensor");
+    return *std::min_element(data_.get(), data_.get() + numel_);
+}
+
+float
+Tensor::max() const
+{
+    tamres_assert(numel_ > 0, "max() of empty tensor");
+    return *std::max_element(data_.get(), data_.get() + numel_);
+}
+
+} // namespace tamres

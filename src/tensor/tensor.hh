@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A minimal dense float32 tensor with NCHW-oriented helpers.
+ *
+ * Tensor owns contiguous storage via a shared_ptr so copies are cheap
+ * views onto the same buffer (value semantics on the metadata, reference
+ * semantics on the data — the convention used throughout the nn engine).
+ * Use clone() for a deep copy.
+ */
+
+#ifndef TAMRES_TENSOR_TENSOR_HH
+#define TAMRES_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+/** Shape of a tensor; up to 4 dimensions are used by the nn engine. */
+using Shape = std::vector<int64_t>;
+
+/** Render a shape as "[a, b, c]" for diagnostics. */
+std::string shapeToString(const Shape &shape);
+
+/** Number of elements in a shape (product of dims; 1 for scalars). */
+int64_t shapeNumel(const Shape &shape);
+
+/** Dense float32 tensor. */
+class Tensor
+{
+  public:
+    /** An empty tensor with no storage. */
+    Tensor() = default;
+
+    /** Allocate a zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Allocate and fill with @p value. */
+    Tensor(Shape shape, float value);
+
+    /** Wrap existing data (copied) with the given shape. */
+    Tensor(Shape shape, const std::vector<float> &values);
+
+    /** The tensor's shape. */
+    const Shape &shape() const { return shape_; }
+
+    /** Dimension @p i of the shape (supports negative indices). */
+    int64_t
+    dim(int i) const
+    {
+        const int n = static_cast<int>(shape_.size());
+        if (i < 0)
+            i += n;
+        tamres_assert(i >= 0 && i < n, "dim index out of range");
+        return shape_[i];
+    }
+
+    /** Number of dimensions. */
+    int ndim() const { return static_cast<int>(shape_.size()); }
+
+    /** Total element count. */
+    int64_t numel() const { return numel_; }
+
+    /** True when no storage is attached. */
+    bool empty() const { return !data_; }
+
+    /** Raw mutable pointer to the first element. */
+    float *data() { return data_.get(); }
+
+    /** Raw const pointer to the first element. */
+    const float *data() const { return data_.get(); }
+
+    /** Linear element access. */
+    float &operator[](int64_t i) { return data_.get()[i]; }
+    float operator[](int64_t i) const { return data_.get()[i]; }
+
+    /** 4-D (NCHW) element access with bounds assertions. */
+    float &
+    at(int64_t n, int64_t c, int64_t h, int64_t w)
+    {
+        return data_.get()[index4(n, c, h, w)];
+    }
+
+    float
+    at(int64_t n, int64_t c, int64_t h, int64_t w) const
+    {
+        return data_.get()[index4(n, c, h, w)];
+    }
+
+    /** Fill every element with @p value. */
+    void fill(float value);
+
+    /** Deep copy. */
+    Tensor clone() const;
+
+    /**
+     * Return a tensor sharing this tensor's storage with a new shape of
+     * equal element count.
+     */
+    Tensor reshaped(Shape shape) const;
+
+    /** Sum of all elements (double accumulation). */
+    double sum() const;
+
+    /** Minimum / maximum element; tensor must be non-empty. */
+    float min() const;
+    float max() const;
+
+  private:
+    int64_t
+    index4(int64_t n, int64_t c, int64_t h, int64_t w) const
+    {
+        tamres_assert(shape_.size() == 4, "at() requires a 4-D tensor");
+        tamres_assert(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] &&
+                      h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3],
+                      "index out of bounds");
+        return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+    }
+
+    Shape shape_;
+    int64_t numel_ = 0;
+    std::shared_ptr<float[]> data_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_TENSOR_TENSOR_HH

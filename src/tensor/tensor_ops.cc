@@ -1,0 +1,122 @@
+#include "tensor/tensor_ops.hh"
+
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace tamres {
+
+namespace {
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *what)
+{
+    tamres_assert(a.shape() == b.shape(), "%s: shape mismatch %s vs %s",
+                  what, shapeToString(a.shape()).c_str(),
+                  shapeToString(b.shape()).c_str());
+}
+
+} // namespace
+
+void
+addInto(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    checkSameShape(a, b, "addInto");
+    checkSameShape(a, out, "addInto");
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] + pb[i];
+}
+
+void
+axpy(float alpha, const Tensor &b, Tensor &a)
+{
+    checkSameShape(a, b, "axpy");
+    float *pa = a.data();
+    const float *pb = b.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] += alpha * pb[i];
+}
+
+void
+scale(Tensor &a, float alpha)
+{
+    float *pa = a.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] *= alpha;
+}
+
+void
+reluInto(const Tensor &a, Tensor &out)
+{
+    checkSameShape(a, out, "reluInto");
+    const float *pa = a.data();
+    float *po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+}
+
+void
+fillUniform(Tensor &t, Rng &rng, float lo, float hi)
+{
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void
+fillNormal(Tensor &t, Rng &rng, float sd)
+{
+    float *p = t.data();
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(rng.normal(0.0, sd));
+}
+
+void
+fillKaiming(Tensor &t, Rng &rng, int64_t fan_in)
+{
+    tamres_assert(fan_in > 0, "fillKaiming: fan_in must be positive");
+    fillNormal(t, rng, std::sqrt(2.0f / static_cast<float>(fan_in)));
+}
+
+std::vector<int>
+argmaxRows(const Tensor &t)
+{
+    tamres_assert(t.ndim() == 2, "argmaxRows requires a 2-D tensor");
+    const int64_t rows = t.dim(0);
+    const int64_t cols = t.dim(1);
+    std::vector<int> out(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *p = t.data() + r * cols;
+        int best = 0;
+        for (int64_t c = 1; c < cols; ++c) {
+            if (p[c] > p[best])
+                best = static_cast<int>(c);
+        }
+        out[r] = best;
+    }
+    return out;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "maxAbsDiff");
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float best = 0.0f;
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        best = std::max(best, std::fabs(pa[i] - pb[i]));
+    return best;
+}
+
+} // namespace tamres

@@ -1,0 +1,376 @@
+#include "tuning/strategies.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace tamres {
+
+const char *
+searchStrategyName(SearchStrategy strategy)
+{
+    switch (strategy) {
+      case SearchStrategy::Random: return "random";
+      case SearchStrategy::Anneal: return "anneal";
+      case SearchStrategy::Genetic: return "genetic";
+    }
+    return "?";
+}
+
+namespace knob {
+
+const std::vector<int> &
+mcs()
+{
+    static const std::vector<int> v = {16, 32, 64, 128};
+    return v;
+}
+
+const std::vector<int> &
+kcs()
+{
+    static const std::vector<int> v = {64, 128, 256, 512};
+    return v;
+}
+
+const std::vector<int> &
+ncs()
+{
+    static const std::vector<int> v = {256, 512, 1024, 2048, 3136, 4096};
+    return v;
+}
+
+const std::vector<int> &
+mrs()
+{
+    static const std::vector<int> v = {2, 4, 6, 8};
+    return v;
+}
+
+const std::vector<int> &
+nrs()
+{
+    static const std::vector<int> v = {4, 8, 16};
+    return v;
+}
+
+const std::vector<int> &
+ocTiles()
+{
+    static const std::vector<int> v = {1, 2, 4, 8};
+    return v;
+}
+
+const std::vector<int> &
+owTiles()
+{
+    static const std::vector<int> v = {4, 7, 8, 14, 16, 28};
+    return v;
+}
+
+const std::vector<int> &
+winoTileBlocks()
+{
+    static const std::vector<int> v = {64, 128, 256, 512, 1024};
+    return v;
+}
+
+} // namespace knob
+
+namespace {
+
+int
+pick(const std::vector<int> &table, Rng &rng)
+{
+    return table[rng.uniformInt(static_cast<uint64_t>(table.size()))];
+}
+
+/** Move one table value to an adjacent entry (clamped). */
+int
+neighbor(const std::vector<int> &table, int current, Rng &rng)
+{
+    auto it = std::find(table.begin(), table.end(), current);
+    if (it == table.end())
+        return pick(table, rng);
+    int idx = static_cast<int>(it - table.begin());
+    idx += rng.uniformInt(2) == 0 ? -1 : 1;
+    idx = std::clamp(idx, 0, static_cast<int>(table.size()) - 1);
+    return table[idx];
+}
+
+/** Algorithm families eligible for a problem. */
+std::vector<ConvAlgo>
+eligibleAlgos(const ConvProblem &p)
+{
+    std::vector<ConvAlgo> algos;
+    if (p.groups > 1) {
+        algos.push_back(ConvAlgo::Direct);
+        if (p.groups == p.ic && p.ic == p.oc)
+            algos.push_back(ConvAlgo::Depthwise);
+    } else {
+        algos.push_back(ConvAlgo::Direct);
+        algos.push_back(ConvAlgo::Im2col);
+        if (p.kh == 3 && p.kw == 3 && p.stride == 1)
+            algos.push_back(ConvAlgo::Winograd);
+    }
+    return algos;
+}
+
+/** Redraw every knob relevant to cfg.algo. */
+void
+randomizeKnobs(ConvConfig &cfg, Rng &rng)
+{
+    switch (cfg.algo) {
+      case ConvAlgo::Reference:
+        break;
+      case ConvAlgo::Direct:
+        cfg.oc_tile = pick(knob::ocTiles(), rng);
+        cfg.ow_tile = pick(knob::owTiles(), rng);
+        break;
+      case ConvAlgo::Depthwise:
+        cfg.ow_tile = pick(knob::owTiles(), rng);
+        break;
+      case ConvAlgo::Winograd:
+        cfg.wino_tile_block = pick(knob::winoTileBlocks(), rng);
+        [[fallthrough]];
+      case ConvAlgo::Im2col:
+        cfg.mc = pick(knob::mcs(), rng);
+        cfg.kc = pick(knob::kcs(), rng);
+        cfg.nc = pick(knob::ncs(), rng);
+        cfg.mr = pick(knob::mrs(), rng);
+        cfg.nr = pick(knob::nrs(), rng);
+        break;
+    }
+}
+
+} // namespace
+
+ConvConfig
+randomConvConfig(const ConvProblem &p, Rng &rng)
+{
+    const std::vector<ConvAlgo> algos = eligibleAlgos(p);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        ConvConfig cfg;
+        cfg.algo =
+            algos[rng.uniformInt(static_cast<uint64_t>(algos.size()))];
+        randomizeKnobs(cfg, rng);
+        if (convConfigValid(p, cfg))
+            return cfg;
+    }
+    panic("could not draw a valid config for %s", p.key().c_str());
+}
+
+ConvConfig
+mutateConvConfig(const ConvProblem &p, const ConvConfig &cfg, Rng &rng)
+{
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        ConvConfig next = cfg;
+        // 1-in-8: jump algorithm family but keep every knob value, so
+        // the jump stays local in the shared-knob dimensions (the
+        // GEMM blocking carries over between im2col and winograd; a
+        // family landing on defaults is a reasonable center).
+        if (rng.uniformInt(8) == 0) {
+            const std::vector<ConvAlgo> algos = eligibleAlgos(p);
+            next.algo = algos[rng.uniformInt(
+                static_cast<uint64_t>(algos.size()))];
+            if (!(next == cfg) && convConfigValid(p, next))
+                return next;
+            continue;
+        }
+        switch (next.algo) {
+          case ConvAlgo::Reference:
+            return next;
+          case ConvAlgo::Direct:
+            if (rng.uniformInt(2) == 0)
+                next.oc_tile = neighbor(knob::ocTiles(), next.oc_tile,
+                                        rng);
+            else
+                next.ow_tile = neighbor(knob::owTiles(), next.ow_tile,
+                                        rng);
+            break;
+          case ConvAlgo::Depthwise:
+            next.ow_tile = neighbor(knob::owTiles(), next.ow_tile, rng);
+            break;
+          case ConvAlgo::Winograd:
+          case ConvAlgo::Im2col: {
+            const int which = static_cast<int>(rng.uniformInt(
+                next.algo == ConvAlgo::Winograd ? 6 : 5));
+            switch (which) {
+              case 0: next.mc = neighbor(knob::mcs(), next.mc, rng);
+                break;
+              case 1: next.kc = neighbor(knob::kcs(), next.kc, rng);
+                break;
+              case 2: next.nc = neighbor(knob::ncs(), next.nc, rng);
+                break;
+              case 3: next.mr = neighbor(knob::mrs(), next.mr, rng);
+                break;
+              case 4: next.nr = neighbor(knob::nrs(), next.nr, rng);
+                break;
+              default:
+                next.wino_tile_block = neighbor(
+                    knob::winoTileBlocks(), next.wino_tile_block, rng);
+                break;
+            }
+            break;
+          }
+        }
+        if (convConfigValid(p, next))
+            return next;
+    }
+    return cfg;
+}
+
+ConvConfig
+crossoverConvConfig(const ConvProblem &p, const ConvConfig &a,
+                    const ConvConfig &b, Rng &rng)
+{
+    ConvConfig child = rng.uniformInt(2) == 0 ? a : b;
+    const ConvConfig &other = (child == a) ? b : a;
+    if (child.algo == other.algo) {
+        // Same family: mix knobs uniformly.
+        if (rng.uniformInt(2))
+            child.oc_tile = other.oc_tile;
+        if (rng.uniformInt(2))
+            child.ow_tile = other.ow_tile;
+        if (rng.uniformInt(2))
+            child.mc = other.mc;
+        if (rng.uniformInt(2))
+            child.kc = other.kc;
+        if (rng.uniformInt(2))
+            child.nc = other.nc;
+        if (rng.uniformInt(2))
+            child.mr = other.mr;
+        if (rng.uniformInt(2))
+            child.nr = other.nr;
+        if (rng.uniformInt(2))
+            child.wino_tile_block = other.wino_tile_block;
+    }
+    if (!convConfigValid(p, child))
+        return rng.uniformInt(2) == 0 ? a : b;
+    return child;
+}
+
+StrategyResult
+annealSearch(const ConvProblem &p, const std::vector<ConvConfig> &seeds,
+             const MeasureFn &measure, const StrategyBudget &budget)
+{
+    tamres_assert(!seeds.empty(), "anneal needs at least one seed");
+    Rng rng(budget.seed ^ 0xA44Eull);
+    Timer timer;
+
+    StrategyResult result;
+    ConvConfig current;
+    double current_s = 1e30;
+    for (const ConvConfig &s : seeds) {
+        if (!convConfigValid(p, s))
+            continue;
+        const double t = measure(s);
+        ++result.measured;
+        if (t < current_s) {
+            current = s;
+            current_s = t;
+        }
+        if (result.measured >= budget.measurements)
+            break;
+    }
+    tamres_assert(current_s < 1e30, "no valid seed measured");
+    result.best = current;
+    result.best_seconds = current_s;
+
+    // Geometric cooling; temperature is relative to the incumbent's
+    // runtime so acceptance behaves uniformly across problem sizes.
+    double temperature = 0.35;
+    const double cooling = 0.90;
+    while (result.measured < budget.measurements &&
+           timer.seconds() < budget.time_budget_s) {
+        const ConvConfig cand = mutateConvConfig(p, current, rng);
+        const double t = measure(cand);
+        ++result.measured;
+        if (t < result.best_seconds) {
+            result.best = cand;
+            result.best_seconds = t;
+        }
+        const double rel = (t - current_s) / std::max(current_s, 1e-12);
+        if (rel <= 0.0 ||
+            rng.uniform() < std::exp(-rel / std::max(temperature,
+                                                     1e-3))) {
+            current = cand;
+            current_s = t;
+        }
+        temperature *= cooling;
+    }
+    return result;
+}
+
+StrategyResult
+geneticSearch(const ConvProblem &p, const std::vector<ConvConfig> &seeds,
+              const MeasureFn &measure, const StrategyBudget &budget)
+{
+    Rng rng(budget.seed ^ 0x6E6Eull);
+    Timer timer;
+
+    struct Member
+    {
+        ConvConfig config;
+        double seconds;
+    };
+    std::vector<Member> population;
+    StrategyResult result;
+
+    auto add = [&](const ConvConfig &cfg) {
+        if (!convConfigValid(p, cfg) ||
+            result.measured >= budget.measurements)
+            return;
+        const double t = measure(cfg);
+        ++result.measured;
+        population.push_back({cfg, t});
+        if (t < result.best_seconds) {
+            result.best = cfg;
+            result.best_seconds = t;
+        }
+    };
+
+    for (const ConvConfig &s : seeds)
+        add(s);
+    const int pop_target =
+        std::clamp(budget.measurements / 3, 4, 12);
+    while (static_cast<int>(population.size()) < pop_target &&
+           result.measured < budget.measurements)
+        add(randomConvConfig(p, rng));
+    tamres_assert(!population.empty(), "no valid member measured");
+
+    // Steady-state loop: tournament-select parents, breed, replace the
+    // worst member when the child is better.
+    while (result.measured < budget.measurements &&
+           timer.seconds() < budget.time_budget_s) {
+        auto tournament = [&]() -> const Member & {
+            const Member &a = population[rng.uniformInt(
+                static_cast<uint64_t>(population.size()))];
+            const Member &b = population[rng.uniformInt(
+                static_cast<uint64_t>(population.size()))];
+            return a.seconds <= b.seconds ? a : b;
+        };
+        ConvConfig child = crossoverConvConfig(
+            p, tournament().config, tournament().config, rng);
+        if (rng.uniformInt(2) == 0)
+            child = mutateConvConfig(p, child, rng);
+        const double t = measure(child);
+        ++result.measured;
+        if (t < result.best_seconds) {
+            result.best = child;
+            result.best_seconds = t;
+        }
+        auto worst = std::max_element(
+            population.begin(), population.end(),
+            [](const Member &a, const Member &b) {
+                return a.seconds < b.seconds;
+            });
+        if (t < worst->seconds)
+            *worst = Member{child, t};
+    }
+    return result;
+}
+
+} // namespace tamres

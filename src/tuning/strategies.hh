@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Search-space primitives and strategies for the conv autotuner.
+ *
+ * AutoTVM-class tuners differ mainly in how they draw the next
+ * candidate: uniformly (random search), by perturbing the incumbent
+ * (simulated annealing), or by recombining elites (genetic). All three
+ * are provided over the same ConvConfig space so
+ * bench/ablation_search_strategy can compare achieved throughput at a
+ * fixed measurement budget. The primitives (random draw, single-knob
+ * mutation, uniform crossover) are shared with AutoTuner's candidate
+ * enumeration.
+ */
+
+#ifndef TAMRES_TUNING_STRATEGIES_HH
+#define TAMRES_TUNING_STRATEGIES_HH
+
+#include <functional>
+#include <vector>
+
+#include "nn/conv_kernels.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+
+/** How the tuner draws candidates. */
+enum class SearchStrategy
+{
+    Random, //!< independent uniform draws (baseline)
+    Anneal, //!< single-knob mutations with Metropolis acceptance
+    Genetic, //!< population with crossover + mutation
+};
+
+/** "random" / "anneal" / "genetic". */
+const char *searchStrategyName(SearchStrategy strategy);
+
+/** Tunable-knob value tables shared by all strategies. */
+namespace knob {
+
+const std::vector<int> &mcs();
+const std::vector<int> &kcs();
+const std::vector<int> &ncs();
+const std::vector<int> &mrs();
+const std::vector<int> &nrs();
+const std::vector<int> &ocTiles();
+const std::vector<int> &owTiles();
+const std::vector<int> &winoTileBlocks();
+
+} // namespace knob
+
+/**
+ * Draw a uniformly random config valid for @p p (algorithm family is
+ * chosen among the families eligible for the problem; retries
+ * internally until valid).
+ */
+ConvConfig randomConvConfig(const ConvProblem &p, Rng &rng);
+
+/**
+ * Perturb one knob of @p cfg to a neighboring table value; with small
+ * probability switches the algorithm family instead. Always returns a
+ * config valid for @p p.
+ */
+ConvConfig mutateConvConfig(const ConvProblem &p, const ConvConfig &cfg,
+                            Rng &rng);
+
+/**
+ * Uniform crossover: each knob is taken from one parent at random.
+ * When the parents use different algorithms the child inherits one
+ * parent's algorithm (and stays valid for @p p).
+ */
+ConvConfig crossoverConvConfig(const ConvProblem &p, const ConvConfig &a,
+                               const ConvConfig &b, Rng &rng);
+
+/** Measured fitness callback: wall-clock seconds for one config. */
+using MeasureFn = std::function<double(const ConvConfig &)>;
+
+/** Budget for a strategy run. */
+struct StrategyBudget
+{
+    int measurements = 24;      //!< total configs to measure
+    double time_budget_s = 1e9; //!< wall-clock cap
+    uint64_t seed = 7;
+};
+
+/** Outcome of a strategy run. */
+struct StrategyResult
+{
+    ConvConfig best;
+    double best_seconds = 1e30;
+    int measured = 0;
+};
+
+/**
+ * Simulated annealing from the best of @p seeds (all seeds are
+ * measured first and count against the budget).
+ */
+StrategyResult annealSearch(const ConvProblem &p,
+                            const std::vector<ConvConfig> &seeds,
+                            const MeasureFn &measure,
+                            const StrategyBudget &budget);
+
+/**
+ * Steady-state genetic search: seeds plus random draws form the
+ * initial population; children replace the worst member.
+ */
+StrategyResult geneticSearch(const ConvProblem &p,
+                             const std::vector<ConvConfig> &seeds,
+                             const MeasureFn &measure,
+                             const StrategyBudget &budget);
+
+} // namespace tamres
+
+#endif // TAMRES_TUNING_STRATEGIES_HH

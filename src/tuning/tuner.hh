@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Black-box autotuning of convolution kernel configurations
+ * (Section VI of the paper).
+ *
+ * The tuner treats kernel selection as measurement-driven search, the
+ * same methodology as AutoTVM [3]: candidate ConvConfigs are drawn from
+ * a structured space (algorithm choice, cache/register blocking), each
+ * is timed on the host, and the fastest is kept, per problem shape.
+ * Results persist in a ConfigCache file so later runs (and other
+ * binaries) reuse them.
+ */
+
+#ifndef TAMRES_TUNING_TUNER_HH
+#define TAMRES_TUNING_TUNER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/conv_kernels.hh"
+#include "nn/graph.hh"
+#include "tuning/strategies.hh"
+
+namespace tamres {
+
+/** Outcome of measuring one candidate. */
+struct MeasureResult
+{
+    ConvConfig config;
+    double seconds = 0.0; //!< median wall-clock of one invocation
+
+    /** Achieved arithmetic throughput. */
+    double
+    gflops(const ConvProblem &p) const
+    {
+        return seconds > 0
+                   ? static_cast<double>(p.macs()) / seconds / 1e9
+                   : 0.0;
+    }
+};
+
+/**
+ * Time one (problem, config) pair on the host. Inputs are filled with
+ * pseudo-random data; an untimed warmup precedes @p reps timed runs and
+ * the median is returned.
+ */
+MeasureResult measureConv(const ConvProblem &p, const ConvConfig &cfg,
+                          int reps = 3);
+
+/** Tuning budget knobs. */
+struct TuneOptions
+{
+    int trials = 24;            //!< candidate configs to draw
+    int reps = 3;               //!< timed repetitions per candidate
+    double time_budget_s = 2.5; //!< stop drawing when exceeded
+    uint64_t seed = 7;          //!< search seed
+    bool verbose = false;       //!< log per-candidate results
+
+    /** Candidate-selection strategy (ablation_search_strategy). */
+    SearchStrategy strategy = SearchStrategy::Random;
+
+    /**
+     * Pre-rank candidates with the analytic cost model and measure
+     * only the most promising cost_model_top_k (random strategy
+     * only). Cuts tuning wall-clock several-fold.
+     */
+    bool use_cost_model = false;
+    int cost_model_top_k = 8;
+
+    /**
+     * Seed the search with cached winners of the *same layer at other
+     * resolutions* (transfer tuning): good blockings transfer across
+     * neighboring shapes, so warm-started search reaches the same
+     * quality with a fraction of the measurements.
+     */
+    bool transfer = false;
+};
+
+/** Persistent store of tuned configs keyed by ConvProblem::key(). */
+class ConfigCache
+{
+  public:
+    /** In-memory only. */
+    ConfigCache() = default;
+
+    /** Backed by @p path; loads existing entries immediately. */
+    explicit ConfigCache(std::string path);
+
+    /** Look up a config; returns false when absent. */
+    bool lookup(const ConvProblem &p, ConvConfig &cfg,
+                double *gflops = nullptr) const;
+
+    /**
+     * Configs cached for "siblings" of @p p: problems identical in
+     * every field except spatial extent (the same layer tuned at a
+     * different network resolution). Used as transfer-tuning seeds.
+     */
+    std::vector<ConvConfig> siblings(const ConvProblem &p) const;
+
+    /** Insert/overwrite and append to the backing file (if any). */
+    void store(const ConvProblem &p, const ConvConfig &cfg,
+               double gflops);
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        ConvConfig config;
+        double gflops;
+    };
+
+    void load();
+    void appendToFile(const std::string &key, const Entry &e) const;
+
+    std::string path_;
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+/** Measurement-driven searcher over the ConvConfig space. */
+class AutoTuner
+{
+  public:
+    /** @param cache optional persistent cache (not owned). */
+    explicit AutoTuner(ConfigCache *cache = nullptr) : cache_(cache) {}
+
+    /**
+     * Tune one problem: returns the best config found. Consults the
+     * cache first; stores the winner back.
+     */
+    MeasureResult tune(const ConvProblem &p, const TuneOptions &opts);
+
+    /**
+     * Enumerate the unique conv problems @p graph poses at an input of
+     * @p shape.
+     */
+    static std::vector<ConvProblem> convProblems(Graph &graph,
+                                                 const Shape &shape);
+
+    /**
+     * Tune every conv problem of a network at one input shape and
+     * register the winners with the KernelSelector, so running the
+     * graph in KernelMode::Tuned uses them.
+     */
+    void tuneNetwork(Graph &graph, const Shape &shape,
+                     const TuneOptions &opts);
+
+    /**
+     * Tune a network across a whole resolution grid (the dynamic-
+     * resolution deployment case): resolutions are visited in order
+     * and transfer seeding is enabled, so each shape's search starts
+     * from the cached winners of its siblings at already-tuned
+     * resolutions (bench/ablation_transfer_tuning quantifies the
+     * saving). Requires a cache.
+     */
+    void tuneNetworkGrid(Graph &graph,
+                         const std::vector<int> &resolutions,
+                         const TuneOptions &opts);
+
+  private:
+    /** Candidate enumeration, deterministic under opts.seed. */
+    std::vector<ConvConfig> candidates(const ConvProblem &p,
+                                       const TuneOptions &opts) const;
+
+    /** Random-strategy search (optionally cost-model pre-ranked). */
+    MeasureResult tuneRandom(const ConvProblem &p,
+                             const TuneOptions &opts);
+
+    ConfigCache *cache_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_TUNING_TUNER_HH

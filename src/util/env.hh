@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Environment-variable helpers used to parameterize benchmark budgets
+ * (e.g. TAMRES_TUNING_TRIALS) without recompiling.
+ */
+
+#ifndef TAMRES_UTIL_ENV_HH
+#define TAMRES_UTIL_ENV_HH
+
+#include <cstdlib>
+#include <string>
+
+namespace tamres {
+
+/** Read an integer environment variable, returning @p def when unset. */
+inline int64_t
+envInt(const char *name, int64_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return std::strtoll(v, nullptr, 10);
+}
+
+/** Read a double environment variable, returning @p def when unset. */
+inline double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return std::strtod(v, nullptr);
+}
+
+/** Read a string environment variable, returning @p def when unset. */
+inline std::string
+envString(const char *name, const std::string &def)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? std::string(v) : def;
+}
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_ENV_HH

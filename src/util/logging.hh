@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Status and error reporting in the style of gem5's base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a tamres bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — functionality may be degraded but execution continues.
+ * inform() — normal operating status for the user.
+ */
+
+#ifndef TAMRES_UTIL_LOGGING_HH
+#define TAMRES_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tamres {
+
+/** Print a formatted message prefixed "info: " to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message prefixed "warn: " to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error (bad configuration, invalid
+ * arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a violated internal invariant (a library bug) and abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Check a runtime invariant; panics with location info when it fails.
+ * Unlike assert(), stays active in release builds — the invariants it
+ * protects (shape agreement, codec framing) are cheap relative to the
+ * kernels they guard.
+ */
+#define tamres_assert(cond, fmt, ...)                                     \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::tamres::panic("assertion '%s' failed at %s:%d: " fmt,       \
+                            #cond, __FILE__, __LINE__, ##__VA_ARGS__);    \
+        }                                                                 \
+    } while (0)
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_LOGGING_HH

@@ -1,0 +1,116 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::render() const
+{
+    // Compute column widths over header + rows.
+    std::vector<size_t> widths(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i]
+                << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        out << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+std::string
+TablePrinter::renderCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out << ",";
+            out << cells[i];
+        }
+        out << "\n";
+    };
+    emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+CsvWriter::CsvWriter(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+    file_ = f;
+}
+
+CsvWriter::~CsvWriter()
+{
+    std::fclose(static_cast<FILE *>(file_));
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    FILE *f = static_cast<FILE *>(file_);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            std::fputc(',', f);
+        std::fputs(cells[i].c_str(), f);
+    }
+    std::fputc('\n', f);
+}
+
+} // namespace tamres

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for the benchmark harnesses.
+ *
+ * Every experiment binary prints its paper table/figure series through
+ * TablePrinter so the output format is uniform and machine-greppable.
+ */
+
+#ifndef TAMRES_UTIL_TABLE_HH
+#define TAMRES_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tamres {
+
+/** Accumulates rows of string cells and renders an aligned text table. */
+class TablePrinter
+{
+  public:
+    /** Construct with a title printed above the table. */
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; cell count should match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the aligned table to a string. */
+    std::string render() const;
+
+    /** Render as CSV (header + rows). */
+    std::string renderCsv() const;
+
+    /** Print the aligned table to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Minimal CSV file writer. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Write one row of cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+  private:
+    void *file_; // FILE*, kept opaque to avoid cstdio in the header
+};
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_TABLE_HH

@@ -1,0 +1,110 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace tamres {
+
+ThreadPool::ThreadPool(int threads)
+    : nthreads_(std::max(1, threads))
+{
+    // Worker 0 is the calling thread; spawn nthreads_ - 1 helpers.
+    for (int i = 1; i < nthreads_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wakeCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::parallelFor(int64_t n,
+                        const std::function<void(int64_t, int64_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    const int parts = static_cast<int>(
+        std::min<int64_t>(nthreads_, n));
+    auto chunk = [&](int idx) -> std::pair<int64_t, int64_t> {
+        const int64_t base = n / parts;
+        const int64_t rem = n % parts;
+        const int64_t begin = idx * base + std::min<int64_t>(idx, rem);
+        const int64_t len = base + (idx < rem ? 1 : 0);
+        return {begin, begin + len};
+    };
+
+    if (parts == 1) {
+        fn(0, n);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        jobSize_ = n;
+        // Every helper thread acknowledges the job, even ones that get
+        // no chunk (idx >= parts), so the completion count is exact.
+        pending_ = nthreads_ - 1;
+        ++generation_;
+    }
+    wakeCv_.notify_all();
+
+    // The calling thread takes the first chunk.
+    auto [b0, e0] = chunk(0);
+    fn(b0, e0);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop(int idx)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(int64_t, int64_t)> *job = nullptr;
+        int64_t n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeCv_.wait(lock, [&] {
+                return stop_ || (job_ && generation_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+            n = jobSize_;
+        }
+        const int parts = static_cast<int>(
+            std::min<int64_t>(nthreads_, n));
+        if (idx < parts) {
+            const int64_t base = n / parts;
+            const int64_t rem = n % parts;
+            const int64_t begin = idx * base + std::min<int64_t>(idx, rem);
+            const int64_t len = base + (idx < rem ? 1 : 0);
+            (*job)(begin, begin + len);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(
+        static_cast<int>(std::thread::hardware_concurrency()));
+    return pool;
+}
+
+} // namespace tamres

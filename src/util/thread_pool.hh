@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A minimal fork-join thread pool used by the parallel convolution
+ * kernels.
+ *
+ * The pool exposes a single primitive, parallelFor, which partitions an
+ * index range across worker threads and blocks until every chunk has
+ * completed. On a single-hardware-thread host the pool degenerates to a
+ * serial loop with no thread handoff, so kernels pay no overhead there.
+ */
+
+#ifndef TAMRES_UTIL_THREAD_POOL_HH
+#define TAMRES_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tamres {
+
+/** Fixed-size fork-join worker pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with @p threads workers. threads <= 1 creates no
+     * worker threads; all work runs on the calling thread.
+     */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of threads participating in parallelFor (>= 1). */
+    int threads() const { return nthreads_; }
+
+    /**
+     * Invoke fn(chunk_begin, chunk_end) over [0, n) partitioned into
+     * contiguous chunks, one per participating thread. Blocks until all
+     * chunks finish. Not reentrant.
+     */
+    void parallelFor(int64_t n,
+                     const std::function<void(int64_t, int64_t)> &fn);
+
+    /** Process-wide pool sized to the hardware concurrency. */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop(int idx);
+
+    int nthreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wakeCv_;
+    std::condition_variable doneCv_;
+    const std::function<void(int64_t, int64_t)> *job_ = nullptr;
+    int64_t jobSize_ = 0;
+    uint64_t generation_ = 0;
+    int pending_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_THREAD_POOL_HH

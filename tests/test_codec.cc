@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit and property tests for the progressive codec: DCT roundtrip,
+ * quantization, bitstream, scan structure, and progressive refinement
+ * invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "codec/bitstream.hh"
+#include "codec/dct.hh"
+#include "codec/progressive.hh"
+#include "image/metrics.hh"
+#include "image/synthetic.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+TEST(BitStream, RoundTripBits)
+{
+    BitWriter bw;
+    bw.writeBits(0b1011, 4);
+    bw.writeBit(1);
+    bw.writeBits(0x1234, 16);
+    const auto bytes = bw.bytes();
+    BitReader br(bytes.data(), bytes.size());
+    EXPECT_EQ(br.readBits(4), 0b1011u);
+    EXPECT_EQ(br.readBit(), 1u);
+    EXPECT_EQ(br.readBits(16), 0x1234u);
+}
+
+TEST(BitStream, ManyRandomValues)
+{
+    Rng rng(31);
+    std::vector<std::pair<uint32_t, int>> vals;
+    BitWriter bw;
+    for (int i = 0; i < 1000; ++i) {
+        const int nbits = 1 + static_cast<int>(rng.uniformInt(
+            static_cast<uint64_t>(24)));
+        const uint32_t v =
+            static_cast<uint32_t>(rng.next()) & ((1u << nbits) - 1);
+        vals.emplace_back(v, nbits);
+        bw.writeBits(v, nbits);
+    }
+    const auto bytes = bw.bytes();
+    BitReader br(bytes.data(), bytes.size());
+    for (const auto &[v, nbits] : vals)
+        EXPECT_EQ(br.readBits(nbits), v);
+}
+
+TEST(BitStreamDeath, Overrun)
+{
+    const uint8_t one = 0xff;
+    BitReader br(&one, 1);
+    br.readBits(8);
+    EXPECT_DEATH(br.readBit(), "overrun");
+}
+
+TEST(Dct, RoundTripRandomBlocks)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        float block[64], freq[64], back[64];
+        for (float &v : block)
+            v = static_cast<float>(rng.uniform(-128.0, 127.0));
+        forwardDct8x8(block, freq);
+        inverseDct8x8(freq, back);
+        for (int i = 0; i < 64; ++i)
+            EXPECT_NEAR(back[i], block[i], 1e-2f);
+    }
+}
+
+TEST(Dct, ConstantBlockIsDcOnly)
+{
+    float block[64], freq[64];
+    for (float &v : block)
+        v = 100.0f;
+    forwardDct8x8(block, freq);
+    EXPECT_NEAR(freq[0], 800.0f, 1e-2f); // 100 * 8 (orthonormal DC gain)
+    for (int i = 1; i < 64; ++i)
+        EXPECT_NEAR(freq[i], 0.0f, 1e-3f);
+}
+
+TEST(Dct, EnergyPreserved)
+{
+    // Orthonormal transform: Parseval holds.
+    Rng rng(6);
+    float block[64], freq[64];
+    for (float &v : block)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    forwardDct8x8(block, freq);
+    double e_in = 0.0, e_out = 0.0;
+    for (int i = 0; i < 64; ++i) {
+        e_in += static_cast<double>(block[i]) * block[i];
+        e_out += static_cast<double>(freq[i]) * freq[i];
+    }
+    EXPECT_NEAR(e_in, e_out, 1e-3);
+}
+
+TEST(Zigzag, IsPermutation)
+{
+    const int *zz = zigzagOrder();
+    std::set<int> seen(zz, zz + 64);
+    EXPECT_EQ(seen.size(), 64u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 63);
+    // DC first, then the two nearest AC coefficients.
+    EXPECT_EQ(zz[0], 0);
+    EXPECT_TRUE(zz[1] == 1 || zz[1] == 8);
+}
+
+TEST(Quant, StepDecreasesWithQuality)
+{
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_GE(quantStep(i, 10), quantStep(i, 50));
+        EXPECT_GE(quantStep(i, 50), quantStep(i, 95));
+        EXPECT_GE(quantStep(i, 95), 1);
+    }
+}
+
+TEST(Quant, HighFrequencyCoarser)
+{
+    // The JPEG table quantizes high frequencies more aggressively.
+    EXPECT_LT(quantStep(0, 85), quantStep(63, 85));
+}
+
+Image
+testImage(int h = 48, int w = 48, int cls = 1, uint64_t seed = 11)
+{
+    return generateSyntheticImage({.height = h, .width = w,
+                                   .class_id = cls, .seed = seed});
+}
+
+TEST(Progressive, DefaultScansPartitionSpectrum)
+{
+    const auto scans = ProgressiveConfig::defaultScans();
+    ASSERT_EQ(scans.size(), 5u);
+    EXPECT_EQ(scans.front().lo, 0);
+    EXPECT_EQ(scans.back().hi, 63);
+    for (size_t i = 1; i < scans.size(); ++i)
+        EXPECT_EQ(scans[i].lo, scans[i - 1].hi + 1);
+}
+
+TEST(Progressive, FullDecodeCloseToSource)
+{
+    const Image src = testImage();
+    const EncodedImage enc = encodeProgressive(src, {.quality = 90});
+    const Image dec = decodeProgressive(enc);
+    EXPECT_GT(psnr(src, dec), 30.0);
+    EXPECT_GT(ssim(src, dec), 0.93);
+}
+
+TEST(Progressive, QualityControlsRateAndDistortion)
+{
+    const Image src = testImage(64, 64);
+    const EncodedImage lo = encodeProgressive(src, {.quality = 30});
+    const EncodedImage hi = encodeProgressive(src, {.quality = 92});
+    EXPECT_LT(lo.totalBytes(), hi.totalBytes());
+    EXPECT_LT(psnr(src, decodeProgressive(lo)),
+              psnr(src, decodeProgressive(hi)));
+}
+
+TEST(Progressive, ScanOffsetsMonotone)
+{
+    const EncodedImage enc = encodeProgressive(testImage());
+    ASSERT_EQ(enc.scan_offsets.size(), enc.scans.size() + 1);
+    EXPECT_EQ(enc.scan_offsets.front(), 0u);
+    for (size_t i = 1; i < enc.scan_offsets.size(); ++i)
+        EXPECT_GT(enc.scan_offsets[i], enc.scan_offsets[i - 1]);
+    EXPECT_EQ(enc.scan_offsets.back(), enc.totalBytes());
+}
+
+TEST(Progressive, QualityImprovesMonotonicallyWithScans)
+{
+    // The core progressive-encoding property the paper's Figure 2
+    // illustrates: each scan refines the image.
+    const Image src = testImage(56, 72, 3, 21);
+    const EncodedImage enc = encodeProgressive(src);
+    const Image full = decodeProgressive(enc);
+    double prev = -1.0;
+    for (int k = 1; k <= enc.numScans(); ++k) {
+        const double s = ssim(decodeProgressive(enc, k), full);
+        EXPECT_GT(s, prev - 1e-9)
+            << "scan " << k << " did not refine quality";
+        prev = s;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(Progressive, ZeroScansIsFlatPreview)
+{
+    const EncodedImage enc = encodeProgressive(testImage());
+    const Image dec = decodeProgressive(enc, 0);
+    // All coefficients missing -> level-shift gray everywhere.
+    for (size_t i = 0; i < dec.numel(); ++i)
+        EXPECT_NEAR(dec.data()[i], 128.0f / 255.0f, 1e-5f);
+}
+
+TEST(Progressive, DcScanGivesCoarseImage)
+{
+    const Image src = testImage(64, 64, 2, 9);
+    const EncodedImage enc = encodeProgressive(src);
+    const Image dc_only = decodeProgressive(enc, 1);
+    // Coarse but correlated with the source.
+    EXPECT_GT(psnr(src, dc_only), 10.0);
+    EXPECT_LT(psnr(src, dc_only), psnr(src, decodeProgressive(enc)));
+}
+
+TEST(Progressive, NonMultipleOf8Dimensions)
+{
+    const Image src = testImage(37, 51, 4, 13);
+    const EncodedImage enc = encodeProgressive(src);
+    const Image dec = decodeProgressive(enc);
+    EXPECT_EQ(dec.height(), 37);
+    EXPECT_EQ(dec.width(), 51);
+    EXPECT_GT(psnr(src, dec), 25.0);
+}
+
+TEST(Progressive, CustomScanScript)
+{
+    ProgressiveConfig cfg;
+    cfg.scans = {{0, 0}, {1, 63}};
+    const Image src = testImage();
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    EXPECT_EQ(enc.numScans(), 2);
+    const Image dec = decodeProgressive(enc);
+    EXPECT_GT(ssim(src, dec), 0.9);
+}
+
+TEST(ProgressiveDeath, BadScanScriptRejected)
+{
+    ProgressiveConfig cfg;
+    cfg.scans = {{0, 0}, {2, 63}}; // gap at coefficient 1
+    EXPECT_DEATH(encodeProgressive(testImage(), cfg), "scan script");
+}
+
+TEST(Progressive, BytesForScans)
+{
+    const EncodedImage enc = encodeProgressive(testImage());
+    EXPECT_EQ(enc.bytesForScans(0), 0u);
+    EXPECT_EQ(enc.bytesForScans(enc.numScans()), enc.totalBytes());
+    EXPECT_LT(enc.bytesForScans(1), enc.totalBytes());
+}
+
+TEST(Progressive, ComplexImagesCostMoreBytes)
+{
+    // The entropy layer must be content-adaptive: a flat image
+    // compresses far better than a textured one.
+    Image flat(64, 64, 3);
+    for (size_t i = 0; i < flat.numel(); ++i)
+        flat.data()[i] = 0.5f;
+    SyntheticImageSpec busy_spec{.height = 64, .width = 64,
+                                 .class_id = 1, .seed = 5,
+                                 .texture_detail = 1.0};
+    const Image busy = generateSyntheticImage(busy_spec);
+    const EncodedImage enc_flat = encodeProgressive(flat);
+    const EncodedImage enc_busy = encodeProgressive(busy);
+    EXPECT_LT(enc_flat.totalBytes() * 2, enc_busy.totalBytes());
+}
+
+TEST(Progressive, LaterScansCarryHighFrequency)
+{
+    // Reading only the first two scans gives a blurrier image than
+    // reading four, measured against the source.
+    const Image src = testImage(64, 64, 1, 33);
+    const EncodedImage enc = encodeProgressive(src);
+    EXPECT_LT(psnr(src, decodeProgressive(enc, 2)),
+              psnr(src, decodeProgressive(enc, 4)) + 1e-9);
+}
+
+/** Parameterized roundtrip across qualities and sizes. */
+class ProgressiveSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(ProgressiveSweep, RoundTripMonotone)
+{
+    const auto [quality, size] = GetParam();
+    const Image src = testImage(size, size, 2, 7);
+    const EncodedImage enc = encodeProgressive(src, {.quality = quality});
+    const Image full = decodeProgressive(enc);
+    double prev = -1.0;
+    for (int k = 0; k <= enc.numScans(); ++k) {
+        const double s = ssim(decodeProgressive(enc, k), full);
+        EXPECT_GE(s, prev - 1e-6);
+        prev = s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QualityBySize, ProgressiveSweep,
+    ::testing::Combine(::testing::Values(40, 70, 90),
+                       ::testing::Values(24, 40, 72)));
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Property and failure-injection tests for the progressive codec:
+ * randomized encode/decode roundtrips across qualities, scan scripts,
+ * sizes and entropy coders; scan-script validation; and corruption /
+ * truncation behaviour (a decoder handed garbage must fail loudly,
+ * never read out of bounds or return silently wrong sizes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codec/progressive.hh"
+#include "image/metrics.hh"
+#include "image/synthetic.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+Image
+randomImage(int h, int w, uint64_t seed)
+{
+    Image img(h, w, 3);
+    Rng rng(seed);
+    // Smooth-ish random content: random low-frequency base plus noise,
+    // more codec-realistic than white noise.
+    const float base = static_cast<float>(rng.uniform());
+    for (size_t i = 0; i < img.numel(); ++i)
+        img.data()[i] = std::clamp(
+            base + static_cast<float>(rng.uniform(-0.35, 0.35)), 0.0f,
+            1.0f);
+    return img;
+}
+
+using FuzzParam = std::tuple<int, int, int, EntropyCoder>;
+
+class CodecFuzz : public ::testing::TestWithParam<FuzzParam>
+{};
+
+TEST_P(CodecFuzz, FullRoundTripIsHighQualityAndPrefixesMonotone)
+{
+    const auto [h, w, quality, coder] = GetParam();
+    const Image src = randomImage(h, w, h * 131 + w);
+    ProgressiveConfig cfg;
+    cfg.quality = quality;
+    cfg.entropy = coder;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+
+    ASSERT_EQ(enc.height, h);
+    ASSERT_EQ(enc.width, w);
+    ASSERT_EQ(enc.scan_offsets.size(),
+              static_cast<size_t>(enc.numScans()) + 1);
+    // Offsets are strictly increasing (every scan encodes at least
+    // the EOB markers).
+    for (int s = 0; s < enc.numScans(); ++s)
+        EXPECT_LT(enc.scan_offsets[s], enc.scan_offsets[s + 1]);
+
+    const Image full = decodeProgressive(enc);
+    ASSERT_EQ(full.height(), h);
+    ASSERT_EQ(full.width(), w);
+    // Reconstruction quality scales with the quality setting.
+    EXPECT_GT(psnr(src, full), quality >= 85 ? 30.0 : 22.0);
+
+    double prev = -1.0;
+    for (int k = 0; k <= enc.numScans(); ++k) {
+        const double q = ssim(decodeProgressive(enc, k), full);
+        EXPECT_GE(q, prev - 1e-9) << "scan " << k;
+        prev = q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesQualitiesCoders, CodecFuzz,
+    ::testing::Combine(
+        // Heights/widths straddling the 8px block grid.
+        ::testing::Values(8, 17, 64),
+        ::testing::Values(9, 24, 57),
+        ::testing::Values(50, 85, 95),
+        ::testing::Values(EntropyCoder::RunLength,
+                          EntropyCoder::Huffman)),
+    [](const ::testing::TestParamInfo<FuzzParam> &info) {
+        return std::to_string(std::get<0>(info.param)) + "x" +
+               std::to_string(std::get<1>(info.param)) + "_q" +
+               std::to_string(std::get<2>(info.param)) + "_" +
+               entropyCoderName(std::get<3>(info.param));
+    });
+
+TEST(CodecScanScripts, CustomScriptsRoundTrip)
+{
+    const Image src = randomImage(40, 40, 5);
+    // From single-scan (baseline-like) to per-coefficient-band heavy
+    // scripts.
+    const std::vector<std::vector<ScanBand>> scripts = {
+        {{0, 63}},
+        {{0, 0}, {1, 63}},
+        {{0, 0}, {1, 1}, {2, 2}, {3, 9}, {10, 35}, {36, 63}},
+    };
+    for (const auto &scans : scripts) {
+        ProgressiveConfig cfg;
+        cfg.scans = scans;
+        const EncodedImage enc = encodeProgressive(src, cfg);
+        EXPECT_EQ(enc.numScans(), static_cast<int>(scans.size()));
+        const Image full = decodeProgressive(enc);
+        EXPECT_GT(psnr(src, full), 30.0);
+    }
+}
+
+TEST(CodecScanScriptsDeath, RejectsGappedOverlappingOrShortScripts)
+{
+    const Image src = randomImage(16, 16, 6);
+    ProgressiveConfig cfg;
+    cfg.scans = {{0, 0}, {2, 63}}; // gap at 1
+    EXPECT_DEATH(encodeProgressive(src, cfg), "never sent");
+    cfg.scans = {{0, 5}, {4, 63}}; // overlap
+    EXPECT_DEATH(encodeProgressive(src, cfg), "two first passes");
+    cfg.scans = {{0, 40}}; // short
+    EXPECT_DEATH(encodeProgressive(src, cfg), "never sent");
+    cfg.scans = {}; // empty
+    EXPECT_DEATH(encodeProgressive(src, cfg), "non-empty");
+}
+
+TEST(CodecQualityDeath, RejectsOutOfRangeQuality)
+{
+    const Image src = randomImage(16, 16, 7);
+    ProgressiveConfig cfg;
+    cfg.quality = 0;
+    EXPECT_DEATH(encodeProgressive(src, cfg), "quality");
+    cfg.quality = 101;
+    EXPECT_DEATH(encodeProgressive(src, cfg), "quality");
+}
+
+TEST(CodecCorruption, TruncatedStreamDiesLoudly)
+{
+    const Image src = randomImage(32, 32, 8);
+    for (const EntropyCoder coder :
+         {EntropyCoder::RunLength, EntropyCoder::Huffman}) {
+        ProgressiveConfig cfg;
+        cfg.entropy = coder;
+        EncodedImage enc = encodeProgressive(src, cfg);
+        // Chop the final scan's payload but keep offsets claiming it
+        // is complete: the bit reader must hit its overrun guard.
+        EncodedImage truncated = enc;
+        truncated.bytes.resize(enc.bytes.size() / 2);
+        EXPECT_DEATH(decodeProgressive(truncated,
+                                       truncated.numScans()),
+                     "truncated|overrun|corrupt|invalid")
+            << entropyCoderName(coder);
+    }
+}
+
+TEST(CodecCorruption, FlipsBeyondReadPrefixAreHarmless)
+{
+    // Bit flips strictly after the read prefix must not affect the
+    // prefix decode at all — scan independence is what makes partial
+    // reads safe against tail corruption (e.g. a ranged GET that
+    // never fetches the damaged bytes).
+    const Image src = randomImage(24, 24, 9);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const Image clean = decodeProgressive(enc, 1);
+    Rng rng(10);
+    for (int trial = 0; trial < 24; ++trial) {
+        EncodedImage mutated = enc;
+        const size_t span =
+            mutated.bytes.size() - mutated.scan_offsets[1];
+        const size_t byte =
+            mutated.scan_offsets[1] +
+            rng.uniformInt(static_cast<uint64_t>(span));
+        mutated.bytes[byte] ^=
+            static_cast<uint8_t>(1u << rng.uniformInt(8));
+        const Image out = decodeProgressive(mutated, 1);
+        ASSERT_EQ(out.numel(), clean.numel());
+        for (size_t i = 0; i < clean.numel(); ++i)
+            ASSERT_EQ(out.data()[i], clean.data()[i]);
+    }
+}
+
+TEST(CodecCorruption, PrefixDecodeUnaffectedByLaterScanCorruption)
+{
+    // Reading k scans must not touch bytes beyond scan k: corrupt
+    // everything after scan 2 and verify the 2-scan decode is
+    // bit-identical.
+    const Image src = randomImage(48, 40, 11);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const Image clean = decodeProgressive(enc, 2);
+
+    EncodedImage vandalized = enc;
+    for (size_t i = enc.scan_offsets[2]; i < enc.bytes.size(); ++i)
+        vandalized.bytes[i] = 0xAA;
+    const Image after = decodeProgressive(vandalized, 2);
+    ASSERT_EQ(clean.numel(), after.numel());
+    for (size_t i = 0; i < clean.numel(); ++i)
+        ASSERT_EQ(clean.data()[i], after.data()[i]);
+}
+
+TEST(CodecCorruption, SaStreamTruncationDiesLoudly)
+{
+    // The successive-approximation decoder must hit the same
+    // truncation guard as the spectral path, not wander off the
+    // buffer mid-refinement.
+    const Image src = randomImage(32, 32, 14);
+    ProgressiveConfig cfg;
+    cfg.scans = ProgressiveConfig::successiveScans();
+    cfg.entropy = EntropyCoder::Huffman;
+    EncodedImage enc = encodeProgressive(src, cfg);
+    enc.bytes.resize(enc.bytes.size() / 2);
+    EXPECT_DEATH(decodeProgressive(enc, enc.numScans()), "truncated");
+}
+
+TEST(CodecCorruption, SaPrefixImmuneToRefinementCorruption)
+{
+    // Vandalizing the refinement scans must not perturb a decode
+    // that stops before them.
+    const Image src = randomImage(40, 32, 15);
+    ProgressiveConfig cfg;
+    cfg.scans = ProgressiveConfig::successiveScans();
+    cfg.color = ColorMode::YCbCr420;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const Image clean = decodeProgressive(enc, 3);
+
+    EncodedImage vandalized = enc;
+    for (size_t i = enc.scan_offsets[3]; i < enc.bytes.size(); ++i)
+        vandalized.bytes[i] ^= 0x5C;
+    const Image after = decodeProgressive(vandalized, 3);
+    ASSERT_EQ(clean.numel(), after.numel());
+    for (size_t i = 0; i < clean.numel(); ++i)
+        ASSERT_EQ(clean.data()[i], after.data()[i]);
+}
+
+TEST(CodecScanScripts, RandomValidSaScriptsRoundTrip)
+{
+    // Generate random (band partition x per-band al ladder) scripts,
+    // validate them, and require exact agreement with the default
+    // script's full decode.
+    Rng rng(77);
+    const Image src = randomImage(24, 24, 16);
+    const Image want = decodeProgressive(encodeProgressive(src));
+    for (int trial = 0; trial < 12; ++trial) {
+        // Random partition of [0, 63] into 2-5 bands.
+        std::vector<int> cuts{0};
+        const int nbands =
+            2 + static_cast<int>(rng.uniformInt(uint64_t{4}));
+        while (static_cast<int>(cuts.size()) < nbands) {
+            const int c =
+                1 + static_cast<int>(rng.uniformInt(uint64_t{63}));
+            if (std::find(cuts.begin(), cuts.end(), c) == cuts.end())
+                cuts.push_back(c);
+        }
+        std::sort(cuts.begin(), cuts.end());
+        cuts.push_back(64);
+        // First passes at a random al per band, then refinements
+        // down to 0.
+        std::vector<ScanBand> scans;
+        std::vector<std::pair<int, int>> pending; // (band idx, al)
+        for (size_t b = 0; b + 1 < cuts.size(); ++b) {
+            const int al =
+                static_cast<int>(rng.uniformInt(uint64_t{3}));
+            scans.push_back(
+                {cuts[b], cuts[b + 1] - 1, al, false});
+            if (al > 0)
+                pending.emplace_back(static_cast<int>(b), al);
+        }
+        while (!pending.empty()) {
+            const size_t pick = static_cast<size_t>(
+                rng.uniformInt(static_cast<uint64_t>(pending.size())));
+            auto &[b, al] = pending[pick];
+            --al;
+            scans.push_back({cuts[b], cuts[b + 1] - 1, al, true});
+            if (al == 0)
+                pending.erase(pending.begin() +
+                              static_cast<long>(pick));
+        }
+        std::string why;
+        ASSERT_TRUE(scanScriptValid(scans, &why)) << why;
+
+        ProgressiveConfig cfg;
+        cfg.scans = scans;
+        const Image got =
+            decodeProgressive(encodeProgressive(src, cfg));
+        for (size_t i = 0; i < got.numel(); ++i)
+            ASSERT_FLOAT_EQ(got.data()[i], want.data()[i])
+                << "trial " << trial;
+    }
+}
+
+TEST(CodecEmptyImageDeath, Rejected)
+{
+    Image empty;
+    EXPECT_DEATH(encodeProgressive(empty), "empty");
+}
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the color transform and the codec's YCbCr / 4:2:0 /
+ * successive-approximation modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/progressive.hh"
+#include "image/color.hh"
+#include "image/metrics.hh"
+#include "image/synthetic.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+Image
+testImage(int h = 48, int w = 48, int cls = 1, uint64_t seed = 11)
+{
+    return generateSyntheticImage({.height = h, .width = w,
+                                   .class_id = cls, .seed = seed});
+}
+
+/**
+ * Shrink chroma contrast toward gray. The synthetic generator textures
+ * each RGB channel independently, which is unnaturally chroma-busy;
+ * photographs have strongly correlated channels. Chroma-heavy codec
+ * modes are designed for (and tested on) the natural statistics.
+ */
+Image
+naturalizeChroma(const Image &img, float keep = 0.35f)
+{
+    return desaturateChroma(img, keep);
+}
+
+Image
+randomImage(int h, int w, uint64_t seed)
+{
+    Rng rng(seed);
+    Image img(h, w, 3);
+    for (size_t i = 0; i < img.numel(); ++i)
+        img.data()[i] = static_cast<float>(rng.uniform());
+    return img;
+}
+
+// --- RGB <-> YCbCr ---
+
+TEST(Color, KnownValues)
+{
+    Image px(1, 1, 3);
+    // White: Y = 1, chroma centered.
+    px.at(0, 0, 0) = 1.0f;
+    px.at(1, 0, 0) = 1.0f;
+    px.at(2, 0, 0) = 1.0f;
+    Image ycc = rgbToYcbcr(px);
+    EXPECT_NEAR(ycc.at(0, 0, 0), 1.0f, 1e-5f);
+    EXPECT_NEAR(ycc.at(1, 0, 0), 0.5f, 1e-5f);
+    EXPECT_NEAR(ycc.at(2, 0, 0), 0.5f, 1e-5f);
+
+    // Pure red: Y = 0.299, Cr above center.
+    px.at(0, 0, 0) = 1.0f;
+    px.at(1, 0, 0) = 0.0f;
+    px.at(2, 0, 0) = 0.0f;
+    ycc = rgbToYcbcr(px);
+    EXPECT_NEAR(ycc.at(0, 0, 0), 0.299f, 1e-5f);
+    EXPECT_GT(ycc.at(2, 0, 0), 0.9f);
+}
+
+TEST(Color, RoundTripIsIdentity)
+{
+    const Image src = randomImage(23, 31, 7);
+    const Image back = ycbcrToRgb(rgbToYcbcr(src));
+    for (size_t i = 0; i < src.numel(); ++i)
+        EXPECT_NEAR(back.data()[i], src.data()[i], 2e-3f);
+}
+
+TEST(Color, GrayImagesHaveCenteredChroma)
+{
+    Image gray(8, 8, 3);
+    for (size_t i = 0; i < gray.numel(); ++i)
+        gray.data()[i] = 0.3f;
+    const Image ycc = rgbToYcbcr(gray);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            EXPECT_NEAR(ycc.at(1, y, x), 0.5f, 1e-5f);
+            EXPECT_NEAR(ycc.at(2, y, x), 0.5f, 1e-5f);
+        }
+    }
+}
+
+TEST(ColorDeath, RequiresThreeChannels)
+{
+    Image mono(4, 4, 1);
+    EXPECT_DEATH(rgbToYcbcr(mono), "3-channel");
+    EXPECT_DEATH(ycbcrToRgb(mono), "3-channel");
+}
+
+// --- 2x2 subsampling ---
+
+TEST(Subsample, DimensionsRoundUp)
+{
+    Image odd(7, 9, 1);
+    const Image sub = downsamplePlane2x2(odd);
+    EXPECT_EQ(sub.height(), 4);
+    EXPECT_EQ(sub.width(), 5);
+}
+
+TEST(Subsample, ConstantPlaneIsExact)
+{
+    Image flat(10, 14, 1);
+    for (size_t i = 0; i < flat.numel(); ++i)
+        flat.data()[i] = 0.42f;
+    const Image sub = downsamplePlane2x2(flat);
+    const Image up = upsamplePlane2x(sub, 10, 14);
+    for (size_t i = 0; i < up.numel(); ++i)
+        EXPECT_NEAR(up.data()[i], 0.42f, 1e-6f);
+}
+
+TEST(Subsample, SmoothGradientSurvivesRoundTrip)
+{
+    Image grad(32, 32, 1);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            grad.at(0, y, x) = (y + x) / 64.0f;
+    const Image up = upsamplePlane2x(downsamplePlane2x2(grad), 32, 32);
+    double max_err = 0.0;
+    for (size_t i = 0; i < up.numel(); ++i)
+        max_err = std::max(
+            max_err,
+            std::abs(static_cast<double>(up.data()[i]) -
+                     grad.data()[i]));
+    EXPECT_LT(max_err, 0.05);
+}
+
+// --- Codec color modes ---
+
+TEST(CodecColor, YcbcrRoundTripQuality)
+{
+    const Image src = naturalizeChroma(testImage(64, 64));
+    ProgressiveConfig cfg;
+    cfg.color = ColorMode::YCbCr;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    EXPECT_EQ(enc.color, ColorMode::YCbCr);
+    const Image dec = decodeProgressive(enc);
+    EXPECT_GT(psnr(src, dec), 28.0);
+    EXPECT_GT(ssim(src, dec), 0.85);
+}
+
+TEST(CodecColor, Subsampled420RoundTripQuality)
+{
+    const Image src = naturalizeChroma(testImage(64, 64));
+    ProgressiveConfig cfg;
+    cfg.color = ColorMode::YCbCr420;
+    const Image dec = decodeProgressive(encodeProgressive(src, cfg));
+    EXPECT_GT(psnr(src, dec), 26.0);
+    EXPECT_GT(ssim(src, dec), 0.85);
+}
+
+TEST(CodecColor, ChromaModesShrinkBytes)
+{
+    // Harder chroma quantization and subsampling should both reduce
+    // total bytes on natural-statistics content.
+    const Image src = naturalizeChroma(testImage(96, 96, 3, 29));
+    ProgressiveConfig cfg;
+    const size_t planar = encodeProgressive(src, cfg).totalBytes();
+    cfg.color = ColorMode::YCbCr;
+    const size_t ycbcr = encodeProgressive(src, cfg).totalBytes();
+    cfg.color = ColorMode::YCbCr420;
+    const size_t sub = encodeProgressive(src, cfg).totalBytes();
+    EXPECT_LT(ycbcr, planar);
+    EXPECT_LT(sub, ycbcr);
+}
+
+TEST(CodecColor, OddDimensions420)
+{
+    const Image src = naturalizeChroma(testImage(45, 51, 2, 3));
+    ProgressiveConfig cfg;
+    cfg.color = ColorMode::YCbCr420;
+    const Image dec = decodeProgressive(encodeProgressive(src, cfg));
+    EXPECT_EQ(dec.height(), 45);
+    EXPECT_EQ(dec.width(), 51);
+    EXPECT_GT(psnr(src, dec), 24.0);
+}
+
+TEST(CodecColorDeath, YcbcrNeedsThreeChannels)
+{
+    Image mono(16, 16, 1);
+    for (size_t i = 0; i < mono.numel(); ++i)
+        mono.data()[i] = 0.5f;
+    ProgressiveConfig cfg;
+    cfg.color = ColorMode::YCbCr;
+    EXPECT_DEATH(encodeProgressive(mono, cfg), "3 channels");
+}
+
+TEST(CodecColor, ModeNames)
+{
+    EXPECT_STREQ(colorModeName(ColorMode::Planar), "planar");
+    EXPECT_STREQ(colorModeName(ColorMode::YCbCr), "ycbcr");
+    EXPECT_STREQ(colorModeName(ColorMode::YCbCr420), "ycbcr420");
+}
+
+// --- Successive approximation ---
+
+TEST(SuccessiveApprox, ScriptValidation)
+{
+    std::string why;
+    EXPECT_TRUE(scanScriptValid(ProgressiveConfig::defaultScans(), &why))
+        << why;
+    EXPECT_TRUE(scanScriptValid(ProgressiveConfig::successiveScans(),
+                                &why))
+        << why;
+
+    // Refinement before any first pass.
+    EXPECT_FALSE(scanScriptValid({{0, 63, 0, true}}, &why));
+    EXPECT_NE(why.find("unsent"), std::string::npos);
+
+    // al skipping a plane (2 -> 0).
+    EXPECT_FALSE(scanScriptValid(
+        {{0, 63, 2, false}, {0, 63, 0, true}}, &why));
+    EXPECT_NE(why.find("does not follow"), std::string::npos);
+
+    // Never refined down to al == 0.
+    EXPECT_FALSE(scanScriptValid({{0, 63, 1, false}}, &why));
+    EXPECT_NE(why.find("not refined"), std::string::npos);
+
+    // Duplicate first pass.
+    EXPECT_FALSE(scanScriptValid(
+        {{0, 63, 0, false}, {5, 9, 0, false}}, &why));
+    EXPECT_NE(why.find("two first passes"), std::string::npos);
+
+    // Out-of-range band / al.
+    EXPECT_FALSE(scanScriptValid({{0, 64, 0, false}}, &why));
+    EXPECT_FALSE(scanScriptValid({{0, 63, 14, false}}, &why));
+}
+
+TEST(SuccessiveApprox, FullDecodeMatchesSpectralScript)
+{
+    // Once every bit-plane has been delivered the reconstructed
+    // coefficients are exact, so the decode must be sample-identical
+    // to the plain spectral-selection script at the same quality.
+    const Image src = testImage(56, 72, 5, 17);
+    ProgressiveConfig cfg;
+    const Image ref = decodeProgressive(encodeProgressive(src, cfg));
+    cfg.scans = ProgressiveConfig::successiveScans();
+    const Image sa = decodeProgressive(encodeProgressive(src, cfg));
+    ASSERT_EQ(sa.numel(), ref.numel());
+    for (size_t i = 0; i < sa.numel(); ++i)
+        ASSERT_FLOAT_EQ(sa.data()[i], ref.data()[i]);
+}
+
+TEST(SuccessiveApprox, QualityImprovesWithScans)
+{
+    const Image src = testImage(64, 64, 7, 23);
+    ProgressiveConfig cfg;
+    cfg.scans = ProgressiveConfig::successiveScans();
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    double prev = -1.0;
+    for (int k = 1; k <= enc.numScans(); ++k) {
+        const double s = ssim(src, decodeProgressive(enc, k));
+        EXPECT_GE(s, prev - 0.02)
+            << "SSIM regressed at scan " << k;
+        prev = s;
+    }
+    EXPECT_GT(prev, 0.9);
+}
+
+TEST(SuccessiveApprox, EarlyFullCoverageIsCheap)
+{
+    // After 3 SA scans every coefficient has been touched; that
+    // prefix must be much smaller than the full spectral encoding.
+    const Image src = testImage(96, 96, 4, 31);
+    ProgressiveConfig cfg;
+    const size_t full = encodeProgressive(src, cfg).totalBytes();
+    cfg.scans = ProgressiveConfig::successiveScans();
+    const EncodedImage sa = encodeProgressive(src, cfg);
+    EXPECT_LT(sa.bytesForScans(3), full);
+    // And the total SA stream should not balloon (refinement bits are
+    // cheap).
+    EXPECT_LT(sa.totalBytes(), full * 3 / 2);
+}
+
+TEST(SuccessiveApprox, WorksUnderHuffmanEntropy)
+{
+    const Image src = testImage(48, 48, 9, 41);
+    ProgressiveConfig cfg;
+    cfg.scans = ProgressiveConfig::successiveScans();
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const Image dec = decodeProgressive(enc);
+
+    ProgressiveConfig plain;
+    plain.scans = ProgressiveConfig::successiveScans();
+    const Image ref = decodeProgressive(encodeProgressive(src, plain));
+    for (size_t i = 0; i < dec.numel(); ++i)
+        ASSERT_FLOAT_EQ(dec.data()[i], ref.data()[i]);
+    // Huffman should also shrink the SA stream.
+    EXPECT_LT(enc.totalBytes(),
+              encodeProgressive(src, plain).totalBytes());
+}
+
+TEST(SuccessiveApprox, CombinesWithChromaSubsampling)
+{
+    const Image src = naturalizeChroma(testImage(64, 64, 6, 53));
+    ProgressiveConfig cfg;
+    cfg.scans = ProgressiveConfig::successiveScans();
+    cfg.color = ColorMode::YCbCr420;
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const Image dec = decodeProgressive(enc);
+    EXPECT_GT(ssim(src, dec), 0.78);
+    // Prefix decodes must remain available at every depth.
+    for (int k = 0; k <= enc.numScans(); ++k) {
+        const Image partial = decodeProgressive(enc, k);
+        EXPECT_EQ(partial.height(), 64);
+    }
+}
+
+/**
+ * Property sweep: every (color, entropy, script) combination must
+ * round-trip with sane quality and strictly positive per-scan sizes.
+ */
+struct CodecModeCase
+{
+    ColorMode color;
+    EntropyCoder entropy;
+    bool successive;
+};
+
+class CodecModeSweep : public ::testing::TestWithParam<CodecModeCase>
+{};
+
+TEST_P(CodecModeSweep, RoundTripAndAccounting)
+{
+    const CodecModeCase c = GetParam();
+    const Image src = naturalizeChroma(testImage(72, 56, 3, 61));
+    ProgressiveConfig cfg;
+    cfg.color = c.color;
+    cfg.entropy = c.entropy;
+    if (c.successive)
+        cfg.scans = ProgressiveConfig::successiveScans();
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    EXPECT_EQ(enc.bytesForScans(0), 0u);
+    for (int k = 1; k <= enc.numScans(); ++k)
+        EXPECT_GT(enc.bytesForScans(k), enc.bytesForScans(k - 1));
+    const Image dec = decodeProgressive(enc);
+    EXPECT_GT(psnr(src, dec), 24.0);
+    EXPECT_GT(ssim(src, dec), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, CodecModeSweep,
+    ::testing::Values(
+        CodecModeCase{ColorMode::Planar, EntropyCoder::RunLength, false},
+        CodecModeCase{ColorMode::Planar, EntropyCoder::RunLength, true},
+        CodecModeCase{ColorMode::Planar, EntropyCoder::Huffman, true},
+        CodecModeCase{ColorMode::YCbCr, EntropyCoder::RunLength, false},
+        CodecModeCase{ColorMode::YCbCr, EntropyCoder::Huffman, false},
+        CodecModeCase{ColorMode::YCbCr, EntropyCoder::Huffman, true},
+        CodecModeCase{ColorMode::YCbCr420, EntropyCoder::RunLength,
+                      false},
+        CodecModeCase{ColorMode::YCbCr420, EntropyCoder::RunLength,
+                      true},
+        CodecModeCase{ColorMode::YCbCr420, EntropyCoder::Huffman,
+                      true}),
+    [](const ::testing::TestParamInfo<CodecModeCase> &info) {
+        const CodecModeCase &c = info.param;
+        return std::string(colorModeName(c.color)) + "_" +
+               entropyCoderName(c.entropy) +
+               (c.successive ? "_sa" : "_spectral");
+    });
+
+} // namespace
+} // namespace tamres

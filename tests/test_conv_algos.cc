@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Correctness tests for the Winograd F(2x2, 3x3) and depthwise conv
+ * kernels against the reference loop nest, across a sweep of shapes,
+ * paddings, and blocking parameters, plus validity-predicate checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/builders.hh"
+#include "nn/conv_kernels.hh"
+#include "nn/graph.hh"
+#include "nn/kernel_selector.hh"
+#include "nn/ops.hh"
+#include "tensor/tensor_ops.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+struct ConvCase
+{
+    ConvProblem problem;
+    const char *name;
+};
+
+std::vector<float>
+randomVec(size_t n, uint64_t seed, float lo = -1.0f, float hi = 1.0f)
+{
+    std::vector<float> v(n);
+    Rng rng(seed);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(lo, hi));
+    return v;
+}
+
+/** Run cfg and reference on random data; return max abs error. */
+double
+maxError(const ConvProblem &p, const ConvConfig &cfg)
+{
+    const size_t in_n = static_cast<size_t>(p.n) * p.ic * p.ih * p.iw;
+    const size_t w_n = static_cast<size_t>(p.oc) * (p.ic / p.groups) *
+                       p.kh * p.kw;
+    const size_t out_n =
+        static_cast<size_t>(p.n) * p.oc * p.oh() * p.ow();
+    const auto in = randomVec(in_n, 1);
+    const auto w = randomVec(w_n, 2, -0.5f, 0.5f);
+    const auto bias = randomVec(p.oc, 3);
+    std::vector<float> out(out_n), ref(out_n);
+    convForward(p, in.data(), w.data(), bias.data(), out.data(), cfg);
+    convReference(p, in.data(), w.data(), bias.data(), ref.data());
+    double err = 0.0;
+    for (size_t i = 0; i < out_n; ++i)
+        err = std::max(err,
+                       std::fabs(static_cast<double>(out[i]) - ref[i]));
+    return err;
+}
+
+// --- Winograd ---
+
+class WinogradShapes : public ::testing::TestWithParam<ConvProblem>
+{};
+
+TEST_P(WinogradShapes, MatchesReference)
+{
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Winograd;
+    ASSERT_TRUE(convConfigValid(GetParam(), cfg));
+    // Winograd loses a little precision to the transforms; tolerance
+    // scales with the reduction depth.
+    const double tol = 1e-3 * std::sqrt(GetParam().ic * 9.0);
+    EXPECT_LT(maxError(GetParam(), cfg), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WinogradShapes,
+    ::testing::Values(
+        // Even output extent, pad 1 (the ResNet interior case).
+        ConvProblem{1, 16, 16, 16, 8, 3, 3, 1, 1, 1},
+        // Odd output extent: fringe tiles exercised.
+        ConvProblem{1, 8, 15, 15, 8, 3, 3, 1, 1, 1},
+        // No padding.
+        ConvProblem{1, 4, 18, 18, 4, 3, 3, 1, 0, 1},
+        // Rectangular.
+        ConvProblem{1, 8, 14, 22, 16, 3, 3, 1, 1, 1},
+        // Batch > 1.
+        ConvProblem{2, 8, 12, 12, 8, 3, 3, 1, 1, 1},
+        // Deep channels (the regime where Winograd wins).
+        ConvProblem{1, 64, 14, 14, 64, 3, 3, 1, 1, 1},
+        // Tiny spatial extent: single partial tile row/column.
+        ConvProblem{1, 4, 5, 5, 4, 3, 3, 1, 1, 1},
+        // Minimum extent.
+        ConvProblem{1, 2, 3, 3, 2, 3, 3, 1, 1, 1}),
+    [](const ::testing::TestParamInfo<ConvProblem> &info) {
+        std::string k = info.param.key();
+        for (char &c : k)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return k;
+    });
+
+TEST(Winograd, TileBlockSweepAllMatch)
+{
+    const ConvProblem p{1, 16, 20, 20, 16, 3, 3, 1, 1, 1};
+    for (int tb : {4, 16, 64, 100, 256, 4096}) {
+        ConvConfig cfg;
+        cfg.algo = ConvAlgo::Winograd;
+        cfg.wino_tile_block = tb;
+        ASSERT_TRUE(convConfigValid(p, cfg)) << "tb=" << tb;
+        EXPECT_LT(maxError(p, cfg), 0.05) << "tb=" << tb;
+    }
+}
+
+TEST(Winograd, GemmKnobSweepAllMatch)
+{
+    const ConvProblem p{1, 32, 12, 12, 32, 3, 3, 1, 1, 1};
+    for (int mr : {2, 4, 8}) {
+        for (int nr : {4, 8, 16}) {
+            ConvConfig cfg;
+            cfg.algo = ConvAlgo::Winograd;
+            cfg.mr = mr;
+            cfg.nr = nr;
+            cfg.mc = 16;
+            cfg.kc = 32;
+            cfg.nc = 64;
+            ASSERT_TRUE(convConfigValid(p, cfg));
+            EXPECT_LT(maxError(p, cfg), 0.05)
+                << "mr=" << mr << " nr=" << nr;
+        }
+    }
+}
+
+TEST(Winograd, ValidityRejectsIneligibleProblems)
+{
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Winograd;
+    // Stride 2.
+    EXPECT_FALSE(convConfigValid(
+        ConvProblem{1, 8, 16, 16, 8, 3, 3, 2, 1, 1}, cfg));
+    // 1x1 kernel.
+    EXPECT_FALSE(convConfigValid(
+        ConvProblem{1, 8, 16, 16, 8, 1, 1, 1, 0, 1}, cfg));
+    // Grouped.
+    EXPECT_FALSE(convConfigValid(
+        ConvProblem{1, 8, 16, 16, 8, 3, 3, 1, 1, 8}, cfg));
+    // 7x7 kernel.
+    EXPECT_FALSE(convConfigValid(
+        ConvProblem{1, 3, 32, 32, 8, 7, 7, 1, 3, 1}, cfg));
+}
+
+// --- Depthwise ---
+
+class DepthwiseShapes : public ::testing::TestWithParam<ConvProblem>
+{};
+
+TEST_P(DepthwiseShapes, MatchesReference)
+{
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Depthwise;
+    ASSERT_TRUE(convConfigValid(GetParam(), cfg));
+    EXPECT_LT(maxError(GetParam(), cfg), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DepthwiseShapes,
+    ::testing::Values(
+        // MobileNetV2's 3x3 stride-1 depthwise.
+        ConvProblem{1, 32, 28, 28, 32, 3, 3, 1, 1, 32},
+        // Stride-2 downsampling depthwise.
+        ConvProblem{1, 24, 28, 28, 24, 3, 3, 2, 1, 24},
+        // 5x5 depthwise.
+        ConvProblem{1, 8, 17, 17, 8, 5, 5, 1, 2, 8},
+        // Batch > 1, odd extent.
+        ConvProblem{2, 16, 15, 19, 16, 3, 3, 1, 1, 16}),
+    [](const ::testing::TestParamInfo<ConvProblem> &info) {
+        std::string k = info.param.key();
+        for (char &c : k)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return k;
+    });
+
+TEST(Depthwise, OwTileSweepAllMatch)
+{
+    const ConvProblem p{1, 12, 14, 30, 12, 3, 3, 1, 1, 12};
+    for (int owt : {1, 4, 7, 16, 32}) {
+        ConvConfig cfg;
+        cfg.algo = ConvAlgo::Depthwise;
+        cfg.ow_tile = owt;
+        ASSERT_TRUE(convConfigValid(p, cfg));
+        EXPECT_LT(maxError(p, cfg), 1e-4) << "ow_tile=" << owt;
+    }
+}
+
+TEST(Depthwise, ValidityRequiresFullGrouping)
+{
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Depthwise;
+    // Dense conv.
+    EXPECT_FALSE(convConfigValid(
+        ConvProblem{1, 8, 16, 16, 8, 3, 3, 1, 1, 1}, cfg));
+    // Grouped but not depthwise (2 channels per group).
+    EXPECT_FALSE(convConfigValid(
+        ConvProblem{1, 8, 16, 16, 8, 3, 3, 1, 1, 4}, cfg));
+    // Depthwise with channel multiplier (oc != ic).
+    EXPECT_FALSE(convConfigValid(
+        ConvProblem{1, 8, 16, 16, 16, 3, 3, 1, 1, 8}, cfg));
+}
+
+TEST(GraphWithNewAlgos, ResNetOutputsMatchLibraryMode)
+{
+    // Register Winograd for every eligible conv of a small ResNet-18
+    // and Depthwise for MobileNet's grouped convs, then verify whole-
+    // network outputs match Library mode (numerical tolerance scaled
+    // for the transform arithmetic).
+    auto check = [](Graph &graph, int res, float tol) {
+        KernelSelector::instance().clearTuned();
+        Tensor in({1, 3, res, res});
+        Rng rng(3);
+        fillUniform(in, rng, 0.0f, 1.0f);
+
+        KernelSelector::instance().setMode(KernelMode::Library);
+        const Tensor ref = graph.run(in);
+
+        // Register the specialized algos where valid.
+        graph.visitShapes(
+            {1, 3, res, res},
+            [&](Op &op, const std::vector<Shape> &ins) {
+                auto *conv = dynamic_cast<Conv2d *>(&op);
+                if (!conv)
+                    return;
+                const ConvProblem p = conv->problemFor(ins[0]);
+                ConvConfig wino;
+                wino.algo = ConvAlgo::Winograd;
+                ConvConfig dw;
+                dw.algo = ConvAlgo::Depthwise;
+                if (convConfigValid(p, wino))
+                    KernelSelector::instance().registerTuned(p, wino);
+                else if (convConfigValid(p, dw))
+                    KernelSelector::instance().registerTuned(p, dw);
+            });
+        KernelSelector::instance().setMode(KernelMode::Tuned);
+        const Tensor out = graph.run(in);
+        KernelSelector::instance().setMode(KernelMode::Library);
+        KernelSelector::instance().clearTuned();
+
+        ASSERT_EQ(out.numel(), ref.numel());
+        for (size_t i = 0; i < out.numel(); ++i)
+            ASSERT_NEAR(out.data()[i], ref.data()[i], tol) << i;
+    };
+
+    auto rn18 = buildResNet18(10, 5);
+    check(*rn18, 64, 2e-2f);
+    auto mbv2 = buildMobileNetV2(10, 5);
+    check(*mbv2, 64, 2e-2f);
+}
+
+TEST(ConvAlgoNames, AllDistinct)
+{
+    EXPECT_STREQ(convAlgoName(ConvAlgo::Reference), "reference");
+    EXPECT_STREQ(convAlgoName(ConvAlgo::Direct), "direct");
+    EXPECT_STREQ(convAlgoName(ConvAlgo::Im2col), "im2col");
+    EXPECT_STREQ(convAlgoName(ConvAlgo::Winograd), "winograd");
+    EXPECT_STREQ(convAlgoName(ConvAlgo::Depthwise), "depthwise");
+}
+
+TEST(ConvConfigString, EncodesWinogradKnobs)
+{
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Winograd;
+    cfg.wino_tile_block = 128;
+    const std::string s = cfg.toString();
+    EXPECT_NE(s.find("winograd"), std::string::npos);
+    EXPECT_NE(s.find("tb=128"), std::string::npos);
+}
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the fine-tuning baseline (Touvron et al. [31]): apparent-
+ * scale estimation, the scale shift itself, and the behavioural
+ * contract the paper's comparison rests on — fine-tuning helps at the
+ * assumed crop and hurts when the test-time crop deviates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/finetune.hh"
+#include "core/pipeline.hh"
+#include "sim/dataset.hh"
+
+namespace tamres {
+namespace {
+
+SyntheticDataset
+makeDataset(int n = 4000, uint64_t seed = 3)
+{
+    return SyntheticDataset(imagenetLike(), n, seed);
+}
+
+double
+staticAccuracy(const SyntheticDataset &ds,
+               const BackboneAccuracyModel &model, int resolution,
+               double crop)
+{
+    return evalStatic(ds, 0, ds.size(), model, resolution, crop)
+        .accuracy;
+}
+
+TEST(MeanApparentScale, ScalesLinearlyWithResolution)
+{
+    const auto ds = makeDataset(500);
+    const double at224 =
+        meanApparentScalePx(ds, 0, ds.size(), 0.75, 224);
+    const double at448 =
+        meanApparentScalePx(ds, 0, ds.size(), 0.75, 448);
+    EXPECT_NEAR(at448, 2.0 * at224, 1e-9);
+}
+
+TEST(MeanApparentScale, TighterCropLooksBigger)
+{
+    const auto ds = makeDataset(500);
+    const double full = meanApparentScalePx(ds, 0, ds.size(), 1.0, 224);
+    const double tight =
+        meanApparentScalePx(ds, 0, ds.size(), 0.25, 224);
+    EXPECT_GT(tight, full);
+    // The f_cap saturation bounds the gain below the raw 2x of a 25%
+    // crop.
+    EXPECT_LT(tight, 2.0 * full);
+}
+
+TEST(MeanApparentScale, CapBindsForTightCrops)
+{
+    const auto ds = makeDataset(500);
+    const double capped =
+        meanApparentScalePx(ds, 0, ds.size(), 0.25, 224, 1.25);
+    // With f capped at 1.25 the apparent size cannot exceed 280.
+    EXPECT_LE(capped, 224 * 1.25 + 1e-9);
+    const double uncapped =
+        meanApparentScalePx(ds, 0, ds.size(), 0.25, 224, 100.0);
+    EXPECT_GT(uncapped, capped);
+}
+
+TEST(MeanApparentScaleDeath, BadSlice)
+{
+    const auto ds = makeDataset(10);
+    EXPECT_DEATH(meanApparentScalePx(ds, 5, 5, 0.75, 224), "slice");
+    EXPECT_DEATH(meanApparentScalePx(ds, 0, 11, 0.75, 224), "slice");
+}
+
+TEST(FineTune, ShiftsPreferredScale)
+{
+    const auto ds = makeDataset(200);
+    BackboneAccuracyModel model(BackboneArch::ResNet18, ds.spec(), 1);
+    const double before = model.params().s_star;
+    model.fineTuneToScale(before * 2.0);
+    EXPECT_NEAR(model.params().s_star, before * 2.0, 1e-9);
+}
+
+TEST(FineTuneDeath, NonPositiveScale)
+{
+    const auto ds = makeDataset(10);
+    BackboneAccuracyModel model(BackboneArch::ResNet18, ds.spec(), 1);
+    EXPECT_DEATH(model.fineTuneToScale(0.0), "positive");
+}
+
+TEST(FineTune, HelpsAtTheAssumedOperatingPoint)
+{
+    // The paper's Table I setting: inference at 448 with a model
+    // trained for 224-ish scales shows the train-test discrepancy;
+    // fine-tuning for (75% crop, 448) must recover accuracy there.
+    const auto ds = makeDataset();
+    BackboneAccuracyModel vanilla(BackboneArch::ResNet18, ds.spec(), 1);
+    const BackboneAccuracyModel tuned = fineTunedBackbone(
+        BackboneArch::ResNet18, ds, 1, 0, ds.size() / 2, 0.75, 448);
+
+    const double acc_vanilla = staticAccuracy(ds, vanilla, 448, 0.75);
+    const double acc_tuned = staticAccuracy(ds, tuned, 448, 0.75);
+    EXPECT_GT(acc_tuned, acc_vanilla + 0.005);
+}
+
+TEST(FineTune, HurtsWhenTheCropAssumptionBreaks)
+{
+    // Fine-tuned for a tight 25% crop at 448 (large apparent scale),
+    // then evaluated on full-frame images at 224: the specialization
+    // must cost accuracy relative to the vanilla backbone. This is
+    // the fragility that motivates dynamic resolution (Section VII-b).
+    const auto ds = makeDataset();
+    BackboneAccuracyModel vanilla(BackboneArch::ResNet18, ds.spec(), 1);
+    const BackboneAccuracyModel tuned = fineTunedBackbone(
+        BackboneArch::ResNet18, ds, 1, 0, ds.size() / 2, 0.25, 448);
+
+    const double acc_vanilla = staticAccuracy(ds, vanilla, 224, 1.0);
+    const double acc_tuned = staticAccuracy(ds, tuned, 224, 1.0);
+    EXPECT_LT(acc_tuned, acc_vanilla - 0.005);
+}
+
+TEST(FineTune, MatchesAssumedScaleAcrossCropsAtFixedResolution)
+{
+    // For each assumed crop, the backbone fine-tuned for that crop
+    // should be the best (or tied-best) of the fine-tuned family when
+    // evaluated at that crop — specialization is real, not a uniform
+    // buff.
+    const auto ds = makeDataset();
+    const double crops[] = {0.25, 0.75};
+    BackboneAccuracyModel tuned_for[2] = {
+        fineTunedBackbone(BackboneArch::ResNet18, ds, 1, 0,
+                          ds.size() / 2, crops[0], 336),
+        fineTunedBackbone(BackboneArch::ResNet18, ds, 1, 0,
+                          ds.size() / 2, crops[1], 336)};
+    for (int test_c = 0; test_c < 2; ++test_c) {
+        const double acc_match =
+            staticAccuracy(ds, tuned_for[test_c], 336, crops[test_c]);
+        const double acc_mismatch = staticAccuracy(
+            ds, tuned_for[1 - test_c], 336, crops[test_c]);
+        EXPECT_GE(acc_match, acc_mismatch - 0.002)
+            << "test crop " << crops[test_c];
+    }
+}
+
+} // namespace
+} // namespace tamres

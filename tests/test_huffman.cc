@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the canonical Huffman coder and its integration as the
+ * progressive codec's entropy layer: code validity (prefix-free,
+ * Kraft-tight, length-limited), roundtrips, serialization, optimality
+ * against the fixed 8-bit layer, and identical decoded pixels under
+ * both entropy coders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "codec/huffman.hh"
+#include "codec/progressive.hh"
+#include "image/metrics.hh"
+#include "image/synthetic.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+std::vector<uint64_t>
+geometricFrequencies(int n, double ratio, uint64_t base = 1000000)
+{
+    std::vector<uint64_t> freq(256, 0);
+    double f = static_cast<double>(base);
+    for (int i = 0; i < n; ++i) {
+        freq[i] = std::max<uint64_t>(1, static_cast<uint64_t>(f));
+        f *= ratio;
+    }
+    return freq;
+}
+
+/** Kraft sum over all coded symbols. */
+double
+kraftSum(const HuffmanTable &t)
+{
+    double sum = 0.0;
+    for (int s = 0; s < 256; ++s)
+        if (t.hasCode(static_cast<uint8_t>(s)))
+            sum += std::ldexp(1.0, -t.codeLength(
+                static_cast<uint8_t>(s)));
+    return sum;
+}
+
+TEST(Huffman, TwoSymbolAlphabetGetsOneBitCodes)
+{
+    std::vector<uint64_t> freq(256, 0);
+    freq[10] = 900;
+    freq[200] = 100;
+    const HuffmanTable t = HuffmanTable::fromFrequencies(freq);
+    EXPECT_EQ(t.numSymbols(), 2);
+    EXPECT_EQ(t.codeLength(10), 1);
+    EXPECT_EQ(t.codeLength(200), 1);
+}
+
+TEST(Huffman, SingleSymbolStillDecodable)
+{
+    std::vector<uint64_t> freq(256, 0);
+    freq[42] = 7;
+    const HuffmanTable t = HuffmanTable::fromFrequencies(freq);
+    EXPECT_EQ(t.codeLength(42), 1);
+    BitWriter bw;
+    for (int i = 0; i < 5; ++i)
+        t.encode(bw, 42);
+    const auto bytes = bw.bytes();
+    BitReader br(bytes.data(), bytes.size());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(t.decode(br), 42);
+}
+
+TEST(Huffman, KraftEqualityHolds)
+{
+    // A full (non-degenerate) Huffman code satisfies Kraft with
+    // equality.
+    for (double ratio : {0.9, 0.6, 0.3}) {
+        const HuffmanTable t =
+            HuffmanTable::fromFrequencies(geometricFrequencies(40,
+                                                               ratio));
+        EXPECT_NEAR(kraftSum(t), 1.0, 1e-12) << "ratio " << ratio;
+    }
+}
+
+TEST(Huffman, RespectsLengthLimit)
+{
+    // Fibonacci-like frequencies force maximally skewed trees; the
+    // rebalancer must keep every code within 16 bits.
+    std::vector<uint64_t> freq(256, 0);
+    uint64_t a = 1, b = 1;
+    for (int i = 0; i < 40; ++i) {
+        freq[i] = a;
+        const uint64_t next = a + b;
+        a = b;
+        b = next;
+    }
+    const HuffmanTable t = HuffmanTable::fromFrequencies(freq);
+    EXPECT_NEAR(kraftSum(t), 1.0, 1e-12);
+    for (int s = 0; s < 40; ++s) {
+        EXPECT_GE(t.codeLength(static_cast<uint8_t>(s)), 1);
+        EXPECT_LE(t.codeLength(static_cast<uint8_t>(s)),
+                  kMaxHuffmanBits);
+    }
+}
+
+TEST(Huffman, MoreFrequentSymbolsGetShorterCodes)
+{
+    const auto freq = geometricFrequencies(30, 0.7);
+    const HuffmanTable t = HuffmanTable::fromFrequencies(freq);
+    for (int i = 1; i < 30; ++i)
+        EXPECT_LE(t.codeLength(static_cast<uint8_t>(i - 1)),
+                  t.codeLength(static_cast<uint8_t>(i)));
+}
+
+TEST(Huffman, CostWithinEntropyPlusOne)
+{
+    const auto freq = geometricFrequencies(64, 0.85);
+    const HuffmanTable t = HuffmanTable::fromFrequencies(freq);
+    uint64_t total = 0;
+    for (uint64_t f : freq)
+        total += f;
+    double entropy_bits = 0.0;
+    for (uint64_t f : freq) {
+        if (f == 0)
+            continue;
+        const double p = static_cast<double>(f) / total;
+        entropy_bits -= static_cast<double>(f) * std::log2(p);
+    }
+    const double cost = static_cast<double>(t.costBits(freq));
+    EXPECT_GE(cost + 1e-6, entropy_bits);
+    EXPECT_LE(cost, entropy_bits + static_cast<double>(total));
+}
+
+TEST(Huffman, RandomMessageRoundTrip)
+{
+    Rng rng(77);
+    const auto freq = geometricFrequencies(48, 0.8);
+    const HuffmanTable t = HuffmanTable::fromFrequencies(freq);
+    std::vector<uint8_t> msg;
+    for (int i = 0; i < 4000; ++i)
+        msg.push_back(static_cast<uint8_t>(rng.uniformInt(48)));
+    BitWriter bw;
+    for (uint8_t s : msg)
+        t.encode(bw, s);
+    const auto bytes = bw.bytes();
+    BitReader br(bytes.data(), bytes.size());
+    for (uint8_t s : msg)
+        ASSERT_EQ(t.decode(br), s);
+}
+
+TEST(Huffman, SerializeRoundTripPreservesCode)
+{
+    const auto freq = geometricFrequencies(25, 0.65);
+    const HuffmanTable t = HuffmanTable::fromFrequencies(freq);
+    BitWriter bw;
+    t.serialize(bw);
+    const auto bytes = bw.bytes();
+    BitReader br(bytes.data(), bytes.size());
+    const HuffmanTable back = HuffmanTable::deserialize(br);
+    EXPECT_EQ(back.numSymbols(), t.numSymbols());
+    for (int s = 0; s < 256; ++s)
+        EXPECT_EQ(back.codeLength(static_cast<uint8_t>(s)),
+                  t.codeLength(static_cast<uint8_t>(s)));
+}
+
+TEST(HuffmanDeath, EmptyAlphabetRejected)
+{
+    std::vector<uint64_t> freq(256, 0);
+    EXPECT_DEATH(HuffmanTable::fromFrequencies(freq), "at least one");
+}
+
+TEST(HuffmanDeath, EncodingUncodedSymbolRejected)
+{
+    std::vector<uint64_t> freq(256, 0);
+    freq[1] = 1;
+    freq[2] = 1;
+    const HuffmanTable t = HuffmanTable::fromFrequencies(freq);
+    BitWriter bw;
+    EXPECT_DEATH(t.encode(bw, 99), "no code");
+}
+
+// --- Integration with the progressive codec ---
+
+class EntropyCoderTest : public ::testing::TestWithParam<EntropyCoder>
+{};
+
+TEST_P(EntropyCoderTest, DecodedPixelsIdenticalAcrossCoders)
+{
+    SyntheticImageSpec spec;
+    spec.height = 72;
+    spec.width = 88;
+    spec.texture_detail = 0.6;
+    const Image src = generateSyntheticImage(spec);
+
+    ProgressiveConfig base;
+    base.entropy = EntropyCoder::RunLength;
+    ProgressiveConfig other;
+    other.entropy = GetParam();
+
+    const EncodedImage e1 = encodeProgressive(src, base);
+    const EncodedImage e2 = encodeProgressive(src, other);
+    ASSERT_EQ(e1.numScans(), e2.numScans());
+    // Entropy coding is lossless: every scan prefix decodes to the
+    // same pixels no matter the coder.
+    for (int k = 0; k <= e1.numScans(); ++k) {
+        const Image d1 = decodeProgressive(e1, k);
+        const Image d2 = decodeProgressive(e2, k);
+        ASSERT_EQ(d1.numel(), d2.numel());
+        for (size_t i = 0; i < d1.numel(); ++i)
+            ASSERT_EQ(d1.data()[i], d2.data()[i])
+                << "scan prefix " << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Coders, EntropyCoderTest,
+    ::testing::Values(EntropyCoder::RunLength, EntropyCoder::Huffman),
+    [](const ::testing::TestParamInfo<EntropyCoder> &info) {
+        return entropyCoderName(info.param);
+    });
+
+TEST(ProgressiveHuffman, CompressesBetterThanRunLength)
+{
+    SyntheticImageSpec spec;
+    spec.height = 160;
+    spec.width = 200;
+    spec.texture_detail = 0.5;
+    const Image src = generateSyntheticImage(spec);
+
+    ProgressiveConfig rl;
+    rl.entropy = EntropyCoder::RunLength;
+    ProgressiveConfig hf;
+    hf.entropy = EntropyCoder::Huffman;
+    const size_t bytes_rl = encodeProgressive(src, rl).totalBytes();
+    const size_t bytes_hf = encodeProgressive(src, hf).totalBytes();
+    EXPECT_LT(bytes_hf, bytes_rl);
+    // The win should be material, not epsilon.
+    EXPECT_LT(static_cast<double>(bytes_hf),
+              0.95 * static_cast<double>(bytes_rl));
+}
+
+TEST(ProgressiveHuffman, ScanPrefixMonotoneQuality)
+{
+    SyntheticImageSpec spec;
+    spec.height = 96;
+    spec.width = 96;
+    const Image src = generateSyntheticImage(spec);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const Image full = decodeProgressive(enc, enc.numScans());
+    double prev = -1.0;
+    for (int k = 1; k <= enc.numScans(); ++k) {
+        const double q = ssim(decodeProgressive(enc, k), full);
+        EXPECT_GT(q, prev);
+        prev = q;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(ProgressiveHuffman, TablesAreSmallRelativeToPayload)
+{
+    // The per-scan DHT overhead must stay negligible for real-size
+    // images, or prefix reads would be penalized.
+    SyntheticImageSpec spec;
+    spec.height = 224;
+    spec.width = 224;
+    const Image src = generateSyntheticImage(spec);
+    ProgressiveConfig hf;
+    hf.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(src, hf);
+    for (int s = 0; s < enc.numScans(); ++s) {
+        const size_t scan_bytes =
+            enc.scan_offsets[s + 1] - enc.scan_offsets[s];
+        // 16 length counts + <= 256 symbols bounds the table at 272
+        // bytes; payloads are tens of KBs.
+        EXPECT_GT(scan_bytes, 272u) << "scan " << s;
+    }
+}
+
+} // namespace
+} // namespace tamres

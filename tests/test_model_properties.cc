@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Property sweeps over the calibrated accuracy model and the static
+ * pipeline evaluator — the response-surface invariants every accuracy
+ * experiment in the paper rests on, checked across the full
+ * (arch x dataset x crop x resolution) grid rather than at spot
+ * values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/pipeline.hh"
+#include "sim/accuracy_model.hh"
+#include "sim/dataset.hh"
+
+namespace tamres {
+namespace {
+
+using GridParam = std::tuple<BackboneArch, bool /*cars*/, double>;
+
+class ResponseSurface : public ::testing::TestWithParam<GridParam>
+{
+  protected:
+    static SyntheticDataset *imagenet_;
+    static SyntheticDataset *cars_;
+
+    static void
+    SetUpTestSuite()
+    {
+        imagenet_ = new SyntheticDataset(imagenetLike(), 6000, 7);
+        cars_ = new SyntheticDataset(carsLike(), 6000, 7);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete imagenet_;
+        delete cars_;
+    }
+
+    const SyntheticDataset &
+    dataset() const
+    {
+        return std::get<1>(GetParam()) ? *cars_ : *imagenet_;
+    }
+
+    BackboneArch arch() const { return std::get<0>(GetParam()); }
+    double crop() const { return std::get<2>(GetParam()); }
+
+    double
+    accuracyAt(int res, double ssim_q = 1.0) const
+    {
+        const SyntheticDataset &ds = dataset();
+        BackboneAccuracyModel model(arch(), ds.spec(), 1);
+        int correct = 0;
+        for (int i = 0; i < ds.size(); ++i)
+            if (model.correct(ds.record(i), crop(), res, ssim_q))
+                ++correct;
+        return static_cast<double>(correct) / ds.size();
+    }
+};
+
+SyntheticDataset *ResponseSurface::imagenet_ = nullptr;
+SyntheticDataset *ResponseSurface::cars_ = nullptr;
+
+TEST_P(ResponseSurface, AccuracyIsUnimodalInResolution)
+{
+    // The train-test discrepancy [31]: accuracy rises to a peak then
+    // declines. Checked as: no "valley" — once the curve turns down
+    // it never meaningfully recovers (1-point tolerance for sampling
+    // noise).
+    std::vector<double> acc;
+    for (const int r : paperResolutions())
+        acc.push_back(accuracyAt(r));
+    bool declining = false;
+    for (size_t i = 1; i < acc.size(); ++i) {
+        if (declining)
+            EXPECT_LT(acc[i], acc[i - 1] + 0.01)
+                << "valley at " << paperResolutions()[i];
+        if (acc[i] < acc[i - 1] - 0.005)
+            declining = true;
+    }
+    // And the curve is not flat: the peak clearly beats 112.
+    const double peak = *std::max_element(acc.begin(), acc.end());
+    EXPECT_GT(peak, acc.front() + 0.02);
+}
+
+TEST_P(ResponseSurface, QualityDegradationNeverHelps)
+{
+    for (const int r : {112, 224, 448}) {
+        const double full = accuracyAt(r, 1.0);
+        const double degraded = accuracyAt(r, 0.95);
+        const double trashed = accuracyAt(r, 0.85);
+        EXPECT_LE(degraded, full + 1e-9) << "res " << r;
+        EXPECT_LE(trashed, degraded + 1e-9) << "res " << r;
+    }
+}
+
+TEST_P(ResponseSurface, HigherResolutionToleratesLowerSsim)
+{
+    // The Section V observation that makes calibration worthwhile:
+    // at matched SSIM just below the knee, the accuracy *drop* from
+    // full quality is larger at 112 than at 448.
+    const double q = 0.97;
+    const double drop_lo = accuracyAt(112, 1.0) - accuracyAt(112, q);
+    const double drop_hi = accuracyAt(448, 1.0) - accuracyAt(448, q);
+    EXPECT_GE(drop_lo, drop_hi - 0.002);
+}
+
+TEST_P(ResponseSurface, DeterministicAcrossCalls)
+{
+    EXPECT_EQ(accuracyAt(224), accuracyAt(224));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ResponseSurface,
+    ::testing::Combine(
+        ::testing::Values(BackboneArch::ResNet18,
+                          BackboneArch::ResNet50),
+        ::testing::Bool(),
+        ::testing::Values(0.25, 0.56, 0.75, 1.0)),
+    [](const ::testing::TestParamInfo<GridParam> &info) {
+        const BackboneArch arch = std::get<0>(info.param);
+        const bool cars = std::get<1>(info.param);
+        const int crop_pct = static_cast<int>(
+            std::get<2>(info.param) * 100 + 0.5);
+        return std::string(arch == BackboneArch::ResNet18 ? "rn18"
+                                                          : "rn50") +
+               (cars ? "_cars_" : "_imagenet_") +
+               std::to_string(crop_pct);
+    });
+
+TEST(CropScalePreference, SmallCropsFavorLowerResolutions)
+{
+    // Figure 8/9's organizing fact, on the evaluator the figures use:
+    // the best static resolution is non-decreasing in crop area.
+    SyntheticDataset ds(imagenetLike(), 6000, 9);
+    BackboneAccuracyModel model(BackboneArch::ResNet18, ds.spec(), 1);
+    int prev_best = 0;
+    for (const double crop : {0.25, 0.56, 0.75, 1.0}) {
+        double best_acc = 0.0;
+        int best_res = 0;
+        for (const int r : paperResolutions()) {
+            const double a =
+                evalStatic(ds, 0, ds.size(), model, r, crop).accuracy;
+            if (a > best_acc) {
+                best_acc = a;
+                best_res = r;
+            }
+        }
+        EXPECT_GE(best_res, prev_best) << "crop " << crop;
+        prev_best = best_res;
+    }
+}
+
+TEST(PipelineCosts, GflopsScaleNearQuadratically)
+{
+    for (const BackboneArch arch :
+         {BackboneArch::ResNet18, BackboneArch::ResNet50}) {
+        const double g224 = backboneGflops(arch, 224);
+        const double g448 = backboneGflops(arch, 448);
+        // Paper Table I: 1.8 -> 7.3 GFLOPs for RN18 (ratio ~4.06).
+        EXPECT_GT(g448 / g224, 3.6) << archName(arch);
+        EXPECT_LT(g448 / g224, 4.6) << archName(arch);
+    }
+    // The paper's headline scale-model cost: MobileNetV2@112 = 0.08.
+    EXPECT_NEAR(scaleModelGflops(), 0.08, 0.02);
+}
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for ops, the graph executor, and the network builders —
+ * including the FLOPs anchors the paper's Table I depends on
+ * (ResNet-18 at 224 is ~1.8 GFLOPs under the MAC convention).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/builders.hh"
+#include "nn/graph.hh"
+#include "nn/kernel_selector.hh"
+#include "nn/ops.hh"
+#include "tensor/tensor_ops.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+TEST(Ops, ReluShapeAndValues)
+{
+    ReLU op("r");
+    EXPECT_EQ(op.outputShape({{1, 2, 3, 4}}), (Shape{1, 2, 3, 4}));
+    Tensor in({1, 4}, std::vector<float>{-1, 0, 1, 2});
+    Tensor out({1, 4});
+    op.forward({&in}, out);
+    EXPECT_EQ(out[0], 0.0f);
+    EXPECT_EQ(out[3], 2.0f);
+}
+
+TEST(Ops, MaxPoolKnownValues)
+{
+    MaxPool2d op("p", 2, 2, 0);
+    Tensor in({1, 1, 2, 4},
+              std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+    const Shape os = op.outputShape({in.shape()});
+    EXPECT_EQ(os, (Shape{1, 1, 1, 2}));
+    Tensor out(os);
+    op.forward({&in}, out);
+    EXPECT_EQ(out[0], 6.0f);
+    EXPECT_EQ(out[1], 8.0f);
+}
+
+TEST(Ops, MaxPoolWithPadding)
+{
+    MaxPool2d op("p", 3, 2, 1);
+    // ResNet stem geometry: 112 -> 56.
+    EXPECT_EQ(op.outputShape({{1, 64, 112, 112}}),
+              (Shape{1, 64, 56, 56}));
+}
+
+TEST(Ops, GlobalAvgPool)
+{
+    GlobalAvgPool op("g");
+    Tensor in({1, 2, 2, 2},
+              std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40});
+    Tensor out({1, 2});
+    op.forward({&in}, out);
+    EXPECT_FLOAT_EQ(out[0], 2.5f);
+    EXPECT_FLOAT_EQ(out[1], 25.0f);
+}
+
+TEST(Ops, LinearMatchesManual)
+{
+    Rng rng(1);
+    Linear op("fc", 3, 2);
+    op.initKaiming(rng);
+    Tensor in({1, 3}, std::vector<float>{1, -1, 2});
+    Tensor out({1, 2});
+    op.forward({&in}, out);
+    // Weights accessed via params(): [0] = weight [2,3], [1] = bias.
+    auto params = op.params();
+    const Tensor &w = *params[0];
+    for (int o = 0; o < 2; ++o) {
+        float acc = (*params[1])[o];
+        for (int i = 0; i < 3; ++i)
+            acc += w[o * 3 + i] * in[i];
+        EXPECT_NEAR(out[o], acc, 1e-6f);
+    }
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Softmax op("s");
+    Tensor in({2, 3}, std::vector<float>{1, 2, 3, -5, 0, 5});
+    Tensor out({2, 3});
+    op.forward({&in}, out);
+    for (int r = 0; r < 2; ++r) {
+        double sum = 0.0;
+        for (int c = 0; c < 3; ++c) {
+            sum += out[r * 3 + c];
+            EXPECT_GT(out[r * 3 + c], 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+}
+
+TEST(Ops, BatchNormIdentityWithUnitStats)
+{
+    BatchNorm2d op("bn", 2);
+    Tensor in({1, 2, 2, 2});
+    Rng rng(2);
+    fillUniform(in, rng, -1.0f, 1.0f);
+    Tensor out({1, 2, 2, 2});
+    op.forward({&in}, out);
+    // gamma=1, beta=0, mean=0, var=1 -> identity up to eps scaling.
+    EXPECT_LT(maxAbsDiff(in, out), 1e-4f);
+}
+
+TEST(Ops, AddRequiresMatchingShapes)
+{
+    Add op("a");
+    EXPECT_DEATH(op.outputShape({{1, 2}, {1, 3}}), "mismatched");
+}
+
+TEST(Ops, ConvOutputShape)
+{
+    Conv2d op("c", 3, 64, 7, 2, 3);
+    EXPECT_EQ(op.outputShape({{1, 3, 224, 224}}),
+              (Shape{1, 64, 112, 112}));
+}
+
+TEST(Graph, LinearChainExecutes)
+{
+    Graph g;
+    auto relu = std::make_unique<ReLU>("r");
+    g.add(std::move(relu), {Graph::kInput});
+    Tensor in({1, 3}, std::vector<float>{-1, 0, 2});
+    const Tensor out = g.run(in);
+    EXPECT_EQ(out[0], 0.0f);
+    EXPECT_EQ(out[2], 2.0f);
+}
+
+TEST(Graph, DiamondResidual)
+{
+    // input -> relu -> add(input) : residual join of two paths.
+    Graph g;
+    const auto r = g.add(std::make_unique<ReLU>("r"), {Graph::kInput});
+    g.add(std::make_unique<Add>("a"), {r, Graph::kInput});
+    Tensor in({1, 2}, std::vector<float>{-3, 2});
+    const Tensor out = g.run(in);
+    EXPECT_EQ(out[0], -3.0f); // relu(-3)=0 plus -3
+    EXPECT_EQ(out[1], 4.0f);  // relu(2)=2 plus 2
+}
+
+TEST(GraphDeath, ForwardReferenceRejected)
+{
+    Graph g;
+    EXPECT_DEATH(g.add(std::make_unique<ReLU>("r"), {5}), "undefined");
+}
+
+TEST(Builders, ResNet18FlopsMatchTableI)
+{
+    auto g = buildResNet18();
+    // Paper Table I, MAC convention (GFLOPs): 224 -> 1.8, 448 -> 7.3.
+    EXPECT_NEAR(g->flops({1, 3, 224, 224}) / 1e9, 1.8, 0.1);
+    EXPECT_NEAR(g->flops({1, 3, 112, 112}) / 1e9, 0.5, 0.1);
+    EXPECT_NEAR(g->flops({1, 3, 448, 448}) / 1e9, 7.3, 0.3);
+}
+
+TEST(Builders, ResNet18FlopsScaleQuadratically)
+{
+    auto g = buildResNet18();
+    const double f224 =
+        static_cast<double>(g->flops({1, 3, 224, 224}));
+    const double f448 =
+        static_cast<double>(g->flops({1, 3, 448, 448}));
+    EXPECT_NEAR(f448 / f224, 4.0, 0.2);
+}
+
+TEST(Builders, ResNet50FlopsMatchPaper)
+{
+    auto g = buildResNet50();
+    // Paper Section VII: ResNet-50 is 4.1 GFLOPs at 224.
+    EXPECT_NEAR(g->flops({1, 3, 224, 224}) / 1e9, 4.1, 0.2);
+}
+
+TEST(Builders, MobileNetV2FlopsMatchPaper)
+{
+    auto g = buildMobileNetV2();
+    // Paper Section VII: the scale model costs 0.08 GFLOPs at 112.
+    EXPECT_NEAR(g->flops({1, 3, 112, 112}) / 1e9, 0.08, 0.02);
+}
+
+TEST(Builders, ParameterCounts)
+{
+    // Standard parameter counts (BN stats counted as params here, so
+    // allow slack above the canonical 11.7M / 25.6M / 3.5M).
+    EXPECT_NEAR(buildResNet18()->numParams() / 1e6, 11.7, 0.4);
+    EXPECT_NEAR(buildResNet50()->numParams() / 1e6, 25.6, 0.8);
+    EXPECT_NEAR(buildMobileNetV2()->numParams() / 1e6, 3.5, 0.4);
+}
+
+TEST(Builders, OutputShapeIsClassCount)
+{
+    auto g = buildResNet18(10);
+    EXPECT_EQ(g->outputShape({1, 3, 224, 224}), (Shape{1, 10}));
+    EXPECT_EQ(g->outputShape({2, 3, 168, 168}), (Shape{2, 10}));
+}
+
+TEST(Builders, ResolutionAgnosticExecution)
+{
+    // The same graph instance must run at every paper resolution
+    // (Section IV-b: no per-resolution backbones). Tiny net for speed.
+    auto g = buildTinyCnn(5, 8);
+    for (int r : {40, 56, 112}) {
+        Tensor in({1, 3, r, r});
+        Rng rng(r);
+        fillUniform(in, rng, 0.0f, 1.0f);
+        const Tensor out = g->run(in);
+        EXPECT_EQ(out.shape(), (Shape{1, 5}));
+        for (int64_t i = 0; i < out.numel(); ++i)
+            EXPECT_TRUE(std::isfinite(out[i]));
+    }
+}
+
+TEST(Builders, ResNet18RunsAllKernelModes)
+{
+    KernelSelector &sel = KernelSelector::instance();
+    auto g = buildResNet18(4, /*seed=*/3);
+    Tensor in({1, 3, 64, 64});
+    Rng rng(5);
+    fillUniform(in, rng, 0.0f, 1.0f);
+
+    sel.setMode(KernelMode::Library);
+    const Tensor lib = g->run(in);
+    sel.setMode(KernelMode::Naive);
+    const Tensor naive = g->run(in);
+    sel.setMode(KernelMode::Library);
+
+    // Different kernels, same math.
+    EXPECT_LT(maxAbsDiff(lib, naive), 1e-2f);
+}
+
+TEST(Graph, ProfileCoversAllOps)
+{
+    auto g = buildTinyCnn(3, 4);
+    Tensor in({1, 3, 32, 32});
+    const auto prof = g->profile(in);
+    EXPECT_EQ(prof.size(), g->numOps());
+    int64_t flop_sum = 0;
+    for (const auto &p : prof)
+        flop_sum += p.flops;
+    EXPECT_EQ(flop_sum, g->flops(in.shape()));
+}
+
+TEST(Graph, VisitShapesEnumeratesConvs)
+{
+    auto g = buildResNet18();
+    int convs = 0;
+    g->visitShapes({1, 3, 224, 224},
+                   [&](Op &op, const std::vector<Shape> &ins) {
+                       if (op.type() == "Conv2d") {
+                           ++convs;
+                           EXPECT_EQ(ins.size(), 1u);
+                       }
+                   });
+    // ResNet-18: stem + 16 block convs + 3 downsample projections.
+    EXPECT_EQ(convs, 20);
+}
+
+TEST(Graph, BatchedRunMatchesPerItemRuns)
+{
+    // The serving studies run batch > 1 through the same graph; a
+    // batched forward must be the per-item forwards stacked, for
+    // every kernel family a ResNet exercises.
+    auto g = buildResNet18(10, /*seed=*/5);
+    Rng rng(71);
+    constexpr int kBatch = 3;
+    Tensor batch({kBatch, 3, 48, 48});
+    fillUniform(batch, rng, 0.0f, 1.0f);
+
+    const Tensor got = g->run(batch);
+    ASSERT_EQ(got.shape(), (Shape{kBatch, 10}));
+
+    const size_t plane =
+        static_cast<size_t>(batch.numel()) / kBatch;
+    for (int b = 0; b < kBatch; ++b) {
+        Tensor one({1, 3, 48, 48});
+        std::copy_n(batch.data() + b * plane, plane, one.data());
+        const Tensor want = g->run(one);
+        for (int64_t j = 0; j < want.numel(); ++j) {
+            EXPECT_NEAR(got.data()[b * want.numel() + j],
+                        want.data()[j], 1e-4f)
+                << "batch member " << b << " logit " << j;
+        }
+    }
+}
+
+TEST(Graph, ReplaceOpPreservesWiring)
+{
+    auto g = buildTinyCnn(4, 4, /*seed=*/3);
+    Rng rng(73);
+    Tensor in({1, 3, 32, 32});
+    fillUniform(in, rng, 0.0f, 1.0f);
+    const Shape out_shape = g->run(in).shape();
+
+    // Swap the first conv for an identically-shaped fresh one; the
+    // graph must still execute with the same topology.
+    for (Graph::NodeId id = 1; id < g->numNodes(); ++id) {
+        auto *conv = dynamic_cast<Conv2d *>(g->opAt(id));
+        if (conv == nullptr)
+            continue;
+        auto repl = std::make_unique<Conv2d>(
+            conv->name() + ".repl", conv->inChannels(),
+            conv->outChannels(), conv->kernel(), conv->stride(),
+            conv->pad(), conv->groups(), conv->hasBias());
+        repl->initKaiming(rng);
+        g->replaceOp(id, std::move(repl));
+        break;
+    }
+    EXPECT_EQ(g->run(in).shape(), out_shape);
+}
+
+TEST(Graph, ObserverSeesEveryLiveOp)
+{
+    auto g = buildTinyCnn(4, 4, /*seed=*/9);
+    Tensor in({1, 3, 32, 32});
+    int seen = 0;
+    g->setObserver([&](const Op &,
+                       const std::vector<const Tensor *> &ins) {
+        ++seen;
+        for (const Tensor *t : ins)
+            EXPECT_GT(t->numel(), 0);
+    });
+    g->run(in);
+    const int live = static_cast<int>(g->liveNodes().size()) - 1;
+    EXPECT_EQ(seen, live);
+    // Clearing the observer stops the callbacks.
+    g->setObserver(nullptr);
+    g->run(in);
+    EXPECT_EQ(seen, live);
+}
+
+} // namespace
+} // namespace tamres

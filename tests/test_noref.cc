@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the no-reference quality metrics: blockiness responds to
+ * the codec's 8x8 grid, sharpness tracks high-frequency energy, and
+ * the combined blind score is monotone in scan count — the property
+ * the Section VIII-c storage-policy extension rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/progressive.hh"
+#include "image/filters.hh"
+#include "image/metrics.hh"
+#include "image/noref.hh"
+#include "image/synthetic.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+Image
+textured(int h, int w, uint64_t seed, double detail = 0.6)
+{
+    SyntheticImageSpec spec;
+    spec.height = h;
+    spec.width = w;
+    spec.seed = seed;
+    spec.texture_detail = detail;
+    return generateSyntheticImage(spec);
+}
+
+TEST(Blockiness, NaturalImageNearOne)
+{
+    const double b = blockiness(textured(96, 96, 1));
+    EXPECT_GT(b, 0.6);
+    EXPECT_LT(b, 1.6);
+}
+
+TEST(Blockiness, TruncatedDecodeRaisesIt)
+{
+    const Image src = textured(96, 96, 2);
+    const EncodedImage enc = encodeProgressive(src);
+    const Image coarse = decodeProgressive(enc, 1);
+    const Image full = decodeProgressive(enc, enc.numScans());
+    EXPECT_GT(blockiness(coarse), blockiness(full));
+}
+
+TEST(Blockiness, SyntheticBlockGridIsDetected)
+{
+    // Paint each 8x8 block with a constant drawn per block: all
+    // discontinuities live exactly on the grid.
+    Image img(64, 64, 1);
+    Rng rng(9);
+    for (int by = 0; by < 8; ++by)
+        for (int bx = 0; bx < 8; ++bx) {
+            const float v = static_cast<float>(rng.uniform());
+            for (int y = 0; y < 8; ++y)
+                for (int x = 0; x < 8; ++x)
+                    img.at(0, by * 8 + y, bx * 8 + x) = v;
+        }
+    EXPECT_GT(blockiness(img), 10.0);
+}
+
+TEST(BlockinessDeath, TooSmall)
+{
+    const Image tiny(8, 8, 1);
+    EXPECT_DEATH(blockiness(tiny), "two 8x8 blocks");
+}
+
+TEST(Sharpness, BlurReducesIt)
+{
+    const Image src = textured(80, 80, 3, 0.8);
+    const double s0 = sharpness(src);
+    const double s1 = sharpness(gaussianBlur(src, 1.0));
+    const double s2 = sharpness(gaussianBlur(src, 2.5));
+    EXPECT_GT(s0, s1);
+    EXPECT_GT(s1, s2);
+}
+
+TEST(Sharpness, FlatImageIsZero)
+{
+    Image flat(32, 32, 3);
+    for (size_t i = 0; i < flat.numel(); ++i)
+        flat.data()[i] = 0.3f;
+    EXPECT_NEAR(sharpness(flat), 0.0, 1e-12);
+}
+
+TEST(NorefQuality, FullDecodeScoresHigherThanPrefixes)
+{
+    const Image src = textured(112, 112, 4, 0.7);
+    const EncodedImage enc = encodeProgressive(src);
+    const Image full = decodeProgressive(enc, enc.numScans());
+    const double ref_sharp = sharpness(full);
+    ASSERT_GT(ref_sharp, 0.0);
+
+    double prev = -1.0;
+    for (int k = 1; k <= enc.numScans(); ++k) {
+        const Image partial = decodeProgressive(enc, k);
+        const double q = norefQuality(partial, ref_sharp);
+        EXPECT_GE(q, prev - 0.02)
+            << "blind score regressed at scan " << k;
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 1.0);
+        prev = q;
+    }
+    // The full decode must land near the top of the scale.
+    EXPECT_GT(prev, 0.85);
+}
+
+TEST(NorefQuality, CorrelatesWithSsimAcrossScanPrefixes)
+{
+    // Kendall-style concordance between the blind score and true SSIM
+    // over scan prefixes of several images: orderings must agree for
+    // a large majority of pairs.
+    int concordant = 0, discordant = 0;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        const Image src = textured(96, 96, seed, 0.65);
+        const EncodedImage enc = encodeProgressive(src);
+        const Image full = decodeProgressive(enc, enc.numScans());
+        const double ref_sharp = sharpness(full);
+        std::vector<double> blind, truth;
+        for (int k = 1; k <= enc.numScans(); ++k) {
+            const Image partial = decodeProgressive(enc, k);
+            blind.push_back(norefQuality(partial, ref_sharp));
+            truth.push_back(ssim(partial, full));
+        }
+        for (size_t i = 0; i < blind.size(); ++i)
+            for (size_t j = i + 1; j < blind.size(); ++j) {
+                const double db = blind[j] - blind[i];
+                const double dt = truth[j] - truth[i];
+                if (db * dt > 0)
+                    ++concordant;
+                else if (db * dt < 0)
+                    ++discordant;
+            }
+    }
+    EXPECT_GT(concordant, 4 * std::max(discordant, 1));
+}
+
+TEST(NorefQualityDeath, NonPositiveReference)
+{
+    const Image img = textured(64, 64, 5);
+    EXPECT_DEATH(norefQuality(img, 0.0), "positive");
+}
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the Section VII-b extension: calibrating the scale
+ * model's own preview reads. Verifies the calibration contract
+ * (agreement target met, monotone in the target), and the headline
+ * consequence — dynamic read savings are no longer bounded by the
+ * backbone's 112 policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+
+namespace tamres {
+namespace {
+
+DatasetSpec
+smallSpec()
+{
+    DatasetSpec spec = imagenetLike();
+    spec.mean_height = 170;
+    spec.mean_width = 190;
+    spec.size_jitter = 0.15;
+    return spec;
+}
+
+/** Shared expensive fixture: dataset, table, trained scale model. */
+class PreviewCalibration : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ds_ = new SyntheticDataset(smallSpec(), 260, 91);
+        model_ = new BackboneAccuracyModel(BackboneArch::ResNet18,
+                                           ds_->spec(), 1);
+        table_ = new QualityTable(*ds_, 220, 252, {112, 224, 336});
+
+        ScaleModelOptions opts;
+        opts.epochs = 25;
+        scale_ = new ScaleModel({112, 224, 336}, opts);
+        scale_->train(*ds_, 0, 220, BackboneArch::ResNet18,
+                      {0.25, 0.75, 1.0}, 128);
+
+        CalibrationOptions copts;
+        copts.max_accuracy_loss = 0.02; // small-sample scaled
+        policy_ = new StoragePolicy(
+            calibrate(*table_, *ds_, *model_, copts));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete policy_;
+        delete scale_;
+        delete table_;
+        delete model_;
+        delete ds_;
+    }
+
+    static SyntheticDataset *ds_;
+    static BackboneAccuracyModel *model_;
+    static QualityTable *table_;
+    static ScaleModel *scale_;
+    static StoragePolicy *policy_;
+};
+
+SyntheticDataset *PreviewCalibration::ds_ = nullptr;
+BackboneAccuracyModel *PreviewCalibration::model_ = nullptr;
+QualityTable *PreviewCalibration::table_ = nullptr;
+ScaleModel *PreviewCalibration::scale_ = nullptr;
+StoragePolicy *PreviewCalibration::policy_ = nullptr;
+
+TEST_F(PreviewCalibration, MeetsAgreementTargetWithinScanRange)
+{
+    const PreviewPolicy pp =
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, 0.9);
+    EXPECT_GE(pp.scans, 1);
+    EXPECT_LE(pp.scans, table_->numScans());
+    // The returned agreement is only recorded when found below the
+    // maximum depth; at full depth agreement is 1 by definition.
+    if (pp.scans < table_->numScans())
+        EXPECT_GE(pp.agreement, 0.9);
+}
+
+TEST_F(PreviewCalibration, FullDepthAlwaysSatisfiesTarget)
+{
+    const PreviewPolicy strict =
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, 1.0);
+    EXPECT_LE(strict.scans, table_->numScans());
+}
+
+TEST_F(PreviewCalibration, LooserTargetNeverNeedsMoreScans)
+{
+    const PreviewPolicy strict =
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, 0.99);
+    const PreviewPolicy loose =
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, 0.70);
+    EXPECT_LE(loose.scans, strict.scans);
+}
+
+TEST_F(PreviewCalibration, ObjectScaleIsLowFrequency)
+{
+    // The design premise: scale decisions should stabilize well
+    // before full fidelity — a coarse preview suffices.
+    const PreviewPolicy pp =
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, 0.85);
+    EXPECT_LT(pp.scans, table_->numScans());
+}
+
+TEST_F(PreviewCalibration, CalibratedPreviewReducesDynamicReads)
+{
+    // Headline: with the preview read depth calibrated separately,
+    // the dynamic pipeline reads no more — and typically less — than
+    // under the backbone-112-policy lower bound (Section VII-b).
+    const PreviewPolicy pp =
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, 0.9);
+    const StorageRow bound = evalDynamicStorage(
+        *table_, *ds_, *model_, *scale_, *policy_, 0.75);
+    const StorageRow broken = evalDynamicStorage(
+        *table_, *ds_, *model_, *scale_, *policy_, 0.75, {}, pp.scans);
+    EXPECT_LE(broken.read_fraction, bound.read_fraction + 1e-9);
+    // Accuracy under the calibrated preview stays in family.
+    EXPECT_GT(broken.accuracy_calibrated,
+              bound.accuracy_calibrated - 0.05);
+}
+
+TEST_F(PreviewCalibration, ExplicitPreviewDepthIsHonored)
+{
+    // Note: byte totals are NOT monotone in preview depth in general —
+    // a coarser preview can steer the scale model to a resolution
+    // whose policy demands more scans. The enforceable contract is at
+    // the boundary: a full-depth preview forces full reads, and any
+    // depth keeps the read fraction within (0, 1].
+    const StorageRow full = evalDynamicStorage(
+        *table_, *ds_, *model_, *scale_, *policy_, 0.75, {},
+        table_->numScans());
+    EXPECT_NEAR(full.read_fraction, 1.0, 1e-9);
+
+    const StorageRow one = evalDynamicStorage(
+        *table_, *ds_, *model_, *scale_, *policy_, 0.75, {}, 1);
+    EXPECT_GT(one.read_fraction, 0.0);
+    EXPECT_LE(one.read_fraction, 1.0 + 1e-9);
+}
+
+TEST_F(PreviewCalibration, AgreementCurveConsistentWithCalibration)
+{
+    const std::vector<double> curve =
+        previewAgreementByDepth(*table_, *ds_, *scale_, 0.75);
+    ASSERT_EQ(static_cast<int>(curve.size()), table_->numScans());
+    // Full depth agrees with itself by definition.
+    EXPECT_NEAR(curve.back(), 1.0, 1e-12);
+    for (const double a : curve) {
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+    }
+    // calibratePreviewScans must return the first depth at/above the
+    // target, with that depth's agreement.
+    const double target = 0.9;
+    const PreviewPolicy pp =
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, target);
+    for (int k = 1; k < pp.scans; ++k)
+        EXPECT_LT(curve[k - 1], target);
+    EXPECT_GE(curve[pp.scans - 1], target);
+}
+
+TEST_F(PreviewCalibration, AgreementTargetValidated)
+{
+    EXPECT_DEATH(
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, 0.0),
+        "agreement");
+    EXPECT_DEATH(
+        calibratePreviewScans(*table_, *ds_, *scale_, 0.75, 1.5),
+        "agreement");
+}
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Tests for post-training int8 quantization: scalar helpers, the
+ * integer convolution kernel, QuantConv2d, calibration, and the
+ * whole-graph rewrite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/builders.hh"
+#include "nn/graph.hh"
+#include "nn/passes.hh"
+#include "nn/quant.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+Tensor
+randomTensor(const Shape &shape, Rng &rng, double amp = 1.0)
+{
+    Tensor t(shape);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.data()[i] = static_cast<float>(rng.uniform(-amp, amp));
+    return t;
+}
+
+/** Relative RMS error of @p got vs @p want. */
+double
+relError(const float *got, const float *want, size_t n)
+{
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(got[i]) - want[i];
+        num += d * d;
+        den += static_cast<double>(want[i]) * want[i];
+    }
+    return std::sqrt(num / std::max(den, 1e-20));
+}
+
+// --- scalar helpers ---
+
+TEST(QuantHelpers, MaxAbs)
+{
+    const float v[] = {0.5f, -2.25f, 1.0f, 0.0f};
+    EXPECT_FLOAT_EQ(maxAbsValue(v, 4), 2.25f);
+    EXPECT_FLOAT_EQ(maxAbsValue(v, 0), 0.0f);
+}
+
+TEST(QuantHelpers, ScaleNeverZero)
+{
+    EXPECT_GT(symmetricScale(0.0f), 0.0f);
+    EXPECT_FLOAT_EQ(symmetricScale(127.0f), 1.0f);
+}
+
+TEST(QuantHelpers, RoundTripErrorBound)
+{
+    Rng rng(5);
+    constexpr size_t n = 4096;
+    std::vector<float> src(n), back(n);
+    std::vector<int8_t> q(n);
+    for (size_t i = 0; i < n; ++i)
+        src[i] = static_cast<float>(rng.uniform(-3.0, 3.0));
+    const float scale = symmetricScale(maxAbsValue(src.data(), n));
+    quantizeSymmetric(src.data(), n, scale, q.data());
+    dequantizeSymmetric(q.data(), n, scale, back.data());
+    for (size_t i = 0; i < n; ++i) {
+        // Round-to-nearest: error at most half a step.
+        EXPECT_LE(std::abs(back[i] - src[i]), scale * 0.5f + 1e-7f);
+    }
+}
+
+TEST(QuantHelpers, SaturatesAtClampEdge)
+{
+    const float big[] = {10.0f, -10.0f};
+    int8_t q[2];
+    quantizeSymmetric(big, 2, /*scale=*/0.01f, q);
+    EXPECT_EQ(q[0], 127);
+    EXPECT_EQ(q[1], -127);
+}
+
+// --- integer convolution kernel ---
+
+struct ConvCase
+{
+    int ic, ih, iw, oc, k, stride, pad;
+};
+
+class Int8ConvSweep : public ::testing::TestWithParam<ConvCase>
+{};
+
+TEST_P(Int8ConvSweep, MatchesReferenceWithinQuantNoise)
+{
+    const ConvCase c = GetParam();
+    ConvProblem p;
+    p.n = 2;
+    p.ic = c.ic;
+    p.ih = c.ih;
+    p.iw = c.iw;
+    p.oc = c.oc;
+    p.kh = p.kw = c.k;
+    p.stride = c.stride;
+    p.pad = c.pad;
+
+    Rng rng(17);
+    const int K = p.ic * p.kh * p.kw;
+    std::vector<float> in(static_cast<size_t>(p.n) * p.ic * p.ih *
+                          p.iw);
+    std::vector<float> w(static_cast<size_t>(p.oc) * K);
+    std::vector<float> bias(p.oc);
+    for (auto &v : in)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto &v : w)
+        v = static_cast<float>(rng.uniform(-0.5, 0.5));
+    for (auto &v : bias)
+        v = static_cast<float>(rng.uniform(-0.1, 0.1));
+
+    const size_t out_n =
+        static_cast<size_t>(p.n) * p.oc * p.oh() * p.ow();
+    std::vector<float> ref(out_n), got(out_n);
+    convReference(p, in.data(), w.data(), bias.data(), ref.data());
+
+    std::vector<int8_t> wq(w.size());
+    std::vector<float> w_scales(p.oc);
+    for (int oc = 0; oc < p.oc; ++oc) {
+        const float *row = w.data() + static_cast<size_t>(oc) * K;
+        w_scales[oc] = symmetricScale(maxAbsValue(row, K));
+        quantizeSymmetric(row, K, w_scales[oc],
+                          wq.data() + static_cast<size_t>(oc) * K);
+    }
+    convForwardInt8(p, in.data(), /*act_scale=*/0.0f, wq.data(),
+                    w_scales.data(), bias.data(), /*fused_relu=*/false,
+                    got.data());
+    EXPECT_LT(relError(got.data(), ref.data(), out_n), 0.03)
+        << "int8 conv deviates beyond quantization noise";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Int8ConvSweep,
+    ::testing::Values(ConvCase{3, 17, 17, 8, 3, 1, 1},
+                      ConvCase{8, 14, 14, 16, 3, 2, 1},
+                      ConvCase{16, 9, 9, 8, 1, 1, 0},
+                      ConvCase{4, 21, 13, 6, 5, 2, 2},
+                      ConvCase{32, 7, 7, 32, 3, 1, 1},
+                      ConvCase{8, 8, 8, 4, 7, 1, 3}),
+    [](const ::testing::TestParamInfo<ConvCase> &info) {
+        const ConvCase &c = info.param;
+        return "ic" + std::to_string(c.ic) + "k" + std::to_string(c.k) +
+               "s" + std::to_string(c.stride) + "p" +
+               std::to_string(c.pad) + "_" + std::to_string(c.ih) +
+               "x" + std::to_string(c.iw) + "oc" +
+               std::to_string(c.oc);
+    });
+
+TEST(Int8Conv, PerChannelBeatsPerTensor)
+{
+    // Give output channels wildly different weight magnitudes; a
+    // single tensor-wide scale starves the small channels of
+    // precision, the per-channel scheme does not.
+    ConvProblem p;
+    p.n = 1;
+    p.ic = 4;
+    p.ih = p.iw = 12;
+    p.oc = 4;
+    p.kh = p.kw = 3;
+    p.stride = 1;
+    p.pad = 1;
+    const int K = p.ic * 9;
+
+    Rng rng(23);
+    std::vector<float> in(static_cast<size_t>(p.ic) * p.ih * p.iw);
+    for (auto &v : in)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    std::vector<float> w(static_cast<size_t>(p.oc) * K);
+    const float channel_amp[4] = {4.0f, 0.02f, 0.5f, 0.005f};
+    for (int oc = 0; oc < p.oc; ++oc) {
+        for (int k = 0; k < K; ++k) {
+            w[static_cast<size_t>(oc) * K + k] = static_cast<float>(
+                rng.uniform(-channel_amp[oc], channel_amp[oc]));
+        }
+    }
+
+    const size_t out_n = static_cast<size_t>(p.oc) * p.oh() * p.ow();
+    std::vector<float> ref(out_n);
+    convReference(p, in.data(), w.data(), nullptr, ref.data());
+
+    // Per-channel scales.
+    std::vector<int8_t> wq(w.size());
+    std::vector<float> scales(p.oc);
+    for (int oc = 0; oc < p.oc; ++oc) {
+        const float *row = w.data() + static_cast<size_t>(oc) * K;
+        scales[oc] = symmetricScale(maxAbsValue(row, K));
+        quantizeSymmetric(row, K, scales[oc],
+                          wq.data() + static_cast<size_t>(oc) * K);
+    }
+    std::vector<float> got_pc(out_n);
+    convForwardInt8(p, in.data(), 0.0f, wq.data(), scales.data(),
+                    nullptr, false, got_pc.data());
+
+    // One tensor-wide scale.
+    const float global = symmetricScale(maxAbsValue(w.data(),
+                                                    w.size()));
+    std::vector<float> gscales(p.oc, global);
+    quantizeSymmetric(w.data(), w.size(), global, wq.data());
+    std::vector<float> got_pt(out_n);
+    convForwardInt8(p, in.data(), 0.0f, wq.data(), gscales.data(),
+                    nullptr, false, got_pt.data());
+
+    // Global RMS hides the damage (large channels dominate); the
+    // failure mode of a tensor-wide scale is that it quantizes the
+    // small channels' weights to all-zero. Compare the worst
+    // per-output-channel relative error.
+    const size_t npix = static_cast<size_t>(p.oh()) * p.ow();
+    double worst_pc = 0.0, worst_pt = 0.0;
+    for (int oc = 0; oc < p.oc; ++oc) {
+        const size_t off = static_cast<size_t>(oc) * npix;
+        worst_pc = std::max(worst_pc,
+                            relError(got_pc.data() + off,
+                                     ref.data() + off, npix));
+        worst_pt = std::max(worst_pt,
+                            relError(got_pt.data() + off,
+                                     ref.data() + off, npix));
+    }
+    EXPECT_LT(worst_pc, 0.05);
+    EXPECT_GT(worst_pt, 0.5)
+        << "expected the tensor-wide scale to zero out the smallest "
+           "channel";
+}
+
+// --- QuantConv2d op ---
+
+TEST(QuantConv2d, MatchesFloatConv)
+{
+    Rng rng(31);
+    Conv2d conv("c", 8, 12, 3, 1, 1, 1, /*bias=*/true);
+    conv.initKaiming(rng);
+    const Tensor in = randomTensor({1, 8, 15, 15}, rng);
+
+    Tensor want(conv.outputShape({in.shape()}));
+    conv.forward({&in}, want);
+
+    QuantConv2d qconv(conv);
+    EXPECT_EQ(qconv.outputShape({in.shape()}), want.shape());
+    EXPECT_EQ(qconv.flops({in.shape()}), conv.flops({in.shape()}));
+    Tensor got(want.shape());
+    qconv.forward({&in}, got);
+    EXPECT_LT(relError(got.data(), want.data(),
+                       static_cast<size_t>(got.numel())), 0.03);
+}
+
+TEST(QuantConv2d, CarriesFusedRelu)
+{
+    Rng rng(37);
+    Conv2d conv("c", 4, 4, 3, 1, 1);
+    conv.initKaiming(rng);
+    conv.setFusedRelu(true);
+    QuantConv2d qconv(conv);
+    EXPECT_TRUE(qconv.fusedRelu());
+
+    const Tensor in = randomTensor({1, 4, 9, 9}, rng);
+    Tensor out(qconv.outputShape({in.shape()}));
+    qconv.forward({&in}, out);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_GE(out.data()[i], 0.0f);
+}
+
+TEST(QuantConv2d, StaticScaleMatchesDynamicWhenCalibrated)
+{
+    Rng rng(41);
+    Conv2d conv("c", 4, 6, 3, 1, 1);
+    conv.initKaiming(rng);
+    const Tensor in = randomTensor({1, 4, 11, 11}, rng);
+    const float scale = symmetricScale(
+        maxAbsValue(in.data(), static_cast<size_t>(in.numel())));
+
+    QuantConv2d dynamic(conv, 0.0f);
+    QuantConv2d fixed(conv, scale);
+    Tensor a(dynamic.outputShape({in.shape()}));
+    Tensor b(a.shape());
+    dynamic.forward({&in}, a);
+    fixed.forward({&in}, b);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(QuantConv2dDeath, RejectsGroupedConvs)
+{
+    Rng rng(43);
+    Conv2d depthwise("dw", 8, 8, 3, 1, 1, /*groups=*/8);
+    depthwise.initKaiming(rng);
+    EXPECT_DEATH(QuantConv2d{depthwise}, "groups");
+}
+
+// --- calibration + whole-graph rewrite ---
+
+TEST(QuantGraph, CalibrationRecordsPerConvMaxima)
+{
+    auto g = buildTinyCnn(4, 8, 7);
+    Rng rng(47);
+    std::vector<Tensor> samples;
+    samples.push_back(randomTensor({1, 3, 32, 32}, rng, 0.5));
+    samples.push_back(randomTensor({1, 3, 32, 32}, rng, 1.0));
+    const QuantCalibration cal = calibrateActivations(*g, samples);
+
+    int convs = 0;
+    g->forEachOp([&](Op &op) {
+        if (op.type() == "Conv2d")
+            ++convs;
+    });
+    EXPECT_EQ(static_cast<int>(cal.act_max.size()), convs);
+    for (const auto &[name, m] : cal.act_max)
+        EXPECT_GT(m, 0.0f) << name;
+
+    // The graph input plane max must be what the first conv saw: the
+    // larger of the two sample amplitudes.
+    float first_max = 0.0f;
+    for (const Tensor &t : samples)
+        first_max = std::max(
+            first_max,
+            maxAbsValue(t.data(), static_cast<size_t>(t.numel())));
+    bool found_first = false;
+    for (const auto &[name, m] : cal.act_max) {
+        if (std::abs(m - first_max) < 1e-6f)
+            found_first = true;
+    }
+    EXPECT_TRUE(found_first);
+}
+
+TEST(QuantGraph, ResNet18RewriteKeepsOutputsClose)
+{
+    auto g = buildResNet18(16, /*seed=*/7);
+    foldBatchNorms(*g);
+    fuseConvRelu(*g);
+    Rng rng(53);
+    const Tensor in = randomTensor({1, 3, 64, 64}, rng, 0.8);
+    const Tensor want = g->run(in);
+
+    const QuantCalibration cal = calibrateActivations(*g, {in});
+    const int rewritten = quantizeConvs(*g, &cal);
+    EXPECT_EQ(rewritten, 20); // 17 residual/stem convs + 3 downsamples
+
+    int remaining_fp32 = 0;
+    g->forEachOp([&](Op &op) {
+        if (op.type() == "Conv2d")
+            ++remaining_fp32;
+    });
+    EXPECT_EQ(remaining_fp32, 0);
+
+    const Tensor got = g->run(in);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_LT(relError(got.data(), want.data(),
+                       static_cast<size_t>(got.numel())), 0.10)
+        << "quantization noise after 20 stacked int8 layers";
+}
+
+TEST(QuantGraph, MobileNetV2KeepsDepthwiseInFp32)
+{
+    auto g = buildMobileNetV2(8, /*seed=*/9);
+    foldBatchNorms(*g);
+    const int rewritten = quantizeConvs(*g);
+    EXPECT_GT(rewritten, 0);
+    int depthwise = 0;
+    g->forEachOp([&](Op &op) {
+        if (op.type() == "Conv2d") {
+            auto &conv = static_cast<Conv2d &>(op);
+            EXPECT_GT(conv.groups(), 1)
+                << "ungrouped conv '" << op.name() << "' survived";
+            ++depthwise;
+        }
+    });
+    EXPECT_GT(depthwise, 0);
+
+    Rng rng(59);
+    const Tensor in = randomTensor({1, 3, 64, 64}, rng);
+    const Tensor out = g->run(in);
+    EXPECT_EQ(out.shape(), (Shape{1, 8}));
+}
+
+TEST(QuantGraph, FlopsUnchangedByRewrite)
+{
+    auto g = buildResNet18(8, 11);
+    const Shape in{1, 3, 96, 96};
+    const int64_t before = g->flops(in);
+    quantizeConvs(*g);
+    EXPECT_EQ(g->flops(in), before);
+}
+
+} // namespace
+} // namespace tamres

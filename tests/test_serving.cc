@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for graph passes (batch-norm folding), cost-aware resolution
+ * selection, and the discrete-event serving simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "core/serving.hh"
+#include "nn/ops.hh"
+#include "nn/passes.hh"
+#include "tensor/tensor_ops.hh"
+
+namespace tamres {
+namespace {
+
+TEST(FoldBatchNorms, PreservesResNetOutputs)
+{
+    auto g = buildResNet18(8, /*seed=*/5);
+    Tensor in({1, 3, 64, 64});
+    Rng rng(3);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    const Tensor before = g->run(in);
+
+    const int folded = foldBatchNorms(*g);
+    // ResNet-18: stem + 16 block + 3 downsample batch norms.
+    EXPECT_EQ(folded, 20);
+
+    const Tensor after = g->run(in);
+    EXPECT_LT(maxAbsDiff(before, after), 2e-3f);
+}
+
+TEST(FoldBatchNorms, PreservesMobileNetOutputs)
+{
+    auto g = buildMobileNetV2(8, /*seed=*/9);
+    Tensor in({1, 3, 64, 64});
+    Rng rng(4);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    const Tensor before = g->run(in);
+    EXPECT_GT(foldBatchNorms(*g), 30);
+    const Tensor after = g->run(in);
+    // 52 folded layers deep: fp32 accumulation drift is larger than
+    // for ResNet-18.
+    EXPECT_LT(maxAbsDiff(before, after), 2e-2f);
+}
+
+TEST(FoldBatchNorms, FoldingSpeedsUpOrMatches)
+{
+    // Folding removes a full feature-map traversal per conv; live-node
+    // execution must shrink.
+    auto g = buildResNet18(8, 5);
+    const size_t live_before = g->liveNodes().size();
+    foldBatchNorms(*g);
+    const size_t live_after = g->liveNodes().size();
+    EXPECT_EQ(live_before - live_after, 20u);
+}
+
+TEST(FoldBatchNorms, IdempotentSecondPass)
+{
+    auto g = buildResNet18(8, 5);
+    EXPECT_EQ(foldBatchNorms(*g), 20);
+    EXPECT_EQ(foldBatchNorms(*g), 0);
+}
+
+TEST(FuseConvRelu, PreservesResNetOutputs)
+{
+    auto g = buildResNet18(8, /*seed=*/5);
+    Tensor in({1, 3, 64, 64});
+    Rng rng(3);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    foldBatchNorms(*g);
+    const Tensor before = g->run(in);
+
+    const int fused = fuseConvRelu(*g);
+    // Every block's first conv + the stem fuse; second-in-block convs
+    // feed the residual Add pre-activation, so their ReLU follows the
+    // Add and must not fuse.
+    EXPECT_GT(fused, 8);
+
+    const Tensor after = g->run(in);
+    EXPECT_LT(maxAbsDiff(before, after), 1e-5f);
+}
+
+TEST(FuseConvRelu, PreservesMobileNetOutputs)
+{
+    auto g = buildMobileNetV2(8, /*seed=*/9);
+    Tensor in({1, 3, 64, 64});
+    Rng rng(4);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    foldBatchNorms(*g);
+    const Tensor before = g->run(in);
+    EXPECT_GT(fuseConvRelu(*g), 20);
+    const Tensor after = g->run(in);
+    EXPECT_LT(maxAbsDiff(before, after), 1e-5f);
+}
+
+TEST(FuseConvRelu, ShrinksLiveGraphAndIsIdempotent)
+{
+    auto g = buildResNet18(8, 5);
+    foldBatchNorms(*g);
+    const size_t live_before = g->liveNodes().size();
+    const int fused = fuseConvRelu(*g);
+    EXPECT_EQ(live_before - g->liveNodes().size(),
+              static_cast<size_t>(fused));
+    EXPECT_EQ(fuseConvRelu(*g), 0);
+}
+
+TEST(FuseConvRelu, SharedConvOutputNotFused)
+{
+    // conv feeds both a ReLU and an Add (residual-style): fusing
+    // would corrupt the Add's input, so the pass must skip it.
+    Graph g;
+    auto conv = std::make_unique<Conv2d>("c", 3, 3, 3, 1, 1);
+    Rng rng(7);
+    conv->initKaiming(rng);
+    const auto c = g.add(std::move(conv), {Graph::kInput});
+    const auto r = g.add(std::make_unique<ReLU>("r"), {c});
+    const auto a = g.add(std::make_unique<Add>("a"), {c, r});
+    g.setOutput(a);
+
+    Tensor in({1, 3, 16, 16});
+    fillUniform(in, rng, -1.0f, 1.0f);
+    const Tensor before = g.run(in);
+    EXPECT_EQ(fuseConvRelu(g), 0);
+    const Tensor after = g.run(in);
+    EXPECT_LT(maxAbsDiff(before, after), 1e-7f);
+}
+
+TEST(GraphRewire, DeadNodesSkipped)
+{
+    Graph g;
+    const auto r1 = g.add(std::make_unique<ReLU>("r1"), {Graph::kInput});
+    const auto r2 = g.add(std::make_unique<ReLU>("r2"), {r1});
+    g.setOutput(r2);
+    g.rewire(r1, Graph::kInput); // r1 becomes dead
+    EXPECT_EQ(g.liveNodes().size(), 2u); // input + r2
+    Tensor in({1, 2}, std::vector<float>{-1, 3});
+    const Tensor out = g.run(in);
+    EXPECT_EQ(out[1], 3.0f);
+}
+
+TEST(CostAware, LambdaZeroMatchesPlainArgmax)
+{
+    SyntheticDataset ds(imagenetLike(), 40, 3);
+    ScaleModelOptions opts;
+    opts.epochs = 8;
+    ScaleModel scale({112, 224, 448}, opts);
+    scale.train(ds, 0, 30, BackboneArch::ResNet18, {0.75}, 96);
+    const std::vector<double> costs = {0.5, 1.8, 7.3};
+    for (int i = 30; i < 40; ++i) {
+        const Image preview = ds.renderAt(i, 96);
+        EXPECT_EQ(scale.chooseResolutionIndexCostAware(preview, 0.0,
+                                                       costs),
+                  scale.chooseResolutionIndex(preview));
+    }
+}
+
+TEST(CostAware, LargeLambdaPicksCheapest)
+{
+    SyntheticDataset ds(imagenetLike(), 20, 3);
+    ScaleModelOptions opts;
+    opts.epochs = 4;
+    ScaleModel scale({112, 224, 448}, opts);
+    scale.train(ds, 0, 16, BackboneArch::ResNet18, {0.75}, 96);
+    const std::vector<double> costs = {0.5, 1.8, 7.3};
+    for (int i = 16; i < 20; ++i) {
+        const Image preview = ds.renderAt(i, 96);
+        EXPECT_EQ(scale.chooseResolutionIndexCostAware(preview, 100.0,
+                                                       costs),
+                  0);
+    }
+}
+
+TEST(Serving, DeterministicForSeed)
+{
+    ServingConfig cfg{.arrival_rate_hz = 10, .num_requests = 100,
+                      .seed = 5};
+    auto policy = [](int, int) { return std::make_pair(224, 0.05); };
+    const auto a = simulateServing(cfg, policy);
+    const auto b = simulateServing(cfg, policy);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].finish_s, b[i].finish_s);
+}
+
+TEST(Serving, FifoInvariants)
+{
+    ServingConfig cfg{.arrival_rate_hz = 20, .num_requests = 200,
+                      .seed = 9};
+    auto policy = [](int, int) { return std::make_pair(224, 0.03); };
+    const auto reqs = simulateServing(cfg, policy);
+    double prev_finish = 0.0;
+    double prev_arrival = 0.0;
+    for (const auto &r : reqs) {
+        EXPECT_GE(r.arrival_s, prev_arrival);   // arrivals ordered
+        EXPECT_GE(r.start_s, r.arrival_s);      // no time travel
+        EXPECT_GE(r.start_s, prev_finish);      // single server
+        EXPECT_GT(r.finish_s, r.start_s);
+        prev_finish = r.finish_s;
+        prev_arrival = r.arrival_s;
+    }
+}
+
+TEST(Serving, StatsSaneUnderLightLoad)
+{
+    // Service much faster than arrivals: no queueing.
+    ServingConfig cfg{.arrival_rate_hz = 1, .num_requests = 300,
+                      .seed = 2};
+    auto policy = [](int, int) { return std::make_pair(112, 0.001); };
+    const auto stats =
+        ServingStats::fromRequests(simulateServing(cfg, policy));
+    EXPECT_NEAR(stats.mean_latency_s, 0.001, 1e-4);
+    EXPECT_LT(stats.mean_queueing_s, 1e-4);
+    EXPECT_LT(stats.utilization, 0.05);
+}
+
+TEST(Serving, OverloadGrowsQueueing)
+{
+    // Service slower than arrivals: queueing must dominate latency.
+    ServingConfig cfg{.arrival_rate_hz = 20, .num_requests = 300,
+                      .seed = 2};
+    auto policy = [](int, int) { return std::make_pair(448, 0.1); };
+    const auto stats =
+        ServingStats::fromRequests(simulateServing(cfg, policy));
+    EXPECT_GT(stats.mean_queueing_s, 1.0);
+    EXPECT_GT(stats.utilization, 0.95);
+}
+
+TEST(Serving, LoadSheddingBoundsLatency)
+{
+    // The Section VIII-a mechanism: a load-aware dynamic policy drops
+    // to a cheap resolution when the queue builds, bounding p99 vs. a
+    // static policy at the expensive resolution.
+    ServingConfig cfg{.arrival_rate_hz = 15, .num_requests = 500,
+                      .seed = 7};
+    auto static_policy = [](int, int) {
+        return std::make_pair(336, 0.08);
+    };
+    auto shedding_policy = [](int, int depth) {
+        return depth > 3 ? std::make_pair(112, 0.012)
+                         : std::make_pair(336, 0.08);
+    };
+    const auto s_static =
+        ServingStats::fromRequests(simulateServing(cfg, static_policy));
+    const auto s_shed = ServingStats::fromRequests(
+        simulateServing(cfg, shedding_policy));
+    EXPECT_LT(s_shed.p99_latency_s, s_static.p99_latency_s * 0.5);
+}
+
+TEST(ServingDeath, BadConfig)
+{
+    ServingConfig cfg{.arrival_rate_hz = 0, .num_requests = 1};
+    EXPECT_DEATH(simulateServing(
+                     cfg, [](int, int) { return std::make_pair(1, 0.0); }),
+                 "positive");
+}
+
+} // namespace
+} // namespace tamres

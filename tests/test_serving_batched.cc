@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the dynamically batched serving simulation: reduction to
+ * the plain FIFO server, batch formation invariants, and the
+ * throughput/latency tradeoffs batching is supposed to exhibit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/serving.hh"
+
+namespace tamres {
+namespace {
+
+/** Sub-linear batch cost: full price for the first item, 40% each
+ * additional one (im2col GEMMs amortize packing and weight reuse). */
+double
+batchCost(double base_s, int batch)
+{
+    return base_s * (1.0 + 0.4 * (batch - 1));
+}
+
+TEST(BatchedServing, ReducesToPlainFifoAtBatchOne)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate_hz = 40.0;
+    cfg.num_requests = 500;
+    cfg.seed = 7;
+    const auto plain = simulateServing(
+        cfg, [](int, int) { return std::pair{224, 0.02}; });
+
+    BatchedConfig bcfg;
+    bcfg.base = cfg;
+    bcfg.max_batch = 1;
+    bcfg.linger_s = 0.0;
+    const auto batched = simulateServingBatched(
+        bcfg, [](int, int, int) { return std::pair{224, 0.02}; });
+
+    ASSERT_EQ(plain.size(), batched.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+        ASSERT_DOUBLE_EQ(batched[i].arrival_s, plain[i].arrival_s);
+        ASSERT_DOUBLE_EQ(batched[i].start_s, plain[i].start_s);
+        ASSERT_DOUBLE_EQ(batched[i].finish_s, plain[i].finish_s);
+        ASSERT_EQ(batched[i].batch, 1);
+    }
+}
+
+TEST(BatchedServing, InvariantsHold)
+{
+    BatchedConfig cfg;
+    cfg.base.arrival_rate_hz = 120.0;
+    cfg.base.num_requests = 800;
+    cfg.base.seed = 3;
+    cfg.max_batch = 6;
+    cfg.linger_s = 0.004;
+    const auto reqs = simulateServingBatched(
+        cfg, [](int, int batch, int) {
+            return std::pair{224, batchCost(0.02, batch)};
+        });
+
+    ASSERT_EQ(reqs.size(), 800u);
+    double prev_start = 0.0;
+    for (const auto &r : reqs) {
+        EXPECT_GE(r.queueing(), -1e-12);
+        EXPECT_GT(r.latency(), 0.0);
+        EXPECT_GE(r.batch, 1);
+        EXPECT_LE(r.batch, cfg.max_batch);
+        EXPECT_GE(r.start_s, prev_start); // FIFO batches
+        prev_start = r.start_s;
+    }
+    const ServingStats stats = ServingStats::fromRequests(reqs);
+    EXPECT_GT(stats.utilization, 0.0);
+    EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+    EXPECT_GE(stats.mean_batch, 1.0);
+    EXPECT_LE(stats.mean_batch, cfg.max_batch);
+}
+
+TEST(BatchedServing, BatchingRescuesOverload)
+{
+    // Arrivals at 100 Hz against a 50 Hz batch-1 server: unbatched the
+    // queue grows without bound; with sub-linear batch costs an
+    // 8-batch sustains ~150 Hz and latency stays bounded.
+    BatchedConfig cfg;
+    cfg.base.arrival_rate_hz = 100.0;
+    cfg.base.num_requests = 2000;
+    cfg.base.seed = 11;
+    cfg.linger_s = 0.0;
+
+    cfg.max_batch = 1;
+    const auto unbatched = simulateServingBatched(
+        cfg, [](int, int batch, int) {
+            return std::pair{224, batchCost(0.02, batch)};
+        });
+    cfg.max_batch = 8;
+    const auto batched = simulateServingBatched(
+        cfg, [](int, int batch, int) {
+            return std::pair{224, batchCost(0.02, batch)};
+        });
+
+    const ServingStats u = ServingStats::fromRequests(unbatched);
+    const ServingStats b = ServingStats::fromRequests(batched);
+    EXPECT_GT(b.mean_batch, 2.0);
+    EXPECT_LT(b.mean_latency_s, u.mean_latency_s / 10)
+        << "batched " << b.mean_latency_s << "s vs unbatched "
+        << u.mean_latency_s << "s";
+    // The overloaded single server must show runaway queueing.
+    EXPECT_GT(u.mean_queueing_s, 1.0);
+    EXPECT_LT(b.p99_latency_s, 1.0);
+}
+
+TEST(BatchedServing, LingerIsPureLatencyWhenIdle)
+{
+    // At 2 Hz against a 20 ms service, batches never form; lingering
+    // only delays every request by the window.
+    BatchedConfig cfg;
+    cfg.base.arrival_rate_hz = 2.0;
+    cfg.base.num_requests = 400;
+    cfg.base.seed = 13;
+    cfg.max_batch = 8;
+
+    cfg.linger_s = 0.0;
+    const auto eager = simulateServingBatched(
+        cfg, [](int, int batch, int) {
+            return std::pair{224, batchCost(0.02, batch)};
+        });
+    cfg.linger_s = 0.05;
+    const auto lingering = simulateServingBatched(
+        cfg, [](int, int batch, int) {
+            return std::pair{224, batchCost(0.02, batch)};
+        });
+
+    const ServingStats e = ServingStats::fromRequests(eager);
+    const ServingStats l = ServingStats::fromRequests(lingering);
+    EXPECT_LT(e.mean_batch, 1.2);
+    EXPECT_NEAR(l.mean_latency_s - e.mean_latency_s, 0.05, 0.015);
+}
+
+TEST(BatchedServing, FullBatchLaunchesBeforeWindowCloses)
+{
+    // A huge linger with a burst of arrivals: batches must launch as
+    // soon as they fill, not wait out the window.
+    BatchedConfig cfg;
+    cfg.base.arrival_rate_hz = 1000.0;
+    cfg.base.num_requests = 64;
+    cfg.base.seed = 17;
+    cfg.max_batch = 4;
+    cfg.linger_s = 10.0;
+    const auto reqs = simulateServingBatched(
+        cfg, [](int, int batch, int) {
+            return std::pair{224, batchCost(0.001, batch)};
+        });
+    for (const auto &r : reqs) {
+        EXPECT_EQ(r.batch, 4);
+        EXPECT_LT(r.latency(), 1.0)
+            << "request waited out the linger window despite a full "
+               "batch";
+    }
+}
+
+/** Parameter sweep: invariants across (max_batch, linger, load). */
+struct BatchedCase
+{
+    int max_batch;
+    double linger_s;
+    double rate_hz;
+};
+
+class BatchedSweep : public ::testing::TestWithParam<BatchedCase>
+{};
+
+TEST_P(BatchedSweep, StatsSane)
+{
+    const BatchedCase c = GetParam();
+    BatchedConfig cfg;
+    cfg.base.arrival_rate_hz = c.rate_hz;
+    cfg.base.num_requests = 600;
+    cfg.base.seed = 23;
+    cfg.max_batch = c.max_batch;
+    cfg.linger_s = c.linger_s;
+    const auto reqs = simulateServingBatched(
+        cfg, [](int, int batch, int) {
+            return std::pair{168, batchCost(0.015, batch)};
+        });
+    const ServingStats stats = ServingStats::fromRequests(reqs);
+    EXPECT_GT(stats.mean_latency_s, 0.0);
+    EXPECT_GE(stats.p99_latency_s, stats.mean_latency_s * 0.5);
+    EXPECT_GE(stats.mean_batch, 1.0);
+    EXPECT_LE(stats.mean_batch, c.max_batch);
+    EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BatchedSweep,
+    ::testing::Values(BatchedCase{1, 0.0, 30.0},
+                      BatchedCase{2, 0.0, 60.0},
+                      BatchedCase{4, 0.005, 90.0},
+                      BatchedCase{8, 0.01, 120.0},
+                      BatchedCase{8, 0.0, 200.0},
+                      BatchedCase{16, 0.02, 400.0}),
+    [](const ::testing::TestParamInfo<BatchedCase> &info) {
+        const BatchedCase &c = info.param;
+        return "b" + std::to_string(c.max_batch) + "_l" +
+               std::to_string(static_cast<int>(c.linger_s * 1000)) +
+               "ms_r" + std::to_string(static_cast<int>(c.rate_hz));
+    });
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the two-stage pipelined serving simulation (Section
+ * VII-c): pipeline semantics (stage ordering, FIFO), overhead hiding
+ * relative to the sequential single-server model, and the cloud cost
+ * model's accounting identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/serving.hh"
+#include "storage/cost.hh"
+
+namespace tamres {
+namespace {
+
+StagedPolicy
+constantStaged(double scale_s, double backbone_s, int res = 224)
+{
+    return [=](int, int) {
+        return StagedService{res, scale_s, backbone_s};
+    };
+}
+
+TEST(PipelinedServing, RequestInvariantsHold)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate_hz = 20.0;
+    cfg.num_requests = 500;
+    const auto reqs =
+        simulateServingPipelined(cfg, constantStaged(0.01, 0.03));
+    ASSERT_EQ(reqs.size(), 500u);
+    double prev_arrival = -1.0, prev_finish = -1.0;
+    for (const auto &r : reqs) {
+        EXPECT_GE(r.start_s, r.arrival_s);
+        // Latency is at least the sum of both stages.
+        EXPECT_GE(r.finish_s - r.start_s, 0.04 - 1e-12);
+        // Arrivals and (FIFO) finishes are monotone.
+        EXPECT_GT(r.arrival_s, prev_arrival);
+        EXPECT_GT(r.finish_s, prev_finish);
+        prev_arrival = r.arrival_s;
+        prev_finish = r.finish_s;
+    }
+}
+
+TEST(PipelinedServing, SaturatedThroughputSetByMaxStage)
+{
+    // Overload the pipeline: service completions must pace at
+    // max(scale_s, backbone_s), not the sum — the scale model is
+    // hidden behind the backbone.
+    ServingConfig cfg;
+    cfg.arrival_rate_hz = 1000.0; // far beyond capacity
+    cfg.num_requests = 400;
+    const double scale_s = 0.010, backbone_s = 0.030;
+    const auto reqs =
+        simulateServingPipelined(cfg, constantStaged(scale_s,
+                                                     backbone_s));
+    // Steady-state inter-finish gap (skip warmup).
+    const double gap =
+        (reqs.back().finish_s - reqs[100].finish_s) /
+        static_cast<double>(reqs.size() - 101);
+    EXPECT_NEAR(gap, backbone_s, 1e-3);
+}
+
+TEST(PipelinedServing, HidesScaleOverheadVsSequential)
+{
+    // The Section VII-c claim: pipelining the scale model with the
+    // backbone removes its latency cost under load. At an arrival
+    // rate between 1/(s+b) and 1/b, the sequential server diverges
+    // while the pipeline stays stable.
+    const double scale_s = 0.010, backbone_s = 0.030;
+    ServingConfig cfg;
+    cfg.arrival_rate_hz = 28.0; // 1/0.04 = 25 < 28 < 1/0.03 = 33.3
+    cfg.num_requests = 3000;
+
+    const auto seq = simulateServing(cfg, [&](int, int) {
+        return std::make_pair(224, scale_s + backbone_s);
+    });
+    const auto pipe =
+        simulateServingPipelined(cfg, constantStaged(scale_s,
+                                                     backbone_s));
+    const auto s_seq = ServingStats::fromRequests(seq);
+    const auto s_pipe = ServingStats::fromRequests(pipe);
+    // Sequential is past saturation: queueing grows with the run.
+    EXPECT_GT(s_seq.p99_latency_s, 10 * s_pipe.p99_latency_s);
+    EXPECT_LT(s_pipe.mean_latency_s, 0.5);
+}
+
+TEST(PipelinedServing, ZeroScaleStageMatchesSequentialServer)
+{
+    // With no stage-1 time the pipeline degenerates to the M/D/1
+    // model; both simulators must agree request by request.
+    ServingConfig cfg;
+    cfg.arrival_rate_hz = 15.0;
+    cfg.num_requests = 800;
+    const double svc = 0.04;
+    const auto seq = simulateServing(
+        cfg, [&](int, int) { return std::make_pair(112, svc); });
+    const auto pipe =
+        simulateServingPipelined(cfg, constantStaged(0.0, svc, 112));
+    ASSERT_EQ(seq.size(), pipe.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_NEAR(seq[i].arrival_s, pipe[i].arrival_s, 1e-12);
+        EXPECT_NEAR(seq[i].finish_s, pipe[i].finish_s, 1e-9);
+    }
+}
+
+TEST(PipelinedServing, QueueAwarePolicySeesDepth)
+{
+    ServingConfig cfg;
+    cfg.arrival_rate_hz = 100.0;
+    cfg.num_requests = 300;
+    int max_depth = 0;
+    simulateServingPipelined(cfg, [&](int, int depth) {
+        max_depth = std::max(max_depth, depth);
+        return StagedService{224, 0.005, 0.02};
+    });
+    // Overloaded: the policy must observe deep queues.
+    EXPECT_GT(max_depth, 10);
+}
+
+// --- Cloud cost model ---
+
+TEST(CloudCost, FullReadBillMatchesHandComputation)
+{
+    Workload w;
+    w.corpus_images = 1000;
+    w.mean_image_bytes = 1024.0 * 1024.0; // 1 MiB
+    w.reads_per_month = 10000;
+    w.mean_read_fraction = 1.0;
+    CloudPricing p;
+    p.storage_gb_month = 0.02;
+    p.egress_gb = 0.10;
+    p.request_per_10k = 0.004;
+
+    const MonthlyCost c = monthlyCost(w, p);
+    // 1000 MiB at rest = 1000/1024 GiB.
+    EXPECT_NEAR(c.storage_usd, 1000.0 / 1024.0 * 0.02, 1e-9);
+    // 10000 MiB egressed.
+    EXPECT_NEAR(c.egress_usd, 10000.0 / 1024.0 * 0.10, 1e-9);
+    EXPECT_NEAR(c.request_usd, 0.004, 1e-12);
+    EXPECT_NEAR(c.total(),
+                c.storage_usd + c.egress_usd + c.request_usd, 1e-12);
+}
+
+TEST(CloudCost, ReadSavingsCutEgressLinearly)
+{
+    Workload w;
+    const MonthlyCost full = monthlyCost(w);
+    w.mean_read_fraction = 0.7; // the paper's ~30% savings
+    const MonthlyCost calibrated = monthlyCost(w);
+    EXPECT_NEAR(calibrated.egress_usd, 0.7 * full.egress_usd, 1e-6);
+    // Storage at rest is unchanged (no pre-cropped copies, Table III
+    // note).
+    EXPECT_NEAR(calibrated.storage_usd, full.storage_usd, 1e-9);
+    EXPECT_LT(calibrated.total(), full.total());
+}
+
+TEST(CloudCost, IncrementalFetchesChargeRequests)
+{
+    Workload w;
+    w.extra_requests_per_read = 0.4; // 40% of reads fetch twice
+    const MonthlyCost c = monthlyCost(w);
+    Workload base = w;
+    base.extra_requests_per_read = 0.0;
+    EXPECT_NEAR(c.request_usd, 1.4 * monthlyCost(base).request_usd,
+                1e-9);
+}
+
+TEST(CloudCostDeath, RejectsBadFraction)
+{
+    Workload w;
+    w.mean_read_fraction = 1.5;
+    EXPECT_DEATH(monthlyCost(w), "fraction");
+}
+
+} // namespace
+} // namespace tamres

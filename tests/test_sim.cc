@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the dataset simulator and the calibrated backbone accuracy
+ * model — including the qualitative invariants the paper establishes
+ * (train-test resolution discrepancy, crop/scale coupling, SSIM knees)
+ * and quantitative anchors from Table I.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/accuracy_model.hh"
+#include "sim/dataset.hh"
+
+namespace tamres {
+namespace {
+
+double
+accuracyAt(const SyntheticDataset &ds, const BackboneAccuracyModel &m,
+           double crop, int res, double q = 1.0, int n = 4000)
+{
+    int correct = 0;
+    for (int i = 0; i < n; ++i)
+        correct += m.correct(ds.record(i), crop, res, q);
+    return static_cast<double>(correct) / n;
+}
+
+class SimFixture : public ::testing::Test
+{
+  protected:
+    SimFixture()
+        : imagenet(imagenetLike(), 4000, 42),
+          cars(carsLike(), 4000, 42),
+          rn18_in(BackboneArch::ResNet18, imagenet.spec(), 1),
+          rn50_in(BackboneArch::ResNet50, imagenet.spec(), 1),
+          rn18_cars(BackboneArch::ResNet18, cars.spec(), 1),
+          rn50_cars(BackboneArch::ResNet50, cars.spec(), 1)
+    {}
+
+    SyntheticDataset imagenet, cars;
+    BackboneAccuracyModel rn18_in, rn50_in, rn18_cars, rn50_cars;
+};
+
+TEST(Dataset, DeterministicRecords)
+{
+    SyntheticDataset a(imagenetLike(), 50, 7);
+    SyntheticDataset b(imagenetLike(), 50, 7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(a.record(i).id, b.record(i).id);
+        EXPECT_EQ(a.record(i).label, b.record(i).label);
+        EXPECT_EQ(a.record(i).object_scale, b.record(i).object_scale);
+    }
+}
+
+TEST(Dataset, SpecsDiffer)
+{
+    const DatasetSpec in = imagenetLike();
+    const DatasetSpec cars = carsLike();
+    // Cars images are larger and objects fill more of the frame
+    // (paper Section V).
+    EXPECT_GT(cars.mean_width, in.mean_width);
+    EXPECT_GT(cars.object_scale_mean, in.object_scale_mean);
+}
+
+TEST(Dataset, MeanDimensionsApproximateSpec)
+{
+    SyntheticDataset ds(imagenetLike(), 3000, 11);
+    double h = 0.0, w = 0.0;
+    for (int i = 0; i < ds.size(); ++i) {
+        h += ds.record(i).height;
+        w += ds.record(i).width;
+    }
+    // Lognormal jitter biases the mean up slightly; generous bounds.
+    EXPECT_NEAR(h / ds.size(), 405, 40);
+    EXPECT_NEAR(w / ds.size(), 472, 45);
+}
+
+TEST(Dataset, RenderMatchesRecordGeometry)
+{
+    SyntheticDataset ds(carsLike(), 3, 5);
+    const Image img = ds.render(1);
+    EXPECT_EQ(img.height(), ds.record(1).height);
+    EXPECT_EQ(img.width(), ds.record(1).width);
+}
+
+TEST(Dataset, RenderAtClampsLongSide)
+{
+    SyntheticDataset ds(carsLike(), 3, 5);
+    const Image img = ds.renderAt(0, 128);
+    EXPECT_LE(std::max(img.height(), img.width()), 128);
+    // Aspect preserved within rounding.
+    const double ar_full = static_cast<double>(ds.record(0).width) /
+                           ds.record(0).height;
+    const double ar_small =
+        static_cast<double>(img.width()) / img.height();
+    EXPECT_NEAR(ar_full, ar_small, 0.05);
+}
+
+TEST(Dataset, ShardRangePartitions)
+{
+    const int size = 103;
+    const int k = 4;
+    int covered = 0;
+    int prev_end = 0;
+    for (int s = 0; s < k; ++s) {
+        const auto [b, e] = shardRange(size, k, s);
+        EXPECT_EQ(b, prev_end);
+        EXPECT_GT(e, b);
+        covered += e - b;
+        prev_end = e;
+    }
+    EXPECT_EQ(covered, size);
+}
+
+TEST(Dataset, IngestStoresAllImages)
+{
+    SyntheticDataset ds(imagenetLike(), 4, 3);
+    ObjectStore store;
+    ds.ingest(store, 0, 4);
+    EXPECT_EQ(store.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(store.contains(ds.record(i).id));
+}
+
+TEST_F(SimFixture, TrainTestResolutionDiscrepancy)
+{
+    // Paper Table I: at a 75% crop, accuracy peaks near 280, NOT at
+    // the highest resolution.
+    const double a224 = accuracyAt(imagenet, rn18_in, 0.75, 224);
+    const double a280 = accuracyAt(imagenet, rn18_in, 0.75, 280);
+    const double a448 = accuracyAt(imagenet, rn18_in, 0.75, 448);
+    EXPECT_GT(a280, a224 - 0.005);
+    EXPECT_GT(a280, a448 + 0.01);
+}
+
+TEST_F(SimFixture, TableIAnchorsWithinTolerance)
+{
+    // Paper Table I (ResNet-18, ImageNet, 75% crop).
+    const std::vector<std::pair<int, double>> anchors = {
+        {112, 0.478}, {168, 0.627}, {224, 0.695}, {280, 0.707},
+        {336, 0.701}, {392, 0.694}, {448, 0.689},
+    };
+    for (const auto &[res, paper] : anchors) {
+        const double ours = accuracyAt(imagenet, rn18_in, 0.75, res);
+        EXPECT_NEAR(ours, paper, 0.04)
+            << "resolution " << res << ": paper " << paper << " ours "
+            << ours;
+    }
+}
+
+TEST_F(SimFixture, ResNet50StrongerThanResNet18)
+{
+    for (int res : {112, 224, 336}) {
+        EXPECT_GT(accuracyAt(imagenet, rn50_in, 0.75, res),
+                  accuracyAt(imagenet, rn18_in, 0.75, res));
+        EXPECT_GT(accuracyAt(cars, rn50_cars, 0.75, res),
+                  accuracyAt(cars, rn18_cars, 0.75, res));
+    }
+}
+
+TEST_F(SimFixture, SmallCropsFavorLowResolutions)
+{
+    // Paper Figures 8/9: at a 25% center crop the low resolutions win;
+    // at 100% the high resolutions win.
+    EXPECT_GT(accuracyAt(imagenet, rn18_in, 0.25, 168),
+              accuracyAt(imagenet, rn18_in, 0.25, 448));
+    EXPECT_GT(accuracyAt(imagenet, rn18_in, 1.0, 336),
+              accuracyAt(imagenet, rn18_in, 1.0, 112));
+}
+
+TEST_F(SimFixture, CarsCollapsesHarderAtLowResolution)
+{
+    // Paper: Cars@112 (75% crop) drops to ~36% while ImageNet keeps
+    // ~48% — fine-grained classes need detail.
+    const double cars112 = accuracyAt(cars, rn18_cars, 0.75, 112);
+    const double in112 = accuracyAt(imagenet, rn18_in, 0.75, 112);
+    EXPECT_LT(cars112, in112 - 0.05);
+}
+
+TEST_F(SimFixture, Cars25CropInversion)
+{
+    // Paper Section VII-b: for Cars at a 25% crop, accuracy at 448 is
+    // LOWER than at 112 — the hallmark scale-mismatch inversion.
+    EXPECT_LT(accuracyAt(cars, rn18_cars, 0.25, 448),
+              accuracyAt(cars, rn18_cars, 0.25, 112) + 0.02);
+}
+
+TEST_F(SimFixture, QualityOnlyHurtsBelowKnee)
+{
+    // SSIM slightly below 1.0 must cost nothing (the basis for the
+    // 20-30% read savings).
+    const double full = accuracyAt(imagenet, rn18_in, 0.75, 224, 1.0);
+    const double near = accuracyAt(imagenet, rn18_in, 0.75, 224, 0.995);
+    EXPECT_NEAR(full, near, 0.004);
+    // Far below the knee it must hurt.
+    const double bad = accuracyAt(imagenet, rn18_in, 0.75, 224, 0.90);
+    EXPECT_LT(bad, full - 0.01);
+}
+
+TEST_F(SimFixture, HigherResolutionToleratesLowerSsim)
+{
+    // Section V observation encoded as a decreasing knee.
+    const AccuracyParams p =
+        accuracyParams(BackboneArch::ResNet18, imagenetLike());
+    const double knee112 = p.q_knee0;
+    const double knee448 =
+        p.q_knee0 - p.q_knee_slope * std::log(448.0 / 112.0);
+    EXPECT_GT(knee112, knee448);
+
+    // Behavioral check: the same sub-knee SSIM costs more accuracy at
+    // 112 than at 448.
+    const double loss112 =
+        accuracyAt(imagenet, rn18_in, 0.75, 112, 1.0) -
+        accuracyAt(imagenet, rn18_in, 0.75, 112, 0.97);
+    const double loss448 =
+        accuracyAt(imagenet, rn18_in, 0.75, 448, 1.0) -
+        accuracyAt(imagenet, rn18_in, 0.75, 448, 0.97);
+    EXPECT_GT(loss112, loss448);
+}
+
+TEST_F(SimFixture, CorrectnessMonotoneInMargin)
+{
+    // For any image, improving quality can never flip a correct
+    // prediction to incorrect (deterministic threshold draw).
+    int flips = 0;
+    for (int i = 0; i < 500; ++i) {
+        const ImageRecord &rec = imagenet.record(i);
+        const bool low = rn18_in.correct(rec, 0.75, 224, 0.95);
+        const bool high = rn18_in.correct(rec, 0.75, 224, 1.0);
+        flips += low && !high;
+    }
+    EXPECT_EQ(flips, 0);
+}
+
+TEST_F(SimFixture, PCorrectConsistentWithDraws)
+{
+    // Empirical accuracy should track the mean predicted probability
+    // (frozen per-image difficulty draws need a large sample).
+    SyntheticDataset big(imagenetLike(), 30000, 4242);
+    double p_sum = 0.0;
+    int correct = 0;
+    for (int i = 0; i < big.size(); ++i) {
+        const ImageRecord &rec = big.record(i);
+        p_sum += rn18_in.pCorrect(rec, 0.75, 280);
+        correct += rn18_in.correct(rec, 0.75, 280);
+    }
+    EXPECT_NEAR(p_sum / big.size(),
+                static_cast<double>(correct) / big.size(), 0.012);
+}
+
+TEST_F(SimFixture, SeedsProduceDistinctModels)
+{
+    BackboneAccuracyModel seed2(BackboneArch::ResNet18, imagenet.spec(),
+                                2);
+    int disagreements = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const ImageRecord &rec = imagenet.record(i);
+        disagreements += rn18_in.correct(rec, 0.75, 224) !=
+                         seed2.correct(rec, 0.75, 224);
+    }
+    EXPECT_GT(disagreements, 20);   // different training runs
+    EXPECT_LT(disagreements, 1000); // but highly correlated
+}
+
+TEST(AccuracyModelDeath, InvalidCrop)
+{
+    SyntheticDataset ds(imagenetLike(), 2, 1);
+    BackboneAccuracyModel m(BackboneArch::ResNet18, ds.spec(), 1);
+    EXPECT_DEATH(m.correct(ds.record(0), 0.0, 224), "crop area");
+    EXPECT_DEATH(m.correct(ds.record(0), 1.5, 224), "crop area");
+}
+
+TEST(ArchName, Strings)
+{
+    EXPECT_EQ(archName(BackboneArch::ResNet18), "ResNet-18");
+    EXPECT_EQ(archName(BackboneArch::ResNet50), "ResNet-50");
+}
+
+/** Parameterized: the scale-mismatch peak exists for every config. */
+class PeakSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(PeakSweep, InteriorPeakAt75Crop)
+{
+    const auto [arch_i, dataset_i] = GetParam();
+    const DatasetSpec spec =
+        dataset_i == 0 ? imagenetLike() : carsLike();
+    SyntheticDataset ds(spec, 4000, 42);
+    BackboneAccuracyModel m(static_cast<BackboneArch>(arch_i), spec, 1);
+    std::vector<double> acc;
+    for (int r : {112, 168, 224, 280, 336, 392, 448})
+        acc.push_back(accuracyAt(ds, m, 0.75, r));
+    const auto best = std::max_element(acc.begin(), acc.end());
+    const size_t idx = best - acc.begin();
+    EXPECT_GE(idx, 2u) << "peak too early";
+    EXPECT_LE(idx, 5u) << "peak should not sit at 448";
+}
+
+INSTANTIATE_TEST_SUITE_P(ArchByDataset, PeakSweep,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(0, 1)));
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the storage module: byte accounting, incremental
+ * reads, bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "image/synthetic.hh"
+#include "storage/object_store.hh"
+
+namespace tamres {
+namespace {
+
+EncodedImage
+encodeTest(uint64_t seed)
+{
+    return encodeProgressive(generateSyntheticImage(
+        {.height = 40, .width = 40, .class_id = 1, .seed = seed}));
+}
+
+TEST(ObjectStore, PutAndContains)
+{
+    ObjectStore store;
+    EXPECT_FALSE(store.contains(7));
+    store.put(7, encodeTest(1));
+    EXPECT_TRUE(store.contains(7));
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ObjectStore, StoredBytesSum)
+{
+    ObjectStore store;
+    const EncodedImage a = encodeTest(1);
+    const EncodedImage b = encodeTest(2);
+    store.put(1, a);
+    store.put(2, b);
+    EXPECT_EQ(store.storedBytes(), a.totalBytes() + b.totalBytes());
+}
+
+TEST(ObjectStore, ReadChargesPrefixBytes)
+{
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(3);
+    store.put(1, enc);
+    store.readScans(1, 2);
+    EXPECT_EQ(store.stats().requests, 1u);
+    EXPECT_EQ(store.stats().bytes_read, enc.bytesForScans(2));
+    EXPECT_EQ(store.stats().bytes_full, enc.totalBytes());
+}
+
+TEST(ObjectStore, IncrementalReadChargesOnlyDelta)
+{
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(4);
+    store.put(1, enc);
+    store.readScans(1, 2);
+    store.readAdditionalScans(1, 2, 4);
+    EXPECT_EQ(store.stats().bytes_read, enc.bytesForScans(4));
+    // The full-read denominator counted once per logical request.
+    EXPECT_EQ(store.stats().bytes_full, enc.totalBytes());
+}
+
+TEST(ObjectStore, SavingsComputed)
+{
+    ObjectStore store;
+    store.put(1, encodeTest(5));
+    store.readScans(1, 1);
+    const ReadStats &s = store.stats();
+    EXPECT_GT(s.savings(), 0.0);
+    EXPECT_LT(s.savings(), 1.0);
+    EXPECT_NEAR(s.relativeReadSize() + s.savings(), 1.0, 1e-12);
+}
+
+TEST(ObjectStore, ResetStatsKeepsObjects)
+{
+    ObjectStore store;
+    store.put(1, encodeTest(6));
+    store.readScans(1, 1);
+    store.resetStats();
+    EXPECT_EQ(store.stats().requests, 0u);
+    EXPECT_TRUE(store.contains(1));
+}
+
+TEST(ObjectStore, DecodedPreviewMatchesDirectDecode)
+{
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(7);
+    store.put(9, enc);
+    const Image via_store = store.readScans(9, 3);
+    const Image direct = decodeProgressive(enc, 3);
+    ASSERT_EQ(via_store.numel(), direct.numel());
+    for (size_t i = 0; i < direct.numel(); ++i)
+        EXPECT_EQ(via_store.data()[i], direct.data()[i]);
+}
+
+TEST(ObjectStoreDeath, MissingObject)
+{
+    ObjectStore store;
+    EXPECT_DEATH(store.readScans(404, 1), "not in store");
+}
+
+TEST(ObjectStoreDeath, BadIncrementalRange)
+{
+    ObjectStore store;
+    store.put(1, encodeTest(8));
+    EXPECT_DEATH(store.readAdditionalScans(1, 3, 2), "scan range");
+}
+
+TEST(ReadStats, MergeAccumulates)
+{
+    ReadStats a{.requests = 1, .bytes_read = 10, .bytes_full = 20};
+    ReadStats b{.requests = 2, .bytes_read = 5, .bytes_full = 30};
+    a.merge(b);
+    EXPECT_EQ(a.requests, 3u);
+    EXPECT_EQ(a.bytes_read, 15u);
+    EXPECT_EQ(a.bytes_full, 50u);
+}
+
+TEST(ReadStats, EmptyIsNeutral)
+{
+    ReadStats s;
+    EXPECT_DOUBLE_EQ(s.relativeReadSize(), 1.0);
+    EXPECT_DOUBLE_EQ(s.savings(), 0.0);
+}
+
+TEST(BandwidthModel, TransferTimeScalesWithBytes)
+{
+    BandwidthModel bw;
+    EXPECT_GT(bw.transferSeconds(2'000'000),
+              bw.transferSeconds(1'000'000));
+    // Request latency dominates tiny transfers.
+    EXPECT_NEAR(bw.transferSeconds(0, 1), bw.request_latency_s, 1e-12);
+}
+
+TEST(BandwidthModel, CostProportional)
+{
+    BandwidthModel bw{.dollars_per_gb = 0.05};
+    EXPECT_NEAR(bw.transferCost(2e9), 0.10, 1e-9);
+}
+
+} // namespace
+} // namespace tamres

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the autotuner: measurement sanity, cache persistence, and
+ * the never-regress-below-seeds property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/builders.hh"
+#include "nn/kernel_selector.hh"
+#include "tuning/tuner.hh"
+
+namespace tamres {
+namespace {
+
+ConvProblem
+smallProblem()
+{
+    return {.n = 1, .ic = 16, .ih = 28, .iw = 28, .oc = 16, .kh = 3,
+            .kw = 3, .stride = 1, .pad = 1};
+}
+
+TEST(Measure, PositiveTimeAndThroughput)
+{
+    const ConvProblem p = smallProblem();
+    const MeasureResult r =
+        measureConv(p, KernelSelector::defaultConfig(p), 2);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.gflops(p), 0.0);
+}
+
+TEST(Measure, ReferenceSlowerThanBlocked)
+{
+    // On any sane host the reference loop nest cannot beat the blocked
+    // GEMM on a compute-heavy shape.
+    const ConvProblem p{.n = 1, .ic = 64, .ih = 28, .iw = 28, .oc = 64,
+                        .kh = 3, .kw = 3, .stride = 1, .pad = 1};
+    const MeasureResult ref =
+        measureConv(p, {.algo = ConvAlgo::Reference}, 2);
+    const MeasureResult gemm =
+        measureConv(p, KernelSelector::defaultConfig(p), 2);
+    EXPECT_LT(gemm.seconds, ref.seconds);
+}
+
+TEST(Tuner, BestAtLeastAsGoodAsSeeds)
+{
+    const ConvProblem p = smallProblem();
+    AutoTuner tuner;
+    TuneOptions opts;
+    opts.trials = 6;
+    opts.reps = 2;
+    opts.time_budget_s = 5.0;
+    const MeasureResult best = tuner.tune(p, opts);
+
+    const MeasureResult lib =
+        measureConv(p, KernelSelector::libraryConfig(p), 2);
+    // Allow 25% measurement noise on a shared host.
+    EXPECT_LT(best.seconds, lib.seconds * 1.25);
+}
+
+TEST(Tuner, EnumeratesResNetConvProblems)
+{
+    auto g = buildResNet18();
+    const auto problems =
+        AutoTuner::convProblems(*g, {1, 3, 224, 224});
+    // 20 convs, but repeated blocks share shapes: expect 12 unique.
+    EXPECT_GE(problems.size(), 10u);
+    EXPECT_LE(problems.size(), 20u);
+    for (const auto &p : problems) {
+        EXPECT_GT(p.macs(), 0);
+        EXPECT_EQ(p.n, 1);
+    }
+}
+
+TEST(Tuner, ProblemsChangeWithResolution)
+{
+    auto g = buildResNet18();
+    const auto at224 = AutoTuner::convProblems(*g, {1, 3, 224, 224});
+    const auto at112 = AutoTuner::convProblems(*g, {1, 3, 112, 112});
+    ASSERT_EQ(at224.size(), at112.size());
+    EXPECT_NE(at224[0].key(), at112[0].key());
+}
+
+TEST(ConfigCache, RoundTripThroughFile)
+{
+    const std::string path = "/tmp/tamres_test_cache.txt";
+    std::remove(path.c_str());
+    const ConvProblem p = smallProblem();
+    const ConvConfig cfg{.algo = ConvAlgo::Direct, .oc_tile = 2,
+                         .ow_tile = 14};
+    {
+        ConfigCache cache(path);
+        EXPECT_EQ(cache.size(), 0u);
+        cache.store(p, cfg, 12.5);
+    }
+    {
+        ConfigCache cache(path);
+        EXPECT_EQ(cache.size(), 1u);
+        ConvConfig got;
+        double gf = 0.0;
+        ASSERT_TRUE(cache.lookup(p, got, &gf));
+        EXPECT_EQ(got, cfg);
+        EXPECT_NEAR(gf, 12.5, 1e-6);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ConfigCache, MissingLookupFails)
+{
+    ConfigCache cache;
+    ConvConfig cfg;
+    EXPECT_FALSE(cache.lookup(smallProblem(), cfg, nullptr));
+}
+
+TEST(ConfigCache, TunerUsesCache)
+{
+    const std::string path = "/tmp/tamres_test_cache2.txt";
+    std::remove(path.c_str());
+    ConfigCache cache(path);
+    const ConvProblem p = smallProblem();
+    const ConvConfig pinned{.algo = ConvAlgo::Direct, .oc_tile = 4,
+                            .ow_tile = 7};
+    cache.store(p, pinned, 99.0);
+
+    AutoTuner tuner(&cache);
+    TuneOptions opts;
+    opts.trials = 2;
+    // Cache hit: returns the pinned config without re-measuring.
+    const MeasureResult r = tuner.tune(p, opts);
+    EXPECT_EQ(r.config, pinned);
+    std::remove(path.c_str());
+}
+
+TEST(Tuner, TuneNetworkRegistersConfigs)
+{
+    KernelSelector &sel = KernelSelector::instance();
+    sel.clearTuned();
+    auto g = buildTinyCnn(4, 8);
+    AutoTuner tuner;
+    TuneOptions opts;
+    opts.trials = 3;
+    opts.reps = 1;
+    opts.time_budget_s = 2.0;
+    tuner.tuneNetwork(*g, {1, 3, 32, 32}, opts);
+    EXPECT_EQ(sel.tunedCount(),
+              AutoTuner::convProblems(*g, {1, 3, 32, 32}).size());
+    sel.clearTuned();
+}
+
+} // namespace
+} // namespace tamres

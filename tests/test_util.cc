@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the util module: Rng, Timer, TablePrinter, ThreadPool,
+ * env helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+
+#include "util/env.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "util/timer.hh"
+
+namespace tamres {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(static_cast<int64_t>(-2), 5);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 8u); // all values hit
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, LogisticSymmetric)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.logistic();
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(Timer, MeasuresElapsed)
+{
+    Timer t;
+    volatile double x = 0.0;
+    for (int i = 0; i < 2000000; ++i)
+        x += i;
+    EXPECT_GT(t.seconds(), 0.0);
+    EXPECT_GE(t.millis(), t.seconds() * 1e3); // monotone between calls
+}
+
+TEST(Timer, MedianRunSeconds)
+{
+    int calls = 0;
+    const double m = medianRunSeconds([&] { ++calls; }, 3);
+    EXPECT_EQ(calls, 4); // 1 warmup + 3 timed
+    EXPECT_GE(m, 0.0);
+}
+
+TEST(TablePrinter, RendersHeaderAndRows)
+{
+    TablePrinter t("demo");
+    t.setHeader({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t("demo");
+    t.setHeader({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "x,y\n1,2\n");
+}
+
+TEST(TablePrinter, NumFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(ThreadPool, SerialFallback)
+{
+    ThreadPool pool(1);
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(100, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            ++hits[i];
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SmallRangeFewerThanThreads)
+{
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    pool.parallelFor(3, [&](int64_t b, int64_t e) {
+        count += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, [&](int64_t, int64_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 10; ++round) {
+        std::atomic<int64_t> sum{0};
+        pool.parallelFor(50, [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i)
+                sum += 1;
+        });
+        EXPECT_EQ(sum.load(), 50);
+    }
+}
+
+TEST(Env, IntDefaultAndParse)
+{
+    unsetenv("TAMRES_TEST_INT");
+    EXPECT_EQ(envInt("TAMRES_TEST_INT", 5), 5);
+    setenv("TAMRES_TEST_INT", "42", 1);
+    EXPECT_EQ(envInt("TAMRES_TEST_INT", 5), 42);
+    unsetenv("TAMRES_TEST_INT");
+}
+
+TEST(Env, DoubleAndString)
+{
+    setenv("TAMRES_TEST_D", "2.5", 1);
+    EXPECT_DOUBLE_EQ(envDouble("TAMRES_TEST_D", 1.0), 2.5);
+    unsetenv("TAMRES_TEST_D");
+    EXPECT_DOUBLE_EQ(envDouble("TAMRES_TEST_D", 1.0), 1.0);
+    EXPECT_EQ(envString("TAMRES_TEST_S", "dflt"), "dflt");
+}
+
+} // namespace
+} // namespace tamres
