@@ -10,9 +10,12 @@
 
 #include <vector>
 
+#include "codec/progressive.hh"
+#include "image/synthetic.hh"
 #include "nn/conv_kernels.hh"
 #include "nn/kernel_selector.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace tamres {
 namespace {
@@ -107,12 +110,86 @@ BM_ConvDepthwise_Direct(benchmark::State &state)
                        .ow_tile = 14});
 }
 
+// --- Threaded variants (threads = process default) ---
+
+void
+BM_Conv224_Im2colThreaded(benchmark::State &state)
+{
+    ConvConfig cfg = KernelSelector::libraryConfig(kShape224);
+    cfg.threads = ThreadPool::defaultParallelism();
+    runConv(state, kShape224, cfg);
+}
+
+void
+BM_Conv224_WinogradSerial(benchmark::State &state)
+{
+    runConv(state, kShape224,
+            ConvConfig{.algo = ConvAlgo::Winograd, .threads = 1});
+}
+
+void
+BM_Conv224_WinogradThreaded(benchmark::State &state)
+{
+    runConv(state, kShape224,
+            ConvConfig{.algo = ConvAlgo::Winograd,
+                       .threads = ThreadPool::defaultParallelism()});
+}
+
+void
+BM_ConvDepthwise_Threaded(benchmark::State &state)
+{
+    runConv(state, kShapeDw,
+            ConvConfig{.algo = ConvAlgo::Depthwise, .ow_tile = 14,
+                       .threads = ThreadPool::defaultParallelism()});
+}
+
+// --- Codec hot path (AAN DCT + batched entropy layer) ---
+
+void
+BM_CodecEncode(benchmark::State &state)
+{
+    const Image img = generateSyntheticImage(
+        {.height = 256, .width = 256, .class_id = 1, .seed = 7});
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    for (auto _ : state) {
+        const EncodedImage enc = encodeProgressive(img, cfg);
+        benchmark::DoNotOptimize(enc.bytes.data());
+    }
+    state.counters["MpixPerS"] = benchmark::Counter(
+        256.0 * 256.0 * state.iterations() / 1e6,
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_CodecDecode(benchmark::State &state)
+{
+    const Image img = generateSyntheticImage(
+        {.height = 256, .width = 256, .class_id = 1, .seed = 7});
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(img, cfg);
+    for (auto _ : state) {
+        const Image dec = decodeProgressive(enc);
+        benchmark::DoNotOptimize(dec.data());
+    }
+    state.counters["MpixPerS"] = benchmark::Counter(
+        256.0 * 256.0 * state.iterations() / 1e6,
+        benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(BM_Conv224_Reference)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv224_Direct)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv224_Im2colLibrary)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv280_Im2colLibrary)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv280_Im2colMatched)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ConvDepthwise_Direct)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv224_Im2colThreaded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv224_WinogradSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv224_WinogradThreaded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConvDepthwise_Threaded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CodecEncode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CodecDecode)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace tamres

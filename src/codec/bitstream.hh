@@ -2,11 +2,19 @@
  * @file
  * Bit-granular writer/reader used by the progressive codec's entropy
  * layer.
+ *
+ * Both sides operate on a 64-bit accumulator so a writeBits/readBits
+ * call costs a couple of shifts and at most ceil(n/8) byte moves
+ * instead of one loop iteration per bit. The writer keeps the classic
+ * invariant that the byte vector always contains the full stream
+ * (including the partial back byte), so bytes()/take() need no
+ * explicit flush and mid-stream snapshots remain valid.
  */
 
 #ifndef TAMRES_CODEC_BITSTREAM_HH
 #define TAMRES_CODEC_BITSTREAM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -23,19 +31,59 @@ class BitWriter
     writeBits(uint32_t value, int nbits)
     {
         tamres_assert(nbits >= 0 && nbits <= 32, "bad bit count");
-        for (int i = nbits - 1; i >= 0; --i)
-            writeBit((value >> i) & 1u);
+        if (nbits == 0)
+            return;
+        // Fold the partial back byte in front of the new bits, then
+        // re-emit whole bytes from the top of the accumulator.
+        uint64_t acc = value & ((uint64_t(1) << nbits) - 1);
+        int total = nbits;
+        if (bitpos_) {
+            acc |= static_cast<uint64_t>(bytes_.back() >> (8 - bitpos_))
+                   << nbits;
+            total += bitpos_;
+            bytes_.pop_back();
+        }
+        while (total >= 8) {
+            total -= 8;
+            bytes_.push_back(static_cast<uint8_t>(acc >> total));
+        }
+        if (total) {
+            bytes_.push_back(
+                static_cast<uint8_t>((acc << (8 - total)) & 0xffu));
+        }
+        bitpos_ = total;
     }
 
     /** Write a single bit. */
+    void writeBit(uint32_t bit) { writeBits(bit & 1u, 1); }
+
+    /**
+     * Append every bit of @p other (including its partial back byte)
+     * to this stream, preserving bit order. Used to concatenate
+     * independently encoded block ranges into one scan.
+     */
     void
-    writeBit(uint32_t bit)
+    append(const BitWriter &other)
     {
-        if (bitpos_ == 0)
-            bytes_.push_back(0);
-        if (bit)
-            bytes_.back() |= static_cast<uint8_t>(1u << (7 - bitpos_));
-        bitpos_ = (bitpos_ + 1) & 7;
+        const auto &src = other.bytes_;
+        if (src.empty())
+            return;
+        const size_t full =
+            src.size() - (other.bitpos_ ? 1 : 0);
+        for (size_t i = 0; i < full; ++i)
+            writeBits(src[i], 8);
+        if (other.bitpos_) {
+            writeBits(src.back() >> (8 - other.bitpos_),
+                      other.bitpos_);
+        }
+    }
+
+    /** Total bits written so far. */
+    size_t
+    bitSize() const
+    {
+        return bytes_.size() * 8 -
+               (bitpos_ ? static_cast<size_t>(8 - bitpos_) : 0);
     }
 
     /** Pad to a byte boundary with zero bits. */
@@ -53,7 +101,7 @@ class BitWriter
 
   private:
     std::vector<uint8_t> bytes_;
-    int bitpos_ = 0;
+    int bitpos_ = 0; //!< bits used in the back byte (0 = byte-aligned)
 };
 
 /** MSB-first bit reader over a byte span. */
@@ -68,24 +116,73 @@ class BitReader
     uint32_t
     readBits(int nbits)
     {
-        uint32_t v = 0;
-        for (int i = 0; i < nbits; ++i)
-            v = (v << 1) | readBit();
-        return v;
+        tamres_assert(nbits >= 0 && nbits <= 32, "bad bit count");
+        uint64_t acc = 0;
+        int got = 0;
+        while (got < nbits) {
+            tamres_assert(bytepos_ < size_, "bitstream overrun");
+            const int avail = 8 - bitpos_;
+            const int take = std::min(avail, nbits - got);
+            const uint32_t chunk =
+                (data_[bytepos_] >> (avail - take)) &
+                ((1u << take) - 1u);
+            acc = (acc << take) | chunk;
+            got += take;
+            bitpos_ += take;
+            if (bitpos_ == 8) {
+                bitpos_ = 0;
+                ++bytepos_;
+            }
+        }
+        return static_cast<uint32_t>(acc);
     }
 
     /** Read one bit. */
+    uint32_t readBit() { return readBits(1); }
+
+    /**
+     * Look ahead at the next @p nbits bits without consuming them,
+     * zero-padded past the end of the stream (callers that act on the
+     * peeked prefix must still consume bits via readBits/skipBits,
+     * which bound-check). Used by table-driven Huffman decoding.
+     */
     uint32_t
-    readBit()
+    peekBits(int nbits) const
     {
-        tamres_assert(bytepos_ < size_, "bitstream overrun");
-        const uint32_t bit =
-            (data_[bytepos_] >> (7 - bitpos_)) & 1u;
-        if (++bitpos_ == 8) {
-            bitpos_ = 0;
-            ++bytepos_;
+        tamres_assert(nbits >= 0 && nbits <= 24, "bad peek count");
+        uint32_t acc = 0;
+        int got = 0;
+        size_t bp = bytepos_;
+        int bit = bitpos_;
+        while (got < nbits) {
+            if (bp >= size_) {
+                acc <<= nbits - got;
+                break;
+            }
+            const int avail = 8 - bit;
+            const int take = std::min(avail, nbits - got);
+            acc = (acc << take) |
+                  ((data_[bp] >> (avail - take)) & ((1u << take) - 1u));
+            got += take;
+            bit += take;
+            if (bit == 8) {
+                bit = 0;
+                ++bp;
+            }
         }
-        return bit;
+        return acc;
+    }
+
+    /** Consume @p nbits bits previously inspected with peekBits. */
+    void
+    skipBits(int nbits)
+    {
+        tamres_assert(nbits >= 0, "bad skip count");
+        const size_t target =
+            bytepos_ * 8 + static_cast<size_t>(bitpos_) + nbits;
+        tamres_assert(target <= size_ * 8, "bitstream overrun");
+        bytepos_ = target / 8;
+        bitpos_ = static_cast<int>(target % 8);
     }
 
     /** Bytes consumed so far (rounded up to the current byte). */

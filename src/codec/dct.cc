@@ -1,84 +1,185 @@
 #include "codec/dct.hh"
 
 #include <cmath>
-#include <cstring>
 
 namespace tamres {
 
 namespace {
 
-/** Cosine basis: basis[k][n] = c(k) * cos((2n+1)k*pi/16). */
-struct DctTables
+/**
+ * AAN per-axis scale factors: aan[0] = 1, aan[k] = sqrt(2)*cos(k*pi/16)
+ * for k > 0, and the derived 2-D descale/prescale tables (see dct.hh
+ * for the quantization-table contract).
+ */
+struct AanTables
 {
-    float basis[8][8];
+    float fwd_descale[64]; //!< 1 / (8 * aan[u] * aan[v])
+    float inv_scale[64];   //!< aan[u] * aan[v] / 8
 
-    DctTables()
+    AanTables()
     {
-        for (int k = 0; k < 8; ++k) {
-            const double ck = k == 0 ? std::sqrt(1.0 / 8.0)
-                                     : std::sqrt(2.0 / 8.0);
-            for (int n = 0; n < 8; ++n) {
-                basis[k][n] = static_cast<float>(
-                    ck * std::cos((2 * n + 1) * k * M_PI / 16.0));
+        double aan[8];
+        aan[0] = 1.0;
+        for (int k = 1; k < 8; ++k)
+            aan[k] = std::sqrt(2.0) * std::cos(k * M_PI / 16.0);
+        for (int u = 0; u < 8; ++u) {
+            for (int v = 0; v < 8; ++v) {
+                const double s = aan[u] * aan[v];
+                fwd_descale[u * 8 + v] =
+                    static_cast<float>(1.0 / (8.0 * s));
+                inv_scale[u * 8 + v] = static_cast<float>(s / 8.0);
             }
         }
     }
 };
 
-const DctTables tables;
+const AanTables aan_tables;
+
+// 1-D butterfly constants (cosines at pi/16 granularity).
+constexpr float kC4 = 0.70710678118654752f;   //!< cos(4pi/16)
+constexpr float kC6 = 0.38268343236508977f;   //!< cos(6pi/16)
+constexpr float kC2m6 = 0.54119610014619698f; //!< cos(2pi/16)-cos(6pi/16)
+constexpr float kC2p6 = 1.30656296487637652f; //!< cos(2pi/16)+cos(6pi/16)
+
+/** One 8-point forward AAN pass over a strided vector, in place. */
+inline void
+fdctPass(float *d, int stride)
+{
+    const float v0 = d[0 * stride], v1 = d[1 * stride];
+    const float v2 = d[2 * stride], v3 = d[3 * stride];
+    const float v4 = d[4 * stride], v5 = d[5 * stride];
+    const float v6 = d[6 * stride], v7 = d[7 * stride];
+
+    const float tmp0 = v0 + v7, tmp7 = v0 - v7;
+    const float tmp1 = v1 + v6, tmp6 = v1 - v6;
+    const float tmp2 = v2 + v5, tmp5 = v2 - v5;
+    const float tmp3 = v3 + v4, tmp4 = v3 - v4;
+
+    // Even part.
+    const float t10 = tmp0 + tmp3, t13 = tmp0 - tmp3;
+    const float t11 = tmp1 + tmp2, t12 = tmp1 - tmp2;
+    d[0 * stride] = t10 + t11;
+    d[4 * stride] = t10 - t11;
+    const float z1 = (t12 + t13) * kC4;
+    d[2 * stride] = t13 + z1;
+    d[6 * stride] = t13 - z1;
+
+    // Odd part (rotations shared through z5).
+    const float o10 = tmp4 + tmp5;
+    const float o11 = tmp5 + tmp6;
+    const float o12 = tmp6 + tmp7;
+    const float z5 = (o10 - o12) * kC6;
+    const float z2 = kC2m6 * o10 + z5;
+    const float z4 = kC2p6 * o12 + z5;
+    const float z3 = o11 * kC4;
+    const float z11 = tmp7 + z3;
+    const float z13 = tmp7 - z3;
+    d[5 * stride] = z13 + z2;
+    d[3 * stride] = z13 - z2;
+    d[1 * stride] = z11 + z4;
+    d[7 * stride] = z11 - z4;
+}
+
+/** One 8-point inverse AAN pass over a strided vector, in place. */
+inline void
+idctPass(float *d, int stride)
+{
+    const float v0 = d[0 * stride], v1 = d[1 * stride];
+    const float v2 = d[2 * stride], v3 = d[3 * stride];
+    const float v4 = d[4 * stride], v5 = d[5 * stride];
+    const float v6 = d[6 * stride], v7 = d[7 * stride];
+
+    // Even part.
+    const float t10 = v0 + v4;
+    const float t11 = v0 - v4;
+    const float t13 = v2 + v6;
+    const float t12 = (v2 - v6) * (2.0f * kC4) - t13;
+    const float e0 = t10 + t13;
+    const float e3 = t10 - t13;
+    const float e1 = t11 + t12;
+    const float e2 = t11 - t12;
+
+    // Odd part.
+    const float z13 = v5 + v3;
+    const float z10 = v5 - v3;
+    const float z11 = v1 + v7;
+    const float z12 = v1 - v7;
+    const float o7 = z11 + z13;
+    const float o11 = (z11 - z13) * (2.0f * kC4);
+    const float z5 = (z10 + z12) * (kC2m6 + kC2p6);
+    const float o10 = (2.0f * kC2m6) * z12 - z5;
+    const float o12 = z5 - (2.0f * kC2p6) * z10;
+    const float o6 = o12 - o7;
+    const float o5 = o11 - o6;
+    const float o4 = o10 + o5;
+
+    d[0 * stride] = e0 + o7;
+    d[7 * stride] = e0 - o7;
+    d[1 * stride] = e1 + o6;
+    d[6 * stride] = e1 - o6;
+    d[2 * stride] = e2 + o5;
+    d[5 * stride] = e2 - o5;
+    d[4 * stride] = e3 + o4;
+    d[3 * stride] = e3 - o4;
+}
 
 } // namespace
 
 void
+forwardDct8x8Scaled(const float *in, float *out)
+{
+    float block[64];
+    for (int i = 0; i < 64; ++i)
+        block[i] = in[i];
+    for (int y = 0; y < 8; ++y)
+        fdctPass(block + y * 8, 1);
+    for (int x = 0; x < 8; ++x)
+        fdctPass(block + x, 8);
+    for (int i = 0; i < 64; ++i)
+        out[i] = block[i];
+}
+
+void
+inverseDct8x8Scaled(const float *in, float *out)
+{
+    float block[64];
+    for (int i = 0; i < 64; ++i)
+        block[i] = in[i];
+    for (int x = 0; x < 8; ++x)
+        idctPass(block + x, 8);
+    for (int y = 0; y < 8; ++y)
+        idctPass(block + y * 8, 1);
+    for (int i = 0; i < 64; ++i)
+        out[i] = block[i];
+}
+
+void
 forwardDct8x8(const float *in, float *out)
 {
-    float tmp[64];
-    // Rows: tmp[y][k] = sum_x in[y][x] * basis[k][x]
-    for (int y = 0; y < 8; ++y) {
-        for (int k = 0; k < 8; ++k) {
-            float acc = 0.0f;
-            for (int x = 0; x < 8; ++x)
-                acc += in[y * 8 + x] * tables.basis[k][x];
-            tmp[y * 8 + k] = acc;
-        }
-    }
-    // Columns: out[k][x] = sum_y tmp[y][x] * basis[k][y]
-    float result[64];
-    for (int k = 0; k < 8; ++k) {
-        for (int x = 0; x < 8; ++x) {
-            float acc = 0.0f;
-            for (int y = 0; y < 8; ++y)
-                acc += tmp[y * 8 + x] * tables.basis[k][y];
-            result[k * 8 + x] = acc;
-        }
-    }
-    std::memcpy(out, result, sizeof(result));
+    forwardDct8x8Scaled(in, out);
+    for (int i = 0; i < 64; ++i)
+        out[i] *= aan_tables.fwd_descale[i];
 }
 
 void
 inverseDct8x8(const float *in, float *out)
 {
-    float tmp[64];
-    // Columns: tmp[y][x] = sum_k in[k][x] * basis[k][y]
-    for (int y = 0; y < 8; ++y) {
-        for (int x = 0; x < 8; ++x) {
-            float acc = 0.0f;
-            for (int k = 0; k < 8; ++k)
-                acc += in[k * 8 + x] * tables.basis[k][y];
-            tmp[y * 8 + x] = acc;
-        }
-    }
-    // Rows: out[y][x] = sum_k tmp[y][k] * basis[k][x]
-    float result[64];
-    for (int y = 0; y < 8; ++y) {
-        for (int x = 0; x < 8; ++x) {
-            float acc = 0.0f;
-            for (int k = 0; k < 8; ++k)
-                acc += tmp[y * 8 + k] * tables.basis[k][x];
-            result[y * 8 + x] = acc;
-        }
-    }
-    std::memcpy(out, result, sizeof(result));
+    float scaled[64];
+    for (int i = 0; i < 64; ++i)
+        scaled[i] = in[i] * aan_tables.inv_scale[i];
+    inverseDct8x8Scaled(scaled, out);
+}
+
+const float *
+dctForwardDescale()
+{
+    return aan_tables.fwd_descale;
+}
+
+const float *
+dctInverseScale()
+{
+    return aan_tables.inv_scale;
 }
 
 } // namespace tamres

@@ -1,6 +1,35 @@
 /**
  * @file
  * 8x8 forward and inverse type-II DCT used by the progressive codec.
+ *
+ * Two interfaces are provided:
+ *
+ *  - The orthonormal pair forwardDct8x8 / inverseDct8x8 (the original
+ *    contract: Parseval holds, DC gain is 8 for a constant block).
+ *  - The *scaled* AAN pair forwardDct8x8Scaled / inverseDct8x8Scaled,
+ *    computed with the Arai-Agui-Nakajima butterfly (5 multiplies per
+ *    1-D pass instead of 64), whose outputs/inputs carry the AAN
+ *    per-coefficient scale factors.
+ *
+ * AAN-scaled quantization-table contract
+ * --------------------------------------
+ * Let aan[k] = 1 for k == 0 and sqrt(2) * cos(k*pi/16) otherwise, and
+ * let F[u][v] be the orthonormal DCT-II of a block. Then:
+ *
+ *   forwardDct8x8Scaled(x)[u][v]  ==  F[u][v] * 8 * aan[u] * aan[v]
+ *   inverseDct8x8Scaled expects   in[u][v] == F[u][v] * aan[u]*aan[v]/8
+ *
+ * A codec that quantizes with step q[u][v] therefore folds the scales
+ * into its quantization tables instead of descaling every block:
+ *
+ *   quantized  = round(scaled_fwd[u][v] * dctForwardDescale()[u*8+v] / q)
+ *   idct_input = quantized * q * dctInverseScale()[u*8+v]
+ *
+ * where dctForwardDescale()[i] = 1 / (8 * aan[u] * aan[v]) and
+ * dctInverseScale()[i] = aan[u] * aan[v] / 8. The orthonormal wrappers
+ * apply exactly these factors, so mixing the two interfaces is safe as
+ * long as the scaled coefficients never cross an API boundary
+ * undocumented.
  */
 
 #ifndef TAMRES_CODEC_DCT_HH
@@ -16,6 +45,26 @@ void forwardDct8x8(const float *in, float *out);
 
 /** Inverse of forwardDct8x8 (DCT-III with orthonormal scaling). */
 void inverseDct8x8(const float *in, float *out);
+
+/**
+ * AAN forward DCT without the final descale: out[u*8+v] is the
+ * orthonormal coefficient times 8 * aan[u] * aan[v]. @p in and @p out
+ * may alias.
+ */
+void forwardDct8x8Scaled(const float *in, float *out);
+
+/**
+ * AAN inverse DCT taking prescaled input: in[u*8+v] must be the
+ * orthonormal coefficient times aan[u] * aan[v] / 8. @p in and @p out
+ * may alias.
+ */
+void inverseDct8x8Scaled(const float *in, float *out);
+
+/** Row-major 64-entry table of 1 / (8 * aan[u] * aan[v]). */
+const float *dctForwardDescale();
+
+/** Row-major 64-entry table of aan[u] * aan[v] / 8. */
+const float *dctInverseScale();
 
 } // namespace tamres
 

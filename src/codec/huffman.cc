@@ -166,6 +166,17 @@ HuffmanTable::assignCanonical()
         for (int k = 0; k < counts_[l]; ++k) {
             const uint8_t sym = symbols_[index++];
             codes_[sym] = static_cast<uint16_t>(code++);
+            // Short codes decode in one lookup: every LUT slot whose
+            // leading bits match the code maps to the symbol.
+            if (l <= kDecodeLutBits) {
+                const uint32_t first = (code - 1)
+                                       << (kDecodeLutBits - l);
+                const uint32_t span = 1u << (kDecodeLutBits - l);
+                for (uint32_t s = 0; s < span; ++s) {
+                    lut_sym_[first + s] = sym;
+                    lut_len_[first + s] = static_cast<uint8_t>(l);
+                }
+            }
         }
         tamres_assert(code <= (1u << l), "canonical code overflow");
         code <<= 1;
@@ -183,8 +194,19 @@ HuffmanTable::encode(BitWriter &bw, uint8_t symbol) const
 uint8_t
 HuffmanTable::decode(BitReader &br) const
 {
-    int32_t code = 0;
-    for (int l = 1; l <= kMaxHuffmanBits; ++l) {
+    // Fast path: peek a LUT-wide prefix (zero-padded near the end of
+    // the stream — harmless, since a short code is identified by its
+    // own bits) and consume exactly the code's length.
+    const uint32_t prefix = br.peekBits(kDecodeLutBits);
+    const int lut_len = lut_len_[prefix];
+    if (lut_len) {
+        br.skipBits(lut_len);
+        return lut_sym_[prefix];
+    }
+    // Slow path: the code is longer than the LUT prefix, so all
+    // kDecodeLutBits peeked bits belong to it; keep extending.
+    int32_t code = static_cast<int32_t>(br.readBits(kDecodeLutBits));
+    for (int l = kDecodeLutBits + 1; l <= kMaxHuffmanBits; ++l) {
         code = (code << 1) | static_cast<int32_t>(br.readBit());
         const int32_t offset = code - first_code_[l];
         if (offset >= 0 && offset < counts_[l])

@@ -31,6 +31,9 @@ namespace tamres {
 /** Maximum code length, as in JPEG. */
 constexpr int kMaxHuffmanBits = 16;
 
+/** Prefix width of the one-shot decode lookup table. */
+constexpr int kDecodeLutBits = 8;
+
 /** A canonical Huffman code over byte-valued symbols. */
 class HuffmanTable
 {
@@ -63,7 +66,11 @@ class HuffmanTable
     /** Append the code for @p symbol; panics when absent. */
     void encode(BitWriter &bw, uint8_t symbol) const;
 
-    /** Read one symbol; panics on an invalid prefix. */
+    /**
+     * Read one symbol; panics on an invalid prefix. Codes up to
+     * kDecodeLutBits long resolve through a single table lookup;
+     * longer codes fall back to the canonical per-length walk.
+     */
     uint8_t decode(BitReader &br) const;
 
     /**
@@ -89,6 +96,13 @@ class HuffmanTable
     /** Canonical decode acceleration: first code & index per length. */
     int32_t first_code_[kMaxHuffmanBits + 1] = {};
     int32_t first_index_[kMaxHuffmanBits + 1] = {};
+    /**
+     * One-shot decode LUT indexed by the next kDecodeLutBits stream
+     * bits: symbol and code length for every code short enough to fit
+     * (length 0 = fall back to the per-length walk).
+     */
+    uint8_t lut_sym_[1 << kDecodeLutBits] = {};
+    uint8_t lut_len_[1 << kDecodeLutBits] = {};
 };
 
 } // namespace tamres

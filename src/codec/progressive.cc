@@ -8,6 +8,7 @@
 #include "codec/dct.hh"
 #include "codec/huffman.hh"
 #include "image/color.hh"
+#include "util/thread_pool.hh"
 
 namespace tamres {
 
@@ -368,34 +369,63 @@ quantStepFor(int zz, int quality, bool chroma)
     return chroma ? quantStepChroma(zz, quality) : quantStep(zz, quality);
 }
 
+/**
+ * Quantization tables with the AAN DCT scale factors folded in (see
+ * dct.hh): fwd[zz] turns a *scaled* forward coefficient into its
+ * quantized value with one multiply; inv[zz] turns a quantized value
+ * into the prescaled input inverseDct8x8Scaled expects.
+ */
+struct FoldedQuant
+{
+    float fwd[64];
+    float inv[64];
+
+    FoldedQuant(int quality, bool chroma)
+    {
+        const float *descale = dctForwardDescale();
+        const float *prescale = dctInverseScale();
+        for (int i = 0; i < 64; ++i) {
+            const int q = quantStepFor(i, quality, chroma);
+            const int rm = zz_tables.order[i];
+            fwd[i] = descale[rm] / static_cast<float>(q);
+            inv[i] = prescale[rm] * static_cast<float>(q);
+        }
+    }
+};
+
 /** Forward transform one plane into quantized zig-zag coefficients. */
 void
 planeToCoeffs(const float *plane, const PlaneGeom &g, int quality,
               int *out)
 {
-    int block_idx = 0;
-    for (int by = 0; by < g.bh; ++by) {
-        for (int bx = 0; bx < g.bw; ++bx, ++block_idx) {
+    const FoldedQuant fq(quality, g.chroma);
+    const int64_t nblocks = g.numBlocks();
+    ThreadPool::global().parallelFor(
+        nblocks,
+        [&](int64_t b0, int64_t b1) {
             float block[64];
-            for (int y = 0; y < 8; ++y) {
-                const int sy = std::min(by * 8 + y, g.h - 1);
-                for (int x = 0; x < 8; ++x) {
-                    const int sx = std::min(bx * 8 + x, g.w - 1);
-                    // Level shift to be roughly zero-centered.
-                    block[y * 8 + x] =
-                        plane[sy * g.w + sx] * 255.0f - 128.0f;
+            float freq[64];
+            for (int64_t bi = b0; bi < b1; ++bi) {
+                const int by = static_cast<int>(bi) / g.bw;
+                const int bx = static_cast<int>(bi) % g.bw;
+                for (int y = 0; y < 8; ++y) {
+                    const int sy = std::min(by * 8 + y, g.h - 1);
+                    for (int x = 0; x < 8; ++x) {
+                        const int sx = std::min(bx * 8 + x, g.w - 1);
+                        // Level shift to be roughly zero-centered.
+                        block[y * 8 + x] =
+                            plane[sy * g.w + sx] * 255.0f - 128.0f;
+                    }
+                }
+                forwardDct8x8Scaled(block, freq);
+                int *dst = out + static_cast<size_t>(bi) * 64;
+                for (int i = 0; i < 64; ++i) {
+                    const float v = freq[zz_tables.order[i]];
+                    dst[i] = static_cast<int>(std::lround(v * fq.fwd[i]));
                 }
             }
-            float freq[64];
-            forwardDct8x8(block, freq);
-            int *dst = out + static_cast<size_t>(block_idx) * 64;
-            for (int i = 0; i < 64; ++i) {
-                const int q = quantStepFor(i, quality, g.chroma);
-                const float v = freq[zz_tables.order[i]];
-                dst[i] = static_cast<int>(std::lround(v / q));
-            }
-        }
-    }
+        },
+        ThreadPool::defaultParallelism());
 }
 
 /** Inverse transform quantized zig-zag coefficients into a plane. */
@@ -403,51 +433,152 @@ void
 coeffsToPlane(const int *coeffs, const PlaneGeom &g, int quality,
               float *plane)
 {
-    int block_idx = 0;
-    for (int by = 0; by < g.bh; ++by) {
-        for (int bx = 0; bx < g.bw; ++bx, ++block_idx) {
-            const int *in = coeffs + static_cast<size_t>(block_idx) * 64;
-            float freq[64] = {};
-            for (int i = 0; i < 64; ++i) {
-                if (in[i] == 0)
-                    continue;
-                const int q = quantStepFor(i, quality, g.chroma);
-                freq[zz_tables.order[i]] = static_cast<float>(in[i]) * q;
-            }
+    const FoldedQuant fq(quality, g.chroma);
+    const int64_t nblocks = g.numBlocks();
+    ThreadPool::global().parallelFor(
+        nblocks,
+        [&](int64_t b0, int64_t b1) {
+            float freq[64];
             float block[64];
-            inverseDct8x8(freq, block);
-            for (int y = 0; y < 8; ++y) {
-                const int dy = by * 8 + y;
-                if (dy >= g.h)
-                    break;
-                for (int x = 0; x < 8; ++x) {
-                    const int dx = bx * 8 + x;
-                    if (dx >= g.w)
+            for (int64_t bi = b0; bi < b1; ++bi) {
+                const int by = static_cast<int>(bi) / g.bw;
+                const int bx = static_cast<int>(bi) % g.bw;
+                const int *in = coeffs + static_cast<size_t>(bi) * 64;
+                std::fill(std::begin(freq), std::end(freq), 0.0f);
+                for (int i = 0; i < 64; ++i) {
+                    if (in[i] == 0)
+                        continue;
+                    freq[zz_tables.order[i]] =
+                        static_cast<float>(in[i]) * fq.inv[i];
+                }
+                inverseDct8x8Scaled(freq, block);
+                for (int y = 0; y < 8; ++y) {
+                    const int dy = by * 8 + y;
+                    if (dy >= g.h)
                         break;
-                    plane[dy * g.w + dx] =
-                        (block[y * 8 + x] + 128.0f) / 255.0f;
+                    for (int x = 0; x < 8; ++x) {
+                        const int dx = bx * 8 + x;
+                        if (dx >= g.w)
+                            break;
+                        plane[dy * g.w + dx] =
+                            (block[y * 8 + x] + 128.0f) / 255.0f;
+                    }
                 }
             }
-        }
+        },
+        ThreadPool::defaultParallelism());
+}
+
+/** Encode blocks [b0, b1) of one plane through @p sink. */
+template <typename Sink>
+void
+encodeBlockRange(Sink &sink, const ScanBand &scan, const int *plane,
+                 int64_t b0, int64_t b1)
+{
+    for (int64_t b = b0; b < b1; ++b) {
+        const int *block = plane + b * 64;
+        if (scan.refinement)
+            encodeRefineBand(sink, block, scan.lo, scan.hi, scan.al);
+        else
+            encodeBand(sink, block, scan.lo, scan.hi, scan.al);
     }
 }
 
-/** Run one scan over every block of every plane through @p sink. */
-template <typename Sink>
-void
-scanEncodePass(Sink &sink, const ScanBand &scan,
-               const std::vector<std::vector<int>> &coeffs)
+/**
+ * Count one scan's symbol frequencies over every plane. Chunks are
+ * counted in parallel and summed; integer addition makes the result
+ * independent of the partition.
+ */
+std::vector<uint64_t>
+scanCountFrequencies(const ScanBand &scan,
+                     const std::vector<std::vector<int>> &coeffs)
 {
+    std::vector<uint64_t> freq(256, 0);
+    const int threads = ThreadPool::defaultParallelism();
     for (const auto &plane : coeffs) {
-        const int nblocks = static_cast<int>(plane.size() / 64);
-        for (int b = 0; b < nblocks; ++b) {
-            const int *block = plane.data() +
-                               static_cast<size_t>(b) * 64;
-            if (scan.refinement)
-                encodeRefineBand(sink, block, scan.lo, scan.hi, scan.al);
-            else
-                encodeBand(sink, block, scan.lo, scan.hi, scan.al);
+        const int64_t nblocks =
+            static_cast<int64_t>(plane.size() / 64);
+        if (nblocks == 0)
+            continue;
+        const int64_t nchunks =
+            std::min<int64_t>(nblocks, std::max(1, threads));
+        std::vector<std::vector<uint64_t>> partial(
+            nchunks, std::vector<uint64_t>(256, 0));
+        ThreadPool::global().parallelFor(
+            nchunks,
+            [&](int64_t c0, int64_t c1) {
+                for (int64_t c = c0; c < c1; ++c) {
+                    const auto [b0, b1] =
+                        ThreadPool::chunkBounds(static_cast<int>(c),
+                                               static_cast<int>(nchunks),
+                                               nblocks);
+                    FreqSink sink{partial[c]};
+                    encodeBlockRange(sink, scan, plane.data(), b0, b1);
+                }
+            },
+            threads);
+        for (const auto &p : partial)
+            for (int s = 0; s < 256; ++s)
+                freq[s] += p[s];
+    }
+    return freq;
+}
+
+/**
+ * Entropy-encode one scan into @p bw, parallelizing over block ranges.
+ * Each range is encoded into a private BitWriter and the pieces are
+ * concatenated at the bit level in block order. Because blocks are
+ * coded independently within a scan, the concatenation is identical
+ * to a serial encode for every partition — so 1-thread and N-thread
+ * runs produce bit-identical scans.
+ */
+void
+scanEncodeParallel(BitWriter &bw, const ScanBand &scan,
+                   const std::vector<std::vector<int>> &coeffs,
+                   const HuffmanTable *table)
+{
+    const int threads = ThreadPool::defaultParallelism();
+    for (const auto &plane : coeffs) {
+        const int64_t nblocks =
+            static_cast<int64_t>(plane.size() / 64);
+        if (nblocks == 0)
+            continue;
+        // Serial fast path: stream straight into the scan writer.
+        if (threads <= 1 || nblocks < 2 * threads) {
+            if (table) {
+                HuffmanSink sink{bw, *table};
+                encodeBlockRange(sink, scan, plane.data(), 0, nblocks);
+            } else {
+                RawSink sink{bw};
+                encodeBlockRange(sink, scan, plane.data(), 0, nblocks);
+            }
+            continue;
         }
+        const int64_t nchunks = std::min<int64_t>(
+            nblocks, static_cast<int64_t>(threads) * 4);
+        std::vector<BitWriter> pieces(nchunks);
+        ThreadPool::global().parallelFor(
+            nchunks,
+            [&](int64_t c0, int64_t c1) {
+                for (int64_t c = c0; c < c1; ++c) {
+                    const auto [b0, b1] =
+                        ThreadPool::chunkBounds(static_cast<int>(c),
+                                               static_cast<int>(nchunks),
+                                               nblocks);
+                    if (table) {
+                        HuffmanSink sink{pieces[c], *table};
+                        encodeBlockRange(sink, scan, plane.data(), b0,
+                                         b1);
+                    } else {
+                        RawSink sink{pieces[c]};
+                        encodeBlockRange(sink, scan, plane.data(), b0,
+                                         b1);
+                    }
+                }
+            },
+            threads);
+        for (const BitWriter &piece : pieces)
+            bw.append(piece);
     }
 }
 
@@ -664,13 +795,11 @@ encodeProgressive(const Image &img, const ProgressiveConfig &config)
     for (const auto &scan : config.scans) {
         BitWriter bw_scan;
         if (config.entropy == EntropyCoder::RunLength) {
-            RawSink sink{bw_scan};
-            scanEncodePass(sink, scan, coeffs);
+            scanEncodeParallel(bw_scan, scan, coeffs, nullptr);
         } else {
             // Pass 1: per-scan symbol statistics.
-            std::vector<uint64_t> freq(256, 0);
-            FreqSink counter{freq};
-            scanEncodePass(counter, scan, coeffs);
+            std::vector<uint64_t> freq =
+                scanCountFrequencies(scan, coeffs);
             if (std::all_of(freq.begin(), freq.end(),
                             [](uint64_t f) { return f == 0; })) {
                 // Refinement scans of all-significant bands emit raw
@@ -681,8 +810,7 @@ encodeProgressive(const Image &img, const ProgressiveConfig &config)
             const HuffmanTable table =
                 HuffmanTable::fromFrequencies(freq);
             table.serialize(bw_scan);
-            HuffmanSink sink{bw_scan, table};
-            scanEncodePass(sink, scan, coeffs);
+            scanEncodeParallel(bw_scan, scan, coeffs, &table);
         }
         auto bytes = bw_scan.take();
         enc.bytes.insert(enc.bytes.end(), bytes.begin(), bytes.end());

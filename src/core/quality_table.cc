@@ -1,6 +1,7 @@
 #include "core/quality_table.hh"
 
 #include "image/metrics.hh"
+#include "util/thread_pool.hh"
 
 namespace tamres {
 
@@ -26,44 +27,56 @@ QualityTable::QualityTable(const SyntheticDataset &dataset, int first,
     const int num_res = static_cast<int>(resolutions_.size());
     num_scans_ = static_cast<int>(cfg.scans.size());
 
-    entries_.reserve(last - first);
-    for (int i = first; i < last; ++i) {
-        const Image full = dataset.render(i);
-        const EncodedImage enc = encodeProgressive(full, cfg);
+    // Images are independent (render is deterministic per index), so
+    // the table builds in parallel, one entry slot per image. The
+    // codec's internal parallelism degrades to serial inside these
+    // workers, which is the right grain: whole images dominate.
+    entries_.resize(last - first);
+    ThreadPool::global().parallelFor(
+        last - first,
+        [&](int64_t i0, int64_t i1) {
+            for (int64_t idx = i0; idx < i1; ++idx) {
+                const int i = first + static_cast<int>(idx);
+                const Image full = dataset.render(i);
+                const EncodedImage enc = encodeProgressive(full, cfg);
 
-        ImageQuality q;
-        q.id = dataset.record(i).id;
-        q.num_scans = num_scans_;
-        q.read_fraction.resize(num_scans_ + 1);
-        q.ssim.resize(static_cast<size_t>(num_scans_ + 1) * num_res);
+                ImageQuality q;
+                q.id = dataset.record(i).id;
+                q.num_scans = num_scans_;
+                q.read_fraction.resize(num_scans_ + 1);
+                q.ssim.resize(static_cast<size_t>(num_scans_ + 1) *
+                              num_res);
 
-        // Reference: the full decode (what "reading everything" gives),
-        // resized per resolution.
-        const Image full_dec = decodeProgressive(enc);
-        std::vector<Image> full_at_res;
-        full_at_res.reserve(num_res);
-        for (int r : resolutions_)
-            full_at_res.push_back(resize(full_dec, r, r));
+                // Reference: the full decode (what "reading
+                // everything" gives), resized per resolution.
+                const Image full_dec = decodeProgressive(enc);
+                std::vector<Image> full_at_res;
+                full_at_res.reserve(num_res);
+                for (int r : resolutions_)
+                    full_at_res.push_back(resize(full_dec, r, r));
 
-        for (int k = 0; k <= num_scans_; ++k) {
-            q.read_fraction[k] =
-                static_cast<double>(enc.bytesForScans(k)) /
-                static_cast<double>(enc.totalBytes());
-            if (k == num_scans_) {
-                for (int r = 0; r < num_res; ++r)
-                    q.ssim[static_cast<size_t>(k) * num_res + r] = 1.0;
-                continue;
+                for (int k = 0; k <= num_scans_; ++k) {
+                    q.read_fraction[k] =
+                        static_cast<double>(enc.bytesForScans(k)) /
+                        static_cast<double>(enc.totalBytes());
+                    if (k == num_scans_) {
+                        for (int r = 0; r < num_res; ++r)
+                            q.ssim[static_cast<size_t>(k) * num_res +
+                                   r] = 1.0;
+                        continue;
+                    }
+                    const Image partial = decodeProgressive(enc, k);
+                    for (int r = 0; r < num_res; ++r) {
+                        const Image partial_r = resize(
+                            partial, resolutions_[r], resolutions_[r]);
+                        q.ssim[static_cast<size_t>(k) * num_res + r] =
+                            ssim(partial_r, full_at_res[r]);
+                    }
+                }
+                entries_[idx] = std::move(q);
             }
-            const Image partial = decodeProgressive(enc, k);
-            for (int r = 0; r < num_res; ++r) {
-                const Image partial_r =
-                    resize(partial, resolutions_[r], resolutions_[r]);
-                q.ssim[static_cast<size_t>(k) * num_res + r] =
-                    ssim(partial_r, full_at_res[r]);
-            }
-        }
-        entries_.push_back(std::move(q));
-    }
+        },
+        ThreadPool::defaultParallelism());
 }
 
 int

@@ -2,21 +2,41 @@
 
 #include <algorithm>
 #include <cstring>
-#include <sstream>
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace tamres {
+
+namespace {
+
+/** Append "<tag><value>" without ostringstream (hot in tuner loops). */
+inline void
+appendKnob(std::string &out, const char *tag, int value)
+{
+    out.append(tag);
+    out.append(std::to_string(value));
+}
+
+} // namespace
 
 std::string
 ConvProblem::key() const
 {
-    std::ostringstream out;
-    out << n << "x" << ic << "x" << ih << "x" << iw << "_oc" << oc
-        << "_k" << kh << "x" << kw << "_s" << stride << "_p" << pad
-        << "_g" << groups;
-    return out.str();
+    std::string out;
+    out.reserve(48);
+    appendKnob(out, "", n);
+    appendKnob(out, "x", ic);
+    appendKnob(out, "x", ih);
+    appendKnob(out, "x", iw);
+    appendKnob(out, "_oc", oc);
+    appendKnob(out, "_k", kh);
+    appendKnob(out, "x", kw);
+    appendKnob(out, "_s", stride);
+    appendKnob(out, "_p", pad);
+    appendKnob(out, "_g", groups);
+    return out;
 }
 
 const char *
@@ -35,32 +55,54 @@ convAlgoName(ConvAlgo algo)
 std::string
 ConvConfig::toString() const
 {
-    std::ostringstream out;
+    std::string out;
+    out.reserve(64);
     switch (algo) {
       case ConvAlgo::Reference:
-        out << "reference";
-        break;
+        out = "reference";
+        return out;
       case ConvAlgo::Direct:
-        out << "direct(oc_tile=" << oc_tile << ",ow_tile=" << ow_tile
-            << ")";
+        out = "direct(";
+        appendKnob(out, "oc_tile=", oc_tile);
+        appendKnob(out, ",ow_tile=", ow_tile);
         break;
       case ConvAlgo::Im2col:
-        out << "im2col(mc=" << mc << ",kc=" << kc << ",nc=" << nc
-            << ",mr=" << mr << ",nr=" << nr << ")";
+        out = "im2col(";
+        appendKnob(out, "mc=", mc);
+        appendKnob(out, ",kc=", kc);
+        appendKnob(out, ",nc=", nc);
+        appendKnob(out, ",mr=", mr);
+        appendKnob(out, ",nr=", nr);
         break;
       case ConvAlgo::Winograd:
-        out << "winograd(tb=" << wino_tile_block << ",mc=" << mc
-            << ",kc=" << kc << ",nc=" << nc << ",mr=" << mr
-            << ",nr=" << nr << ")";
+        out = "winograd(";
+        appendKnob(out, "tb=", wino_tile_block);
+        appendKnob(out, ",mc=", mc);
+        appendKnob(out, ",kc=", kc);
+        appendKnob(out, ",nc=", nc);
+        appendKnob(out, ",mr=", mr);
+        appendKnob(out, ",nr=", nr);
         break;
       case ConvAlgo::Depthwise:
-        out << "depthwise(ow_tile=" << ow_tile << ")";
+        out = "depthwise(";
+        appendKnob(out, "ow_tile=", ow_tile);
         break;
     }
-    return out.str();
+    if (threads != 0)
+        appendKnob(out, ",t=", threads);
+    out.push_back(')');
+    return out;
 }
 
 namespace {
+
+/** Worker-thread cap for a config (0 = process default). */
+int
+effectiveThreads(const ConvConfig &cfg)
+{
+    return cfg.threads > 0 ? cfg.threads
+                           : ThreadPool::defaultParallelism();
+}
 
 // ---------------------------------------------------------------------
 // Reference kernel
@@ -133,13 +175,27 @@ directKernel(const ConvProblem &p, const float *in, const float *w,
     constexpr int kMaxOwTile = 32;
     tamres_assert(oct <= kMaxOcTile && owt <= kMaxOwTile,
                   "direct tile sizes out of range");
-    float acc[kMaxOcTile][kMaxOwTile];
 
-    for (int n = 0; n < p.n; ++n) {
-        for (int g = 0; g < p.groups; ++g) {
-            for (int oc0 = 0; oc0 < ocg; oc0 += oct) {
+    // Parallelize over (batch, group, oc-tile, output row): every
+    // iteration writes a disjoint slice of out, so any partition of
+    // the flattened range yields bit-identical results.
+    const int oc_tiles = (ocg + oct - 1) / oct;
+    const int64_t total = static_cast<int64_t>(p.n) * p.groups *
+                          oc_tiles * oh;
+    ThreadPool::global().parallelFor(
+        total,
+        [&](int64_t i0, int64_t i1) {
+            float acc[kMaxOcTile][kMaxOwTile];
+            for (int64_t it = i0; it < i1; ++it) {
+                const int y = static_cast<int>(it % oh);
+                int64_t rest = it / oh;
+                const int oc0 =
+                    static_cast<int>(rest % oc_tiles) * oct;
+                rest /= oc_tiles;
+                const int g = static_cast<int>(rest % p.groups);
+                const int n = static_cast<int>(rest / p.groups);
                 const int oc_lim = std::min(oct, ocg - oc0);
-                for (int y = 0; y < oh; ++y) {
+                {
                     for (int x0 = 0; x0 < ow; x0 += owt) {
                         const int ow_lim = std::min(owt, ow - x0);
                         for (int a = 0; a < oc_lim; ++a)
@@ -188,8 +244,8 @@ directKernel(const ConvProblem &p, const float *in, const float *w,
                     }
                 }
             }
-        }
-    }
+        },
+        effectiveThreads(cfg));
 }
 
 // ---------------------------------------------------------------------
@@ -312,12 +368,14 @@ im2col(const ConvProblem &p, const float *in, int n, int g, float *col)
 }
 
 /**
- * Blocked GEMM: C[M x N] += A[M x K] * B[K x N] (all row-major),
- * GotoBLAS-style loop structure with packed panels.
+ * Blocked GEMM: C[M x N] += A[M x K] * B[K x N] (row-major; B and C
+ * rows are @p ld floats apart, which lets callers operate on a column
+ * slice of a wider matrix), GotoBLAS-style loop structure with packed
+ * panels.
  */
 void
 blockedGemm(int M, int N, int K, const float *a, const float *b,
-            float *c, const ConvConfig &cfg)
+            float *c, const ConvConfig &cfg, int ld)
 {
     const int mc = std::max(cfg.mr, cfg.mc);
     const int kc = std::max(1, cfg.kc);
@@ -346,7 +404,7 @@ blockedGemm(int M, int N, int K, const float *a, const float *b,
                 const int jw = std::min(nr, nb - jr);
                 for (int k = 0; k < kb; ++k) {
                     const float *src =
-                        b + static_cast<int64_t>(pc + k) * N + jc + jr;
+                        b + static_cast<int64_t>(pc + k) * ld + jc + jr;
                     for (int j = 0; j < jw; ++j)
                         dst[k * nr + j] = src[j];
                     for (int j = jw; j < nr; ++j)
@@ -382,9 +440,9 @@ blockedGemm(int M, int N, int K, const float *a, const float *b,
                         const int iw_rows = std::min(mr, mb - ir);
                         float *cdst = c +
                                       static_cast<int64_t>(icb + ir) *
-                                          N + jc + jr;
+                                          ld + jc + jr;
                         if (iw_rows == mr && jw == nr) {
-                            micro(kb, ap, bp, cdst, N);
+                            micro(kb, ap, bp, cdst, ld);
                         } else {
                             // Edge tile: accumulate into scratch then
                             // copy the valid region.
@@ -393,7 +451,7 @@ blockedGemm(int M, int N, int K, const float *a, const float *b,
                             micro(kb, ap, bp, s.ctile.data(), nr);
                             for (int i = 0; i < iw_rows; ++i)
                                 for (int j = 0; j < jw; ++j)
-                                    cdst[i * N + j] +=
+                                    cdst[i * ld + j] +=
                                         s.ctile[i * nr + j];
                         }
                     }
@@ -401,6 +459,29 @@ blockedGemm(int M, int N, int K, const float *a, const float *b,
             }
         }
     }
+}
+
+/**
+ * Parallel GEMM: split C's columns across workers, each running the
+ * serial blockedGemm on its slice with private packing scratch. Every
+ * output element is produced by exactly one worker with the serial
+ * accumulation order, so results are bit-identical for any partition.
+ */
+void
+blockedGemmParallel(int M, int N, int K, const float *a, const float *b,
+                    float *c, const ConvConfig &cfg, int threads)
+{
+    if (threads <= 1 || N < 2 * cfg.nr) {
+        blockedGemm(M, N, K, a, b, c, cfg, N);
+        return;
+    }
+    ThreadPool::global().parallelFor(
+        N,
+        [&](int64_t j0, int64_t j1) {
+            blockedGemm(M, static_cast<int>(j1 - j0), K, a, b + j0,
+                        c + j0, cfg, N);
+        },
+        threads);
 }
 
 void
@@ -419,31 +500,57 @@ im2colKernel(const ConvProblem &p, const float *in, const float *w,
     const bool pointwise =
         p.kh == 1 && p.kw == 1 && p.stride == 1 && p.pad == 0;
 
-    Scratch &s = scratch();
-    if (!pointwise)
-        s.im2col.resize(static_cast<size_t>(K) * N);
+    const int threads = effectiveThreads(cfg);
+    const int64_t outer = static_cast<int64_t>(p.n) * p.groups;
 
-    for (int n = 0; n < p.n; ++n) {
-        for (int g = 0; g < p.groups; ++g) {
-            const float *bmat;
-            if (pointwise) {
-                bmat = in + ((static_cast<int64_t>(n) * p.ic +
-                              g * icg) * p.ih) * p.iw;
-            } else {
-                im2col(p, in, n, g, s.im2col.data());
-                bmat = s.im2col.data();
-            }
-            float *cbase = out + ((static_cast<int64_t>(n) * p.oc +
-                                   g * ocg) * oh) * ow;
-            // Initialize output with bias (GEMM accumulates).
-            for (int oc = 0; oc < ocg; ++oc) {
-                const float bv = bias ? bias[g * ocg + oc] : 0.0f;
-                std::fill_n(cbase + static_cast<int64_t>(oc) * N, N, bv);
-            }
-            const float *abase =
-                w + static_cast<int64_t>(g) * ocg * K;
-            blockedGemm(ocg, N, K, abase, bmat, cbase, cfg);
+    auto oneImageGroup = [&](int n, int g, bool gemm_parallel) {
+        const float *bmat;
+        if (pointwise) {
+            bmat = in + ((static_cast<int64_t>(n) * p.ic + g * icg) *
+                         p.ih) *
+                            p.iw;
+        } else {
+            Scratch &s = scratch();
+            s.im2col.resize(static_cast<size_t>(K) * N);
+            im2col(p, in, n, g, s.im2col.data());
+            bmat = s.im2col.data();
         }
+        float *cbase = out + ((static_cast<int64_t>(n) * p.oc +
+                               g * ocg) *
+                              oh) *
+                                 ow;
+        // Initialize output with bias (GEMM accumulates).
+        for (int oc = 0; oc < ocg; ++oc) {
+            const float bv = bias ? bias[g * ocg + oc] : 0.0f;
+            std::fill_n(cbase + static_cast<int64_t>(oc) * N, N, bv);
+        }
+        const float *abase = w + static_cast<int64_t>(g) * ocg * K;
+        if (gemm_parallel)
+            blockedGemmParallel(ocg, N, K, abase, bmat, cbase, cfg,
+                                threads);
+        else
+            blockedGemm(ocg, N, K, abase, bmat, cbase, cfg, N);
+    };
+
+    if (threads > 1 && outer >= threads) {
+        // Enough (batch, group) pairs to keep every worker busy; each
+        // worker uses its own thread-local im2col/pack scratch.
+        ThreadPool::global().parallelFor(
+            outer,
+            [&](int64_t o0, int64_t o1) {
+                for (int64_t o = o0; o < o1; ++o) {
+                    oneImageGroup(static_cast<int>(o / p.groups),
+                                  static_cast<int>(o % p.groups),
+                                  false);
+                }
+            },
+            threads);
+    } else {
+        // Batch 1 (the serving-path shape): parallelize inside the
+        // GEMM over column slices instead.
+        for (int n = 0; n < p.n; ++n)
+            for (int g = 0; g < p.groups; ++g)
+                oneImageGroup(n, g, true);
     }
 }
 
@@ -546,12 +653,21 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
     std::vector<float> u;
     winogradWeightTransform(p, w, u);
 
-    // Per tile-block scratch: V[16][icg][tb], M[16][oc][tb].
-    std::vector<float> v(static_cast<size_t>(16) * icg * tb);
-    std::vector<float> m(static_cast<size_t>(16) * p.oc * tb);
-
-    for (int n = 0; n < p.n; ++n) {
-        for (int t0 = 0; t0 < total_tiles; t0 += tb) {
+    // Parallelize over (batch, tile block): every block writes a
+    // disjoint set of output tiles and carries its own V/M scratch, so
+    // any partition of the flattened range is bit-identical. The
+    // per-block GEMMs below run serially inside the worker.
+    const int nblk = (total_tiles + tb - 1) / tb;
+    const int64_t total_work = static_cast<int64_t>(p.n) * nblk;
+    ThreadPool::global().parallelFor(
+        total_work,
+        [&](int64_t w0, int64_t w1) {
+        // Per tile-block scratch: V[16][icg][tb], M[16][oc][tb].
+        std::vector<float> v(static_cast<size_t>(16) * icg * tb);
+        std::vector<float> m(static_cast<size_t>(16) * p.oc * tb);
+        for (int64_t wi = w0; wi < w1; ++wi) {
+            const int n = static_cast<int>(wi / nblk);
+            const int t0 = static_cast<int>(wi % nblk) * tb;
             const int tcount = std::min(tb, total_tiles - t0);
             // Gather + transform input tiles.
             for (int ic = 0; ic < icg; ++ic) {
@@ -593,7 +709,7 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
                                            tcount,
                             m.data() + static_cast<size_t>(k) * p.oc *
                                            tcount,
-                            cfg);
+                            cfg, tcount);
             }
             // Inverse transform + scatter.
             for (int oc = 0; oc < p.oc; ++oc) {
@@ -625,7 +741,8 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
                 }
             }
         }
-    }
+        },
+        effectiveThreads(cfg));
 }
 
 // ---------------------------------------------------------------------
@@ -641,10 +758,16 @@ depthwiseKernel(const ConvProblem &p, const float *in, const float *w,
     const int owt = std::max(1, cfg.ow_tile);
     constexpr int kMaxOwTile = 32;
     tamres_assert(owt <= kMaxOwTile, "depthwise tile out of range");
-    float acc[kMaxOwTile];
 
-    for (int n = 0; n < p.n; ++n) {
-        for (int c = 0; c < p.oc; ++c) {
+    // Parallelize over (batch, channel): output planes are disjoint.
+    const int64_t total = static_cast<int64_t>(p.n) * p.oc;
+    ThreadPool::global().parallelFor(
+        total,
+        [&](int64_t i0, int64_t i1) {
+        float acc[kMaxOwTile];
+        for (int64_t it = i0; it < i1; ++it) {
+            const int n = static_cast<int>(it / p.oc);
+            const int c = static_cast<int>(it % p.oc);
             const float *iplane =
                 in + ((static_cast<int64_t>(n) * p.ic + c) * p.ih) *
                          p.iw;
@@ -679,7 +802,8 @@ depthwiseKernel(const ConvProblem &p, const float *in, const float *w,
                 }
             }
         }
-    }
+        },
+        effectiveThreads(cfg));
 }
 
 } // namespace
@@ -687,6 +811,8 @@ depthwiseKernel(const ConvProblem &p, const float *in, const float *w,
 bool
 convConfigValid(const ConvProblem &p, const ConvConfig &cfg)
 {
+    if (cfg.threads < 0 || cfg.threads > 1024)
+        return false;
     switch (cfg.algo) {
       case ConvAlgo::Reference:
         return true;

@@ -100,6 +100,17 @@ struct ConvConfig
     // --- Winograd knobs ---
     int wino_tile_block = 256; //!< input tiles transformed per batch
 
+    // --- Parallelism (all algorithms except Reference) ---
+    /**
+     * Worker-thread cap for this convolution: 0 = the process default
+     * (TAMRES_THREADS, falling back to the hardware concurrency),
+     * 1 = serial, N = at most N workers. Output is bit-identical for
+     * every value — parallel variants partition work so each output
+     * element is produced by exactly one worker with the serial
+     * accumulation order.
+     */
+    int threads = 0;
+
     /** Human-readable description for logs and cache files. */
     std::string toString() const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "util/timer.hh"
 
 namespace tamres {
@@ -77,6 +78,24 @@ winoTileBlocks()
     return v;
 }
 
+std::vector<int>
+threadCounts()
+{
+    // Serial, half the available workers, and the full default — so
+    // the tuner can discover when threading overhead loses (tiny
+    // shapes) without measuring every count. 0 (process default) is
+    // deliberately absent: tuned configs should pin their winner.
+    // Built per call because defaultParallelism() tracks the current
+    // TAMRES_THREADS value.
+    std::vector<int> t = {1};
+    const int full = ThreadPool::defaultParallelism();
+    if (full >= 4)
+        t.push_back(full / 2);
+    if (full > 1)
+        t.push_back(full);
+    return t;
+}
+
 } // namespace knob
 
 namespace {
@@ -124,7 +143,7 @@ randomizeKnobs(ConvConfig &cfg, Rng &rng)
 {
     switch (cfg.algo) {
       case ConvAlgo::Reference:
-        break;
+        return;
       case ConvAlgo::Direct:
         cfg.oc_tile = pick(knob::ocTiles(), rng);
         cfg.ow_tile = pick(knob::owTiles(), rng);
@@ -143,6 +162,7 @@ randomizeKnobs(ConvConfig &cfg, Rng &rng)
         cfg.nr = pick(knob::nrs(), rng);
         break;
     }
+    cfg.threads = pick(knob::threadCounts(), rng);
 }
 
 } // namespace
@@ -183,20 +203,33 @@ mutateConvConfig(const ConvProblem &p, const ConvConfig &cfg, Rng &rng)
           case ConvAlgo::Reference:
             return next;
           case ConvAlgo::Direct:
-            if (rng.uniformInt(2) == 0)
+            switch (rng.uniformInt(3)) {
+              case 0:
                 next.oc_tile = neighbor(knob::ocTiles(), next.oc_tile,
                                         rng);
-            else
+                break;
+              case 1:
                 next.ow_tile = neighbor(knob::owTiles(), next.ow_tile,
                                         rng);
+                break;
+              default:
+                next.threads = neighbor(knob::threadCounts(),
+                                        next.threads, rng);
+                break;
+            }
             break;
           case ConvAlgo::Depthwise:
-            next.ow_tile = neighbor(knob::owTiles(), next.ow_tile, rng);
+            if (rng.uniformInt(2) == 0)
+                next.ow_tile = neighbor(knob::owTiles(), next.ow_tile,
+                                        rng);
+            else
+                next.threads = neighbor(knob::threadCounts(),
+                                        next.threads, rng);
             break;
           case ConvAlgo::Winograd:
           case ConvAlgo::Im2col: {
             const int which = static_cast<int>(rng.uniformInt(
-                next.algo == ConvAlgo::Winograd ? 6 : 5));
+                next.algo == ConvAlgo::Winograd ? 7 : 6));
             switch (which) {
               case 0: next.mc = neighbor(knob::mcs(), next.mc, rng);
                 break;
@@ -207,6 +240,10 @@ mutateConvConfig(const ConvProblem &p, const ConvConfig &cfg, Rng &rng)
               case 3: next.mr = neighbor(knob::mrs(), next.mr, rng);
                 break;
               case 4: next.nr = neighbor(knob::nrs(), next.nr, rng);
+                break;
+              case 5:
+                next.threads = neighbor(knob::threadCounts(),
+                                        next.threads, rng);
                 break;
               default:
                 next.wino_tile_block = neighbor(
@@ -246,6 +283,8 @@ crossoverConvConfig(const ConvProblem &p, const ConvConfig &a,
             child.nr = other.nr;
         if (rng.uniformInt(2))
             child.wino_tile_block = other.wino_tile_block;
+        if (rng.uniformInt(2))
+            child.threads = other.threads;
     }
     if (!convConfigValid(p, child))
         return rng.uniformInt(2) == 0 ? a : b;

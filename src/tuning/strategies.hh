@@ -45,6 +45,11 @@ const std::vector<int> &nrs();
 const std::vector<int> &ocTiles();
 const std::vector<int> &owTiles();
 const std::vector<int> &winoTileBlocks();
+/**
+ * Worker-thread caps: {1, default/2, default} (deduplicated; built
+ * per call so it tracks the live TAMRES_THREADS value).
+ */
+std::vector<int> threadCounts();
 
 } // namespace knob
 

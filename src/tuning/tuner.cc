@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <set>
 
 #include "nn/kernel_selector.hh"
@@ -74,18 +75,44 @@ algoFromInt(int v)
 
 } // namespace
 
+namespace {
+
+/**
+ * On-disk cache format tag. v2 added the threads column; unversioned
+ * (v1) files would otherwise misparse silently, so anything without
+ * the tag is discarded and rebuilt.
+ */
+const char *const kCacheVersion = "tamres-cache-v2";
+
+} // namespace
+
 void
 ConfigCache::load()
 {
     FILE *f = std::fopen(path_.c_str(), "r");
     if (!f)
         return; // absent cache file is fine — will be created on store
+    char header[32];
+    if (std::fscanf(f, "%31s", header) != 1 ||
+        std::strcmp(header, kCacheVersion) != 0) {
+        warn("ConfigCache: %s has no '%s' header; discarding stale "
+             "cache", path_.c_str(), kCacheVersion);
+        std::fclose(f);
+        // Truncate so future appends land in a well-formed file (an
+        // ignored-but-kept file would collect unreadable entries).
+        f = std::fopen(path_.c_str(), "w");
+        if (f) {
+            std::fprintf(f, "%s\n", kCacheVersion);
+            std::fclose(f);
+        }
+        return;
+    }
     char key[128];
-    int algo, oc_tile, ow_tile, mc, kc, nc, mr, nr, wino_tb;
+    int algo, oc_tile, ow_tile, mc, kc, nc, mr, nr, wino_tb, threads;
     double gf;
-    while (std::fscanf(f, "%127s %d %d %d %d %d %d %d %d %d %lf", key,
-                       &algo, &oc_tile, &ow_tile, &mc, &kc, &nc, &mr,
-                       &nr, &wino_tb, &gf) == 11) {
+    while (std::fscanf(f, "%127s %d %d %d %d %d %d %d %d %d %d %lf",
+                       key, &algo, &oc_tile, &ow_tile, &mc, &kc, &nc,
+                       &mr, &nr, &wino_tb, &threads, &gf) == 12) {
         Entry e;
         e.config.algo = algoFromInt(algo);
         e.config.oc_tile = oc_tile;
@@ -96,6 +123,7 @@ ConfigCache::load()
         e.config.mr = mr;
         e.config.nr = nr;
         e.config.wino_tile_block = wino_tb;
+        e.config.threads = threads;
         e.gflops = gf;
         entries_[key] = e;
     }
@@ -116,11 +144,14 @@ ConfigCache::appendToFile(const std::string &key, const Entry &e) const
         warn("ConfigCache: cannot append to %s", path_.c_str());
         return;
     }
-    std::fprintf(f, "%s %d %d %d %d %d %d %d %d %d %.4f\n", key.c_str(),
-                 algoToInt(e.config.algo), e.config.oc_tile,
+    std::fseek(f, 0, SEEK_END);
+    if (std::ftell(f) == 0)
+        std::fprintf(f, "%s\n", kCacheVersion);
+    std::fprintf(f, "%s %d %d %d %d %d %d %d %d %d %d %.4f\n",
+                 key.c_str(), algoToInt(e.config.algo), e.config.oc_tile,
                  e.config.ow_tile, e.config.mc, e.config.kc, e.config.nc,
                  e.config.mr, e.config.nr, e.config.wino_tile_block,
-                 e.gflops);
+                 e.config.threads, e.gflops);
     std::fclose(f);
 }
 

@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "util/env.hh"
+
 namespace tamres {
+
+namespace {
+
+/** Set while the current thread runs a parallelFor chunk. */
+thread_local bool tls_in_chunk = false;
+
+} // namespace
+
+std::pair<int64_t, int64_t>
+ThreadPool::chunkBounds(int idx, int parts, int64_t n)
+{
+    const int64_t base = n / parts;
+    const int64_t rem = n % parts;
+    const int64_t begin = idx * base + std::min<int64_t>(idx, rem);
+    const int64_t len = base + (idx < rem ? 1 : 0);
+    return {begin, begin + len};
+}
 
 ThreadPool::ThreadPool(int threads)
     : nthreads_(std::max(1, threads))
@@ -23,23 +42,52 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+bool
+ThreadPool::inParallelRegion()
+{
+    return tls_in_chunk;
+}
+
+void
+ThreadPool::runChunk(const std::function<void(int64_t, int64_t)> &fn,
+                     int64_t begin, int64_t end)
+{
+    tls_in_chunk = true;
+    try {
+        fn(begin, end);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_)
+            error_ = std::current_exception();
+    }
+    tls_in_chunk = false;
+}
+
 void
 ThreadPool::parallelFor(int64_t n,
-                        const std::function<void(int64_t, int64_t)> &fn)
+                        const std::function<void(int64_t, int64_t)> &fn,
+                        int max_parts)
 {
     if (n <= 0)
         return;
-    const int parts = static_cast<int>(
-        std::min<int64_t>(nthreads_, n));
-    auto chunk = [&](int idx) -> std::pair<int64_t, int64_t> {
-        const int64_t base = n / parts;
-        const int64_t rem = n % parts;
-        const int64_t begin = idx * base + std::min<int64_t>(idx, rem);
-        const int64_t len = base + (idx < rem ? 1 : 0);
-        return {begin, begin + len};
-    };
+    int64_t limit = nthreads_;
+    if (max_parts > 0)
+        limit = std::min<int64_t>(limit, max_parts);
+    const int parts = static_cast<int>(std::min<int64_t>(limit, n));
 
-    if (parts == 1) {
+    // Serial fast path and nested calls (a chunk spawning more
+    // parallel work) run inline: nested forks would deadlock the
+    // single job slot. The tls check must come before touching
+    // forkMutex_ — try_lock on a mutex the thread already owns is UB.
+    if (parts == 1 || tls_in_chunk) {
+        fn(0, n);
+        return;
+    }
+    // Concurrent calls from a second user thread also run inline: a
+    // busy pool means another fork is already using every worker.
+    // Exceptions propagate naturally on all inline paths.
+    std::unique_lock<std::mutex> fork(forkMutex_, std::try_to_lock);
+    if (!fork.owns_lock()) {
         fn(0, n);
         return;
     }
@@ -48,6 +96,8 @@ ThreadPool::parallelFor(int64_t n,
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &fn;
         jobSize_ = n;
+        jobParts_ = parts;
+        error_ = nullptr;
         // Every helper thread acknowledges the job, even ones that get
         // no chunk (idx >= parts), so the completion count is exact.
         pending_ = nthreads_ - 1;
@@ -56,12 +106,18 @@ ThreadPool::parallelFor(int64_t n,
     wakeCv_.notify_all();
 
     // The calling thread takes the first chunk.
-    auto [b0, e0] = chunk(0);
-    fn(b0, e0);
+    const auto [b0, e0] = chunkBounds(0, parts, n);
+    runChunk(fn, b0, e0);
 
     std::unique_lock<std::mutex> lock(mutex_);
     doneCv_.wait(lock, [this] { return pending_ == 0; });
     job_ = nullptr;
+    if (error_) {
+        const std::exception_ptr err = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 void
@@ -71,6 +127,7 @@ ThreadPool::workerLoop(int idx)
     for (;;) {
         const std::function<void(int64_t, int64_t)> *job = nullptr;
         int64_t n = 0;
+        int parts = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wakeCv_.wait(lock, [&] {
@@ -81,15 +138,11 @@ ThreadPool::workerLoop(int idx)
             seen = generation_;
             job = job_;
             n = jobSize_;
+            parts = jobParts_;
         }
-        const int parts = static_cast<int>(
-            std::min<int64_t>(nthreads_, n));
         if (idx < parts) {
-            const int64_t base = n / parts;
-            const int64_t rem = n % parts;
-            const int64_t begin = idx * base + std::min<int64_t>(idx, rem);
-            const int64_t len = base + (idx < rem ? 1 : 0);
-            (*job)(begin, begin + len);
+            const auto [begin, end] = chunkBounds(idx, parts, n);
+            runChunk(*job, begin, end);
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -102,9 +155,27 @@ ThreadPool::workerLoop(int idx)
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool(
-        static_cast<int>(std::thread::hardware_concurrency()));
+    static ThreadPool pool([] {
+        const int hw = std::max(
+            1, static_cast<int>(std::thread::hardware_concurrency()));
+        // Clamp the env request so a typo cannot ask the OS for an
+        // unbounded number of threads.
+        const int env = std::clamp(
+            static_cast<int>(envInt("TAMRES_THREADS", 0)), 0, 256);
+        // At least 8 so TAMRES_THREADS can request real concurrency on
+        // small hosts; idle workers sleep on a condition variable.
+        return std::max({hw, env, 8});
+    }());
     return pool;
+}
+
+int
+ThreadPool::defaultParallelism()
+{
+    const int hw = std::max(
+        1, static_cast<int>(std::thread::hardware_concurrency()));
+    const int env = static_cast<int>(envInt("TAMRES_THREADS", hw));
+    return std::clamp(env, 1, global().threads());
 }
 
 } // namespace tamres

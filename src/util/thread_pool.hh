@@ -1,21 +1,34 @@
 /**
  * @file
  * A minimal fork-join thread pool used by the parallel convolution
- * kernels.
+ * kernels and the codec's block-parallel passes.
  *
  * The pool exposes a single primitive, parallelFor, which partitions an
  * index range across worker threads and blocks until every chunk has
  * completed. On a single-hardware-thread host the pool degenerates to a
  * serial loop with no thread handoff, so kernels pay no overhead there.
+ *
+ * Safety properties:
+ *  - Exceptions thrown by a chunk are captured and rethrown on the
+ *    calling thread after every chunk has finished (first one wins).
+ *  - Reentrant calls (parallelFor from inside a chunk) and concurrent
+ *    calls from a second user thread degrade to serial execution on
+ *    the calling thread instead of deadlocking.
+ *
+ * The process-wide default parallelism is controlled by the
+ * TAMRES_THREADS environment variable (read per call, so tests can
+ * vary it at runtime); it defaults to the hardware concurrency.
  */
 
 #ifndef TAMRES_UTIL_THREAD_POOL_HH
 #define TAMRES_UTIL_THREAD_POOL_HH
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tamres {
@@ -39,29 +52,65 @@ class ThreadPool
 
     /**
      * Invoke fn(chunk_begin, chunk_end) over [0, n) partitioned into
-     * contiguous chunks, one per participating thread. Blocks until all
-     * chunks finish. Not reentrant.
+     * contiguous chunks, at most one per participating thread (and at
+     * most @p max_parts when positive). Blocks until all chunks
+     * finish. A chunk that throws does not terminate the process: the
+     * first exception is rethrown here once every chunk has returned.
+     * Reentrant or concurrent invocations run fn(0, n) serially on the
+     * calling thread.
      */
     void parallelFor(int64_t n,
-                     const std::function<void(int64_t, int64_t)> &fn);
+                     const std::function<void(int64_t, int64_t)> &fn,
+                     int max_parts = 0);
 
-    /** Process-wide pool sized to the hardware concurrency. */
+    /** True while the current thread is executing a parallelFor chunk. */
+    static bool inParallelRegion();
+
+    /**
+     * [begin, end) of chunk @p idx when [0, n) is split into @p parts
+     * near-equal contiguous chunks — the partition parallelFor uses.
+     * Exposed for callers that pre-partition work themselves (e.g. the
+     * codec's per-chunk bit writers).
+     */
+    static std::pair<int64_t, int64_t> chunkBounds(int idx, int parts,
+                                                   int64_t n);
+
+    /**
+     * Process-wide pool. Sized generously (at least 8 workers) so that
+     * hosts whose hardware_concurrency is small can still exercise
+     * multi-threaded execution when TAMRES_THREADS asks for it; idle
+     * workers cost nothing but a blocked condition-variable wait.
+     */
     static ThreadPool &global();
+
+    /**
+     * Effective worker count requested right now: TAMRES_THREADS when
+     * set (clamped to [1, global().threads()]), otherwise the hardware
+     * concurrency. Kernels pass this as max_parts.
+     */
+    static int defaultParallelism();
 
   private:
     void workerLoop(int idx);
+    void runChunk(const std::function<void(int64_t, int64_t)> &fn,
+                  int64_t begin, int64_t end);
 
     int nthreads_;
     std::vector<std::thread> workers_;
+
+    /** Serializes whole parallelFor invocations (fork-level lock). */
+    std::mutex forkMutex_;
 
     std::mutex mutex_;
     std::condition_variable wakeCv_;
     std::condition_variable doneCv_;
     const std::function<void(int64_t, int64_t)> *job_ = nullptr;
     int64_t jobSize_ = 0;
+    int jobParts_ = 0;
     uint64_t generation_ = 0;
     int pending_ = 0;
     bool stop_ = false;
+    std::exception_ptr error_;
 };
 
 } // namespace tamres

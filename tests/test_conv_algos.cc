@@ -102,6 +102,17 @@ INSTANTIATE_TEST_SUITE_P(
         return k;
     });
 
+TEST(Winograd, ThreadedMatchesReference)
+{
+    const ConvProblem p{1, 16, 18, 18, 16, 3, 3, 1, 1, 1};
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Winograd;
+    cfg.wino_tile_block = 8;
+    cfg.threads = 4;
+    ASSERT_TRUE(convConfigValid(p, cfg));
+    EXPECT_LT(maxError(p, cfg), 0.05);
+}
+
 TEST(Winograd, TileBlockSweepAllMatch)
 {
     const ConvProblem p{1, 16, 20, 20, 16, 3, 3, 1, 1, 1};
@@ -182,6 +193,37 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return k;
     });
+
+TEST(Depthwise, ThreadedMatchesReference)
+{
+    const ConvProblem p{2, 16, 21, 17, 16, 3, 3, 1, 1, 16};
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Depthwise;
+    cfg.ow_tile = 8;
+    cfg.threads = 4;
+    ASSERT_TRUE(convConfigValid(p, cfg));
+    EXPECT_LT(maxError(p, cfg), 1e-4);
+}
+
+TEST(ThreadedConv, AllAlgosMatchReference)
+{
+    // Every algorithm family at a multi-thread config against the
+    // serial reference loop nest.
+    const ConvProblem dense{2, 12, 17, 19, 20, 3, 3, 1, 1, 1};
+    for (ConvAlgo algo :
+         {ConvAlgo::Direct, ConvAlgo::Im2col, ConvAlgo::Winograd}) {
+        ConvConfig cfg;
+        cfg.algo = algo;
+        cfg.mc = 16;
+        cfg.kc = 32;
+        cfg.nc = 64;
+        cfg.threads = 3;
+        ASSERT_TRUE(convConfigValid(dense, cfg))
+            << convAlgoName(algo);
+        const double tol = algo == ConvAlgo::Winograd ? 0.05 : 1e-3;
+        EXPECT_LT(maxError(dense, cfg), tol) << convAlgoName(algo);
+    }
+}
 
 TEST(Depthwise, OwTileSweepAllMatch)
 {

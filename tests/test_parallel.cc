@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Parallel-execution guarantees: codec encode/decode and every conv
+ * algorithm are bit-identical at 1 vs N worker threads, the batched
+ * bit-writer concatenates streams exactly, and the thread pool
+ * propagates exceptions and survives nested use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "codec/bitstream.hh"
+#include "codec/progressive.hh"
+#include "image/synthetic.hh"
+#include "nn/conv_kernels.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace tamres {
+namespace {
+
+/** Scoped TAMRES_THREADS override. */
+class ThreadsEnv
+{
+  public:
+    explicit ThreadsEnv(int n)
+    {
+        setenv("TAMRES_THREADS", std::to_string(n).c_str(), 1);
+    }
+    ~ThreadsEnv() { unsetenv("TAMRES_THREADS"); }
+};
+
+// --- Thread pool semantics -------------------------------------------
+
+TEST(ThreadPoolParallel, RespectsMaxParts)
+{
+    ThreadPool pool(8);
+    std::atomic<int> calls{0};
+    pool.parallelFor(
+        100,
+        [&](int64_t, int64_t) { ++calls; },
+        2);
+    EXPECT_LE(calls.load(), 2);
+}
+
+TEST(ThreadPoolParallel, PropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](int64_t b, int64_t) {
+                             if (b == 0)
+                                 throw std::runtime_error("chunk boom");
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after a throwing job.
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(10, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolParallel, SerialFallbackPropagatesExceptions)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     5, [](int64_t, int64_t) { throw 42; }),
+                 int);
+}
+
+TEST(ThreadPoolParallel, NestedCallsDegradeToSerial)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    pool.parallelFor(8, [&](int64_t b, int64_t e) {
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        for (int64_t i = b; i < e; ++i) {
+            // Reentrant use of the same pool must not deadlock and
+            // must still cover the inner range exactly once.
+            pool.parallelFor(10, [&](int64_t ib, int64_t ie) {
+                total += ie - ib;
+            });
+        }
+    });
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolParallel, NestedGlobalPoolFromKernels)
+{
+    // The codec and kernels share the global pool; nesting through it
+    // must serialize, not deadlock.
+    std::atomic<int> inner{0};
+    ThreadPool::global().parallelFor(4, [&](int64_t, int64_t) {
+        ThreadPool::global().parallelFor(
+            4, [&](int64_t b, int64_t e) {
+                inner += static_cast<int>(e - b);
+            });
+    });
+    EXPECT_EQ(inner.load(), 16);
+}
+
+// --- Batched bit-writer ----------------------------------------------
+
+TEST(BitWriterBatched, AppendMatchesSerialWrites)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 20; ++trial) {
+        BitWriter serial;
+        std::vector<BitWriter> pieces(3);
+        for (int p = 0; p < 3; ++p) {
+            const int writes =
+                1 + static_cast<int>(rng.uniformInt(uint64_t(40)));
+            for (int i = 0; i < writes; ++i) {
+                const int nbits = 1 + static_cast<int>(rng.uniformInt(
+                    uint64_t(24)));
+                const uint32_t v = static_cast<uint32_t>(rng.next()) &
+                                   ((1u << nbits) - 1);
+                serial.writeBits(v, nbits);
+                pieces[p].writeBits(v, nbits);
+            }
+        }
+        BitWriter glued;
+        for (const BitWriter &p : pieces)
+            glued.append(p);
+        EXPECT_EQ(glued.bitSize(), serial.bitSize());
+        EXPECT_EQ(glued.bytes(), serial.bytes());
+    }
+}
+
+TEST(BitWriterBatched, PeekAndSkip)
+{
+    BitWriter bw;
+    bw.writeBits(0b1011001, 7);
+    bw.writeBits(0xAB, 8);
+    const auto bytes = bw.bytes();
+    BitReader br(bytes.data(), bytes.size());
+    EXPECT_EQ(br.peekBits(7), 0b1011001u);
+    EXPECT_EQ(br.peekBits(7), 0b1011001u); // peek does not consume
+    br.skipBits(7);
+    EXPECT_EQ(br.readBits(8), 0xABu);
+    // Past-the-end peeks are zero-padded.
+    EXPECT_EQ(br.peekBits(8), 0u);
+}
+
+// --- Codec determinism -----------------------------------------------
+
+EncodedImage
+encodeWithThreads(const Image &img, const ProgressiveConfig &cfg,
+                  int threads)
+{
+    ThreadsEnv env(threads);
+    return encodeProgressive(img, cfg);
+}
+
+TEST(CodecParallel, EncodeBitIdenticalAcrossThreadCounts)
+{
+    const Image img = generateSyntheticImage(
+        {.height = 96, .width = 80, .class_id = 3, .seed = 29});
+    for (const EntropyCoder entropy :
+         {EntropyCoder::RunLength, EntropyCoder::Huffman}) {
+        ProgressiveConfig cfg;
+        cfg.entropy = entropy;
+        cfg.scans = ProgressiveConfig::successiveScans();
+        const EncodedImage e1 = encodeWithThreads(img, cfg, 1);
+        for (int threads : {2, 4, 7}) {
+            const EncodedImage en =
+                encodeWithThreads(img, cfg, threads);
+            EXPECT_EQ(e1.bytes, en.bytes)
+                << "entropy=" << entropyCoderName(entropy)
+                << " threads=" << threads;
+            EXPECT_EQ(e1.scan_offsets, en.scan_offsets);
+        }
+    }
+}
+
+TEST(CodecParallel, DecodeBitIdenticalAcrossThreadCounts)
+{
+    const Image img = generateSyntheticImage(
+        {.height = 64, .width = 64, .class_id = 1, .seed = 5});
+    ProgressiveConfig cfg;
+    cfg.color = ColorMode::YCbCr;
+    const EncodedImage enc = encodeWithThreads(img, cfg, 1);
+    Image d1;
+    {
+        ThreadsEnv env(1);
+        d1 = decodeProgressive(enc);
+    }
+    for (int threads : {2, 4}) {
+        ThreadsEnv env(threads);
+        const Image dn = decodeProgressive(enc);
+        ASSERT_EQ(dn.numel(), d1.numel());
+        EXPECT_EQ(std::memcmp(dn.data(), d1.data(),
+                              sizeof(float) * d1.numel()),
+                  0)
+            << "threads=" << threads;
+    }
+}
+
+TEST(CodecParallel, RoundTripQualityUnchangedByThreads)
+{
+    const Image img = generateSyntheticImage(
+        {.height = 72, .width = 56, .class_id = 2, .seed = 41});
+    const EncodedImage e1 = encodeWithThreads(img, {}, 1);
+    const EncodedImage e4 = encodeWithThreads(img, {}, 4);
+    EXPECT_EQ(e1.bytes, e4.bytes);
+}
+
+// --- Conv kernel determinism -----------------------------------------
+
+std::vector<float>
+runConvWithThreads(const ConvProblem &p, ConvConfig cfg, int threads)
+{
+    const size_t in_n = static_cast<size_t>(p.n) * p.ic * p.ih * p.iw;
+    const size_t w_n = static_cast<size_t>(p.oc) * (p.ic / p.groups) *
+                       p.kh * p.kw;
+    std::vector<float> in(in_n), w(w_n), bias(p.oc);
+    Rng rng(7);
+    for (auto &v : in)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto &v : w)
+        v = static_cast<float>(rng.uniform(-0.5, 0.5));
+    for (auto &v : bias)
+        v = static_cast<float>(rng.uniform(-0.1, 0.1));
+    std::vector<float> out(static_cast<size_t>(p.n) * p.oc * p.oh() *
+                           p.ow());
+    cfg.threads = threads;
+    convForward(p, in.data(), w.data(), bias.data(), out.data(), cfg);
+    return out;
+}
+
+void
+expectThreadInvariant(const ConvProblem &p, const ConvConfig &cfg)
+{
+    const std::vector<float> serial = runConvWithThreads(p, cfg, 1);
+    for (int threads : {2, 4, 5}) {
+        const std::vector<float> par =
+            runConvWithThreads(p, cfg, threads);
+        ASSERT_EQ(par.size(), serial.size());
+        EXPECT_EQ(std::memcmp(par.data(), serial.data(),
+                              serial.size() * sizeof(float)),
+                  0)
+            << cfg.toString() << " differs at " << threads
+            << " threads";
+    }
+}
+
+TEST(ConvParallel, Im2colBitIdenticalBatch1)
+{
+    // Batch 1 exercises the column-sliced GEMM parallelism.
+    expectThreadInvariant(
+        ConvProblem{1, 32, 28, 28, 48, 3, 3, 1, 1, 1},
+        ConvConfig{.algo = ConvAlgo::Im2col, .mc = 32, .kc = 64,
+                   .nc = 256, .mr = 4, .nr = 8});
+}
+
+TEST(ConvParallel, Im2colBitIdenticalBatched)
+{
+    // Batch >= threads exercises the outer (n, group) parallelism.
+    expectThreadInvariant(
+        ConvProblem{6, 16, 14, 14, 24, 3, 3, 1, 1, 1},
+        ConvConfig{.algo = ConvAlgo::Im2col, .mc = 32, .kc = 64,
+                   .nc = 128, .mr = 2, .nr = 8});
+}
+
+TEST(ConvParallel, PointwiseBitIdentical)
+{
+    expectThreadInvariant(
+        ConvProblem{1, 64, 14, 14, 96, 1, 1, 1, 0, 1},
+        ConvConfig{.algo = ConvAlgo::Im2col, .mc = 32, .kc = 64,
+                   .nc = 128, .mr = 4, .nr = 8});
+}
+
+TEST(ConvParallel, WinogradBitIdentical)
+{
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Winograd;
+    cfg.wino_tile_block = 16;
+    expectThreadInvariant(ConvProblem{2, 16, 20, 20, 16, 3, 3, 1, 1, 1},
+                          cfg);
+}
+
+TEST(ConvParallel, DirectBitIdentical)
+{
+    expectThreadInvariant(
+        ConvProblem{1, 16, 23, 17, 24, 3, 3, 2, 1, 1},
+        ConvConfig{.algo = ConvAlgo::Direct, .oc_tile = 4,
+                   .ow_tile = 8});
+}
+
+TEST(ConvParallel, DepthwiseBitIdentical)
+{
+    expectThreadInvariant(
+        ConvProblem{2, 24, 19, 15, 24, 3, 3, 1, 1, 24},
+        ConvConfig{.algo = ConvAlgo::Depthwise, .ow_tile = 7});
+}
+
+TEST(ConvParallel, ThreadsKnobValidated)
+{
+    const ConvProblem p{1, 8, 16, 16, 8, 3, 3, 1, 1, 1};
+    ConvConfig cfg;
+    cfg.algo = ConvAlgo::Im2col;
+    cfg.threads = -1;
+    EXPECT_FALSE(convConfigValid(p, cfg));
+    cfg.threads = 4;
+    EXPECT_TRUE(convConfigValid(p, cfg));
+    EXPECT_NE(cfg.toString().find(",t=4"), std::string::npos);
+}
+
+TEST(ConvParallel, KeyFormatStable)
+{
+    // The tuner's transfer-seed sscanf depends on this exact format.
+    const ConvProblem p{2, 3, 224, 224, 64, 7, 7, 2, 3, 1};
+    EXPECT_EQ(p.key(), "2x3x224x224_oc64_k7x7_s2_p3_g1");
+}
+
+} // namespace
+} // namespace tamres
