@@ -1,0 +1,189 @@
+/**
+ * @file
+ * End-to-end serving throughput — progressive decode + backbone
+ * inference per request — emitted as machine-readable
+ * BENCH_serving.json so the serving-path trajectory is tracked across
+ * PRs alongside BENCH_kernels.json.
+ *
+ * Measures, at 1 thread and at the process default (TAMRES_THREADS):
+ *  - entropy decode Mpixel/s, restart-interval fan-out vs. the legacy
+ *    serial-per-scan path (same bytes: markers are a side table);
+ *  - backbone inference req/s, plan-backed runInto vs. the naive
+ *    executor (per-request shape inference + tensor allocation);
+ *  - the combined decode+resize+infer request rate.
+ *
+ * Budget knobs: TAMRES_LATENCY_REPS (timed reps per point) and
+ * TAMRES_THREADS (threaded-variant worker count).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_common.hh"
+#include "codec/progressive.hh"
+#include "image/image.hh"
+#include "image/synthetic.hh"
+#include "nn/passes.hh"
+#include "util/thread_pool.hh"
+
+using namespace tamres;
+
+namespace {
+
+constexpr int kRes = 224;
+
+/** Decode + crop/resize + copy into the backbone input tensor. */
+void
+prepareInput(const EncodedImage &enc, Tensor &in)
+{
+    const Image decoded = decodeProgressive(enc);
+    const Image sized = resize(decoded, kRes, kRes);
+    std::copy_n(sized.data(), sized.numel(), in.data());
+}
+
+double
+reqPerS(double seconds)
+{
+    return seconds > 0 ? 1.0 / seconds : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("serving_e2e",
+                  "end-to-end serving hot path: restart-parallel "
+                  "decode + plan-backed inference (Sec. VIII)");
+    const int threads = ThreadPool::defaultParallelism();
+    const int reps = bench::latencyReps();
+
+    // --- Stored object: progressive stream with restart markers ----
+    const Image img = generateSyntheticImage(
+        {.height = 256, .width = 256, .class_id = 3, .seed = 17});
+    ProgressiveConfig ccfg;
+    ccfg.entropy = EntropyCoder::Huffman;
+    ccfg.restart_interval = 64;
+    const EncodedImage enc = encodeProgressive(img, ccfg);
+    EncodedImage legacy = enc; // same bytes, side tables stripped
+    legacy.version = EncodedImage::kVersionLegacy;
+    legacy.restart_bits.clear();
+    legacy.restart_interval = 0;
+    const double mpix = 256.0 * 256.0 / 1e6;
+
+    // --- Serving graph: folded + fused ResNet-18 -------------------
+    auto net = bench::buildBackbone(BackboneArch::ResNet18);
+    foldBatchNorms(*net);
+    fuseConvRelu(*net);
+    Tensor in({1, 3, kRes, kRes});
+    Tensor out;
+    prepareInput(enc, in);
+    net->runInto(in, out); // compile + warm the plan
+
+    struct Point
+    {
+        double decode_restart_mpix = 0.0;
+        double decode_legacy_mpix = 0.0;
+        double infer_planned_rps = 0.0;
+        double infer_naive_rps = 0.0;
+        double e2e_rps = 0.0;
+    };
+
+    auto measure = [&](int nthreads) {
+        setenv("TAMRES_THREADS", std::to_string(nthreads).c_str(), 1);
+        Point p;
+        p.decode_restart_mpix =
+            mpix /
+            medianRunSeconds([&] { decodeProgressive(enc); }, reps);
+        p.decode_legacy_mpix =
+            mpix /
+            medianRunSeconds([&] { decodeProgressive(legacy); }, reps);
+        net->runInto(in, out); // re-warm at this thread count
+        p.infer_planned_rps = reqPerS(
+            medianRunSeconds([&] { net->runInto(in, out); }, reps));
+        p.infer_naive_rps = reqPerS(
+            medianRunSeconds([&] { net->runNaive(in); }, reps));
+        p.e2e_rps = reqPerS(medianRunSeconds(
+            [&] {
+                prepareInput(enc, in);
+                net->runInto(in, out);
+            },
+            reps));
+        unsetenv("TAMRES_THREADS");
+        return p;
+    };
+
+    const Point serial = measure(1);
+    const Point threaded = measure(threads);
+
+    // Sanity: restart decode must be bit-exact with the legacy path.
+    {
+        const Image a = decodeProgressive(enc);
+        const Image b = decodeProgressive(legacy);
+        if (a.numel() != b.numel() ||
+            std::memcmp(a.data(), b.data(),
+                        sizeof(float) * a.numel()) != 0) {
+            std::fprintf(stderr,
+                         "FAIL: restart decode not bit-exact\n");
+            return 1;
+        }
+    }
+
+    std::printf("decode (restart): %.2f Mpix/s serial, %.2f Mpix/s "
+                "x%d (%.2fx)\n",
+                serial.decode_restart_mpix,
+                threaded.decode_restart_mpix, threads,
+                threaded.decode_restart_mpix /
+                    serial.decode_restart_mpix);
+    std::printf("decode (legacy):  %.2f Mpix/s serial, %.2f Mpix/s "
+                "x%d  | restart gain at %d threads: %.2fx\n",
+                serial.decode_legacy_mpix, threaded.decode_legacy_mpix,
+                threads, threads,
+                threaded.decode_restart_mpix /
+                    threaded.decode_legacy_mpix);
+    std::printf("infer: planned %.2f req/s, naive %.2f req/s x%d "
+                "(plan gain %.2fx)\n",
+                threaded.infer_planned_rps, threaded.infer_naive_rps,
+                threads,
+                threaded.infer_planned_rps /
+                    threaded.infer_naive_rps);
+    std::printf("end-to-end: %.2f req/s serial, %.2f req/s x%d\n",
+                serial.e2e_rps, threaded.e2e_rps, threads);
+
+    FILE *f = std::fopen("BENCH_serving.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_serving.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"threads\": %d,\n", threads);
+    std::fprintf(f,
+                 "  \"decode\": {\"restart_serial_mpix_s\": %.4f, "
+                 "\"restart_threaded_mpix_s\": %.4f, "
+                 "\"legacy_serial_mpix_s\": %.4f, "
+                 "\"legacy_threaded_mpix_s\": %.4f, "
+                 "\"restart_gain_threaded\": %.3f},\n",
+                 serial.decode_restart_mpix,
+                 threaded.decode_restart_mpix,
+                 serial.decode_legacy_mpix,
+                 threaded.decode_legacy_mpix,
+                 threaded.decode_restart_mpix /
+                     threaded.decode_legacy_mpix);
+    std::fprintf(f,
+                 "  \"infer\": {\"planned_serial_rps\": %.4f, "
+                 "\"planned_threaded_rps\": %.4f, "
+                 "\"naive_threaded_rps\": %.4f, "
+                 "\"plan_gain_threaded\": %.3f},\n",
+                 serial.infer_planned_rps, threaded.infer_planned_rps,
+                 threaded.infer_naive_rps,
+                 threaded.infer_planned_rps /
+                     threaded.infer_naive_rps);
+    std::fprintf(f,
+                 "  \"e2e\": {\"serial_rps\": %.4f, "
+                 "\"threaded_rps\": %.4f, \"speedup\": %.3f}\n}\n",
+                 serial.e2e_rps, threaded.e2e_rps,
+                 threaded.e2e_rps / serial.e2e_rps);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_serving.json\n");
+    return 0;
+}

@@ -173,13 +173,18 @@ class BitReader
         return acc;
     }
 
-    /** Consume @p nbits bits previously inspected with peekBits. */
+    /**
+     * Consume @p nbits bits previously inspected with peekBits — or
+     * seek forward by a recorded restart offset (64-bit so offsets
+     * into large scans cannot overflow).
+     */
     void
-    skipBits(int nbits)
+    skipBits(int64_t nbits)
     {
         tamres_assert(nbits >= 0, "bad skip count");
-        const size_t target =
-            bytepos_ * 8 + static_cast<size_t>(bitpos_) + nbits;
+        const size_t target = bytepos_ * 8 +
+                              static_cast<size_t>(bitpos_) +
+                              static_cast<size_t>(nbits);
         tamres_assert(target <= size_ * 8, "bitstream overrun");
         bytepos_ = target / 8;
         bitpos_ = static_cast<int>(target % 8);

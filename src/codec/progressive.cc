@@ -484,6 +484,48 @@ encodeBlockRange(Sink &sink, const ScanBand &scan, const int *plane,
     }
 }
 
+/** Decode blocks [b0, b1) of one plane from @p src. */
+template <typename Source>
+void
+decodeBlockRange(Source &src, const ScanBand &scan, int *plane,
+                 int64_t b0, int64_t b1)
+{
+    for (int64_t b = b0; b < b1; ++b) {
+        int *block = plane + b * 64;
+        if (scan.refinement)
+            decodeRefineBand(src, block, scan.lo, scan.hi, scan.al);
+        else
+            decodeBand(src, block, scan.lo, scan.hi, scan.al);
+    }
+}
+
+/** One independently decodable block range of a restart partition. */
+struct BlockRange
+{
+    int plane = 0;
+    int64_t b0 = 0;
+    int64_t b1 = 0;
+};
+
+/**
+ * The plane-major partition of every coded block into ranges of at
+ * most @p interval blocks — the shared encoder/decoder definition of
+ * what a restart offset points at.
+ */
+std::vector<BlockRange>
+restartRanges(const std::vector<PlaneGeom> &geoms, int interval)
+{
+    std::vector<BlockRange> out;
+    for (size_t c = 0; c < geoms.size(); ++c) {
+        const int64_t nblocks = geoms[c].numBlocks();
+        for (int64_t b = 0; b < nblocks; b += interval) {
+            out.push_back({static_cast<int>(c), b,
+                           std::min<int64_t>(b + interval, nblocks)});
+        }
+    }
+    return out;
+}
+
 /**
  * Count one scan's symbol frequencies over every plane. Chunks are
  * counted in parallel and summed; integer addition makes the result
@@ -588,15 +630,88 @@ scanDecodePass(Source &src, const ScanBand &scan,
                std::vector<std::vector<int>> &coeffs)
 {
     for (auto &plane : coeffs) {
-        const int nblocks = static_cast<int>(plane.size() / 64);
-        for (int b = 0; b < nblocks; ++b) {
-            int *block = plane.data() + static_cast<size_t>(b) * 64;
-            if (scan.refinement)
-                decodeRefineBand(src, block, scan.lo, scan.hi, scan.al);
-            else
-                decodeBand(src, block, scan.lo, scan.hi, scan.al);
-        }
+        decodeBlockRange(src, scan, plane.data(),
+                         0, static_cast<int64_t>(plane.size() / 64));
     }
+}
+
+/**
+ * Entropy-encode one scan like scanEncodeParallel, but chunked at the
+ * restart partition and recording the bit offset (from the start of
+ * the scan's payload, table included) where each range begins. Pieces
+ * are bit-concatenated in serial block order, so the payload is
+ * byte-identical to a marker-free (and to a serial) encode; only the
+ * side table differs.
+ */
+void
+scanEncodeRestart(BitWriter &bw, const ScanBand &scan,
+                  const std::vector<std::vector<int>> &coeffs,
+                  const HuffmanTable *table,
+                  const std::vector<BlockRange> &ranges,
+                  std::vector<uint64_t> &offsets)
+{
+    std::vector<BitWriter> pieces(ranges.size());
+    ThreadPool::global().parallelFor(
+        static_cast<int64_t>(ranges.size()),
+        [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                const BlockRange &range = ranges[r];
+                const int *plane = coeffs[range.plane].data();
+                if (table) {
+                    HuffmanSink sink{pieces[r], *table};
+                    encodeBlockRange(sink, scan, plane, range.b0,
+                                     range.b1);
+                } else {
+                    RawSink sink{pieces[r]};
+                    encodeBlockRange(sink, scan, plane, range.b0,
+                                     range.b1);
+                }
+            }
+        },
+        ThreadPool::defaultParallelism());
+    offsets.clear();
+    offsets.reserve(ranges.size());
+    for (const BitWriter &piece : pieces) {
+        offsets.push_back(bw.bitSize());
+        bw.append(piece);
+    }
+}
+
+/**
+ * Decode one scan by fanning the restart ranges out across the thread
+ * pool. Every range reader consumes exactly the bits the serial
+ * decoder would, from the recorded offset, and ranges write disjoint
+ * coefficient blocks — so the result is bit-exact with serial decode
+ * at any thread count.
+ */
+void
+scanDecodeRestart(const uint8_t *data, size_t size,
+                  const ScanBand &scan,
+                  std::vector<std::vector<int>> &coeffs,
+                  const HuffmanTable *table,
+                  const std::vector<BlockRange> &ranges,
+                  const std::vector<uint64_t> &offsets)
+{
+    ThreadPool::global().parallelFor(
+        static_cast<int64_t>(ranges.size()),
+        [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+                const BlockRange &range = ranges[r];
+                int *plane = coeffs[range.plane].data();
+                BitReader br(data, size);
+                br.skipBits(static_cast<int64_t>(offsets[r]));
+                if (table) {
+                    HuffmanSource src{br, *table};
+                    decodeBlockRange(src, scan, plane, range.b0,
+                                     range.b1);
+                } else {
+                    RawSource src{br};
+                    decodeBlockRange(src, scan, plane, range.b0,
+                                     range.b1);
+                }
+            }
+        },
+        ThreadPool::defaultParallelism());
 }
 
 } // namespace
@@ -792,11 +907,21 @@ encodeProgressive(const Image &img, const ProgressiveConfig &config)
     enc.scans = config.scans;
     enc.scan_offsets.push_back(0);
 
+    // Restart partition: shared across scans; offsets recorded per
+    // scan. The payload bytes are identical with or without it.
+    const int interval = std::max(0, config.restart_interval);
+    std::vector<BlockRange> ranges;
+    if (interval > 0) {
+        ranges = restartRanges(geoms, interval);
+        enc.version = EncodedImage::kVersionRestart;
+        enc.restart_interval = interval;
+    }
+
     for (const auto &scan : config.scans) {
         BitWriter bw_scan;
-        if (config.entropy == EntropyCoder::RunLength) {
-            scanEncodeParallel(bw_scan, scan, coeffs, nullptr);
-        } else {
+        const HuffmanTable *table_ptr = nullptr;
+        HuffmanTable table;
+        if (config.entropy == EntropyCoder::Huffman) {
             // Pass 1: per-scan symbol statistics.
             std::vector<uint64_t> freq =
                 scanCountFrequencies(scan, coeffs);
@@ -807,10 +932,16 @@ encodeProgressive(const Image &img, const ProgressiveConfig &config)
                 freq[0] = 1;
             }
             // Pass 2: serialized table, then Huffman-coded payload.
-            const HuffmanTable table =
-                HuffmanTable::fromFrequencies(freq);
+            table = HuffmanTable::fromFrequencies(freq);
             table.serialize(bw_scan);
-            scanEncodeParallel(bw_scan, scan, coeffs, &table);
+            table_ptr = &table;
+        }
+        if (interval > 0) {
+            enc.restart_bits.emplace_back();
+            scanEncodeRestart(bw_scan, scan, coeffs, table_ptr, ranges,
+                              enc.restart_bits.back());
+        } else {
+            scanEncodeParallel(bw_scan, scan, coeffs, table_ptr);
         }
         auto bytes = bw_scan.take();
         enc.bytes.insert(enc.bytes.end(), bytes.begin(), bytes.end());
@@ -843,16 +974,44 @@ decodeProgressive(const EncodedImage &enc, int num_scans)
                          0);
     }
 
+    // Restart-aware fan-out: v2 streams carry per-scan bit offsets of
+    // independently decodable block ranges. Legacy (v1) streams — and
+    // v2 streams whose side tables were stripped — take the serial
+    // path below and decode unchanged.
+    std::vector<BlockRange> ranges;
+    if (enc.hasRestartMarkers()) {
+        tamres_assert(enc.restart_bits.size() ==
+                          static_cast<size_t>(enc.numScans()),
+                      "corrupt restart table: %zu scans of offsets for "
+                      "%d scans", enc.restart_bits.size(),
+                      enc.numScans());
+        ranges = restartRanges(geoms, enc.restart_interval);
+    }
+
     for (int s = 0; s < num_scans; ++s) {
         const size_t begin = enc.scan_offsets[s];
         const size_t end = enc.scan_offsets[s + 1];
         BitReader br(enc.bytes.data() + begin, end - begin);
-        if (enc.entropy == EntropyCoder::RunLength) {
-            RawSource src{br};
+        HuffmanTable table;
+        const HuffmanTable *table_ptr = nullptr;
+        if (enc.entropy == EntropyCoder::Huffman) {
+            table = HuffmanTable::deserialize(br);
+            table_ptr = &table;
+        }
+        if (!ranges.empty()) {
+            const auto &offsets = enc.restart_bits[s];
+            tamres_assert(offsets.size() == ranges.size(),
+                          "corrupt restart offsets: scan %d has %zu "
+                          "offsets for %zu ranges", s, offsets.size(),
+                          ranges.size());
+            scanDecodeRestart(enc.bytes.data() + begin, end - begin,
+                              enc.scans[s], coeffs, table_ptr, ranges,
+                              offsets);
+        } else if (table_ptr) {
+            HuffmanSource src{br, *table_ptr};
             scanDecodePass(src, enc.scans[s], coeffs);
         } else {
-            const HuffmanTable table = HuffmanTable::deserialize(br);
-            HuffmanSource src{br, table};
+            RawSource src{br};
             scanDecodePass(src, enc.scans[s], coeffs);
         }
     }

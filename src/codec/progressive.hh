@@ -119,6 +119,19 @@ struct ProgressiveConfig
      */
     std::vector<ScanBand> scans = defaultScans();
 
+    /**
+     * Restart interval: number of 8x8 blocks per independently
+     * decodable range within each scan, 0 to disable. When enabled the
+     * encoder records, per scan, the bit offset at which each block
+     * range's entropy stream begins, letting the decoder fan ranges
+     * out across the thread pool. The payload bytes are IDENTICAL to a
+     * marker-free encode — resynchronization points live in a side
+     * table next to scan_offsets, not in-band — so enabling restarts
+     * changes no storage metric and parallel decode is bit-exact with
+     * serial decode at any thread count.
+     */
+    int restart_interval = 256;
+
     /** The default 5-scan spectral selection script. */
     static std::vector<ScanBand> defaultScans();
 
@@ -134,6 +147,11 @@ struct ProgressiveConfig
 /** A progressively encoded image. */
 struct EncodedImage
 {
+    /** Header version without restart markers (pre-restart streams). */
+    static constexpr int kVersionLegacy = 1;
+    /** Header version whose side tables carry restart offsets. */
+    static constexpr int kVersionRestart = 2;
+
     int height = 0;
     int width = 0;
     int channels = 0;
@@ -141,6 +159,35 @@ struct EncodedImage
     EntropyCoder entropy = EntropyCoder::RunLength;
     ColorMode color = ColorMode::Planar;
     std::vector<ScanBand> scans;
+
+    /**
+     * Stream layout version. Legacy (v1) streams carry no restart
+     * side tables and always decode serially; v2 streams additionally
+     * populate restart_interval/restart_bits. The payload bytes are
+     * identical either way, so a v2 stream with its side tables
+     * dropped is a valid v1 stream.
+     */
+    int version = kVersionLegacy;
+
+    /** Blocks per restart range (0 on legacy streams). */
+    int restart_interval = 0;
+
+    /**
+     * restart_bits[s][r] = bit offset, from the start of scan s's
+     * payload segment, of block range r's entropy stream (range r of
+     * the plane-major partition into restart_interval-block ranges;
+     * for Huffman scans offset 0 bits are the serialized table, so
+     * restart_bits[s][0] lands right after it).
+     */
+    std::vector<std::vector<uint64_t>> restart_bits;
+
+    /** True when the stream carries usable restart markers. */
+    bool
+    hasRestartMarkers() const
+    {
+        return version >= kVersionRestart && restart_interval > 0 &&
+               !restart_bits.empty();
+    }
 
     /** Concatenated scan payloads. */
     std::vector<uint8_t> bytes;

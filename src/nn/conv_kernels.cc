@@ -302,13 +302,21 @@ microDispatch(int mr, int nr)
     }
 }
 
-/** Thread-local scratch reused across calls to avoid reallocation. */
+/**
+ * Thread-local scratch reused across calls to avoid reallocation.
+ * Buffers only ever grow (vector resize keeps capacity), so after a
+ * warm-up pass over a network's shapes the kernels run allocation-free
+ * — the property the plan runtime's zero-alloc steady state relies on.
+ */
 struct Scratch
 {
     std::vector<float> im2col;
     std::vector<float> apack;
     std::vector<float> bpack;
     std::vector<float> ctile;
+    std::vector<float> wino_u; //!< transformed weights (fork thread)
+    std::vector<float> wino_v; //!< input-tile transform (per worker)
+    std::vector<float> wino_m; //!< GEMM accumulator (per worker)
 };
 
 Scratch &
@@ -650,7 +658,7 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
     const int total_tiles = tiles_y * tiles_x;
     const int tb = std::max(4, cfg.wino_tile_block);
 
-    std::vector<float> u;
+    std::vector<float> &u = scratch().wino_u;
     winogradWeightTransform(p, w, u);
 
     // Parallelize over (batch, tile block): every block writes a
@@ -662,9 +670,12 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
     ThreadPool::global().parallelFor(
         total_work,
         [&](int64_t w0, int64_t w1) {
-        // Per tile-block scratch: V[16][icg][tb], M[16][oc][tb].
-        std::vector<float> v(static_cast<size_t>(16) * icg * tb);
-        std::vector<float> m(static_cast<size_t>(16) * p.oc * tb);
+        // Per tile-block scratch: V[16][icg][tb], M[16][oc][tb],
+        // thread-local so each worker reuses its own across calls.
+        std::vector<float> &v = scratch().wino_v;
+        std::vector<float> &m = scratch().wino_m;
+        v.resize(static_cast<size_t>(16) * icg * tb);
+        m.resize(static_cast<size_t>(16) * p.oc * tb);
         for (int64_t wi = w0; wi < w1; ++wi) {
             const int n = static_cast<int>(wi / nblk);
             const int t0 = static_cast<int>(wi % nblk) * tb;

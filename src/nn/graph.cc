@@ -1,8 +1,19 @@
 #include "nn/graph.hh"
 
+#include <algorithm>
+
+#include "nn/kernel_selector.hh"
+#include "nn/ops.hh"
 #include "util/timer.hh"
 
 namespace tamres {
+
+namespace {
+
+/** Plans cached per graph; serving alternates over few resolutions. */
+constexpr size_t kMaxCachedPlans = 8;
+
+} // namespace
 
 Graph::Graph()
 {
@@ -21,6 +32,7 @@ Graph::add(std::unique_ptr<Op> op, std::vector<NodeId> inputs)
     }
     nodes_.push_back(Node{std::move(op), std::move(inputs)});
     output_ = id;
+    invalidatePlans();
     return id;
 }
 
@@ -30,6 +42,7 @@ Graph::setOutput(NodeId id)
     tamres_assert(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
                   "output node %d undefined", id);
     output_ = id;
+    invalidatePlans();
 }
 
 std::vector<Shape>
@@ -69,6 +82,7 @@ Graph::replaceOp(NodeId id, std::unique_ptr<Op> op)
                   "input placeholder)");
     tamres_assert(op != nullptr, "replacement op must be non-null");
     nodes_[id].op = std::move(op);
+    invalidatePlans();
 }
 
 void
@@ -86,6 +100,7 @@ Graph::rewire(NodeId from, NodeId to)
     }
     if (output_ == from)
         output_ = to;
+    invalidatePlans();
 }
 
 std::vector<Graph::NodeId>
@@ -113,22 +128,214 @@ Graph::liveNodes() const
 Tensor
 Graph::run(const Tensor &input)
 {
+    Tensor out;
+    runInto(input, out);
+    return out;
+}
+
+Tensor
+Graph::runNaive(const Tensor &input)
+{
     const auto shapes = inferShapes(input.shape());
     std::vector<Tensor> values(nodes_.size());
-    values[kInput] = input;
     for (NodeId i : liveNodes()) {
         if (i == kInput)
             continue;
         std::vector<const Tensor *> ins;
         ins.reserve(nodes_[i].inputs.size());
         for (NodeId in : nodes_[i].inputs)
-            ins.push_back(&values[in]);
+            ins.push_back(in == kInput ? &input : &values[in]);
         values[i] = Tensor(shapes[i]);
         if (observer_)
             observer_(*nodes_[i].op, ins);
         nodes_[i].op->forward(ins, values[i]);
     }
-    return values[output_];
+    return output_ == kInput ? input : values[output_];
+}
+
+void
+Graph::runInto(const Tensor &input, Tensor &out)
+{
+    tamres_assert(!input.empty(), "cannot run on an empty tensor");
+    tamres_assert(out.empty() || out.data() != input.data(),
+                  "runInto output must not alias the input");
+    executePlan(planFor(input.shape()), input, out);
+}
+
+void
+Graph::invalidatePlans()
+{
+    plans_.clear();
+}
+
+int64_t
+Graph::planArenaNumel(const Shape &input_shape)
+{
+    int64_t total = 0;
+    for (const Tensor &buf : planFor(input_shape).arena)
+        total += buf.numel();
+    return total;
+}
+
+std::unique_ptr<Graph::Plan>
+Graph::buildPlan(const Shape &input_shape) const
+{
+    auto plan = std::make_unique<Plan>();
+    plan->input_shape = input_shape;
+    const auto shapes = inferShapes(input_shape);
+    plan->output_shape = shapes[output_];
+    const std::vector<NodeId> live = liveNodes();
+
+    // Liveness: the last live consumer of each node's value. Live
+    // nodes are sorted ascending, which is a topological order here
+    // (ops only consume already-defined nodes).
+    std::vector<NodeId> last_use(nodes_.size(), -1);
+    for (NodeId i : live) {
+        for (NodeId in : nodes_[i].inputs)
+            last_use[in] = std::max(last_use[in], i);
+    }
+
+    // Greedy best-fit arena assignment: a node takes the smallest
+    // free buffer that fits (growing the largest free one when none
+    // does), and releases its inputs' buffers after the step that
+    // reads them last. Releasing *after* the output is placed keeps a
+    // step's output from aliasing any of its inputs. The output node
+    // writes caller-owned storage and takes no slot.
+    std::vector<int> node_slot(nodes_.size(), -1);
+    std::vector<int64_t> slot_cap;
+    std::vector<char> slot_free;
+    size_t nsteps = 0;
+    for (NodeId i : live) {
+        if (i == kInput)
+            continue;
+        ++nsteps;
+        if (i != output_) {
+            const int64_t need = shapeNumel(shapes[i]);
+            int best = -1;
+            int grow = -1;
+            for (size_t s = 0; s < slot_cap.size(); ++s) {
+                if (!slot_free[s])
+                    continue;
+                if (slot_cap[s] >= need) {
+                    if (best < 0 || slot_cap[s] < slot_cap[best])
+                        best = static_cast<int>(s);
+                } else if (grow < 0 || slot_cap[s] > slot_cap[grow]) {
+                    grow = static_cast<int>(s);
+                }
+            }
+            int s;
+            if (best >= 0) {
+                s = best;
+            } else if (grow >= 0) {
+                s = grow;
+                slot_cap[s] = need;
+            } else {
+                s = static_cast<int>(slot_cap.size());
+                slot_cap.push_back(need);
+                slot_free.push_back(0);
+            }
+            slot_free[s] = 0;
+            node_slot[i] = s;
+        }
+        for (NodeId in : nodes_[i].inputs) {
+            if (node_slot[in] >= 0 && last_use[in] == i)
+                slot_free[node_slot[in]] = 1;
+        }
+    }
+
+    plan->arena.reserve(slot_cap.size());
+    for (int64_t cap : slot_cap)
+        plan->arena.emplace_back(Shape{cap});
+
+    // Steps are filled after a single resize so the arena views the
+    // input-pointer wiring takes addresses of never move.
+    plan->steps.resize(nsteps);
+    std::vector<const Tensor *> view_of(nodes_.size(), nullptr);
+    size_t k = 0;
+    for (NodeId i : live) {
+        if (i == kInput)
+            continue;
+        PlanStep &st = plan->steps[k++];
+        st.op = nodes_[i].op.get();
+        st.conv = dynamic_cast<Conv2d *>(st.op);
+        if (!nodes_[i].inputs.empty())
+            st.in0_shape = shapes[nodes_[i].inputs[0]];
+        if (st.conv)
+            st.cfg = st.conv->configFor(st.in0_shape);
+        if (i == output_) {
+            st.external_out = true;
+        } else {
+            st.out_view = plan->arena[node_slot[i]].alias(shapes[i]);
+            view_of[i] = &st.out_view;
+        }
+        const auto &in_nodes = nodes_[i].inputs;
+        st.ins.assign(in_nodes.size(), nullptr);
+        for (size_t a = 0; a < in_nodes.size(); ++a) {
+            if (in_nodes[a] == kInput)
+                st.input_patch.push_back(static_cast<int>(a));
+            else
+                st.ins[a] = view_of[in_nodes[a]];
+        }
+    }
+    plan->selector_gen = KernelSelector::instance().generation();
+    return plan;
+}
+
+Graph::Plan &
+Graph::planFor(const Shape &input_shape)
+{
+    size_t hit = plans_.size();
+    for (size_t i = 0; i < plans_.size(); ++i) {
+        if (plans_[i]->input_shape == input_shape) {
+            hit = i;
+            break;
+        }
+    }
+    if (hit == plans_.size()) {
+        plans_.insert(plans_.begin(), buildPlan(input_shape));
+        if (plans_.size() > kMaxCachedPlans)
+            plans_.pop_back();
+    } else if (hit != 0) {
+        std::rotate(plans_.begin(), plans_.begin() + hit,
+                    plans_.begin() + hit + 1);
+    }
+    Plan &plan = *plans_.front();
+
+    // Kernel-selector churn (mode flips, newly registered tuned
+    // configs) re-resolves the cached conv configs in place; the
+    // schedule and arena stay put.
+    const uint64_t gen = KernelSelector::instance().generation();
+    if (plan.selector_gen != gen) {
+        for (PlanStep &st : plan.steps) {
+            if (st.conv)
+                st.cfg = st.conv->configFor(st.in0_shape);
+        }
+        plan.selector_gen = gen;
+    }
+    return plan;
+}
+
+void
+Graph::executePlan(Plan &plan, const Tensor &input, Tensor &out)
+{
+    if (out.shape() != plan.output_shape)
+        out = Tensor(plan.output_shape);
+    if (output_ == kInput) {
+        // Degenerate op-free graph: copy the borrowed input through.
+        std::copy_n(input.data(), input.numel(), out.data());
+        return;
+    }
+    for (PlanStep &st : plan.steps) {
+        for (int idx : st.input_patch)
+            st.ins[idx] = &input;
+        Tensor &dst = st.external_out ? out : st.out_view;
+        if (observer_)
+            observer_(*st.op, st.ins);
+        if (st.conv)
+            st.conv->forwardWith(st.cfg, st.ins, dst);
+        else
+            st.op->forward(st.ins, dst);
+    }
 }
 
 int64_t
@@ -152,7 +359,6 @@ Graph::profile(const Tensor &input)
 {
     const auto shapes = inferShapes(input.shape());
     std::vector<Tensor> values(nodes_.size());
-    values[kInput] = input;
     std::vector<OpProfile> out;
     out.reserve(nodes_.size() - 1);
     for (NodeId i_id : liveNodes()) {
@@ -162,7 +368,7 @@ Graph::profile(const Tensor &input)
         std::vector<const Tensor *> ins;
         std::vector<Shape> in_shapes;
         for (NodeId in : nodes_[i].inputs) {
-            ins.push_back(&values[in]);
+            ins.push_back(in == kInput ? &input : &values[in]);
             in_shapes.push_back(shapes[in]);
         }
         values[i] = Tensor(shapes[i]);

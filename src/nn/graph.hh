@@ -1,6 +1,28 @@
 /**
  * @file
  * Inference graph: a DAG of operators executed at any input resolution.
+ *
+ * Steady-state execution goes through cached *execution plans*: the
+ * first run() at a given input shape compiles a Plan — topological
+ * schedule over the live nodes, inferred shapes, a liveness-based
+ * arena that hosts every intermediate in a handful of reusable
+ * buffers, and the resolved ConvConfig per convolution — and
+ * subsequent runs at that shape replay it with zero graph analysis
+ * and zero heap allocation (runInto() with a caller-reused output is
+ * fully allocation-free; run() allocates only the returned tensor).
+ * Plans are keyed by input shape, so dynamic-resolution serving hits
+ * one cached plan per resolution. Any structural mutation (add,
+ * setOutput, replaceOp, rewire) invalidates the cache; kernel-selector
+ * changes (mode flips, new tuned configs) only re-resolve the cached
+ * conv configs in place.
+ *
+ * Arena lifetime contract: the tensors a plan's steps write are views
+ * onto plan-owned buffers that are reused both across nodes within a
+ * run (when lifetimes don't overlap) and across runs. Only the graph
+ * input (borrowed from the caller for the duration of the call) and
+ * the output (written to caller-owned storage) cross the plan
+ * boundary; observers must not retain the tensor pointers they are
+ * shown (they were never allowed to).
  */
 
 #ifndef TAMRES_NN_GRAPH_HH
@@ -11,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/conv_kernels.hh"
 #include "nn/op.hh"
 
 namespace tamres {
@@ -48,8 +71,43 @@ class Graph
     /** Number of operator nodes (excluding the input placeholder). */
     size_t numOps() const { return nodes_.size() - 1; }
 
-    /** Run the graph on @p input and return the output tensor. */
+    /**
+     * Run the graph on @p input and return the output tensor. Executes
+     * through the cached plan for the input's shape (compiled on first
+     * use); the returned tensor owns fresh storage, so callers may
+     * keep results across subsequent runs.
+     */
     Tensor run(const Tensor &input);
+
+    /**
+     * Plan-backed execution into caller-owned storage: @p out is
+     * reallocated only when its shape does not match the output shape
+     * for this input. A serving loop that reuses the same @p out runs
+     * with zero heap allocations after the first (plan-compiling)
+     * request. @p out must not alias @p input.
+     */
+    void runInto(const Tensor &input, Tensor &out);
+
+    /**
+     * The un-planned reference executor (one fresh tensor per node,
+     * shapes re-inferred per call). Kept as the correctness oracle the
+     * plan runtime is tested against.
+     */
+    Tensor runNaive(const Tensor &input);
+
+    /** Drop every cached execution plan. */
+    void invalidatePlans();
+
+    /** Number of execution plans currently cached. */
+    size_t cachedPlanCount() const { return plans_.size(); }
+
+    /**
+     * Total floats of arena backing storage in the plan for
+     * @p input_shape (compiling it if absent) — introspection for
+     * tests and capacity planning. Far below the sum of live
+     * intermediate sizes when liveness-based reuse is working.
+     */
+    int64_t planArenaNumel(const Shape &input_shape);
 
     /** Total MAC count for an input of the given shape. */
     int64_t flops(const Shape &input_shape) const;
@@ -121,11 +179,43 @@ class Graph
         std::vector<NodeId> inputs;
     };
 
+    /** One scheduled op of a compiled plan. */
+    struct PlanStep
+    {
+        Op *op = nullptr;
+        class Conv2d *conv = nullptr; //!< non-null for Conv2d steps
+        ConvConfig cfg;               //!< resolved config when conv
+        Shape in0_shape;              //!< first input (config re-resolve)
+        Tensor out_view;   //!< arena view (empty when external output)
+        bool external_out = false; //!< write the caller's out tensor
+        std::vector<const Tensor *> ins; //!< patched per execute
+        std::vector<int> input_patch;    //!< ins[] slots fed by the
+                                         //!< borrowed graph input
+    };
+
+    /** A compiled schedule + arena for one input shape. */
+    struct Plan
+    {
+        Shape input_shape;
+        Shape output_shape;
+        std::vector<Tensor> arena;   //!< reusable backing buffers
+        std::vector<PlanStep> steps;
+        uint64_t selector_gen = 0;   //!< KernelSelector generation at
+                                     //!< config resolution time
+    };
+
     std::vector<Shape> inferShapes(const Shape &input_shape) const;
+
+    Plan &planFor(const Shape &input_shape);
+    std::unique_ptr<Plan> buildPlan(const Shape &input_shape) const;
+    void executePlan(Plan &plan, const Tensor &input, Tensor &out);
 
     std::vector<Node> nodes_;
     NodeId output_ = kInput;
     OpObserver observer_;
+
+    /** MRU-ordered plan cache (front = most recent). */
+    std::vector<std::unique_ptr<Plan>> plans_;
 };
 
 } // namespace tamres

@@ -13,6 +13,7 @@ void
 KernelSelector::registerTuned(const ConvProblem &p, const ConvConfig &cfg)
 {
     tuned_[p.key()] = cfg;
+    ++generation_;
 }
 
 bool

@@ -11,6 +11,7 @@
 #ifndef TAMRES_NN_KERNEL_SELECTOR_HH
 #define TAMRES_NN_KERNEL_SELECTOR_HH
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 
@@ -34,8 +35,23 @@ class KernelSelector
     static KernelSelector &instance();
 
     /** Set the active mode (default Library). */
-    void setMode(KernelMode mode) { mode_ = mode; }
+    void
+    setMode(KernelMode mode)
+    {
+        if (mode != mode_)
+            ++generation_;
+        mode_ = mode;
+    }
     KernelMode mode() const { return mode_; }
+
+    /**
+     * Monotonic counter bumped by every selection-affecting mutation
+     * (mode changes, tuned registrations). Cached selections — e.g.
+     * the per-conv configs a Graph execution plan resolves ahead of
+     * time — compare generations instead of re-running select() per
+     * request, and re-resolve only when the registry actually moved.
+     */
+    uint64_t generation() const { return generation_; }
 
     /** Register a tuned config for a problem shape. */
     void registerTuned(const ConvProblem &p, const ConvConfig &cfg);
@@ -44,7 +60,12 @@ class KernelSelector
     size_t tunedCount() const { return tuned_.size(); }
 
     /** Drop all tuned registrations. */
-    void clearTuned() { tuned_.clear(); }
+    void
+    clearTuned()
+    {
+        tuned_.clear();
+        ++generation_;
+    }
 
     /** True when a tuned config exists for @p p. */
     bool hasTuned(const ConvProblem &p) const;
@@ -73,6 +94,7 @@ class KernelSelector
     KernelSelector() = default;
 
     KernelMode mode_ = KernelMode::Library;
+    uint64_t generation_ = 0;
     std::unordered_map<std::string, ConvConfig> tuned_;
 };
 

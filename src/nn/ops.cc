@@ -66,15 +66,30 @@ Conv2d::outputShape(const std::vector<Shape> &inputs) const
     return {p.n, p.oc, p.oh(), p.ow()};
 }
 
+ConvConfig
+Conv2d::configFor(const Shape &input) const
+{
+    if (override_)
+        return *override_;
+    return KernelSelector::instance().select(problemFor(input));
+}
+
 void
 Conv2d::forward(const std::vector<const Tensor *> &inputs, Tensor &out)
 {
+    forwardWith(configFor(inputs[0]->shape()), inputs, out);
+}
+
+void
+Conv2d::forwardWith(const ConvConfig &cfg,
+                    const std::vector<const Tensor *> &inputs,
+                    Tensor &out)
+{
     const Tensor &in = *inputs[0];
     const ConvProblem p = problemFor(in.shape());
-    const ConvConfig cfg =
-        override_ ? *override_ : KernelSelector::instance().select(p);
     convForward(p, in.data(), weight_.data(),
-                has_bias_ ? bias_.data() : nullptr, out.data(), cfg);
+                has_bias_ ? bias_.data() : nullptr, out.data(),
+                override_ ? *override_ : cfg);
     if (fused_relu_) {
         float *o = out.data();
         const size_t n = out.numel();

@@ -46,6 +46,24 @@ class Conv2d : public Op
     ConvProblem problemFor(const Shape &input) const;
 
     /**
+     * The config forward() would run with for @p input (the override
+     * when pinned, otherwise the KernelSelector's pick). Execution
+     * plans resolve this once per (graph, shape) and replay it via
+     * forwardWith(), keeping the per-request hot path free of the
+     * selector's keyed lookup.
+     */
+    ConvConfig configFor(const Shape &input) const;
+
+    /**
+     * forward() with a pre-resolved config. A live override still
+     * wins, so pinning a config for tuning measurement works even
+     * when a cached plan supplies @p cfg.
+     */
+    void forwardWith(const ConvConfig &cfg,
+                     const std::vector<const Tensor *> &inputs,
+                     Tensor &out);
+
+    /**
      * Pin a specific config, bypassing the KernelSelector (used by
      * tuning measurement).
      */

@@ -80,6 +80,22 @@ Tensor::reshaped(Shape shape) const
     return out;
 }
 
+Tensor
+Tensor::alias(Shape shape) const
+{
+    const int64_t n = shapeNumel(shape);
+    tamres_assert(n <= numel_,
+                  "alias %s needs %lld elements, buffer holds %lld",
+                  shapeToString(shape).c_str(),
+                  static_cast<long long>(n),
+                  static_cast<long long>(numel_));
+    Tensor out;
+    out.shape_ = std::move(shape);
+    out.numel_ = n;
+    out.data_ = data_;
+    return out;
+}
+
 double
 Tensor::sum() const
 {

@@ -103,6 +103,15 @@ class Tensor
      */
     Tensor reshaped(Shape shape) const;
 
+    /**
+     * Return a tensor sharing a prefix of this tensor's storage with a
+     * shape of at most this tensor's element count. Unlike reshaped(),
+     * the view may be smaller than the backing buffer — the primitive
+     * the execution-plan arena uses to host differently-shaped node
+     * outputs in one reusable allocation.
+     */
+    Tensor alias(Shape shape) const;
+
     /** Sum of all elements (double accumulation). */
     double sum() const;
 

@@ -49,12 +49,11 @@ ThreadPool::inParallelRegion()
 }
 
 void
-ThreadPool::runChunk(const std::function<void(int64_t, int64_t)> &fn,
-                     int64_t begin, int64_t end)
+ThreadPool::runChunk(ChunkFn fn, void *ctx, int64_t begin, int64_t end)
 {
     tls_in_chunk = true;
     try {
-        fn(begin, end);
+        fn(ctx, begin, end);
     } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!error_)
@@ -64,9 +63,8 @@ ThreadPool::runChunk(const std::function<void(int64_t, int64_t)> &fn,
 }
 
 void
-ThreadPool::parallelFor(int64_t n,
-                        const std::function<void(int64_t, int64_t)> &fn,
-                        int max_parts)
+ThreadPool::parallelForRaw(int64_t n, ChunkFn fn, void *ctx,
+                           int max_parts)
 {
     if (n <= 0)
         return;
@@ -80,7 +78,7 @@ ThreadPool::parallelFor(int64_t n,
     // single job slot. The tls check must come before touching
     // forkMutex_ — try_lock on a mutex the thread already owns is UB.
     if (parts == 1 || tls_in_chunk) {
-        fn(0, n);
+        fn(ctx, 0, n);
         return;
     }
     // Concurrent calls from a second user thread also run inline: a
@@ -88,13 +86,14 @@ ThreadPool::parallelFor(int64_t n,
     // Exceptions propagate naturally on all inline paths.
     std::unique_lock<std::mutex> fork(forkMutex_, std::try_to_lock);
     if (!fork.owns_lock()) {
-        fn(0, n);
+        fn(ctx, 0, n);
         return;
     }
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        job_ = &fn;
+        jobFn_ = fn;
+        jobCtx_ = ctx;
         jobSize_ = n;
         jobParts_ = parts;
         error_ = nullptr;
@@ -107,11 +106,12 @@ ThreadPool::parallelFor(int64_t n,
 
     // The calling thread takes the first chunk.
     const auto [b0, e0] = chunkBounds(0, parts, n);
-    runChunk(fn, b0, e0);
+    runChunk(fn, ctx, b0, e0);
 
     std::unique_lock<std::mutex> lock(mutex_);
     doneCv_.wait(lock, [this] { return pending_ == 0; });
-    job_ = nullptr;
+    jobFn_ = nullptr;
+    jobCtx_ = nullptr;
     if (error_) {
         const std::exception_ptr err = error_;
         error_ = nullptr;
@@ -125,24 +125,26 @@ ThreadPool::workerLoop(int idx)
 {
     uint64_t seen = 0;
     for (;;) {
-        const std::function<void(int64_t, int64_t)> *job = nullptr;
+        ChunkFn job = nullptr;
+        void *ctx = nullptr;
         int64_t n = 0;
         int parts = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wakeCv_.wait(lock, [&] {
-                return stop_ || (job_ && generation_ != seen);
+                return stop_ || (jobFn_ && generation_ != seen);
             });
             if (stop_)
                 return;
             seen = generation_;
-            job = job_;
+            job = jobFn_;
+            ctx = jobCtx_;
             n = jobSize_;
             parts = jobParts_;
         }
         if (idx < parts) {
             const auto [begin, end] = chunkBounds(idx, parts, n);
-            runChunk(*job, begin, end);
+            runChunk(job, ctx, begin, end);
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);

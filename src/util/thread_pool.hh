@@ -24,10 +24,12 @@
 #define TAMRES_UTIL_THREAD_POOL_HH
 
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -58,10 +60,34 @@ class ThreadPool
      * first exception is rethrown here once every chunk has returned.
      * Reentrant or concurrent invocations run fn(0, n) serially on the
      * calling thread.
+     *
+     * The callable is passed by non-owning reference (parallelFor is
+     * fully synchronous, so the caller's lambda outlives every chunk);
+     * no std::function is constructed and the dispatch itself performs
+     * no heap allocation — a property the plan runtime's zero-alloc
+     * steady state depends on.
      */
-    void parallelFor(int64_t n,
-                     const std::function<void(int64_t, int64_t)> &fn,
-                     int max_parts = 0);
+    template <typename Fn>
+    void
+    parallelFor(int64_t n, Fn &&fn, int max_parts = 0)
+    {
+        using Decayed = std::remove_reference_t<Fn>;
+        parallelForRaw(
+            n,
+            [](void *ctx, int64_t begin, int64_t end) {
+                (*static_cast<Decayed *>(ctx))(begin, end);
+            },
+            const_cast<void *>(
+                static_cast<const void *>(std::addressof(fn))),
+            max_parts);
+    }
+
+    /** Type-erased chunk entry point used by parallelFor. */
+    using ChunkFn = void (*)(void *ctx, int64_t begin, int64_t end);
+
+    /** Non-template core of parallelFor (fn + context pointer). */
+    void parallelForRaw(int64_t n, ChunkFn fn, void *ctx,
+                        int max_parts = 0);
 
     /** True while the current thread is executing a parallelFor chunk. */
     static bool inParallelRegion();
@@ -92,8 +118,7 @@ class ThreadPool
 
   private:
     void workerLoop(int idx);
-    void runChunk(const std::function<void(int64_t, int64_t)> &fn,
-                  int64_t begin, int64_t end);
+    void runChunk(ChunkFn fn, void *ctx, int64_t begin, int64_t end);
 
     int nthreads_;
     std::vector<std::thread> workers_;
@@ -104,7 +129,8 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable wakeCv_;
     std::condition_variable doneCv_;
-    const std::function<void(int64_t, int64_t)> *job_ = nullptr;
+    ChunkFn jobFn_ = nullptr;
+    void *jobCtx_ = nullptr;
     int64_t jobSize_ = 0;
     int jobParts_ = 0;
     uint64_t generation_ = 0;

@@ -8,13 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "codec/bitstream.hh"
 #include "codec/dct.hh"
 #include "codec/progressive.hh"
 #include "image/metrics.hh"
 #include "image/synthetic.hh"
+#include "tests/threads_env.hh"
 #include "util/rng.hh"
 
 namespace tamres {
@@ -295,6 +298,132 @@ INSTANTIATE_TEST_SUITE_P(
     QualityBySize, ProgressiveSweep,
     ::testing::Combine(::testing::Values(40, 70, 90),
                        ::testing::Values(24, 40, 72)));
+
+// --- Restart intervals (parallel entropy decode) ---------------------
+
+bool
+imagesIdentical(const Image &a, const Image &b)
+{
+    if (a.height() != b.height() || a.width() != b.width() ||
+        a.channels() != b.channels())
+        return false;
+    for (size_t i = 0; i < a.numel(); ++i) {
+        if (a.data()[i] != b.data()[i])
+            return false;
+    }
+    return true;
+}
+
+TEST(Restart, PayloadBytesIdenticalToLegacyEncode)
+{
+    // Restart points are a side table: the entropy payload must be
+    // byte-for-byte what a marker-free encode produces, so enabling
+    // them changes no storage metric.
+    const Image src = testImage(72, 56, 2, 21);
+    for (const EntropyCoder coder :
+         {EntropyCoder::RunLength, EntropyCoder::Huffman}) {
+        ProgressiveConfig legacy;
+        legacy.entropy = coder;
+        legacy.restart_interval = 0;
+        ProgressiveConfig restart = legacy;
+        restart.restart_interval = 16;
+
+        const EncodedImage a = encodeProgressive(src, legacy);
+        const EncodedImage b = encodeProgressive(src, restart);
+        EXPECT_EQ(a.version, EncodedImage::kVersionLegacy);
+        EXPECT_EQ(b.version, EncodedImage::kVersionRestart);
+        EXPECT_FALSE(a.hasRestartMarkers());
+        EXPECT_TRUE(b.hasRestartMarkers());
+        EXPECT_EQ(a.bytes, b.bytes);
+        EXPECT_EQ(a.scan_offsets, b.scan_offsets);
+    }
+}
+
+TEST(Restart, ParallelDecodeBitExactAcrossThreadCounts)
+{
+    const Image src = testImage(96, 88, 1, 22);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 8;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    ASSERT_TRUE(enc.hasRestartMarkers());
+
+    // Serial reference: the same stream with its side table stripped
+    // decodes through the legacy path.
+    EncodedImage stripped = enc;
+    stripped.version = EncodedImage::kVersionLegacy;
+    stripped.restart_bits.clear();
+    stripped.restart_interval = 0;
+
+    for (int k = 0; k <= enc.numScans(); ++k) {
+        const Image want = decodeProgressive(stripped, k);
+        for (const int threads : {1, 2, 8}) {
+            ThreadsEnv env(threads);
+            const Image got = decodeProgressive(enc, k);
+            EXPECT_TRUE(imagesIdentical(want, got))
+                << "scan " << k << ", " << threads << " threads";
+        }
+    }
+}
+
+TEST(Restart, LegacyStreamStillDecodes)
+{
+    // A marker-free (v1) stream must decode exactly as before, at any
+    // thread count — backward compatibility with pre-restart streams.
+    const Image src = testImage(64, 40, 3, 23);
+    ProgressiveConfig cfg;
+    cfg.restart_interval = 0;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    EXPECT_FALSE(enc.hasRestartMarkers());
+    ThreadsEnv env(8);
+    const Image out = decodeProgressive(enc);
+    EXPECT_GT(psnr(src, out), 28.0);
+}
+
+TEST(Restart, SuccessiveApproximationScriptRoundTrips)
+{
+    // Refinement scans must stay range-independent too.
+    const Image src = testImage(80, 64, 2, 24);
+    ProgressiveConfig cfg;
+    cfg.scans = ProgressiveConfig::successiveScans();
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 8;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+
+    EncodedImage stripped = enc;
+    stripped.version = EncodedImage::kVersionLegacy;
+    stripped.restart_bits.clear();
+    stripped.restart_interval = 0;
+
+    ThreadsEnv env(8);
+    EXPECT_TRUE(imagesIdentical(decodeProgressive(stripped),
+                                decodeProgressive(enc)));
+}
+
+TEST(RestartDeath, OffsetPastStreamDiesLoudly)
+{
+    const Image src = testImage(48, 48, 1, 25);
+    ProgressiveConfig cfg;
+    cfg.restart_interval = 8;
+    EncodedImage enc = encodeProgressive(src, cfg);
+    ASSERT_TRUE(enc.hasRestartMarkers());
+    // A vandalized side table pointing past the scan must hit the
+    // bounds-checked seek, not read out of the buffer.
+    enc.restart_bits[1].back() = (enc.bytes.size() + 64) * 8;
+    EXPECT_DEATH(decodeProgressive(enc), "overrun");
+}
+
+TEST(RestartDeath, TruncatedRestartStreamDiesLoudly)
+{
+    const Image src = testImage(48, 48, 1, 26);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 8;
+    EncodedImage enc = encodeProgressive(src, cfg);
+    enc.bytes.resize(enc.bytes.size() / 2);
+    EXPECT_DEATH(decodeProgressive(enc, enc.numScans()),
+                 "truncated|overrun|corrupt");
+}
 
 } // namespace
 } // namespace tamres

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <tuple>
 
 #include "codec/progressive.hh"
 #include "image/metrics.hh"
 #include "image/synthetic.hh"
+#include "tests/threads_env.hh"
 #include "util/rng.hh"
 
 namespace tamres {
@@ -292,6 +295,94 @@ TEST(CodecEmptyImageDeath, Rejected)
 {
     Image empty;
     EXPECT_DEATH(encodeProgressive(empty), "empty");
+}
+
+// --- Restart-marker boundary fuzzing ---------------------------------
+
+TEST(CodecRestartFuzz, RandomIntervalsRoundTripBitExact)
+{
+    // Sweep restart intervals across the degenerate boundaries — one
+    // block per range, prime strides that straddle plane edges, and
+    // intervals larger than any plane (one range per plane) — at odd
+    // image sizes, both entropy coders, and several thread counts.
+    // Every combination must produce the legacy payload bytes and a
+    // decode identical to the serial (stripped side table) path.
+    Rng rng(99);
+    const int intervals[] = {1, 3, 7, 17, 64, 100000};
+    for (int trial = 0; trial < 6; ++trial) {
+        const int h = 9 + static_cast<int>(rng.uniformInt(uint64_t{56}));
+        const int w = 9 + static_cast<int>(rng.uniformInt(uint64_t{56}));
+        const Image src = randomImage(h, w, 1000 + trial);
+        const EntropyCoder coder = trial % 2 == 0
+                                       ? EntropyCoder::Huffman
+                                       : EntropyCoder::RunLength;
+        ProgressiveConfig legacy;
+        legacy.entropy = coder;
+        legacy.restart_interval = 0;
+        const EncodedImage base = encodeProgressive(src, legacy);
+        const Image want = decodeProgressive(base);
+
+        ProgressiveConfig cfg = legacy;
+        cfg.restart_interval = intervals[trial % 6];
+        const EncodedImage enc = encodeProgressive(src, cfg);
+        ASSERT_EQ(enc.bytes, base.bytes) << "trial " << trial;
+
+        for (const int threads : {1, 2, 8}) {
+            ThreadsEnv env(threads);
+            const Image got = decodeProgressive(enc);
+            ASSERT_EQ(got.numel(), want.numel());
+            for (size_t i = 0; i < got.numel(); ++i)
+                ASSERT_EQ(got.data()[i], want.data()[i])
+                    << "trial " << trial << ", interval "
+                    << cfg.restart_interval << ", " << threads
+                    << " threads";
+        }
+    }
+}
+
+TEST(CodecRestartFuzz, PrefixDecodeIgnoresVandalizedLaterRanges)
+{
+    // Flipping bytes strictly after the read prefix must stay harmless
+    // when the decoder fans ranges out in parallel.
+    const Image src = randomImage(40, 33, 17);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 4;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    ThreadsEnv env(8);
+    const Image clean = decodeProgressive(enc, 2);
+    EncodedImage vandalized = enc;
+    for (size_t i = enc.scan_offsets[2]; i < enc.bytes.size(); ++i)
+        vandalized.bytes[i] ^= 0x77;
+    const Image after = decodeProgressive(vandalized, 2);
+    ASSERT_EQ(clean.numel(), after.numel());
+    for (size_t i = 0; i < clean.numel(); ++i)
+        ASSERT_EQ(clean.data()[i], after.data()[i]);
+}
+
+TEST(CodecRestartFuzzDeath, MalformedSideTablesDieLoudly)
+{
+    const Image src = randomImage(32, 32, 18);
+    ProgressiveConfig cfg;
+    cfg.restart_interval = 4;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    ASSERT_TRUE(enc.hasRestartMarkers());
+
+    // Offset count disagreeing with the partition.
+    EncodedImage bad_count = enc;
+    bad_count.restart_bits[0].pop_back();
+    EXPECT_DEATH(decodeProgressive(bad_count), "corrupt restart");
+
+    // Missing a whole scan of offsets.
+    EncodedImage bad_scans = enc;
+    bad_scans.restart_bits.pop_back();
+    EXPECT_DEATH(decodeProgressive(bad_scans), "corrupt restart");
+
+    // Interval mutated after encode: the partition no longer matches
+    // the recorded offsets.
+    EncodedImage bad_interval = enc;
+    bad_interval.restart_interval = 3;
+    EXPECT_DEATH(decodeProgressive(bad_interval), "corrupt restart");
 }
 
 } // namespace

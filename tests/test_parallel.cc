@@ -18,22 +18,12 @@
 #include "codec/progressive.hh"
 #include "image/synthetic.hh"
 #include "nn/conv_kernels.hh"
+#include "tests/threads_env.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 
 namespace tamres {
 namespace {
-
-/** Scoped TAMRES_THREADS override. */
-class ThreadsEnv
-{
-  public:
-    explicit ThreadsEnv(int n)
-    {
-        setenv("TAMRES_THREADS", std::to_string(n).c_str(), 1);
-    }
-    ~ThreadsEnv() { unsetenv("TAMRES_THREADS"); }
-};
 
 // --- Thread pool semantics -------------------------------------------
 

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Scoped TAMRES_THREADS override shared by the tests that exercise
+ * thread-count invariance (the pool reads the variable per call, so a
+ * setenv takes effect on the next parallel region).
+ */
+
+#ifndef TAMRES_TESTS_THREADS_ENV_HH
+#define TAMRES_TESTS_THREADS_ENV_HH
+
+#include <cstdlib>
+#include <string>
+
+namespace tamres {
+
+/** Sets TAMRES_THREADS for the enclosing scope, unsetting on exit. */
+class ThreadsEnv
+{
+  public:
+    explicit ThreadsEnv(int n)
+    {
+        setenv("TAMRES_THREADS", std::to_string(n).c_str(), 1);
+    }
+    ~ThreadsEnv() { unsetenv("TAMRES_THREADS"); }
+
+    ThreadsEnv(const ThreadsEnv &) = delete;
+    ThreadsEnv &operator=(const ThreadsEnv &) = delete;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_TESTS_THREADS_ENV_HH
