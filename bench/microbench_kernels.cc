@@ -15,6 +15,7 @@
 #include "nn/conv_kernels.hh"
 #include "nn/kernel_selector.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace tamres {
@@ -143,6 +144,71 @@ BM_ConvDepthwise_Threaded(benchmark::State &state)
                        .threads = ThreadPool::defaultParallelism()});
 }
 
+// --- SIMD dispatch: scalar vs detected level on the same config ---
+
+void
+runConvAtLevel(benchmark::State &state, const ConvProblem &p,
+               const ConvConfig &cfg, SimdLevel level)
+{
+    SimdLevelGuard guard(level);
+    runConv(state, p, cfg);
+}
+
+void
+BM_Conv224_Im2colScalarDispatch(benchmark::State &state)
+{
+    runConvAtLevel(state, kShape224,
+                   KernelSelector::libraryConfig(kShape224),
+                   SimdLevel::Scalar);
+}
+
+void
+BM_Conv224_Im2colSimdDispatch(benchmark::State &state)
+{
+    runConvAtLevel(state, kShape224,
+                   KernelSelector::libraryConfig(kShape224),
+                   simdDetected());
+}
+
+void
+BM_Conv224_Micro6x16Simd(benchmark::State &state)
+{
+    runConvAtLevel(state, kShape224,
+                   ConvConfig{.algo = ConvAlgo::Im2col, .mc = 64,
+                              .kc = 288, .nc = 3136, .mr = 6,
+                              .nr = 16},
+                   simdDetected());
+}
+
+void
+BM_ConvDepthwise_SimdDispatch(benchmark::State &state)
+{
+    runConvAtLevel(state, kShapeDw,
+                   ConvConfig{.algo = ConvAlgo::Depthwise,
+                              .ow_tile = 14},
+                   simdDetected());
+}
+
+// --- Prepacked weights: the plan's steady-state conv ---
+
+void
+BM_Conv224_Im2colPrepacked(benchmark::State &state)
+{
+    const ConvProblem &p = kShape224;
+    const ConvConfig cfg = KernelSelector::libraryConfig(p);
+    Buffers buf(p);
+    PackedConvWeights packed;
+    packConvWeights(p, cfg, buf.w.data(), packed);
+    for (auto _ : state) {
+        convForwardPrepacked(p, buf.in.data(), packed,
+                             buf.bias.data(), buf.out.data());
+        benchmark::DoNotOptimize(buf.out.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(p.macs()) * state.iterations() / 1e9,
+        benchmark::Counter::kIsRate);
+}
+
 // --- Codec hot path (AAN DCT + batched entropy layer) ---
 
 void
@@ -188,6 +254,12 @@ BENCHMARK(BM_Conv224_Im2colThreaded)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv224_WinogradSerial)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Conv224_WinogradThreaded)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ConvDepthwise_Threaded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv224_Im2colScalarDispatch)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv224_Im2colSimdDispatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv224_Micro6x16Simd)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConvDepthwise_SimdDispatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv224_Im2colPrepacked)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CodecEncode)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CodecDecode)->Unit(benchmark::kMillisecond);
 

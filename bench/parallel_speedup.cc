@@ -31,6 +31,7 @@
 #include "nn/conv_kernels.hh"
 #include "util/env.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
 
@@ -142,6 +143,58 @@ measureConvPoint(const char *name, const ConvProblem &p, ConvConfig cfg,
     return point;
 }
 
+struct MicroPoint
+{
+    std::string name;
+    double scalar_gflops = 0.0;
+    double simd_gflops = 0.0;
+
+    double speedup() const { return simd_gflops / scalar_gflops; }
+};
+
+/**
+ * GF/s of one (mr x nr) micro-kernel at the scalar and detected SIMD
+ * dispatch levels, through a serial pointwise GEMM shaped like the
+ * 224-family hot layer (M=64, K=576, N=3136).
+ */
+MicroPoint
+measureMicroPoint(int mr, int nr)
+{
+    const ConvProblem p{.n = 1, .ic = 576, .ih = 1, .iw = 3136,
+                        .oc = 64, .kh = 1, .kw = 1, .stride = 1,
+                        .pad = 0};
+    ConvConfig cfg{.algo = ConvAlgo::Im2col, .mc = 64, .kc = 288,
+                   .nc = 3136, .mr = mr, .nr = nr, .threads = 1};
+    std::vector<float> in(static_cast<size_t>(p.ic) * p.iw);
+    std::vector<float> w(static_cast<size_t>(p.oc) * p.ic);
+    std::vector<float> out(static_cast<size_t>(p.oc) * p.iw);
+    Rng rng(17);
+    for (auto &v : in)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto &v : w)
+        v = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+    const double gf = static_cast<double>(p.macs()) / 1e9;
+    MicroPoint point;
+    point.name = std::to_string(mr) + "x" + std::to_string(nr);
+    auto run = [&] {
+        convForward(p, in.data(), w.data(), nullptr, out.data(), cfg);
+    };
+    {
+        SimdLevelGuard guard(SimdLevel::Scalar);
+        point.scalar_gflops = gf / medianRunSeconds(run, reps());
+    }
+    {
+        SimdLevelGuard guard(simdDetected());
+        point.simd_gflops = gf / medianRunSeconds(run, reps());
+    }
+    std::printf("micro %-6s %8.3f GF/s scalar  %8.3f GF/s %s  (%.2fx)\n",
+                point.name.c_str(), point.scalar_gflops,
+                point.simd_gflops, simdLevelName(simdDetected()),
+                point.speedup());
+    return point;
+}
+
 } // namespace
 
 int
@@ -149,8 +202,10 @@ main()
 {
     const int threads = ThreadPool::defaultParallelism();
     std::printf("parallel_speedup: %d worker threads "
-                "(TAMRES_THREADS to override)\n\n",
-                threads);
+                "(TAMRES_THREADS to override); simd: %s detected, "
+                "%s active (TAMRES_SIMD to override)\n\n",
+                threads, simdLevelName(simdDetected()),
+                simdLevelName(simdLevel()));
 
     // --- Conv kernels ---------------------------------------------
     const ConvProblem shape224{.n = 1, .ic = 64, .ih = 56, .iw = 56,
@@ -178,6 +233,51 @@ main()
         "depthwise_112", shape_dw,
         ConvConfig{.algo = ConvAlgo::Depthwise, .ow_tile = 14},
         threads));
+
+    // --- Micro-kernels: scalar vs SIMD dispatch -------------------
+    std::vector<MicroPoint> micros;
+    for (const auto &[mr, nr] :
+         {std::pair{4, 8}, {6, 8}, {8, 8}, {4, 16}, {6, 16}})
+        micros.push_back(measureMicroPoint(mr, nr));
+
+    // --- Weight packing: per-request vs plan-prepacked ------------
+    // The serving-path 224 conv with the library blocking, serial, as
+    // reqs/s; the prepacked variant skips the per-request A packing
+    // exactly the way a warm execution plan does.
+    double pack_rps = 0.0, prepack_rps = 0.0;
+    {
+        const ConvProblem p = shape224;
+        ConvConfig cfg{.algo = ConvAlgo::Im2col, .mc = 64, .kc = 288,
+                       .nc = 3136, .mr = 4, .nr = 16, .threads = 1};
+        std::vector<float> in(static_cast<size_t>(p.ic) * p.ih * p.iw);
+        std::vector<float> w(static_cast<size_t>(p.oc) * p.ic * p.kh *
+                             p.kw);
+        std::vector<float> out(static_cast<size_t>(p.oc) * p.oh() *
+                               p.ow());
+        Rng rng(23);
+        for (auto &v : in)
+            v = static_cast<float>(rng.uniform(-1.0, 1.0));
+        for (auto &v : w)
+            v = static_cast<float>(rng.uniform(-0.5, 0.5));
+        PackedConvWeights packed;
+        packConvWeights(p, cfg, w.data(), packed);
+        pack_rps = 1.0 / medianRunSeconds(
+                             [&] {
+                                 convForward(p, in.data(), w.data(),
+                                             nullptr, out.data(), cfg);
+                             },
+                             reps());
+        prepack_rps = 1.0 / medianRunSeconds(
+                                [&] {
+                                    convForwardPrepacked(
+                                        p, in.data(), packed, nullptr,
+                                        out.data());
+                                },
+                                reps());
+        std::printf("\nprepack conv224: %8.1f req/s packing each call, "
+                    "%8.1f req/s prepacked  (%.2fx)\n",
+                    pack_rps, prepack_rps, prepack_rps / pack_rps);
+    }
 
     // --- DCT: AAN vs the seed's naive transform -------------------
     const int nblocks = 20000;
@@ -267,6 +367,22 @@ main()
                      c.speedup(), i + 1 < convs.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"simd\": \"%s\",\n  \"micro\": [\n",
+                 simdLevelName(simdDetected()));
+    for (size_t i = 0; i < micros.size(); ++i) {
+        const MicroPoint &m = micros[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"scalar_gflops\": %.4f, "
+                     "\"simd_gflops\": %.4f, \"speedup\": %.3f}%s\n",
+                     m.name.c_str(), m.scalar_gflops, m.simd_gflops,
+                     m.speedup(), i + 1 < micros.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"prepack\": {\"conv224_pack_req_s\": %.2f, "
+                 "\"conv224_prepacked_req_s\": %.2f, "
+                 "\"speedup\": %.3f},\n",
+                 pack_rps, prepack_rps, prepack_rps / pack_rps);
     std::fprintf(f,
                  "  \"dct8x8\": {\"naive_blocks_per_s\": %.0f, "
                  "\"aan_blocks_per_s\": %.0f, \"speedup\": %.3f},\n",

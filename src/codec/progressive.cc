@@ -8,6 +8,7 @@
 #include "codec/dct.hh"
 #include "codec/huffman.hh"
 #include "image/color.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace tamres {
@@ -379,6 +380,11 @@ struct FoldedQuant
 {
     float fwd[64];
     float inv[64];
+    // Row-major twins of fwd/inv (fwd_rm[order[i]] == fwd[i]): the
+    // vector quant/dequant paths work elementwise in row-major space
+    // and handle the zig-zag permutation as scalar integer moves.
+    float fwd_rm[64];
+    float inv_rm[64];
 
     FoldedQuant(int quality, bool chroma)
     {
@@ -389,9 +395,146 @@ struct FoldedQuant
             const int rm = zz_tables.order[i];
             fwd[i] = descale[rm] / static_cast<float>(q);
             inv[i] = prescale[rm] * static_cast<float>(q);
+            fwd_rm[rm] = fwd[i];
+            inv_rm[rm] = inv[i];
         }
     }
 };
+
+#if TAMRES_SIMD_X86
+
+/**
+ * Row-major block quantization: q_rm[i] = round-half-away(freq[i] *
+ * fwd_rm[i]). The round is floor(|x| + 0.5) with the sign restored,
+ * which matches std::lround everywhere except astronomically rare
+ * representability boundaries; both paths are individually
+ * deterministic at any thread count.
+ */
+TAMRES_TARGET_AVX2 void
+quantBlockAvx2(const float *freq, const float *fwd_rm, int *q_rm)
+{
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 signmask = _mm256_set1_ps(-0.0f);
+    for (int i = 0; i < 64; i += 8) {
+        const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(freq + i),
+                                       _mm256_loadu_ps(fwd_rm + i));
+        const __m256 mag = _mm256_floor_ps(
+            _mm256_add_ps(_mm256_andnot_ps(signmask, t), half));
+        const __m256 r =
+            _mm256_or_ps(mag, _mm256_and_ps(signmask, t));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(q_rm + i),
+                            _mm256_cvttps_epi32(r));
+    }
+}
+
+/**
+ * Row-major block dequantization: freq[i] = float(c_rm[i]) *
+ * inv_rm[i]. Convert and multiply are single-rounding ops in the same
+ * order as the scalar loop, so this path is bit-identical to it.
+ */
+TAMRES_TARGET_AVX2 void
+dequantBlockAvx2(const int *c_rm, const float *inv_rm, float *freq)
+{
+    for (int i = 0; i < 64; i += 8) {
+        const __m256 c = _mm256_cvtepi32_ps(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(c_rm + i)));
+        _mm256_storeu_ps(
+            freq + i, _mm256_mul_ps(c, _mm256_loadu_ps(inv_rm + i)));
+    }
+}
+
+#endif // TAMRES_SIMD_X86
+
+#if TAMRES_SIMD_NEON
+
+void
+quantBlockNeon(const float *freq, const float *fwd_rm, int *q_rm)
+{
+    const float32x4_t half = vdupq_n_f32(0.5f);
+    for (int i = 0; i < 64; i += 4) {
+        const float32x4_t t =
+            vmulq_f32(vld1q_f32(freq + i), vld1q_f32(fwd_rm + i));
+        const float32x4_t mag =
+            vrndmq_f32(vaddq_f32(vabsq_f32(t), half));
+        // Restore the sign bit.
+        const uint32x4_t sign =
+            vandq_u32(vreinterpretq_u32_f32(t), vdupq_n_u32(0x80000000u));
+        const float32x4_t r = vreinterpretq_f32_u32(
+            vorrq_u32(vreinterpretq_u32_f32(mag), sign));
+        vst1q_s32(q_rm + i, vcvtq_s32_f32(r));
+    }
+}
+
+void
+dequantBlockNeon(const int *c_rm, const float *inv_rm, float *freq)
+{
+    for (int i = 0; i < 64; i += 4) {
+        vst1q_f32(freq + i, vmulq_f32(vcvtq_f32_s32(vld1q_s32(c_rm + i)),
+                                      vld1q_f32(inv_rm + i)));
+    }
+}
+
+#endif // TAMRES_SIMD_NEON
+
+/** Quantize one row-major freq block into zig-zag ints. */
+inline void
+quantizeBlock(SimdLevel lvl, const FoldedQuant &fq, const float *freq,
+              int *dst)
+{
+#if TAMRES_SIMD_X86
+    if (lvl == SimdLevel::Avx2) {
+        int q_rm[64];
+        quantBlockAvx2(freq, fq.fwd_rm, q_rm);
+        for (int i = 0; i < 64; ++i)
+            dst[i] = q_rm[zz_tables.order[i]];
+        return;
+    }
+#elif TAMRES_SIMD_NEON
+    if (lvl == SimdLevel::Neon) {
+        int q_rm[64];
+        quantBlockNeon(freq, fq.fwd_rm, q_rm);
+        for (int i = 0; i < 64; ++i)
+            dst[i] = q_rm[zz_tables.order[i]];
+        return;
+    }
+#endif
+    (void)lvl;
+    for (int i = 0; i < 64; ++i) {
+        const float v = freq[zz_tables.order[i]];
+        dst[i] = static_cast<int>(std::lround(v * fq.fwd[i]));
+    }
+}
+
+/** Dequantize zig-zag ints into the row-major freq block. */
+inline void
+dequantizeBlock(SimdLevel lvl, const FoldedQuant &fq, const int *in,
+                float *freq)
+{
+#if TAMRES_SIMD_X86 || TAMRES_SIMD_NEON
+    if (lvl != SimdLevel::Scalar) {
+        // Undo the zig-zag with integer moves, then multiply
+        // elementwise (bit-identical to the scalar path: convert and
+        // multiply round once each, in the same order).
+        int c_rm[64];
+        for (int i = 0; i < 64; ++i)
+            c_rm[zz_tables.order[i]] = in[i];
+#if TAMRES_SIMD_X86
+        dequantBlockAvx2(c_rm, fq.inv_rm, freq);
+#else
+        dequantBlockNeon(c_rm, fq.inv_rm, freq);
+#endif
+        return;
+    }
+#endif
+    (void)lvl;
+    std::fill(freq, freq + 64, 0.0f);
+    for (int i = 0; i < 64; ++i) {
+        if (in[i] == 0)
+            continue;
+        freq[zz_tables.order[i]] =
+            static_cast<float>(in[i]) * fq.inv[i];
+    }
+}
 
 /** Forward transform one plane into quantized zig-zag coefficients. */
 void
@@ -400,6 +543,9 @@ planeToCoeffs(const float *plane, const PlaneGeom &g, int quality,
 {
     const FoldedQuant fq(quality, g.chroma);
     const int64_t nblocks = g.numBlocks();
+    // One dispatch-level read for the whole plane so every block (and
+    // every worker) takes the same path.
+    const SimdLevel lvl = simdLevel();
     ThreadPool::global().parallelFor(
         nblocks,
         [&](int64_t b0, int64_t b1) {
@@ -418,11 +564,8 @@ planeToCoeffs(const float *plane, const PlaneGeom &g, int quality,
                     }
                 }
                 forwardDct8x8Scaled(block, freq);
-                int *dst = out + static_cast<size_t>(bi) * 64;
-                for (int i = 0; i < 64; ++i) {
-                    const float v = freq[zz_tables.order[i]];
-                    dst[i] = static_cast<int>(std::lround(v * fq.fwd[i]));
-                }
+                quantizeBlock(lvl, fq, freq,
+                              out + static_cast<size_t>(bi) * 64);
             }
         },
         ThreadPool::defaultParallelism());
@@ -435,6 +578,7 @@ coeffsToPlane(const int *coeffs, const PlaneGeom &g, int quality,
 {
     const FoldedQuant fq(quality, g.chroma);
     const int64_t nblocks = g.numBlocks();
+    const SimdLevel lvl = simdLevel();
     ThreadPool::global().parallelFor(
         nblocks,
         [&](int64_t b0, int64_t b1) {
@@ -444,13 +588,7 @@ coeffsToPlane(const int *coeffs, const PlaneGeom &g, int quality,
                 const int by = static_cast<int>(bi) / g.bw;
                 const int bx = static_cast<int>(bi) % g.bw;
                 const int *in = coeffs + static_cast<size_t>(bi) * 64;
-                std::fill(std::begin(freq), std::end(freq), 0.0f);
-                for (int i = 0; i < 64; ++i) {
-                    if (in[i] == 0)
-                        continue;
-                    freq[zz_tables.order[i]] =
-                        static_cast<float>(in[i]) * fq.inv[i];
-                }
+                dequantizeBlock(lvl, fq, in, freq);
                 inverseDct8x8Scaled(freq, block);
                 for (int y = 0; y < 8; ++y) {
                     const int dy = by * 8 + y;

@@ -2,7 +2,160 @@
 
 #include <algorithm>
 
+#include "util/simd.hh"
+
 namespace tamres {
+
+namespace {
+
+/*
+ * Planar color-convert inner loops with explicit vector forms. Both
+ * directions are pure elementwise maps, so any split across pixels is
+ * bit-identical; the vector paths fuse multiply-adds and may round
+ * differently from the scalar fallback (each path individually is
+ * deterministic).
+ */
+
+void
+rgbToYcbcrScalar(const float *r, const float *g, const float *b,
+                 float *y, float *cb, float *cr, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        // JFIF full-range BT.601 coefficients.
+        y[i] = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
+        cb[i] = -0.168736f * r[i] - 0.331264f * g[i] + 0.5f * b[i] + 0.5f;
+        cr[i] = 0.5f * r[i] - 0.418688f * g[i] - 0.081312f * b[i] + 0.5f;
+    }
+}
+
+void
+ycbcrToRgbScalar(const float *y, const float *cb, const float *cr,
+                 float *r, float *g, float *b, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const float cbv = cb[i] - 0.5f;
+        const float crv = cr[i] - 0.5f;
+        r[i] = y[i] + 1.402f * crv;
+        g[i] = y[i] - 0.344136f * cbv - 0.714136f * crv;
+        b[i] = y[i] + 1.772f * cbv;
+    }
+}
+
+#if TAMRES_SIMD_X86
+
+TAMRES_TARGET_AVX2 void
+rgbToYcbcrAvx2(const float *r, const float *g, const float *b, float *y,
+               float *cb, float *cr, size_t n)
+{
+    const __m256 half = _mm256_set1_ps(0.5f);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 rv = _mm256_loadu_ps(r + i);
+        const __m256 gv = _mm256_loadu_ps(g + i);
+        const __m256 bv = _mm256_loadu_ps(b + i);
+        __m256 yv = _mm256_mul_ps(_mm256_set1_ps(0.299f), rv);
+        yv = _mm256_fmadd_ps(_mm256_set1_ps(0.587f), gv, yv);
+        yv = _mm256_fmadd_ps(_mm256_set1_ps(0.114f), bv, yv);
+        __m256 cbv = _mm256_fmadd_ps(_mm256_set1_ps(-0.168736f), rv,
+                                     half);
+        cbv = _mm256_fmadd_ps(_mm256_set1_ps(-0.331264f), gv, cbv);
+        cbv = _mm256_fmadd_ps(half, bv, cbv);
+        __m256 crv = _mm256_fmadd_ps(half, rv, half);
+        crv = _mm256_fmadd_ps(_mm256_set1_ps(-0.418688f), gv, crv);
+        crv = _mm256_fmadd_ps(_mm256_set1_ps(-0.081312f), bv, crv);
+        _mm256_storeu_ps(y + i, yv);
+        _mm256_storeu_ps(cb + i, cbv);
+        _mm256_storeu_ps(cr + i, crv);
+    }
+    if (i < n)
+        rgbToYcbcrScalar(r + i, g + i, b + i, y + i, cb + i, cr + i,
+                         n - i);
+}
+
+TAMRES_TARGET_AVX2 void
+ycbcrToRgbAvx2(const float *y, const float *cb, const float *cr,
+               float *r, float *g, float *b, size_t n)
+{
+    const __m256 half = _mm256_set1_ps(0.5f);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 yv = _mm256_loadu_ps(y + i);
+        const __m256 cbv = _mm256_sub_ps(_mm256_loadu_ps(cb + i), half);
+        const __m256 crv = _mm256_sub_ps(_mm256_loadu_ps(cr + i), half);
+        const __m256 rv =
+            _mm256_fmadd_ps(_mm256_set1_ps(1.402f), crv, yv);
+        __m256 gv = _mm256_fmadd_ps(_mm256_set1_ps(-0.344136f), cbv,
+                                    yv);
+        gv = _mm256_fmadd_ps(_mm256_set1_ps(-0.714136f), crv, gv);
+        const __m256 bv =
+            _mm256_fmadd_ps(_mm256_set1_ps(1.772f), cbv, yv);
+        _mm256_storeu_ps(r + i, rv);
+        _mm256_storeu_ps(g + i, gv);
+        _mm256_storeu_ps(b + i, bv);
+    }
+    if (i < n)
+        ycbcrToRgbScalar(y + i, cb + i, cr + i, r + i, g + i, b + i,
+                         n - i);
+}
+
+#endif // TAMRES_SIMD_X86
+
+#if TAMRES_SIMD_NEON
+
+void
+rgbToYcbcrNeon(const float *r, const float *g, const float *b, float *y,
+               float *cb, float *cr, size_t n)
+{
+    const float32x4_t half = vdupq_n_f32(0.5f);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t rv = vld1q_f32(r + i);
+        const float32x4_t gv = vld1q_f32(g + i);
+        const float32x4_t bv = vld1q_f32(b + i);
+        float32x4_t yv = vmulq_n_f32(rv, 0.299f);
+        yv = vfmaq_n_f32(yv, gv, 0.587f);
+        yv = vfmaq_n_f32(yv, bv, 0.114f);
+        float32x4_t cbv = vfmaq_n_f32(half, rv, -0.168736f);
+        cbv = vfmaq_n_f32(cbv, gv, -0.331264f);
+        cbv = vfmaq_f32(cbv, half, bv);
+        float32x4_t crv = vfmaq_f32(half, half, rv);
+        crv = vfmaq_n_f32(crv, gv, -0.418688f);
+        crv = vfmaq_n_f32(crv, bv, -0.081312f);
+        vst1q_f32(y + i, yv);
+        vst1q_f32(cb + i, cbv);
+        vst1q_f32(cr + i, crv);
+    }
+    if (i < n)
+        rgbToYcbcrScalar(r + i, g + i, b + i, y + i, cb + i, cr + i,
+                         n - i);
+}
+
+void
+ycbcrToRgbNeon(const float *y, const float *cb, const float *cr,
+               float *r, float *g, float *b, size_t n)
+{
+    const float32x4_t half = vdupq_n_f32(0.5f);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t yv = vld1q_f32(y + i);
+        const float32x4_t cbv = vsubq_f32(vld1q_f32(cb + i), half);
+        const float32x4_t crv = vsubq_f32(vld1q_f32(cr + i), half);
+        const float32x4_t rv = vfmaq_n_f32(yv, crv, 1.402f);
+        float32x4_t gv = vfmaq_n_f32(yv, cbv, -0.344136f);
+        gv = vfmaq_n_f32(gv, crv, -0.714136f);
+        const float32x4_t bv = vfmaq_n_f32(yv, cbv, 1.772f);
+        vst1q_f32(r + i, rv);
+        vst1q_f32(g + i, gv);
+        vst1q_f32(b + i, bv);
+    }
+    if (i < n)
+        ycbcrToRgbScalar(y + i, cb + i, cr + i, r + i, g + i, b + i,
+                         n - i);
+}
+
+#endif // TAMRES_SIMD_NEON
+
+} // namespace
 
 Image
 rgbToYcbcr(const Image &rgb)
@@ -20,11 +173,20 @@ rgbToYcbcr(const Image &rgb)
     float *cb = out.plane(1);
     float *cr = out.plane(2);
     const size_t n = static_cast<size_t>(h) * w;
-    for (size_t i = 0; i < n; ++i) {
-        // JFIF full-range BT.601 coefficients.
-        y[i] = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
-        cb[i] = -0.168736f * r[i] - 0.331264f * g[i] + 0.5f * b[i] + 0.5f;
-        cr[i] = 0.5f * r[i] - 0.418688f * g[i] - 0.081312f * b[i] + 0.5f;
+    switch (simdLevel()) {
+#if TAMRES_SIMD_X86
+      case SimdLevel::Avx2:
+        rgbToYcbcrAvx2(r, g, b, y, cb, cr, n);
+        break;
+#endif
+#if TAMRES_SIMD_NEON
+      case SimdLevel::Neon:
+        rgbToYcbcrNeon(r, g, b, y, cb, cr, n);
+        break;
+#endif
+      default:
+        rgbToYcbcrScalar(r, g, b, y, cb, cr, n);
+        break;
     }
     return out;
 }
@@ -45,12 +207,20 @@ ycbcrToRgb(const Image &ycbcr)
     float *g = out.plane(1);
     float *b = out.plane(2);
     const size_t n = static_cast<size_t>(h) * w;
-    for (size_t i = 0; i < n; ++i) {
-        const float cbv = cb[i] - 0.5f;
-        const float crv = cr[i] - 0.5f;
-        r[i] = y[i] + 1.402f * crv;
-        g[i] = y[i] - 0.344136f * cbv - 0.714136f * crv;
-        b[i] = y[i] + 1.772f * cbv;
+    switch (simdLevel()) {
+#if TAMRES_SIMD_X86
+      case SimdLevel::Avx2:
+        ycbcrToRgbAvx2(y, cb, cr, r, g, b, n);
+        break;
+#endif
+#if TAMRES_SIMD_NEON
+      case SimdLevel::Neon:
+        ycbcrToRgbNeon(y, cb, cr, r, g, b, n);
+        break;
+#endif
+      default:
+        ycbcrToRgbScalar(y, cb, cr, r, g, b, n);
+        break;
     }
     out.clamp01();
     return out;

@@ -1,10 +1,12 @@
 #include "nn/conv_kernels.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace tamres {
@@ -104,6 +106,70 @@ effectiveThreads(const ConvConfig &cfg)
                            : ThreadPool::defaultParallelism();
 }
 
+/** Count of weight-side pack operations (see convWeightPackCount). */
+std::atomic<uint64_t> g_weight_pack_count{0};
+
+// ---------------------------------------------------------------------
+// Row AXPY: y[0..n) += a * x[0..n) (direct / depthwise inner loops)
+// ---------------------------------------------------------------------
+
+using AxpyFn = void (*)(int, float, const float *, float *);
+
+void
+axpyScalar(int n, float a, const float *x, float *y)
+{
+    for (int i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+#if TAMRES_SIMD_X86
+
+TAMRES_TARGET_AVX2 void
+axpyAvx2(int n, float a, const float *x, float *y)
+{
+    const __m256 av = _mm256_set1_ps(a);
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(
+            y + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i),
+                                   _mm256_loadu_ps(y + i)));
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+#endif
+
+#if TAMRES_SIMD_NEON
+
+void
+axpyNeon(int n, float a, const float *x, float *y)
+{
+    const float32x4_t av = vdupq_n_f32(a);
+    int i = 0;
+    for (; i + 4 <= n; i += 4)
+        vst1q_f32(y + i,
+                  vfmaq_f32(vld1q_f32(y + i), av, vld1q_f32(x + i)));
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+#endif
+
+AxpyFn
+axpyDispatch()
+{
+    switch (simdLevel()) {
+#if TAMRES_SIMD_X86
+      case SimdLevel::Avx2: return axpyAvx2;
+#endif
+#if TAMRES_SIMD_NEON
+      case SimdLevel::Neon: return axpyNeon;
+#endif
+      default: return axpyScalar;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Reference kernel
 // ---------------------------------------------------------------------
@@ -178,7 +244,9 @@ directKernel(const ConvProblem &p, const float *in, const float *w,
 
     // Parallelize over (batch, group, oc-tile, output row): every
     // iteration writes a disjoint slice of out, so any partition of
-    // the flattened range yields bit-identical results.
+    // the flattened range yields bit-identical results. The dispatch
+    // level is read once here so a mid-call override cannot mix paths.
+    const AxpyFn axpy = axpyDispatch();
     const int oc_tiles = (ocg + oct - 1) / oct;
     const int64_t total = static_cast<int64_t>(p.n) * p.groups *
                           oc_tiles * oh;
@@ -212,6 +280,13 @@ directKernel(const ConvProblem &p, const float *in, const float *w,
                                     continue;
                                 const float *irow = iplane + iy * p.iw;
                                 for (int kx = 0; kx < p.kw; ++kx) {
+                                    // Interior fast path: at stride 1
+                                    // the whole register row reads a
+                                    // contiguous in-bounds span.
+                                    const int ix0 = x0 + kx - p.pad;
+                                    const bool interior =
+                                        p.stride == 1 && ix0 >= 0 &&
+                                        ix0 + ow_lim <= p.iw;
                                     for (int a = 0; a < oc_lim; ++a) {
                                         const int oc_abs =
                                             g * ocg + oc0 + a;
@@ -219,6 +294,11 @@ directKernel(const ConvProblem &p, const float *in, const float *w,
                                             ((static_cast<int64_t>(
                                                   oc_abs) * icg + ic) *
                                              p.kh + ky) * p.kw + kx];
+                                        if (interior) {
+                                            axpy(ow_lim, wv,
+                                                 irow + ix0, acc[a]);
+                                            continue;
+                                        }
                                         for (int b = 0; b < ow_lim;
                                              ++b) {
                                             const int ix =
@@ -279,8 +359,9 @@ microKernel(int kc, const float *ap, const float *bp, float *c,
 
 using MicroFn = void (*)(int, const float *, const float *, float *, int);
 
+/** Scalar fallback for every supported (mr, nr); defines the set. */
 MicroFn
-microDispatch(int mr, int nr)
+microDispatchScalar(int mr, int nr)
 {
     switch (mr * 100 + nr) {
       case 104: return microKernel<1, 4>;
@@ -300,6 +381,150 @@ microDispatch(int mr, int nr)
       case 816: return microKernel<8, 16>;
       default: return nullptr;
     }
+}
+
+#if TAMRES_SIMD_X86
+
+/**
+ * AVX2+FMA micro-kernel: MR rows by NV 8-lane column vectors. The
+ * accumulation order over k matches the scalar template per element
+ * (one fused multiply-add per k step), so results are deterministic
+ * and partition-independent; vs the scalar fallback only the FMA
+ * rounding differs. Register budget: MR*NV accumulators + NV B loads
+ * + 1 A broadcast must fit 16 ymm registers, so 8x16 is excluded.
+ */
+template <int MR, int NV>
+TAMRES_TARGET_AVX2 void
+microKernelAvx2(int kc, const float *ap, const float *bp, float *c,
+                int ldc)
+{
+    __m256 acc[MR][NV];
+    for (int i = 0; i < MR; ++i)
+        for (int v = 0; v < NV; ++v)
+            acc[i][v] = _mm256_setzero_ps();
+    constexpr int NR = NV * 8;
+    for (int k = 0; k < kc; ++k) {
+        __m256 b[NV];
+        for (int v = 0; v < NV; ++v)
+            b[v] = _mm256_loadu_ps(bp + k * NR + v * 8);
+        const float *a = ap + k * MR;
+        for (int i = 0; i < MR; ++i) {
+            const __m256 av = _mm256_broadcast_ss(a + i);
+            for (int v = 0; v < NV; ++v)
+                acc[i][v] = _mm256_fmadd_ps(av, b[v], acc[i][v]);
+        }
+    }
+    for (int i = 0; i < MR; ++i) {
+        for (int v = 0; v < NV; ++v) {
+            float *dst = c + i * ldc + v * 8;
+            _mm256_storeu_ps(
+                dst, _mm256_add_ps(_mm256_loadu_ps(dst), acc[i][v]));
+        }
+    }
+}
+
+MicroFn
+microDispatchAvx2(int mr, int nr)
+{
+    switch (mr * 100 + nr) {
+      case 108: return microKernelAvx2<1, 1>;
+      case 116: return microKernelAvx2<1, 2>;
+      case 208: return microKernelAvx2<2, 1>;
+      case 216: return microKernelAvx2<2, 2>;
+      case 408: return microKernelAvx2<4, 1>;
+      case 416: return microKernelAvx2<4, 2>;
+      case 608: return microKernelAvx2<6, 1>;
+      case 616: return microKernelAvx2<6, 2>;
+      case 808: return microKernelAvx2<8, 1>;
+      default: return nullptr; // nr=4 and 8x16 stay scalar
+    }
+}
+
+#endif // TAMRES_SIMD_X86
+
+#if TAMRES_SIMD_NEON
+
+/** NEON micro-kernel: MR rows by NV 4-lane column vectors. */
+template <int MR, int NV>
+void
+microKernelNeon(int kc, const float *ap, const float *bp, float *c,
+                int ldc)
+{
+    float32x4_t acc[MR][NV];
+    for (int i = 0; i < MR; ++i)
+        for (int v = 0; v < NV; ++v)
+            acc[i][v] = vdupq_n_f32(0.0f);
+    constexpr int NR = NV * 4;
+    for (int k = 0; k < kc; ++k) {
+        float32x4_t b[NV];
+        for (int v = 0; v < NV; ++v)
+            b[v] = vld1q_f32(bp + k * NR + v * 4);
+        const float *a = ap + k * MR;
+        for (int i = 0; i < MR; ++i) {
+            const float32x4_t av = vdupq_n_f32(a[i]);
+            for (int v = 0; v < NV; ++v)
+                acc[i][v] = vfmaq_f32(acc[i][v], av, b[v]);
+        }
+    }
+    for (int i = 0; i < MR; ++i) {
+        for (int v = 0; v < NV; ++v) {
+            float *dst = c + i * ldc + v * 4;
+            vst1q_f32(dst, vaddq_f32(vld1q_f32(dst), acc[i][v]));
+        }
+    }
+}
+
+MicroFn
+microDispatchNeon(int mr, int nr)
+{
+    switch (mr * 100 + nr) {
+      case 104: return microKernelNeon<1, 1>;
+      case 108: return microKernelNeon<1, 2>;
+      case 116: return microKernelNeon<1, 4>;
+      case 204: return microKernelNeon<2, 1>;
+      case 208: return microKernelNeon<2, 2>;
+      case 216: return microKernelNeon<2, 4>;
+      case 404: return microKernelNeon<4, 1>;
+      case 408: return microKernelNeon<4, 2>;
+      case 416: return microKernelNeon<4, 4>;
+      case 604: return microKernelNeon<6, 1>;
+      case 608: return microKernelNeon<6, 2>;
+      case 616: return microKernelNeon<6, 4>;
+      case 804: return microKernelNeon<8, 1>;
+      case 808: return microKernelNeon<8, 2>;
+      default: return nullptr; // 8x16 needs 32 accumulators
+    }
+}
+
+#endif // TAMRES_SIMD_NEON
+
+/**
+ * Best micro-kernel for (mr, nr) at the active SIMD level, falling
+ * back to the scalar template when the level has no vector variant
+ * for that shape. Returns nullptr only for unsupported pairs (the
+ * validity predicate uses the scalar table, so a valid config always
+ * dispatches at every level).
+ */
+MicroFn
+microDispatch(int mr, int nr)
+{
+    switch (simdLevel()) {
+#if TAMRES_SIMD_X86
+      case SimdLevel::Avx2:
+        if (MicroFn fn = microDispatchAvx2(mr, nr))
+            return fn;
+        break;
+#endif
+#if TAMRES_SIMD_NEON
+      case SimdLevel::Neon:
+        if (MicroFn fn = microDispatchNeon(mr, nr))
+            return fn;
+        break;
+#endif
+      default:
+        break;
+    }
+    return microDispatchScalar(mr, nr);
 }
 
 /**
@@ -375,28 +600,77 @@ im2col(const ConvProblem &p, const float *in, int n, int g, float *col)
     }
 }
 
+/** Effective cache-block sizes (clamped so micro tiles always fit). */
+struct GemmBlocking
+{
+    int mc, kc, nc;
+};
+
+GemmBlocking
+effectiveBlocking(const ConvConfig &cfg)
+{
+    return {std::max(cfg.mr, cfg.mc), std::max(1, cfg.kc),
+            std::max(cfg.nr, cfg.nc)};
+}
+
+/**
+ * Pack A[icb .. icb+mb) x [pc .. pc+kb) (row stride @p lda) into
+ * panels of @p mr rows, k-major, zero-padded to a multiple of mr.
+ * Shared between the on-the-fly packer and packGemmA so the layouts
+ * cannot diverge; every call counts as one weight-side pack op.
+ */
+void
+packABlock(const float *a, int lda, int icb, int pc, int mb, int kb,
+           int mr, float *dst)
+{
+    const int mb_pad = (mb + mr - 1) / mr * mr;
+    for (int ir = 0; ir < mb_pad; ir += mr) {
+        float *d = dst + static_cast<size_t>(ir) * kb;
+        const int rows = std::min(mr, mb - ir);
+        for (int k = 0; k < kb; ++k) {
+            for (int i = 0; i < rows; ++i) {
+                d[k * mr + i] =
+                    a[static_cast<int64_t>(icb + ir + i) * lda + pc + k];
+            }
+            for (int i = rows; i < mr; ++i)
+                d[k * mr + i] = 0.0f;
+        }
+    }
+    g_weight_pack_count.fetch_add(1, std::memory_order_relaxed);
+}
+
 /**
  * Blocked GEMM: C[M x N] += A[M x K] * B[K x N] (row-major; B and C
  * rows are @p ld floats apart, which lets callers operate on a column
  * slice of a wider matrix), GotoBLAS-style loop structure with packed
- * panels.
+ * panels. When @p prea is non-null it supplies plan-prepacked A
+ * panels (built by packGemmA for the same blocking) and A is neither
+ * read nor packed here — the steady-state serving path.
+ *
+ * @p micro is resolved by the top-level caller (one simdLevel() read
+ * per conv invocation, per the dispatch contract) so a concurrent
+ * level override can never mix kernel flavors inside one output —
+ * worker threads of the parallel variants inherit the caller's pick.
  */
 void
 blockedGemm(int M, int N, int K, const float *a, const float *b,
-            float *c, const ConvConfig &cfg, int ld)
+            float *c, const ConvConfig &cfg, int ld, MicroFn micro,
+            const PackedGemmA *prea = nullptr)
 {
-    const int mc = std::max(cfg.mr, cfg.mc);
-    const int kc = std::max(1, cfg.kc);
-    const int nc = std::max(cfg.nr, cfg.nc);
+    const auto [mc, kc, nc] = effectiveBlocking(cfg);
     const int mr = cfg.mr;
     const int nr = cfg.nr;
-    MicroFn micro = microDispatch(mr, nr);
     tamres_assert(micro, "unsupported micro-kernel %dx%d", mr, nr);
+    tamres_assert(!prea ||
+                      (prea->M == M && prea->K == K && prea->mc == mc &&
+                       prea->kc == kc && prea->mr == mr),
+                  "prepacked A does not match this GEMM's blocking");
 
     Scratch &s = scratch();
     // Panels are padded up to multiples of mr/nr, which can exceed
     // mc/nc when the micro-kernel does not divide the cache block.
-    s.apack.resize((static_cast<size_t>(mc) + mr) * kc);
+    if (!prea)
+        s.apack.resize((static_cast<size_t>(mc) + mr) * kc);
     s.bpack.resize((static_cast<size_t>(nc) + nr) * kc);
     s.ctile.resize(static_cast<size_t>(mr) * nr);
 
@@ -422,20 +696,13 @@ blockedGemm(int M, int N, int K, const float *a, const float *b,
             for (int icb = 0; icb < M; icb += mc) {
                 const int mb = std::min(mc, M - icb);
                 const int mb_pad = (mb + mr - 1) / mr * mr;
-                // Pack A: mb x kb -> panels of MR rows, k-major.
-                for (int ir = 0; ir < mb_pad; ir += mr) {
-                    float *dst = s.apack.data() +
-                                 static_cast<size_t>(ir) * kb;
-                    const int iw_rows = std::min(mr, mb - ir);
-                    for (int k = 0; k < kb; ++k) {
-                        for (int i = 0; i < iw_rows; ++i) {
-                            dst[k * mr + i] =
-                                a[static_cast<int64_t>(icb + ir + i) *
-                                      K + pc + k];
-                        }
-                        for (int i = iw_rows; i < mr; ++i)
-                            dst[k * mr + i] = 0.0f;
-                    }
+                const float *apanels;
+                if (prea) {
+                    apanels = prea->block(pc / kc, icb / mc);
+                } else {
+                    packABlock(a, K, icb, pc, mb, kb, mr,
+                               s.apack.data());
+                    apanels = s.apack.data();
                 }
                 // Macro loop over micro tiles.
                 for (int jr = 0; jr < nb_pad; jr += nr) {
@@ -443,8 +710,8 @@ blockedGemm(int M, int N, int K, const float *a, const float *b,
                                       static_cast<size_t>(jr) * kb;
                     const int jw = std::min(nr, nb - jr);
                     for (int ir = 0; ir < mb_pad; ir += mr) {
-                        const float *ap = s.apack.data() +
-                                          static_cast<size_t>(ir) * kb;
+                        const float *ap =
+                            apanels + static_cast<size_t>(ir) * kb;
                         const int iw_rows = std::min(mr, mb - ir);
                         float *cdst = c +
                                       static_cast<int64_t>(icb + ir) *
@@ -474,27 +741,31 @@ blockedGemm(int M, int N, int K, const float *a, const float *b,
  * serial blockedGemm on its slice with private packing scratch. Every
  * output element is produced by exactly one worker with the serial
  * accumulation order, so results are bit-identical for any partition.
+ * Prepacked A panels are shared read-only by every worker, which also
+ * removes the per-worker redundant A packing the on-the-fly path pays.
  */
 void
 blockedGemmParallel(int M, int N, int K, const float *a, const float *b,
-                    float *c, const ConvConfig &cfg, int threads)
+                    float *c, const ConvConfig &cfg, int threads,
+                    MicroFn micro, const PackedGemmA *prea = nullptr)
 {
     if (threads <= 1 || N < 2 * cfg.nr) {
-        blockedGemm(M, N, K, a, b, c, cfg, N);
+        blockedGemm(M, N, K, a, b, c, cfg, N, micro, prea);
         return;
     }
     ThreadPool::global().parallelFor(
         N,
         [&](int64_t j0, int64_t j1) {
             blockedGemm(M, static_cast<int>(j1 - j0), K, a, b + j0,
-                        c + j0, cfg, N);
+                        c + j0, cfg, N, micro, prea);
         },
         threads);
 }
 
 void
 im2colKernel(const ConvProblem &p, const float *in, const float *w,
-             const float *bias, float *out, const ConvConfig &cfg)
+             const float *bias, float *out, const ConvConfig &cfg,
+             const PackedConvWeights *packed = nullptr)
 {
     const int oh = p.oh();
     const int ow = p.ow();
@@ -507,6 +778,9 @@ im2colKernel(const ConvProblem &p, const float *in, const float *w,
     // plain GEMM over the input planes — skip the im2col copy.
     const bool pointwise =
         p.kh == 1 && p.kw == 1 && p.stride == 1 && p.pad == 0;
+
+    // One dispatch read for the whole conv call.
+    const MicroFn micro = microDispatch(cfg.mr, cfg.nr);
 
     const int threads = effectiveThreads(cfg);
     const int64_t outer = static_cast<int64_t>(p.n) * p.groups;
@@ -532,12 +806,15 @@ im2colKernel(const ConvProblem &p, const float *in, const float *w,
             const float bv = bias ? bias[g * ocg + oc] : 0.0f;
             std::fill_n(cbase + static_cast<int64_t>(oc) * N, N, bv);
         }
-        const float *abase = w + static_cast<int64_t>(g) * ocg * K;
+        const float *abase =
+            w ? w + static_cast<int64_t>(g) * ocg * K : nullptr;
+        const PackedGemmA *prea = packed ? &packed->mats[g] : nullptr;
         if (gemm_parallel)
             blockedGemmParallel(ocg, N, K, abase, bmat, cbase, cfg,
-                                threads);
+                                threads, micro, prea);
         else
-            blockedGemm(ocg, N, K, abase, bmat, cbase, cfg, N);
+            blockedGemm(ocg, N, K, abase, bmat, cbase, cfg, N, micro,
+                        prea);
     };
 
     if (threads > 1 && outer >= threads) {
@@ -577,6 +854,7 @@ void
 winogradWeightTransform(const ConvProblem &p, const float *w,
                         std::vector<float> &u)
 {
+    g_weight_pack_count.fetch_add(1, std::memory_order_relaxed);
     const int icg = p.ic / p.groups;
     u.resize(static_cast<size_t>(16) * p.oc * icg);
     for (int oc = 0; oc < p.oc; ++oc) {
@@ -631,6 +909,97 @@ winogradInputTransform4x4(const float d[4][4], float v[16])
     }
 }
 
+/*
+ * Vector forms of the tile transforms. The butterfly is adds and subs
+ * only, applied in the same association as the scalar code (the
+ * second stage becomes the same row-wise butterfly after a transpose,
+ * since v = t B means v^T = B^T t^T), so the vector paths are
+ * BIT-IDENTICAL to the scalar ones — no tolerance is forfeited by
+ * dispatching per tile.
+ */
+
+#if TAMRES_SIMD_X86 && defined(__SSE__)
+
+inline void
+winogradInputTransform4x4Sse(const float d[4][4], float v[16])
+{
+    const __m128 d0 = _mm_loadu_ps(d[0]);
+    const __m128 d1 = _mm_loadu_ps(d[1]);
+    const __m128 d2 = _mm_loadu_ps(d[2]);
+    const __m128 d3 = _mm_loadu_ps(d[3]);
+    __m128 t0 = _mm_sub_ps(d0, d2);
+    __m128 t1 = _mm_add_ps(d1, d2);
+    __m128 t2 = _mm_sub_ps(d2, d1);
+    __m128 t3 = _mm_sub_ps(d1, d3);
+    _MM_TRANSPOSE4_PS(t0, t1, t2, t3);
+    __m128 v0 = _mm_sub_ps(t0, t2);
+    __m128 v1 = _mm_add_ps(t1, t2);
+    __m128 v2 = _mm_sub_ps(t2, t1);
+    __m128 v3 = _mm_sub_ps(t1, t3);
+    _MM_TRANSPOSE4_PS(v0, v1, v2, v3);
+    _mm_storeu_ps(v + 0, v0);
+    _mm_storeu_ps(v + 4, v1);
+    _mm_storeu_ps(v + 8, v2);
+    _mm_storeu_ps(v + 12, v3);
+}
+
+#endif
+
+#if TAMRES_SIMD_NEON
+
+inline void
+winogradInputTransform4x4Neon(const float d[4][4], float v[16])
+{
+    float32x4_t t0 = vsubq_f32(vld1q_f32(d[0]), vld1q_f32(d[2]));
+    float32x4_t t1 = vaddq_f32(vld1q_f32(d[1]), vld1q_f32(d[2]));
+    float32x4_t t2 = vsubq_f32(vld1q_f32(d[2]), vld1q_f32(d[1]));
+    float32x4_t t3 = vsubq_f32(vld1q_f32(d[1]), vld1q_f32(d[3]));
+    float32x4x4_t m = {t0, t1, t2, t3};
+    // Transpose via two zip stages.
+    float32x4x2_t z01 = vzipq_f32(m.val[0], m.val[1]);
+    float32x4x2_t z23 = vzipq_f32(m.val[2], m.val[3]);
+    t0 = vcombine_f32(vget_low_f32(z01.val[0]),
+                      vget_low_f32(z23.val[0]));
+    t1 = vcombine_f32(vget_high_f32(z01.val[0]),
+                      vget_high_f32(z23.val[0]));
+    t2 = vcombine_f32(vget_low_f32(z01.val[1]),
+                      vget_low_f32(z23.val[1]));
+    t3 = vcombine_f32(vget_high_f32(z01.val[1]),
+                      vget_high_f32(z23.val[1]));
+    float32x4_t v0 = vsubq_f32(t0, t2);
+    float32x4_t v1 = vaddq_f32(t1, t2);
+    float32x4_t v2 = vsubq_f32(t2, t1);
+    float32x4_t v3 = vsubq_f32(t1, t3);
+    // Transpose back and store row-major.
+    z01 = vzipq_f32(v0, v1);
+    z23 = vzipq_f32(v2, v3);
+    vst1q_f32(v + 0, vcombine_f32(vget_low_f32(z01.val[0]),
+                                  vget_low_f32(z23.val[0])));
+    vst1q_f32(v + 4, vcombine_f32(vget_high_f32(z01.val[0]),
+                                  vget_high_f32(z23.val[0])));
+    vst1q_f32(v + 8, vcombine_f32(vget_low_f32(z01.val[1]),
+                                  vget_low_f32(z23.val[1])));
+    vst1q_f32(v + 12, vcombine_f32(vget_high_f32(z01.val[1]),
+                                   vget_high_f32(z23.val[1])));
+}
+
+#endif
+
+inline void
+winogradInputTransformDispatch(bool vec, const float d[4][4],
+                               float v[16])
+{
+#if TAMRES_SIMD_X86 && defined(__SSE__)
+    if (vec)
+        return winogradInputTransform4x4Sse(d, v);
+#elif TAMRES_SIMD_NEON
+    if (vec)
+        return winogradInputTransform4x4Neon(d, v);
+#endif
+    (void)vec;
+    winogradInputTransform4x4(d, v);
+}
+
 /** m (4x4) -> A^T m A (2x2 output). */
 inline void
 winogradOutputTransform(const float m[16], float y[2][2])
@@ -646,9 +1015,50 @@ winogradOutputTransform(const float m[16], float y[2][2])
     }
 }
 
+/** Vector first stage (same association -> bit-identical to scalar). */
+inline void
+winogradOutputTransformDispatch(bool vec, const float m[16],
+                                float y[2][2])
+{
+#if TAMRES_SIMD_X86 && defined(__SSE__)
+    if (vec) {
+        const __m128 m0 = _mm_loadu_ps(m + 0);
+        const __m128 m1 = _mm_loadu_ps(m + 4);
+        const __m128 m2 = _mm_loadu_ps(m + 8);
+        const __m128 m3 = _mm_loadu_ps(m + 12);
+        float t[2][4];
+        _mm_storeu_ps(t[0], _mm_add_ps(_mm_add_ps(m0, m1), m2));
+        _mm_storeu_ps(t[1], _mm_sub_ps(_mm_sub_ps(m1, m2), m3));
+        for (int i = 0; i < 2; ++i) {
+            y[i][0] = t[i][0] + t[i][1] + t[i][2];
+            y[i][1] = t[i][1] - t[i][2] - t[i][3];
+        }
+        return;
+    }
+#elif TAMRES_SIMD_NEON
+    if (vec) {
+        const float32x4_t m0 = vld1q_f32(m + 0);
+        const float32x4_t m1 = vld1q_f32(m + 4);
+        const float32x4_t m2 = vld1q_f32(m + 8);
+        const float32x4_t m3 = vld1q_f32(m + 12);
+        float t[2][4];
+        vst1q_f32(t[0], vaddq_f32(vaddq_f32(m0, m1), m2));
+        vst1q_f32(t[1], vsubq_f32(vsubq_f32(m1, m2), m3));
+        for (int i = 0; i < 2; ++i) {
+            y[i][0] = t[i][0] + t[i][1] + t[i][2];
+            y[i][1] = t[i][1] - t[i][2] - t[i][3];
+        }
+        return;
+    }
+#endif
+    (void)vec;
+    winogradOutputTransform(m, y);
+}
+
 void
 winogradKernel(const ConvProblem &p, const float *in, const float *w,
-               const float *bias, float *out, const ConvConfig &cfg)
+               const float *bias, float *out, const ConvConfig &cfg,
+               const PackedConvWeights *packed = nullptr)
 {
     const int oh = p.oh();
     const int ow = p.ow();
@@ -657,9 +1067,15 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
     const int tiles_x = (ow + 1) / 2;
     const int total_tiles = tiles_y * tiles_x;
     const int tb = std::max(4, cfg.wino_tile_block);
+    // One dispatch read for the whole conv call; workers inherit it.
+    const bool vec = simdLevel() != SimdLevel::Scalar;
+    const MicroFn micro = microDispatch(cfg.mr, cfg.nr);
 
+    // Prepacked weights skip both the per-call weight transform and
+    // the per-GEMM A packing; otherwise transform into scratch.
     std::vector<float> &u = scratch().wino_u;
-    winogradWeightTransform(p, w, u);
+    if (!packed)
+        winogradWeightTransform(p, w, u);
 
     // Parallelize over (batch, tile block): every block writes a
     // disjoint set of output tiles and carries its own V/M scratch, so
@@ -703,7 +1119,7 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
                         }
                     }
                     float freq[16];
-                    winogradInputTransform4x4(d, freq);
+                    winogradInputTransformDispatch(vec, d, freq);
                     for (int k = 0; k < 16; ++k)
                         v[(static_cast<size_t>(k) * icg + ic) *
                               tcount + t] = freq[k];
@@ -714,13 +1130,16 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
             std::fill(m.begin(), m.end(), 0.0f);
             for (int k = 0; k < 16; ++k) {
                 blockedGemm(p.oc, tcount, icg,
-                            u.data() + static_cast<size_t>(k) * p.oc *
-                                           icg,
+                            packed ? nullptr
+                                   : u.data() +
+                                         static_cast<size_t>(k) * p.oc *
+                                             icg,
                             v.data() + static_cast<size_t>(k) * icg *
                                            tcount,
                             m.data() + static_cast<size_t>(k) * p.oc *
                                            tcount,
-                            cfg, tcount);
+                            cfg, tcount, micro,
+                            packed ? &packed->mats[k] : nullptr);
             }
             // Inverse transform + scatter.
             for (int oc = 0; oc < p.oc; ++oc) {
@@ -736,7 +1155,7 @@ winogradKernel(const ConvProblem &p, const float *in, const float *w,
                         freq[k] = m[(static_cast<size_t>(k) * p.oc +
                                      oc) * tcount + t];
                     float y[2][2];
-                    winogradOutputTransform(freq, y);
+                    winogradOutputTransformDispatch(vec, freq, y);
                     for (int dy = 0; dy < 2; ++dy) {
                         const int oy = ty * 2 + dy;
                         if (oy >= oh)
@@ -771,6 +1190,7 @@ depthwiseKernel(const ConvProblem &p, const float *in, const float *w,
     tamres_assert(owt <= kMaxOwTile, "depthwise tile out of range");
 
     // Parallelize over (batch, channel): output planes are disjoint.
+    const AxpyFn axpy = axpyDispatch();
     const int64_t total = static_cast<int64_t>(p.n) * p.oc;
     ThreadPool::global().parallelFor(
         total,
@@ -799,6 +1219,12 @@ depthwiseKernel(const ConvProblem &p, const float *in, const float *w,
                             iplane + static_cast<int64_t>(iy) * p.iw;
                         for (int kx = 0; kx < p.kw; ++kx) {
                             const float wv = wk[ky * p.kw + kx];
+                            const int ix0 = x0 + kx - p.pad;
+                            if (p.stride == 1 && ix0 >= 0 &&
+                                ix0 + lim <= p.iw) {
+                                axpy(lim, wv, irow + ix0, acc);
+                                continue;
+                            }
                             for (int b = 0; b < lim; ++b) {
                                 const int ix =
                                     (x0 + b) * p.stride + kx - p.pad;
@@ -831,14 +1257,14 @@ convConfigValid(const ConvProblem &p, const ConvConfig &cfg)
         return cfg.oc_tile >= 1 && cfg.oc_tile <= 8 && cfg.ow_tile >= 1 &&
                cfg.ow_tile <= 32;
       case ConvAlgo::Im2col:
-        return microDispatch(cfg.mr, cfg.nr) != nullptr && cfg.mc >= 1 &&
-               cfg.kc >= 1 && cfg.nc >= 1;
+        return microDispatchScalar(cfg.mr, cfg.nr) != nullptr &&
+               cfg.mc >= 1 && cfg.kc >= 1 && cfg.nc >= 1;
       case ConvAlgo::Winograd:
         return p.kh == 3 && p.kw == 3 && p.stride == 1 &&
                p.groups == 1 && cfg.wino_tile_block >= 4 &&
                cfg.wino_tile_block <= 4096 &&
-               microDispatch(cfg.mr, cfg.nr) != nullptr && cfg.mc >= 1 &&
-               cfg.kc >= 1 && cfg.nc >= 1;
+               microDispatchScalar(cfg.mr, cfg.nr) != nullptr &&
+               cfg.mc >= 1 && cfg.kc >= 1 && cfg.nc >= 1;
       case ConvAlgo::Depthwise:
         return p.groups == p.ic && p.ic == p.oc && cfg.ow_tile >= 1 &&
                cfg.ow_tile <= 32;
@@ -878,6 +1304,107 @@ convForward(const ConvProblem &p, const float *in, const float *w,
         depthwiseKernel(p, in, w, bias, out, cfg);
         break;
     }
+}
+
+// ---------------------------------------------------------------------
+// Plan-time weight prepacking
+// ---------------------------------------------------------------------
+
+uint64_t
+convWeightPackCount()
+{
+    return g_weight_pack_count.load(std::memory_order_relaxed);
+}
+
+bool
+convAlgoPrepacks(ConvAlgo algo)
+{
+    return algo == ConvAlgo::Im2col || algo == ConvAlgo::Winograd;
+}
+
+void
+packGemmA(int M, int K, const float *a, int lda, const ConvConfig &cfg,
+          PackedGemmA &out)
+{
+    const auto [mc, kc, nc] = effectiveBlocking(cfg);
+    (void)nc;
+    const int mr = cfg.mr;
+    out.M = M;
+    out.K = K;
+    out.mc = mc;
+    out.kc = kc;
+    out.mr = mr;
+    const int n_icb = out.nBlocksM();
+    const int n_pcb = out.nBlocksK();
+    out.offsets.assign(static_cast<size_t>(n_pcb) * n_icb, 0);
+    size_t total = 0;
+    for (int pcb = 0; pcb < n_pcb; ++pcb) {
+        const int kb = std::min(kc, K - pcb * kc);
+        for (int icb = 0; icb < n_icb; ++icb) {
+            const int mb = std::min(mc, M - icb * mc);
+            const int mb_pad = (mb + mr - 1) / mr * mr;
+            out.offsets[static_cast<size_t>(pcb) * n_icb + icb] = total;
+            total += static_cast<size_t>(mb_pad) * kb;
+        }
+    }
+    out.data.resize(total);
+    for (int pcb = 0; pcb < n_pcb; ++pcb) {
+        const int kb = std::min(kc, K - pcb * kc);
+        for (int icb = 0; icb < n_icb; ++icb) {
+            const int mb = std::min(mc, M - icb * mc);
+            packABlock(a, lda, icb * mc, pcb * kc, mb, kb, mr,
+                       out.data.data() +
+                           out.offsets[static_cast<size_t>(pcb) *
+                                           n_icb + icb]);
+        }
+    }
+}
+
+void
+packConvWeights(const ConvProblem &p, const ConvConfig &cfg,
+                const float *w, PackedConvWeights &out)
+{
+    out.problem = p;
+    out.cfg = cfg;
+    out.valid = false;
+    out.mats.clear();
+    if (!convAlgoPrepacks(cfg.algo) || !convConfigValid(p, cfg))
+        return;
+    const int icg = p.ic / p.groups;
+    if (cfg.algo == ConvAlgo::Im2col) {
+        const int ocg = p.oc / p.groups;
+        const int K = icg * p.kh * p.kw;
+        out.mats.resize(p.groups);
+        for (int g = 0; g < p.groups; ++g) {
+            packGemmA(ocg, K, w + static_cast<int64_t>(g) * ocg * K, K,
+                      cfg, out.mats[g]);
+        }
+    } else { // Winograd
+        std::vector<float> u;
+        winogradWeightTransform(p, w, u);
+        out.mats.resize(16);
+        for (int k = 0; k < 16; ++k) {
+            packGemmA(p.oc, icg,
+                      u.data() + static_cast<size_t>(k) * p.oc * icg,
+                      icg, cfg, out.mats[k]);
+        }
+    }
+    out.valid = true;
+}
+
+void
+convForwardPrepacked(const ConvProblem &p, const float *in,
+                     const PackedConvWeights &packed, const float *bias,
+                     float *out)
+{
+    tamres_assert(packed.valid, "convForwardPrepacked on invalid pack");
+    tamres_assert(packed.problem == p,
+                  "prepacked weights built for a different problem");
+    const ConvConfig &cfg = packed.cfg;
+    if (cfg.algo == ConvAlgo::Im2col)
+        im2colKernel(p, in, nullptr, bias, out, cfg, &packed);
+    else
+        winogradKernel(p, in, nullptr, bias, out, cfg, &packed);
 }
 
 } // namespace tamres

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace tamres {
 
@@ -137,9 +138,104 @@ void convReference(const ConvProblem &p, const float *in, const float *w,
 /**
  * Validity check: some (config, problem) pairs are rejected (e.g.
  * micro-kernel sizes not in the supported set). Invalid configs are
- * skipped by the tuner.
+ * skipped by the tuner. Validity never depends on the runtime SIMD
+ * level: every supported (mr, nr) pair has a scalar micro-kernel, so a
+ * tuned config stays runnable when dispatch is forced to scalar.
  */
 bool convConfigValid(const ConvProblem &p, const ConvConfig &cfg);
+
+// ---------------------------------------------------------------------
+// Plan-time weight prepacking
+// ---------------------------------------------------------------------
+
+/**
+ * One GEMM A-matrix packed into micro-kernel panels (mr-row, k-major)
+ * for a specific blocking — the exact layout blockedGemm's on-the-fly
+ * packer produces, materialized once so steady-state calls skip the
+ * per-request repack. Blocks are addressed by (kc-block, mc-block)
+ * index; the panel layout is ISA-independent, so a pack survives
+ * runtime SIMD level changes.
+ */
+struct PackedGemmA
+{
+    int M = 0;  //!< rows of the packed matrix
+    int K = 0;  //!< reduction extent
+    int mc = 0; //!< effective row-block size it was packed with
+    int kc = 0; //!< effective k-block size it was packed with
+    int mr = 0; //!< micro-kernel row count (panel height)
+
+    std::vector<float> data;     //!< all panels, contiguous
+    std::vector<size_t> offsets; //!< (pcb * nBlocksM() + icb) -> data
+                                 //!< offset of that block's panels
+
+    int nBlocksM() const { return (M + mc - 1) / mc; }
+    int nBlocksK() const { return (K + kc - 1) / kc; }
+
+    /** Panels of A[icb-block] x [pcb-block] (packed, padded to mr). */
+    const float *
+    block(int pcb, int icb) const
+    {
+        return data.data() +
+               offsets[static_cast<size_t>(pcb) * nBlocksM() + icb];
+    }
+};
+
+/**
+ * Pack A[M x K] (row stride @p lda) into panels for @p cfg's effective
+ * GEMM blocking. Counts toward convWeightPackCount().
+ */
+void packGemmA(int M, int K, const float *a, int lda,
+               const ConvConfig &cfg, PackedGemmA &out);
+
+/**
+ * A convolution's weights packed for a specific (problem, config):
+ * B-panel-layout GEMM panels per group for im2col (and the pointwise
+ * fast path), or the 16 transformed-and-packed frequency matrices for
+ * winograd. Owned by whoever resolves configs ahead of time — in
+ * practice the Graph execution plan, which packs at plan-compile time
+ * and re-packs when the KernelSelector generation moves; the pack is
+ * invalidated with the plan. Algorithms that read weights directly
+ * (reference, direct, depthwise) have nothing to pack (valid stays
+ * false) and run the ordinary path.
+ */
+struct PackedConvWeights
+{
+    ConvProblem problem; //!< shape the pack was built for
+    ConvConfig cfg;      //!< config the pack was built for
+    bool valid = false;  //!< packed data present and usable
+    std::vector<PackedGemmA> mats; //!< per group (im2col) or per
+                                   //!< winograd frequency (16)
+};
+
+/** True when @p algo has a prepackable weight matrix. */
+bool convAlgoPrepacks(ConvAlgo algo);
+
+/**
+ * Build the packed-weight form of @p w for (@p p, @p cfg). Leaves
+ * @p out invalid when the algorithm has nothing to prepack or the
+ * config is invalid for the problem.
+ */
+void packConvWeights(const ConvProblem &p, const ConvConfig &cfg,
+                     const float *w, PackedConvWeights &out);
+
+/**
+ * convForward with plan-prepacked weights: identical output to
+ * convForward(p, in, w, bias, out, packed.cfg) — the packed panels
+ * hold the same values the on-the-fly packer would produce — but the
+ * steady-state call performs no weight packing (only im2col/B-panel
+ * activation packing). @p packed must be valid and built for exactly
+ * this problem and the config being run.
+ */
+void convForwardPrepacked(const ConvProblem &p, const float *in,
+                          const PackedConvWeights &packed,
+                          const float *bias, float *out);
+
+/**
+ * Process-wide count of weight-side pack operations (A-panel blocks
+ * packed, winograd weight transforms). Tests assert this does not move
+ * across steady-state planned runs; monotonic, relaxed ordering.
+ */
+uint64_t convWeightPackCount();
 
 } // namespace tamres
 

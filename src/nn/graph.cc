@@ -260,8 +260,10 @@ Graph::buildPlan(const Shape &input_shape) const
         st.conv = dynamic_cast<Conv2d *>(st.op);
         if (!nodes_[i].inputs.empty())
             st.in0_shape = shapes[nodes_[i].inputs[0]];
-        if (st.conv)
+        if (st.conv) {
             st.cfg = st.conv->configFor(st.in0_shape);
+            st.conv->packWeights(st.in0_shape, st.cfg, st.packed);
+        }
         if (i == output_) {
             st.external_out = true;
         } else {
@@ -303,12 +305,18 @@ Graph::planFor(const Shape &input_shape)
 
     // Kernel-selector churn (mode flips, newly registered tuned
     // configs) re-resolves the cached conv configs in place; the
-    // schedule and arena stay put.
+    // schedule and arena stay put. A step whose config actually moved
+    // re-packs its weights so the plan never replays stale panels.
     const uint64_t gen = KernelSelector::instance().generation();
     if (plan.selector_gen != gen) {
         for (PlanStep &st : plan.steps) {
-            if (st.conv)
-                st.cfg = st.conv->configFor(st.in0_shape);
+            if (!st.conv)
+                continue;
+            const ConvConfig cfg = st.conv->configFor(st.in0_shape);
+            if (!(cfg == st.cfg) || !(st.packed.cfg == cfg)) {
+                st.cfg = cfg;
+                st.conv->packWeights(st.in0_shape, st.cfg, st.packed);
+            }
         }
         plan.selector_gen = gen;
     }
@@ -332,7 +340,7 @@ Graph::executePlan(Plan &plan, const Tensor &input, Tensor &out)
         if (observer_)
             observer_(*st.op, st.ins);
         if (st.conv)
-            st.conv->forwardWith(st.cfg, st.ins, dst);
+            st.conv->forwardWith(st.cfg, &st.packed, st.ins, dst);
         else
             st.op->forward(st.ins, dst);
     }

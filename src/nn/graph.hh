@@ -6,10 +6,12 @@
  * first run() at a given input shape compiles a Plan — topological
  * schedule over the live nodes, inferred shapes, a liveness-based
  * arena that hosts every intermediate in a handful of reusable
- * buffers, and the resolved ConvConfig per convolution — and
- * subsequent runs at that shape replay it with zero graph analysis
- * and zero heap allocation (runInto() with a caller-reused output is
- * fully allocation-free; run() allocates only the returned tensor).
+ * buffers, the resolved ConvConfig per convolution, and that config's
+ * prepacked weight panels — and subsequent runs at that shape replay
+ * it with zero graph analysis, zero heap allocation (runInto() with a
+ * caller-reused output is fully allocation-free; run() allocates only
+ * the returned tensor), and zero weight packing (only im2col
+ * activation panels are packed per request).
  * Plans are keyed by input shape, so dynamic-resolution serving hits
  * one cached plan per resolution. Any structural mutation (add,
  * setOutput, replaceOp, rewire) invalidates the cache; kernel-selector
@@ -185,6 +187,15 @@ class Graph
         Op *op = nullptr;
         class Conv2d *conv = nullptr; //!< non-null for Conv2d steps
         ConvConfig cfg;               //!< resolved config when conv
+        /**
+         * Plan-owned prepacked weights for conv steps: built at plan
+         * compile time (and rebuilt when a selector-generation bump
+         * changes cfg), so steady-state execution performs no weight
+         * packing. Lifetime rule: the pack lives and dies with the
+         * plan — every invalidatePlans() drops it, and it is only
+         * replayed while (cfg, weights) are those it was built from.
+         */
+        PackedConvWeights packed;
         Shape in0_shape;              //!< first input (config re-resolve)
         Tensor out_view;   //!< arena view (empty when external output)
         bool external_out = false; //!< write the caller's out tensor

@@ -85,17 +85,39 @@ Conv2d::forwardWith(const ConvConfig &cfg,
                     const std::vector<const Tensor *> &inputs,
                     Tensor &out)
 {
+    forwardWith(cfg, nullptr, inputs, out);
+}
+
+void
+Conv2d::forwardWith(const ConvConfig &cfg,
+                    const PackedConvWeights *packed,
+                    const std::vector<const Tensor *> &inputs,
+                    Tensor &out)
+{
     const Tensor &in = *inputs[0];
     const ConvProblem p = problemFor(in.shape());
-    convForward(p, in.data(), weight_.data(),
-                has_bias_ ? bias_.data() : nullptr, out.data(),
-                override_ ? *override_ : cfg);
+    const ConvConfig &eff = override_ ? *override_ : cfg;
+    const float *bias = has_bias_ ? bias_.data() : nullptr;
+    if (packed && packed->valid && packed->problem == p &&
+        packed->cfg == eff) {
+        convForwardPrepacked(p, in.data(), *packed, bias, out.data());
+    } else {
+        convForward(p, in.data(), weight_.data(), bias, out.data(),
+                    eff);
+    }
     if (fused_relu_) {
         float *o = out.data();
         const size_t n = out.numel();
         for (size_t i = 0; i < n; ++i)
             o[i] = o[i] > 0.0f ? o[i] : 0.0f;
     }
+}
+
+void
+Conv2d::packWeights(const Shape &input, const ConvConfig &cfg,
+                    PackedConvWeights &out) const
+{
+    packConvWeights(problemFor(input), cfg, weight_.data(), out);
 }
 
 int64_t

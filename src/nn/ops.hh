@@ -64,6 +64,30 @@ class Conv2d : public Op
                      Tensor &out);
 
     /**
+     * forwardWith() that may run from plan-prepacked weights: the
+     * pack is used only when it matches the effective config and the
+     * actual input shape (a live override or a stale pack falls back
+     * to the ordinary path, never to stale panels). @p packed may be
+     * null.
+     */
+    void forwardWith(const ConvConfig &cfg,
+                     const PackedConvWeights *packed,
+                     const std::vector<const Tensor *> &inputs,
+                     Tensor &out);
+
+    /**
+     * Pack this conv's weights for (@p input shape, @p cfg) — the
+     * plan-compile-time step behind the prepacked steady state. The
+     * caller owns the lifetime: a pack is only coherent while the
+     * weights and config it was built from are unchanged (Graph
+     * re-packs when the KernelSelector generation moves and drops
+     * packs with the plan; mutating weights in place requires
+     * invalidating the owning plan).
+     */
+    void packWeights(const Shape &input, const ConvConfig &cfg,
+                     PackedConvWeights &out) const;
+
+    /**
      * Pin a specific config, bypassing the KernelSelector (used by
      * tuning measurement).
      */

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace tamres {
 
@@ -16,6 +17,66 @@ checkSameShape(const Tensor &a, const Tensor &b, const char *what)
                   shapeToString(b.shape()).c_str());
 }
 
+/*
+ * Vector elementwise kernels for the serving hot path (residual adds
+ * and standalone ReLU). Add and max round/select exactly like their
+ * scalar forms, so these are bit-identical to the fallback loops.
+ */
+
+#if TAMRES_SIMD_X86
+
+TAMRES_TARGET_AVX2 void
+addAvx2(const float *a, const float *b, float *o, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(o + i,
+                         _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(b + i)));
+    }
+    for (; i < n; ++i)
+        o[i] = a[i] + b[i];
+}
+
+TAMRES_TARGET_AVX2 void
+reluAvx2(const float *a, float *o, int64_t n)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(o + i,
+                         _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+    for (; i < n; ++i)
+        o[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+#endif
+
+#if TAMRES_SIMD_NEON
+
+void
+addNeon(const float *a, const float *b, float *o, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        vst1q_f32(o + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    for (; i < n; ++i)
+        o[i] = a[i] + b[i];
+}
+
+void
+reluNeon(const float *a, float *o, int64_t n)
+{
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        vst1q_f32(o + i, vmaxq_f32(vld1q_f32(a + i), zero));
+    for (; i < n; ++i)
+        o[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+#endif
+
 } // namespace
 
 void
@@ -27,6 +88,20 @@ addInto(const Tensor &a, const Tensor &b, Tensor &out)
     const float *pb = b.data();
     float *po = out.data();
     const int64_t n = a.numel();
+    switch (simdLevel()) {
+#if TAMRES_SIMD_X86
+      case SimdLevel::Avx2:
+        addAvx2(pa, pb, po, n);
+        return;
+#endif
+#if TAMRES_SIMD_NEON
+      case SimdLevel::Neon:
+        addNeon(pa, pb, po, n);
+        return;
+#endif
+      default:
+        break;
+    }
     for (int64_t i = 0; i < n; ++i)
         po[i] = pa[i] + pb[i];
 }
@@ -58,6 +133,20 @@ reluInto(const Tensor &a, Tensor &out)
     const float *pa = a.data();
     float *po = out.data();
     const int64_t n = a.numel();
+    switch (simdLevel()) {
+#if TAMRES_SIMD_X86
+      case SimdLevel::Avx2:
+        reluAvx2(pa, po, n);
+        return;
+#endif
+#if TAMRES_SIMD_NEON
+      case SimdLevel::Neon:
+        reluNeon(pa, po, n);
+        return;
+#endif
+      default:
+        break;
+    }
     for (int64_t i = 0; i < n; ++i)
         po[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
 }

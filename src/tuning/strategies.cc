@@ -46,7 +46,11 @@ ncs()
 const std::vector<int> &
 mrs()
 {
-    static const std::vector<int> v = {2, 4, 6, 8};
+    // Includes 1: with the vector micro-kernels a single broadcast row
+    // against 16 columns (1x16) is a real candidate for very wide,
+    // shallow GEMMs, and the paper's shape-dependence argument now
+    // extends to the register tile itself.
+    static const std::vector<int> v = {1, 2, 4, 6, 8};
     return v;
 }
 

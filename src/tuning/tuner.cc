@@ -10,6 +10,7 @@
 #include "tuning/strategies.hh"
 #include "nn/ops.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/rng.hh"
 #include "util/timer.hh"
 
@@ -78,11 +79,14 @@ algoFromInt(int v)
 namespace {
 
 /**
- * On-disk cache format tag. v2 added the threads column; unversioned
- * (v1) files would otherwise misparse silently, so anything without
- * the tag is discarded and rebuilt.
+ * On-disk cache format tag. v2 added the threads column; v3 added the
+ * simd column (the dispatch level the config was measured under — a
+ * blocking tuned for AVX2 micro-kernels is not evidence for the
+ * scalar fallback, so entries from other levels are skipped at load).
+ * Unversioned (v1) files would otherwise misparse silently, so
+ * anything without the tag is discarded and rebuilt.
  */
-const char *const kCacheVersion = "tamres-cache-v2";
+const char *const kCacheVersion = "tamres-cache-v3";
 
 } // namespace
 
@@ -108,11 +112,17 @@ ConfigCache::load()
         return;
     }
     char key[128];
+    char simd[16];
     int algo, oc_tile, ow_tile, mc, kc, nc, mr, nr, wino_tb, threads;
     double gf;
-    while (std::fscanf(f, "%127s %d %d %d %d %d %d %d %d %d %d %lf",
-                       key, &algo, &oc_tile, &ow_tile, &mc, &kc, &nc,
-                       &mr, &nr, &wino_tb, &threads, &gf) == 12) {
+    size_t other_level = 0;
+    while (std::fscanf(f, "%127s %15s %d %d %d %d %d %d %d %d %d %d %lf",
+                       key, simd, &algo, &oc_tile, &ow_tile, &mc, &kc,
+                       &nc, &mr, &nr, &wino_tb, &threads, &gf) == 13) {
+        if (std::strcmp(simd, simdLevelName(simdLevel())) != 0) {
+            ++other_level;
+            continue;
+        }
         Entry e;
         e.config.algo = algoFromInt(algo);
         e.config.oc_tile = oc_tile;
@@ -128,9 +138,10 @@ ConfigCache::load()
         entries_[key] = e;
     }
     std::fclose(f);
-    if (!entries_.empty()) {
-        inform("ConfigCache: loaded %zu tuned configs from %s",
-               entries_.size(), path_.c_str());
+    if (!entries_.empty() || other_level > 0) {
+        inform("ConfigCache: loaded %zu tuned configs from %s "
+               "(%zu skipped: measured at another simd level)",
+               entries_.size(), path_.c_str(), other_level);
     }
 }
 
@@ -147,8 +158,9 @@ ConfigCache::appendToFile(const std::string &key, const Entry &e) const
     std::fseek(f, 0, SEEK_END);
     if (std::ftell(f) == 0)
         std::fprintf(f, "%s\n", kCacheVersion);
-    std::fprintf(f, "%s %d %d %d %d %d %d %d %d %d %d %.4f\n",
-                 key.c_str(), algoToInt(e.config.algo), e.config.oc_tile,
+    std::fprintf(f, "%s %s %d %d %d %d %d %d %d %d %d %d %.4f\n",
+                 key.c_str(), simdLevelName(simdLevel()),
+                 algoToInt(e.config.algo), e.config.oc_tile,
                  e.config.ow_tile, e.config.mc, e.config.kc, e.config.nc,
                  e.config.mr, e.config.nr, e.config.wino_tile_block,
                  e.config.threads, e.gflops);

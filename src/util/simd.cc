@@ -1,0 +1,87 @@
+#include "util/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace tamres {
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar: return "scalar";
+      case SimdLevel::Avx2: return "avx2";
+      case SimdLevel::Neon: return "neon";
+    }
+    return "?";
+}
+
+namespace {
+
+SimdLevel
+probe()
+{
+#if TAMRES_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return SimdLevel::Avx2;
+#elif TAMRES_SIMD_NEON
+    // NEON is architecturally guaranteed on aarch64.
+    return SimdLevel::Neon;
+#endif
+    return SimdLevel::Scalar;
+}
+
+/** Initial level: the detection capped by the TAMRES_SIMD variable. */
+SimdLevel
+initialLevel()
+{
+    const SimdLevel detected = simdDetected();
+    const char *v = std::getenv("TAMRES_SIMD");
+    if (!v || !*v)
+        return detected;
+    if (std::strcmp(v, "off") == 0 || std::strcmp(v, "scalar") == 0 ||
+        std::strcmp(v, "0") == 0)
+        return SimdLevel::Scalar;
+    if (std::strcmp(v, "avx2") == 0)
+        return detected == SimdLevel::Avx2 ? SimdLevel::Avx2
+                                           : SimdLevel::Scalar;
+    if (std::strcmp(v, "neon") == 0)
+        return detected == SimdLevel::Neon ? SimdLevel::Neon
+                                           : SimdLevel::Scalar;
+    // "on" / "native" / anything else: trust the detection.
+    return detected;
+}
+
+std::atomic<SimdLevel> &
+activeLevel()
+{
+    static std::atomic<SimdLevel> level{initialLevel()};
+    return level;
+}
+
+} // namespace
+
+SimdLevel
+simdDetected()
+{
+    static const SimdLevel detected = probe();
+    return detected;
+}
+
+SimdLevel
+simdLevel()
+{
+    return activeLevel().load(std::memory_order_relaxed);
+}
+
+SimdLevel
+setSimdLevel(SimdLevel level)
+{
+    if (level != SimdLevel::Scalar && level != simdDetected())
+        level = SimdLevel::Scalar;
+    activeLevel().store(level, std::memory_order_relaxed);
+    return level;
+}
+
+} // namespace tamres

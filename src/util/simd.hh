@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Portable SIMD layer: runtime CPU detection and dispatch level.
+ *
+ * The kernels in src/nn, src/codec, src/image and src/tensor provide
+ * explicit vector implementations (AVX2+FMA on x86-64, NEON on
+ * aarch64) next to their scalar fallbacks, and choose between them at
+ * *runtime* via simdLevel() — never via -march at compile time alone.
+ * That keeps one binary portable across the fleet: the AVX2 paths are
+ * compiled with per-function target attributes (TAMRES_TARGET_AVX2)
+ * and only executed when cpuid says the host supports them.
+ *
+ * Dispatch contract
+ * -----------------
+ *  - simdDetected() is the strongest level the host supports, probed
+ *    once (cpuid / architecture).
+ *  - simdLevel() is the *active* level every dispatch site must read.
+ *    It starts at min(detected, TAMRES_SIMD) — the environment
+ *    variable accepts "off"/"scalar"/"0" (force the scalar fallback;
+ *    the CI forced-scalar leg sets this), "avx2", "neon", or
+ *    "on"/"native" (the default: whatever was detected).
+ *  - setSimdLevel() lowers/restores the level at runtime (clamped to
+ *    the detected maximum) so tests and benches can compare paths in
+ *    one process; SimdLevelGuard is the RAII form. Do not flip the
+ *    level concurrently with kernel execution.
+ *
+ * Numerics: SIMD paths are bit-identical to their scalar fallbacks
+ * whenever they use only the same adds/subs/shuffles (e.g. the
+ * winograd tile transforms, elementwise add/relu). Paths that fuse
+ * multiply-adds (GEMM microkernels, color conversion) may round
+ * differently from the scalar fallback; every path individually stays
+ * deterministic and bit-identical across thread counts.
+ */
+
+#ifndef TAMRES_UTIL_SIMD_HH
+#define TAMRES_UTIL_SIMD_HH
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TAMRES_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define TAMRES_SIMD_X86 0
+#endif
+
+// aarch64 only: guarantees NEON with the fused-multiply intrinsics
+// the kernels use (32-bit ARM NEON variants are not worth the matrix).
+#if defined(__aarch64__)
+#define TAMRES_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define TAMRES_SIMD_NEON 0
+#endif
+
+#if TAMRES_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+/** Marks a function compiled for AVX2+FMA regardless of -march. */
+#define TAMRES_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#else
+#define TAMRES_TARGET_AVX2
+#endif
+
+namespace tamres {
+
+/** Instruction-set level a kernel dispatch can run at. */
+enum class SimdLevel
+{
+    Scalar = 0, //!< portable fallback, always available
+    Avx2 = 1,   //!< x86-64 AVX2 + FMA (256-bit float lanes)
+    Neon = 2,   //!< aarch64 NEON (128-bit float lanes)
+};
+
+/** "scalar" / "avx2" / "neon". */
+const char *simdLevelName(SimdLevel level);
+
+/** Strongest level the host CPU supports (probed once). */
+SimdLevel simdDetected();
+
+/**
+ * The active dispatch level: min(detected, TAMRES_SIMD env cap) until
+ * overridden by setSimdLevel(). Cheap (one relaxed atomic load) — hot
+ * paths may read it per call.
+ */
+SimdLevel simdLevel();
+
+/**
+ * Override the active level (clamped to the detected maximum, so
+ * requesting e.g. Avx2 on a non-AVX2 host yields Scalar). Returns the
+ * level actually applied.
+ */
+SimdLevel setSimdLevel(SimdLevel level);
+
+/** RAII override for tests/benches comparing dispatch paths. */
+class SimdLevelGuard
+{
+  public:
+    explicit SimdLevelGuard(SimdLevel level)
+        : prev_(simdLevel())
+    {
+        setSimdLevel(level);
+    }
+    ~SimdLevelGuard() { setSimdLevel(prev_); }
+    SimdLevelGuard(const SimdLevelGuard &) = delete;
+    SimdLevelGuard &operator=(const SimdLevelGuard &) = delete;
+
+  private:
+    SimdLevel prev_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_SIMD_HH

@@ -346,6 +346,104 @@ TEST(GraphPlanAlloc, SteadyStateAllocationFreePerResolution)
     EXPECT_EQ(after - before, 0u);
 }
 
+// --- Prepacked weights -----------------------------------------------
+
+TEST(GraphPlanPack, SteadyStateRunIntoDoesNoWeightPacking)
+{
+    ThreadsEnv env(1);
+    auto g = buildResNet18(8, 5);
+    foldBatchNorms(*g);
+    fuseConvRelu(*g);
+    const Tensor in = randomInput(64, 18);
+    Tensor out;
+    const uint64_t t0 = convWeightPackCount();
+    g->runInto(in, out); // compiles the plan: packs every conv once
+    EXPECT_GT(convWeightPackCount(), t0)
+        << "plan compilation should prepack conv weights";
+
+    const uint64_t steady = convWeightPackCount();
+    for (int i = 0; i < 3; ++i)
+        g->runInto(in, out);
+    EXPECT_EQ(convWeightPackCount(), steady)
+        << "steady-state planned runs must not pack weights";
+
+    // The naive executor (per-request packing) keeps paying it — the
+    // contrast the plan removes.
+    g->runNaive(in);
+    EXPECT_GT(convWeightPackCount(), steady);
+}
+
+TEST(GraphPlanPack, SelectorGenerationBumpRepacksAndStaysCorrect)
+{
+    // Registering a tuned config with different GEMM blocking bumps
+    // the selector generation: the cached plan must re-resolve the
+    // config AND re-pack the weights; replaying the old panels under
+    // the new blocking would be wrong (or crash).
+    auto g = buildResNet18(8, 5);
+    const Tensor in = randomInput(64, 19);
+    KernelSelector::instance().setMode(KernelMode::Library);
+    ASSERT_TRUE(bitIdentical(g->run(in), g->runNaive(in)));
+
+    // Find one dense conv problem the graph actually runs.
+    bool registered = false;
+    g->visitShapes({1, 3, 64, 64},
+                   [&](Op &op, const std::vector<Shape> &ins) {
+                       auto *conv = dynamic_cast<Conv2d *>(&op);
+                       if (!conv || registered ||
+                           conv->groups() != 1)
+                           return;
+                       const ConvProblem p = conv->problemFor(ins[0]);
+                       ConvConfig tuned;
+                       tuned.algo = ConvAlgo::Im2col;
+                       tuned.mc = 32;
+                       tuned.kc = 48;
+                       tuned.nc = 160;
+                       tuned.mr = 6;
+                       tuned.nr = 8;
+                       if (!convConfigValid(p, tuned))
+                           return;
+                       KernelSelector::instance().registerTuned(p,
+                                                                tuned);
+                       registered = true;
+                   });
+    ASSERT_TRUE(registered);
+    KernelSelector::instance().setMode(KernelMode::Tuned);
+    EXPECT_TRUE(bitIdentical(g->run(in), g->runNaive(in)))
+        << "cached plan replayed stale packed weights after a "
+           "selector generation bump";
+    KernelSelector::instance().setMode(KernelMode::Library);
+    KernelSelector::instance().clearTuned();
+    EXPECT_TRUE(bitIdentical(g->run(in), g->runNaive(in)));
+}
+
+TEST(GraphPlanPack, ReplaceOpDropsThePackWithThePlan)
+{
+    // Swapping a conv for one with fresh weights must invalidate the
+    // plan (and with it the packed panels); a stale pack would keep
+    // producing the old conv's outputs.
+    Graph g;
+    Rng rng(29);
+    auto conv = std::make_unique<Conv2d>("c", 3, 4, 3, 1, 1);
+    conv->initKaiming(rng);
+    const auto id = g.add(std::move(conv), {Graph::kInput});
+    g.setOutput(id);
+
+    Tensor in({1, 3, 12, 12});
+    fillUniform(in, rng, -1.0f, 1.0f);
+    const Tensor before = g.run(in).clone();
+    ASSERT_EQ(g.cachedPlanCount(), 1u);
+
+    auto replacement = std::make_unique<Conv2d>("c2", 3, 4, 3, 1, 1);
+    replacement->initKaiming(rng);
+    g.replaceOp(id, std::move(replacement));
+    EXPECT_EQ(g.cachedPlanCount(), 0u);
+    const Tensor after = g.run(in);
+    EXPECT_FALSE(bitIdentical(before, after))
+        << "output unchanged after replacing the conv — stale plan "
+           "or stale packed weights";
+    EXPECT_TRUE(bitIdentical(after, g.runNaive(in)));
+}
+
 TEST(GraphPlanAlloc, ArenaReusesBuffersAcrossLifetimes)
 {
     // The liveness arena must host all intermediates in a fraction of
