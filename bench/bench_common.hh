@@ -12,7 +12,30 @@
  *   TAMRES_TUNING_TRIALS     autotuner candidates per conv shape
  *   TAMRES_TUNING_BUDGET_S   autotuner wall-clock budget per shape
  *   TAMRES_LATENCY_REPS      timed repetitions per latency point
+ *   TAMRES_ENGINE_REQS       requests per engine closed-loop point
  *   TAMRES_CACHE             tuning-cache path
+ *
+ * BENCH_engine.json (written by bench/batched_serving, gated by
+ * tools/bench_gate.py against bench/baselines/):
+ *   workers                  engine worker threads (host parallelism)
+ *   requests                 closed-loop requests per measured point
+ *   serial_rps               batch-1 runInto() closed-loop rate, the
+ *                            baseline (median of samples interleaved
+ *                            with the engine runs to cancel drift)
+ *   batch_item_speedup.bN    per-item planned-execution speedup of a
+ *                            batch-N runInto over batch-1 (merged-
+ *                            column GEMM + shared prepack effect)
+ *   engine[]                 one point per max_batch sweep entry:
+ *     max_batch, rps         formed-batch cap and measured rate
+ *     vs_serial              rps / serial_rps
+ *     mean_batch             served / batches (formation efficiency)
+ *     p50_ms, p99_ms         closed-loop request latency percentiles
+ *   engine_batched_vs_serial best batched engine rate / serial_rps —
+ *                            the headline "real engine beats serial
+ *                            batch-1" ratio the CI gate watches
+ *   sim_phi                  amortizable-cost fraction fitted from
+ *                            the measured batch curve, fed back into
+ *                            the analytic cross-check simulation
  */
 
 #ifndef TAMRES_BENCH_BENCH_COMMON_HH
@@ -39,6 +62,7 @@ inline int evalImagesPix() { return static_cast<int>(envInt("TAMRES_EVAL_IMAGES_
 inline int calImages() { return static_cast<int>(envInt("TAMRES_CAL_IMAGES", 42)); }
 inline int trainImages() { return static_cast<int>(envInt("TAMRES_TRAIN_IMAGES", 480)); }
 inline int latencyReps() { return static_cast<int>(envInt("TAMRES_LATENCY_REPS", 2)); }
+inline int engineRequests() { return static_cast<int>(envInt("TAMRES_ENGINE_REQS", 48)); }
 
 inline std::string
 cachePath()

@@ -1,43 +1,133 @@
 /**
  * @file
- * Section VII-c experiment: hiding the scale model's runtime by
- * pipelining it with backbone inference. The paper measures the scale
- * model at ~30% of a tuned ResNet-50@224 pass and argues the overhead
- * can be hidden by overlapping the next request's scale inference
- * with the current request's backbone inference; this bench runs the
- * sequential and pipelined endpoint models side by side across
- * arrival rates and reports where each saturates.
+ * Section VII-c experiment, measured: hiding the scale model's
+ * runtime by pipelining it with backbone inference. Stage service
+ * times are MEASURED on the real engine (the scale model is proxied
+ * by the backbone at 112 — its measured cost lands in the paper's
+ * ~25-35% band of the 224 pass), then the two stages run as two
+ * ServingEngines: a single closed-loop client serializes them (the
+ * sequential endpoint), many clients overlap them (the pipelined
+ * endpoint — stage 1 of request i+1 runs while stage 2 of request i
+ * is in flight, given the cores to do so). The original analytic
+ * tandem-queue model is kept as a cross-check, fed with the measured
+ * stage times.
  */
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "bench/bench_common.hh"
+#include "core/engine.hh"
 #include "core/serving.hh"
+#include "nn/passes.hh"
+#include "util/thread_pool.hh"
 
 using namespace tamres;
+
+namespace {
+
+constexpr int kBackboneRes = 224;
+constexpr int kScaleRes = 112; //!< scale-model proxy resolution
+
+/** Closed loop through both stages with @p clients in flight. */
+double
+twoStageRps(ServingEngine &scale_engine, ServingEngine &bb_engine,
+            const Tensor &scale_in, const Tensor &bb_in, int clients,
+            int total)
+{
+    Timer t;
+    std::atomic<int> remaining{total};
+    std::atomic<int> completed{0};
+    std::vector<std::thread> cts;
+    for (int c = 0; c < clients; ++c) {
+        cts.emplace_back([&] {
+            InferenceRequest s1, s2;
+            s1.input = scale_in.clone();
+            s2.input = bb_in.clone();
+            while (remaining.fetch_sub(1) > 0) {
+                if (scale_engine.submit(s1))
+                    scale_engine.wait(s1);
+                if (bb_engine.submit(s2))
+                    bb_engine.wait(s2);
+                completed.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : cts)
+        th.join();
+    return completed.load() / t.seconds();
+}
+
+} // namespace
 
 int
 main()
 {
     bench::banner("pipelined_serving",
-                  "Section VII-c (scale-model overhead hidden by "
-                  "pipelining)");
+                  "Section VII-c measured: scale-model overhead "
+                  "hidden by pipelining");
+    const int hw = ThreadPool::defaultParallelism();
+    const int total = bench::engineRequests();
 
-    // Analytic service model at a fixed host throughput, as in
-    // serving_load: the paper's ratio — scale model ~30% of the
-    // backbone pass.
-    const double host_gflops = 8.0;
-    const double backbone_s =
-        backboneGflops(BackboneArch::ResNet50, 224) / host_gflops;
-    const double scale_s = 0.3 * backbone_s;
+    auto net = bench::buildBackbone(BackboneArch::ResNet18);
+    foldBatchNorms(*net);
+    fuseConvRelu(*net);
+    bench::ensureTuned(*net, kBackboneRes);
+    bench::ensureTuned(*net, kScaleRes);
+    KernelSelector::instance().setMode(KernelMode::Tuned);
 
+    Rng rng(311);
+    Tensor bb_in({1, 3, kBackboneRes, kBackboneRes});
+    Tensor scale_in({1, 3, kScaleRes, kScaleRes});
+    fillUniform(bb_in, rng, 0.0f, 1.0f);
+    fillUniform(scale_in, rng, 0.0f, 1.0f);
+
+    // Measured stage times (batch-1, planned).
+    Tensor out;
+    net->runInto(bb_in, out);
+    const double backbone_s = medianRunSeconds(
+        [&] { net->runInto(bb_in, out); }, bench::latencyReps());
+    Tensor sout;
+    net->runInto(scale_in, sout);
+    const double scale_s = medianRunSeconds(
+        [&] { net->runInto(scale_in, sout); }, bench::latencyReps());
+    std::printf("measured stages: backbone %.1f ms, scale proxy %.1f "
+                "ms (%.0f%% of backbone)\n",
+                backbone_s * 1e3, scale_s * 1e3,
+                100.0 * scale_s / backbone_s);
+
+    // ---- Measured: sequential vs pipelined two-stage endpoint -----
+    setenv("TAMRES_THREADS", "1", 1);
+    auto makeEngine = [&](int res) {
+        EngineConfig cfg;
+        cfg.workers = std::max(1, hw / 2);
+        cfg.max_batch = 2;
+        cfg.max_delay_us = 1000;
+        cfg.warm_shapes = {{1, 3, res, res}, {2, 3, res, res}};
+        return std::make_unique<ServingEngine>(*net, cfg);
+    };
+    double seq_rps, pipe_rps;
+    {
+        auto se = makeEngine(kScaleRes);
+        auto be = makeEngine(kBackboneRes);
+        seq_rps = twoStageRps(*se, *be, scale_in, bb_in, 1, total / 2);
+        pipe_rps = twoStageRps(*se, *be, scale_in, bb_in, 4, total);
+    }
+    unsetenv("TAMRES_THREADS");
+    std::printf("measured endpoint: sequential (1 client) %.2f req/s, "
+                "pipelined (4 clients) %.2f req/s (%.2fx)\n",
+                seq_rps, pipe_rps, pipe_rps / seq_rps);
+
+    // ---- Analytic tandem cross-check with measured stage times ----
     const double seq_cap = 1.0 / (backbone_s + scale_s);
     const double pipe_cap = 1.0 / backbone_s;
 
-    TablePrinter out("sequential vs pipelined two-model endpoint");
-    out.setHeader({"arrival(hz)", "model", "mean lat(ms)",
+    TablePrinter sim("analytic tandem cross-check (measured stage "
+                     "times)");
+    sim.setHeader({"arrival(hz)", "model", "mean lat(ms)",
                    "p99 lat(ms)", "util"});
     for (const double frac : {0.5, 0.85, 1.05, 1.25}) {
-        // Rates set relative to the sequential capacity so the
-        // crossover region (between the two capacities) is sampled.
         const double rate = frac * seq_cap;
         ServingConfig cfg;
         cfg.arrival_rate_hz = rate;
@@ -45,10 +135,10 @@ main()
         cfg.seed = 13;
 
         const auto seq = simulateServing(cfg, [&](int, int) {
-            return std::make_pair(224, scale_s + backbone_s);
+            return std::make_pair(kBackboneRes, scale_s + backbone_s);
         });
         const auto pipe = simulateServingPipelined(cfg, [&](int, int) {
-            return StagedService{224, scale_s, backbone_s};
+            return StagedService{kBackboneRes, scale_s, backbone_s};
         });
         for (const auto &[name, reqs] :
              {std::make_pair("sequential", &seq),
@@ -63,7 +153,7 @@ main()
                 pipelined ? cfg.num_requests * backbone_s /
                                 reqs->back().finish_s
                           : stats.utilization;
-            out.addRow({TablePrinter::num(rate, 2), name,
+            sim.addRow({TablePrinter::num(rate, 2), name,
                         TablePrinter::num(stats.mean_latency_s * 1e3,
                                           1),
                         TablePrinter::num(stats.p99_latency_s * 1e3,
@@ -71,15 +161,15 @@ main()
                         TablePrinter::num(util, 2)});
         }
     }
-    out.print();
+    sim.print();
     std::printf(
-        "\ncapacities: sequential %.2f req/s, pipelined %.2f req/s "
-        "(+%.0f%%).\nexpected shape: below the sequential capacity "
-        "the two models differ only by the per-request scale latency; "
-        "between the two capacities the sequential endpoint's queue "
-        "diverges while the pipelined endpoint stays bounded — the "
-        "scale model's throughput cost is fully hidden, leaving only "
-        "its (pipelinable) latency (Section VII-c).\n",
+        "\ncapacities (measured stage times): sequential %.2f req/s, "
+        "pipelined %.2f req/s (+%.0f%%).\nexpected shape: on a "
+        "multi-core host the measured pipelined endpoint approaches "
+        "the analytic tandem bound (scale cost hidden behind the "
+        "backbone); on a single core both endpoints are bound by "
+        "scale+backbone and the measured ratio stays ~1 — the "
+        "overlap needs hardware to overlap ONTO (Section VII-c).\n",
         seq_cap, pipe_cap, (pipe_cap / seq_cap - 1.0) * 100);
     return 0;
 }

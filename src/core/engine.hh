@@ -1,0 +1,229 @@
+/**
+ * @file
+ * ServingEngine: the measured, concurrent counterpart of the serving
+ * simulations in core/serving.hh (paper Section VIII-a).
+ *
+ * A fixed set of worker threads serves a bounded MPMC request queue
+ * with dynamic batching: a worker takes up to max_batch same-shaped
+ * requests, lingers up to max_delay_us for late joiners, and executes
+ * the batch through a private Graph::Executor — so every worker
+ * replays cached, shape-keyed batched plans with shared prepacked
+ * weights, and the steady-state batch path performs zero weight
+ * packing and zero per-request heap allocation.
+ *
+ * Load shedding reuses the dynamic-resolution policy of the analytic
+ * simulation: a resolution policy sees the queue depth at batch
+ * formation and picks the serving resolution; when it sheds, the
+ * engine downscales the batch inputs before inference (the paper's
+ * "shrink the crop under load" knob, operational instead of
+ * simulated). Admission is bounded (submit fails on a full queue) and
+ * deadline-aware (expired requests are dropped at formation time, not
+ * executed).
+ *
+ * Threading/lifetime contract: the Graph must outlive the engine and
+ * must not be mutated while the engine is serving — except
+ * Graph::invalidatePlans(), which workers absorb by recompiling.
+ * For structural mutations or weight updates: drain(), mutate,
+ * invalidatePlans(), resume submitting. Each InferenceRequest is
+ * caller-owned and must stay alive until it reaches a terminal state
+ * (wait() blocks for that); request objects are reusable across
+ * submissions.
+ */
+
+#ifndef TAMRES_CORE_ENGINE_HH
+#define TAMRES_CORE_ENGINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/graph.hh"
+
+namespace tamres {
+
+/**
+ * Serving resolution chosen from the queue depth at batch formation
+ * (the measured twin of serving.hh's ServicePolicy): return the
+ * square resolution to serve the batch at, or 0 to keep each
+ * request's native resolution.
+ */
+using EngineResolutionPolicy = std::function<int(int queue_depth)>;
+
+/**
+ * The Section VIII-a load-shedding rule as engine configuration:
+ * serve at shed_resolution while the queue is deeper than shed_depth,
+ * else at normal_resolution (0 = native). Matching the analytic
+ * simulation's dynamic policy keeps measured and simulated shedding
+ * directly comparable.
+ */
+EngineResolutionPolicy makeShedPolicy(int normal_resolution,
+                                      int shed_resolution,
+                                      int shed_depth);
+
+/** Terminal and transient request states. */
+enum class RequestState : int
+{
+    Idle = 0,  //!< never submitted (or reset for reuse)
+    Queued,    //!< admitted, waiting for a batch
+    Done,      //!< served; output/latency fields are valid
+    Shed,      //!< rejected at admission (queue full or stopping)
+    Expired,   //!< dropped at batch formation (deadline passed)
+};
+
+/**
+ * One caller-owned inference request. Fill input (4-D [1, C, H, W])
+ * and optionally deadline_s before submit(); the engine fills the
+ * rest. Reusing the same object (and its output tensor) across
+ * submissions keeps the steady-state path allocation-free.
+ */
+struct InferenceRequest
+{
+    Tensor input;
+    double deadline_s = 0.0; //!< seconds after submit; 0 = none
+
+    Tensor output;           //!< per-item result (reused when shaped)
+    int resolution = 0;      //!< square resolution actually served
+    int batch = 0;           //!< size of the batch it was served in
+    double queue_s = 0.0;    //!< submit -> batch start
+    double latency_s = 0.0;  //!< submit -> completion
+
+    std::atomic<int> state{static_cast<int>(RequestState::Idle)};
+
+    RequestState
+    stateNow() const
+    {
+        return static_cast<RequestState>(
+            state.load(std::memory_order_acquire));
+    }
+
+  private:
+    friend class ServingEngine;
+    double submit_s_ = 0.0;
+};
+
+/** Engine construction parameters. */
+struct EngineConfig
+{
+    int workers = 2;          //!< serving worker threads
+    int max_batch = 8;        //!< largest batch a worker forms
+    int max_delay_us = 2000;  //!< linger for batch fill (0 = none)
+    int queue_capacity = 256; //!< bounded admission
+    size_t plan_capacity = 32; //!< per-worker executor plan cache
+    int latency_samples = 4096; //!< p50/p99 reservoir size
+
+    /** Queue-depth -> resolution hook; null = always native. */
+    EngineResolutionPolicy resolution_policy;
+
+    /**
+     * Input shapes ([batch, C, H, W]) every worker compiles plans for
+     * before serving starts, so the first requests already replay
+     * warmed plans.
+     */
+    std::vector<Shape> warm_shapes;
+};
+
+/** Counter snapshot from ServingEngine::stats(). */
+struct EngineStats
+{
+    int queue_depth = 0;        //!< requests waiting right now
+    uint64_t served = 0;        //!< requests completed
+    uint64_t batches = 0;       //!< batches executed
+    uint64_t shed_admission = 0; //!< submits rejected (queue full/stop)
+    uint64_t expired = 0;       //!< dropped past their deadline
+    double mean_batch = 0.0;    //!< served / batches
+    std::vector<uint64_t> batch_hist; //!< index b = batches of size b
+    double p50_latency_s = 0.0; //!< over the sample reservoir
+    double p99_latency_s = 0.0;
+};
+
+/** Multi-worker dynamic-batching inference engine over one Graph. */
+class ServingEngine
+{
+  public:
+    /** Starts the workers (after compiling any warm_shapes plans). */
+    ServingEngine(Graph &graph, EngineConfig config);
+
+    /** stop()s and joins. */
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Admit @p req (non-blocking). Returns false — and marks the
+     * request Shed — when the queue is full or the engine is
+     * stopping. The request must stay alive until terminal.
+     */
+    bool submit(InferenceRequest &req);
+
+    /** Block until @p req reaches a terminal state. */
+    void wait(InferenceRequest &req);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void drain();
+
+    /**
+     * Stop accepting requests, serve everything already queued, and
+     * join the workers. Idempotent.
+     */
+    void stop();
+
+    /** Counter snapshot (safe while serving). */
+    EngineStats stats() const;
+
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+  private:
+    struct BatchBuffer
+    {
+        Tensor input;     //!< [n, c, res, res] gather target
+        Tensor output;    //!< runInto target for that plan
+        Shape item_shape; //!< output shape with dim 0 = 1, prebuilt
+                          //!< so steady-state scatter allocates nothing
+    };
+
+    struct Worker
+    {
+        std::unique_ptr<Graph::Executor> exec;
+        std::vector<InferenceRequest *> items; //!< formation scratch
+        std::vector<BatchBuffer> buffers;      //!< keyed by shape
+    };
+
+    void workerLoop(int idx);
+    void serveBatch(Worker &w, int resolution);
+    double now() const;
+
+    Graph *graph_;
+    EngineConfig cfg_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_; //!< workers: queue non-empty
+    std::condition_variable done_cv_; //!< clients: completion / drain
+    std::vector<InferenceRequest *> pending_;
+    bool stopping_ = false;
+    int active_workers_ = 0; //!< workers currently serving a batch
+
+    // Counters (all guarded by mu_).
+    uint64_t served_ = 0;
+    uint64_t batches_ = 0;
+    uint64_t shed_admission_ = 0;
+    uint64_t expired_ = 0;
+    std::vector<uint64_t> batch_hist_;
+    std::vector<double> latency_ring_;
+    size_t latency_idx_ = 0;
+    size_t latency_count_ = 0;
+
+    std::vector<Worker> workers_;
+    std::vector<std::thread> threads_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_CORE_ENGINE_HH

@@ -102,8 +102,12 @@ namespace {
 int
 effectiveThreads(const ConvConfig &cfg)
 {
-    return cfg.threads > 0 ? cfg.threads
-                           : ThreadPool::defaultParallelism();
+    // TAMRES_THREADS is the process-wide cap (ROADMAP contract): a
+    // tuned per-config threads knob may lower it but never exceed it.
+    // Serving code relies on this to pin kernels serial (so engine
+    // workers own the cores) no matter what the tuner recorded.
+    const int def = ThreadPool::defaultParallelism();
+    return cfg.threads > 0 ? std::min(cfg.threads, def) : def;
 }
 
 /** Count of weight-side pack operations (see convWeightPackCount). */
@@ -639,6 +643,12 @@ packABlock(const float *a, int lda, int icb, int pc, int mb, int kb,
     g_weight_pack_count.fetch_add(1, std::memory_order_relaxed);
 }
 
+void blockedGemmMultiBRange(int M, int N_per, int K,
+                            const float *const *bmats,
+                            float *const *cmats, int64_t c0, int64_t c1,
+                            const ConvConfig &cfg, MicroFn micro,
+                            const PackedGemmA *prea, const float *a);
+
 /**
  * Blocked GEMM: C[M x N] += A[M x K] * B[K x N] (row-major; B and C
  * rows are @p ld floats apart, which lets callers operate on a column
@@ -646,6 +656,11 @@ packABlock(const float *a, int lda, int icb, int pc, int mb, int kb,
  * panels. When @p prea is non-null it supplies plan-prepacked A
  * panels (built by packGemmA for the same blocking) and A is neither
  * read nor packed here — the steady-state serving path.
+ *
+ * One loop nest serves every GEMM flavor: this is the nimg = 1 case
+ * of the multi-B range kernel below (a single matrix of row stride
+ * @p ld, columns [0, N)), so panel packing, prepack indexing and
+ * edge-tile handling exist exactly once.
  *
  * @p micro is resolved by the top-level caller (one simdLevel() read
  * per conv invocation, per the dispatch contract) so a concurrent
@@ -658,82 +673,17 @@ blockedGemm(int M, int N, int K, const float *a, const float *b,
             const PackedGemmA *prea = nullptr)
 {
     const auto [mc, kc, nc] = effectiveBlocking(cfg);
-    const int mr = cfg.mr;
-    const int nr = cfg.nr;
-    tamres_assert(micro, "unsupported micro-kernel %dx%d", mr, nr);
+    (void)nc;
+    tamres_assert(micro, "unsupported micro-kernel %dx%d", cfg.mr,
+                  cfg.nr);
     tamres_assert(!prea ||
                       (prea->M == M && prea->K == K && prea->mc == mc &&
-                       prea->kc == kc && prea->mr == mr),
+                       prea->kc == kc && prea->mr == cfg.mr),
                   "prepacked A does not match this GEMM's blocking");
-
-    Scratch &s = scratch();
-    // Panels are padded up to multiples of mr/nr, which can exceed
-    // mc/nc when the micro-kernel does not divide the cache block.
-    if (!prea)
-        s.apack.resize((static_cast<size_t>(mc) + mr) * kc);
-    s.bpack.resize((static_cast<size_t>(nc) + nr) * kc);
-    s.ctile.resize(static_cast<size_t>(mr) * nr);
-
-    for (int jc = 0; jc < N; jc += nc) {
-        const int nb = std::min(nc, N - jc);
-        const int nb_pad = (nb + nr - 1) / nr * nr;
-        for (int pc = 0; pc < K; pc += kc) {
-            const int kb = std::min(kc, K - pc);
-            // Pack B: kb x nb -> panels of NR columns, k-major.
-            for (int jr = 0; jr < nb_pad; jr += nr) {
-                float *dst = s.bpack.data() +
-                             static_cast<size_t>(jr) * kb;
-                const int jw = std::min(nr, nb - jr);
-                for (int k = 0; k < kb; ++k) {
-                    const float *src =
-                        b + static_cast<int64_t>(pc + k) * ld + jc + jr;
-                    for (int j = 0; j < jw; ++j)
-                        dst[k * nr + j] = src[j];
-                    for (int j = jw; j < nr; ++j)
-                        dst[k * nr + j] = 0.0f;
-                }
-            }
-            for (int icb = 0; icb < M; icb += mc) {
-                const int mb = std::min(mc, M - icb);
-                const int mb_pad = (mb + mr - 1) / mr * mr;
-                const float *apanels;
-                if (prea) {
-                    apanels = prea->block(pc / kc, icb / mc);
-                } else {
-                    packABlock(a, K, icb, pc, mb, kb, mr,
-                               s.apack.data());
-                    apanels = s.apack.data();
-                }
-                // Macro loop over micro tiles.
-                for (int jr = 0; jr < nb_pad; jr += nr) {
-                    const float *bp = s.bpack.data() +
-                                      static_cast<size_t>(jr) * kb;
-                    const int jw = std::min(nr, nb - jr);
-                    for (int ir = 0; ir < mb_pad; ir += mr) {
-                        const float *ap =
-                            apanels + static_cast<size_t>(ir) * kb;
-                        const int iw_rows = std::min(mr, mb - ir);
-                        float *cdst = c +
-                                      static_cast<int64_t>(icb + ir) *
-                                          ld + jc + jr;
-                        if (iw_rows == mr && jw == nr) {
-                            micro(kb, ap, bp, cdst, ld);
-                        } else {
-                            // Edge tile: accumulate into scratch then
-                            // copy the valid region.
-                            std::fill(s.ctile.begin(), s.ctile.end(),
-                                      0.0f);
-                            micro(kb, ap, bp, s.ctile.data(), nr);
-                            for (int i = 0; i < iw_rows; ++i)
-                                for (int j = 0; j < jw; ++j)
-                                    cdst[i * ld + j] +=
-                                        s.ctile[i * nr + j];
-                        }
-                    }
-                }
-            }
-        }
-    }
+    const float *bmats[1] = {b};
+    float *cmats[1] = {c};
+    blockedGemmMultiBRange(M, ld, K, bmats, cmats, 0, N, cfg, micro,
+                           prea, a);
 }
 
 /**
@@ -762,6 +712,184 @@ blockedGemmParallel(int M, int N, int K, const float *a, const float *b,
         threads);
 }
 
+/**
+ * Multi-B GEMM: C[img] += A * B[img] for @p nimg same-shaped GEMMs
+ * (each M x N_per), executed as ONE logical GEMM over the merged
+ * column space [0, nimg * N_per) — global column g maps to image
+ * g / N_per, column g % N_per.
+ *
+ * Two genuine batch wins over nimg separate blockedGemm calls:
+ *  - A panel blocks are streamed once per merged column panel instead
+ *    of once per image, cutting weight traffic on the deep layers by
+ *    up to the batch factor (their per-image GEMM has N_per << nc).
+ *  - Micro-tile padding disappears: a 7x7 layer's 49 columns pad to
+ *    64 per image (30% wasted FMAs at nr = 16); merged, only the
+ *    final panel of the whole batch pads.
+ *
+ * Bit-identity: every output element is accumulated k-block by
+ * k-block in ascending pc order, with identical per-k arithmetic, no
+ * matter how columns are grouped into panels or partitioned across
+ * workers — so the result is bit-identical to nimg separate
+ * blockedGemm calls at any thread count.
+ */
+void
+blockedGemmMultiBRange(int M, int N_per, int K,
+                       const float *const *bmats, float *const *cmats,
+                       int64_t c0, int64_t c1, const ConvConfig &cfg,
+                       MicroFn micro, const PackedGemmA *prea,
+                       const float *a)
+{
+    const auto [mc, kc, nc] = effectiveBlocking(cfg);
+    const int mr = cfg.mr;
+    const int nr = cfg.nr;
+
+    Scratch &s = scratch();
+    if (!prea)
+        s.apack.resize((static_cast<size_t>(mc) + mr) * kc);
+    s.bpack.resize((static_cast<size_t>(nc) + nr) * kc);
+    s.ctile.resize(static_cast<size_t>(mr) * nr);
+
+    for (int64_t jc = c0; jc < c1; jc += nc) {
+        const int nb = static_cast<int>(std::min<int64_t>(nc, c1 - jc));
+        const int nb_pad = (nb + nr - 1) / nr * nr;
+        for (int pc = 0, pcb = 0; pc < K; pc += kc, ++pcb) {
+            const int kb = std::min(kc, K - pc);
+            // Pack B panels. A panel whose columns all belong to one
+            // image reads contiguous rows (the hot k-outer order the
+            // single-matrix GEMM always had); only the few panels
+            // straddling an image boundary resolve per column.
+            for (int jr = 0; jr < nb_pad; jr += nr) {
+                float *dst = s.bpack.data() +
+                             static_cast<size_t>(jr) * kb;
+                const int jw = std::min(nr, nb - jr);
+                const int64_t g0 = jc + jr;
+                if (jw > 0 && g0 / N_per == (g0 + jw - 1) / N_per) {
+                    const float *src =
+                        bmats[g0 / N_per] +
+                        static_cast<int64_t>(pc) * N_per + g0 % N_per;
+                    for (int k = 0; k < kb; ++k) {
+                        const float *row =
+                            src + static_cast<int64_t>(k) * N_per;
+                        for (int j = 0; j < jw; ++j)
+                            dst[k * nr + j] = row[j];
+                        for (int j = jw; j < nr; ++j)
+                            dst[k * nr + j] = 0.0f;
+                    }
+                } else {
+                    for (int j = 0; j < jw; ++j) {
+                        const int64_t g = g0 + j;
+                        const float *src =
+                            bmats[g / N_per] +
+                            static_cast<int64_t>(pc) * N_per +
+                            g % N_per;
+                        for (int k = 0; k < kb; ++k)
+                            dst[k * nr + j] =
+                                src[static_cast<int64_t>(k) * N_per];
+                    }
+                    for (int j = jw; j < nr; ++j)
+                        for (int k = 0; k < kb; ++k)
+                            dst[k * nr + j] = 0.0f;
+                }
+            }
+            for (int icb = 0; icb * mc < M; ++icb) {
+                const int i0 = icb * mc;
+                const int mb = std::min(mc, M - i0);
+                const int mb_pad = (mb + mr - 1) / mr * mr;
+                const float *apanels;
+                if (prea) {
+                    apanels = prea->block(pcb, icb);
+                } else {
+                    packABlock(a, K, i0, pc, mb, kb, mr,
+                               s.apack.data());
+                    apanels = s.apack.data();
+                }
+                for (int jr = 0; jr < nb_pad; jr += nr) {
+                    const float *bp =
+                        s.bpack.data() + static_cast<size_t>(jr) * kb;
+                    const int jw = std::min(nr, nb - jr);
+                    const int64_t g0 = jc + jr;
+                    // Direct store only when the whole tile lands in
+                    // one image's C matrix; tiles crossing an image
+                    // boundary (at most nimg - 1 per panel sweep)
+                    // scatter through the accumulation scratch.
+                    const bool one_img =
+                        jw > 0 && g0 / N_per == (g0 + jw - 1) / N_per;
+                    float *cimg =
+                        one_img ? cmats[g0 / N_per] + g0 % N_per
+                                : nullptr;
+                    for (int ir = 0; ir < mb_pad; ir += mr) {
+                        const float *ap =
+                            apanels + static_cast<size_t>(ir) * kb;
+                        const int iw_rows = std::min(mr, mb - ir);
+                        if (one_img && iw_rows == mr && jw == nr) {
+                            micro(kb, ap, bp,
+                                  cimg + static_cast<int64_t>(i0 + ir) *
+                                             N_per,
+                                  N_per);
+                        } else {
+                            std::fill(s.ctile.begin(), s.ctile.end(),
+                                      0.0f);
+                            micro(kb, ap, bp, s.ctile.data(), nr);
+                            for (int i = 0; i < iw_rows; ++i) {
+                                for (int j = 0; j < jw; ++j) {
+                                    const int64_t g = g0 + j;
+                                    cmats[g / N_per]
+                                         [(static_cast<int64_t>(i0 +
+                                                                ir + i)) *
+                                              N_per +
+                                          g % N_per] +=
+                                        s.ctile[i * nr + j];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Parallel front end of the multi-B GEMM: split the merged column
+ * space across workers, each running the serial range kernel with
+ * private packing scratch (the same partition scheme — and the same
+ * bit-identity argument — as blockedGemmParallel).
+ */
+void
+blockedGemmMultiB(int M, int N_per, int K, int nimg,
+                  const float *const *bmats, float *const *cmats,
+                  const ConvConfig &cfg, int threads, MicroFn micro,
+                  const PackedGemmA *prea, const float *a)
+{
+    const auto [mc, kc, nc] = effectiveBlocking(cfg);
+    (void)nc;
+    tamres_assert(micro, "unsupported micro-kernel %dx%d", cfg.mr,
+                  cfg.nr);
+    tamres_assert(!prea ||
+                      (prea->M == M && prea->K == K && prea->mc == mc &&
+                       prea->kc == kc && prea->mr == cfg.mr),
+                  "prepacked A does not match this GEMM's blocking");
+    const int64_t total = static_cast<int64_t>(nimg) * N_per;
+    if (threads <= 1 || total < 2 * cfg.nr) {
+        blockedGemmMultiBRange(M, N_per, K, bmats, cmats, 0, total, cfg,
+                               micro, prea, a);
+        return;
+    }
+    ThreadPool::global().parallelFor(
+        total,
+        [&](int64_t j0, int64_t j1) {
+            blockedGemmMultiBRange(M, N_per, K, bmats, cmats, j0, j1,
+                                   cfg, micro, prea, a);
+        },
+        threads);
+}
+
+/** Largest batch the merged-column conv fast path handles inline. */
+constexpr int kMaxBatchedCols = 32;
+
+/** Scratch cap (floats) for materializing a whole batch's im2col. */
+constexpr size_t kBatchedColsIm2colCap = 8u << 20;
+
 void
 im2colKernel(const ConvProblem &p, const float *in, const float *w,
              const float *bias, float *out, const ConvConfig &cfg,
@@ -784,6 +912,63 @@ im2colKernel(const ConvProblem &p, const float *in, const float *w,
 
     const int threads = effectiveThreads(cfg);
     const int64_t outer = static_cast<int64_t>(p.n) * p.groups;
+
+    // Merged-column batch fast path: run the whole batch as one
+    // logical GEMM over nimg * N columns. Deep layers gain A-panel
+    // reuse across images and lose per-image micro-tile padding; the
+    // only cost is materializing every image's im2col matrix at once,
+    // so the path is gated on that scratch staying modest (pointwise
+    // convolutions read the input planes directly and always merge).
+    if (p.n > 1 && p.n <= kMaxBatchedCols &&
+        (pointwise || static_cast<size_t>(K) * N * p.n <=
+                          kBatchedColsIm2colCap)) {
+        const float *bmats[kMaxBatchedCols];
+        float *cmats[kMaxBatchedCols];
+        Scratch &s = scratch();
+        if (!pointwise)
+            s.im2col.resize(static_cast<size_t>(K) * N * p.n);
+        for (int g = 0; g < p.groups; ++g) {
+            if (!pointwise) {
+                // Materialize every image's im2col matrix for this
+                // group (disjoint writes; bit-exact copies, so the
+                // partition does not matter).
+                float *cols = s.im2col.data();
+                ThreadPool::global().parallelFor(
+                    p.n,
+                    [&](int64_t n0, int64_t n1) {
+                        for (int64_t n = n0; n < n1; ++n)
+                            im2col(p, in, static_cast<int>(n), g,
+                                   cols + static_cast<size_t>(n) * K *
+                                              N);
+                    },
+                    threads);
+            }
+            for (int n = 0; n < p.n; ++n) {
+                bmats[n] =
+                    pointwise
+                        ? in + ((static_cast<int64_t>(n) * p.ic +
+                                 g * icg) *
+                                p.ih) *
+                                   p.iw
+                        : s.im2col.data() +
+                              static_cast<size_t>(n) * K * N;
+                cmats[n] = out + ((static_cast<int64_t>(n) * p.oc +
+                                   g * ocg) *
+                                  oh) *
+                                     ow;
+                for (int oc = 0; oc < ocg; ++oc) {
+                    const float bv = bias ? bias[g * ocg + oc] : 0.0f;
+                    std::fill_n(cmats[n] + static_cast<int64_t>(oc) * N,
+                                N, bv);
+                }
+            }
+            blockedGemmMultiB(
+                ocg, N, K, p.n, bmats, cmats, cfg, threads, micro,
+                packed ? &packed->mats[g] : nullptr,
+                w ? w + static_cast<int64_t>(g) * ocg * K : nullptr);
+        }
+        return;
+    }
 
     auto oneImageGroup = [&](int n, int g, bool gemm_parallel) {
         const float *bmat;
@@ -1322,6 +1507,16 @@ convAlgoPrepacks(ConvAlgo algo)
     return algo == ConvAlgo::Im2col || algo == ConvAlgo::Winograd;
 }
 
+bool
+convWeightShapeCompatible(const ConvProblem &a, const ConvProblem &b)
+{
+    // Everything the packed panels are computed from: the weight
+    // tensor's geometry. Batch and spatial extent only shape the
+    // activation side.
+    return a.ic == b.ic && a.oc == b.oc && a.kh == b.kh &&
+           a.kw == b.kw && a.groups == b.groups;
+}
+
 void
 packGemmA(int M, int K, const float *a, int lda, const ConvConfig &cfg,
           PackedGemmA &out)
@@ -1398,8 +1593,11 @@ convForwardPrepacked(const ConvProblem &p, const float *in,
                      float *out)
 {
     tamres_assert(packed.valid, "convForwardPrepacked on invalid pack");
-    tamres_assert(packed.problem == p,
-                  "prepacked weights built for a different problem");
+    tamres_assert(convWeightShapeCompatible(packed.problem, p),
+                  "prepacked weights built for different weight "
+                  "geometry");
+    tamres_assert(convConfigValid(p, packed.cfg),
+                  "prepacked config invalid for this problem shape");
     const ConvConfig &cfg = packed.cfg;
     if (cfg.algo == ConvAlgo::Im2col)
         im2colKernel(p, in, nullptr, bias, out, cfg, &packed);

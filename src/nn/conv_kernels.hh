@@ -105,10 +105,12 @@ struct ConvConfig
     /**
      * Worker-thread cap for this convolution: 0 = the process default
      * (TAMRES_THREADS, falling back to the hardware concurrency),
-     * 1 = serial, N = at most N workers. Output is bit-identical for
-     * every value — parallel variants partition work so each output
-     * element is produced by exactly one worker with the serial
-     * accumulation order.
+     * 1 = serial, N = at most N workers. TAMRES_THREADS remains the
+     * process-wide ceiling: a positive knob is clamped to it, so
+     * pinning the process serial pins every config. Output is
+     * bit-identical for every value — parallel variants partition
+     * work so each output element is produced by exactly one worker
+     * with the serial accumulation order.
      */
     int threads = 0;
 
@@ -211,6 +213,18 @@ struct PackedConvWeights
 bool convAlgoPrepacks(ConvAlgo algo);
 
 /**
+ * True when a pack built for problem @p a is byte-for-byte the pack
+ * that would be built for problem @p b (under the same config): the
+ * packed panels depend only on the weight tensor's geometry (channel
+ * counts, kernel size, groups), never on the batch size or the
+ * spatial extent. This is what lets one prepack serve every batch
+ * size of a resolution — and every resolution whose resolved config
+ * coincides — instead of being rebuilt per (shape, batch) plan.
+ */
+bool convWeightShapeCompatible(const ConvProblem &a,
+                               const ConvProblem &b);
+
+/**
  * Build the packed-weight form of @p w for (@p p, @p cfg). Leaves
  * @p out invalid when the algorithm has nothing to prepack or the
  * config is invalid for the problem.
@@ -223,8 +237,10 @@ void packConvWeights(const ConvProblem &p, const ConvConfig &cfg,
  * convForward(p, in, w, bias, out, packed.cfg) — the packed panels
  * hold the same values the on-the-fly packer would produce — but the
  * steady-state call performs no weight packing (only im2col/B-panel
- * activation packing). @p packed must be valid and built for exactly
- * this problem and the config being run.
+ * activation packing). @p packed must be valid, built for the config
+ * being run, and weight-shape-compatible with this problem (see
+ * convWeightShapeCompatible — batch size and spatial extent may
+ * differ from the shape the pack was built at).
  */
 void convForwardPrepacked(const ConvProblem &p, const float *in,
                           const PackedConvWeights &packed,

@@ -8,16 +8,10 @@
 
 namespace tamres {
 
-namespace {
-
-/** Plans cached per graph; serving alternates over few resolutions. */
-constexpr size_t kMaxCachedPlans = 8;
-
-} // namespace
-
 Graph::Graph()
 {
     nodes_.push_back(Node{}); // input placeholder
+    default_exec_ = std::make_unique<Executor>(*this);
 }
 
 Graph::NodeId
@@ -156,29 +150,49 @@ Graph::runNaive(const Tensor &input)
 void
 Graph::runInto(const Tensor &input, Tensor &out)
 {
-    tamres_assert(!input.empty(), "cannot run on an empty tensor");
-    tamres_assert(out.empty() || out.data() != input.data(),
-                  "runInto output must not alias the input");
-    executePlan(planFor(input.shape()), input, out);
+    default_exec_->runInto(input, out);
 }
 
 void
 Graph::invalidatePlans()
 {
-    plans_.clear();
+    {
+        std::lock_guard<std::mutex> lock(pack_mutex_);
+        pack_cache_.clear();
+    }
+    plan_version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+size_t
+Graph::cachedPlanCount() const
+{
+    return default_exec_->cachedPlanCount();
 }
 
 int64_t
 Graph::planArenaNumel(const Shape &input_shape)
 {
-    int64_t total = 0;
-    for (const Tensor &buf : planFor(input_shape).arena)
-        total += buf.numel();
-    return total;
+    return default_exec_->planArenaNumel(input_shape);
+}
+
+std::shared_ptr<const PackedConvWeights>
+Graph::packFor(Conv2d &conv, const Shape &in0, const ConvConfig &cfg)
+{
+    const ConvProblem p = conv.problemFor(in0);
+    std::lock_guard<std::mutex> lock(pack_mutex_);
+    for (const PackEntry &e : pack_cache_) {
+        if (e.conv == &conv && e.cfg == cfg &&
+            convWeightShapeCompatible(e.problem, p))
+            return e.pack;
+    }
+    auto pack = std::make_shared<PackedConvWeights>();
+    conv.packWeights(in0, cfg, *pack);
+    pack_cache_.push_back(PackEntry{&conv, cfg, p, pack});
+    return pack;
 }
 
 std::unique_ptr<Graph::Plan>
-Graph::buildPlan(const Shape &input_shape) const
+Graph::buildPlan(const Shape &input_shape)
 {
     auto plan = std::make_unique<Plan>();
     plan->input_shape = input_shape;
@@ -262,7 +276,7 @@ Graph::buildPlan(const Shape &input_shape) const
             st.in0_shape = shapes[nodes_[i].inputs[0]];
         if (st.conv) {
             st.cfg = st.conv->configFor(st.in0_shape);
-            st.conv->packWeights(st.in0_shape, st.cfg, st.packed);
+            st.packed = packFor(*st.conv, st.in0_shape, st.cfg);
         }
         if (i == output_) {
             st.external_out = true;
@@ -283,9 +297,67 @@ Graph::buildPlan(const Shape &input_shape) const
     return plan;
 }
 
-Graph::Plan &
-Graph::planFor(const Shape &input_shape)
+// ---------------------------------------------------------------------
+// Graph::Executor
+// ---------------------------------------------------------------------
+
+Graph::Executor::Executor(Graph &graph, size_t plan_capacity)
+    : graph_(&graph), capacity_(std::max<size_t>(1, plan_capacity)),
+      version_seen_(graph.planVersion())
 {
+}
+
+Graph::Executor::~Executor() = default;
+
+size_t
+Graph::Executor::cachedPlanCount() const
+{
+    return version_seen_ == graph_->planVersion() ? plans_.size() : 0;
+}
+
+void
+Graph::Executor::warm(const Shape &input_shape)
+{
+    planFor(input_shape);
+}
+
+int64_t
+Graph::Executor::planArenaNumel(const Shape &input_shape)
+{
+    int64_t total = 0;
+    for (const Tensor &buf : planFor(input_shape).arena)
+        total += buf.numel();
+    return total;
+}
+
+Tensor
+Graph::Executor::run(const Tensor &input)
+{
+    Tensor out;
+    runInto(input, out);
+    return out;
+}
+
+void
+Graph::Executor::runInto(const Tensor &input, Tensor &out)
+{
+    tamres_assert(!input.empty(), "cannot run on an empty tensor");
+    tamres_assert(out.empty() || out.data() != input.data(),
+                  "runInto output must not alias the input");
+    graph_->executePlan(planFor(input.shape()), input, out);
+}
+
+Graph::Plan &
+Graph::Executor::planFor(const Shape &input_shape)
+{
+    // A graph-level invalidation (structural mutation or an explicit
+    // invalidatePlans) obsoletes every plan this executor holds.
+    const uint64_t version = graph_->planVersion();
+    if (version != version_seen_) {
+        plans_.clear();
+        version_seen_ = version;
+    }
+
     size_t hit = plans_.size();
     for (size_t i = 0; i < plans_.size(); ++i) {
         if (plans_[i]->input_shape == input_shape) {
@@ -294,8 +366,8 @@ Graph::planFor(const Shape &input_shape)
         }
     }
     if (hit == plans_.size()) {
-        plans_.insert(plans_.begin(), buildPlan(input_shape));
-        if (plans_.size() > kMaxCachedPlans)
+        plans_.insert(plans_.begin(), graph_->buildPlan(input_shape));
+        if (plans_.size() > capacity_)
             plans_.pop_back();
     } else if (hit != 0) {
         std::rotate(plans_.begin(), plans_.begin() + hit,
@@ -306,16 +378,17 @@ Graph::planFor(const Shape &input_shape)
     // Kernel-selector churn (mode flips, newly registered tuned
     // configs) re-resolves the cached conv configs in place; the
     // schedule and arena stay put. A step whose config actually moved
-    // re-packs its weights so the plan never replays stale panels.
+    // re-fetches its pack so the plan never replays stale panels.
     const uint64_t gen = KernelSelector::instance().generation();
     if (plan.selector_gen != gen) {
         for (PlanStep &st : plan.steps) {
             if (!st.conv)
                 continue;
             const ConvConfig cfg = st.conv->configFor(st.in0_shape);
-            if (!(cfg == st.cfg) || !(st.packed.cfg == cfg)) {
+            if (!(cfg == st.cfg) || !(st.packed->cfg == cfg)) {
                 st.cfg = cfg;
-                st.conv->packWeights(st.in0_shape, st.cfg, st.packed);
+                st.packed =
+                    graph_->packFor(*st.conv, st.in0_shape, cfg);
             }
         }
         plan.selector_gen = gen;
@@ -340,7 +413,7 @@ Graph::executePlan(Plan &plan, const Tensor &input, Tensor &out)
         if (observer_)
             observer_(*st.op, st.ins);
         if (st.conv)
-            st.conv->forwardWith(st.cfg, &st.packed, st.ins, dst);
+            st.conv->forwardWith(st.cfg, st.packed.get(), st.ins, dst);
         else
             st.op->forward(st.ins, dst);
     }

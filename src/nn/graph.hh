@@ -25,13 +25,30 @@
  * the output (written to caller-owned storage) cross the plan
  * boundary; observers must not retain the tensor pointers they are
  * shown (they were never allowed to).
+ *
+ * Concurrency contract (the serving engine's substrate): plans carry
+ * per-run mutable state (arena buffers, patched input pointers), so a
+ * plan cache must never be shared by two threads. Graph::Executor
+ * gives each serving worker a private plan cache over the SAME graph;
+ * any number of executors may run concurrently as long as nothing
+ * mutates the graph meanwhile. Legal while executors are running:
+ * invalidatePlans() (executors notice the version bump and recompile
+ * on their next run) and executing at new shapes (prepacked weights
+ * are shared through a mutex-protected per-graph cache, so a config's
+ * weights are packed once, not once per executor). Illegal while any
+ * executor is running: structural mutations (add, setOutput,
+ * replaceOp, rewire), mutating op parameters in place, setObserver,
+ * and KernelSelector registrations — quiesce the workers first (the
+ * engine's drain()), then mutate, then resume.
  */
 
 #ifndef TAMRES_NN_GRAPH_HH
 #define TAMRES_NN_GRAPH_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -97,11 +114,30 @@ class Graph
      */
     Tensor runNaive(const Tensor &input);
 
-    /** Drop every cached execution plan. */
+    /**
+     * Drop every cached execution plan — the graph's own and, via the
+     * plan-version bump, every Executor's on its next run — along
+     * with the shared prepacked-weight cache. Safe to call while
+     * executors are running (they recompile); everything else about
+     * mutating a served graph is not (see the concurrency contract).
+     */
     void invalidatePlans();
 
-    /** Number of execution plans currently cached. */
-    size_t cachedPlanCount() const { return plans_.size(); }
+    /**
+     * Monotonic counter bumped by invalidatePlans(); executors compare
+     * it to drop plans compiled against a stale graph.
+     */
+    uint64_t
+    planVersion() const
+    {
+        return plan_version_.load(std::memory_order_acquire);
+    }
+
+    /** Per-thread execution handle; see class docs below. */
+    class Executor;
+
+    /** Number of execution plans cached by the graph's own executor. */
+    size_t cachedPlanCount() const;
 
     /**
      * Total floats of arena backing storage in the plan for
@@ -188,14 +224,17 @@ class Graph
         class Conv2d *conv = nullptr; //!< non-null for Conv2d steps
         ConvConfig cfg;               //!< resolved config when conv
         /**
-         * Plan-owned prepacked weights for conv steps: built at plan
-         * compile time (and rebuilt when a selector-generation bump
-         * changes cfg), so steady-state execution performs no weight
-         * packing. Lifetime rule: the pack lives and dies with the
-         * plan — every invalidatePlans() drops it, and it is only
-         * replayed while (cfg, weights) are those it was built from.
+         * Prepacked weights for conv steps, resolved at plan compile
+         * time (and re-resolved when a selector-generation bump
+         * changes cfg) from the graph's shared pack cache, so
+         * steady-state execution performs no weight packing and every
+         * plan of every executor replaying the same (conv, config)
+         * shares one immutable pack. Lifetime rule: packs live in the
+         * per-graph cache and die on invalidatePlans(); a plan only
+         * replays one while (cfg, weights) are those it was built
+         * from.
          */
-        PackedConvWeights packed;
+        std::shared_ptr<const PackedConvWeights> packed;
         Shape in0_shape;              //!< first input (config re-resolve)
         Tensor out_view;   //!< arena view (empty when external output)
         bool external_out = false; //!< write the caller's out tensor
@@ -215,15 +254,89 @@ class Graph
                                      //!< config resolution time
     };
 
+    /** One cached prepack: (conv instance, config, weight shape). */
+    struct PackEntry
+    {
+        const void *conv = nullptr;
+        ConvConfig cfg;
+        ConvProblem problem;
+        std::shared_ptr<const PackedConvWeights> pack;
+    };
+
     std::vector<Shape> inferShapes(const Shape &input_shape) const;
 
-    Plan &planFor(const Shape &input_shape);
-    std::unique_ptr<Plan> buildPlan(const Shape &input_shape) const;
+    std::unique_ptr<Plan> buildPlan(const Shape &input_shape);
     void executePlan(Plan &plan, const Tensor &input, Tensor &out);
+
+    /**
+     * Shared prepacked weights for (conv, cfg) at @p in0's problem,
+     * packing on first use. Packs are weight-side only, so one entry
+     * serves every batch size and resolution whose resolved config
+     * coincides (convWeightShapeCompatible). Thread-safe: executors
+     * compiling plans concurrently race only on the cache mutex.
+     */
+    std::shared_ptr<const PackedConvWeights>
+    packFor(class Conv2d &conv, const Shape &in0,
+            const ConvConfig &cfg);
 
     std::vector<Node> nodes_;
     NodeId output_ = kInput;
     OpObserver observer_;
+
+    std::atomic<uint64_t> plan_version_{0};
+
+    mutable std::mutex pack_mutex_;
+    std::vector<PackEntry> pack_cache_;
+
+    /** Executor backing the graph's own run()/runInto(). */
+    std::unique_ptr<Executor> default_exec_;
+};
+
+/**
+ * A private plan cache over a shared Graph — the unit of concurrency
+ * for serving: one Executor per worker thread, all executing the same
+ * ops and weights. An Executor must only ever be used by one thread
+ * at a time; concurrent runInto() on DIFFERENT executors is safe
+ * under the Graph concurrency contract above. Executors observe
+ * Graph::invalidatePlans() through the plan version and drop their
+ * plans on the next run.
+ */
+class Graph::Executor
+{
+  public:
+    /**
+     * @param graph          the graph to execute (must outlive this)
+     * @param plan_capacity  plans kept (MRU); serving over R
+     *                       resolutions x B batch sizes wants >= R*B
+     *                       to avoid recompiling in steady state
+     */
+    explicit Executor(Graph &graph, size_t plan_capacity = 8);
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Plan-backed execution; see Graph::runInto for the contract. */
+    void runInto(const Tensor &input, Tensor &out);
+
+    /** Plan-backed execution returning owning storage. */
+    Tensor run(const Tensor &input);
+
+    /** Compile (if absent) the plan for @p input_shape. */
+    void warm(const Shape &input_shape);
+
+    /** Plans currently cached (0 after an unseen invalidation). */
+    size_t cachedPlanCount() const;
+
+    /** Arena floats of the plan for @p input_shape (compiles it). */
+    int64_t planArenaNumel(const Shape &input_shape);
+
+  private:
+    Graph::Plan &planFor(const Shape &input_shape);
+
+    Graph *graph_;
+    size_t capacity_;
+    uint64_t version_seen_ = 0;
 
     /** MRU-ordered plan cache (front = most recent). */
     std::vector<std::unique_ptr<Plan>> plans_;

@@ -32,6 +32,16 @@ KernelSelector::select(const ConvProblem &p) const
         return libraryConfig(p);
       case KernelMode::Tuned: {
         auto it = tuned_.find(p.key());
+        if (it == tuned_.end() && p.n != 1) {
+            // Tuned entries are registered at batch 1 (the tuner's
+            // measurement shape). Blocking transfers across the batch
+            // dimension — the GEMM geometry per image is unchanged —
+            // so a batched plan reuses the batch-1 entry instead of
+            // falling off the tuned path.
+            ConvProblem p1 = p;
+            p1.n = 1;
+            it = tuned_.find(p1.key());
+        }
         if (it != tuned_.end())
             return it->second;
         return libraryConfig(p);

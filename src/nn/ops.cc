@@ -98,8 +98,9 @@ Conv2d::forwardWith(const ConvConfig &cfg,
     const ConvProblem p = problemFor(in.shape());
     const ConvConfig &eff = override_ ? *override_ : cfg;
     const float *bias = has_bias_ ? bias_.data() : nullptr;
-    if (packed && packed->valid && packed->problem == p &&
-        packed->cfg == eff) {
+    if (packed && packed->valid &&
+        convWeightShapeCompatible(packed->problem, p) &&
+        packed->cfg == eff && convConfigValid(p, eff)) {
         convForwardPrepacked(p, in.data(), *packed, bias, out.data());
     } else {
         convForward(p, in.data(), weight_.data(), bias, out.data(),

@@ -65,10 +65,11 @@ class Conv2d : public Op
 
     /**
      * forwardWith() that may run from plan-prepacked weights: the
-     * pack is used only when it matches the effective config and the
-     * actual input shape (a live override or a stale pack falls back
-     * to the ordinary path, never to stale panels). @p packed may be
-     * null.
+     * pack is used only when it matches the effective config and is
+     * weight-shape-compatible with the actual input (batch size and
+     * spatial extent may differ — packs are weight-side only; a live
+     * override or a stale pack falls back to the ordinary path, never
+     * to stale panels). @p packed may be null.
      */
     void forwardWith(const ConvConfig &cfg,
                      const PackedConvWeights *packed,

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares the BENCH_*.json files a CI run produced against committed
+baselines (bench/baselines/) and fails on large throughput
+regressions, so the perf trajectory the benches track is a gate, not
+just an uploaded artifact.
+
+Only higher-is-better metrics are gated (throughput, speedup and gain
+ratios, selected by key pattern); latencies, counters and
+configuration echoes are ignored. The margin is deliberately generous
+(default: fail only below 65% of baseline) because baselines are
+recorded on a slower reference host and CI runners are noisy — the
+gate exists to catch real regressions (a disabled fast path, a
+serialization bug), not 10% jitter.
+
+Usage:
+  tools/bench_gate.py --results build [--baselines bench/baselines]
+                      [--margin 0.35] [--update]
+
+  --update rewrites the baselines from the current results instead of
+  comparing (run on the reference host after an intentional change).
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+# Key substrings marking a numeric leaf as a gated, higher-is-better
+# metric. Everything else (latencies, counts, phi fits, worker
+# counts) is informational.
+GATED_PATTERNS = (
+    "rps",
+    "mpix_s",
+    "speedup",
+    "gain",
+    "vs_serial",
+    "gflops",
+    "gf_s",
+)
+
+
+def is_gated(key: str) -> bool:
+    k = key.lower()
+    return any(p in k for p in GATED_PATTERNS)
+
+
+def numeric_leaves(node, prefix=""):
+    """Flatten a JSON tree into {dotted.path: float} for gated keys.
+
+    The whole dotted path is matched, not just the leaf: e.g.
+    batch_item_speedup.b4 is gated through its parent key.
+    """
+    out = {}
+    if isinstance(node, dict):
+        for k, v in node.items():
+            out.update(numeric_leaves(v, f"{prefix}.{k}" if prefix else k))
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            out.update(numeric_leaves(v, f"{prefix}[{i}]"))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        if is_gated(prefix):
+            out[prefix] = float(node)
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--results", required=True, type=pathlib.Path,
+                    help="directory holding the fresh BENCH_*.json")
+    ap.add_argument("--baselines", type=pathlib.Path,
+                    default=pathlib.Path("bench/baselines"))
+    ap.add_argument("--margin", type=float, default=0.35,
+                    help="allowed fractional regression (0.35 = fail "
+                         "below 65%% of baseline)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite baselines from results")
+    args = ap.parse_args()
+
+    baselines = sorted(args.baselines.glob("BENCH_*.json"))
+    if args.update:
+        args.baselines.mkdir(parents=True, exist_ok=True)
+        updated = 0
+        for result in sorted(args.results.glob("BENCH_*.json")):
+            shutil.copy(result, args.baselines / result.name)
+            print(f"baseline updated: {result.name}")
+            updated += 1
+        if not updated:
+            print(f"no BENCH_*.json found in {args.results}",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if not baselines:
+        print(f"no baselines in {args.baselines}", file=sys.stderr)
+        return 1
+
+    failures = []
+    rows = []
+    for base_path in baselines:
+        result_path = args.results / base_path.name
+        if not result_path.exists():
+            failures.append(f"{base_path.name}: result file missing "
+                            f"(bench not run or emission broken)")
+            continue
+        base = numeric_leaves(json.loads(base_path.read_text()))
+        got = numeric_leaves(json.loads(result_path.read_text()))
+        for key, baseline in sorted(base.items()):
+            if baseline <= 0:
+                continue  # nothing meaningful to compare against
+            if key not in got:
+                failures.append(
+                    f"{base_path.name}: metric '{key}' disappeared")
+                continue
+            value = got[key]
+            ratio = value / baseline
+            ok = ratio >= 1.0 - args.margin
+            rows.append((base_path.name, key, baseline, value, ratio,
+                         ok))
+            if not ok:
+                failures.append(
+                    f"{base_path.name}: {key} regressed to "
+                    f"{value:.4g} ({ratio:.0%} of baseline "
+                    f"{baseline:.4g})")
+
+    width = max((len(r[1]) for r in rows), default=20)
+    print(f"{'file':<22} {'metric':<{width}} {'baseline':>10} "
+          f"{'result':>10} {'ratio':>7}")
+    for fname, key, baseline, value, ratio, ok in rows:
+        flag = "" if ok else "  << REGRESSION"
+        print(f"{fname:<22} {key:<{width}} {baseline:>10.4g} "
+              f"{value:>10.4g} {ratio:>6.0%}{flag}")
+
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)}):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed: {len(rows)} metrics within "
+          f"{args.margin:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
