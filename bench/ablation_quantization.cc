@@ -51,13 +51,11 @@ main()
         // fp32 graph, inference-optimized (the honest baseline: BN
         // folded and ReLU fused, same as the quantized build).
         auto fp32 = bench::buildBackbone(arch);
-        foldBatchNorms(*fp32);
-        fuseConvRelu(*fp32);
+        optimizeForInference(*fp32);
 
         // int8 sibling, calibrated on one representative input.
         auto int8 = bench::buildBackbone(arch);
-        foldBatchNorms(*int8);
-        fuseConvRelu(*int8);
+        optimizeForInference(*int8);
         Tensor cal_in({1, 3, 224, 224});
         Rng cal_rng(99);
         fillUniform(cal_in, cal_rng, 0.0f, 1.0f);

@@ -67,8 +67,7 @@ main()
     const int reqs = bench::engineRequests();
 
     auto net = bench::buildBackbone(BackboneArch::ResNet18);
-    foldBatchNorms(*net);
-    fuseConvRelu(*net);
+    optimizeForInference(*net);
     bench::ensureTuned(*net, kRes);
     KernelSelector::instance().setMode(KernelMode::Tuned);
 

@@ -71,8 +71,7 @@ main()
     const int total = bench::engineRequests();
 
     auto net = bench::buildBackbone(BackboneArch::ResNet18);
-    foldBatchNorms(*net);
-    fuseConvRelu(*net);
+    optimizeForInference(*net);
     bench::ensureTuned(*net, kBackboneRes);
     bench::ensureTuned(*net, kScaleRes);
     KernelSelector::instance().setMode(KernelMode::Tuned);

@@ -114,8 +114,7 @@ main()
     const int total = bench::engineRequests();
 
     auto net = bench::buildBackbone(BackboneArch::ResNet18);
-    foldBatchNorms(*net);
-    fuseConvRelu(*net);
+    optimizeForInference(*net);
     bench::ensureTuned(*net, kNormalRes);
     bench::ensureTuned(*net, kShedRes);
     KernelSelector::instance().setMode(KernelMode::Tuned);

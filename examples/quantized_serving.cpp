@@ -45,12 +45,10 @@ main()
 
     // 1-2. Inference-optimized fp32 and int8 builds of the same net.
     auto fp32 = buildResNet18(1000, 1);
-    foldBatchNorms(*fp32);
-    fuseConvRelu(*fp32);
+    optimizeForInference(*fp32);
 
     auto int8 = buildResNet18(1000, 1);
-    foldBatchNorms(*int8);
-    fuseConvRelu(*int8);
+    optimizeForInference(*int8);
     Tensor cal({1, 3, 224, 224});
     Rng cal_rng(42);
     fillUniform(cal, cal_rng, 0.0f, 1.0f);

@@ -1088,45 +1088,89 @@ encodeProgressive(const Image &img, const ProgressiveConfig &config)
     return enc;
 }
 
-Image
-decodeProgressive(const EncodedImage &enc, int num_scans)
+// ---------------------------------------------------------------------
+// ProgressiveDecoder
+// ---------------------------------------------------------------------
+
+/**
+ * Decode state shared by every scan: the stream header, the plane
+ * geometry, the accumulated per-plane coefficients, and the restart
+ * partition (empty on legacy streams). One-shot decode is the special
+ * case of advancing from 0 in a single step, so decodeProgressive is
+ * implemented on top of this state machine — resume bit-identity is
+ * by construction, not by parallel maintenance of two decode paths.
+ */
+struct ProgressiveDecoder::State
 {
-    tamres_assert(num_scans >= 0 && num_scans <= enc.numScans(),
-                  "scan count out of range");
+    const EncodedImage *enc = nullptr;
+    std::vector<PlaneGeom> geoms;
+    std::vector<std::vector<int>> coeffs;
+    std::vector<BlockRange> ranges;
+    int decoded = 0;
+};
+
+ProgressiveDecoder::ProgressiveDecoder(const EncodedImage &enc)
+    : st_(std::make_unique<State>())
+{
     tamres_assert(enc.scan_offsets.size() ==
                       static_cast<size_t>(enc.numScans()) + 1,
                   "corrupt scan offset table");
-    // A truncated or vandalized byte buffer must fail here, not as an
-    // out-of-bounds read inside the bit reader.
-    tamres_assert(enc.scan_offsets[num_scans] <= enc.bytes.size(),
-                  "encoded stream truncated: scan %d needs %zu bytes, "
-                  "have %zu", num_scans,
-                  enc.scan_offsets[num_scans], enc.bytes.size());
-    const int h = enc.height;
-    const int w = enc.width;
-    const auto geoms = planeGeometry(h, w, enc.channels, enc.color);
-
-    std::vector<std::vector<int>> coeffs(enc.channels);
+    st_->enc = &enc;
+    st_->geoms =
+        planeGeometry(enc.height, enc.width, enc.channels, enc.color);
+    st_->coeffs.resize(enc.channels);
     for (int c = 0; c < enc.channels; ++c) {
-        coeffs[c].assign(static_cast<size_t>(geoms[c].numBlocks()) * 64,
-                         0);
+        st_->coeffs[c].assign(
+            static_cast<size_t>(st_->geoms[c].numBlocks()) * 64, 0);
     }
-
     // Restart-aware fan-out: v2 streams carry per-scan bit offsets of
     // independently decodable block ranges. Legacy (v1) streams — and
     // v2 streams whose side tables were stripped — take the serial
-    // path below and decode unchanged.
-    std::vector<BlockRange> ranges;
+    // path and decode unchanged.
     if (enc.hasRestartMarkers()) {
         tamres_assert(enc.restart_bits.size() ==
                           static_cast<size_t>(enc.numScans()),
                       "corrupt restart table: %zu scans of offsets for "
                       "%d scans", enc.restart_bits.size(),
                       enc.numScans());
-        ranges = restartRanges(geoms, enc.restart_interval);
+        st_->ranges = restartRanges(st_->geoms, enc.restart_interval);
     }
+}
 
-    for (int s = 0; s < num_scans; ++s) {
+ProgressiveDecoder::~ProgressiveDecoder() = default;
+ProgressiveDecoder::ProgressiveDecoder(ProgressiveDecoder &&) noexcept =
+    default;
+ProgressiveDecoder &
+ProgressiveDecoder::operator=(ProgressiveDecoder &&) noexcept = default;
+
+int
+ProgressiveDecoder::scansDecoded() const
+{
+    return st_->decoded;
+}
+
+int
+ProgressiveDecoder::numScans() const
+{
+    return st_->enc->numScans();
+}
+
+int
+ProgressiveDecoder::advanceTo(int num_scans)
+{
+    const EncodedImage &enc = *st_->enc;
+    tamres_assert(num_scans >= 0 && num_scans <= enc.numScans(),
+                  "scan count out of range");
+    if (num_scans <= st_->decoded)
+        return st_->decoded;
+    // A truncated or vandalized byte buffer must fail here, not as an
+    // out-of-bounds read inside the bit reader.
+    tamres_assert(enc.scan_offsets[num_scans] <= enc.bytes.size(),
+                  "encoded stream truncated: scan %d needs %zu bytes, "
+                  "have %zu", num_scans,
+                  enc.scan_offsets[num_scans], enc.bytes.size());
+
+    for (int s = st_->decoded; s < num_scans; ++s) {
         const size_t begin = enc.scan_offsets[s];
         const size_t end = enc.scan_offsets[s + 1];
         BitReader br(enc.bytes.data() + begin, end - begin);
@@ -1136,34 +1180,61 @@ decodeProgressive(const EncodedImage &enc, int num_scans)
             table = HuffmanTable::deserialize(br);
             table_ptr = &table;
         }
-        if (!ranges.empty()) {
+        if (!st_->ranges.empty()) {
             const auto &offsets = enc.restart_bits[s];
-            tamres_assert(offsets.size() == ranges.size(),
+            tamres_assert(offsets.size() == st_->ranges.size(),
                           "corrupt restart offsets: scan %d has %zu "
                           "offsets for %zu ranges", s, offsets.size(),
-                          ranges.size());
+                          st_->ranges.size());
             scanDecodeRestart(enc.bytes.data() + begin, end - begin,
-                              enc.scans[s], coeffs, table_ptr, ranges,
-                              offsets);
+                              enc.scans[s], st_->coeffs, table_ptr,
+                              st_->ranges, offsets);
         } else if (table_ptr) {
             HuffmanSource src{br, *table_ptr};
-            scanDecodePass(src, enc.scans[s], coeffs);
+            scanDecodePass(src, enc.scans[s], st_->coeffs);
         } else {
             RawSource src{br};
-            scanDecodePass(src, enc.scans[s], coeffs);
+            scanDecodePass(src, enc.scans[s], st_->coeffs);
         }
+        st_->decoded = s + 1;
     }
+    return st_->decoded;
+}
+
+int
+ProgressiveDecoder::scansCoveredBy(size_t bytes_available) const
+{
+    const EncodedImage &enc = *st_->enc;
+    int k = 0;
+    while (k < enc.numScans() &&
+           enc.scan_offsets[k + 1] <= bytes_available)
+        ++k;
+    return k;
+}
+
+int
+ProgressiveDecoder::advanceWithBytes(size_t bytes_available)
+{
+    return advanceTo(scansCoveredBy(bytes_available));
+}
+
+Image
+ProgressiveDecoder::image() const
+{
+    const EncodedImage &enc = *st_->enc;
+    const int h = enc.height;
+    const int w = enc.width;
 
     // Reconstruct the coded planes.
     Image coded(h, w, enc.channels);
     for (int c = 0; c < enc.channels; ++c) {
-        const PlaneGeom &g = geoms[c];
+        const PlaneGeom &g = st_->geoms[c];
         if (g.h == h && g.w == w) {
-            coeffsToPlane(coeffs[c].data(), g, enc.quality,
+            coeffsToPlane(st_->coeffs[c].data(), g, enc.quality,
                           coded.plane(c));
         } else {
             Image sub(g.h, g.w, 1);
-            coeffsToPlane(coeffs[c].data(), g, enc.quality,
+            coeffsToPlane(st_->coeffs[c].data(), g, enc.quality,
                           sub.plane(0));
             const Image up = upsamplePlane2x(sub, h, w);
             std::memcpy(coded.plane(c), up.plane(0),
@@ -1175,6 +1246,14 @@ decodeProgressive(const EncodedImage &enc, int num_scans)
                                                : ycbcrToRgb(coded);
     img.clamp01();
     return img;
+}
+
+Image
+decodeProgressive(const EncodedImage &enc, int num_scans)
+{
+    ProgressiveDecoder dec(enc);
+    dec.advanceTo(num_scans);
+    return dec.image();
 }
 
 } // namespace tamres

@@ -37,6 +37,7 @@
 #define TAMRES_CODEC_PROGRESSIVE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -216,6 +217,76 @@ struct EncodedImage
 /** Encode an image progressively. */
 EncodedImage encodeProgressive(const Image &img,
                                const ProgressiveConfig &config = {});
+
+/**
+ * Resumable progressive decoder: a state machine that decodes scan
+ * prefixes incrementally and can suspend between scans without
+ * redoing work. Because scans are independently decodable segments
+ * appended to shared per-plane coefficient state, decoding scans
+ * [0, j) now and [j, k) later is bit-identical to a one-shot
+ * decodeProgressive(enc, k) — at any thread count (the restart-range
+ * fan-out inside each scan is already bit-exact with serial decode).
+ *
+ * This is the serving-side primitive behind the paper's Figure-4
+ * dynamic pipeline: decode the preview scans, suspend while the scale
+ * model picks a resolution, then continue with exactly the additional
+ * scans (bytes) that resolution needs.
+ *
+ * Lifetime: the decoder borrows @p enc, which must outlive it. The
+ * byte buffer may GROW between advances (a streaming ranged read
+ * appending scans); the header fields — scans, scan_offsets, restart
+ * side tables, geometry — must not change.
+ */
+class ProgressiveDecoder
+{
+  public:
+    explicit ProgressiveDecoder(const EncodedImage &enc);
+    ~ProgressiveDecoder();
+
+    ProgressiveDecoder(ProgressiveDecoder &&) noexcept;
+    ProgressiveDecoder &operator=(ProgressiveDecoder &&) noexcept;
+    ProgressiveDecoder(const ProgressiveDecoder &) = delete;
+    ProgressiveDecoder &operator=(const ProgressiveDecoder &) = delete;
+
+    /** Scans decoded into the coefficient state so far. */
+    int scansDecoded() const;
+
+    /** Total scans in the bound stream. */
+    int numScans() const;
+
+    /**
+     * Decode forward to the first @p num_scans scans; a no-op when
+     * already at or past that point (the state machine never rewinds).
+     * Asserts the byte buffer covers the requested prefix. Returns
+     * scansDecoded().
+     */
+    int advanceTo(int num_scans);
+
+    /**
+     * Number of whole scans covered by a @p bytes_available -byte
+     * prefix of the payload (what a ranged read of that many bytes
+     * makes decodable).
+     */
+    int scansCoveredBy(size_t bytes_available) const;
+
+    /**
+     * Decode every complete scan within the first @p bytes_available
+     * payload bytes: advanceTo(scansCoveredBy(bytes_available)).
+     * Returns scansDecoded().
+     */
+    int advanceWithBytes(size_t bytes_available);
+
+    /**
+     * Reconstruct the image from the coefficient state so far. Pure:
+     * calling it between advances yields the same pixels as a
+     * one-shot decodeProgressive(enc, scansDecoded()).
+     */
+    Image image() const;
+
+  private:
+    struct State;
+    std::unique_ptr<State> st_;
+};
 
 /**
  * Decode using only the first @p num_scans scans (0 yields a mid-gray

@@ -28,6 +28,26 @@
  * caller-owned and must stay alive until it reaches a terminal state
  * (wait() blocks for that); request objects are reusable across
  * submissions.
+ *
+ * Staged pipeline (core/staged_engine.hh): when this engine serves as
+ * the backbone stage of a StagedServingEngine, the same rules apply
+ * per stage, with the staged engine's collaborators added to the
+ * frozen set. LEGAL while the staged engine is serving:
+ * Graph::invalidatePlans() (backbone workers recompile), new shapes
+ * (each decided resolution compiles its plan on first sight, so warm
+ * the expected grid), stats() on any stage, and ObjectStore ranged
+ * reads. ILLEGAL while serving: ObjectStore::put (the decode stage
+ * holds borrowed EncodedImage references across suspend points), ANY
+ * external use of the scale model — inference included, since its
+ * forward pass reuses internal activation buffers (the decode
+ * workers serialize their own use behind an engine mutex) — mutating
+ * a config callback's captured state, and — as always — structural
+ * graph mutations or in-place weight writes.
+ * The drain-then-mutate recipe is staged.drain() (quiesces decode
+ * AND backbone stages), mutate, invalidatePlans(), resume. Requests
+ * hand their InferenceRequest member to the inner engine, so a
+ * StagedRequest must outlive BOTH stages; the single waiter that
+ * calls StagedServingEngine::wait() performs the final handback.
  */
 
 #ifndef TAMRES_CORE_ENGINE_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "core/staged_engine.hh"
 #include "image/metrics.hh"
 
 namespace tamres {
@@ -104,6 +105,82 @@ evalDynamic(const SyntheticDataset &dataset, int first, int last,
     return res;
 }
 
+PipelineResult
+evalDynamicStaged(const SyntheticDataset &dataset, int first, int last,
+                  const BackboneAccuracyModel &model,
+                  const ScaleModel &scale, double crop_area,
+                  int preview_side, int preview_scans,
+                  std::vector<int> *chosen_hist, Graph *backbone)
+{
+    const auto &resolutions = scale.resolutions();
+    if (chosen_hist)
+        chosen_hist->assign(resolutions.size(), 0);
+    const int n = last - first;
+    tamres_assert(n > 0, "empty eval range");
+
+    // The stored objects: the same rendered pixels evalDynamic scores,
+    // progressively encoded at the dataset's storage quality.
+    ProgressiveConfig cfg;
+    cfg.quality = dataset.spec().encode_quality;
+    ObjectStore store;
+    for (int i = first; i < last; ++i) {
+        store.put(static_cast<uint64_t>(i),
+                  encodeProgressive(dataset.renderAt(i, preview_side),
+                                    cfg));
+    }
+
+    StagedEngineConfig scfg;
+    scfg.preview_scans = preview_scans;
+    scfg.crop_area = crop_area;
+    scfg.decode_workers = 1;
+    scfg.queue_capacity = n;
+    // Uncalibrated monotone read schedule: a cheaper resolution needs
+    // fewer high-frequency scans, so the incremental fetch grows
+    // proportionally with the grid position — only the top of the
+    // grid reads every scan. This is what makes the figs-8/9 read
+    // fraction a real measurement; the calibrated (table-driven)
+    // schedule lives in evalDynamicStorage.
+    const int grid_scans =
+        store.peek(static_cast<uint64_t>(first)).numScans();
+    const int num_res = static_cast<int>(resolutions.size());
+    scfg.scan_depth = [preview_scans, grid_scans,
+                       num_res](uint64_t, int r_idx) {
+        const double frac =
+            static_cast<double>(r_idx + 1) / num_res;
+        return preview_scans +
+               static_cast<int>(std::lround(
+                   (grid_scans - preview_scans) * frac));
+    };
+    StagedServingEngine engine(store, scale, backbone, scfg);
+
+    std::vector<StagedRequest> reqs(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        reqs[i].id = static_cast<uint64_t>(first + i);
+        tamres_assert(engine.submit(reqs[i]),
+                      "staged eval submit rejected");
+    }
+
+    PipelineResult res;
+    int correct = 0;
+    double gflops = 0.0;
+    for (int i = 0; i < n; ++i) {
+        engine.wait(reqs[i]);
+        tamres_assert(reqs[i].stateNow() == StagedState::Done,
+                      "staged eval request not served");
+        const int r_idx = reqs[i].resolution_index;
+        const int r = resolutions[r_idx];
+        if (chosen_hist)
+            ++(*chosen_hist)[r_idx];
+        if (model.correct(dataset.record(first + i), crop_area, r, 1.0))
+            ++correct;
+        gflops += backboneGflops(model.arch(), r) + scaleModelGflops();
+    }
+    res.accuracy = static_cast<double>(correct) / n;
+    res.mean_gflops = gflops / n;
+    res.mean_read_fraction = store.stats().relativeReadSize();
+    return res;
+}
+
 StorageRow
 evalStaticStorage(const QualityTable &table,
                   const SyntheticDataset &dataset,
@@ -144,8 +221,14 @@ evalDynamicStorage(const QualityTable &table,
     cfg.quality = dataset.spec().encode_quality;
 
     // Phase 1: run the real preview -> scale-model flow once per
-    // measured table image, recording the chosen resolution and the
-    // total scans the calibrated policy demands.
+    // measured table image through the staged serving engine in
+    // decision-only mode: the actual encoded bytes sit in an
+    // ObjectStore, the preview arrives via a metered ranged read and
+    // a resumable partial decode, and the calibrated policy's
+    // incremental fetch resumes the same decoder. Decisions are
+    // identical to the historical inline loop (same preview scans,
+    // same decoded pixels, same model); what changes is that the
+    // scans/bytes are measured by the serving path itself.
     struct Decision
     {
         int r_idx;
@@ -153,40 +236,58 @@ evalDynamicStorage(const QualityTable &table,
         double f_eff; //!< apparent scale driving the choice
     };
     const int n_tab = table.numImages();
+    tamres_assert(scale.resolutions().size() == resolutions.size(),
+                  "scale-model grid must match the quality table");
+    ObjectStore store;
+    for (int i = 0; i < n_tab; ++i) {
+        store.put(static_cast<uint64_t>(i),
+                  encodeProgressive(
+                      dataset.render(table.recordIndex(i)), cfg));
+    }
+
+    StagedEngineConfig scfg;
+    scfg.crop_area = crop_area;
+    scfg.decode_workers = 1;
+    scfg.queue_capacity = std::max(1, n_tab);
+    // First fetch: scans the calibrated policy wants for the preview
+    // resolution — or the explicitly calibrated preview depth when
+    // the Section VII-b extension is active.
+    scfg.preview_depth = [&](uint64_t id) {
+        return preview_scans > 0
+                   ? std::min(preview_scans, table.numScans())
+                   : table.scansForThreshold(
+                         static_cast<int>(id), idx112,
+                         policy.thresholdFor(idx112));
+    };
+    // Second (incremental) fetch: the scans the chosen resolution's
+    // calibrated threshold demands (the engine never re-reads the
+    // preview prefix).
+    scfg.scan_depth = [&](uint64_t id, int r_idx) {
+        return table.scansForThreshold(static_cast<int>(id), r_idx,
+                                       policy.thresholdFor(r_idx));
+    };
+
     std::vector<Decision> decisions;
     decisions.reserve(n_tab);
     const double side_frac = std::sqrt(crop_area);
-    for (int i = 0; i < n_tab; ++i) {
-        const int rec_idx = table.recordIndex(i);
-
-        // First fetch: scans the calibrated policy wants for the
-        // preview resolution — or the explicitly calibrated preview
-        // depth when the Section VII-b extension is active.
-        const int k112 =
-            preview_scans > 0
-                ? std::min(preview_scans, table.numScans())
-                : table.scansForThreshold(
-                      i, idx112, policy.thresholdFor(idx112));
-
-        // Decode the actual preview the scale model would see.
-        const Image stored = dataset.render(rec_idx);
-        const EncodedImage enc = encodeProgressive(stored, cfg);
-        const Image preview_full = decodeProgressive(enc, k112);
-        const Image cropped =
-            centerCropFraction(preview_full, crop_area);
-        const Image preview = resize(
-            cropped, scale.options().input_res,
-            scale.options().input_res);
-
-        const int r_idx = scale.chooseResolutionIndex(preview);
-
-        // Second (incremental) fetch, only if the chosen resolution
-        // needs more scans than already read.
-        const int k_r = table.scansForThreshold(
-            i, r_idx, policy.thresholdFor(r_idx));
-        decisions.push_back(
-            {r_idx, std::max(k112, k_r),
-             dataset.record(rec_idx).object_scale / side_frac});
+    {
+        StagedServingEngine engine(store, scale, nullptr, scfg);
+        std::vector<StagedRequest> reqs(
+            static_cast<size_t>(n_tab));
+        for (int i = 0; i < n_tab; ++i) {
+            reqs[i].id = static_cast<uint64_t>(i);
+            tamres_assert(engine.submit(reqs[i]),
+                          "calibration submit rejected");
+        }
+        for (int i = 0; i < n_tab; ++i) {
+            engine.wait(reqs[i]);
+            tamres_assert(reqs[i].stateNow() == StagedState::Done,
+                          "calibration request not served");
+            decisions.push_back(
+                {reqs[i].resolution_index, reqs[i].scans_read,
+                 dataset.record(table.recordIndex(i)).object_scale /
+                     side_frac});
+        }
     }
 
     // Phase 2: score. Without a population, score the table images

@@ -64,6 +64,35 @@ PipelineResult evalDynamic(const SyntheticDataset &dataset, int first,
                            int preview_side = 224,
                            std::vector<int> *chosen_hist = nullptr);
 
+/**
+ * The measured twin of evalDynamic: every eval image is progressively
+ * ENCODED into an ObjectStore and served through the staged engine —
+ * ranged preview read, resumable partial decode, scale-model decision,
+ * ranged remaining-scan read — so the resolution choices and the
+ * bytes-read fraction come from the real request flow instead of the
+ * analytic shortcut. Accuracy and GFLOPs are still scored with the
+ * calibrated models per decision (the backbone's accuracy is modeled,
+ * not trained), which is exactly what makes evalDynamic a cross-check
+ * for this path: both must agree wherever the analytic preview
+ * rendering matches the decoded preview. Reads follow an
+ * uncalibrated monotone schedule (one extra scan per grid step above
+ * the preview); the SSIM-calibrated byte counts are
+ * evalDynamicStorage's job.
+ *
+ * @param preview_scans scans fetched for the preview (Section VII-b).
+ * @param backbone      optional graph for the batched backbone stage;
+ *                      null measures the decision + byte flow only.
+ */
+PipelineResult evalDynamicStaged(const SyntheticDataset &dataset,
+                                 int first, int last,
+                                 const BackboneAccuracyModel &model,
+                                 const ScaleModel &scale,
+                                 double crop_area,
+                                 int preview_side = 224,
+                                 int preview_scans = 2,
+                                 std::vector<int> *chosen_hist = nullptr,
+                                 Graph *backbone = nullptr);
+
 /** One row of Tables III/IV: default vs. calibrated reads. */
 struct StorageRow
 {

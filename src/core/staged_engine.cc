@@ -1,0 +1,379 @@
+#include "core/staged_engine.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+StagedServingEngine::StagedServingEngine(ObjectStore &store,
+                                         const ScaleModel &scale,
+                                         Graph *backbone,
+                                         StagedEngineConfig config)
+    : store_(&store), scale_(&scale), backbone_(backbone),
+      cfg_(std::move(config)),
+      epoch_(std::chrono::steady_clock::now())
+{
+    tamres_assert(cfg_.decode_workers >= 1,
+                  "staged engine needs >= 1 decode worker");
+    tamres_assert(cfg_.decode_batch >= 1, "decode_batch must be >= 1");
+    tamres_assert(cfg_.queue_capacity >= 1,
+                  "queue_capacity must be >= 1");
+    tamres_assert(!scale_->resolutions().empty(),
+                  "scale model has no resolution grid");
+
+    resolution_hist_.assign(scale_->resolutions().size(), 0);
+    if (backbone_)
+        inner_ = std::make_unique<ServingEngine>(*backbone_,
+                                                 cfg_.backbone);
+
+    threads_.reserve(cfg_.decode_workers);
+    for (int i = 0; i < cfg_.decode_workers; ++i)
+        threads_.emplace_back([this] { decodeLoop(); });
+}
+
+StagedServingEngine::~StagedServingEngine()
+{
+    stop();
+}
+
+double
+StagedServingEngine::now() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+bool
+StagedServingEngine::submit(StagedRequest &req)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ ||
+        queue_.size() >= static_cast<size_t>(cfg_.queue_capacity)) {
+        ++shed_admission_;
+        req.state.store(static_cast<int>(StagedState::Shed),
+                        std::memory_order_release);
+        done_cv_.notify_all();
+        return false;
+    }
+    req.submit_s_ = now();
+    req.resolution = 0;
+    req.resolution_index = 0;
+    req.preview_scans = 0;
+    req.scans_read = 0;
+    req.bytes_read = 0;
+    req.decode_s = 0.0;
+    req.latency_s = 0.0;
+    req.state.store(static_cast<int>(StagedState::Queued),
+                    std::memory_order_release);
+    queue_.push_back(&req);
+    work_cv_.notify_one();
+    return true;
+}
+
+void
+StagedServingEngine::wait(StagedRequest &req)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] {
+            return req.stateNow() != StagedState::Queued;
+        });
+    }
+    if (req.stateNow() == StagedState::Submitted) {
+        inner_->wait(req.infer);
+        finalize(req);
+    }
+}
+
+void
+StagedServingEngine::finalize(StagedRequest &req)
+{
+    // Single-finalizer contract (see wait() docs): fields are written
+    // before the terminal state store, after which the owner may free
+    // the request.
+    StagedState terminal = StagedState::Shed;
+    switch (req.infer.stateNow()) {
+      case RequestState::Done: terminal = StagedState::Done; break;
+      case RequestState::Expired:
+        terminal = StagedState::Expired;
+        break;
+      default: break;
+    }
+    req.latency_s = req.decode_s + req.infer.latency_s;
+    req.state.store(static_cast<int>(terminal),
+                    std::memory_order_release);
+}
+
+void
+StagedServingEngine::drain()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] {
+            return queue_.empty() && active_decoders_ == 0;
+        });
+    }
+    if (inner_)
+        inner_->drain();
+}
+
+void
+StagedServingEngine::stop()
+{
+    std::vector<std::thread> joinable;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        joinable.swap(threads_);
+    }
+    work_cv_.notify_all();
+    done_cv_.notify_all();
+    for (auto &t : joinable)
+        t.join();
+    if (inner_)
+        inner_->stop();
+}
+
+StagedStats
+StagedServingEngine::stats() const
+{
+    StagedStats s;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.decode_queue_depth = static_cast<int>(queue_.size());
+        s.decoded = decoded_;
+        s.shed_admission = shed_admission_;
+        s.expired = expired_;
+        s.shed_cap_applied = shed_cap_applied_;
+        s.scans_read = scans_read_;
+        s.bytes_read = bytes_read_;
+        s.resolution_hist = resolution_hist_;
+    }
+    if (inner_)
+        s.backbone = inner_->stats();
+    return s;
+}
+
+void
+StagedServingEngine::decodeLoop()
+{
+    std::vector<StagedRequest *> batch;
+    batch.reserve(cfg_.decode_batch);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        work_cv_.wait(lock,
+                      [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+
+        // Per-stage batching: drain up to decode_batch requests in
+        // one wakeup, then process them back to back outside the
+        // lock. The depth reported to the shed policy counts waiting
+        // AND in-hand requests — the same "load at formation time"
+        // the flat engine's policy sees.
+        batch.clear();
+        while (!queue_.empty() &&
+               batch.size() < static_cast<size_t>(cfg_.decode_batch)) {
+            batch.push_back(queue_.front());
+            queue_.pop_front();
+        }
+        const int depth = static_cast<int>(queue_.size()) +
+                          static_cast<int>(batch.size());
+
+        ++active_decoders_;
+        lock.unlock();
+        for (StagedRequest *req : batch)
+            processOne(*req, depth);
+        lock.lock();
+        --active_decoders_;
+        done_cv_.notify_all();
+    }
+}
+
+void
+StagedServingEngine::processOne(StagedRequest &req, int depth)
+{
+    const double t0 = now();
+
+    // Deadline shedding at formation time: a request whose deadline
+    // has already passed is dropped before any byte is read.
+    if (req.deadline_s > 0.0 &&
+        t0 > req.submit_s_ + req.deadline_s) {
+        req.latency_s = t0 - req.submit_s_;
+        req.state.store(static_cast<int>(StagedState::Expired),
+                        std::memory_order_release);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++expired_;
+        }
+        done_cv_.notify_all();
+        return;
+    }
+
+    const EncodedImage &enc = store_->peek(req.id);
+    const auto &grid = scale_->resolutions();
+    const int num_scans = enc.numScans();
+    ProgressiveDecoder dec(enc);
+
+    int r_idx = 0;
+    int resolution = 0;
+    int kprev = 0;
+    size_t bytes = 0;
+    bool capped = false;
+
+    if (cfg_.fixed_resolution > 0) {
+        // Static mode: no preview fetch, no scale model — the
+        // measured baseline through identical machinery.
+        resolution = cfg_.fixed_resolution;
+        for (size_t i = 1; i < grid.size(); ++i) {
+            if (std::abs(grid[i] - resolution) <
+                std::abs(grid[r_idx] - resolution))
+                r_idx = static_cast<int>(i);
+        }
+    } else {
+        // Stage 1: ranged read + partial decode of the preview scans.
+        // A calibrated policy may demand ZERO preview scans (the
+        // threshold is already met by the mid-gray reconstruction);
+        // then nothing is fetched and the scale model sees the same
+        // 0-scan preview the inline pipeline would.
+        kprev = cfg_.preview_depth
+                    ? cfg_.preview_depth(req.id)
+                    : cfg_.preview_scans;
+        kprev = std::clamp(kprev, 0, num_scans);
+        if (kprev > 0) {
+            bytes += store_->readScanRangeBytes(req.id, 0, kprev);
+            dec.advanceWithBytes(bytes);
+            tamres_assert(dec.scansDecoded() == kprev,
+                          "preview range bytes cover %d scans, "
+                          "wanted %d", dec.scansDecoded(), kprev);
+        }
+
+        // Stage 2: scale-model inference on the decoded preview.
+        const Image preview_full = dec.image();
+        const Image preview =
+            resize(centerCropFraction(preview_full, cfg_.crop_area),
+                   scale_->options().input_res,
+                   scale_->options().input_res);
+        {
+            std::lock_guard<std::mutex> lock(scale_mu_);
+            r_idx = scale_->chooseResolutionIndex(preview);
+        }
+
+        // Stage 3: resolution decision — the scale model's choice,
+        // capped by the queue-depth shed policy under load.
+        const int cap = cfg_.shed_cap ? cfg_.shed_cap(depth) : 0;
+        if (cap > 0 && grid[r_idx] > cap) {
+            int lowered = 0;
+            for (size_t i = 0; i < grid.size(); ++i) {
+                if (grid[i] <= cap &&
+                    grid[i] >= grid[lowered])
+                    lowered = static_cast<int>(i);
+            }
+            r_idx = lowered;
+            capped = true;
+        }
+        resolution = grid[r_idx];
+    }
+
+    // Stage 4: ranged read + resumed decode of the remaining scans
+    // the decision needs. The decoder continues from the preview
+    // state — no scan is decoded twice. The full-read denominator is
+    // charged by whichever fetch starts at scan 0 (at most one per
+    // request: the stage-1 read, or this one when no preview byte
+    // was fetched).
+    int total = cfg_.scan_depth ? cfg_.scan_depth(req.id, r_idx)
+                                : num_scans;
+    total = std::clamp(total, kprev, num_scans);
+    if (total > kprev)
+        bytes += store_->readScanRangeBytes(req.id, kprev, total);
+    dec.advanceWithBytes(bytes);
+    tamres_assert(dec.scansDecoded() == total,
+                  "scan ranges cover %d scans, wanted %d",
+                  dec.scansDecoded(), total);
+
+    req.resolution = resolution;
+    req.resolution_index = r_idx;
+    req.preview_scans = kprev;
+    req.scans_read = total;
+    req.bytes_read = bytes;
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++decoded_;
+        scans_read_ += static_cast<uint64_t>(total);
+        bytes_read_ += bytes;
+        resolution_hist_[static_cast<size_t>(r_idx)] += 1;
+        if (capped)
+            ++shed_cap_applied_;
+    }
+
+    if (!inner_) {
+        // Decision-only mode: the request is complete once the
+        // decision and byte accounting are in.
+        req.decode_s = now() - req.submit_s_;
+        req.latency_s = req.decode_s;
+        req.state.store(static_cast<int>(StagedState::Done),
+                        std::memory_order_release);
+        done_cv_.notify_all();
+        return;
+    }
+
+    // Stage 5: prepare the backbone input and hand off to the
+    // batched inner engine. The input tensor is recycled when the
+    // shape repeats, keeping the handoff allocation-light and the
+    // inner batch path zero-alloc.
+    tamres_assert(enc.channels == 3,
+                  "backbone stage needs 3-channel objects, got %d",
+                  enc.channels);
+    const Image full = dec.image();
+    const Image sized =
+        resize(centerCropFraction(full, cfg_.crop_area), resolution,
+               resolution);
+    const Shape want{1, 3, resolution, resolution};
+    if (req.infer.input.shape() != want)
+        req.infer.input = Tensor(want);
+    std::copy_n(sized.data(), sized.numel(), req.infer.input.data());
+
+    req.decode_s = now() - req.submit_s_;
+    if (req.deadline_s > 0.0) {
+        const double left = req.deadline_s - req.decode_s;
+        if (left <= 0.0) {
+            req.latency_s = req.decode_s;
+            req.state.store(static_cast<int>(StagedState::Expired),
+                            std::memory_order_release);
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++expired_;
+            }
+            done_cv_.notify_all();
+            return;
+        }
+        req.infer.deadline_s = left;
+    } else {
+        req.infer.deadline_s = 0.0;
+    }
+
+    if (!inner_->submit(req.infer)) {
+        req.latency_s = now() - req.submit_s_;
+        req.state.store(static_cast<int>(StagedState::Shed),
+                        std::memory_order_release);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++shed_admission_;
+        }
+        done_cv_.notify_all();
+        return;
+    }
+    req.state.store(static_cast<int>(StagedState::Submitted),
+                    std::memory_order_release);
+    done_cv_.notify_all();
+}
+
+} // namespace tamres

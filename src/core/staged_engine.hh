@@ -1,0 +1,262 @@
+/**
+ * @file
+ * StagedServingEngine: the measured realization of the paper's
+ * Figure-4 dynamic pipeline as a multi-stage serving engine.
+ *
+ * A request enters as a stored object id — *encoded progressive
+ * bytes* in an ObjectStore — and flows through the staged lifecycle:
+ *
+ *   1. partial decode:   a ranged read fetches the preview scans and
+ *                        a resumable ProgressiveDecoder decodes them;
+ *   2. preview + scale:  the decoded preview (cropped + resized) runs
+ *                        through the scale model;
+ *   3. decision:         the scale model's resolution, optionally
+ *                        capped by a queue-depth shed policy (the
+ *                        same makeShedPolicy machinery the flat
+ *                        engine uses) — under load the decision
+ *                        stage itself sheds resolution;
+ *   4. remaining decode: a second ranged read fetches exactly the
+ *                        additional scans the chosen resolution
+ *                        needs and the SAME decoder resumes — no
+ *                        preview work is redone;
+ *   5. batched backbone: the prepared input is submitted to an inner
+ *                        ServingEngine, which batches same-shaped
+ *                        requests dynamically and keeps the
+ *                        zero-alloc / zero-pack steady state.
+ *
+ * Stages 1-4 run on a pool of decode workers with per-stage batching
+ * (a worker drains up to decode_batch requests per wakeup); stage 5
+ * is the unmodified ServingEngine, so every guarantee it makes
+ * (per-item bit-identity, shared prepacks, steady-state zero
+ * allocation) carries over to the staged backbone stage.
+ *
+ * Threading/lifetime contract (see also engine.hh): the ObjectStore,
+ * ScaleModel, backbone Graph and the config's policy callbacks must
+ * outlive the engine. While serving, ObjectStore::put, ANY external
+ * use of the scale model (its forward pass reuses internal buffers;
+ * the decode workers serialize their own use), and structural Graph
+ * mutations are ILLEGAL; ranged reads, stats() and
+ * Graph::invalidatePlans() are legal. Each StagedRequest is
+ * caller-owned and must stay alive until terminal (wait() blocks for
+ * that).
+ *
+ * A null backbone runs the engine in decision-only mode: requests
+ * complete after stage 4 with resolution / scans / bytes filled in —
+ * what the calibration and figure harnesses use to *measure* the
+ * decision + byte flow without paying for backbone inference whose
+ * accuracy is modeled analytically anyway.
+ */
+
+#ifndef TAMRES_CORE_STAGED_ENGINE_HH
+#define TAMRES_CORE_STAGED_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/scale_model.hh"
+#include "storage/object_store.hh"
+
+namespace tamres {
+
+/** Staged request states (terminal: Done, Shed, Expired). */
+enum class StagedState : int
+{
+    Idle = 0,   //!< never submitted (or reset for reuse)
+    Queued,     //!< admitted, waiting for a decode worker
+    Submitted,  //!< decode + decision done; in the backbone stage
+    Done,       //!< served; decision and output fields valid
+    Shed,       //!< rejected at admission (either stage's queue full)
+    Expired,    //!< deadline passed before a stage could serve it
+};
+
+/**
+ * One caller-owned staged request. Fill id (a stored object) and
+ * optionally deadline_s before submit(); the engine fills the rest.
+ * Reusable across submissions; reusing the same object keeps the
+ * backbone stage's steady-state path allocation-free (the inner
+ * request's input/output tensors are recycled when shapes repeat).
+ */
+struct StagedRequest
+{
+    uint64_t id = 0;         //!< object id in the engine's store
+    double deadline_s = 0.0; //!< seconds after submit; 0 = none
+
+    int resolution = 0;       //!< decided square backbone resolution
+    int resolution_index = 0; //!< index into engine resolutions()
+    int preview_scans = 0;    //!< scans fetched for the preview
+    int scans_read = 0;       //!< total scans fetched
+    size_t bytes_read = 0;    //!< total bytes fetched (both ranges)
+    double decode_s = 0.0;    //!< submit -> backbone-stage handoff
+    double latency_s = 0.0;   //!< submit -> terminal
+
+    /** Inner backbone-stage request; output lives in infer.output. */
+    InferenceRequest infer;
+
+    std::atomic<int> state{static_cast<int>(StagedState::Idle)};
+
+    StagedState
+    stateNow() const
+    {
+        return static_cast<StagedState>(
+            state.load(std::memory_order_acquire));
+    }
+
+  private:
+    friend class StagedServingEngine;
+    double submit_s_ = 0.0;
+};
+
+/** Staged engine construction parameters. */
+struct StagedEngineConfig
+{
+    int preview_scans = 2;   //!< default scans fetched for stage 1
+    double crop_area = 1.0;  //!< center-crop fraction before resizing
+    int decode_workers = 1;  //!< stage 1-4 worker threads
+    int decode_batch = 4;    //!< requests a worker drains per wakeup
+    int queue_capacity = 256; //!< bounded admission for stage 1
+
+    /**
+     * When > 0, skip the scale model and serve every request at this
+     * resolution — the measured static baseline through the exact
+     * same staged machinery (full-prefix read unless scan_depth says
+     * otherwise).
+     */
+    int fixed_resolution = 0;
+
+    /** Per-object preview depth; overrides preview_scans when set. */
+    std::function<int(uint64_t id)> preview_depth;
+
+    /**
+     * Total scans the chosen resolution needs for object @p id
+     * (e.g. a calibrated storage policy); null reads every scan. The
+     * engine never reads fewer scans than the preview already
+     * fetched.
+     */
+    std::function<int(uint64_t id, int resolution_index)> scan_depth;
+
+    /**
+     * Queue-depth -> resolution cap applied to the scale model's
+     * choice at decision time (same machinery as makeShedPolicy):
+     * return 0 to keep the choice, else the decision is clamped to
+     * the largest grid resolution <= the returned cap. Sees the
+     * decode-stage depth (waiting + in flight).
+     */
+    EngineResolutionPolicy shed_cap;
+
+    /** Inner backbone-stage engine configuration. */
+    EngineConfig backbone;
+};
+
+/** Counter snapshot from StagedServingEngine::stats(). */
+struct StagedStats
+{
+    int decode_queue_depth = 0;   //!< stage-1 requests waiting now
+    uint64_t decoded = 0;         //!< requests through stages 1-4
+    uint64_t shed_admission = 0;  //!< rejected at either admission
+    uint64_t expired = 0;         //!< dropped past their deadline
+    uint64_t shed_cap_applied = 0; //!< decisions lowered by shed_cap
+    uint64_t scans_read = 0;      //!< total scans fetched
+    uint64_t bytes_read = 0;      //!< total bytes fetched
+    std::vector<uint64_t> resolution_hist; //!< per resolutions() index
+    EngineStats backbone;         //!< inner engine snapshot
+};
+
+/**
+ * Multi-stage dynamic-resolution serving engine over encoded
+ * progressive objects (see file docs for the stage diagram).
+ */
+class StagedServingEngine
+{
+  public:
+    /**
+     * @param store    stored encoded objects (outlives the engine)
+     * @param scale    trained resolution selector (outlives the engine)
+     * @param backbone backbone graph for stage 5, or nullptr for
+     *                 decision-only mode
+     */
+    StagedServingEngine(ObjectStore &store, const ScaleModel &scale,
+                        Graph *backbone, StagedEngineConfig config);
+
+    /** stop()s and joins. */
+    ~StagedServingEngine();
+
+    StagedServingEngine(const StagedServingEngine &) = delete;
+    StagedServingEngine &operator=(const StagedServingEngine &) = delete;
+
+    /**
+     * Admit @p req (non-blocking). Returns false — and marks the
+     * request Shed — when the decode queue is full or the engine is
+     * stopping. req.id must name a stored object. The request must
+     * stay alive until terminal.
+     */
+    bool submit(StagedRequest &req);
+
+    /**
+     * Block until @p req reaches a terminal state. At most ONE
+     * thread may wait() a given request per submission: the waiter
+     * finalizes the backbone-stage handback (latency, terminal
+     * state), so concurrent waiters on one request would race.
+     */
+    void wait(StagedRequest &req);
+
+    /** Block until both stages are empty and idle. */
+    void drain();
+
+    /**
+     * Stop accepting requests, flush everything already admitted
+     * through every stage, and join the workers. Idempotent.
+     */
+    void stop();
+
+    /** Counter snapshot (safe while serving). */
+    StagedStats stats() const;
+
+    /** The resolution grid decisions index into. */
+    const std::vector<int> &resolutions() const
+    {
+        return scale_->resolutions();
+    }
+
+  private:
+    void decodeLoop();
+    void processOne(StagedRequest &req, int depth);
+    void finalize(StagedRequest &req);
+    double now() const;
+
+    ObjectStore *store_;
+    const ScaleModel *scale_;
+    Graph *backbone_;
+    StagedEngineConfig cfg_;
+    std::unique_ptr<ServingEngine> inner_; //!< null in decision-only
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_; //!< decode workers: queue state
+    std::condition_variable done_cv_; //!< clients: completion / drain
+    std::deque<StagedRequest *> queue_;
+    bool stopping_ = false;
+    int active_decoders_ = 0;
+
+    // The scale model's forward pass reuses internal activation
+    // buffers, so concurrent decode workers serialize inference.
+    mutable std::mutex scale_mu_;
+
+    // Counters (all guarded by mu_).
+    uint64_t decoded_ = 0;
+    uint64_t shed_admission_ = 0;
+    uint64_t expired_ = 0;
+    uint64_t shed_cap_applied_ = 0;
+    uint64_t scans_read_ = 0;
+    uint64_t bytes_read_ = 0;
+    std::vector<uint64_t> resolution_hist_;
+
+    std::vector<std::thread> threads_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_CORE_STAGED_ENGINE_HH

@@ -156,6 +156,11 @@ Graph::runInto(const Tensor &input, Tensor &out)
 void
 Graph::invalidatePlans()
 {
+    // Inside a PlanInvalidationDefer scope the structural rewrites
+    // are still in flight; the scope owner invalidates once at the
+    // end (nothing can legally run plans mid-scope anyway).
+    if (defer_invalidation_)
+        return;
     {
         std::lock_guard<std::mutex> lock(pack_mutex_);
         pack_cache_.clear();

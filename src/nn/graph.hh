@@ -133,6 +133,36 @@ class Graph
         return plan_version_.load(std::memory_order_acquire);
     }
 
+    /**
+     * RAII: suppress invalidatePlans() inside the scope so a batch of
+     * structural rewrites (e.g. optimizeForInference's pass pipeline)
+     * costs one plan-version bump instead of one per rewire.
+     * Suppressed calls are NOT replayed — the scope owner must call
+     * invalidatePlans() itself after the scope ends. Structural
+     * mutation is already illegal while serving, so this guard is
+     * too; scopes must not nest or cross threads.
+     */
+    class PlanInvalidationDefer
+    {
+      public:
+        explicit PlanInvalidationDefer(Graph &graph) : graph_(&graph)
+        {
+            tamres_assert(!graph_->defer_invalidation_,
+                          "PlanInvalidationDefer scopes must not nest");
+            graph_->defer_invalidation_ = true;
+        }
+        ~PlanInvalidationDefer()
+        {
+            graph_->defer_invalidation_ = false;
+        }
+        PlanInvalidationDefer(const PlanInvalidationDefer &) = delete;
+        PlanInvalidationDefer &
+        operator=(const PlanInvalidationDefer &) = delete;
+
+      private:
+        Graph *graph_;
+    };
+
     /** Per-thread execution handle; see class docs below. */
     class Executor;
 
@@ -284,6 +314,7 @@ class Graph
     OpObserver observer_;
 
     std::atomic<uint64_t> plan_version_{0};
+    bool defer_invalidation_ = false; //!< see PlanInvalidationDefer
 
     mutable std::mutex pack_mutex_;
     std::vector<PackEntry> pack_cache_;

@@ -76,4 +76,27 @@ fuseConvRelu(Graph &graph)
     return fused;
 }
 
+OptimizeStats
+optimizeForInference(Graph &graph)
+{
+    OptimizeStats stats;
+    {
+        // One plan-version bump for the whole pipeline: the passes'
+        // internal rewires are batched and the explicit invalidation
+        // below is the only one that lands.
+        Graph::PlanInvalidationDefer defer(graph);
+        for (;;) {
+            ++stats.rounds;
+            const int folded = foldBatchNorms(graph);
+            const int fused = fuseConvRelu(graph);
+            stats.bn_folded += folded;
+            stats.relu_fused += fused;
+            if (folded + fused == 0)
+                break;
+        }
+    }
+    graph.invalidatePlans();
+    return stats;
+}
+
 } // namespace tamres

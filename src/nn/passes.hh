@@ -37,6 +37,26 @@ int foldBatchNorms(Graph &graph);
  */
 int fuseConvRelu(Graph &graph);
 
+/** What optimizeForInference rewrote. */
+struct OptimizeStats
+{
+    int bn_folded = 0;   //!< batch norms folded into convolutions
+    int relu_fused = 0;  //!< activations fused into conv epilogues
+    int rounds = 0;      //!< pass-pipeline iterations until fixpoint
+
+    int total() const { return bn_folded + relu_fused; }
+};
+
+/**
+ * The single entry point serving code should use: run the inference
+ * passes (foldBatchNorms, fuseConvRelu) to fixpoint and invalidate
+ * the graph's execution plans exactly once at the end — one
+ * plan-version bump regardless of how many rewrites landed, instead
+ * of one per rewire. Idempotent: a second call performs zero
+ * rewrites (total() == 0) and still costs exactly one bump.
+ */
+OptimizeStats optimizeForInference(Graph &graph);
+
 } // namespace tamres
 
 #endif // TAMRES_NN_PASSES_HH

@@ -39,9 +39,12 @@ Image
 ObjectStore::readScans(uint64_t id, int num_scans)
 {
     const EncodedImage &obj = get(id);
-    ++stats_.requests;
-    stats_.bytes_read += obj.bytesForScans(num_scans);
-    stats_.bytes_full += obj.totalBytes();
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests;
+        stats_.bytes_read += obj.bytesForScans(num_scans);
+        stats_.bytes_full += obj.totalBytes();
+    }
     return decodeProgressive(obj, num_scans);
 }
 
@@ -54,19 +57,60 @@ ObjectStore::readAdditionalScans(uint64_t id, int from_scans,
                   to_scans <= obj.numScans(),
                   "invalid incremental scan range [%d, %d]",
                   from_scans, to_scans);
-    ++stats_.requests;
-    stats_.bytes_read +=
+    const size_t bytes =
         obj.bytesForScans(to_scans) - obj.bytesForScans(from_scans);
-    // The full-read denominator was already charged by the first read
-    // of this object in the same logical request, so don't double
-    // count it.
+    {
+        // The full-read denominator was already charged by the first
+        // read of this object in the same logical request (always a
+        // readScans call), so don't double count it — even for a
+        // from_scans == 0 range.
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests;
+        stats_.bytes_read += bytes;
+    }
     return decodeProgressive(obj, to_scans);
+}
+
+size_t
+ObjectStore::readScanRangeBytes(uint64_t id, int from_scans,
+                                int to_scans)
+{
+    const EncodedImage &obj = get(id);
+    tamres_assert(from_scans >= 0 && to_scans >= from_scans &&
+                  to_scans <= obj.numScans(),
+                  "invalid incremental scan range [%d, %d]",
+                  from_scans, to_scans);
+    const size_t bytes =
+        obj.bytesForScans(to_scans) - obj.bytesForScans(from_scans);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    stats_.bytes_read += bytes;
+    // The full-read denominator is charged once per logical request:
+    // on the first (prefix-starting) fetch. Incremental ranges were
+    // already accounted by that fetch, so don't double count it.
+    if (from_scans == 0)
+        stats_.bytes_full += obj.totalBytes();
+    return bytes;
 }
 
 const EncodedImage &
 ObjectStore::peek(uint64_t id) const
 {
     return get(id);
+}
+
+ReadStats
+ObjectStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+}
+
+void
+ObjectStore::resetStats()
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = ReadStats{};
 }
 
 } // namespace tamres

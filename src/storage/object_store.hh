@@ -13,6 +13,7 @@
 #define TAMRES_STORAGE_OBJECT_STORE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +51,12 @@ struct ReadStats
 
 /**
  * In-memory store of progressive images with metered reads.
+ *
+ * Concurrency contract: read-side calls (readScans, readScanRangeBytes,
+ * peek, stats) are safe from multiple threads — the staged serving
+ * engine's decode workers meter ranged reads concurrently. put() is a
+ * structural mutation and must not race any read: populate the store,
+ * then serve.
  */
 class ObjectStore
 {
@@ -80,19 +87,31 @@ class ObjectStore
      */
     Image readAdditionalScans(uint64_t id, int from_scans, int to_scans);
 
+    /**
+     * Meter a ranged read of scans [from_scans, to_scans) WITHOUT
+     * decoding — the staged serving path fetches bytes here and feeds
+     * them to a resumable ProgressiveDecoder instead of re-decoding
+     * the whole prefix. Returns the incremental bytes charged. The
+     * full-read denominator is charged once per logical request, on
+     * the from_scans == 0 fetch.
+     */
+    size_t readScanRangeBytes(uint64_t id, int from_scans,
+                              int to_scans);
+
     /** Access an object's metadata (scan sizes etc.). */
     const EncodedImage &peek(uint64_t id) const;
 
-    /** Cumulative read statistics. */
-    const ReadStats &stats() const { return stats_; }
+    /** Cumulative read statistics (snapshot; safe while serving). */
+    ReadStats stats() const;
 
     /** Reset the read statistics (objects are kept). */
-    void resetStats() { stats_ = ReadStats{}; }
+    void resetStats();
 
   private:
     const EncodedImage &get(uint64_t id) const;
 
     std::unordered_map<uint64_t, EncodedImage> objects_;
+    mutable std::mutex stats_mu_; //!< guards stats_ only
     ReadStats stats_;
 };
 

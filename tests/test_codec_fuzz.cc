@@ -9,9 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "codec/progressive.hh"
 #include "image/metrics.hh"
@@ -358,6 +361,60 @@ TEST(CodecRestartFuzz, PrefixDecodeIgnoresVandalizedLaterRanges)
     ASSERT_EQ(clean.numel(), after.numel());
     for (size_t i = 0; i < clean.numel(); ++i)
         ASSERT_EQ(clean.data()[i], after.data()[i]);
+}
+
+TEST(CodecResumeFuzz, RandomSuspendSchedulesMatchOneShotEverywhere)
+{
+    // Resumable-decode property fuzz: random images, random entropy
+    // coder, restart-interval and legacy (v1) streams, spectral and
+    // successive-approximation scripts, random suspend schedules and
+    // several thread counts — after every suspend point the decoder's
+    // pixels must be bit-identical to a one-shot decode of the same
+    // prefix.
+    Rng rng(2024);
+    for (int trial = 0; trial < 8; ++trial) {
+        const int h = 9 + static_cast<int>(rng.uniformInt(uint64_t{40}));
+        const int w = 9 + static_cast<int>(rng.uniformInt(uint64_t{40}));
+        const Image src = randomImage(h, w, 5000 + trial);
+        ProgressiveConfig cfg;
+        cfg.entropy = trial % 2 == 0 ? EntropyCoder::Huffman
+                                     : EntropyCoder::RunLength;
+        cfg.restart_interval =
+            trial % 3 == 0 ? 0 : 1 + static_cast<int>(rng.uniformInt(
+                                         uint64_t{32}));
+        if (trial % 4 == 3)
+            cfg.scans = ProgressiveConfig::successiveScans();
+        const EncodedImage enc = encodeProgressive(src, cfg);
+
+        // One-shot references per prefix, serial.
+        std::vector<Image> want;
+        {
+            ThreadsEnv env(1);
+            for (int k = 0; k <= enc.numScans(); ++k)
+                want.push_back(decodeProgressive(enc, k));
+        }
+
+        for (const int threads : {1, 2, 8}) {
+            ThreadsEnv env(threads);
+            ProgressiveDecoder dec(enc);
+            int at = 0;
+            while (at < enc.numScans()) {
+                at = std::min<int>(
+                    enc.numScans(),
+                    at + 1 +
+                        static_cast<int>(rng.uniformInt(uint64_t{2})));
+                dec.advanceTo(at);
+                const Image got = dec.image();
+                ASSERT_EQ(got.numel(), want[at].numel());
+                ASSERT_EQ(std::memcmp(got.data(), want[at].data(),
+                                      sizeof(float) * got.numel()),
+                          0)
+                    << "trial " << trial << ", prefix " << at << ", "
+                    << threads << " threads, interval "
+                    << cfg.restart_interval;
+            }
+        }
+    }
 }
 
 TEST(CodecRestartFuzzDeath, MalformedSideTablesDieLoudly)

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the resumable ProgressiveDecoder: suspending after any
+ * scan prefix and resuming later must be bit-identical to a one-shot
+ * decode at any thread count, on legacy (v1) and restart-interval
+ * (v2) streams, under byte-gated advances and streams whose byte
+ * buffer grows between advances (ranged reads appending scans).
+ *
+ * Run in the TSan CI leg: the resumed decode fans restart ranges over
+ * the thread pool from whatever thread resumes, so the suspend points
+ * double as synchronization seams worth racing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "codec/progressive.hh"
+#include "image/synthetic.hh"
+#include "tests/threads_env.hh"
+#include "util/rng.hh"
+
+namespace tamres {
+namespace {
+
+Image
+randomImage(int h, int w, uint64_t seed)
+{
+    Image img(h, w, 3);
+    Rng rng(seed);
+    const float base = static_cast<float>(rng.uniform());
+    for (size_t i = 0; i < img.numel(); ++i)
+        img.data()[i] = std::clamp(
+            base + static_cast<float>(rng.uniform(-0.35, 0.35)), 0.0f,
+            1.0f);
+    return img;
+}
+
+bool
+samePixels(const Image &a, const Image &b)
+{
+    return a.numel() == b.numel() &&
+           std::memcmp(a.data(), b.data(),
+                       sizeof(float) * a.numel()) == 0;
+}
+
+/** Strip the restart side tables: a valid v1 stream, same bytes. */
+EncodedImage
+asLegacy(const EncodedImage &enc)
+{
+    EncodedImage legacy = enc;
+    legacy.version = EncodedImage::kVersionLegacy;
+    legacy.restart_bits.clear();
+    legacy.restart_interval = 0;
+    return legacy;
+}
+
+TEST(CodecResume, EverySuspendPointMatchesOneShotOnV1AndV2)
+{
+    const Image src = randomImage(41, 29, 3);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 7;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const EncodedImage legacy = asLegacy(enc);
+
+    for (const EncodedImage *stream : {&enc, &legacy}) {
+        for (const int threads : {1, 4}) {
+            ThreadsEnv env(threads);
+            // Suspend after j scans, resume to k, for every j <= k.
+            for (int j = 0; j <= stream->numScans(); ++j) {
+                ProgressiveDecoder dec(*stream);
+                EXPECT_EQ(dec.advanceTo(j), j);
+                EXPECT_TRUE(samePixels(dec.image(),
+                                       decodeProgressive(*stream, j)))
+                    << "prefix " << j << " at " << threads
+                    << " threads, v" << stream->version;
+                for (int k = j; k <= stream->numScans(); ++k) {
+                    dec.advanceTo(k);
+                    ASSERT_EQ(dec.scansDecoded(), k);
+                }
+                EXPECT_TRUE(samePixels(
+                    dec.image(),
+                    decodeProgressive(*stream, stream->numScans())))
+                    << "resume from " << j;
+            }
+        }
+    }
+}
+
+TEST(CodecResume, AdvanceNeverRewinds)
+{
+    const Image src = randomImage(24, 24, 4);
+    const EncodedImage enc = encodeProgressive(src);
+    ProgressiveDecoder dec(enc);
+    dec.advanceTo(3);
+    EXPECT_EQ(dec.advanceTo(1), 3) << "advanceTo must not rewind";
+    EXPECT_TRUE(samePixels(dec.image(), decodeProgressive(enc, 3)));
+}
+
+TEST(CodecResume, ByteGatedAdvanceDecodesExactlyCoveredScans)
+{
+    const Image src = randomImage(33, 27, 5);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    ProgressiveDecoder dec(enc);
+
+    // One byte short of scan k's end covers only k-1 scans.
+    for (int k = 1; k <= enc.numScans(); ++k) {
+        EXPECT_EQ(dec.scansCoveredBy(enc.scan_offsets[k] - 1), k - 1);
+        EXPECT_EQ(dec.scansCoveredBy(enc.scan_offsets[k]), k);
+    }
+
+    size_t budget = 0;
+    int decoded = 0;
+    Rng rng(6);
+    while (decoded < enc.numScans()) {
+        budget = std::min(
+            enc.bytes.size(),
+            budget + 1 +
+                static_cast<size_t>(rng.uniformInt(
+                    static_cast<uint64_t>(enc.bytes.size() / 3))));
+        decoded = dec.advanceWithBytes(budget);
+        EXPECT_EQ(decoded, dec.scansCoveredBy(budget));
+        EXPECT_TRUE(
+            samePixels(dec.image(), decodeProgressive(enc, decoded)))
+            << "byte budget " << budget;
+    }
+}
+
+TEST(CodecResume, SuspendedDecoderContinuesWhenBytesArriveLater)
+{
+    // Model a ranged read: the EncodedImage starts with only the
+    // preview scans' bytes, the decoder suspends, more bytes are
+    // appended, the SAME decoder resumes — final pixels must be
+    // bit-identical to a one-shot full decode.
+    const Image src = randomImage(37, 45, 8);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 16;
+    const EncodedImage full = encodeProgressive(src, cfg);
+    const Image want = decodeProgressive(full);
+
+    EncodedImage streamed = full;
+    streamed.bytes.resize(full.scan_offsets[2]);
+    ProgressiveDecoder dec(streamed);
+    EXPECT_EQ(dec.advanceWithBytes(streamed.bytes.size()), 2);
+    EXPECT_TRUE(samePixels(dec.image(), decodeProgressive(full, 2)));
+
+    // The next ranged read appends the remaining scans.
+    streamed.bytes.insert(streamed.bytes.end(),
+                          full.bytes.begin() + full.scan_offsets[2],
+                          full.bytes.end());
+    ThreadsEnv env(4);
+    EXPECT_EQ(dec.advanceWithBytes(streamed.bytes.size()),
+              full.numScans());
+    EXPECT_TRUE(samePixels(dec.image(), want));
+}
+
+TEST(CodecResume, SuccessiveApproximationAndChromaSubsamplingResume)
+{
+    // Refinement scans mutate existing coefficients in place — the
+    // hardest case for suspended state — and 4:2:0 chroma exercises
+    // the subsampled-plane geometry.
+    const Image src = randomImage(40, 32, 9);
+    ProgressiveConfig cfg;
+    cfg.scans = ProgressiveConfig::successiveScans();
+    cfg.color = ColorMode::YCbCr420;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 4;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+
+    for (const int threads : {1, 8}) {
+        ThreadsEnv env(threads);
+        ProgressiveDecoder dec(enc);
+        for (int k = 1; k <= enc.numScans(); ++k) {
+            dec.advanceTo(k);
+            ASSERT_TRUE(
+                samePixels(dec.image(), decodeProgressive(enc, k)))
+                << "SA prefix " << k << " at " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(CodecResumeDeath, TruncatedAdvanceDiesLoudly)
+{
+    const Image src = randomImage(24, 24, 11);
+    EncodedImage enc = encodeProgressive(src);
+    enc.bytes.resize(enc.scan_offsets[2]);
+    ProgressiveDecoder dec(enc);
+    dec.advanceTo(2); // covered prefix is fine
+    EXPECT_DEATH(dec.advanceTo(enc.numScans()), "truncated");
+}
+
+} // namespace
+} // namespace tamres

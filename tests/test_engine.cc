@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -249,8 +250,7 @@ TEST(ExecutorConcurrency, ParallelExecutorsMatchSerial)
 {
     ThreadsEnv env(2); // conv kernels fork into the shared pool too
     auto g = buildResNet18(8, 5);
-    foldBatchNorms(*g);
-    fuseConvRelu(*g);
+    optimizeForInference(*g);
     const Tensor in = randomInput(48, 41);
     const Tensor expect = g->run(in);
 
@@ -294,8 +294,7 @@ smallEngineConfig(int workers, int max_batch)
 TEST(ServingEngine, ServesBitIdenticalToDirectExecution)
 {
     auto g = buildResNet18(8, 5);
-    foldBatchNorms(*g);
-    fuseConvRelu(*g);
+    optimizeForInference(*g);
     const int res = 48;
     std::vector<Tensor> inputs;
     std::vector<Tensor> expected;
@@ -457,8 +456,7 @@ TEST(ServingEngine, CleanShutdownWithInFlightRequests)
 TEST(ServingEngine, PlanInvalidationWhileServingStaysCorrect)
 {
     auto g = buildResNet18(8, 5);
-    foldBatchNorms(*g);
-    fuseConvRelu(*g);
+    optimizeForInference(*g);
     const int res = 48;
     const Tensor in = randomInput(res, 90);
     const Tensor expect = g->run(in);
@@ -520,14 +518,95 @@ TEST(ServingEngine, WorkersSubmittingParallelConvsDoNotDeadlock)
     }
 }
 
+// --- Batch-size histogram and latency percentile counters ------------
+
+TEST(ServingEngineStats, BatchHistogramAccountsEveryServedRequest)
+{
+    auto g = buildResNet18(8, 5);
+    const int res = 48;
+    EngineConfig cfg = smallEngineConfig(1, 4);
+    ServingEngine engine(*g, cfg);
+
+    constexpr int kReqs = 10;
+    std::vector<InferenceRequest> reqs(kReqs);
+    for (auto &r : reqs) {
+        r.input = randomInput(res, 71);
+        ASSERT_TRUE(engine.submit(r));
+    }
+    for (auto &r : reqs)
+        engine.wait(r);
+
+    const EngineStats st = engine.stats();
+    ASSERT_EQ(st.batch_hist.size(),
+              static_cast<size_t>(cfg.max_batch) + 1);
+    EXPECT_EQ(st.batch_hist[0], 0u)
+        << "no batch of size zero can be formed";
+    uint64_t batches = 0, served = 0;
+    for (size_t b = 1; b < st.batch_hist.size(); ++b) {
+        batches += st.batch_hist[b];
+        served += st.batch_hist[b] * b;
+    }
+    // The histogram is a complete decomposition of the counters: the
+    // mass sums to the batch count, the weighted mass to the served
+    // count, and the mean follows.
+    EXPECT_EQ(batches, st.batches);
+    EXPECT_EQ(served, st.served);
+    EXPECT_EQ(served, static_cast<uint64_t>(kReqs));
+    EXPECT_DOUBLE_EQ(st.mean_batch,
+                     static_cast<double>(served) / batches);
+}
+
+TEST(ServingEngineStats, MaxBatchOnePinsHistogramToSizeOne)
+{
+    auto g = buildResNet18(8, 5);
+    EngineConfig cfg = smallEngineConfig(1, 1);
+    cfg.max_delay_us = 0;
+    ServingEngine engine(*g, cfg);
+
+    std::vector<InferenceRequest> reqs(5);
+    for (auto &r : reqs) {
+        r.input = randomInput(48, 72);
+        ASSERT_TRUE(engine.submit(r));
+    }
+    for (auto &r : reqs)
+        engine.wait(r);
+    const EngineStats st = engine.stats();
+    EXPECT_EQ(st.batch_hist[1], 5u);
+    EXPECT_EQ(st.batches, 5u);
+    EXPECT_DOUBLE_EQ(st.mean_batch, 1.0);
+}
+
+TEST(ServingEngineStats, LatencyPercentilesBoundTheSample)
+{
+    auto g = buildResNet18(8, 5);
+    ServingEngine engine(*g, smallEngineConfig(2, 2));
+
+    constexpr int kReqs = 12;
+    std::vector<InferenceRequest> reqs(kReqs);
+    double max_latency = 0.0;
+    for (auto &r : reqs) {
+        r.input = randomInput(48, 73);
+        ASSERT_TRUE(engine.submit(r));
+    }
+    for (auto &r : reqs) {
+        engine.wait(r);
+        max_latency = std::max(max_latency, r.latency_s);
+    }
+    // Distributional, not wall-clock: percentiles are positive,
+    // ordered, and bounded by the slowest request the clients saw.
+    const EngineStats st = engine.stats();
+    EXPECT_GT(st.p50_latency_s, 0.0);
+    EXPECT_LE(st.p50_latency_s, st.p99_latency_s);
+    EXPECT_LE(st.p99_latency_s, max_latency + 1e-9);
+}
+
 // --- Zero-allocation, zero-packing steady state ----------------------
 
 TEST(ServingEngineSteadyState, BatchPathIsAllocAndPackFree)
 {
     ThreadsEnv env(1);
     auto g = buildResNet18(8, 5);
-    foldBatchNorms(*g);
-    fuseConvRelu(*g);
+    optimizeForInference(*g);
     const int res = 48;
 
     EngineConfig cfg = smallEngineConfig(1, 4);

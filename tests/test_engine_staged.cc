@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the StagedServingEngine: a request entering as encoded
+ * progressive bytes must flow through ranged preview read ->
+ * resumable partial decode -> scale-model decision (with queue-depth
+ * shed capping) -> incremental read -> batched backbone, produce
+ * exactly the inference result of an inline (engine-free) pipeline,
+ * meter exactly the bytes its decisions demand, and keep the
+ * backbone stage's steady state pack-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/staged_engine.hh"
+#include "image/synthetic.hh"
+#include "nn/builders.hh"
+#include "nn/conv_kernels.hh"
+#include "nn/passes.hh"
+#include "sim/dataset.hh"
+#include "tests/threads_env.hh"
+
+namespace tamres {
+namespace {
+
+DatasetSpec
+tinySpec()
+{
+    DatasetSpec spec = imagenetLike();
+    spec.mean_height = 96;
+    spec.mean_width = 96;
+    spec.size_jitter = 0.1;
+    return spec;
+}
+
+/** Shared fixture state: dataset, trained scale model, filled store. */
+class StagedEngineTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kObjects = 4;
+    static constexpr int kGridLo = 48;
+    static constexpr int kGridHi = 64;
+
+    StagedEngineTest() : ds_(tinySpec(), 24, 11)
+    {
+        ScaleModelOptions opts;
+        opts.epochs = 3;
+        scale_ = std::make_unique<ScaleModel>(
+            std::vector<int>{kGridLo, kGridHi}, opts);
+        scale_->train(ds_, 0, 16, BackboneArch::ResNet18, {0.75}, 64);
+
+        ProgressiveConfig cfg;
+        cfg.quality = ds_.spec().encode_quality;
+        cfg.entropy = EntropyCoder::Huffman;
+        cfg.restart_interval = 32;
+        for (int i = 0; i < kObjects; ++i)
+            store_.put(static_cast<uint64_t>(i),
+                       encodeProgressive(ds_.renderAt(16 + i, 96),
+                                         cfg));
+    }
+
+    StagedEngineConfig
+    baseConfig() const
+    {
+        StagedEngineConfig cfg;
+        cfg.preview_scans = 2;
+        cfg.crop_area = 0.75;
+        cfg.decode_workers = 1;
+        cfg.queue_capacity = 64;
+        cfg.backbone.workers = 1;
+        cfg.backbone.max_batch = 4;
+        cfg.backbone.max_delay_us = 500;
+        return cfg;
+    }
+
+    /** The engine-free reference for one object's staged flow. */
+    struct InlineRef
+    {
+        int r_idx = 0;
+        int scans = 0;
+        size_t bytes = 0;
+        Tensor input;
+    };
+
+    InlineRef
+    inlineReference(uint64_t id, const StagedEngineConfig &cfg) const
+    {
+        const EncodedImage &enc = store_.peek(id);
+        InlineRef ref;
+        const Image preview = resize(
+            centerCropFraction(decodeProgressive(enc,
+                                                 cfg.preview_scans),
+                               cfg.crop_area),
+            scale_->options().input_res, scale_->options().input_res);
+        ref.r_idx = scale_->chooseResolutionIndex(preview);
+        ref.scans = cfg.scan_depth
+                        ? std::clamp(cfg.scan_depth(id, ref.r_idx),
+                                     cfg.preview_scans,
+                                     enc.numScans())
+                        : enc.numScans();
+        ref.bytes = enc.bytesForScans(ref.scans);
+        const int r = scale_->resolutions()[ref.r_idx];
+        const Image sized = resize(
+            centerCropFraction(decodeProgressive(enc, ref.scans),
+                               cfg.crop_area),
+            r, r);
+        ref.input = Tensor({1, 3, r, r});
+        std::copy_n(sized.data(), sized.numel(), ref.input.data());
+        return ref;
+    }
+
+    SyntheticDataset ds_;
+    std::unique_ptr<ScaleModel> scale_;
+    ObjectStore store_;
+};
+
+TEST_F(StagedEngineTest, ServesBitIdenticalToInlinePipeline)
+{
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    StagedEngineConfig cfg = baseConfig();
+    cfg.scan_depth = [](uint64_t, int r_idx) { return 3 + r_idx; };
+
+    // Inline references computed before the engine exists.
+    std::vector<InlineRef> refs;
+    std::vector<Tensor> expected;
+    for (int i = 0; i < kObjects; ++i) {
+        refs.push_back(inlineReference(i, cfg));
+        expected.push_back(g->run(refs.back().input));
+    }
+
+    StagedServingEngine engine(store_, *scale_, g.get(), cfg);
+    std::vector<StagedRequest> reqs(kObjects);
+    for (int i = 0; i < kObjects; ++i) {
+        reqs[i].id = static_cast<uint64_t>(i);
+        ASSERT_TRUE(engine.submit(reqs[i]));
+    }
+    for (int i = 0; i < kObjects; ++i) {
+        engine.wait(reqs[i]);
+        ASSERT_EQ(reqs[i].stateNow(), StagedState::Done) << i;
+        EXPECT_EQ(reqs[i].resolution_index, refs[i].r_idx) << i;
+        EXPECT_EQ(reqs[i].resolution,
+                  scale_->resolutions()[refs[i].r_idx]);
+        EXPECT_EQ(reqs[i].preview_scans, cfg.preview_scans);
+        EXPECT_EQ(reqs[i].scans_read, refs[i].scans) << i;
+        EXPECT_EQ(reqs[i].bytes_read, refs[i].bytes) << i;
+        ASSERT_EQ(reqs[i].infer.output.numel(), expected[i].numel());
+        EXPECT_EQ(std::memcmp(reqs[i].infer.output.data(),
+                              expected[i].data(),
+                              sizeof(float) * expected[i].numel()),
+                  0)
+            << "request " << i << " output diverged from the inline "
+            << "decode -> decide -> infer pipeline";
+        EXPECT_GT(reqs[i].latency_s, 0.0);
+        EXPECT_GE(reqs[i].latency_s, reqs[i].decode_s);
+    }
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.decoded, static_cast<uint64_t>(kObjects));
+    EXPECT_EQ(st.backbone.served, static_cast<uint64_t>(kObjects));
+}
+
+TEST_F(StagedEngineTest, DecisionOnlyModeMetersExactBytes)
+{
+    StagedEngineConfig cfg = baseConfig();
+    cfg.scan_depth = [](uint64_t, int r_idx) { return 2 + r_idx; };
+
+    // References computed BEFORE the engine exists: the scale model's
+    // forward pass reuses internal buffers, so external inference
+    // while the decision stage serves is illegal (see contract).
+    std::vector<InlineRef> refs;
+    for (int i = 0; i < kObjects; ++i)
+        refs.push_back(inlineReference(i, cfg));
+    store_.resetStats();
+
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    std::vector<StagedRequest> reqs(kObjects);
+    size_t want_bytes = 0;
+    for (int i = 0; i < kObjects; ++i) {
+        reqs[i].id = static_cast<uint64_t>(i);
+        ASSERT_TRUE(engine.submit(reqs[i]));
+    }
+    uint64_t want_scans = 0;
+    for (int i = 0; i < kObjects; ++i) {
+        engine.wait(reqs[i]);
+        ASSERT_EQ(reqs[i].stateNow(), StagedState::Done);
+        const InlineRef &ref = refs[i];
+        EXPECT_EQ(reqs[i].resolution_index, ref.r_idx);
+        EXPECT_EQ(reqs[i].scans_read, ref.scans);
+        EXPECT_EQ(reqs[i].bytes_read, ref.bytes);
+        want_bytes += ref.bytes;
+        want_scans += static_cast<uint64_t>(ref.scans);
+    }
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.decoded, static_cast<uint64_t>(kObjects));
+    EXPECT_EQ(st.bytes_read, want_bytes);
+    EXPECT_EQ(st.scans_read, want_scans);
+    EXPECT_EQ(st.backbone.served, 0u) << "no backbone stage ran";
+    // The store metered exactly what the requests report.
+    EXPECT_EQ(store_.stats().bytes_read, want_bytes);
+    uint64_t hist_total = 0;
+    for (uint64_t h : st.resolution_hist)
+        hist_total += h;
+    EXPECT_EQ(hist_total, st.decoded);
+}
+
+TEST_F(StagedEngineTest, ShedCapLowersExactlyTheHighDecisions)
+{
+    // First pass, uncapped: record how many decisions land on the
+    // high resolution. Decisions are deterministic per object, so a
+    // second, capped pass must lower exactly those.
+    StagedEngineConfig cfg = baseConfig();
+    int high = 0;
+    {
+        StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+        std::vector<StagedRequest> reqs(kObjects);
+        for (int i = 0; i < kObjects; ++i) {
+            reqs[i].id = static_cast<uint64_t>(i);
+            ASSERT_TRUE(engine.submit(reqs[i]));
+        }
+        for (int i = 0; i < kObjects; ++i) {
+            engine.wait(reqs[i]);
+            if (reqs[i].resolution == kGridHi)
+                ++high;
+        }
+    }
+
+    // Cap at the low resolution whenever anything is queued (depth is
+    // always >= 1 at decision time) — makeShedPolicy's rule with
+    // shed_depth 0.
+    cfg.shed_cap = makeShedPolicy(0, kGridLo, 0);
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    std::vector<StagedRequest> reqs(kObjects);
+    for (int i = 0; i < kObjects; ++i) {
+        reqs[i].id = static_cast<uint64_t>(i);
+        ASSERT_TRUE(engine.submit(reqs[i]));
+    }
+    for (int i = 0; i < kObjects; ++i) {
+        engine.wait(reqs[i]);
+        ASSERT_EQ(reqs[i].stateNow(), StagedState::Done);
+        EXPECT_EQ(reqs[i].resolution, kGridLo)
+            << "capped decision must land on the shed resolution";
+    }
+    EXPECT_EQ(engine.stats().shed_cap_applied,
+              static_cast<uint64_t>(high));
+}
+
+TEST_F(StagedEngineTest, FixedResolutionIsTheStaticBaseline)
+{
+    StagedEngineConfig cfg = baseConfig();
+    cfg.fixed_resolution = kGridHi;
+    store_.resetStats();
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    StagedRequest req;
+    req.id = 1;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    ASSERT_EQ(req.stateNow(), StagedState::Done);
+    EXPECT_EQ(req.resolution, kGridHi);
+    EXPECT_EQ(req.preview_scans, 0) << "static mode reads no preview";
+    EXPECT_EQ(req.scans_read, store_.peek(1).numScans())
+        << "static mode is a full-prefix read";
+    EXPECT_EQ(req.bytes_read, store_.peek(1).totalBytes());
+}
+
+TEST_F(StagedEngineTest, ExpiredAndShedRequestsTerminate)
+{
+    StagedEngineConfig cfg = baseConfig();
+    cfg.queue_capacity = 2;
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+
+    // Saturate the 2-deep decode queue from one thread: some of the
+    // burst must shed at admission.
+    std::vector<StagedRequest> burst(16);
+    int admitted = 0, shed = 0;
+    for (auto &r : burst) {
+        r.id = 0;
+        if (engine.submit(r))
+            ++admitted;
+        else
+            ++shed;
+    }
+    for (auto &r : burst)
+        engine.wait(r);
+    EXPECT_GT(shed, 0);
+    EXPECT_EQ(engine.stats().shed_admission,
+              static_cast<uint64_t>(shed));
+    for (auto &r : burst) {
+        const StagedState s = r.stateNow();
+        EXPECT_TRUE(s == StagedState::Done || s == StagedState::Shed);
+    }
+
+    // A request whose deadline has already passed at formation time
+    // is dropped before any byte is read.
+    store_.resetStats();
+    StagedRequest doomed;
+    doomed.id = 0;
+    doomed.deadline_s = 1e-9;
+    ASSERT_TRUE(engine.submit(doomed));
+    engine.wait(doomed);
+    EXPECT_EQ(doomed.stateNow(), StagedState::Expired);
+    EXPECT_EQ(doomed.bytes_read, 0u);
+    EXPECT_EQ(engine.stats().expired, 1u);
+}
+
+TEST_F(StagedEngineTest, BackboneStageSteadyStateIsPackFree)
+{
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    StagedEngineConfig cfg = baseConfig();
+    StagedServingEngine engine(store_, *scale_, g.get(), cfg);
+
+    auto round = [&](std::vector<StagedRequest> &reqs) {
+        for (int i = 0; i < kObjects; ++i) {
+            reqs[i].id = static_cast<uint64_t>(i);
+            ASSERT_TRUE(engine.submit(reqs[i]));
+        }
+        for (auto &r : reqs) {
+            engine.wait(r);
+            ASSERT_EQ(r.stateNow(), StagedState::Done);
+        }
+    };
+
+    // Warm round compiles plans and builds the shared prepacks; the
+    // steady state must then add ZERO weight packs no matter how many
+    // staged rounds run (requests are reused, so the handoff tensors
+    // recycle too).
+    std::vector<StagedRequest> reqs(kObjects);
+    round(reqs);
+    const uint64_t packs = convWeightPackCount();
+    for (int r = 0; r < 3; ++r)
+        round(reqs);
+    EXPECT_EQ(convWeightPackCount(), packs)
+        << "staged steady state repacked conv weights";
+    engine.drain();
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.decoded, static_cast<uint64_t>(4 * kObjects));
+    EXPECT_EQ(st.backbone.served, static_cast<uint64_t>(4 * kObjects));
+}
+
+TEST_F(StagedEngineTest, ConcurrentDecodeWorkersMatchInline)
+{
+    // Two decode workers racing over the store and the scale model
+    // must produce the same per-object decisions as the serial
+    // inline pipeline (TSan leg covers the synchronization).
+    StagedEngineConfig cfg = baseConfig();
+    cfg.decode_workers = 2;
+    cfg.decode_batch = 2;
+    cfg.scan_depth = [](uint64_t, int r_idx) { return 3 + r_idx; };
+    ThreadsEnv env(4);
+
+    std::vector<InlineRef> refs;
+    for (int i = 0; i < kObjects; ++i)
+        refs.push_back(inlineReference(i, cfg));
+
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    std::vector<StagedRequest> reqs(4 * kObjects);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].id = static_cast<uint64_t>(i % kObjects);
+        ASSERT_TRUE(engine.submit(reqs[i]));
+    }
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        engine.wait(reqs[i]);
+        ASSERT_EQ(reqs[i].stateNow(), StagedState::Done);
+        const InlineRef &ref = refs[i % kObjects];
+        EXPECT_EQ(reqs[i].resolution_index, ref.r_idx) << i;
+        EXPECT_EQ(reqs[i].scans_read, ref.scans) << i;
+        EXPECT_EQ(reqs[i].bytes_read, ref.bytes) << i;
+    }
+}
+
+} // namespace
+} // namespace tamres

@@ -56,6 +56,58 @@ TEST(FoldBatchNorms, FoldingSpeedsUpOrMatches)
     EXPECT_EQ(live_before - live_after, 20u);
 }
 
+TEST(OptimizeForInference, ReachesFixpointWithOneInvalidation)
+{
+    auto g = buildResNet18(8, /*seed=*/5);
+    Tensor in({1, 3, 64, 64});
+    Rng rng(7);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    const Tensor before = g->run(in);
+
+    // Running the plan once above compiled it; the unified entry
+    // point must bump the plan version EXACTLY once no matter how
+    // many rewires its passes perform.
+    const uint64_t v0 = g->planVersion();
+    const OptimizeStats s1 = optimizeForInference(*g);
+    EXPECT_EQ(s1.bn_folded, 20);
+    EXPECT_GT(s1.relu_fused, 0);
+    EXPECT_GE(s1.rounds, 1);
+    EXPECT_EQ(g->planVersion(), v0 + 1)
+        << "optimizeForInference must invalidate plans exactly once";
+
+    const Tensor after = g->run(in);
+    EXPECT_LT(maxAbsDiff(before, after), 2e-3f);
+
+    // Pass idempotence: a second run rewrites nothing, converges in
+    // one round, and still costs exactly one (harmless) bump.
+    const OptimizeStats s2 = optimizeForInference(*g);
+    EXPECT_EQ(s2.total(), 0);
+    EXPECT_EQ(s2.rounds, 1);
+    EXPECT_EQ(g->planVersion(), v0 + 2);
+    const Tensor again = g->run(in);
+    EXPECT_EQ(maxAbsDiff(after, again), 0.0f)
+        << "idempotent rerun changed the graph";
+}
+
+TEST(OptimizeForInference, MatchesManualPassPipeline)
+{
+    // The unified entry point must produce the same graph (bitwise
+    // outputs) as the historical foldBatchNorms + fuseConvRelu
+    // sequence on an identically seeded twin.
+    auto a = buildMobileNetV2(8, /*seed=*/9);
+    auto b = buildMobileNetV2(8, /*seed=*/9);
+    const OptimizeStats s = optimizeForInference(*a);
+    EXPECT_EQ(s.bn_folded, foldBatchNorms(*b));
+    EXPECT_EQ(s.relu_fused, fuseConvRelu(*b));
+
+    Tensor in({1, 3, 64, 64});
+    Rng rng(5);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    const Tensor out_a = a->run(in);
+    const Tensor out_b = b->run(in);
+    EXPECT_EQ(maxAbsDiff(out_a, out_b), 0.0f);
+}
+
 TEST(FoldBatchNorms, IdempotentSecondPass)
 {
     auto g = buildResNet18(8, 5);

@@ -61,6 +61,36 @@ TEST(ObjectStore, IncrementalReadChargesOnlyDelta)
     EXPECT_EQ(store.stats().bytes_full, enc.totalBytes());
 }
 
+TEST(ObjectStore, ZeroPrefixIncrementalReadDoesNotDoubleChargeFull)
+{
+    // A 0-scan first read (preview_scans = 0) followed by an
+    // incremental range starting at scan 0 must still charge the
+    // full-read denominator exactly once for the logical request.
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(5);
+    store.put(1, enc);
+    store.readScans(1, 0);
+    store.readAdditionalScans(1, 0, 1);
+    EXPECT_EQ(store.stats().bytes_read, enc.bytesForScans(1));
+    EXPECT_EQ(store.stats().bytes_full, enc.totalBytes());
+}
+
+TEST(ObjectStore, RangedByteReadsMeterWithoutDecoding)
+{
+    // The staged-engine fetch path: readScanRangeBytes charges the
+    // incremental bytes and charges the denominator only on the
+    // prefix-starting (from == 0) fetch.
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(6);
+    store.put(1, enc);
+    EXPECT_EQ(store.readScanRangeBytes(1, 0, 2), enc.bytesForScans(2));
+    EXPECT_EQ(store.readScanRangeBytes(1, 2, 4),
+              enc.bytesForScans(4) - enc.bytesForScans(2));
+    EXPECT_EQ(store.stats().requests, 2u);
+    EXPECT_EQ(store.stats().bytes_read, enc.bytesForScans(4));
+    EXPECT_EQ(store.stats().bytes_full, enc.totalBytes());
+}
+
 TEST(ObjectStore, SavingsComputed)
 {
     ObjectStore store;
