@@ -36,6 +36,30 @@
  *   sim_phi                  amortizable-cost fraction fitted from
  *                            the measured batch curve, fed back into
  *                            the analytic cross-check simulation
+ *
+ * BENCH_faults.json (written by bench/fault_tolerance, gated by
+ * tools/bench_gate.py with a wider built-in margin — chaos legs
+ * inject latency on purpose):
+ *   requests                 closed-loop requests per injection leg
+ *   legs[]                   one point per leg (clean / acceptance /
+ *                            heavy), in that fixed order:
+ *     name, *_p              leg name and its injection rates
+ *     goodput_rps            (Done + Degraded) per wall-clock second
+ *                            — the gated useful-work rate
+ *     done_fraction          served at the intended scan depth
+ *     degraded_fraction      served at a reduced depth after retry
+ *                            exhaustion (graceful degradation)
+ *     failed_fraction        structured per-request failures
+ *     p99_ms                 latency p99 over served requests
+ *     retries, fetch_faults, engine retry-path counters
+ *     retry_giveups          (see StagedStats)
+ *     faults_*               what the FaultyObjectStore actually
+ *                            injected (delayed / transient /
+ *                            truncated / corrupted)
+ *   acceptance_goodput_retention_gain
+ *                            acceptance-leg goodput / clean goodput —
+ *                            the gated "faults cost latency, not
+ *                            liveness" headline ratio
  */
 
 #ifndef TAMRES_BENCH_BENCH_COMMON_HH

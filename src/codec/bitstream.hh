@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace tamres {
@@ -112,7 +113,11 @@ class BitReader
         : data_(data), size_(size)
     {}
 
-    /** Read @p nbits bits MSB-first; panics past end of stream. */
+    /**
+     * Read @p nbits bits MSB-first; throws Error{Truncated} past the
+     * end of the stream (malformed or short input is a data error the
+     * serving path contains per request, not a library bug).
+     */
     uint32_t
     readBits(int nbits)
     {
@@ -120,7 +125,9 @@ class BitReader
         uint64_t acc = 0;
         int got = 0;
         while (got < nbits) {
-            tamres_assert(bytepos_ < size_, "bitstream overrun");
+            tamres_check(bytepos_ < size_, ErrorKind::Truncated,
+                         "bitstream overrun: read past byte %zu",
+                         size_);
             const int avail = 8 - bitpos_;
             const int take = std::min(avail, nbits - got);
             const uint32_t chunk =
@@ -176,7 +183,8 @@ class BitReader
     /**
      * Consume @p nbits bits previously inspected with peekBits — or
      * seek forward by a recorded restart offset (64-bit so offsets
-     * into large scans cannot overflow).
+     * into large scans cannot overflow). Throws Error{Truncated} when
+     * the skip lands past the end of the stream.
      */
     void
     skipBits(int64_t nbits)
@@ -185,7 +193,9 @@ class BitReader
         const size_t target = bytepos_ * 8 +
                               static_cast<size_t>(bitpos_) +
                               static_cast<size_t>(nbits);
-        tamres_assert(target <= size_ * 8, "bitstream overrun");
+        tamres_check(target <= size_ * 8, ErrorKind::Truncated,
+                     "bitstream overrun: skip to bit %zu of %zu",
+                     target, size_ * 8);
         bytepos_ = target / 8;
         bitpos_ = static_cast<int>(target % 8);
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "util/error.hh"
+
 namespace tamres {
 
 namespace {
@@ -142,8 +144,12 @@ HuffmanTable::fromLengths(const std::vector<uint8_t> &counts,
         table.counts_[l] = counts[l - 1];
         total += counts[l - 1];
     }
-    tamres_assert(total == symbols.size() && total > 0,
-                  "symbol count mismatch");
+    // Reachable from deserialize() on corrupt streams: a data error,
+    // not a caller bug.
+    tamres_check(total == symbols.size() && total > 0,
+                 ErrorKind::Corrupt,
+                 "symbol count mismatch: %zu lengths for %zu symbols",
+                 total, symbols.size());
     table.symbols_ = symbols;
     size_t at = 0;
     for (int l = 1; l <= kMaxHuffmanBits; ++l)
@@ -178,7 +184,10 @@ HuffmanTable::assignCanonical()
                 }
             }
         }
-        tamres_assert(code <= (1u << l), "canonical code overflow");
+        // A corrupt length histogram (via deserialize) can oversubscribe
+        // a code length; reject it as data corruption.
+        tamres_check(code <= (1u << l), ErrorKind::Corrupt,
+                     "canonical code overflow at length %d", l);
         code <<= 1;
     }
 }
@@ -212,7 +221,9 @@ HuffmanTable::decode(BitReader &br) const
         if (offset >= 0 && offset < counts_[l])
             return symbols_[first_index_[l] + offset];
     }
-    panic("invalid Huffman prefix");
+    // No code matches: the entropy stream is damaged mid-scan, and the
+    // caller's coefficient state for this scan is already unspecified.
+    throwError(ErrorKind::Decode, "invalid Huffman prefix");
 }
 
 void

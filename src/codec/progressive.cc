@@ -8,6 +8,8 @@
 #include "codec/dct.hh"
 #include "codec/huffman.hh"
 #include "image/color.hh"
+#include "util/crc32.hh"
+#include "util/error.hh"
 #include "util/simd.hh"
 #include "util/thread_pool.hh"
 
@@ -200,7 +202,10 @@ decodeBand(Source &src, int *coeffs, int lo, int hi, int al)
         }
         for (uint32_t k = 0; k < run && i <= hi; ++k)
             coeffs[i++] = 0;
-        tamres_assert(i <= hi, "corrupt band: coefficient past band end");
+        tamres_check(i <= hi, ErrorKind::Decode,
+                     "corrupt band: coefficient past band end");
+        tamres_check(size >= 1 && size <= 14, ErrorKind::Decode,
+                     "corrupt band: magnitude category %u", size);
         const uint32_t payload = src.rawBits(static_cast<int>(size));
         const uint32_t sign = (payload >> (size - 1)) & 1u;
         uint32_t mag = (1u << (size - 1)) |
@@ -316,8 +321,8 @@ decodeRefineBand(Source &src, int *coeffs, int lo, int hi, int al)
             if (run == kLongZero && size == 0) {
                 skip = 15;
             } else {
-                tamres_assert(size == 1,
-                              "corrupt refinement scan: size %u", size);
+                tamres_check(size == 1, ErrorKind::Decode,
+                             "corrupt refinement scan: size %u", size);
                 skip = static_cast<int>(run);
                 pending_sig = true;
             }
@@ -328,7 +333,8 @@ decodeRefineBand(Source &src, int *coeffs, int lo, int hi, int al)
                 skip = -1;
             continue;
         }
-        tamres_assert(pending_sig, "refine decoder state corrupt");
+        tamres_check(pending_sig, ErrorKind::Decode,
+                     "refine decoder state corrupt");
         coeffs[i] = src.rawBits(1) ? -(1 << al) : (1 << al);
         pending_sig = false;
         skip = -1;
@@ -1083,9 +1089,33 @@ encodeProgressive(const Image &img, const ProgressiveConfig &config)
         }
         auto bytes = bw_scan.take();
         enc.bytes.insert(enc.bytes.end(), bytes.begin(), bytes.end());
+        // Checksum side table: payload bytes stay identical to a
+        // checksum-free encode, but bit flips in a delivered range
+        // become detectable before they poison a decode.
+        enc.scan_crcs.push_back(crc32(bytes.data(), bytes.size()));
         enc.scan_offsets.push_back(enc.bytes.size());
     }
     return enc;
+}
+
+EncodedImage
+EncodedImage::headerCopy() const
+{
+    EncodedImage out;
+    out.height = height;
+    out.width = width;
+    out.channels = channels;
+    out.quality = quality;
+    out.entropy = entropy;
+    out.color = color;
+    out.scans = scans;
+    out.version = version;
+    out.restart_interval = restart_interval;
+    out.restart_bits = restart_bits;
+    out.scan_crcs = scan_crcs;
+    out.scan_offsets = scan_offsets;
+    out.bytes.reserve(bytes.size());
+    return out;
 }
 
 // ---------------------------------------------------------------------
@@ -1112,9 +1142,27 @@ struct ProgressiveDecoder::State
 ProgressiveDecoder::ProgressiveDecoder(const EncodedImage &enc)
     : st_(std::make_unique<State>())
 {
-    tamres_assert(enc.scan_offsets.size() ==
-                      static_cast<size_t>(enc.numScans()) + 1,
-                  "corrupt scan offset table");
+    // Side-table sanity is checked up front as data errors (Corrupt):
+    // a vandalized header must fail a request, not abort the process.
+    // Note the payload buffer may legally be SHORTER than the offsets
+    // claim — it grows between advances on the streaming path.
+    tamres_check(enc.scan_offsets.size() ==
+                     static_cast<size_t>(enc.numScans()) + 1,
+                 ErrorKind::Corrupt, "corrupt scan offset table: %zu "
+                 "offsets for %d scans", enc.scan_offsets.size(),
+                 enc.numScans());
+    for (int s = 0; s < enc.numScans(); ++s) {
+        tamres_check(enc.scan_offsets[s] <= enc.scan_offsets[s + 1],
+                     ErrorKind::Corrupt,
+                     "corrupt scan offset table: offset %d decreases",
+                     s);
+    }
+    tamres_check(enc.scan_crcs.empty() ||
+                     enc.scan_crcs.size() ==
+                         static_cast<size_t>(enc.numScans()),
+                 ErrorKind::Corrupt,
+                 "corrupt checksum table: %zu checksums for %d scans",
+                 enc.scan_crcs.size(), enc.numScans());
     st_->enc = &enc;
     st_->geoms =
         planeGeometry(enc.height, enc.width, enc.channels, enc.color);
@@ -1128,11 +1176,12 @@ ProgressiveDecoder::ProgressiveDecoder(const EncodedImage &enc)
     // v2 streams whose side tables were stripped — take the serial
     // path and decode unchanged.
     if (enc.hasRestartMarkers()) {
-        tamres_assert(enc.restart_bits.size() ==
-                          static_cast<size_t>(enc.numScans()),
-                      "corrupt restart table: %zu scans of offsets for "
-                      "%d scans", enc.restart_bits.size(),
-                      enc.numScans());
+        tamres_check(enc.restart_bits.size() ==
+                         static_cast<size_t>(enc.numScans()),
+                     ErrorKind::Corrupt,
+                     "corrupt restart table: %zu scans of offsets for "
+                     "%d scans", enc.restart_bits.size(),
+                     enc.numScans());
         st_->ranges = restartRanges(st_->geoms, enc.restart_interval);
     }
 }
@@ -1164,15 +1213,28 @@ ProgressiveDecoder::advanceTo(int num_scans)
     if (num_scans <= st_->decoded)
         return st_->decoded;
     // A truncated or vandalized byte buffer must fail here, not as an
-    // out-of-bounds read inside the bit reader.
-    tamres_assert(enc.scan_offsets[num_scans] <= enc.bytes.size(),
-                  "encoded stream truncated: scan %d needs %zu bytes, "
-                  "have %zu", num_scans,
-                  enc.scan_offsets[num_scans], enc.bytes.size());
+    // out-of-bounds read inside the bit reader. Decoder state is still
+    // clean at the previous scan boundary, so the caller may refetch
+    // and retry.
+    tamres_check(enc.scan_offsets[num_scans] <= enc.bytes.size(),
+                 ErrorKind::Truncated,
+                 "encoded stream truncated: scan %d needs %zu bytes, "
+                 "have %zu", num_scans,
+                 enc.scan_offsets[num_scans], enc.bytes.size());
 
     for (int s = st_->decoded; s < num_scans; ++s) {
         const size_t begin = enc.scan_offsets[s];
         const size_t end = enc.scan_offsets[s + 1];
+        // Verify the scan payload BEFORE decoding it: a checksum
+        // mismatch throws with coefficient state untouched since the
+        // previous boundary, keeping the damage recoverable (trim the
+        // delivery buffer back to scan s and refetch).
+        if (!enc.scan_crcs.empty()) {
+            tamres_check(crc32(enc.bytes.data() + begin, end - begin) ==
+                             enc.scan_crcs[s],
+                         ErrorKind::Corrupt,
+                         "scan %d payload checksum mismatch", s);
+        }
         BitReader br(enc.bytes.data() + begin, end - begin);
         HuffmanTable table;
         const HuffmanTable *table_ptr = nullptr;
@@ -1182,10 +1244,11 @@ ProgressiveDecoder::advanceTo(int num_scans)
         }
         if (!st_->ranges.empty()) {
             const auto &offsets = enc.restart_bits[s];
-            tamres_assert(offsets.size() == st_->ranges.size(),
-                          "corrupt restart offsets: scan %d has %zu "
-                          "offsets for %zu ranges", s, offsets.size(),
-                          st_->ranges.size());
+            tamres_check(offsets.size() == st_->ranges.size(),
+                         ErrorKind::Corrupt,
+                         "corrupt restart offsets: scan %d has %zu "
+                         "offsets for %zu ranges", s, offsets.size(),
+                         st_->ranges.size());
             scanDecodeRestart(enc.bytes.data() + begin, end - begin,
                               enc.scans[s], st_->coeffs, table_ptr,
                               st_->ranges, offsets);

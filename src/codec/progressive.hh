@@ -190,6 +190,18 @@ struct EncodedImage
                !restart_bits.empty();
     }
 
+    /**
+     * scan_crcs[s] = CRC-32 of scan s's payload segment — a side
+     * table like restart_bits, so the payload bytes stay identical to
+     * a checksum-free encode. The decoder verifies a scan's checksum
+     * BEFORE decoding it (when the table is non-empty) and throws
+     * Error{Corrupt} on mismatch with the coefficient state still
+     * clean at the previous scan boundary, which is what makes
+     * storage-tier bit flips retryable instead of fatal. Empty on
+     * streams from older encoders (v1 compatibility).
+     */
+    std::vector<uint32_t> scan_crcs;
+
     /** Concatenated scan payloads. */
     std::vector<uint8_t> bytes;
 
@@ -212,6 +224,16 @@ struct EncodedImage
         tamres_assert(k >= 0 && k <= numScans(), "scan count out of range");
         return scan_offsets[k];
     }
+
+    /**
+     * A copy of every header field and side table with an EMPTY (but
+     * pre-reserved) payload: the per-request delivery buffer of a
+     * streaming ranged read. A ProgressiveDecoder bound to the copy
+     * decodes exactly the bytes a fetch actually delivered — which is
+     * what makes injected truncation and corruption physically real
+     * to the decode path instead of a metering fiction.
+     */
+    EncodedImage headerCopy() const;
 };
 
 /** Encode an image progressively. */
@@ -236,6 +258,16 @@ EncodedImage encodeProgressive(const Image &img,
  * byte buffer may GROW between advances (a streaming ranged read
  * appending scans); the header fields — scans, scan_offsets, restart
  * side tables, geometry — must not change.
+ *
+ * Error semantics: malformed input NEVER crashes or reads out of
+ * bounds; it throws tamres::Error. Corrupt (scan checksum mismatch,
+ * thrown before the scan decodes — state stays clean at the previous
+ * scan boundary, so the caller may trim the byte buffer back and
+ * refetch), Truncated (the buffer ends inside the requested prefix),
+ * or Decode (an entropy-level violation mid-scan on checksum-free
+ * streams — coefficient state unspecified past the last completed
+ * scan; do not resume). The construction-time side-table checks throw
+ * Corrupt. Aborts remain reserved for internal invariants.
  */
 class ProgressiveDecoder
 {

@@ -164,6 +164,7 @@ ServingEngine::stats() const
     s.batches = batches_;
     s.shed_admission = shed_admission_;
     s.expired = expired_;
+    s.failed = failed_;
     s.mean_batch =
         batches_ > 0 ? static_cast<double>(served_) / batches_ : 0.0;
     s.batch_hist = batch_hist_;
@@ -262,23 +263,44 @@ ServingEngine::workerLoop(int idx)
 
         ++active_workers_;
         lock.unlock();
-        serveBatch(w, resolution);
+        // Contain request-scoped execution faults: a throwing batch
+        // fails its members, not the worker. Latency is stamped here
+        // (serveBatch may have thrown before reaching its own stamp).
+        bool ok = true;
+        try {
+            serveBatch(w, resolution);
+        } catch (const std::exception &e) {
+            ok = false;
+            const double t_fail = now();
+            for (InferenceRequest *r : w.items)
+                r->latency_s = t_fail - r->submit_s_;
+            warn("batch of %zu failed: %s", w.items.size(), e.what());
+        }
         lock.lock();
         --active_workers_;
 
         // Batch bookkeeping under the lock. A request may be freed by
-        // its owner the moment it turns Done, so every engine-side
-        // read of the request happens BEFORE the state store.
-        ++batches_;
-        served_ += w.items.size();
-        batch_hist_[w.items.size()] += 1;
-        for (const InferenceRequest *r : w.items) {
-            latency_ring_[latency_idx_] = r->latency_s;
-            latency_idx_ = (latency_idx_ + 1) % latency_ring_.size();
-            ++latency_count_;
+        // its owner the moment it turns terminal, so every engine-side
+        // read of the request happens BEFORE the state store. The
+        // served/batch counters and the latency reservoir track
+        // successful batches only.
+        if (ok) {
+            ++batches_;
+            served_ += w.items.size();
+            batch_hist_[w.items.size()] += 1;
+            for (const InferenceRequest *r : w.items) {
+                latency_ring_[latency_idx_] = r->latency_s;
+                latency_idx_ =
+                    (latency_idx_ + 1) % latency_ring_.size();
+                ++latency_count_;
+            }
+        } else {
+            failed_ += w.items.size();
         }
+        const RequestState terminal =
+            ok ? RequestState::Done : RequestState::Failed;
         for (InferenceRequest *r : w.items)
-            r->state.store(static_cast<int>(RequestState::Done),
+            r->state.store(static_cast<int>(terminal),
                            std::memory_order_release);
         done_cv_.notify_all();
     }

@@ -48,6 +48,20 @@
  * hand their InferenceRequest member to the inner engine, so a
  * StagedRequest must outlive BOTH stages; the single waiter that
  * calls StagedServingEngine::wait() performs the final handback.
+ *
+ * Fault containment: every request-scoped failure is a structured
+ * terminal state, never a worker crash. A batch whose execution
+ * throws marks its members Failed (counted in EngineStats::failed)
+ * and the worker keeps serving; other batches are unaffected. In the
+ * staged pipeline the storage tier may additionally throw typed
+ * Errors (NotFound / Transient / Truncated / Corrupt / Decode, see
+ * util/error.hh): the decode stage retries recoverable fetch faults
+ * with deadline-bounded exponential backoff (StagedRetryConfig),
+ * degrades to the already-decoded scan depth when the retry budget or
+ * deadline runs out, and maps unrecoverable faults (missing object,
+ * mid-scan entropy damage) to the staged Failed terminal. Worker
+ * threads catch all request-scoped exceptions — one poisoned request
+ * can never stall or kill a stage.
  */
 
 #ifndef TAMRES_CORE_ENGINE_HH
@@ -94,6 +108,7 @@ enum class RequestState : int
     Done,      //!< served; output/latency fields are valid
     Shed,      //!< rejected at admission (queue full or stopping)
     Expired,   //!< dropped at batch formation (deadline passed)
+    Failed,    //!< batch execution threw; output is NOT valid
 };
 
 /**
@@ -156,6 +171,7 @@ struct EngineStats
     uint64_t batches = 0;       //!< batches executed
     uint64_t shed_admission = 0; //!< submits rejected (queue full/stop)
     uint64_t expired = 0;       //!< dropped past their deadline
+    uint64_t failed = 0;        //!< requests whose batch threw
     double mean_batch = 0.0;    //!< served / batches
     std::vector<uint64_t> batch_hist; //!< index b = batches of size b
     double p50_latency_s = 0.0; //!< over the sample reservoir
@@ -234,6 +250,7 @@ class ServingEngine
     uint64_t batches_ = 0;
     uint64_t shed_admission_ = 0;
     uint64_t expired_ = 0;
+    uint64_t failed_ = 0;
     std::vector<uint64_t> batch_hist_;
     std::vector<double> latency_ring_;
     size_t latency_idx_ = 0;

@@ -1,11 +1,31 @@
 #include "core/staged_engine.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
+#include <thread>
 
+#include "util/error.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace tamres {
+
+namespace {
+
+/** splitmix64 finalizer for deterministic backoff jitter. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
 
 StagedServingEngine::StagedServingEngine(ObjectStore &store,
                                          const ScaleModel &scale,
@@ -63,7 +83,9 @@ StagedServingEngine::submit(StagedRequest &req)
     req.resolution_index = 0;
     req.preview_scans = 0;
     req.scans_read = 0;
+    req.scans_intended = 0;
     req.bytes_read = 0;
+    req.retries = 0;
     req.decode_s = 0.0;
     req.latency_s = 0.0;
     req.state.store(static_cast<int>(StagedState::Queued),
@@ -96,15 +118,29 @@ StagedServingEngine::finalize(StagedRequest &req)
     // the request.
     StagedState terminal = StagedState::Shed;
     switch (req.infer.stateNow()) {
-      case RequestState::Done: terminal = StagedState::Done; break;
+      case RequestState::Done:
+        // A backbone serve of a degraded decode stays degraded: the
+        // output is valid but was computed from fewer scans than the
+        // decision intended.
+        terminal = req.scans_read < req.scans_intended
+                       ? StagedState::Degraded
+                       : StagedState::Done;
+        break;
       case RequestState::Expired:
         terminal = StagedState::Expired;
+        break;
+      case RequestState::Failed:
+        terminal = StagedState::Failed;
         break;
       default: break;
     }
     req.latency_s = req.decode_s + req.infer.latency_s;
     req.state.store(static_cast<int>(terminal),
                     std::memory_order_release);
+    if (terminal == StagedState::Failed) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++failed_;
+    }
 }
 
 void
@@ -150,6 +186,11 @@ StagedServingEngine::stats() const
         s.shed_cap_applied = shed_cap_applied_;
         s.scans_read = scans_read_;
         s.bytes_read = bytes_read_;
+        s.failed = failed_;
+        s.degraded = degraded_;
+        s.retries = retries_;
+        s.fetch_faults = fetch_faults_;
+        s.retry_giveups = retry_giveups_;
         s.resolution_hist = resolution_hist_;
     }
     if (inner_)
@@ -198,7 +239,142 @@ StagedServingEngine::decodeLoop()
 }
 
 void
+StagedServingEngine::markTerminal(StagedRequest &req, StagedState state)
+{
+    req.latency_s = now() - req.submit_s_;
+    req.state.store(static_cast<int>(state),
+                    std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        switch (state) {
+          case StagedState::Expired: ++expired_; break;
+          case StagedState::Failed: ++failed_; break;
+          case StagedState::Shed: ++shed_admission_; break;
+          default: break;
+        }
+    }
+    done_cv_.notify_all();
+}
+
+void
 StagedServingEngine::processOne(StagedRequest &req, int depth)
+{
+    // Fault containment boundary: everything a bad object, missing id
+    // or poisoned byte stream can throw is request-scoped. The worker
+    // survives, the batch continues, the request terminates Failed.
+    try {
+        processOneImpl(req, depth);
+    } catch (const std::exception &e) {
+        warn("staged request %llu failed: %s",
+             static_cast<unsigned long long>(req.id), e.what());
+        markTerminal(req, StagedState::Failed);
+    }
+}
+
+/**
+ * Drive the resumable decoder to @p target scans, fetching delivery
+ * bytes with deadline-aware retries. Returns true when the target was
+ * reached; false when the retry budget (attempt cap, backoff vs.
+ * remaining deadline, or stage timeout) ran out — the decoder then
+ * holds a clean prefix at scansDecoded() and the caller degrades.
+ * Unrecoverable faults (NotFound, mid-scan Decode damage) propagate.
+ */
+bool
+StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
+                                         EncodedImage &delivery,
+                                         ProgressiveDecoder &dec,
+                                         int target, size_t &bytes,
+                                         bool &charged_full,
+                                         double stage_start_s)
+{
+    const StagedRetryConfig &rc = cfg_.retry;
+    int attempt = 0;
+    while (dec.scansDecoded() < target) {
+        if (attempt > 0) {
+            if (attempt >= rc.max_attempts) {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++retry_giveups_;
+                return false;
+            }
+            // Exponential backoff with deterministic jitter in
+            // [1 - jitter, 1], charged against the deadline AND the
+            // stage timeout: a sleep that does not fit the remaining
+            // budget is not taken — give up and degrade instead.
+            const double nominal =
+                std::min(rc.backoff_base_s * std::ldexp(1.0, attempt - 1),
+                         rc.backoff_max_s);
+            Rng rng(mix64(mix64(rc.seed ^ req.id) ^
+                          static_cast<uint64_t>(attempt)));
+            const double backoff =
+                nominal * (1.0 - rc.jitter * rng.uniform());
+            double budget = std::numeric_limits<double>::infinity();
+            if (req.deadline_s > 0.0)
+                budget = req.submit_s_ + req.deadline_s - now();
+            if (rc.stage_timeout_s > 0.0)
+                budget = std::min(
+                    budget, stage_start_s + rc.stage_timeout_s - now());
+            if (backoff >= budget) {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++retry_giveups_;
+                return false;
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++retries_;
+            }
+            ++req.retries;
+            if (backoff > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+        }
+        ++attempt;
+
+        // Re-establish the delivery invariant before every fetch: the
+        // buffer ends exactly at the last cleanly decoded scan
+        // boundary (a faulted attempt may have left damaged or
+        // partial trailing bytes behind).
+        const int from = dec.scansDecoded();
+        delivery.bytes.resize(delivery.scan_offsets[from]);
+        try {
+            bytes += store_->fetchScanRange(req.id, from, target,
+                                            delivery.bytes,
+                                            !charged_full);
+            if (from == 0)
+                charged_full = true;
+        } catch (const Error &e) {
+            if (e.kind() != ErrorKind::Transient)
+                throw; // NotFound and friends: not retryable here
+            std::lock_guard<std::mutex> lock(mu_);
+            ++fetch_faults_;
+            continue;
+        }
+        try {
+            dec.advanceWithBytes(delivery.bytes.size());
+        } catch (const Error &e) {
+            // Decode means the damage was caught MID-SCAN (entropy
+            // stream violated after the checksum passed): coefficient
+            // state is unspecified, the request cannot be saved.
+            if (e.kind() == ErrorKind::Decode)
+                throw;
+            // Corrupt (checksum or side tables, verified BEFORE the
+            // scan decoded) and Truncated leave the decoder clean at
+            // the previous boundary: trim and refetch.
+            std::lock_guard<std::mutex> lock(mu_);
+            ++fetch_faults_;
+            continue;
+        }
+        if (dec.scansDecoded() < target) {
+            // The advance was clean but the delivery was short (an
+            // injected truncated read): refetch the missing tail.
+            std::lock_guard<std::mutex> lock(mu_);
+            ++fetch_faults_;
+        }
+    }
+    return true;
+}
+
+void
+StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
 {
     const double t0 = now();
 
@@ -206,27 +382,27 @@ StagedServingEngine::processOne(StagedRequest &req, int depth)
     // has already passed is dropped before any byte is read.
     if (req.deadline_s > 0.0 &&
         t0 > req.submit_s_ + req.deadline_s) {
-        req.latency_s = t0 - req.submit_s_;
-        req.state.store(static_cast<int>(StagedState::Expired),
-                        std::memory_order_release);
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++expired_;
-        }
-        done_cv_.notify_all();
+        markTerminal(req, StagedState::Expired);
         return;
     }
 
     const EncodedImage &enc = store_->peek(req.id);
     const auto &grid = scale_->resolutions();
     const int num_scans = enc.numScans();
-    ProgressiveDecoder dec(enc);
+
+    // Per-request delivery buffer: header + side tables from the
+    // store, payload bytes PHYSICALLY fetched below. Faults (short
+    // reads, bit flips) damage only this copy — never the store's
+    // pristine object — and the resumable decoder is bound to it.
+    EncodedImage delivery = enc.headerCopy();
+    ProgressiveDecoder dec(delivery);
 
     int r_idx = 0;
     int resolution = 0;
     int kprev = 0;
     size_t bytes = 0;
     bool capped = false;
+    bool charged_full = false;
 
     if (cfg_.fixed_resolution > 0) {
         // Static mode: no preview fetch, no scale model — the
@@ -242,18 +418,17 @@ StagedServingEngine::processOne(StagedRequest &req, int depth)
         // A calibrated policy may demand ZERO preview scans (the
         // threshold is already met by the mid-gray reconstruction);
         // then nothing is fetched and the scale model sees the same
-        // 0-scan preview the inline pipeline would.
+        // 0-scan preview the inline pipeline would. A preview
+        // shortfall after retries is NON-fatal: the scale model sees
+        // whatever prefix decoded (possibly mid-gray), and the
+        // stage-4 fetch below still tries to recover the gap.
         kprev = cfg_.preview_depth
                     ? cfg_.preview_depth(req.id)
                     : cfg_.preview_scans;
         kprev = std::clamp(kprev, 0, num_scans);
-        if (kprev > 0) {
-            bytes += store_->readScanRangeBytes(req.id, 0, kprev);
-            dec.advanceWithBytes(bytes);
-            tamres_assert(dec.scansDecoded() == kprev,
-                          "preview range bytes cover %d scans, "
-                          "wanted %d", dec.scansDecoded(), kprev);
-        }
+        if (kprev > 0)
+            fetchScansWithRetry(req, delivery, dec, kprev, bytes,
+                                charged_full, t0);
 
         // Stage 2: scale-model inference on the decoded preview.
         const Image preview_full = dec.image();
@@ -287,41 +462,52 @@ StagedServingEngine::processOne(StagedRequest &req, int depth)
     // state — no scan is decoded twice. The full-read denominator is
     // charged by whichever fetch starts at scan 0 (at most one per
     // request: the stage-1 read, or this one when no preview byte
-    // was fetched).
+    // was fetched). When the retry budget runs out the request is
+    // served DEGRADED at the scan depth already decoded.
     int total = cfg_.scan_depth ? cfg_.scan_depth(req.id, r_idx)
                                 : num_scans;
     total = std::clamp(total, kprev, num_scans);
-    if (total > kprev)
-        bytes += store_->readScanRangeBytes(req.id, kprev, total);
-    dec.advanceWithBytes(bytes);
-    tamres_assert(dec.scansDecoded() == total,
-                  "scan ranges cover %d scans, wanted %d",
-                  dec.scansDecoded(), total);
+    if (dec.scansDecoded() < total)
+        fetchScansWithRetry(req, delivery, dec, total, bytes,
+                            charged_full, now());
+    const int achieved = dec.scansDecoded();
+    const bool degraded = achieved < total;
+    // Nothing decoded at all when the decision needed data: there is
+    // no prefix to degrade to — the request fails.
+    tamres_check(achieved > 0 || total == 0, ErrorKind::Transient,
+                 "request %llu: no scan of %d decodable after retries",
+                 static_cast<unsigned long long>(req.id), total);
 
     req.resolution = resolution;
     req.resolution_index = r_idx;
     req.preview_scans = kprev;
-    req.scans_read = total;
+    req.scans_read = achieved;
+    req.scans_intended = total;
     req.bytes_read = bytes;
 
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++decoded_;
-        scans_read_ += static_cast<uint64_t>(total);
+        scans_read_ += static_cast<uint64_t>(achieved);
         bytes_read_ += bytes;
         resolution_hist_[static_cast<size_t>(r_idx)] += 1;
         if (capped)
             ++shed_cap_applied_;
+        if (degraded)
+            ++degraded_;
     }
 
     if (!inner_) {
         // Decision-only mode: the request is complete once the
-        // decision and byte accounting are in.
+        // decision and byte accounting are in. Retry backoff counts
+        // against the deadline, so re-check it before classifying.
         req.decode_s = now() - req.submit_s_;
-        req.latency_s = req.decode_s;
-        req.state.store(static_cast<int>(StagedState::Done),
-                        std::memory_order_release);
-        done_cv_.notify_all();
+        if (req.deadline_s > 0.0 && req.decode_s > req.deadline_s) {
+            markTerminal(req, StagedState::Expired);
+            return;
+        }
+        markTerminal(req, degraded ? StagedState::Degraded
+                                   : StagedState::Done);
         return;
     }
 
@@ -345,14 +531,7 @@ StagedServingEngine::processOne(StagedRequest &req, int depth)
     if (req.deadline_s > 0.0) {
         const double left = req.deadline_s - req.decode_s;
         if (left <= 0.0) {
-            req.latency_s = req.decode_s;
-            req.state.store(static_cast<int>(StagedState::Expired),
-                            std::memory_order_release);
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                ++expired_;
-            }
-            done_cv_.notify_all();
+            markTerminal(req, StagedState::Expired);
             return;
         }
         req.infer.deadline_s = left;
@@ -361,14 +540,7 @@ StagedServingEngine::processOne(StagedRequest &req, int depth)
     }
 
     if (!inner_->submit(req.infer)) {
-        req.latency_s = now() - req.submit_s_;
-        req.state.store(static_cast<int>(StagedState::Shed),
-                        std::memory_order_release);
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++shed_admission_;
-        }
-        done_cv_.notify_all();
+        markTerminal(req, StagedState::Shed);
         return;
     }
     req.state.store(static_cast<int>(StagedState::Submitted),

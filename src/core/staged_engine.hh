@@ -45,6 +45,26 @@
  * what the calibration and figure harnesses use to *measure* the
  * decision + byte flow without paying for backbone inference whose
  * accuracy is modeled analytically anyway.
+ *
+ * Fault tolerance: stages 1 and 4 decode from a per-request DELIVERY
+ * BUFFER (EncodedImage::headerCopy() plus physically fetched bytes),
+ * so storage-tier faults — transient errors, short reads, in-flight
+ * corruption (see storage/fault_injection.hh) — damage only that
+ * request's copy. Recoverable fetch faults (Error kinds Transient /
+ * Truncated / Corrupt, the last caught by the per-scan checksum
+ * BEFORE the damaged scan decodes) are retried with exponential
+ * backoff + deterministic jitter under StagedRetryConfig; the backoff
+ * budget is charged against the request's deadline and the per-stage
+ * timeout, so a retry sleep never outlives either. When the budget or
+ * attempt cap runs out, the request DEGRADES: it is served at the
+ * scan depth already decoded (bit-identical to a clean decode of
+ * that prefix), terminal state Degraded. Unrecoverable faults —
+ * missing object (NotFound), mid-scan entropy damage (Decode), or a
+ * preview/resume that could not decode a single scan — terminate the
+ * request as Failed. Worker threads contain every request-scoped
+ * throw: one poisoned request never stalls its batch or kills a
+ * worker, and every admitted request reaches one of Done / Degraded /
+ * Shed / Expired / Failed.
  */
 
 #ifndef TAMRES_CORE_STAGED_ENGINE_HH
@@ -62,15 +82,20 @@
 
 namespace tamres {
 
-/** Staged request states (terminal: Done, Shed, Expired). */
+/**
+ * Staged request states (terminal: Done, Degraded, Shed, Expired,
+ * Failed).
+ */
 enum class StagedState : int
 {
     Idle = 0,   //!< never submitted (or reset for reuse)
     Queued,     //!< admitted, waiting for a decode worker
     Submitted,  //!< decode + decision done; in the backbone stage
-    Done,       //!< served; decision and output fields valid
+    Done,       //!< served at the intended scan depth
     Shed,       //!< rejected at admission (either stage's queue full)
     Expired,    //!< deadline passed before a stage could serve it
+    Degraded,   //!< served at a REDUCED scan depth after fetch faults
+    Failed,     //!< unrecoverable fault; output fields are NOT valid
 };
 
 /**
@@ -88,8 +113,10 @@ struct StagedRequest
     int resolution = 0;       //!< decided square backbone resolution
     int resolution_index = 0; //!< index into engine resolutions()
     int preview_scans = 0;    //!< scans fetched for the preview
-    int scans_read = 0;       //!< total scans fetched
+    int scans_read = 0;       //!< total scans DECODED and served at
+    int scans_intended = 0;   //!< scans the decision wanted
     size_t bytes_read = 0;    //!< total bytes fetched (both ranges)
+    int retries = 0;          //!< fetch attempts beyond the first
     double decode_s = 0.0;    //!< submit -> backbone-stage handoff
     double latency_s = 0.0;   //!< submit -> terminal
 
@@ -108,6 +135,28 @@ struct StagedRequest
   private:
     friend class StagedServingEngine;
     double submit_s_ = 0.0;
+};
+
+/**
+ * Deadline-aware retry policy for storage fetch faults (stages 1/4).
+ *
+ * Attempt n (n >= 1 retries) sleeps
+ *   min(backoff_base_s * 2^(n-1), backoff_max_s) * f,
+ * where f is a deterministic jitter factor in [1 - jitter, 1] drawn
+ * from (seed, object id, attempt). The sleep is charged against the
+ * request deadline and the per-stage timeout: a retry whose backoff
+ * does not fit the remaining budget is abandoned immediately (the
+ * request degrades or fails) — a retry sleep NEVER runs past the
+ * deadline.
+ */
+struct StagedRetryConfig
+{
+    int max_attempts = 3;          //!< total tries per fetch stage
+    double backoff_base_s = 1e-3;  //!< first retry's nominal sleep
+    double backoff_max_s = 50e-3;  //!< exponential backoff ceiling
+    double jitter = 0.5;           //!< fractional jitter span [0, 1)
+    uint64_t seed = 0x5eed;        //!< jitter determinism
+    double stage_timeout_s = 0;    //!< per-stage fetch budget; 0 = none
 };
 
 /** Staged engine construction parameters. */
@@ -147,6 +196,9 @@ struct StagedEngineConfig
      */
     EngineResolutionPolicy shed_cap;
 
+    /** Fetch retry / degradation policy for storage faults. */
+    StagedRetryConfig retry;
+
     /** Inner backbone-stage engine configuration. */
     EngineConfig backbone;
 };
@@ -161,6 +213,11 @@ struct StagedStats
     uint64_t shed_cap_applied = 0; //!< decisions lowered by shed_cap
     uint64_t scans_read = 0;      //!< total scans fetched
     uint64_t bytes_read = 0;      //!< total bytes fetched
+    uint64_t failed = 0;          //!< unrecoverable per-request faults
+    uint64_t degraded = 0;        //!< served at reduced scan depth
+    uint64_t retries = 0;         //!< fetch attempts beyond the first
+    uint64_t fetch_faults = 0;    //!< recoverable faults observed
+    uint64_t retry_giveups = 0;   //!< retries abandoned (budget/cap)
     std::vector<uint64_t> resolution_hist; //!< per resolutions() index
     EngineStats backbone;         //!< inner engine snapshot
 };
@@ -224,6 +281,13 @@ class StagedServingEngine
   private:
     void decodeLoop();
     void processOne(StagedRequest &req, int depth);
+    void processOneImpl(StagedRequest &req, int depth);
+    bool fetchScansWithRetry(StagedRequest &req,
+                             EncodedImage &delivery,
+                             ProgressiveDecoder &dec, int target,
+                             size_t &bytes, bool &charged_full,
+                             double stage_start_s);
+    void markTerminal(StagedRequest &req, StagedState state);
     void finalize(StagedRequest &req);
     double now() const;
 
@@ -251,6 +315,11 @@ class StagedServingEngine
     uint64_t shed_cap_applied_ = 0;
     uint64_t scans_read_ = 0;
     uint64_t bytes_read_ = 0;
+    uint64_t failed_ = 0;
+    uint64_t degraded_ = 0;
+    uint64_t retries_ = 0;
+    uint64_t fetch_faults_ = 0;
+    uint64_t retry_giveups_ = 0;
     std::vector<uint64_t> resolution_hist_;
 
     std::vector<std::thread> threads_;

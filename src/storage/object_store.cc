@@ -1,5 +1,8 @@
 #include "storage/object_store.hh"
 
+#include <algorithm>
+
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace tamres {
@@ -29,9 +32,11 @@ const EncodedImage &
 ObjectStore::get(uint64_t id) const
 {
     auto it = objects_.find(id);
-    tamres_assert(it != objects_.end(),
-                  "object %llu not in store",
-                  static_cast<unsigned long long>(id));
+    // A missing id is a request error (bad manifest, deleted object),
+    // not a library bug: callers map it to a per-request failure.
+    tamres_check(it != objects_.end(), ErrorKind::NotFound,
+                 "object %llu not in store",
+                 static_cast<unsigned long long>(id));
     return it->second;
 }
 
@@ -91,6 +96,37 @@ ObjectStore::readScanRangeBytes(uint64_t id, int from_scans,
     if (from_scans == 0)
         stats_.bytes_full += obj.totalBytes();
     return bytes;
+}
+
+size_t
+ObjectStore::fetchScanRange(uint64_t id, int from_scans, int to_scans,
+                            std::vector<uint8_t> &dst, bool charge_full,
+                            size_t max_bytes)
+{
+    const EncodedImage &obj = get(id);
+    tamres_assert(from_scans >= 0 && to_scans >= from_scans &&
+                  to_scans <= obj.numScans(),
+                  "invalid incremental scan range [%d, %d]",
+                  from_scans, to_scans);
+    const size_t begin = obj.bytesForScans(from_scans);
+    const size_t end = obj.bytesForScans(to_scans);
+    tamres_assert(dst.size() == begin,
+                  "delivery buffer holds %zu bytes, range starts at "
+                  "%zu", dst.size(), begin);
+    const size_t take = std::min(end - begin, max_bytes);
+    dst.insert(dst.end(), obj.bytes.begin() + begin,
+               obj.bytes.begin() + begin + take);
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests;
+        stats_.bytes_read += take;
+        // Charge the full-read denominator once per logical request:
+        // on the first successful prefix-starting fetch. Retries of a
+        // failed from == 0 fetch pass charge_full = false.
+        if (from_scans == 0 && charge_full)
+            stats_.bytes_full += obj.totalBytes();
+    }
+    return take;
 }
 
 const EncodedImage &

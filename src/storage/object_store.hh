@@ -7,6 +7,12 @@
  * metered. Readers request a *prefix of scans* per image; the store
  * returns the encoded prefix and charges exactly those bytes, which is
  * how the paper's 20-30% read-savings numbers are measured.
+ *
+ * Error contract: a read of an id that was never put() throws
+ * Error{NotFound} — a data/request error the serving tier maps to a
+ * per-request failure, never a process abort. FaultyObjectStore (see
+ * storage/fault_injection.hh) layers deterministic fault injection on
+ * top of this interface; the read methods are virtual for that reason.
  */
 
 #ifndef TAMRES_STORAGE_OBJECT_STORE_HH
@@ -28,6 +34,13 @@ struct ReadStats
     uint64_t bytes_read = 0;   //!< bytes actually transferred
     uint64_t bytes_full = 0;   //!< bytes a full read would have cost
 
+    // Injected-fault counters (zero on a clean store; bumped by
+    // FaultyObjectStore so chaos harnesses can report what they did).
+    uint64_t faults_delayed = 0;   //!< reads that hit injected latency
+    uint64_t faults_transient = 0; //!< reads failed with Transient
+    uint64_t faults_truncated = 0; //!< reads short-delivered on purpose
+    uint64_t faults_corrupted = 0; //!< reads with an injected bit flip
+
     /** Fraction of a full-read workload actually transferred. */
     double
     relativeReadSize() const
@@ -46,6 +59,10 @@ struct ReadStats
         requests += other.requests;
         bytes_read += other.bytes_read;
         bytes_full += other.bytes_full;
+        faults_delayed += other.faults_delayed;
+        faults_transient += other.faults_transient;
+        faults_truncated += other.faults_truncated;
+        faults_corrupted += other.faults_corrupted;
     }
 };
 
@@ -53,31 +70,37 @@ struct ReadStats
  * In-memory store of progressive images with metered reads.
  *
  * Concurrency contract: read-side calls (readScans, readScanRangeBytes,
- * peek, stats) are safe from multiple threads — the staged serving
- * engine's decode workers meter ranged reads concurrently. put() is a
- * structural mutation and must not race any read: populate the store,
- * then serve.
+ * fetchScanRange, peek, stats) are safe from multiple threads — the
+ * staged serving engine's decode workers meter ranged reads
+ * concurrently. put() is a structural mutation and must not race any
+ * read: populate the store, then serve.
+ *
+ * Missing objects: every read-side method throws Error{NotFound} for an
+ * id that is not in the store. Callers in the serving tier catch this
+ * and fail the one request; it is not an invariant violation.
  */
 class ObjectStore
 {
   public:
+    virtual ~ObjectStore() = default;
+
     /** Insert an encoded image under @p id (replaces any existing). */
-    void put(uint64_t id, EncodedImage image);
+    virtual void put(uint64_t id, EncodedImage image);
 
     /** True when @p id is present. */
-    bool contains(uint64_t id) const;
+    virtual bool contains(uint64_t id) const;
 
     /** Total stored bytes across all objects. */
-    uint64_t storedBytes() const;
+    virtual uint64_t storedBytes() const;
 
     /** Number of stored objects. */
-    size_t size() const { return objects_.size(); }
+    virtual size_t size() const { return objects_.size(); }
 
     /**
      * Read the first @p num_scans scans of object @p id, charging their
      * bytes to the store's statistics, and return the decoded preview.
      */
-    Image readScans(uint64_t id, int num_scans);
+    virtual Image readScans(uint64_t id, int num_scans);
 
     /**
      * Read additional scans of an object already partially read in this
@@ -85,7 +108,8 @@ class ObjectStore
      * @p from_scans and @p to_scans (the dynamic pipeline's second
      * fetch reuses the scan-1..k bytes it already has).
      */
-    Image readAdditionalScans(uint64_t id, int from_scans, int to_scans);
+    virtual Image readAdditionalScans(uint64_t id, int from_scans,
+                                      int to_scans);
 
     /**
      * Meter a ranged read of scans [from_scans, to_scans) WITHOUT
@@ -95,17 +119,39 @@ class ObjectStore
      * full-read denominator is charged once per logical request, on
      * the from_scans == 0 fetch.
      */
-    size_t readScanRangeBytes(uint64_t id, int from_scans,
-                              int to_scans);
+    virtual size_t readScanRangeBytes(uint64_t id, int from_scans,
+                                      int to_scans);
+
+    /**
+     * Physically deliver the bytes of scans [from_scans, to_scans) of
+     * object @p id by appending them to @p dst, metering the appended
+     * bytes like readScanRangeBytes. Requires dst.size() ==
+     * scan_offsets[from_scans] of the stored object — i.e. @p dst is a
+     * delivery buffer holding exactly the scans before the range.
+     *
+     * @p charge_full controls the full-read denominator: it is charged
+     * only when from_scans == 0 AND charge_full is true, so a caller
+     * retrying a failed first fetch passes charge_full = false to avoid
+     * double counting the logical request.
+     *
+     * @p max_bytes caps the appended bytes (a fault-injecting subclass
+     * uses it to deliver short reads); the metered bytes equal what was
+     * actually appended. Returns the appended byte count.
+     */
+    virtual size_t fetchScanRange(uint64_t id, int from_scans,
+                                  int to_scans,
+                                  std::vector<uint8_t> &dst,
+                                  bool charge_full = true,
+                                  size_t max_bytes = SIZE_MAX);
 
     /** Access an object's metadata (scan sizes etc.). */
-    const EncodedImage &peek(uint64_t id) const;
+    virtual const EncodedImage &peek(uint64_t id) const;
 
     /** Cumulative read statistics (snapshot; safe while serving). */
-    ReadStats stats() const;
+    virtual ReadStats stats() const;
 
     /** Reset the read statistics (objects are kept). */
-    void resetStats();
+    virtual void resetStats();
 
   private:
     const EncodedImage &get(uint64_t id) const;

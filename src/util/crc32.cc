@@ -1,0 +1,35 @@
+#include "util/crc32.hh"
+
+namespace tamres {
+
+namespace {
+
+struct Crc32Table
+{
+    uint32_t entries[256];
+
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            entries[i] = c;
+        }
+    }
+};
+
+const Crc32Table crc_table;
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *data, size_t size, uint32_t seed)
+{
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = crc_table.entries[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace tamres

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * spans. Used as the per-scan payload checksum of the progressive
+ * codec: cheap relative to entropy decode, and strong enough to turn
+ * storage-tier bit flips into a detectable (and therefore retryable)
+ * Corrupt error instead of silently wrong pixels.
+ */
+
+#ifndef TAMRES_UTIL_CRC32_HH
+#define TAMRES_UTIL_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tamres {
+
+/**
+ * CRC-32 of @p size bytes at @p data. Pass a previous result as
+ * @p seed to checksum a logical stream in pieces.
+ */
+uint32_t crc32(const uint8_t *data, size_t size, uint32_t seed = 0);
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_CRC32_HH

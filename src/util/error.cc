@@ -1,0 +1,32 @@
+#include "util/error.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tamres {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::NotFound: return "not-found";
+      case ErrorKind::Transient: return "transient";
+      case ErrorKind::Truncated: return "truncated";
+      case ErrorKind::Corrupt: return "corrupt";
+      case ErrorKind::Decode: return "decode";
+    }
+    return "?";
+}
+
+void
+throwError(ErrorKind kind, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    throw Error(kind, buf);
+}
+
+} // namespace tamres

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structured, recoverable error reporting for the serving data path.
+ *
+ * logging.hh draws the line between bugs (panic/tamres_assert, which
+ * abort) and impossible user requests (fatal). This file adds the
+ * third category real deployments are made of: *expected* runtime
+ * failures — a missing object, a flaky read, a truncated or corrupted
+ * byte range — that a serving engine must contain per request and
+ * retry or degrade around, never die on. They are thrown as
+ * tamres::Error carrying an ErrorKind so handlers can branch on the
+ * failure class (retry a Transient fetch, trim-and-refetch a Corrupt
+ * range, fail a NotFound request) without parsing message strings.
+ */
+
+#ifndef TAMRES_UTIL_ERROR_HH
+#define TAMRES_UTIL_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace tamres {
+
+/** Classification of recoverable runtime failures. */
+enum class ErrorKind : int
+{
+    /** A named object does not exist (maps to a per-request failure). */
+    NotFound = 0,
+    /** A retryable I/O failure (injected or real 5xx-style error). */
+    Transient,
+    /** A byte range ends before the structure framed inside it. */
+    Truncated,
+    /**
+     * Framing or checksum mismatch detected BEFORE any decode state
+     * was touched — the clean prefix survives, so the caller may trim
+     * back to the last verified boundary and refetch.
+     */
+    Corrupt,
+    /**
+     * An entropy-decode invariant was violated mid-scan: decoder
+     * coefficient state is unspecified past the last completed scan
+     * and must not be resumed. Unrecoverable per request.
+     */
+    Decode,
+};
+
+/** Short stable name for an ErrorKind ("not-found", "transient", ...). */
+const char *errorKindName(ErrorKind kind);
+
+/** A recoverable runtime failure with a machine-checkable kind. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorKind kind, std::string what)
+        : std::runtime_error(std::move(what)), kind_(kind)
+    {}
+
+    ErrorKind kind() const { return kind_; }
+
+  private:
+    ErrorKind kind_;
+};
+
+/** Throw an Error with a printf-formatted message. */
+[[noreturn]] void throwError(ErrorKind kind, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Check a condition that depends on external input (stored bytes, a
+ * delivered range); throws Error{kind} when it fails. The structured
+ * sibling of tamres_assert: asserts guard internal invariants and
+ * abort, checks guard input validity and throw.
+ */
+#define tamres_check(cond, kind, fmt, ...)                                \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::tamres::throwError(kind, fmt, ##__VA_ARGS__);               \
+        }                                                                 \
+    } while (0)
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_ERROR_HH

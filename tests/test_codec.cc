@@ -18,6 +18,7 @@
 #include "image/metrics.hh"
 #include "image/synthetic.hh"
 #include "tests/threads_env.hh"
+#include "util/error.hh"
 #include "util/rng.hh"
 
 namespace tamres {
@@ -55,12 +56,19 @@ TEST(BitStream, ManyRandomValues)
         EXPECT_EQ(br.readBits(nbits), v);
 }
 
-TEST(BitStreamDeath, Overrun)
+TEST(BitStreamError, OverrunThrowsTruncated)
 {
     const uint8_t one = 0xff;
     BitReader br(&one, 1);
     br.readBits(8);
-    EXPECT_DEATH(br.readBit(), "overrun");
+    try {
+        br.readBit();
+        FAIL() << "expected Error{Truncated}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Truncated);
+        EXPECT_NE(std::string(e.what()).find("overrun"),
+                  std::string::npos);
+    }
 }
 
 TEST(Dct, RoundTripRandomBlocks)
@@ -400,7 +408,7 @@ TEST(Restart, SuccessiveApproximationScriptRoundTrips)
                                 decodeProgressive(enc)));
 }
 
-TEST(RestartDeath, OffsetPastStreamDiesLoudly)
+TEST(RestartError, OffsetPastStreamThrows)
 {
     const Image src = testImage(48, 48, 1, 25);
     ProgressiveConfig cfg;
@@ -410,10 +418,15 @@ TEST(RestartDeath, OffsetPastStreamDiesLoudly)
     // A vandalized side table pointing past the scan must hit the
     // bounds-checked seek, not read out of the buffer.
     enc.restart_bits[1].back() = (enc.bytes.size() + 64) * 8;
-    EXPECT_DEATH(decodeProgressive(enc), "overrun");
+    try {
+        decodeProgressive(enc);
+        FAIL() << "expected Error{Truncated}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Truncated);
+    }
 }
 
-TEST(RestartDeath, TruncatedRestartStreamDiesLoudly)
+TEST(RestartError, TruncatedRestartStreamThrows)
 {
     const Image src = testImage(48, 48, 1, 26);
     ProgressiveConfig cfg;
@@ -421,8 +434,7 @@ TEST(RestartDeath, TruncatedRestartStreamDiesLoudly)
     cfg.restart_interval = 8;
     EncodedImage enc = encodeProgressive(src, cfg);
     enc.bytes.resize(enc.bytes.size() / 2);
-    EXPECT_DEATH(decodeProgressive(enc, enc.numScans()),
-                 "truncated|overrun|corrupt");
+    EXPECT_THROW(decodeProgressive(enc, enc.numScans()), Error);
 }
 
 } // namespace

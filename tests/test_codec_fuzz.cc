@@ -20,6 +20,7 @@
 #include "image/metrics.hh"
 #include "image/synthetic.hh"
 #include "tests/threads_env.hh"
+#include "util/error.hh"
 #include "util/rng.hh"
 
 namespace tamres {
@@ -137,7 +138,7 @@ TEST(CodecQualityDeath, RejectsOutOfRangeQuality)
     EXPECT_DEATH(encodeProgressive(src, cfg), "quality");
 }
 
-TEST(CodecCorruption, TruncatedStreamDiesLoudly)
+TEST(CodecCorruption, TruncatedStreamThrowsTruncated)
 {
     const Image src = randomImage(32, 32, 8);
     for (const EntropyCoder coder :
@@ -146,13 +147,17 @@ TEST(CodecCorruption, TruncatedStreamDiesLoudly)
         cfg.entropy = coder;
         EncodedImage enc = encodeProgressive(src, cfg);
         // Chop the final scan's payload but keep offsets claiming it
-        // is complete: the bit reader must hit its overrun guard.
+        // is complete: the decoder must hit its truncation guard, not
+        // read out of the buffer.
         EncodedImage truncated = enc;
         truncated.bytes.resize(enc.bytes.size() / 2);
-        EXPECT_DEATH(decodeProgressive(truncated,
-                                       truncated.numScans()),
-                     "truncated|overrun|corrupt|invalid")
-            << entropyCoderName(coder);
+        try {
+            decodeProgressive(truncated, truncated.numScans());
+            FAIL() << entropyCoderName(coder);
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Truncated)
+                << entropyCoderName(coder);
+        }
     }
 }
 
@@ -204,7 +209,7 @@ TEST(CodecCorruption, PrefixDecodeUnaffectedByLaterScanCorruption)
         ASSERT_EQ(clean.data()[i], after.data()[i]);
 }
 
-TEST(CodecCorruption, SaStreamTruncationDiesLoudly)
+TEST(CodecCorruption, SaStreamTruncationThrowsTruncated)
 {
     // The successive-approximation decoder must hit the same
     // truncation guard as the spectral path, not wander off the
@@ -215,7 +220,12 @@ TEST(CodecCorruption, SaStreamTruncationDiesLoudly)
     cfg.entropy = EntropyCoder::Huffman;
     EncodedImage enc = encodeProgressive(src, cfg);
     enc.bytes.resize(enc.bytes.size() / 2);
-    EXPECT_DEATH(decodeProgressive(enc, enc.numScans()), "truncated");
+    try {
+        decodeProgressive(enc, enc.numScans());
+        FAIL() << "expected Error{Truncated}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Truncated);
+    }
 }
 
 TEST(CodecCorruption, SaPrefixImmuneToRefinementCorruption)
@@ -417,7 +427,7 @@ TEST(CodecResumeFuzz, RandomSuspendSchedulesMatchOneShotEverywhere)
     }
 }
 
-TEST(CodecRestartFuzzDeath, MalformedSideTablesDieLoudly)
+TEST(CodecRestartFuzzError, MalformedSideTablesThrowCorrupt)
 {
     const Image src = randomImage(32, 32, 18);
     ProgressiveConfig cfg;
@@ -425,21 +435,144 @@ TEST(CodecRestartFuzzDeath, MalformedSideTablesDieLoudly)
     const EncodedImage enc = encodeProgressive(src, cfg);
     ASSERT_TRUE(enc.hasRestartMarkers());
 
+    const auto expectCorrupt = [](const EncodedImage &img,
+                                  const char *what) {
+        try {
+            decodeProgressive(img);
+            FAIL() << what;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Corrupt) << what;
+        }
+    };
+
     // Offset count disagreeing with the partition.
     EncodedImage bad_count = enc;
     bad_count.restart_bits[0].pop_back();
-    EXPECT_DEATH(decodeProgressive(bad_count), "corrupt restart");
+    expectCorrupt(bad_count, "offset count");
 
     // Missing a whole scan of offsets.
     EncodedImage bad_scans = enc;
     bad_scans.restart_bits.pop_back();
-    EXPECT_DEATH(decodeProgressive(bad_scans), "corrupt restart");
+    expectCorrupt(bad_scans, "missing scan of offsets");
 
     // Interval mutated after encode: the partition no longer matches
     // the recorded offsets.
     EncodedImage bad_interval = enc;
     bad_interval.restart_interval = 3;
-    EXPECT_DEATH(decodeProgressive(bad_interval), "corrupt restart");
+    expectCorrupt(bad_interval, "mutated interval");
+}
+
+// --- Fault-injection corpora (checksummed and checksum-free) ---------
+
+TEST(CodecCorruption, BitFlipCorpusCaughtByChecksumBeforeDecode)
+{
+    // Any single-bit flip in a scan payload must be rejected by the
+    // per-scan checksum BEFORE that scan decodes, leaving the decoder
+    // resumable: re-binding clean bytes afterward yields the full
+    // decode bit-exactly.
+    const Image src = randomImage(40, 33, 21);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    ASSERT_EQ(enc.scan_crcs.size(),
+              static_cast<size_t>(enc.numScans()));
+    const Image want = decodeProgressive(enc);
+
+    Rng rng(22);
+    for (int trial = 0; trial < 24; ++trial) {
+        EncodedImage mutated = enc;
+        const size_t byte =
+            rng.uniformInt(static_cast<uint64_t>(enc.bytes.size()));
+        mutated.bytes[byte] ^=
+            static_cast<uint8_t>(1u << rng.uniformInt(8));
+        // Which scan did we damage?
+        int damaged = 0;
+        while (enc.scan_offsets[damaged + 1] <= byte)
+            ++damaged;
+
+        ProgressiveDecoder dec(mutated);
+        try {
+            dec.advanceTo(mutated.numScans());
+            FAIL() << "trial " << trial;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Corrupt) << "trial " << trial;
+        }
+        // State is clean at the boundary before the damaged scan.
+        EXPECT_EQ(dec.scansDecoded(), damaged) << "trial " << trial;
+        // Repair the byte and resume: bit-identical full decode.
+        mutated.bytes[byte] = enc.bytes[byte];
+        dec.advanceTo(mutated.numScans());
+        const Image got = dec.image();
+        ASSERT_EQ(got.numel(), want.numel());
+        ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                              sizeof(float) * got.numel()),
+                  0)
+            << "trial " << trial;
+    }
+}
+
+TEST(CodecCorruption, ChecksumFreeBitFlipsNeverCrash)
+{
+    // v1 streams carry no checksums: a damaged scan may decode to
+    // wrong pixels or throw a typed Error — but must never crash,
+    // read out of bounds (ASan/UBSan enforce this in the sanitizer
+    // leg), or leave the decoder unusable for a clean retry.
+    const Image src = randomImage(32, 40, 23);
+    for (const EntropyCoder coder :
+         {EntropyCoder::RunLength, EntropyCoder::Huffman}) {
+        ProgressiveConfig cfg;
+        cfg.entropy = coder;
+        EncodedImage enc = encodeProgressive(src, cfg);
+        enc.scan_crcs.clear(); // pre-checksum stream
+        Rng rng(24);
+        for (int trial = 0; trial < 48; ++trial) {
+            EncodedImage mutated = enc;
+            const size_t byte = rng.uniformInt(
+                static_cast<uint64_t>(enc.bytes.size()));
+            mutated.bytes[byte] ^=
+                static_cast<uint8_t>(1u << rng.uniformInt(8));
+            try {
+                const Image out = decodeProgressive(mutated);
+                EXPECT_EQ(out.height(), src.height());
+                EXPECT_EQ(out.width(), src.width());
+            } catch (const Error &) {
+                // Typed rejection is an acceptable outcome.
+            }
+        }
+    }
+}
+
+TEST(CodecCorruption, TruncationCorpusPrefixSafeTailTyped)
+{
+    // Every truncation point: the covered prefix decodes bit-exactly,
+    // and advancing past the physical end throws Error{Truncated}.
+    const Image src = randomImage(24, 24, 25);
+    const EncodedImage enc = encodeProgressive(src);
+    Rng rng(26);
+    for (int trial = 0; trial < 16; ++trial) {
+        EncodedImage cut = enc;
+        cut.bytes.resize(
+            rng.uniformInt(static_cast<uint64_t>(enc.bytes.size())));
+        ProgressiveDecoder dec(cut);
+        const int covered = dec.scansCoveredBy(cut.bytes.size());
+        EXPECT_EQ(dec.advanceWithBytes(cut.bytes.size()), covered);
+        if (covered < cut.numScans()) {
+            try {
+                dec.advanceTo(covered + 1);
+                FAIL() << "trial " << trial;
+            } catch (const Error &e) {
+                EXPECT_EQ(e.kind(), ErrorKind::Truncated)
+                    << "trial " << trial;
+            }
+        }
+        const Image got = dec.image();
+        const Image want = decodeProgressive(enc, covered);
+        ASSERT_EQ(got.numel(), want.numel());
+        ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                              sizeof(float) * got.numel()),
+                  0)
+            << "trial " << trial << " covered " << covered;
+    }
 }
 
 } // namespace

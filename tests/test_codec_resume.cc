@@ -19,6 +19,7 @@
 #include "codec/progressive.hh"
 #include "image/synthetic.hh"
 #include "tests/threads_env.hh"
+#include "util/error.hh"
 #include "util/rng.hh"
 
 namespace tamres {
@@ -185,14 +186,30 @@ TEST(CodecResume, SuccessiveApproximationAndChromaSubsamplingResume)
     }
 }
 
-TEST(CodecResumeDeath, TruncatedAdvanceDiesLoudly)
+TEST(CodecResumeError, TruncatedAdvanceThrowsAndStateSurvives)
 {
     const Image src = randomImage(24, 24, 11);
     EncodedImage enc = encodeProgressive(src);
+    const size_t full = enc.bytes.size();
     enc.bytes.resize(enc.scan_offsets[2]);
     ProgressiveDecoder dec(enc);
     dec.advanceTo(2); // covered prefix is fine
-    EXPECT_DEATH(dec.advanceTo(enc.numScans()), "truncated");
+    try {
+        dec.advanceTo(enc.numScans());
+        FAIL() << "expected Error{Truncated}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Truncated);
+    }
+    // The failed advance must leave the decoder resumable: restoring
+    // the missing bytes and re-advancing yields the clean decode.
+    EXPECT_EQ(dec.scansDecoded(), 2);
+    enc.bytes.resize(full);
+    const EncodedImage clean = encodeProgressive(src);
+    std::memcpy(enc.bytes.data() + enc.scan_offsets[2],
+                clean.bytes.data() + enc.scan_offsets[2],
+                full - enc.scan_offsets[2]);
+    dec.advanceTo(enc.numScans());
+    EXPECT_TRUE(samePixels(dec.image(), decodeProgressive(clean)));
 }
 
 } // namespace

@@ -15,12 +15,15 @@
 #include <memory>
 #include <vector>
 
+#include <chrono>
+
 #include "core/staged_engine.hh"
 #include "image/synthetic.hh"
 #include "nn/builders.hh"
 #include "nn/conv_kernels.hh"
 #include "nn/passes.hh"
 #include "sim/dataset.hh"
+#include "storage/fault_injection.hh"
 #include "tests/threads_env.hh"
 
 namespace tamres {
@@ -369,6 +372,279 @@ TEST_F(StagedEngineTest, ConcurrentDecodeWorkersMatchInline)
         EXPECT_EQ(reqs[i].scans_read, ref.scans) << i;
         EXPECT_EQ(reqs[i].bytes_read, ref.bytes) << i;
     }
+}
+
+/** Fast backoff so retry tests spend microseconds, not milliseconds. */
+static StagedRetryConfig
+fastRetry()
+{
+    StagedRetryConfig rc;
+    rc.backoff_base_s = 1e-4;
+    rc.backoff_max_s = 1e-3;
+    return rc;
+}
+
+TEST_F(StagedEngineTest, RetryThenSucceedMatchesCleanPipeline)
+{
+    // Every range's FIRST delivery throws a transient fault; the
+    // retry must recover and the request must then be
+    // indistinguishable from a clean run: same decision, same scans,
+    // and — because a transient throw delivers zero bytes — the same
+    // metered byte count.
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry = fastRetry();
+
+    std::vector<InlineRef> refs;
+    for (int i = 0; i < kObjects; ++i)
+        refs.push_back(inlineReference(i, cfg));
+
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.fail = (ctx.attempt == 0);
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    std::vector<StagedRequest> reqs(kObjects);
+    for (int i = 0; i < kObjects; ++i) {
+        reqs[i].id = static_cast<uint64_t>(i);
+        ASSERT_TRUE(engine.submit(reqs[i]));
+    }
+    for (int i = 0; i < kObjects; ++i) {
+        engine.wait(reqs[i]);
+        ASSERT_EQ(reqs[i].stateNow(), StagedState::Done) << i;
+        EXPECT_EQ(reqs[i].resolution_index, refs[i].r_idx) << i;
+        EXPECT_EQ(reqs[i].scans_read, refs[i].scans) << i;
+        EXPECT_EQ(reqs[i].scans_intended, refs[i].scans) << i;
+        EXPECT_EQ(reqs[i].bytes_read, refs[i].bytes) << i;
+        EXPECT_EQ(reqs[i].retries, 2)
+            << "preview + resume fetch each take exactly one retry";
+    }
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.decoded, static_cast<uint64_t>(kObjects));
+    EXPECT_EQ(st.retries, static_cast<uint64_t>(2 * kObjects));
+    EXPECT_EQ(st.fetch_faults, static_cast<uint64_t>(2 * kObjects));
+    EXPECT_EQ(st.degraded, 0u);
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_EQ(st.retry_giveups, 0u);
+    EXPECT_EQ(faulty.stats().faults_transient,
+              static_cast<uint64_t>(2 * kObjects));
+}
+
+TEST_F(StagedEngineTest, RetryExhaustedDegradesBitIdentically)
+{
+    // The resume fetch fails on every attempt; the preview is clean.
+    // The request must degrade to the preview scan depth and the
+    // served output must be BIT-IDENTICAL to an inline pipeline that
+    // decodes exactly that prefix.
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry = fastRetry();
+
+    const EncodedImage &enc = store_.peek(0);
+    const Image preview = resize(
+        centerCropFraction(decodeProgressive(enc, cfg.preview_scans),
+                           cfg.crop_area),
+        scale_->options().input_res, scale_->options().input_res);
+    const int r_idx = scale_->chooseResolutionIndex(preview);
+    const int r = scale_->resolutions()[r_idx];
+    const Image degraded_img = resize(
+        centerCropFraction(decodeProgressive(enc, cfg.preview_scans),
+                           cfg.crop_area),
+        r, r);
+    Tensor degraded_input({1, 3, r, r});
+    std::copy_n(degraded_img.data(), degraded_img.numel(),
+                degraded_input.data());
+    const Tensor expected = g->run(degraded_input);
+
+    FaultPolicy policy;
+    const int kprev = cfg.preview_scans;
+    policy.script = [kprev](const FaultContext &ctx) {
+        FaultDecision d;
+        d.fail = (ctx.from_scans >= kprev);
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedServingEngine engine(faulty, *scale_, g.get(), cfg);
+    StagedRequest req;
+    req.id = 0;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+
+    ASSERT_EQ(req.stateNow(), StagedState::Degraded);
+    EXPECT_EQ(req.resolution_index, r_idx);
+    EXPECT_EQ(req.scans_read, cfg.preview_scans);
+    EXPECT_EQ(req.scans_intended, enc.numScans());
+    EXPECT_EQ(req.retries, cfg.retry.max_attempts - 1);
+    ASSERT_EQ(req.infer.output.numel(), expected.numel());
+    EXPECT_EQ(std::memcmp(req.infer.output.data(), expected.data(),
+                          sizeof(float) * expected.numel()),
+              0)
+        << "degraded response diverged from a clean decode of the "
+        << "already-available scan prefix";
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.degraded, 1u);
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_EQ(st.retry_giveups, 1u);
+    EXPECT_EQ(st.fetch_faults,
+              static_cast<uint64_t>(cfg.retry.max_attempts));
+    EXPECT_EQ(st.backbone.served, 1u)
+        << "the degraded request still rode the backbone stage";
+}
+
+TEST_F(StagedEngineTest, BackoffNeverOutlivesTheDeadline)
+{
+    // Every fetch fails and the nominal backoff (5 s) dwarfs the
+    // request deadline (250 ms): the engine must abandon the retry
+    // sleep instead of serving it, so the request terminates almost
+    // immediately — never 5 s later.
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry.max_attempts = 10;
+    cfg.retry.backoff_base_s = 5.0;
+    cfg.retry.backoff_max_s = 5.0;
+    cfg.retry.jitter = 0.0;
+
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &) {
+        FaultDecision d;
+        d.fail = true;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    StagedRequest req;
+    req.id = 0;
+    req.deadline_s = 0.25;
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    const StagedState s = req.stateNow();
+    EXPECT_TRUE(s == StagedState::Failed || s == StagedState::Expired)
+        << "state " << static_cast<int>(s);
+    EXPECT_LT(elapsed, 2.0)
+        << "a retry backoff ran past the 250 ms deadline";
+    EXPECT_GE(engine.stats().retry_giveups, 1u);
+}
+
+TEST_F(StagedEngineTest, PoisonedRequestDoesNotStallItsBatch)
+{
+    // One request names a missing object; it must fail as a
+    // structured terminal while every other request in the same
+    // decode drain completes untouched.
+    StagedEngineConfig cfg = baseConfig();
+    cfg.decode_batch = kObjects + 1;
+
+    std::vector<InlineRef> refs;
+    for (int i = 0; i < kObjects; ++i)
+        refs.push_back(inlineReference(i, cfg));
+
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    StagedRequest poisoned;
+    poisoned.id = 404; // never stored
+    ASSERT_TRUE(engine.submit(poisoned));
+    std::vector<StagedRequest> reqs(kObjects);
+    for (int i = 0; i < kObjects; ++i) {
+        reqs[i].id = static_cast<uint64_t>(i);
+        ASSERT_TRUE(engine.submit(reqs[i]));
+    }
+
+    engine.wait(poisoned);
+    EXPECT_EQ(poisoned.stateNow(), StagedState::Failed);
+    EXPECT_EQ(poisoned.bytes_read, 0u);
+    for (int i = 0; i < kObjects; ++i) {
+        engine.wait(reqs[i]);
+        ASSERT_EQ(reqs[i].stateNow(), StagedState::Done) << i;
+        EXPECT_EQ(reqs[i].resolution_index, refs[i].r_idx) << i;
+        EXPECT_EQ(reqs[i].scans_read, refs[i].scans) << i;
+        EXPECT_EQ(reqs[i].bytes_read, refs[i].bytes) << i;
+    }
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.failed, 1u);
+    EXPECT_EQ(st.decoded, static_cast<uint64_t>(kObjects));
+
+    // The worker that absorbed the poison keeps serving.
+    StagedRequest again;
+    again.id = 0;
+    ASSERT_TRUE(engine.submit(again));
+    engine.wait(again);
+    EXPECT_EQ(again.stateNow(), StagedState::Done);
+}
+
+TEST_F(StagedEngineTest, ChaosRunTerminatesEveryRequest)
+{
+    // Seeded stochastic faults across concurrent decode workers:
+    // every admitted request must reach a structured terminal, and
+    // every Done request must still carry the clean decision.
+    StagedEngineConfig cfg = baseConfig();
+    cfg.decode_workers = 2;
+    cfg.decode_batch = 2;
+    cfg.retry = fastRetry();
+    ThreadsEnv env(4);
+
+    std::vector<InlineRef> refs;
+    for (int i = 0; i < kObjects; ++i)
+        refs.push_back(inlineReference(i, cfg));
+
+    FaultPolicy policy;
+    policy.seed = 0xC0FFEE;
+    policy.transient_p = 0.05;
+    policy.truncate_p = 0.04;
+    policy.corrupt_p = 0.04;
+    policy.latency_tail_p = 0.05;
+    policy.latency_tail_scale_s = 2e-4;
+    policy.latency_max_s = 2e-3;
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    std::vector<StagedRequest> reqs(8 * kObjects);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].id = static_cast<uint64_t>(i % kObjects);
+        ASSERT_TRUE(engine.submit(reqs[i]));
+    }
+    uint64_t done = 0, degraded = 0, failed = 0;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        engine.wait(reqs[i]);
+        const StagedState s = reqs[i].stateNow();
+        switch (s) {
+        case StagedState::Done:
+            ++done;
+            EXPECT_EQ(reqs[i].resolution_index,
+                      refs[i % kObjects].r_idx)
+                << i;
+            EXPECT_EQ(reqs[i].scans_read, refs[i % kObjects].scans)
+                << i;
+            break;
+        case StagedState::Degraded:
+            ++degraded;
+            EXPECT_GT(reqs[i].scans_read, 0) << i;
+            EXPECT_LT(reqs[i].scans_read, reqs[i].scans_intended)
+                << i;
+            break;
+        case StagedState::Failed:
+            ++failed;
+            break;
+        default:
+            FAIL() << "request " << i << " reached state "
+                   << static_cast<int>(s)
+                   << " under chaos with no deadline set";
+        }
+    }
+    engine.drain();
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.decoded, done + degraded);
+    EXPECT_EQ(st.degraded, degraded);
+    EXPECT_EQ(st.failed, failed);
+    EXPECT_GT(done, 0u) << "chaos mix was survivable by design";
 }
 
 } // namespace

@@ -1,13 +1,17 @@
 /**
  * @file
  * Unit tests for the storage module: byte accounting, incremental
- * reads, bandwidth model.
+ * reads, byte delivery, fault injection, bandwidth model.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "image/synthetic.hh"
+#include "storage/fault_injection.hh"
 #include "storage/object_store.hh"
+#include "util/error.hh"
 
 namespace tamres {
 namespace {
@@ -124,10 +128,25 @@ TEST(ObjectStore, DecodedPreviewMatchesDirectDecode)
         EXPECT_EQ(via_store.data()[i], direct.data()[i]);
 }
 
-TEST(ObjectStoreDeath, MissingObject)
+TEST(ObjectStoreError, MissingObjectThrowsNotFound)
 {
+    // A missing id is a request error the serving tier maps to a
+    // per-request failure — a typed throw, never a process abort.
     ObjectStore store;
-    EXPECT_DEATH(store.readScans(404, 1), "not in store");
+    try {
+        store.readScans(404, 1);
+        FAIL() << "expected Error{NotFound}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::NotFound);
+        EXPECT_NE(std::string(e.what()).find("not in store"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(store.peek(404), Error);
+    std::vector<uint8_t> buf;
+    EXPECT_THROW(store.fetchScanRange(404, 0, 1, buf), Error);
+    // The store stays fully usable after a failed lookup.
+    store.put(404, encodeTest(9));
+    EXPECT_NO_THROW(store.readScans(404, 1));
 }
 
 TEST(ObjectStoreDeath, BadIncrementalRange)
@@ -137,14 +156,198 @@ TEST(ObjectStoreDeath, BadIncrementalRange)
     EXPECT_DEATH(store.readAdditionalScans(1, 3, 2), "scan range");
 }
 
+TEST(ObjectStore, FetchScanRangeDeliversAndMetersBytes)
+{
+    // The byte-delivering path the staged engine decodes from: the
+    // appended bytes are the exact payload range, and the metering
+    // matches readScanRangeBytes.
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(10);
+    store.put(1, enc);
+    std::vector<uint8_t> buf;
+    EXPECT_EQ(store.fetchScanRange(1, 0, 2, buf), enc.bytesForScans(2));
+    EXPECT_EQ(buf.size(), enc.bytesForScans(2));
+    EXPECT_EQ(store.fetchScanRange(1, 2, 4, buf),
+              enc.bytesForScans(4) - enc.bytesForScans(2));
+    EXPECT_EQ(buf.size(), enc.bytesForScans(4));
+    EXPECT_EQ(std::memcmp(buf.data(), enc.bytes.data(), buf.size()), 0);
+    EXPECT_EQ(store.stats().bytes_read, enc.bytesForScans(4));
+    EXPECT_EQ(store.stats().bytes_full, enc.totalBytes());
+}
+
+TEST(ObjectStore, FetchScanRangeRetryDoesNotDoubleChargeFull)
+{
+    // A retried from == 0 fetch passes charge_full = false so the
+    // full-read denominator stays once-per-logical-request.
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(11);
+    store.put(1, enc);
+    std::vector<uint8_t> buf;
+    store.fetchScanRange(1, 0, 2, buf);
+    buf.clear(); // simulate discarding a damaged delivery
+    store.fetchScanRange(1, 0, 2, buf, /*charge_full=*/false);
+    EXPECT_EQ(store.stats().bytes_full, enc.totalBytes());
+    EXPECT_EQ(store.stats().bytes_read, 2 * enc.bytesForScans(2));
+}
+
+TEST(ObjectStore, FetchScanRangeHonorsMaxBytes)
+{
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(12);
+    store.put(1, enc);
+    std::vector<uint8_t> buf;
+    const size_t cap = enc.bytesForScans(1) / 2;
+    EXPECT_EQ(store.fetchScanRange(1, 0, 1, buf, true, cap), cap);
+    EXPECT_EQ(buf.size(), cap);
+    // Only the delivered bytes are metered.
+    EXPECT_EQ(store.stats().bytes_read, cap);
+}
+
+TEST(FaultInjection, CleanPolicyIsTransparent)
+{
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(13);
+    base.put(1, enc);
+    FaultyObjectStore store(base, FaultPolicy{});
+    std::vector<uint8_t> buf;
+    EXPECT_EQ(store.fetchScanRange(1, 0, enc.numScans(), buf, true,
+                                   SIZE_MAX),
+              enc.totalBytes());
+    EXPECT_EQ(std::memcmp(buf.data(), enc.bytes.data(), buf.size()), 0);
+    const ReadStats s = store.stats();
+    EXPECT_EQ(s.faults_transient + s.faults_truncated +
+                  s.faults_corrupted + s.faults_delayed,
+              0u);
+}
+
+TEST(FaultInjection, DeterministicAcrossReplays)
+{
+    // Same seed + same call sequence => identical outcomes, including
+    // which attempts fail and which bytes get damaged.
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(14);
+    for (uint64_t id = 1; id <= 6; ++id)
+        base.put(id, enc);
+    FaultPolicy policy;
+    policy.seed = 42;
+    policy.transient_p = 0.3;
+    policy.truncate_p = 0.3;
+    policy.corrupt_p = 0.3;
+
+    const auto replay = [&](std::vector<std::vector<uint8_t>> &outs,
+                            std::vector<int> &outcomes) {
+        FaultyObjectStore store(base, policy);
+        for (uint64_t id = 1; id <= 6; ++id) {
+            for (int attempt = 0; attempt < 3; ++attempt) {
+                std::vector<uint8_t> buf;
+                try {
+                    store.fetchScanRange(id, 0, 2, buf, true, SIZE_MAX);
+                    outcomes.push_back(1);
+                } catch (const Error &e) {
+                    EXPECT_EQ(e.kind(), ErrorKind::Transient);
+                    outcomes.push_back(0);
+                }
+                outs.push_back(std::move(buf));
+            }
+        }
+    };
+    std::vector<std::vector<uint8_t>> a_bytes, b_bytes;
+    std::vector<int> a_out, b_out;
+    replay(a_bytes, a_out);
+    replay(b_bytes, b_out);
+    EXPECT_EQ(a_out, b_out);
+    EXPECT_EQ(a_bytes, b_bytes);
+    // With 30% rates over 18 draws, something must have fired.
+    int fired = 0;
+    for (int i = 0; i < static_cast<int>(a_out.size()); ++i)
+        fired += a_out[i] == 0;
+    for (size_t i = 0; i < a_bytes.size(); ++i)
+        if (!a_bytes[i].empty() && a_bytes[i].size() < enc.bytesForScans(2))
+            ++fired;
+    EXPECT_GT(fired, 0);
+}
+
+TEST(FaultInjection, ScriptedFaultsHitExactAttempts)
+{
+    // A scripted schedule gives tests full control: fail attempt 0,
+    // truncate attempt 1, corrupt attempt 2, clean from attempt 3.
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(15);
+    base.put(1, enc);
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        if (ctx.attempt == 0)
+            d.fail = true;
+        else if (ctx.attempt == 1)
+            d.deliver_bytes = ctx.range_bytes / 2;
+        else if (ctx.attempt == 2)
+            d.flip_bit = 13;
+        return d;
+    };
+    FaultyObjectStore store(base, policy);
+
+    std::vector<uint8_t> buf;
+    // A Transient throw happens before any base delivery: nothing is
+    // appended and nothing is charged, so the retry keeps
+    // charge_full = true until a delivery lands.
+    EXPECT_THROW(store.fetchScanRange(1, 0, 2, buf, true, SIZE_MAX),
+                 Error);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(store.stats().bytes_full, 0u);
+    EXPECT_EQ(store.fetchScanRange(1, 0, 2, buf, true, SIZE_MAX),
+              enc.bytesForScans(2) / 2);
+    buf.clear();
+    EXPECT_EQ(store.fetchScanRange(1, 0, 2, buf, false, SIZE_MAX),
+              enc.bytesForScans(2));
+    EXPECT_NE(std::memcmp(buf.data(), enc.bytes.data(), buf.size()), 0);
+    buf.clear();
+    EXPECT_EQ(store.fetchScanRange(1, 0, 2, buf, false, SIZE_MAX),
+              enc.bytesForScans(2));
+    EXPECT_EQ(std::memcmp(buf.data(), enc.bytes.data(), buf.size()), 0);
+
+    const ReadStats s = store.stats();
+    EXPECT_EQ(s.faults_transient, 1u);
+    EXPECT_EQ(s.faults_truncated, 1u);
+    EXPECT_EQ(s.faults_corrupted, 1u);
+    // Base accounting still meters only delivered bytes, with the
+    // denominator charged once (first successful delivery).
+    EXPECT_EQ(s.bytes_read,
+              enc.bytesForScans(2) / 2 + 2 * enc.bytesForScans(2));
+    EXPECT_EQ(s.bytes_full, enc.totalBytes());
+}
+
+TEST(FaultInjection, MissingObjectStillNotFound)
+{
+    ObjectStore base;
+    FaultPolicy policy;
+    policy.transient_p = 1.0; // would otherwise always fail Transient
+    FaultyObjectStore store(base, policy);
+    std::vector<uint8_t> buf;
+    try {
+        store.fetchScanRange(404, 0, 1, buf, true, SIZE_MAX);
+        FAIL() << "expected Error{NotFound}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::NotFound);
+    }
+}
+
 TEST(ReadStats, MergeAccumulates)
 {
     ReadStats a{.requests = 1, .bytes_read = 10, .bytes_full = 20};
     ReadStats b{.requests = 2, .bytes_read = 5, .bytes_full = 30};
+    b.faults_delayed = 1;
+    b.faults_transient = 2;
+    b.faults_truncated = 3;
+    b.faults_corrupted = 4;
     a.merge(b);
     EXPECT_EQ(a.requests, 3u);
     EXPECT_EQ(a.bytes_read, 15u);
     EXPECT_EQ(a.bytes_full, 50u);
+    EXPECT_EQ(a.faults_delayed, 1u);
+    EXPECT_EQ(a.faults_transient, 2u);
+    EXPECT_EQ(a.faults_truncated, 3u);
+    EXPECT_EQ(a.faults_corrupted, 4u);
 }
 
 TEST(ReadStats, EmptyIsNeutral)
