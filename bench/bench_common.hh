@@ -60,6 +60,39 @@
  *                            acceptance-leg goodput / clean goodput —
  *                            the gated "faults cost latency, not
  *                            liveness" headline ratio
+ *
+ * BENCH_overload.json (written by bench/overload_control, gated by
+ * tools/bench_gate.py; p99_ms fields gate lower-is-better via the
+ * gate's per-file direction map):
+ *   requests                 closed-loop requests per leg
+ *   legs[]                   one point per leg, in this fixed order:
+ *                            tail_base / tail_hedge (latency-tail
+ *                            injection, hedging off/on) and
+ *                            retry_only / full (heavy fault mix,
+ *                            PR 6 retries only vs the whole breaker
+ *                            + hedge + brownout control plane):
+ *     name, hedge, breaker,  leg name and which defenses are on
+ *     brownout
+ *     goodput_rps            (Done + Degraded) per wall-clock second
+ *     done_/degraded_/       terminal mix over the leg's requests
+ *     failed_fraction
+ *     p99_ms                 latency p99 over served requests —
+ *                            lower-is-better gated
+ *     retries, retry_giveups engine retry-path counters
+ *     hedges_issued,         backup fetches launched / adopted over
+ *     hedge_wins             their primary
+ *     breaker_trips,         circuit-breaker transitions to Open and
+ *     breaker_fast_fails     fetches it rejected while Open
+ *     tier_drops,            brownout tier shifts and decisions the
+ *     tier_recoveries,       active tier lowered
+ *     brownout_capped
+ *   hedge_p99_gain           tail_base p99 / tail_hedge p99 — the
+ *                            gated "hedging cuts the fetch-bound
+ *                            tail" headline ratio
+ *   overload_goodput_gain    full goodput / retry_only goodput — the
+ *                            gated "the control plane keeps goodput
+ *                            under the heavy mix" headline ratio
+ *                            (acceptance target: >= 2)
  */
 
 #ifndef TAMRES_BENCH_BENCH_COMMON_HH

@@ -62,6 +62,28 @@
  * mid-scan entropy damage) to the staged Failed terminal. Worker
  * threads catch all request-scoped exceptions — one poisoned request
  * can never stall or kill a stage.
+ *
+ * Overload control plane (staged pipeline; knobs in OverloadConfig,
+ * semantics in docs/robustness.md): three fleet-level defenses
+ * compose with the per-request ones above. A BreakerObjectStore
+ * (storage/breaker.hh) may wrap the store — while it is Open, fetches
+ * throw Transient errors with Error::failFast() set, and the decode
+ * stage's retry loop must (and does) skip its backoff and degrade
+ * immediately; handlers added to the fetch path must preserve this
+ * rule. Stage-1/4 fetches may be HEDGED: a slow fetch races one
+ * backup on a dedicated pool, the first success is adopted, and the
+ * loser's bytes still count (bytes_read meters work done, not work
+ * used). A brownout controller shifts a quality tier from terminal
+ * outcomes: tier 1 caps preview/scan depth, tier 2 sheds resolution,
+ * tier 3 REJECTS submissions with the typed Rejected terminal —
+ * submit() returning false now means Shed (queue full) OR Rejected
+ * (brownout); distinguish via StagedRequest::stateNow(). Terminal
+ * conservation is a hard invariant: after every wait() returns,
+ * admitted == done + degraded + failed + expired + shed + rejected.
+ * All controller decisions (breaker transitions, tier shifts, retry
+ * backoff) take time from an injectable Clock (util/clock.hh), so
+ * they replay deterministically under test; hedge timing alone is
+ * wall-clock, because it races real threads.
  */
 
 #ifndef TAMRES_CORE_ENGINE_HH

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <thread>
 
 #include "util/error.hh"
@@ -27,13 +28,83 @@ mix64(uint64_t x)
 
 } // namespace
 
+/**
+ * Tiny dedicated executor for hedged fetches. Deliberately NOT the
+ * fork-join ThreadPool: hedge tasks are independent fire-and-forget
+ * I/O calls whose waiter blocks on a condition variable, which would
+ * deadlock a fork-join pool. The destructor runs every task already
+ * enqueued before joining, so a fetch waiter can never hang on a
+ * dropped task.
+ */
+class StagedServingEngine::HedgePool
+{
+  public:
+    explicit HedgePool(int threads)
+    {
+        workers_.reserve(static_cast<size_t>(threads));
+        for (int i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { loop(); });
+    }
+
+    ~HedgePool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    void
+    enqueue(std::function<void()> fn)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            tasks_.push_back(std::move(fn));
+        }
+        cv_.notify_one();
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            cv_.wait(lock,
+                     [&] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping and fully drained
+            std::function<void()> fn = std::move(tasks_.front());
+            tasks_.pop_front();
+            lock.unlock();
+            fn();
+            lock.lock();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> tasks_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
 StagedServingEngine::StagedServingEngine(ObjectStore &store,
                                          const ScaleModel &scale,
                                          Graph *backbone,
                                          StagedEngineConfig config)
     : store_(&store), scale_(&scale), backbone_(backbone),
       cfg_(std::move(config)),
-      epoch_(std::chrono::steady_clock::now())
+      clock_(cfg_.overload.clock ? cfg_.overload.clock
+                                 : &Clock::steady()),
+      epoch_s_(clock_->now()),
+      hedge_lat_(std::max(1, cfg_.overload.hedge.latency_window)),
+      brown_window_(cfg_.overload.brownout.window_s > 0
+                        ? cfg_.overload.brownout.window_s
+                        : 0.5)
 {
     tamres_assert(cfg_.decode_workers >= 1,
                   "staged engine needs >= 1 decode worker");
@@ -47,6 +118,12 @@ StagedServingEngine::StagedServingEngine(ObjectStore &store,
     if (backbone_)
         inner_ = std::make_unique<ServingEngine>(*backbone_,
                                                  cfg_.backbone);
+    if (cfg_.overload.hedge.enable) {
+        const int threads = cfg_.overload.hedge.pool_threads > 0
+                                ? cfg_.overload.hedge.pool_threads
+                                : cfg_.decode_workers + 2;
+        hedge_pool_ = std::make_unique<HedgePool>(threads);
+    }
 
     threads_.reserve(cfg_.decode_workers);
     for (int i = 0; i < cfg_.decode_workers; ++i)
@@ -61,20 +138,31 @@ StagedServingEngine::~StagedServingEngine()
 double
 StagedServingEngine::now() const
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
+    return clock_->now() - epoch_s_;
 }
 
 bool
 StagedServingEngine::submit(StagedRequest &req)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    ++admitted_;
+    // Brownout tier 3: the controller has concluded the system cannot
+    // finish the work it already holds — refuse new work with a typed
+    // terminal the caller can distinguish from a full queue.
+    if (cfg_.overload.brownout.enable &&
+        brownout_tier_.load(std::memory_order_relaxed) >= 3) {
+        req.latency_s = 0.0;
+        req.state.store(static_cast<int>(StagedState::Rejected),
+                        std::memory_order_release);
+        accountTerminalLocked(req, StagedState::Rejected);
+        done_cv_.notify_all();
+        return false;
+    }
     if (stopping_ ||
         queue_.size() >= static_cast<size_t>(cfg_.queue_capacity)) {
-        ++shed_admission_;
         req.state.store(static_cast<int>(StagedState::Shed),
                         std::memory_order_release);
+        accountTerminalLocked(req, StagedState::Shed);
         done_cv_.notify_all();
         return false;
     }
@@ -86,6 +174,7 @@ StagedServingEngine::submit(StagedRequest &req)
     req.scans_intended = 0;
     req.bytes_read = 0;
     req.retries = 0;
+    req.hedges = 0;
     req.decode_s = 0.0;
     req.latency_s = 0.0;
     req.state.store(static_cast<int>(StagedState::Queued),
@@ -137,9 +226,93 @@ StagedServingEngine::finalize(StagedRequest &req)
     req.latency_s = req.decode_s + req.infer.latency_s;
     req.state.store(static_cast<int>(terminal),
                     std::memory_order_release);
-    if (terminal == StagedState::Failed) {
+    {
         std::lock_guard<std::mutex> lock(mu_);
-        ++failed_;
+        accountTerminalLocked(req, terminal);
+    }
+}
+
+void
+StagedServingEngine::accountTerminalLocked(const StagedRequest &req,
+                                           StagedState terminal)
+{
+    switch (terminal) {
+      case StagedState::Done: ++done_; break;
+      case StagedState::Degraded: ++degraded_; break;
+      case StagedState::Failed: ++failed_; break;
+      case StagedState::Expired: ++expired_; break;
+      case StagedState::Shed: ++shed_admission_; break;
+      case StagedState::Rejected: ++rejected_; break;
+      default: break;
+    }
+
+    const BrownoutConfig &bc = cfg_.overload.brownout;
+    if (!bc.enable)
+        return;
+    const double t = now();
+    // Rejected outcomes are NOT pressure evidence: at tier 3 they are
+    // the controller's own output, and sampling them would latch the
+    // brownout at maximum forever. (Idle recovery below is what walks
+    // a rejecting tier back down.)
+    if (terminal != StagedState::Rejected) {
+        bool bad = terminal != StagedState::Done;
+        if (terminal == StagedState::Done && req.deadline_s > 0.0 &&
+            req.latency_s >
+                (1.0 - bc.headroom_frac) * req.deadline_s)
+            bad = true; // served, but with the deadline nearly spent
+        brown_window_.record(t, bad);
+    }
+    brownoutEvaluateLocked(t);
+}
+
+void
+StagedServingEngine::brownoutEvaluateLocked(double now_s)
+{
+    const BrownoutConfig &bc = cfg_.overload.brownout;
+    if (!bc.enable)
+        return;
+    const int tier = brownout_tier_.load(std::memory_order_relaxed);
+    const int64_t n = brown_window_.total(now_s);
+    const double frac = brown_window_.badFraction(now_s);
+    const double since = now_s - last_shift_s_;
+    const int max_tier = std::clamp(bc.max_tier, 0, 3);
+
+    // Hysteresis: shifts need min_dwell_s between them, evidence
+    // thresholds are asymmetric (high_pressure > low_pressure), and
+    // the window resets on every shift so each tier is judged only on
+    // outcomes produced while it was active. Stepping down may
+    // require extra evidence/patience (recovery_samples /
+    // recovery_dwell_s, defaulting to the symmetric knobs).
+    const int down_samples =
+        bc.recovery_samples > 0 ? bc.recovery_samples : bc.min_samples;
+    const double down_dwell = bc.recovery_dwell_s > 0
+                                  ? bc.recovery_dwell_s
+                                  : bc.min_dwell_s;
+    if (tier < max_tier && n >= bc.min_samples &&
+        frac >= bc.high_pressure && since >= bc.min_dwell_s) {
+        brownout_tier_.store(tier + 1, std::memory_order_relaxed);
+        ++tier_drops_;
+        last_shift_s_ = now_s;
+        brown_window_.reset();
+        return;
+    }
+    if (tier > 0 && n >= down_samples && frac <= bc.low_pressure &&
+        since >= down_dwell) {
+        brownout_tier_.store(tier - 1, std::memory_order_relaxed);
+        ++tier_recoveries_;
+        last_shift_s_ = now_s;
+        brown_window_.reset();
+        return;
+    }
+    // Idle recovery: a tier that sees no outcomes (tier 3 rejects all
+    // submissions, or traffic simply stopped) would otherwise never
+    // collect the evidence to step back down.
+    if (tier > 0 && n == 0 &&
+        since >= std::max(down_dwell, bc.window_s)) {
+        brownout_tier_.store(tier - 1, std::memory_order_relaxed);
+        ++tier_recoveries_;
+        last_shift_s_ = now_s;
+        brown_window_.reset();
     }
 }
 
@@ -159,6 +332,10 @@ StagedServingEngine::drain()
 void
 StagedServingEngine::stop()
 {
+    // Serialized end to end so only one caller tears down the hedge
+    // pool, and only after the decode workers that feed it have
+    // joined (their in-flight fetch tasks must be allowed to settle).
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
     std::vector<std::thread> joinable;
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -169,6 +346,7 @@ StagedServingEngine::stop()
     done_cv_.notify_all();
     for (auto &t : joinable)
         t.join();
+    hedge_pool_.reset(); // drains queued fetch tasks, then joins
     if (inner_)
         inner_->stop();
 }
@@ -180,9 +358,12 @@ StagedServingEngine::stats() const
     {
         std::lock_guard<std::mutex> lock(mu_);
         s.decode_queue_depth = static_cast<int>(queue_.size());
+        s.admitted = admitted_;
         s.decoded = decoded_;
+        s.done = done_;
         s.shed_admission = shed_admission_;
         s.expired = expired_;
+        s.rejected = rejected_;
         s.shed_cap_applied = shed_cap_applied_;
         s.scans_read = scans_read_;
         s.bytes_read = bytes_read_;
@@ -191,6 +372,13 @@ StagedServingEngine::stats() const
         s.retries = retries_;
         s.fetch_faults = fetch_faults_;
         s.retry_giveups = retry_giveups_;
+        s.hedges_issued = hedges_issued_;
+        s.hedge_wins = hedge_wins_;
+        s.brownout_tier =
+            brownout_tier_.load(std::memory_order_relaxed);
+        s.tier_drops = tier_drops_;
+        s.tier_recoveries = tier_recoveries_;
+        s.brownout_capped = brownout_capped_;
         s.resolution_hist = resolution_hist_;
     }
     if (inner_)
@@ -246,12 +434,7 @@ StagedServingEngine::markTerminal(StagedRequest &req, StagedState state)
                     std::memory_order_release);
     {
         std::lock_guard<std::mutex> lock(mu_);
-        switch (state) {
-          case StagedState::Expired: ++expired_; break;
-          case StagedState::Failed: ++failed_; break;
-          case StagedState::Shed: ++shed_admission_; break;
-          default: break;
-        }
+        accountTerminalLocked(req, state);
     }
     done_cv_.notify_all();
 }
@@ -324,8 +507,7 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
             }
             ++req.retries;
             if (backoff > 0.0)
-                std::this_thread::sleep_for(
-                    std::chrono::duration<double>(backoff));
+                clock_->sleepFor(backoff);
         }
         ++attempt;
 
@@ -336,14 +518,23 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
         const int from = dec.scansDecoded();
         delivery.bytes.resize(delivery.scan_offsets[from]);
         try {
-            bytes += store_->fetchScanRange(req.id, from, target,
-                                            delivery.bytes,
-                                            !charged_full);
+            bytes += hedgedFetch(req, from, target, delivery,
+                                 !charged_full);
             if (from == 0)
                 charged_full = true;
         } catch (const Error &e) {
             if (e.kind() != ErrorKind::Transient)
                 throw; // NotFound and friends: not retryable here
+            if (e.failFast()) {
+                // A circuit breaker is refusing fetches: every retry
+                // would fail the same way until its cooldown expires,
+                // so backing off only burns deadline the request
+                // could spend degrading gracefully. Give up NOW.
+                std::lock_guard<std::mutex> lock(mu_);
+                ++fetch_faults_;
+                ++retry_giveups_;
+                return false;
+            }
             std::lock_guard<std::mutex> lock(mu_);
             ++fetch_faults_;
             continue;
@@ -371,6 +562,171 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
         }
     }
     return true;
+}
+
+/**
+ * One physical ranged fetch for scans [from, target) appended to the
+ * delivery buffer, hedged when configured: the primary fetch runs as
+ * a task on the hedge pool; if it outlives the tracked hedge delay, a
+ * single backup fetch for the same range races it and the first
+ * success is adopted. The loser is discarded — its delivered bytes
+ * are charged to the engine's bytes_read_ when it eventually settles
+ * (honest metering; both fetches were also metered by the store).
+ * Throws the first error when every attempt fails. The backup never
+ * charges the full-read denominator, so bytes_full can undercount in
+ * the rare case where the primary of a from == 0 range fails after
+ * its backup won — the conservative direction for savings numbers.
+ */
+size_t
+StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
+                                 int target, EncodedImage &delivery,
+                                 bool charge_full)
+{
+    if (!hedge_pool_)
+        return store_->fetchScanRange(req.id, from, target,
+                                      delivery.bytes, charge_full);
+
+    const HedgeConfig &hc = cfg_.overload.hedge;
+    const size_t begin = delivery.bytes.size();
+
+    struct FetchState
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        int pending = 0;
+        bool winner = false;
+        bool winner_is_backup = false;
+        std::vector<uint8_t> win_buf;
+        size_t win_got = 0;
+        std::exception_ptr first_error;
+    };
+    auto state = std::make_shared<FetchState>();
+
+    auto launch = [&](bool is_backup) {
+        {
+            std::lock_guard<std::mutex> lock(state->mu);
+            ++state->pending;
+        }
+        hedge_pool_->enqueue([this, state, is_backup, begin,
+                              id = req.id, from, target,
+                              charge = is_backup ? false
+                                                 : charge_full] {
+            // Scratch delivery prefix: fetchScanRange only requires
+            // dst.size() == scan_offsets[from]; the prefix content is
+            // never read, only appended after.
+            std::vector<uint8_t> buf(begin);
+            size_t got = 0;
+            std::exception_ptr err;
+            try {
+                got = store_->fetchScanRange(id, from, target, buf,
+                                             charge);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            if (is_backup)
+                hedges_inflight_.fetch_sub(
+                    1, std::memory_order_relaxed);
+            bool lost_success = false;
+            {
+                std::lock_guard<std::mutex> lock(state->mu);
+                --state->pending;
+                if (err) {
+                    if (!state->first_error)
+                        state->first_error = err;
+                } else if (!state->winner) {
+                    state->winner = true;
+                    state->winner_is_backup = is_backup;
+                    state->win_buf = std::move(buf);
+                    state->win_got = got;
+                } else {
+                    lost_success = true;
+                }
+            }
+            if (lost_success && got > 0) {
+                std::lock_guard<std::mutex> lock(mu_);
+                bytes_read_ += got; // the loser still moved bytes
+            }
+            state->cv.notify_all();
+        });
+    };
+
+    // Hedge delay: the tracked latency quantile, clamped, and
+    // bootstrapped at the ceiling until there is enough evidence.
+    // Wall-clock on purpose — hedging races real threads.
+    double delay = hc.max_delay_s;
+    {
+        std::lock_guard<std::mutex> lock(hedge_mu_);
+        if (hedge_lat_.count() >= 8)
+            delay = std::clamp(hedge_lat_.quantile(hc.delay_quantile),
+                               hc.min_delay_s, hc.max_delay_s);
+    }
+
+    const double t0 = Clock::steady().now();
+    launch(/*is_backup=*/false);
+
+    std::unique_lock<std::mutex> lock(state->mu);
+    bool hedge_spent = false;
+    while (!state->winner && state->pending > 0) {
+        if (hedge_spent || req.hedges >= hc.max_per_request) {
+            state->cv.wait(lock, [&] {
+                return state->winner || state->pending == 0;
+            });
+            continue;
+        }
+        if (state->cv.wait_for(lock,
+                               std::chrono::duration<double>(delay),
+                               [&] {
+                                   return state->winner ||
+                                          state->pending == 0;
+                               }))
+            break;
+        // The primary is slow past the hedge delay: spend ONE backup
+        // if the global in-flight budget allows it.
+        hedge_spent = true;
+        if (hedges_inflight_.fetch_add(1, std::memory_order_relaxed) >=
+            hc.inflight_budget) {
+            hedges_inflight_.fetch_sub(1, std::memory_order_relaxed);
+            continue; // budget refused; keep waiting unhedged
+        }
+        ++req.hedges;
+        lock.unlock();
+        {
+            std::lock_guard<std::mutex> elock(mu_);
+            ++hedges_issued_;
+        }
+        launch(/*is_backup=*/true);
+        lock.lock();
+    }
+
+    if (!state->winner) {
+        std::exception_ptr err = state->first_error;
+        lock.unlock();
+        if (err)
+            std::rethrow_exception(err);
+        throwError(ErrorKind::Transient,
+                   "hedged fetch: all attempts settled with no "
+                   "result for object %llu",
+                   static_cast<unsigned long long>(req.id));
+    }
+
+    const bool backup_won = state->winner_is_backup;
+    std::vector<uint8_t> win_buf = std::move(state->win_buf);
+    const size_t got = state->win_got;
+    lock.unlock();
+
+    delivery.bytes.insert(
+        delivery.bytes.end(),
+        win_buf.begin() + static_cast<ptrdiff_t>(begin),
+        win_buf.end());
+    {
+        std::lock_guard<std::mutex> lk(hedge_mu_);
+        hedge_lat_.record(Clock::steady().now() - t0);
+    }
+    if (backup_won && req.hedges > 0) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++hedge_wins_;
+    }
+    return got;
 }
 
 void
@@ -402,7 +758,15 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
     int kprev = 0;
     size_t bytes = 0;
     bool capped = false;
+    bool tier_capped = false;
     bool charged_full = false;
+
+    // The brownout tier is sampled ONCE at formation so one request
+    // sees a consistent quality level even if the controller shifts
+    // mid-flight.
+    const BrownoutConfig &bc = cfg_.overload.brownout;
+    const int tier =
+        bc.enable ? brownout_tier_.load(std::memory_order_relaxed) : 0;
 
     if (cfg_.fixed_resolution > 0) {
         // Static mode: no preview fetch, no scale model — the
@@ -426,6 +790,10 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
                     ? cfg_.preview_depth(req.id)
                     : cfg_.preview_scans;
         kprev = std::clamp(kprev, 0, num_scans);
+        // Brownout tier >= 1 caps how much preview evidence a request
+        // may buy: cheaper decisions, shallower reads.
+        if (tier >= 1)
+            kprev = std::min(kprev, std::max(0, bc.preview_cap));
         if (kprev > 0)
             fetchScansWithRetry(req, delivery, dec, kprev, bytes,
                                 charged_full, t0);
@@ -454,6 +822,25 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
             r_idx = lowered;
             capped = true;
         }
+
+        // Brownout tier >= 2 sheds resolution to a floor regardless
+        // of queue depth — the controller has evidence the system is
+        // not keeping up at current quality.
+        if (tier >= 2) {
+            const int floor_res =
+                bc.resolution_cap > 0
+                    ? bc.resolution_cap
+                    : *std::min_element(grid.begin(), grid.end());
+            int lowered = 0;
+            for (size_t i = 0; i < grid.size(); ++i) {
+                if (grid[i] <= floor_res && grid[i] >= grid[lowered])
+                    lowered = static_cast<int>(i);
+            }
+            if (grid[r_idx] > grid[lowered]) {
+                r_idx = lowered;
+                tier_capped = true;
+            }
+        }
         resolution = grid[r_idx];
     }
 
@@ -467,6 +854,10 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
     int total = cfg_.scan_depth ? cfg_.scan_depth(req.id, r_idx)
                                 : num_scans;
     total = std::clamp(total, kprev, num_scans);
+    // Brownout tier >= 1 also caps the total scan depth (never below
+    // what the preview already decoded).
+    if (tier >= 1)
+        total = std::min(total, std::max(bc.scan_cap, kprev));
     if (dec.scansDecoded() < total)
         fetchScansWithRetry(req, delivery, dec, total, bytes,
                             charged_full, now());
@@ -493,8 +884,8 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
         resolution_hist_[static_cast<size_t>(r_idx)] += 1;
         if (capped)
             ++shed_cap_applied_;
-        if (degraded)
-            ++degraded_;
+        if (tier_capped)
+            ++brownout_capped_;
     }
 
     if (!inner_) {

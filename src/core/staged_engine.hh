@@ -64,7 +64,26 @@
  * request as Failed. Worker threads contain every request-scoped
  * throw: one poisoned request never stalls its batch or kills a
  * worker, and every admitted request reaches one of Done / Degraded /
- * Shed / Expired / Failed.
+ * Shed / Expired / Failed / Rejected.
+ *
+ * Overload control (OverloadConfig; full narrative in
+ * docs/robustness.md): PR 6's per-request defenses compose with three
+ * fleet-level ones. (1) A BreakerObjectStore (storage/breaker.hh)
+ * wrapped around the store fail-fasts fetches while the tier is sick;
+ * the retry loop honors Error::failFast() by skipping its backoff and
+ * degrading immediately. (2) Hedged reads: when a stage-1/4 fetch
+ * exceeds a quantile-tracked delay, ONE backup fetch is issued on a
+ * small dedicated pool and the first success wins; the loser is
+ * discarded but its bytes are still charged (honest metering), and a
+ * per-request cap plus a global in-flight budget prevent hedge
+ * storms. Hedge timing is real wall-clock time by design — it races
+ * real threads — so hedge tests inject real (small) latencies.
+ * (3) A brownout controller watches a sliding window of terminal
+ * outcomes (and deadline headroom on successes) and shifts a quality
+ * tier hysteretically: tier 1 caps preview/scan depth, tier 2 also
+ * sheds resolution to a floor, tier 3 also REJECTS new submissions
+ * with the typed Rejected terminal. Terminal conservation extends to
+ *   admitted == done + degraded + failed + expired + shed + rejected.
  */
 
 #ifndef TAMRES_CORE_STAGED_ENGINE_HH
@@ -79,12 +98,14 @@
 #include "core/engine.hh"
 #include "core/scale_model.hh"
 #include "storage/object_store.hh"
+#include "util/clock.hh"
+#include "util/windowed.hh"
 
 namespace tamres {
 
 /**
  * Staged request states (terminal: Done, Degraded, Shed, Expired,
- * Failed).
+ * Failed, Rejected).
  */
 enum class StagedState : int
 {
@@ -96,6 +117,7 @@ enum class StagedState : int
     Expired,    //!< deadline passed before a stage could serve it
     Degraded,   //!< served at a REDUCED scan depth after fetch faults
     Failed,     //!< unrecoverable fault; output fields are NOT valid
+    Rejected,   //!< refused by the brownout controller (tier 3)
 };
 
 /**
@@ -117,6 +139,7 @@ struct StagedRequest
     int scans_intended = 0;   //!< scans the decision wanted
     size_t bytes_read = 0;    //!< total bytes fetched (both ranges)
     int retries = 0;          //!< fetch attempts beyond the first
+    int hedges = 0;           //!< backup fetches issued for this request
     double decode_s = 0.0;    //!< submit -> backbone-stage handoff
     double latency_s = 0.0;   //!< submit -> terminal
 
@@ -159,6 +182,94 @@ struct StagedRetryConfig
     double stage_timeout_s = 0;    //!< per-stage fetch budget; 0 = none
 };
 
+/**
+ * Hedged-read policy for stages 1/4 (Dean's tail-at-scale move).
+ *
+ * When a fetch has been in flight longer than the hedge delay — the
+ * delay_quantile of recent successful fetch latencies, clamped to
+ * [min_delay_s, max_delay_s] and bootstrapped at max_delay_s until
+ * enough samples exist — ONE backup fetch for the same range is
+ * issued on a dedicated pool; the first success is adopted and the
+ * loser's delivered bytes are still charged to bytes_read (honest
+ * metering; the store's own ReadStats meter both fetches anyway).
+ * max_per_request and inflight_budget bound the extra traffic so a
+ * sick store cannot amplify load. Hedge timing is wall-clock by
+ * construction (it races real threads); it ignores any injected
+ * engine clock.
+ */
+struct HedgeConfig
+{
+    bool enable = false;
+    double delay_quantile = 0.95; //!< hedge past this latency quantile
+    double min_delay_s = 1e-3;    //!< hedge-delay floor
+    double max_delay_s = 0.1;     //!< hedge-delay ceiling + bootstrap
+    int max_per_request = 1;      //!< backup fetches per request
+    int inflight_budget = 4;      //!< global concurrent backup cap
+    int pool_threads = 0;         //!< 0 = decode_workers + 2
+    int latency_window = 64;      //!< samples kept for the quantile
+};
+
+/**
+ * Brownout (adaptive quality-shedding) policy.
+ *
+ * A sliding window of terminal outcomes drives a quality tier:
+ * an outcome is "bad" when the request Degraded / Failed / Expired /
+ * was Shed, or when it was Done with less than headroom_frac of its
+ * deadline left. When the windowed bad fraction reaches
+ * high_pressure (with at least min_samples of evidence and
+ * min_dwell_s since the last shift) the tier steps UP; at or below
+ * low_pressure it steps DOWN — hysteresis, and the window resets on
+ * every shift so each tier is judged on its own evidence. A tier > 0
+ * whose window has gone empty for a full window (e.g. tier 3
+ * rejecting everything, so no samples arrive) also steps down: the
+ * controller must be able to find its way back without traffic.
+ *
+ * Tiers: 0 = full quality; 1 = preview/scan depth caps (preview_cap,
+ * scan_cap); 2 = tier 1 + resolution shed to resolution_cap (0 means
+ * the grid's lowest); 3 = tier 2 + admission rejection (typed
+ * Rejected terminal). max_tier limits the climb.
+ */
+struct BrownoutConfig
+{
+    bool enable = false;
+    double window_s = 0.5;     //!< outcome-window length
+    int min_samples = 8;       //!< evidence needed before a shift
+    double high_pressure = 0.5; //!< bad fraction that raises the tier
+    double low_pressure = 0.1; //!< bad fraction that lowers it
+    double min_dwell_s = 0.25; //!< min time between shifts
+
+    /**
+     * Asymmetric hysteresis for stepping DOWN: shedding must engage
+     * on little evidence (min_samples, min_dwell_s), but recovering
+     * on the same small sample is trigger-happy — right after a
+     * shift the window is empty, and a handful of lucky outcomes
+     * would flap the tier straight back. 0 inherits the symmetric
+     * knobs; set higher to make recovery patient.
+     */
+    int recovery_samples = 0;     //!< window evidence to step down
+    double recovery_dwell_s = 0;  //!< min time at a tier before down
+    double headroom_frac = 0.2; //!< Done is "bad" under this headroom
+    int preview_cap = 1;       //!< tier >= 1: max preview scans
+    int scan_cap = 2;          //!< tier >= 1: max total scans
+    int resolution_cap = 0;    //!< tier >= 2: res floor (0 = lowest)
+    int max_tier = 3;          //!< highest tier the controller may use
+};
+
+/** The staged engine's overload-control knobs (see file docs). */
+struct OverloadConfig
+{
+    HedgeConfig hedge;
+    BrownoutConfig brownout;
+
+    /**
+     * Time source for deadlines, retry backoff, and brownout dwell —
+     * nullptr means Clock::steady(). Tests inject a ManualClock to
+     * replay controller transitions deterministically. Hedge timing
+     * deliberately stays wall-clock (see HedgeConfig).
+     */
+    Clock *clock = nullptr;
+};
+
 /** Staged engine construction parameters. */
 struct StagedEngineConfig
 {
@@ -199,17 +310,30 @@ struct StagedEngineConfig
     /** Fetch retry / degradation policy for storage faults. */
     StagedRetryConfig retry;
 
+    /** Overload control: hedged reads, brownout, injectable clock. */
+    OverloadConfig overload;
+
     /** Inner backbone-stage engine configuration. */
     EngineConfig backbone;
 };
 
-/** Counter snapshot from StagedServingEngine::stats(). */
+/**
+ * Counter snapshot from StagedServingEngine::stats().
+ *
+ * Terminal conservation: once every submitted request has reached a
+ * terminal state (all wait()s returned),
+ *   admitted == done + degraded + failed + expired + shed_admission
+ *               + rejected.
+ */
 struct StagedStats
 {
     int decode_queue_depth = 0;   //!< stage-1 requests waiting now
+    uint64_t admitted = 0;        //!< submit() calls (incl. refused)
     uint64_t decoded = 0;         //!< requests through stages 1-4
+    uint64_t done = 0;            //!< terminal Done
     uint64_t shed_admission = 0;  //!< rejected at either admission
     uint64_t expired = 0;         //!< dropped past their deadline
+    uint64_t rejected = 0;        //!< refused by brownout tier 3
     uint64_t shed_cap_applied = 0; //!< decisions lowered by shed_cap
     uint64_t scans_read = 0;      //!< total scans fetched
     uint64_t bytes_read = 0;      //!< total bytes fetched
@@ -218,6 +342,12 @@ struct StagedStats
     uint64_t retries = 0;         //!< fetch attempts beyond the first
     uint64_t fetch_faults = 0;    //!< recoverable faults observed
     uint64_t retry_giveups = 0;   //!< retries abandoned (budget/cap)
+    uint64_t hedges_issued = 0;   //!< backup fetches launched
+    uint64_t hedge_wins = 0;      //!< backups adopted over the primary
+    int brownout_tier = 0;        //!< current quality tier
+    uint64_t tier_drops = 0;      //!< tier increments (quality down)
+    uint64_t tier_recoveries = 0; //!< tier decrements (quality back)
+    uint64_t brownout_capped = 0; //!< decisions lowered by the tier
     std::vector<uint64_t> resolution_hist; //!< per resolutions() index
     EngineStats backbone;         //!< inner engine snapshot
 };
@@ -279,6 +409,8 @@ class StagedServingEngine
     }
 
   private:
+    class HedgePool;
+
     void decodeLoop();
     void processOne(StagedRequest &req, int depth);
     void processOneImpl(StagedRequest &req, int depth);
@@ -287,8 +419,15 @@ class StagedServingEngine
                              ProgressiveDecoder &dec, int target,
                              size_t &bytes, bool &charged_full,
                              double stage_start_s);
+    size_t hedgedFetch(StagedRequest &req, int from, int target,
+                       EncodedImage &delivery, bool charge_full);
     void markTerminal(StagedRequest &req, StagedState state);
     void finalize(StagedRequest &req);
+    /** Bump the terminal counter + feed the brownout window (mu_ held). */
+    void accountTerminalLocked(const StagedRequest &req,
+                               StagedState terminal);
+    /** Run the tier up/down logic against the window (mu_ held). */
+    void brownoutEvaluateLocked(double now_s);
     double now() const;
 
     ObjectStore *store_;
@@ -297,7 +436,11 @@ class StagedServingEngine
     StagedEngineConfig cfg_;
     std::unique_ptr<ServingEngine> inner_; //!< null in decision-only
 
+    Clock *clock_;       //!< deadlines, backoff, brownout dwell
+    double epoch_s_ = 0; //!< clock_->now() at construction
+
     mutable std::mutex mu_;
+    std::mutex stop_mu_; //!< serializes stop() (pool teardown order)
     std::condition_variable work_cv_; //!< decode workers: queue state
     std::condition_variable done_cv_; //!< clients: completion / drain
     std::deque<StagedRequest *> queue_;
@@ -308,10 +451,27 @@ class StagedServingEngine
     // buffers, so concurrent decode workers serialize inference.
     mutable std::mutex scale_mu_;
 
+    // Hedged reads: dedicated fetch pool + wall-clock latency window
+    // (hedge_mu_ guards hedge_lat_ only; the in-flight budget is a
+    // bare atomic so backup completions never take an engine lock).
+    std::unique_ptr<HedgePool> hedge_pool_; //!< null when disabled
+    mutable std::mutex hedge_mu_;
+    QuantileWindow hedge_lat_;
+    std::atomic<int> hedges_inflight_{0};
+
+    // Brownout: tier is written under mu_ but read lock-free on the
+    // decode path; the outcome window and dwell clock live under mu_.
+    std::atomic<int> brownout_tier_{0};
+    WindowedOutcomes brown_window_;
+    double last_shift_s_ = 0;
+
     // Counters (all guarded by mu_).
+    uint64_t admitted_ = 0;
     uint64_t decoded_ = 0;
+    uint64_t done_ = 0;
     uint64_t shed_admission_ = 0;
     uint64_t expired_ = 0;
+    uint64_t rejected_ = 0;
     uint64_t shed_cap_applied_ = 0;
     uint64_t scans_read_ = 0;
     uint64_t bytes_read_ = 0;
@@ -320,10 +480,14 @@ class StagedServingEngine
     uint64_t retries_ = 0;
     uint64_t fetch_faults_ = 0;
     uint64_t retry_giveups_ = 0;
+    uint64_t hedges_issued_ = 0;
+    uint64_t hedge_wins_ = 0;
+    uint64_t tier_drops_ = 0;
+    uint64_t tier_recoveries_ = 0;
+    uint64_t brownout_capped_ = 0;
     std::vector<uint64_t> resolution_hist_;
 
     std::vector<std::thread> threads_;
-    std::chrono::steady_clock::time_point epoch_;
 };
 
 } // namespace tamres

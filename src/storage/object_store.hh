@@ -41,6 +41,10 @@ struct ReadStats
     uint64_t faults_truncated = 0; //!< reads short-delivered on purpose
     uint64_t faults_corrupted = 0; //!< reads with an injected bit flip
 
+    // Circuit-breaker counters (zero without a BreakerObjectStore).
+    uint64_t breaker_fast_fails = 0; //!< fetches rejected while Open
+    uint64_t breaker_trips = 0;      //!< Closed/HalfOpen -> Open edges
+
     /** Fraction of a full-read workload actually transferred. */
     double
     relativeReadSize() const
@@ -63,6 +67,8 @@ struct ReadStats
         faults_transient += other.faults_transient;
         faults_truncated += other.faults_truncated;
         faults_corrupted += other.faults_corrupted;
+        breaker_fast_fails += other.breaker_fast_fails;
+        breaker_trips += other.breaker_trips;
     }
 };
 

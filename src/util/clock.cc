@@ -1,0 +1,39 @@
+#include "util/clock.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace tamres {
+
+namespace {
+
+class SteadyClock final : public Clock
+{
+  public:
+    double
+    now() const override
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    void
+    sleepFor(double seconds) override
+    {
+        if (seconds > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(seconds));
+    }
+};
+
+} // namespace
+
+Clock &
+Clock::steady()
+{
+    static SteadyClock clock;
+    return clock;
+}
+
+} // namespace tamres

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Injectable time source for the overload control plane.
+ *
+ * The circuit breaker's cooldown, the brownout controller's dwell
+ * timers and the staged engine's retry backoff all reason about
+ * elapsed time. Binding them to std::chrono directly would make every
+ * state-machine test a sleep-and-hope affair; instead they take a
+ * Clock, and tests inject a ManualClock whose time only moves when
+ * the test says so — Closed -> Open -> HalfOpen transitions and
+ * quality-tier shifts then replay deterministically at any thread
+ * count, with zero wall-clock sleeping.
+ *
+ * Contract: now() is monotone non-decreasing within one clock, in
+ * seconds, with an arbitrary epoch (callers only ever difference
+ * values from the SAME clock). sleepFor(s) returns after at least s
+ * seconds of *that clock's* time have passed: the steady clock really
+ * sleeps; the manual clock just advances itself, so a retry backoff
+ * under test is charged against deadlines without ever blocking.
+ *
+ * Hedged reads are the deliberate exception: a hedge fires when a
+ * fetch exceeds a real wall-clock delay (it races real threads), so
+ * the hedge path always measures real time and is tested with real
+ * (small) injected latencies rather than a manual clock.
+ */
+
+#ifndef TAMRES_UTIL_CLOCK_HH
+#define TAMRES_UTIL_CLOCK_HH
+
+#include <mutex>
+
+namespace tamres {
+
+/** Monotonic seconds + sleep, injectable for deterministic tests. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Monotonic seconds since an arbitrary per-clock epoch. */
+    virtual double now() const = 0;
+
+    /** Block until at least @p seconds of this clock have elapsed. */
+    virtual void sleepFor(double seconds) = 0;
+
+    /** The process-wide real (steady_clock-backed) clock. */
+    static Clock &steady();
+};
+
+/**
+ * A clock tests drive by hand. now() returns the value last set;
+ * sleepFor(s) atomically advances it by s (so code that "sleeps" on a
+ * manual clock consumes virtual time instantly). Thread-safe: decode
+ * workers may advance() and read concurrently with the test thread.
+ */
+class ManualClock : public Clock
+{
+  public:
+    explicit ManualClock(double start = 0.0) : now_(start) {}
+
+    double
+    now() const override
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return now_;
+    }
+
+    void
+    sleepFor(double seconds) override
+    {
+        if (seconds > 0.0)
+            advance(seconds);
+    }
+
+    /** Move time forward by @p seconds (never backward). */
+    void
+    advance(double seconds)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (seconds > 0.0)
+            now_ += seconds;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    double now_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_CLOCK_HH

@@ -51,14 +51,25 @@ const char *errorKindName(ErrorKind kind);
 class Error : public std::runtime_error
 {
   public:
-    Error(ErrorKind kind, std::string what)
-        : std::runtime_error(std::move(what)), kind_(kind)
+    Error(ErrorKind kind, std::string what, bool fail_fast = false)
+        : std::runtime_error(std::move(what)), kind_(kind),
+          fail_fast_(fail_fast)
     {}
 
     ErrorKind kind() const { return kind_; }
 
+    /**
+     * True when retrying this failure is known to be pointless right
+     * now (e.g. a circuit breaker is Open and rejecting fetches before
+     * they reach the store). Handlers should skip their backoff loop
+     * and degrade/fail immediately instead of sleeping toward an
+     * outcome the thrower has already predicted.
+     */
+    bool failFast() const { return fail_fast_; }
+
   private:
     ErrorKind kind_;
+    bool fail_fast_;
 };
 
 /** Throw an Error with a printf-formatted message. */

@@ -23,8 +23,11 @@
 #include "nn/conv_kernels.hh"
 #include "nn/passes.hh"
 #include "sim/dataset.hh"
+#include "storage/breaker.hh"
 #include "storage/fault_injection.hh"
 #include "tests/threads_env.hh"
+#include "util/clock.hh"
+#include "util/error.hh"
 
 namespace tamres {
 namespace {
@@ -642,9 +645,421 @@ TEST_F(StagedEngineTest, ChaosRunTerminatesEveryRequest)
     engine.drain();
     const StagedStats st = engine.stats();
     EXPECT_EQ(st.decoded, done + degraded);
+    EXPECT_EQ(st.done, done);
     EXPECT_EQ(st.degraded, degraded);
     EXPECT_EQ(st.failed, failed);
     EXPECT_GT(done, 0u) << "chaos mix was survivable by design";
+    // Terminal conservation: every admitted request reached exactly
+    // one terminal.
+    EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                               st.expired + st.shed_admission +
+                               st.rejected);
+}
+
+// --------------------------------------------------------------------
+// Overload control plane: circuit breaker, hedged reads, brownout.
+// --------------------------------------------------------------------
+
+TEST_F(StagedEngineTest, BreakerStateMachineWalksDeterministically)
+{
+    // Scripted faults + a manual clock drive the full Closed -> Open
+    // -> HalfOpen -> (probe failure) -> Open -> HalfOpen -> Closed
+    // walk with zero sleeps: every transition is a pure function of
+    // the fault schedule and the injected time.
+    ManualClock clk;
+    std::atomic<bool> failing{true};
+    FaultPolicy policy;
+    policy.script = [&failing](const FaultContext &) {
+        FaultDecision d;
+        d.fail = failing.load();
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    BreakerConfig bc;
+    bc.clock = &clk;
+    bc.window_s = 1.0;
+    bc.min_samples = 4;
+    bc.failure_threshold = 0.5;
+    bc.cooldown_s = 0.5;
+    bc.half_open_probes = 1;
+    bc.close_after = 2;
+    BreakerObjectStore breaker(faulty, bc);
+
+    const int n = store_.peek(0).numScans();
+    auto fetch = [&] {
+        std::vector<uint8_t> buf;
+        breaker.fetchScanRange(0, 0, n, buf, false, SIZE_MAX);
+    };
+
+    // Closed: failures accumulate until the window holds min_samples
+    // of 100% badness, then the breaker trips.
+    for (int i = 0; i < 4; ++i) {
+        clk.advance(0.01);
+        EXPECT_THROW(fetch(), Error);
+        EXPECT_EQ(breaker.state(), i < 3 ? BreakerState::Closed
+                                         : BreakerState::Open)
+            << "failure " << i;
+    }
+    EXPECT_EQ(breaker.breakerStats().trips, 1u);
+
+    // Open: fetches fail fast with the typed marker and never reach
+    // the base store.
+    const uint64_t base_faults = faulty.stats().faults_transient;
+    clk.advance(0.01);
+    try {
+        fetch();
+        FAIL() << "an Open breaker admitted a fetch";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Transient);
+        EXPECT_TRUE(e.failFast());
+    }
+    EXPECT_EQ(faulty.stats().faults_transient, base_faults)
+        << "fail-fast must not generate base-store traffic";
+    EXPECT_GE(breaker.breakerStats().fast_fails, 1u);
+
+    // Cooldown expires: the next fetch is a HalfOpen probe. The store
+    // is still sick, so the probe fails and the breaker re-opens.
+    clk.advance(bc.cooldown_s + 0.01);
+    EXPECT_THROW(fetch(), Error);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.breakerStats().probe_failures, 1u);
+    EXPECT_EQ(breaker.breakerStats().trips, 2u);
+
+    // The store heals; after the next cooldown, close_after probe
+    // successes close the breaker.
+    failing.store(false);
+    clk.advance(bc.cooldown_s + 0.01);
+    EXPECT_NO_THROW(fetch());
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+    EXPECT_NO_THROW(fetch());
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_EQ(breaker.breakerStats().closes, 1u);
+
+    // Closed again: healthy traffic flows.
+    clk.advance(0.01);
+    EXPECT_NO_THROW(fetch());
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+
+    // The merged ReadStats carry the breaker counters.
+    const ReadStats rs = breaker.stats();
+    EXPECT_EQ(rs.breaker_trips, 2u);
+    EXPECT_GE(rs.breaker_fast_fails, 1u);
+}
+
+TEST_F(StagedEngineTest, BreakerOpenDegradesWithoutBackoffSleep)
+{
+    // With the breaker already Open, the engine's retry loop must
+    // honor failFast(): no backoff is slept (the manual clock the
+    // engine sleeps on does not move), the request terminates
+    // immediately instead of burning its deadline toward a store
+    // that is known-down.
+    ManualClock clk;
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &) {
+        FaultDecision d;
+        d.fail = true;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    BreakerConfig bc;
+    bc.clock = &clk;
+    bc.min_samples = 1;
+    bc.failure_threshold = 0.5;
+    bc.cooldown_s = 1e9; // stays Open for the whole test
+    BreakerObjectStore breaker(faulty, bc);
+
+    // Trip it with one direct failing fetch.
+    {
+        std::vector<uint8_t> buf;
+        EXPECT_THROW(breaker.fetchScanRange(0, 0, 1, buf, false,
+                                            SIZE_MAX),
+                     Error);
+    }
+    ASSERT_EQ(breaker.state(), BreakerState::Open);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry.max_attempts = 10;
+    cfg.retry.backoff_base_s = 5.0; // would dominate if ever slept
+    cfg.retry.backoff_max_s = 5.0;
+    cfg.overload.clock = &clk;
+
+    StagedServingEngine engine(breaker, *scale_, nullptr, cfg);
+    const double t0 = clk.now();
+    StagedRequest req;
+    req.id = 0;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+
+    EXPECT_EQ(req.stateNow(), StagedState::Failed)
+        << "nothing decodable: no prefix to degrade to";
+    EXPECT_EQ(clk.now(), t0)
+        << "a fail-fast fetch fault must not sleep a backoff";
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.retry_giveups, 2u)
+        << "preview and resume fetches each gave up once";
+    EXPECT_EQ(st.retries, 0u);
+    EXPECT_GE(breaker.breakerStats().fast_fails, 2u);
+    EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                               st.expired + st.shed_admission +
+                               st.rejected);
+}
+
+TEST_F(StagedEngineTest, BrownoutTiersDropAndRecoverDeterministically)
+{
+    // Scripted resume-fetch failures generate Degraded pressure; the
+    // controller must walk tier 0 -> 1 -> 2 -> 3 (admission
+    // rejection), then — once the store heals — recover back to 0.
+    // The walk is driven entirely by the manual clock and runs
+    // identically at any decode worker count.
+    for (int workers : {1, 2}) {
+        ManualClock clk;
+        std::atomic<bool> failing{true};
+        FaultPolicy policy;
+        policy.script = [&failing](const FaultContext &ctx) {
+            FaultDecision d;
+            d.fail = failing.load() && ctx.from_scans >= 1;
+            return d;
+        };
+        FaultyObjectStore faulty(store_, policy);
+
+        StagedEngineConfig cfg = baseConfig();
+        cfg.decode_workers = workers;
+        cfg.retry = fastRetry();
+        cfg.overload.clock = &clk;
+        cfg.overload.brownout.enable = true;
+        cfg.overload.brownout.window_s = 1.0;
+        cfg.overload.brownout.min_samples = 4;
+        cfg.overload.brownout.high_pressure = 0.5;
+        cfg.overload.brownout.low_pressure = 0.25;
+        cfg.overload.brownout.min_dwell_s = 0.5;
+        cfg.overload.brownout.preview_cap = 1;
+        cfg.overload.brownout.scan_cap = 2;
+
+        StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+
+        // One serial submit-wait round of 4 requests; returns how
+        // many were refused at admission.
+        auto round = [&](std::vector<StagedState> *terminals) {
+            int refused = 0;
+            for (int i = 0; i < 4; ++i) {
+                StagedRequest req;
+                req.id = static_cast<uint64_t>(i % kObjects);
+                if (!engine.submit(req))
+                    ++refused;
+                engine.wait(req);
+                if (terminals)
+                    terminals->push_back(req.stateNow());
+            }
+            return refused;
+        };
+
+        // Pressure rounds: tier must climb one step per round (each
+        // round provides min_samples of 100% badness, and the clock
+        // provides the dwell).
+        for (int want_tier = 1; want_tier <= 3; ++want_tier) {
+            clk.advance(1.0);
+            round(nullptr);
+            EXPECT_EQ(engine.stats().brownout_tier, want_tier)
+                << "workers " << workers;
+        }
+        const StagedStats pressured = engine.stats();
+        EXPECT_EQ(pressured.tier_drops, 3u);
+        EXPECT_GT(pressured.degraded, 0u);
+
+        // Tier 3 refuses everything with the typed terminal.
+        {
+            StagedRequest req;
+            req.id = 0;
+            EXPECT_FALSE(engine.submit(req));
+            EXPECT_EQ(req.stateNow(), StagedState::Rejected);
+        }
+        EXPECT_GT(engine.stats().rejected, 0u);
+
+        // The store heals. Tier 3 sees no outcome samples (it rejects
+        // everything), so idle recovery must step it down; the
+        // following healthy rounds walk it back to 0.
+        failing.store(false);
+        int recovery_rounds = 0;
+        while (engine.stats().brownout_tier > 0 &&
+               recovery_rounds < 12) {
+            clk.advance(1.5);
+            round(nullptr);
+            ++recovery_rounds;
+        }
+        EXPECT_EQ(engine.stats().brownout_tier, 0)
+            << "workers " << workers << ": controller never recovered";
+
+        // Healthy steady state at tier 0: full quality again.
+        clk.advance(1.0);
+        std::vector<StagedState> terminals;
+        round(&terminals);
+        for (StagedState s : terminals)
+            EXPECT_EQ(s, StagedState::Done);
+
+        const StagedStats st = engine.stats();
+        EXPECT_GE(st.tier_recoveries, 3u);
+        EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                                   st.expired + st.shed_admission +
+                                   st.rejected)
+            << "workers " << workers;
+    }
+}
+
+TEST_F(StagedEngineTest, BrownoutTierCapsDepthAndResolution)
+{
+    // At tier >= 2 a request must see the depth caps AND the
+    // resolution floor, and still serve bit-identically to an inline
+    // pipeline that decodes exactly the capped prefix.
+    ManualClock clk;
+    std::atomic<bool> failing{true};
+    FaultPolicy policy;
+    policy.script = [&failing](const FaultContext &ctx) {
+        FaultDecision d;
+        d.fail = failing.load() && ctx.from_scans >= 1;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry = fastRetry();
+    cfg.overload.clock = &clk;
+    cfg.overload.brownout.enable = true;
+    cfg.overload.brownout.window_s = 1.0;
+    cfg.overload.brownout.min_samples = 4;
+    cfg.overload.brownout.high_pressure = 0.5;
+    cfg.overload.brownout.min_dwell_s = 0.5;
+    cfg.overload.brownout.preview_cap = 1;
+    cfg.overload.brownout.scan_cap = 2;
+    cfg.overload.brownout.max_tier = 2; // no admission rejection
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    auto pressure_round = [&] {
+        for (int i = 0; i < 4; ++i) {
+            StagedRequest req;
+            req.id = static_cast<uint64_t>(i % kObjects);
+            ASSERT_TRUE(engine.submit(req));
+            engine.wait(req);
+        }
+    };
+    clk.advance(1.0);
+    pressure_round();
+    clk.advance(1.0);
+    pressure_round();
+    ASSERT_EQ(engine.stats().brownout_tier, 2);
+
+    // Healthy request at tier 2: preview capped to 1 scan, total
+    // capped to 2, resolution shed to the grid floor.
+    failing.store(false);
+    StagedRequest req;
+    req.id = 1;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    ASSERT_EQ(req.stateNow(), StagedState::Done);
+    EXPECT_EQ(req.preview_scans, 1);
+    EXPECT_EQ(req.scans_read, 2);
+    EXPECT_EQ(req.scans_intended, 2);
+    EXPECT_EQ(req.resolution, kGridLo);
+    EXPECT_EQ(req.bytes_read, store_.peek(1).bytesForScans(2))
+        << "capped request must meter exactly the capped prefix";
+    // The capped counter fires exactly when the model's (1-scan
+    // preview) choice sat above the floor.
+    const Image preview1 = resize(
+        centerCropFraction(decodeProgressive(store_.peek(1), 1),
+                           cfg.crop_area),
+        scale_->options().input_res, scale_->options().input_res);
+    if (scale_->resolutions()[scale_->chooseResolutionIndex(
+            preview1)] > kGridLo)
+        EXPECT_GT(engine.stats().brownout_capped, 0u);
+    // max_tier honored: pressure never pushed past 2.
+    EXPECT_LE(engine.stats().brownout_tier, 2);
+}
+
+TEST_F(StagedEngineTest, HedgedReadCutsInjectedTailLatency)
+{
+    // The first delivery attempt of every range carries a large
+    // injected delay; the retry-attempt draw is clean. With hedging
+    // on, the backup fetch (attempt 1) must win long before the
+    // primary's delay elapses — and the result must be bit-identical
+    // to the clean pipeline. Hedge timing is wall-clock by design, so
+    // this test injects REAL delays and bounds REAL elapsed time.
+    constexpr double kSlow = 0.25;
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.delay_s = ctx.attempt == 0 ? kSlow : 0.0;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.overload.hedge.enable = true;
+    cfg.overload.hedge.max_delay_s = 5e-3; // bootstrap hedge delay
+    cfg.overload.hedge.min_delay_s = 1e-3;
+    cfg.overload.hedge.max_per_request = 2; // both stage fetches hedge
+
+    std::vector<InlineRef> refs;
+    for (int i = 0; i < kObjects; ++i)
+        refs.push_back(inlineReference(i, cfg));
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    StagedRequest req;
+    req.id = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    ASSERT_EQ(req.stateNow(), StagedState::Done);
+    EXPECT_EQ(req.resolution_index, refs[0].r_idx);
+    EXPECT_EQ(req.scans_read, refs[0].scans);
+    EXPECT_EQ(req.bytes_read, refs[0].bytes)
+        << "the adopted winner delivered the exact clean range";
+    EXPECT_GE(req.hedges, 1);
+    EXPECT_LT(elapsed, kSlow)
+        << "hedge failed to cut the injected tail";
+
+    const StagedStats st = engine.stats();
+    EXPECT_GE(st.hedges_issued, 1u);
+    EXPECT_GE(st.hedge_wins, 1u);
+    // Honest metering: once the loser settles, the engine has charged
+    // its bytes too (the store metered both fetches all along).
+    engine.stop();
+    EXPECT_GE(engine.stats().bytes_read, req.bytes_read);
+    EXPECT_GE(faulty.stats().requests, 2u);
+}
+
+TEST_F(StagedEngineTest, HedgeBudgetZeroNeverHedges)
+{
+    // A global in-flight budget of zero disables backups even with
+    // hedging enabled: the slow primary is simply awaited.
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.delay_s = ctx.attempt == 0 ? 0.05 : 0.0;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.overload.hedge.enable = true;
+    cfg.overload.hedge.max_delay_s = 2e-3;
+    cfg.overload.hedge.inflight_budget = 0;
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    StagedRequest req;
+    req.id = 0;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    ASSERT_EQ(req.stateNow(), StagedState::Done);
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.hedges_issued, 0u);
+    EXPECT_EQ(st.hedge_wins, 0u);
+    EXPECT_EQ(req.hedges, 0);
 }
 
 } // namespace

@@ -6,11 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
 
 #include "image/synthetic.hh"
+#include "storage/breaker.hh"
 #include "storage/fault_injection.hh"
 #include "storage/object_store.hh"
+#include "util/clock.hh"
 #include "util/error.hh"
 
 namespace tamres {
@@ -340,6 +344,8 @@ TEST(ReadStats, MergeAccumulates)
     b.faults_transient = 2;
     b.faults_truncated = 3;
     b.faults_corrupted = 4;
+    b.breaker_fast_fails = 5;
+    b.breaker_trips = 6;
     a.merge(b);
     EXPECT_EQ(a.requests, 3u);
     EXPECT_EQ(a.bytes_read, 15u);
@@ -348,6 +354,184 @@ TEST(ReadStats, MergeAccumulates)
     EXPECT_EQ(a.faults_transient, 2u);
     EXPECT_EQ(a.faults_truncated, 3u);
     EXPECT_EQ(a.faults_corrupted, 4u);
+    EXPECT_EQ(a.breaker_fast_fails, 5u);
+    EXPECT_EQ(a.breaker_trips, 6u);
+}
+
+TEST(FaultInjection, ConcurrentMeteringConserves)
+{
+    // TSan-exercised: four threads hammer fetchScanRange through the
+    // fault decorator (transient + truncate draws, no latency), over
+    // both per-thread ids and one id shared by every thread. The
+    // metering contract must conserve exactly under contention: every
+    // call either threw Transient or delivered bytes that were
+    // metered once, and the full-read denominator is charged once per
+    // successful prefix-starting delivery.
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(21);
+    for (uint64_t id = 1; id <= 4; ++id)
+        base.put(id, enc);
+    FaultPolicy policy;
+    policy.seed = 7;
+    policy.transient_p = 0.25;
+    policy.truncate_p = 0.25;
+    FaultyObjectStore store(base, policy);
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 64;
+    std::atomic<uint64_t> thrown{0};
+    std::atomic<uint64_t> delivered_calls{0};
+    std::atomic<uint64_t> delivered_bytes{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                // Odd iterations contend on the shared id 1; even
+                // ones stay on the thread's own object.
+                const uint64_t id =
+                    (i % 2) ? 1 : static_cast<uint64_t>(t + 1);
+                std::vector<uint8_t> buf;
+                try {
+                    const size_t got = store.fetchScanRange(
+                        id, 0, 2, buf, /*charge_full=*/true, SIZE_MAX);
+                    EXPECT_EQ(buf.size(), got);
+                    delivered_calls.fetch_add(1);
+                    delivered_bytes.fetch_add(got);
+                } catch (const Error &e) {
+                    EXPECT_EQ(e.kind(), ErrorKind::Transient);
+                    thrown.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    const ReadStats s = store.stats();
+    EXPECT_EQ(thrown.load() + delivered_calls.load(),
+              static_cast<uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(s.requests, delivered_calls.load());
+    EXPECT_EQ(s.bytes_read, delivered_bytes.load());
+    EXPECT_EQ(s.faults_transient, thrown.load());
+    // Truncated deliveries still charge the denominator: one full
+    // charge per successful from == 0 fetch.
+    EXPECT_EQ(s.bytes_full, delivered_calls.load() * enc.totalBytes());
+    // With 25% + 25% rates over 256 draws, both sides must be
+    // populated or the test is vacuous.
+    EXPECT_GT(thrown.load(), 0u);
+    EXPECT_GT(delivered_calls.load(), 0u);
+}
+
+TEST(Breaker, ComposesAndPassesThroughWhenClosed)
+{
+    // BreakerObjectStore is a transparent decorator while Closed:
+    // byte-identical delivery, full ObjectStore surface forwarded,
+    // base counters visible through stats() with zeroed breaker
+    // fields. NotFound is a data error, not a tier-health signal —
+    // even a hair-trigger breaker must not count it.
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(22);
+    ManualClock clk;
+    FaultyObjectStore faulty(base, FaultPolicy{});
+    BreakerConfig bcfg;
+    bcfg.min_samples = 1;
+    bcfg.failure_threshold = 0.01;
+    bcfg.clock = &clk;
+    BreakerObjectStore store(faulty, bcfg);
+
+    store.put(1, enc); // forwarded through both decorators
+    EXPECT_TRUE(store.contains(1));
+    EXPECT_FALSE(store.contains(2));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.storedBytes(), enc.totalBytes());
+    EXPECT_EQ(store.peek(1).totalBytes(), enc.totalBytes());
+    EXPECT_EQ(store.readScanRangeBytes(1, 0, 1), enc.bytesForScans(1));
+
+    std::vector<uint8_t> buf;
+    for (int i = 0; i < 3; ++i) {
+        buf.clear();
+        EXPECT_EQ(store.fetchScanRange(1, 0, enc.numScans(), buf, true,
+                                       SIZE_MAX),
+                  enc.totalBytes());
+        clk.advance(0.01);
+    }
+    EXPECT_EQ(std::memcmp(buf.data(), enc.bytes.data(), buf.size()), 0);
+    EXPECT_EQ(store.state(), BreakerState::Closed);
+
+    for (int i = 0; i < 4; ++i) {
+        try {
+            buf.clear();
+            store.fetchScanRange(404, 0, 1, buf, true, SIZE_MAX);
+            FAIL() << "expected Error{NotFound}";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::NotFound);
+            EXPECT_FALSE(e.failFast());
+        }
+    }
+    EXPECT_EQ(store.state(), BreakerState::Closed)
+        << "NotFound must not trip the breaker";
+
+    const ReadStats s = store.stats();
+    EXPECT_EQ(s.bytes_read, 3 * enc.totalBytes() + enc.bytesForScans(1));
+    EXPECT_EQ(s.breaker_fast_fails, 0u);
+    EXPECT_EQ(s.breaker_trips, 0u);
+    EXPECT_EQ(store.breakerStats().probes, 0u);
+}
+
+TEST(Breaker, ConcurrentFailFastConservesCounters)
+{
+    // TSan-exercised: four threads hammer an always-failing store
+    // through the breaker. Exactly one trip happens (cooldown never
+    // expires under the frozen manual clock), and afterwards every
+    // call fail-fasts without touching the base tier. Every call is
+    // accounted exactly once: base-transient or breaker-fast-fail.
+    ObjectStore base;
+    base.put(1, encodeTest(23));
+    FaultPolicy policy;
+    policy.transient_p = 1.0;
+    FaultyObjectStore faulty(base, policy);
+    ManualClock clk;
+    BreakerConfig bcfg;
+    bcfg.min_samples = 4;
+    bcfg.failure_threshold = 0.5;
+    bcfg.cooldown_s = 1e9; // never half-opens in this test
+    bcfg.clock = &clk;
+    BreakerObjectStore store(faulty, bcfg);
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 32;
+    std::atomic<uint64_t> thrown{0};
+    std::atomic<uint64_t> fast{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                std::vector<uint8_t> buf;
+                try {
+                    store.fetchScanRange(1, 0, 1, buf, true, SIZE_MAX);
+                    ADD_FAILURE() << "fetch cannot succeed here";
+                } catch (const Error &e) {
+                    EXPECT_EQ(e.kind(), ErrorKind::Transient);
+                    thrown.fetch_add(1);
+                    fast.fetch_add(e.failFast() ? 1 : 0);
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(thrown.load(),
+              static_cast<uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(store.state(), BreakerState::Open);
+    const ReadStats s = store.stats();
+    EXPECT_EQ(s.breaker_trips, 1u);
+    EXPECT_EQ(s.breaker_fast_fails, fast.load());
+    EXPECT_EQ(s.faults_transient + s.breaker_fast_fails,
+              static_cast<uint64_t>(kThreads) * kIters);
+    EXPECT_GT(s.breaker_fast_fails, 0u);
 }
 
 TEST(ReadStats, EmptyIsNeutral)

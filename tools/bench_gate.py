@@ -6,13 +6,18 @@ baselines (bench/baselines/) and fails on large throughput
 regressions, so the perf trajectory the benches track is a gate, not
 just an uploaded artifact.
 
-Only higher-is-better metrics are gated (throughput, speedup and gain
-ratios, selected by key pattern); latencies, counters and
-configuration echoes are ignored. The margin is deliberately generous
-(default: fail only below 65% of baseline) because baselines are
-recorded on a slower reference host and CI runners are noisy — the
-gate exists to catch real regressions (a disabled fast path, a
-serialization bug), not 10% jitter.
+Metrics are gated by direction. Higher-is-better metrics (throughput,
+speedup and gain ratios, selected by key pattern) fail when they drop
+below (1 - margin) of baseline. A per-file direction map additionally
+gates selected lower-is-better metrics (tail latencies in the
+overload bench); those fail when they rise above 1 / (1 - margin) of
+baseline — the same multiplicative band, mirrored, so both directions
+tolerate the same host-speed spread. Everything else (counters,
+configuration echoes, ungated latencies) is informational. The margin
+is deliberately generous (default: fail only below 65% of baseline)
+because baselines are recorded on a slower reference host and CI
+runners are noisy — the gate exists to catch real regressions (a
+disabled fast path, a serialization bug), not 10% jitter.
 
 A result file with no committed baseline WARNS and passes: the first
 PR that adds a new bench stays green, and the warning reminds the
@@ -50,21 +55,37 @@ GATED_PATTERNS = (
     "gf_s",
 )
 
+# Per-file direction map: key substrings gated LOWER-is-better in
+# that file only. Kept per-file so adding a new bench never silently
+# starts gating latency fields of the existing ones. Checked before
+# GATED_PATTERNS, so a file-scoped entry wins if a key matches both.
+LOWER_GATED_FILES = {
+    "BENCH_overload.json": ("p99_ms",),
+}
+
 # Built-in per-file margins (CLI --file-margin overrides). The chaos
-# harness injects latency faults on purpose, so its goodput numbers
-# swing more than the fault-free benches on a noisy runner.
+# harnesses inject latency faults on purpose, so their goodput and
+# tail numbers swing more than the fault-free benches on a noisy
+# runner.
 BUILTIN_FILE_MARGINS = {
     "BENCH_faults.json": 0.5,
+    "BENCH_overload.json": 0.5,
 }
 
 
-def is_gated(key: str) -> bool:
+def leaf_direction(fname: str, key: str):
+    """'up', 'down', or None (ungated) for a dotted metric path."""
     k = key.lower()
-    return any(p in k for p in GATED_PATTERNS)
+    if any(p in k for p in LOWER_GATED_FILES.get(fname, ())):
+        return "down"
+    if any(p in k for p in GATED_PATTERNS):
+        return "up"
+    return None
 
 
-def numeric_leaves(node, prefix=""):
-    """Flatten a JSON tree into {dotted.path: float} for gated keys.
+def numeric_leaves(node, fname: str, prefix=""):
+    """Flatten a JSON tree into {dotted.path: (float, direction)} for
+    gated keys.
 
     The whole dotted path is matched, not just the leaf: e.g.
     batch_item_speedup.b4 is gated through its parent key.
@@ -72,13 +93,15 @@ def numeric_leaves(node, prefix=""):
     out = {}
     if isinstance(node, dict):
         for k, v in node.items():
-            out.update(numeric_leaves(v, f"{prefix}.{k}" if prefix else k))
+            out.update(numeric_leaves(
+                v, fname, f"{prefix}.{k}" if prefix else k))
     elif isinstance(node, list):
         for i, v in enumerate(node):
-            out.update(numeric_leaves(v, f"{prefix}[{i}]"))
+            out.update(numeric_leaves(v, fname, f"{prefix}[{i}]"))
     elif isinstance(node, (int, float)) and not isinstance(node, bool):
-        if is_gated(prefix):
-            out[prefix] = float(node)
+        direction = leaf_direction(fname, prefix)
+        if direction:
+            out[prefix] = (float(node), direction)
     return out
 
 
@@ -150,33 +173,41 @@ def main() -> int:
             failures.append(f"{base_path.name}: result file missing "
                             f"(bench not run or emission broken)")
             continue
-        base = numeric_leaves(json.loads(base_path.read_text()))
-        got = numeric_leaves(json.loads(result_path.read_text()))
-        for key, baseline in sorted(base.items()):
+        base = numeric_leaves(json.loads(base_path.read_text()),
+                              base_path.name)
+        got = numeric_leaves(json.loads(result_path.read_text()),
+                             base_path.name)
+        for key, (baseline, direction) in sorted(base.items()):
             if baseline <= 0:
                 continue  # nothing meaningful to compare against
             if key not in got:
                 failures.append(
                     f"{base_path.name}: metric '{key}' disappeared")
                 continue
-            value = got[key]
+            value = got[key][0]
             ratio = value / baseline
-            ok = ratio >= 1.0 - margin
-            rows.append((base_path.name, key, baseline, value, ratio,
-                         ok))
+            if direction == "up":
+                ok = ratio >= 1.0 - margin
+            else:  # lower-is-better: mirrored multiplicative band
+                ok = ratio <= 1.0 / (1.0 - margin)
+            rows.append((base_path.name, key, direction, baseline,
+                         value, ratio, ok))
             if not ok:
+                what = ("regressed to" if direction == "up"
+                        else "grew to")
                 failures.append(
-                    f"{base_path.name}: {key} regressed to "
+                    f"{base_path.name}: {key} {what} "
                     f"{value:.4g} ({ratio:.0%} of baseline "
                     f"{baseline:.4g}, margin {margin:.0%})")
 
     width = max((len(r[1]) for r in rows), default=20)
-    print(f"{'file':<22} {'metric':<{width}} {'baseline':>10} "
-          f"{'result':>10} {'ratio':>7}")
-    for fname, key, baseline, value, ratio, ok in rows:
+    print(f"{'file':<22} {'metric':<{width}} {'dir':>4} "
+          f"{'baseline':>10} {'result':>10} {'ratio':>7}")
+    for fname, key, direction, baseline, value, ratio, ok in rows:
         flag = "" if ok else "  << REGRESSION"
-        print(f"{fname:<22} {key:<{width}} {baseline:>10.4g} "
-              f"{value:>10.4g} {ratio:>6.0%}{flag}")
+        arrow = "up" if direction == "up" else "down"
+        print(f"{fname:<22} {key:<{width}} {arrow:>4} "
+              f"{baseline:>10.4g} {value:>10.4g} {ratio:>6.0%}{flag}")
 
     for w in warnings:
         print(f"WARNING: {w}")
