@@ -93,6 +93,48 @@
  *                            gated "the control plane keeps goodput
  *                            under the heavy mix" headline ratio
  *                            (acceptance target: >= 2)
+ *
+ * BENCH_watchdog.json (written by bench/watchdog_containment, gated
+ * by tools/bench_gate.py; p99_ms and stall* fields gate
+ * lower-is-better via the gate's per-file direction map):
+ *   requests                 closed-loop requests per leg
+ *   window_s                 fixed observation window the collapse
+ *                            control is measured over
+ *   legs[]                   one point per leg, in this fixed order:
+ *                            clean (supervised, no faults),
+ *                            hang_timed (wedged reads + timed-fetch
+ *                            bound), hang_watchdog (wedged reads +
+ *                            watchdog only), hang_unsup (wedged
+ *                            reads, supervision off — the collapse
+ *                            control):
+ *     name, hang_p, timed,   leg name, wedge probability, and which
+ *     watchdog               supervision mechanisms are on
+ *     goodput_rps            (Done + Degraded) per second inside the
+ *                            window — gated up on supervised legs;
+ *                            the collapse control emits
+ *                            served_per_window_s instead, an
+ *                            UNGATED key (its near-zero value is the
+ *                            point; gating would reward collapse)
+ *     done_/degraded_/       terminal mix over the leg's requests
+ *     failed_fraction        (measured after the wedge is released)
+ *     p99_ms                 latency p99 over served requests —
+ *                            lower-is-better gated on supervised
+ *                            legs (served_window_p99, ungated, on
+ *                            the collapse control)
+ *     stalled_fraction       requests not yet terminal when the
+ *                            window closed — lower-is-better gated
+ *                            (identically 0 on supervised legs, so
+ *                            the gate skips them until one drifts)
+ *     drain_s                drain() + stop() wall time — the bench
+ *                            hard-fails if teardown is not prompt
+ *     reads_abandoned,       supervision counters: timed-fetch
+ *     watchdog_flags,        abandonments, watchdog firings, retry
+ *     retry_giveups,         budget give-ups, and reads the injector
+ *     faults_hung            actually wedged
+ *   containment_goodput_gain hang_timed goodput / hang_unsup served
+ *                            rate — the gated "supervision holds
+ *                            goodput where the control collapses"
+ *                            headline ratio
  */
 
 #ifndef TAMRES_BENCH_BENCH_COMMON_HH

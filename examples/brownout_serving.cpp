@@ -156,14 +156,16 @@ main()
     const StagedStats st = engine.stats();
     const ReadStats rs = breaker.stats();
     std::printf("\ntotals: admitted %llu  done %llu  degraded %llu  "
-                "failed %llu  expired %llu  shed %llu  rejected %llu\n",
+                "failed %llu  expired %llu  shed %llu  rejected %llu  "
+                "cancelled %llu\n",
                 static_cast<unsigned long long>(st.admitted),
                 static_cast<unsigned long long>(st.done),
                 static_cast<unsigned long long>(st.degraded),
                 static_cast<unsigned long long>(st.failed),
                 static_cast<unsigned long long>(st.expired),
                 static_cast<unsigned long long>(st.shed_admission),
-                static_cast<unsigned long long>(st.rejected));
+                static_cast<unsigned long long>(st.rejected),
+                static_cast<unsigned long long>(st.cancelled));
     std::printf("breaker: trips %llu  fast-fails %llu   hedges: "
                 "issued %llu  wins %llu   brownout: drops %llu  "
                 "recoveries %llu\n",
@@ -173,9 +175,14 @@ main()
                 static_cast<unsigned long long>(st.hedge_wins),
                 static_cast<unsigned long long>(st.tier_drops),
                 static_cast<unsigned long long>(st.tier_recoveries));
+    std::printf("supervision: reads abandoned %llu  watchdog flags "
+                "%llu\n",
+                static_cast<unsigned long long>(st.reads_abandoned),
+                static_cast<unsigned long long>(st.watchdog_flags));
 
     const uint64_t sum = st.done + st.degraded + st.failed +
-                         st.expired + st.shed_admission + st.rejected;
+                         st.expired + st.shed_admission + st.rejected +
+                         st.cancelled;
     if (st.admitted != sum) {
         std::printf("TERMINAL CONSERVATION VIOLATED: admitted %llu != "
                     "%llu\n",

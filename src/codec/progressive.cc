@@ -8,6 +8,7 @@
 #include "codec/dct.hh"
 #include "codec/huffman.hh"
 #include "image/color.hh"
+#include "util/cancel.hh"
 #include "util/crc32.hh"
 #include "util/error.hh"
 #include "util/simd.hh"
@@ -1137,6 +1138,7 @@ struct ProgressiveDecoder::State
     std::vector<std::vector<int>> coeffs;
     std::vector<BlockRange> ranges;
     int decoded = 0;
+    const CancelToken *cancel = nullptr;
 };
 
 ProgressiveDecoder::ProgressiveDecoder(const EncodedImage &enc)
@@ -1198,6 +1200,12 @@ ProgressiveDecoder::scansDecoded() const
     return st_->decoded;
 }
 
+void
+ProgressiveDecoder::setCancel(const CancelToken *cancel)
+{
+    st_->cancel = cancel;
+}
+
 int
 ProgressiveDecoder::numScans() const
 {
@@ -1223,6 +1231,12 @@ ProgressiveDecoder::advanceTo(int num_scans)
                  enc.scan_offsets[num_scans], enc.bytes.size());
 
     for (int s = st_->decoded; s < num_scans; ++s) {
+        // Cancellation lands only BETWEEN scans: a scan is the atomic
+        // decode unit (its restart-range fan-out mutates coefficient
+        // state in parallel), so checking here keeps the decoded
+        // prefix bit-identical to a clean decode of depth s.
+        if (st_->cancel != nullptr)
+            st_->cancel->throwIfFired();
         const size_t begin = enc.scan_offsets[s];
         const size_t end = enc.scan_offsets[s + 1];
         // Verify the scan payload BEFORE decoding it: a checksum

@@ -45,6 +45,8 @@
 
 namespace tamres {
 
+class CancelToken; // util/cancel.hh
+
 /**
  * One scan of the progressive script: an inclusive zig-zag band
  * [lo, hi] sent at bit-precision shift `al` (successive-approximation
@@ -293,6 +295,18 @@ class ProgressiveDecoder
      * scansDecoded().
      */
     int advanceTo(int num_scans);
+
+    /**
+     * Attach a cooperative cancellation token (nullptr detaches).
+     * advanceTo checks it before each scan — never inside one, so a
+     * scan stays the atomic decode unit — and throws the token's
+     * reason-mapped error (util/cancel.hh) with coefficient state
+     * clean at the previous scan boundary. The decoded prefix remains
+     * bit-identical to a clean decode of that depth and the decoder
+     * may be resumed after detaching or swapping the token. The token
+     * must outlive the decoder or be detached first.
+     */
+    void setCancel(const CancelToken *cancel);
 
     /**
      * Number of whole scans covered by a @p bytes_available -byte

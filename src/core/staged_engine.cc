@@ -26,27 +26,30 @@ mix64(uint64_t x)
     return x ^ (x >> 31);
 }
 
+/** This thread's watchdog slot (-1 on non-decode-worker threads). */
+thread_local int tls_wd_slot = -1;
+
 } // namespace
 
 /**
- * Tiny dedicated executor for hedged fetches. Deliberately NOT the
- * fork-join ThreadPool: hedge tasks are independent fire-and-forget
- * I/O calls whose waiter blocks on a condition variable, which would
- * deadlock a fork-join pool. The destructor runs every task already
- * enqueued before joining, so a fetch waiter can never hang on a
- * dropped task.
+ * Tiny dedicated executor for detached storage I/O — hedged fetches
+ * and timed (abandonable) fetches. Deliberately NOT the fork-join
+ * ThreadPool: these tasks are independent fire-and-forget I/O calls
+ * whose waiter blocks on a condition variable, which would deadlock a
+ * fork-join pool. The destructor runs every task already enqueued
+ * before joining, so a fetch waiter can never hang on a dropped task.
  */
-class StagedServingEngine::HedgePool
+class StagedServingEngine::IoPool
 {
   public:
-    explicit HedgePool(int threads)
+    explicit IoPool(int threads)
     {
         workers_.reserve(static_cast<size_t>(threads));
         for (int i = 0; i < threads; ++i)
             workers_.emplace_back([this] { loop(); });
     }
 
-    ~HedgePool()
+    ~IoPool()
     {
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -118,11 +121,23 @@ StagedServingEngine::StagedServingEngine(ObjectStore &store,
     if (backbone_)
         inner_ = std::make_unique<ServingEngine>(*backbone_,
                                                  cfg_.backbone);
-    if (cfg_.overload.hedge.enable) {
+    // The I/O pool exists whenever a fetch may need to be waited on
+    // from a distance: hedged reads race a backup on it, and the
+    // timed-fetch bound (stage_timeout_s) must be able to abandon a
+    // wedged read without abandoning the thread running it.
+    if (cfg_.overload.hedge.enable || cfg_.retry.stage_timeout_s > 0) {
         const int threads = cfg_.overload.hedge.pool_threads > 0
                                 ? cfg_.overload.hedge.pool_threads
                                 : cfg_.decode_workers + 2;
-        hedge_pool_ = std::make_unique<HedgePool>(threads);
+        io_pool_ = std::make_unique<IoPool>(threads);
+    }
+    if (cfg_.overload.watchdog.enable) {
+        Watchdog::Config wc;
+        wc.liveness_budget_s = cfg_.overload.watchdog.liveness_budget_s;
+        wc.poll_interval_s = cfg_.overload.watchdog.poll_interval_s;
+        wc.clock = clock_;
+        watchdog_ = std::make_unique<Watchdog>(
+            wc, [this](const WatchdogReport &r) { onWatchdogFlag(r); });
     }
 
     threads_.reserve(cfg_.decode_workers);
@@ -167,6 +182,12 @@ StagedServingEngine::submit(StagedRequest &req)
         return false;
     }
     req.submit_s_ = now();
+    // Arm the lifecycle token: explicit cancel() and the watchdog
+    // fire it by hand; the deadline fires it lazily on the engine
+    // clock (absolute, in raw clock units — NOT epoch-relative).
+    req.cancel_.reset();
+    if (req.deadline_s > 0.0)
+        req.cancel_.armDeadline(*clock_, clock_->now() + req.deadline_s);
     req.resolution = 0;
     req.resolution_index = 0;
     req.preview_scans = 0;
@@ -197,6 +218,16 @@ StagedServingEngine::wait(StagedRequest &req)
         inner_->wait(req.infer);
         finalize(req);
     }
+}
+
+void
+StagedServingEngine::cancel(StagedRequest &req)
+{
+    req.cancel_.cancel(CancelReason::Client);
+    // The token is polled cooperatively: workers parked on fetch
+    // waits slice-poll it, wedged store reads poll it, and a queued
+    // request observes it at formation when a worker picks it up.
+    work_cv_.notify_all();
 }
 
 void
@@ -243,6 +274,7 @@ StagedServingEngine::accountTerminalLocked(const StagedRequest &req,
       case StagedState::Expired: ++expired_; break;
       case StagedState::Shed: ++shed_admission_; break;
       case StagedState::Rejected: ++rejected_; break;
+      case StagedState::Cancelled: ++cancelled_; break;
       default: break;
     }
 
@@ -253,8 +285,10 @@ StagedServingEngine::accountTerminalLocked(const StagedRequest &req,
     // Rejected outcomes are NOT pressure evidence: at tier 3 they are
     // the controller's own output, and sampling them would latch the
     // brownout at maximum forever. (Idle recovery below is what walks
-    // a rejecting tier back down.)
-    if (terminal != StagedState::Rejected) {
+    // a rejecting tier back down.) Cancelled outcomes are excluded
+    // too: a client hanging up says nothing about system pressure.
+    if (terminal != StagedState::Rejected &&
+        terminal != StagedState::Cancelled) {
         bool bad = terminal != StagedState::Done;
         if (terminal == StagedState::Done && req.deadline_s > 0.0 &&
             req.latency_s >
@@ -332,7 +366,7 @@ StagedServingEngine::drain()
 void
 StagedServingEngine::stop()
 {
-    // Serialized end to end so only one caller tears down the hedge
+    // Serialized end to end so only one caller tears down the I/O
     // pool, and only after the decode workers that feed it have
     // joined (their in-flight fetch tasks must be allowed to settle).
     std::lock_guard<std::mutex> stop_lock(stop_mu_);
@@ -346,7 +380,9 @@ StagedServingEngine::stop()
     done_cv_.notify_all();
     for (auto &t : joinable)
         t.join();
-    hedge_pool_.reset(); // drains queued fetch tasks, then joins
+    if (watchdog_)
+        watchdog_->stop(); // workers are gone; nothing left to flag
+    io_pool_.reset(); // drains queued fetch tasks, then joins
     if (inner_)
         inner_->stop();
 }
@@ -379,6 +415,9 @@ StagedServingEngine::stats() const
         s.tier_drops = tier_drops_;
         s.tier_recoveries = tier_recoveries_;
         s.brownout_capped = brownout_capped_;
+        s.cancelled = cancelled_;
+        s.reads_abandoned = reads_abandoned_;
+        s.watchdog_flags = watchdog_flags_;
         s.resolution_hist = resolution_hist_;
     }
     if (inner_)
@@ -391,6 +430,15 @@ StagedServingEngine::decodeLoop()
 {
     std::vector<StagedRequest *> batch;
     batch.reserve(cfg_.decode_batch);
+
+    if (watchdog_) {
+        tls_wd_slot = watchdog_->registerWorker();
+        std::lock_guard<std::mutex> wlock(wd_mu_);
+        if (worker_current_.size() <=
+            static_cast<size_t>(tls_wd_slot))
+            worker_current_.resize(
+                static_cast<size_t>(tls_wd_slot) + 1, nullptr);
+    }
 
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -420,6 +468,8 @@ StagedServingEngine::decodeLoop()
         lock.unlock();
         for (StagedRequest *req : batch)
             processOne(*req, depth);
+        if (watchdog_)
+            watchdog_->idle(tls_wd_slot); // parked != stuck
         lock.lock();
         --active_decoders_;
         done_cv_.notify_all();
@@ -429,6 +479,14 @@ StagedServingEngine::decodeLoop()
 void
 StagedServingEngine::markTerminal(StagedRequest &req, StagedState state)
 {
+    // Unpublish from the watchdog registry BEFORE the terminal store:
+    // the instant the owner's wait() can return, the request may be
+    // freed, and onWatchdogFlag dereferences worker_current_ entries
+    // under wd_mu_ — this ordering is what makes that safe.
+    if (watchdog_ && tls_wd_slot >= 0) {
+        std::lock_guard<std::mutex> wlock(wd_mu_);
+        worker_current_[static_cast<size_t>(tls_wd_slot)] = nullptr;
+    }
     req.latency_s = now() - req.submit_s_;
     req.state.store(static_cast<int>(state),
                     std::memory_order_release);
@@ -447,11 +505,66 @@ StagedServingEngine::processOne(StagedRequest &req, int depth)
     // survives, the batch continues, the request terminates Failed.
     try {
         processOneImpl(req, depth);
+    } catch (const Error &e) {
+        // Backstop for a Cancelled error that escaped stage-level
+        // handling: terminate by the reason that fired the token.
+        if (e.kind() == ErrorKind::Cancelled) {
+            markTerminal(req,
+                         req.cancel_.reason() == CancelReason::Client
+                             ? StagedState::Cancelled
+                             : StagedState::Expired);
+            return;
+        }
+        warn("staged request %llu failed: %s",
+             static_cast<unsigned long long>(req.id), e.what());
+        markTerminal(req, StagedState::Failed);
     } catch (const std::exception &e) {
         warn("staged request %llu failed: %s",
              static_cast<unsigned long long>(req.id), e.what());
         markTerminal(req, StagedState::Failed);
     }
+}
+
+void
+StagedServingEngine::heartbeat(StagedRequest &req, const char *phase)
+{
+    if (!watchdog_ || tls_wd_slot < 0)
+        return;
+    {
+        std::lock_guard<std::mutex> wlock(wd_mu_);
+        worker_current_[static_cast<size_t>(tls_wd_slot)] = &req;
+    }
+    watchdog_->beat(tls_wd_slot, phase, req.id);
+}
+
+void
+StagedServingEngine::onWatchdogFlag(const WatchdogReport &report)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++watchdog_flags_;
+    }
+    // Holding wd_mu_ pins the request: workers unpublish (under
+    // wd_mu_) before the terminal store that lets owners free it.
+    // Diagnostics stick to fields that are immutable after submit
+    // (id) or atomic (state) — the worker may be mutating the rest.
+    std::lock_guard<std::mutex> wlock(wd_mu_);
+    StagedRequest *req = nullptr;
+    if (report.worker >= 0 &&
+        report.worker < static_cast<int>(worker_current_.size()))
+        req = worker_current_[static_cast<size_t>(report.worker)];
+    if (req == nullptr) {
+        warn("watchdog: worker %d silent %.3fs in phase '%s' "
+             "(request already retired)",
+             report.worker, report.silent_s, report.phase);
+        return;
+    }
+    warn("watchdog: worker %d silent %.3fs in phase '%s' — "
+         "fail-fasting request %llu (state %d)",
+         report.worker, report.silent_s, report.phase,
+         static_cast<unsigned long long>(req->id),
+         static_cast<int>(req->stateNow()));
+    req->cancel_.cancel(CancelReason::Watchdog);
 }
 
 /**
@@ -473,6 +586,19 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
     const StagedRetryConfig &rc = cfg_.retry;
     int attempt = 0;
     while (dec.scansDecoded() < target) {
+        heartbeat(req, "fetch");
+        // Cancellation gate per attempt: client/deadline firings end
+        // the request (the caller maps them to terminals); a watchdog
+        // or abandonment firing degrades it — give the clean prefix
+        // up without another attempt or a backoff sleep.
+        const CancelReason cr = req.cancel_.reason();
+        if (cr == CancelReason::Client || cr == CancelReason::Deadline)
+            req.cancel_.throwIfFired();
+        if (cr != CancelReason::None) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++retry_giveups_;
+            return false;
+        }
         if (attempt > 0) {
             if (attempt >= rc.max_attempts) {
                 std::lock_guard<std::mutex> lock(mu_);
@@ -518,8 +644,8 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
         const int from = dec.scansDecoded();
         delivery.bytes.resize(delivery.scan_offsets[from]);
         try {
-            bytes += hedgedFetch(req, from, target, delivery,
-                                 !charged_full);
+            bytes += guardedFetch(req, from, target, delivery,
+                                  !charged_full, stage_start_s);
             if (from == 0)
                 charged_full = true;
         } catch (const Error &e) {
@@ -545,7 +671,11 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
             // Decode means the damage was caught MID-SCAN (entropy
             // stream violated after the checksum passed): coefficient
             // state is unspecified, the request cannot be saved.
-            if (e.kind() == ErrorKind::Decode)
+            // Cancelled is the decoder's between-scan token check
+            // (client/deadline): the prefix is clean, but the request
+            // is over — propagate to the terminal mapping.
+            if (e.kind() == ErrorKind::Decode ||
+                e.kind() == ErrorKind::Cancelled)
                 throw;
             // Corrupt (checksum or side tables, verified BEFORE the
             // scan decoded) and Truncated leave the decoder clean at
@@ -566,25 +696,45 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
 
 /**
  * One physical ranged fetch for scans [from, target) appended to the
- * delivery buffer, hedged when configured: the primary fetch runs as
- * a task on the hedge pool; if it outlives the tracked hedge delay, a
- * single backup fetch for the same range races it and the first
- * success is adopted. The loser is discarded — its delivered bytes
- * are charged to the engine's bytes_read_ when it eventually settles
- * (honest metering; both fetches were also metered by the store).
- * Throws the first error when every attempt fails. The backup never
- * charges the full-read denominator, so bytes_full can undercount in
- * the rare case where the primary of a from == 0 range fails after
- * its backup won — the conservative direction for savings numbers.
+ * delivery buffer, guarded by the containment machinery:
+ *
+ *  - Hedging (when configured): the primary runs as a task on the
+ *    I/O pool; if it outlives the tracked hedge delay, ONE backup
+ *    fetch for the same range races it and the first success is
+ *    adopted.
+ *  - Timed-fetch bound (stage_timeout_s > 0): a read still in flight
+ *    when the stage budget lapses is ABANDONED — the waiter fires
+ *    the fetch's own cancellation token (waking a wedged read),
+ *    counts reads_abandoned, and throws Transient into the retry
+ *    ladder. The abandoning worker moves on immediately; the task
+ *    settles on its own and is discarded.
+ *  - Request-token polling: client cancels, deadline expiry and
+ *    watchdog flags are observed mid-wait even when the read itself
+ *    is wedged, and abandon the read the same way.
+ *
+ * Discarded fetches still meter: a loser or late completion charges
+ * its delivered bytes to bytes_read_ when it settles (honest
+ * metering; the store meters its own deliveries too), and a fetch
+ * whose token fired stops at the next delivery chunk without ever
+ * charging the bytes_full denominator. The per-fetch token lives
+ * inside the shared FetchState — NOT chained to the request token —
+ * so an abandoned task never touches request memory after the engine
+ * has moved on. Throws the first error when every attempt fails. The
+ * backup never charges the full-read denominator, so bytes_full can
+ * undercount in the rare case where the primary of a from == 0 range
+ * fails after its backup won — the conservative direction for
+ * savings numbers.
  */
 size_t
-StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
-                                 int target, EncodedImage &delivery,
-                                 bool charge_full)
+StagedServingEngine::guardedFetch(StagedRequest &req, int from,
+                                  int target, EncodedImage &delivery,
+                                  bool charge_full,
+                                  double stage_start_s)
 {
-    if (!hedge_pool_)
+    if (!io_pool_)
         return store_->fetchScanRange(req.id, from, target,
-                                      delivery.bytes, charge_full);
+                                      delivery.bytes, charge_full,
+                                      SIZE_MAX, &req.cancel_);
 
     const HedgeConfig &hc = cfg_.overload.hedge;
     const size_t begin = delivery.bytes.size();
@@ -596,9 +746,11 @@ StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
         int pending = 0;
         bool winner = false;
         bool winner_is_backup = false;
+        bool abandoned = false;
         std::vector<uint8_t> win_buf;
         size_t win_got = 0;
         std::exception_ptr first_error;
+        CancelToken cancel; //!< per-fetch; waiter mirrors firings in
     };
     auto state = std::make_shared<FetchState>();
 
@@ -607,10 +759,10 @@ StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
             std::lock_guard<std::mutex> lock(state->mu);
             ++state->pending;
         }
-        hedge_pool_->enqueue([this, state, is_backup, begin,
-                              id = req.id, from, target,
-                              charge = is_backup ? false
-                                                 : charge_full] {
+        io_pool_->enqueue([this, state, is_backup, begin,
+                           id = req.id, from, target,
+                           charge = is_backup ? false
+                                              : charge_full] {
             // Scratch delivery prefix: fetchScanRange only requires
             // dst.size() == scan_offsets[from]; the prefix content is
             // never read, only appended after.
@@ -619,7 +771,8 @@ StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
             std::exception_ptr err;
             try {
                 got = store_->fetchScanRange(id, from, target, buf,
-                                             charge);
+                                             charge, SIZE_MAX,
+                                             &state->cancel);
             } catch (...) {
                 err = std::current_exception();
             }
@@ -633,7 +786,7 @@ StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
                 if (err) {
                     if (!state->first_error)
                         state->first_error = err;
-                } else if (!state->winner) {
+                } else if (!state->winner && !state->abandoned) {
                     state->winner = true;
                     state->winner_is_backup = is_backup;
                     state->win_buf = std::move(buf);
@@ -644,7 +797,7 @@ StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
             }
             if (lost_success && got > 0) {
                 std::lock_guard<std::mutex> lock(mu_);
-                bytes_read_ += got; // the loser still moved bytes
+                bytes_read_ += got; // a discarded fetch still moved bytes
             }
             state->cv.notify_all();
         });
@@ -653,49 +806,98 @@ StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
     // Hedge delay: the tracked latency quantile, clamped, and
     // bootstrapped at the ceiling until there is enough evidence.
     // Wall-clock on purpose — hedging races real threads.
+    const bool may_hedge = hc.enable;
     double delay = hc.max_delay_s;
-    {
+    if (may_hedge) {
         std::lock_guard<std::mutex> lock(hedge_mu_);
         if (hedge_lat_.count() >= 8)
             delay = std::clamp(hedge_lat_.quantile(hc.delay_quantile),
                                hc.min_delay_s, hc.max_delay_s);
     }
 
+    // Slice-polling cadence: short cv waits so request-token firings
+    // and the abandonment bound are observed within milliseconds even
+    // when the read never settles.
+    constexpr double kSliceS = 2e-3;
+
+    // Timed-fetch bound: the stage budget's remaining time, measured
+    // on the engine clock at launch, enforced below on the WALL clock
+    // while the read is in flight (a wedged read advances no
+    // injectable clock — same documented exception as hedge timing).
+    // Every read gets at least one slice so a fast read can win even
+    // with the budget nearly spent.
+    double abandon_after = std::numeric_limits<double>::infinity();
+    if (cfg_.retry.stage_timeout_s > 0.0)
+        abandon_after = std::max(
+            kSliceS,
+            stage_start_s + cfg_.retry.stage_timeout_s - now());
+
     const double t0 = Clock::steady().now();
     launch(/*is_backup=*/false);
 
     std::unique_lock<std::mutex> lock(state->mu);
     bool hedge_spent = false;
-    while (!state->winner && state->pending > 0) {
-        if (hedge_spent || req.hedges >= hc.max_per_request) {
-            state->cv.wait(lock, [&] {
-                return state->winner || state->pending == 0;
-            });
-            continue;
+    auto settled = [&] {
+        return state->winner || state->pending == 0;
+    };
+    while (!settled()) {
+        const CancelReason cr = req.cancel_.reason();
+        const double waited = Clock::steady().now() - t0;
+        if (cr != CancelReason::None || waited >= abandon_after) {
+            // Abandon the in-flight read: fire the fetch token (a
+            // wedged store read polls it and unwinds), then leave
+            // WITHOUT waiting for the task to settle.
+            state->abandoned = true;
+            state->cancel.cancel(cr != CancelReason::None
+                                     ? cr
+                                     : CancelReason::Abandoned);
+            lock.unlock();
+            state->cv.notify_all();
+            {
+                std::lock_guard<std::mutex> elock(mu_);
+                ++reads_abandoned_;
+            }
+            if (cr != CancelReason::None)
+                req.cancel_.throwIfFired();
+            throwError(ErrorKind::Transient,
+                       "timed fetch: read of object %llu scans "
+                       "[%d, %d) abandoned after %.3fs",
+                       static_cast<unsigned long long>(req.id),
+                       from, target, waited);
         }
-        if (state->cv.wait_for(lock,
-                               std::chrono::duration<double>(delay),
-                               [&] {
-                                   return state->winner ||
-                                          state->pending == 0;
-                               }))
-            break;
-        // The primary is slow past the hedge delay: spend ONE backup
-        // if the global in-flight budget allows it.
-        hedge_spent = true;
-        if (hedges_inflight_.fetch_add(1, std::memory_order_relaxed) >=
-            hc.inflight_budget) {
-            hedges_inflight_.fetch_sub(1, std::memory_order_relaxed);
-            continue; // budget refused; keep waiting unhedged
+        double next = kSliceS;
+        if (std::isfinite(abandon_after))
+            next = std::min(next, abandon_after - waited);
+        if (may_hedge && !hedge_spent &&
+            req.hedges < hc.max_per_request) {
+            const double until_hedge = delay - waited;
+            if (until_hedge <= 0.0) {
+                // The primary is slow past the hedge delay: spend
+                // ONE backup if the in-flight budget allows it.
+                hedge_spent = true;
+                if (hedges_inflight_.fetch_add(
+                        1, std::memory_order_relaxed) >=
+                    hc.inflight_budget) {
+                    hedges_inflight_.fetch_sub(
+                        1, std::memory_order_relaxed);
+                    continue; // budget refused; keep waiting unhedged
+                }
+                ++req.hedges;
+                lock.unlock();
+                {
+                    std::lock_guard<std::mutex> elock(mu_);
+                    ++hedges_issued_;
+                }
+                launch(/*is_backup=*/true);
+                lock.lock();
+                continue;
+            }
+            next = std::min(next, until_hedge);
         }
-        ++req.hedges;
-        lock.unlock();
-        {
-            std::lock_guard<std::mutex> elock(mu_);
-            ++hedges_issued_;
-        }
-        launch(/*is_backup=*/true);
-        lock.lock();
+        state->cv.wait_for(lock,
+                           std::chrono::duration<double>(
+                               std::max(next, 1e-4)),
+                           settled);
     }
 
     if (!state->winner) {
@@ -704,7 +906,7 @@ StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
         if (err)
             std::rethrow_exception(err);
         throwError(ErrorKind::Transient,
-                   "hedged fetch: all attempts settled with no "
+                   "guarded fetch: all attempts settled with no "
                    "result for object %llu",
                    static_cast<unsigned long long>(req.id));
     }
@@ -718,7 +920,7 @@ StagedServingEngine::hedgedFetch(StagedRequest &req, int from,
         delivery.bytes.end(),
         win_buf.begin() + static_cast<ptrdiff_t>(begin),
         win_buf.end());
-    {
+    if (may_hedge) {
         std::lock_guard<std::mutex> lk(hedge_mu_);
         hedge_lat_.record(Clock::steady().now() - t0);
     }
@@ -733,12 +935,19 @@ void
 StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
 {
     const double t0 = now();
+    heartbeat(req, "formation");
 
     // Deadline shedding at formation time: a request whose deadline
-    // has already passed is dropped before any byte is read.
+    // has already passed is dropped before any byte is read. A client
+    // cancel that landed while queued is honoured the same way —
+    // before any byte is read.
     if (req.deadline_s > 0.0 &&
         t0 > req.submit_s_ + req.deadline_s) {
         markTerminal(req, StagedState::Expired);
+        return;
+    }
+    if (req.cancel_.reason() == CancelReason::Client) {
+        markTerminal(req, StagedState::Cancelled);
         return;
     }
 
@@ -752,14 +961,28 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
     // pristine object — and the resumable decoder is bound to it.
     EncodedImage delivery = enc.headerCopy();
     ProgressiveDecoder dec(delivery);
+    // The decoder polls the request token between scans, so a cancel
+    // or deadline firing stops decode at a clean prefix boundary.
+    dec.setCancel(&req.cancel_);
 
     int r_idx = 0;
     int resolution = 0;
     int kprev = 0;
+    int total = 0;
     size_t bytes = 0;
     bool capped = false;
     bool tier_capped = false;
     bool charged_full = false;
+
+    // Stage-boundary poll: client/deadline firings end the request at
+    // the next boundary (the Cancelled catch below maps them);
+    // watchdog firings are left to the fetch/retry path, which
+    // degrades instead — the CPU stages between fetches are short.
+    auto pollCancel = [&] {
+        const CancelReason cr = req.cancel_.reason();
+        if (cr == CancelReason::Client || cr == CancelReason::Deadline)
+            req.cancel_.throwIfFired();
+    };
 
     // The brownout tier is sampled ONCE at formation so one request
     // sees a consistent quality level even if the controller shifts
@@ -768,99 +991,134 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
     const int tier =
         bc.enable ? brownout_tier_.load(std::memory_order_relaxed) : 0;
 
-    if (cfg_.fixed_resolution > 0) {
-        // Static mode: no preview fetch, no scale model — the
-        // measured baseline through identical machinery.
-        resolution = cfg_.fixed_resolution;
-        for (size_t i = 1; i < grid.size(); ++i) {
-            if (std::abs(grid[i] - resolution) <
-                std::abs(grid[r_idx] - resolution))
-                r_idx = static_cast<int>(i);
-        }
-    } else {
-        // Stage 1: ranged read + partial decode of the preview scans.
-        // A calibrated policy may demand ZERO preview scans (the
-        // threshold is already met by the mid-gray reconstruction);
-        // then nothing is fetched and the scale model sees the same
-        // 0-scan preview the inline pipeline would. A preview
-        // shortfall after retries is NON-fatal: the scale model sees
-        // whatever prefix decoded (possibly mid-gray), and the
-        // stage-4 fetch below still tries to recover the gap.
-        kprev = cfg_.preview_depth
-                    ? cfg_.preview_depth(req.id)
-                    : cfg_.preview_scans;
-        kprev = std::clamp(kprev, 0, num_scans);
-        // Brownout tier >= 1 caps how much preview evidence a request
-        // may buy: cheaper decisions, shallower reads.
-        if (tier >= 1)
-            kprev = std::min(kprev, std::max(0, bc.preview_cap));
-        if (kprev > 0)
-            fetchScansWithRetry(req, delivery, dec, kprev, bytes,
-                                charged_full, t0);
-
-        // Stage 2: scale-model inference on the decoded preview.
-        const Image preview_full = dec.image();
-        const Image preview =
-            resize(centerCropFraction(preview_full, cfg_.crop_area),
-                   scale_->options().input_res,
-                   scale_->options().input_res);
-        {
-            std::lock_guard<std::mutex> lock(scale_mu_);
-            r_idx = scale_->chooseResolutionIndex(preview);
-        }
-
-        // Stage 3: resolution decision — the scale model's choice,
-        // capped by the queue-depth shed policy under load.
-        const int cap = cfg_.shed_cap ? cfg_.shed_cap(depth) : 0;
-        if (cap > 0 && grid[r_idx] > cap) {
-            int lowered = 0;
-            for (size_t i = 0; i < grid.size(); ++i) {
-                if (grid[i] <= cap &&
-                    grid[i] >= grid[lowered])
-                    lowered = static_cast<int>(i);
+    try {
+        if (cfg_.fixed_resolution > 0) {
+            // Static mode: no preview fetch, no scale model — the
+            // measured baseline through identical machinery.
+            resolution = cfg_.fixed_resolution;
+            for (size_t i = 1; i < grid.size(); ++i) {
+                if (std::abs(grid[i] - resolution) <
+                    std::abs(grid[r_idx] - resolution))
+                    r_idx = static_cast<int>(i);
             }
-            r_idx = lowered;
-            capped = true;
-        }
+        } else {
+            // Stage 1: ranged read + partial decode of the preview
+            // scans. A calibrated policy may demand ZERO preview
+            // scans (the threshold is already met by the mid-gray
+            // reconstruction); then nothing is fetched and the scale
+            // model sees the same 0-scan preview the inline pipeline
+            // would. A preview shortfall after retries is NON-fatal:
+            // the scale model sees whatever prefix decoded (possibly
+            // mid-gray), and the stage-4 fetch below still tries to
+            // recover the gap.
+            kprev = cfg_.preview_depth
+                        ? cfg_.preview_depth(req.id)
+                        : cfg_.preview_scans;
+            kprev = std::clamp(kprev, 0, num_scans);
+            // Brownout tier >= 1 caps how much preview evidence a
+            // request may buy: cheaper decisions, shallower reads.
+            if (tier >= 1)
+                kprev = std::min(kprev, std::max(0, bc.preview_cap));
+            if (kprev > 0)
+                fetchScansWithRetry(req, delivery, dec, kprev, bytes,
+                                    charged_full, t0);
+            pollCancel();
+            heartbeat(req, "scale-model");
 
-        // Brownout tier >= 2 sheds resolution to a floor regardless
-        // of queue depth — the controller has evidence the system is
-        // not keeping up at current quality.
-        if (tier >= 2) {
-            const int floor_res =
-                bc.resolution_cap > 0
-                    ? bc.resolution_cap
-                    : *std::min_element(grid.begin(), grid.end());
-            int lowered = 0;
-            for (size_t i = 0; i < grid.size(); ++i) {
-                if (grid[i] <= floor_res && grid[i] >= grid[lowered])
-                    lowered = static_cast<int>(i);
+            // Stage 2: scale-model inference on the decoded preview.
+            const Image preview_full = dec.image();
+            const Image preview =
+                resize(centerCropFraction(preview_full,
+                                          cfg_.crop_area),
+                       scale_->options().input_res,
+                       scale_->options().input_res);
+            {
+                std::lock_guard<std::mutex> lock(scale_mu_);
+                r_idx = scale_->chooseResolutionIndex(preview);
             }
-            if (grid[r_idx] > grid[lowered]) {
+
+            // Stage 3: resolution decision — the scale model's
+            // choice, capped by the queue-depth shed policy under
+            // load.
+            const int cap = cfg_.shed_cap ? cfg_.shed_cap(depth) : 0;
+            if (cap > 0 && grid[r_idx] > cap) {
+                int lowered = 0;
+                for (size_t i = 0; i < grid.size(); ++i) {
+                    if (grid[i] <= cap &&
+                        grid[i] >= grid[lowered])
+                        lowered = static_cast<int>(i);
+                }
                 r_idx = lowered;
-                tier_capped = true;
+                capped = true;
             }
-        }
-        resolution = grid[r_idx];
-    }
 
-    // Stage 4: ranged read + resumed decode of the remaining scans
-    // the decision needs. The decoder continues from the preview
-    // state — no scan is decoded twice. The full-read denominator is
-    // charged by whichever fetch starts at scan 0 (at most one per
-    // request: the stage-1 read, or this one when no preview byte
-    // was fetched). When the retry budget runs out the request is
-    // served DEGRADED at the scan depth already decoded.
-    int total = cfg_.scan_depth ? cfg_.scan_depth(req.id, r_idx)
+            // Brownout tier >= 2 sheds resolution to a floor
+            // regardless of queue depth — the controller has
+            // evidence the system is not keeping up at current
+            // quality.
+            if (tier >= 2) {
+                const int floor_res =
+                    bc.resolution_cap > 0
+                        ? bc.resolution_cap
+                        : *std::min_element(grid.begin(), grid.end());
+                int lowered = 0;
+                for (size_t i = 0; i < grid.size(); ++i) {
+                    if (grid[i] <= floor_res &&
+                        grid[i] >= grid[lowered])
+                        lowered = static_cast<int>(i);
+                }
+                if (grid[r_idx] > grid[lowered]) {
+                    r_idx = lowered;
+                    tier_capped = true;
+                }
+            }
+            resolution = grid[r_idx];
+        }
+
+        // Stage 4: ranged read + resumed decode of the remaining
+        // scans the decision needs. The decoder continues from the
+        // preview state — no scan is decoded twice. The full-read
+        // denominator is charged by whichever fetch starts at scan 0
+        // (at most one per request: the stage-1 read, or this one
+        // when no preview byte was fetched). When the retry budget
+        // runs out the request is served DEGRADED at the scan depth
+        // already decoded.
+        pollCancel();
+        heartbeat(req, "resume-fetch");
+        total = cfg_.scan_depth ? cfg_.scan_depth(req.id, r_idx)
                                 : num_scans;
-    total = std::clamp(total, kprev, num_scans);
-    // Brownout tier >= 1 also caps the total scan depth (never below
-    // what the preview already decoded).
-    if (tier >= 1)
-        total = std::min(total, std::max(bc.scan_cap, kprev));
-    if (dec.scansDecoded() < total)
-        fetchScansWithRetry(req, delivery, dec, total, bytes,
-                            charged_full, now());
+        total = std::clamp(total, kprev, num_scans);
+        // Brownout tier >= 1 also caps the total scan depth (never
+        // below what the preview already decoded).
+        if (tier >= 1)
+            total = std::min(total, std::max(bc.scan_cap, kprev));
+        if (dec.scansDecoded() < total)
+            fetchScansWithRetry(req, delivery, dec, total, bytes,
+                                charged_full, now());
+        pollCancel();
+    } catch (const Error &e) {
+        if (e.kind() != ErrorKind::Cancelled)
+            throw;
+        // Cancelled mid-pipeline at a clean prefix boundary: meter
+        // what was actually read, then terminate by the reason that
+        // fired (client hangup vs. deadline expiry). Output fields
+        // are not valid, but the accounting is.
+        req.preview_scans = kprev;
+        req.scans_read = dec.scansDecoded();
+        req.scans_intended = total;
+        req.bytes_read = bytes;
+        req.decode_s = now() - req.submit_s_;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            scans_read_ += static_cast<uint64_t>(dec.scansDecoded());
+            bytes_read_ += bytes;
+        }
+        markTerminal(req,
+                     req.cancel_.reason() == CancelReason::Client
+                         ? StagedState::Cancelled
+                         : StagedState::Expired);
+        return;
+    }
     const int achieved = dec.scansDecoded();
     const bool degraded = achieved < total;
     // Nothing decoded at all when the decision needed data: there is
@@ -897,6 +1155,10 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
             markTerminal(req, StagedState::Expired);
             return;
         }
+        if (req.cancel_.reason() == CancelReason::Client) {
+            markTerminal(req, StagedState::Cancelled);
+            return;
+        }
         markTerminal(req, degraded ? StagedState::Degraded
                                    : StagedState::Done);
         return;
@@ -905,7 +1167,15 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
     // Stage 5: prepare the backbone input and hand off to the
     // batched inner engine. The input tensor is recycled when the
     // shape repeats, keeping the handoff allocation-light and the
-    // inner batch path zero-alloc.
+    // inner batch path zero-alloc. A client cancel observed here —
+    // before batch formation — still wins; past the submit below,
+    // the request rides through the backbone and completes normally
+    // (watchdog firings also proceed: the decode work is done).
+    heartbeat(req, "handoff");
+    if (req.cancel_.reason() == CancelReason::Client) {
+        markTerminal(req, StagedState::Cancelled);
+        return;
+    }
     tamres_assert(enc.channels == 3,
                   "backbone stage needs 3-channel objects, got %d",
                   enc.channels);
@@ -933,6 +1203,13 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
     if (!inner_->submit(req.infer)) {
         markTerminal(req, StagedState::Shed);
         return;
+    }
+    // Unpublish before the Submitted store: the worker no longer
+    // advances this request, so the watchdog must not attribute its
+    // future silence (or a later freed pointer) to it.
+    if (watchdog_ && tls_wd_slot >= 0) {
+        std::lock_guard<std::mutex> wlock(wd_mu_);
+        worker_current_[static_cast<size_t>(tls_wd_slot)] = nullptr;
     }
     req.state.store(static_cast<int>(StagedState::Submitted),
                     std::memory_order_release);

@@ -64,7 +64,7 @@
  * request as Failed. Worker threads contain every request-scoped
  * throw: one poisoned request never stalls its batch or kills a
  * worker, and every admitted request reaches one of Done / Degraded /
- * Shed / Expired / Failed / Rejected.
+ * Shed / Expired / Failed / Rejected / Cancelled.
  *
  * Overload control (OverloadConfig; full narrative in
  * docs/robustness.md): PR 6's per-request defenses compose with three
@@ -82,8 +82,28 @@
  * outcomes (and deadline headroom on successes) and shifts a quality
  * tier hysteretically: tier 1 caps preview/scan depth, tier 2 also
  * sheds resolution to a floor, tier 3 also REJECTS new submissions
- * with the typed Rejected terminal. Terminal conservation extends to
- *   admitted == done + degraded + failed + expired + shed + rejected.
+ * with the typed Rejected terminal.
+ *
+ * Lifecycle supervision (the rest of the robustness story; narrative
+ * in docs/robustness.md): every request carries a cooperative
+ * CancelToken (util/cancel.hh) armed with its absolute deadline and
+ * fired by cancel() — the store checks it between delivery chunks,
+ * the decoder between scans, the engine between stages — so client
+ * disconnects map to the Cancelled terminal and mid-pipeline deadline
+ * expiry maps to Expired without burning further I/O or CPU;
+ * cancellation only ever lands on clean scan boundaries, so partial
+ * results stay bit-identical to clean decodes of the same prefix.
+ * When stage_timeout_s > 0 every storage read runs on the shared I/O
+ * pool under a hard wall-clock bound: on timeout the worker ABANDONS
+ * the read (counted in reads_abandoned; a late completion is
+ * discarded but its bytes are still metered; on the storage path the
+ * give-up surfaces as a breaker-counted Transient) and falls into the
+ * retry/degrade ladder instead of blocking. A Watchdog
+ * (util/watchdog.hh) supervises the decode workers' heartbeats and
+ * fail-fasts any request holding a worker silent past the liveness
+ * budget. Terminal conservation extends to
+ *   admitted == done + degraded + failed + expired + shed + rejected
+ *               + cancelled.
  */
 
 #ifndef TAMRES_CORE_STAGED_ENGINE_HH
@@ -98,14 +118,16 @@
 #include "core/engine.hh"
 #include "core/scale_model.hh"
 #include "storage/object_store.hh"
+#include "util/cancel.hh"
 #include "util/clock.hh"
+#include "util/watchdog.hh"
 #include "util/windowed.hh"
 
 namespace tamres {
 
 /**
  * Staged request states (terminal: Done, Degraded, Shed, Expired,
- * Failed, Rejected).
+ * Failed, Rejected, Cancelled).
  */
 enum class StagedState : int
 {
@@ -118,6 +140,7 @@ enum class StagedState : int
     Degraded,   //!< served at a REDUCED scan depth after fetch faults
     Failed,     //!< unrecoverable fault; output fields are NOT valid
     Rejected,   //!< refused by the brownout controller (tier 3)
+    Cancelled,  //!< client cancel()ed; output fields are NOT valid
 };
 
 /**
@@ -158,6 +181,13 @@ struct StagedRequest
   private:
     friend class StagedServingEngine;
     double submit_s_ = 0.0;
+    /**
+     * The request's cooperative cancellation/deadline token: armed at
+     * submit() with the absolute deadline on the engine clock, fired
+     * by StagedServingEngine::cancel() or the watchdog, polled by the
+     * store / decoder / stage boundaries all the way down.
+     */
+    CancelToken cancel_;
 };
 
 /**
@@ -179,7 +209,23 @@ struct StagedRetryConfig
     double backoff_max_s = 50e-3;  //!< exponential backoff ceiling
     double jitter = 0.5;           //!< fractional jitter span [0, 1)
     uint64_t seed = 0x5eed;        //!< jitter determinism
-    double stage_timeout_s = 0;    //!< per-stage fetch budget; 0 = none
+
+    /**
+     * Per-stage fetch budget in seconds (0 = none). When set, it
+     * bounds BOTH halves of a fetch stage: retry backoff sleeps are
+     * charged against it (a sleep that does not fit is abandoned and
+     * the request degrades), and every physical storage read runs on
+     * the engine's I/O pool under the budget's remaining wall-clock
+     * time — a read still in flight when the budget lapses is
+     * ABANDONED (timed-fetch containment: the worker stops waiting,
+     * counts reads_abandoned, and falls into the retry/degrade
+     * ladder; the abandoned read's late completion is discarded but
+     * its bytes still meter, and a wedged read is woken via the
+     * fetch's cancellation token and counted as a breaker failure).
+     * Budget time comes from the engine clock; the in-flight bound is
+     * wall-clock by construction, like hedge timing.
+     */
+    double stage_timeout_s = 0;
 };
 
 /**
@@ -255,11 +301,31 @@ struct BrownoutConfig
     int max_tier = 3;          //!< highest tier the controller may use
 };
 
+/**
+ * Worker-liveness supervision policy (the engine-side face of
+ * util/watchdog.hh). Decode workers heartbeat at stage boundaries and
+ * per retry attempt; a busy worker silent past liveness_budget_s is
+ * flagged — the engine warn()s a per-request diagnostic dump, bumps
+ * watchdog_flags, and fail-fasts the stuck request by firing its
+ * CancelToken with CancelReason::Watchdog (the request degrades to
+ * its decoded prefix or Fails; the worker is freed at the next token
+ * poll). Budget time comes from the engine clock so tests drive
+ * expiry with a ManualClock; the supervisor thread's cadence is
+ * wall-clock by necessity.
+ */
+struct SupervisionConfig
+{
+    bool enable = false;
+    double liveness_budget_s = 1.0; //!< max silence for a busy worker
+    double poll_interval_s = 0.01;  //!< wall-clock supervisor cadence
+};
+
 /** The staged engine's overload-control knobs (see file docs). */
 struct OverloadConfig
 {
     HedgeConfig hedge;
     BrownoutConfig brownout;
+    SupervisionConfig watchdog;
 
     /**
      * Time source for deadlines, retry backoff, and brownout dwell —
@@ -323,7 +389,7 @@ struct StagedEngineConfig
  * Terminal conservation: once every submitted request has reached a
  * terminal state (all wait()s returned),
  *   admitted == done + degraded + failed + expired + shed_admission
- *               + rejected.
+ *               + rejected + cancelled.
  */
 struct StagedStats
 {
@@ -348,6 +414,9 @@ struct StagedStats
     uint64_t tier_drops = 0;      //!< tier increments (quality down)
     uint64_t tier_recoveries = 0; //!< tier decrements (quality back)
     uint64_t brownout_capped = 0; //!< decisions lowered by the tier
+    uint64_t cancelled = 0;       //!< terminal Cancelled (client)
+    uint64_t reads_abandoned = 0; //!< timed fetches given up in flight
+    uint64_t watchdog_flags = 0;  //!< liveness flags raised on workers
     std::vector<uint64_t> resolution_hist; //!< per resolutions() index
     EngineStats backbone;         //!< inner engine snapshot
 };
@@ -390,6 +459,19 @@ class StagedServingEngine
      */
     void wait(StagedRequest &req);
 
+    /**
+     * Cooperatively cancel an in-flight request (the client hung up).
+     * Safe from any thread, any number of times, at any point between
+     * submit() and terminal. The request stops at its next token poll
+     * — a clean scan boundary — and terminates as Cancelled; callers
+     * still wait() it. Best-effort by design: a request already past
+     * its last poll (e.g. handed to the backbone stage) completes
+     * normally, and a cancelled-at-formation request never touches
+     * storage. First fire wins: a cancel that races deadline expiry
+     * keeps whichever reason fired first.
+     */
+    void cancel(StagedRequest &req);
+
     /** Block until both stages are empty and idle. */
     void drain();
 
@@ -409,7 +491,7 @@ class StagedServingEngine
     }
 
   private:
-    class HedgePool;
+    class IoPool;
 
     void decodeLoop();
     void processOne(StagedRequest &req, int depth);
@@ -419,9 +501,14 @@ class StagedServingEngine
                              ProgressiveDecoder &dec, int target,
                              size_t &bytes, bool &charged_full,
                              double stage_start_s);
-    size_t hedgedFetch(StagedRequest &req, int from, int target,
-                       EncodedImage &delivery, bool charge_full);
+    size_t guardedFetch(StagedRequest &req, int from, int target,
+                        EncodedImage &delivery, bool charge_full,
+                        double stage_start_s);
     void markTerminal(StagedRequest &req, StagedState state);
+    /** Heartbeat this worker's watchdog slot (no-op unsupervised). */
+    void heartbeat(StagedRequest &req, const char *phase);
+    /** Watchdog flag callback: dump diagnostics + fail-fast. */
+    void onWatchdogFlag(const WatchdogReport &report);
     void finalize(StagedRequest &req);
     /** Bump the terminal counter + feed the brownout window (mu_ held). */
     void accountTerminalLocked(const StagedRequest &req,
@@ -451,13 +538,23 @@ class StagedServingEngine
     // buffers, so concurrent decode workers serialize inference.
     mutable std::mutex scale_mu_;
 
-    // Hedged reads: dedicated fetch pool + wall-clock latency window
-    // (hedge_mu_ guards hedge_lat_ only; the in-flight budget is a
-    // bare atomic so backup completions never take an engine lock).
-    std::unique_ptr<HedgePool> hedge_pool_; //!< null when disabled
+    // Detached I/O: the pool that runs hedged AND timed fetches, plus
+    // the wall-clock hedge latency window (hedge_mu_ guards hedge_lat_
+    // only; the in-flight budget is a bare atomic so backup
+    // completions never take an engine lock). The pool exists when
+    // hedging is enabled OR stage_timeout_s > 0.
+    std::unique_ptr<IoPool> io_pool_; //!< null when neither is on
     mutable std::mutex hedge_mu_;
     QuantileWindow hedge_lat_;
     std::atomic<int> hedges_inflight_{0};
+
+    // Worker supervision: the watchdog plus the worker -> in-flight
+    // request map its flag callback uses to fire the right token.
+    // wd_mu_ guards worker_current_ only and is never held while
+    // calling into the watchdog or the engine's other locks.
+    std::unique_ptr<Watchdog> watchdog_; //!< null when disabled
+    mutable std::mutex wd_mu_;
+    std::vector<StagedRequest *> worker_current_;
 
     // Brownout: tier is written under mu_ but read lock-free on the
     // decode path; the outcome window and dwell clock live under mu_.
@@ -485,6 +582,9 @@ class StagedServingEngine
     uint64_t tier_drops_ = 0;
     uint64_t tier_recoveries_ = 0;
     uint64_t brownout_capped_ = 0;
+    uint64_t cancelled_ = 0;
+    uint64_t reads_abandoned_ = 0;
+    uint64_t watchdog_flags_ = 0;
     std::vector<uint64_t> resolution_hist_;
 
     std::vector<std::thread> threads_;

@@ -194,7 +194,8 @@ size_t
 BreakerObjectStore::fetchScanRange(uint64_t id, int from_scans,
                                    int to_scans,
                                    std::vector<uint8_t> &dst,
-                                   bool charge_full, size_t max_bytes)
+                                   bool charge_full, size_t max_bytes,
+                                   const CancelToken *cancel)
 {
     bool is_probe = false;
     admit(clock_->now(), is_probe); // throws fail-fast when rejected
@@ -202,7 +203,8 @@ BreakerObjectStore::fetchScanRange(uint64_t id, int from_scans,
     const double t0 = clock_->now();
     try {
         const size_t got = base_->fetchScanRange(
-            id, from_scans, to_scans, dst, charge_full, max_bytes);
+            id, from_scans, to_scans, dst, charge_full, max_bytes,
+            cancel);
         // A short delivery the CALLER did not ask for is a failure
         // signal: the range came back truncated.
         const EncodedImage &obj = base_->peek(id);
@@ -218,8 +220,11 @@ BreakerObjectStore::fetchScanRange(uint64_t id, int from_scans,
             settle(clock_->now(), is_probe, /*failed=*/true,
                    clock_->now() - t0);
         } else {
-            // NotFound etc.: a data error says nothing about tier
-            // health — release any probe slot without recording.
+            // NotFound, Cancelled etc.: a data/request error says
+            // nothing about tier health — release any probe slot
+            // without recording. (An *abandoned* read is different:
+            // the token maps Abandoned/Watchdog to Transient above,
+            // so supervision give-ups DO count as tier failures.)
             std::lock_guard<std::mutex> lock(mu_);
             if (is_probe && probes_in_flight_ > 0)
                 --probes_in_flight_;

@@ -127,7 +127,8 @@ class BreakerObjectStore : public ObjectStore
     /** The guarded path: fail fast when Open, probe when HalfOpen. */
     size_t fetchScanRange(uint64_t id, int from_scans, int to_scans,
                           std::vector<uint8_t> &dst, bool charge_full,
-                          size_t max_bytes) override;
+                          size_t max_bytes = SIZE_MAX,
+                          const CancelToken *cancel = nullptr) override;
 
     /** Current state (racy snapshot; exact under external quiesce). */
     BreakerState state() const;

@@ -104,6 +104,7 @@ FaultyObjectStore::stats() const
     out.faults_transient += fault_stats_.faults_transient;
     out.faults_truncated += fault_stats_.faults_truncated;
     out.faults_corrupted += fault_stats_.faults_corrupted;
+    out.faults_hung += fault_stats_.faults_hung;
     return out;
 }
 
@@ -120,6 +121,16 @@ FaultyObjectStore::resetAttempts()
 {
     std::lock_guard<std::mutex> lock(mu_);
     attempts_.clear();
+}
+
+void
+FaultyObjectStore::releaseHangs()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        hangs_released_ = true;
+    }
+    hang_cv_.notify_all();
 }
 
 FaultDecision
@@ -140,6 +151,10 @@ FaultyObjectStore::decide(const FaultContext &ctx)
                      std::sqrt(1.0 - std::min(u, 1.0 - 1e-12));
     }
     d.delay_s = std::min(d.delay_s, policy_.latency_max_s);
+    if (policy_.hang_p > 0 && rng.bernoulli(policy_.hang_p)) {
+        d.hang = true;
+        return d; // a wedged read delivers nothing at all
+    }
     if (policy_.transient_p > 0 && rng.bernoulli(policy_.transient_p)) {
         d.fail = true;
         return d; // a failed request neither truncates nor corrupts
@@ -160,7 +175,8 @@ size_t
 FaultyObjectStore::fetchScanRange(uint64_t id, int from_scans,
                                   int to_scans,
                                   std::vector<uint8_t> &dst,
-                                  bool charge_full, size_t max_bytes)
+                                  bool charge_full, size_t max_bytes,
+                                  const CancelToken *cancel)
 {
     // Resolve metadata first: a missing object throws NotFound before
     // any fault is drawn (injection perturbs deliveries, not lookups).
@@ -187,6 +203,26 @@ FaultyObjectStore::fetchScanRange(uint64_t id, int from_scans,
         std::this_thread::sleep_for(
             std::chrono::duration<double>(d.delay_s));
     }
+    if (d.hang) {
+        // A wedged read: block until the caller's token fires or the
+        // hangs are released, then throw. The wait polls — a fired
+        // deadline on a ManualClock has no notifier, and 1 ms of wall
+        // latency on an already-doomed read is noise.
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            ++fault_stats_.faults_hung;
+            while (!hangs_released_ &&
+                   !(cancel != nullptr && cancel->fired()))
+                hang_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        }
+        if (cancel != nullptr)
+            cancel->throwIfFired(); // Abandoned/Watchdog -> Transient
+        throwError(ErrorKind::Transient,
+                   "injected hung read released: object %llu scans "
+                   "[%d, %d) attempt %d",
+                   static_cast<unsigned long long>(id), from_scans,
+                   to_scans, ctx.attempt);
+    }
     if (d.fail) {
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -203,7 +239,7 @@ FaultyObjectStore::fetchScanRange(uint64_t id, int from_scans,
     const size_t before = dst.size();
     const size_t got =
         base_->fetchScanRange(id, from_scans, to_scans, dst,
-                              charge_full, cap);
+                              charge_full, cap, cancel);
     if (d.deliver_bytes < clean && got < clean) {
         std::lock_guard<std::mutex> lock(mu_);
         ++fault_stats_.faults_truncated;

@@ -22,6 +22,7 @@
 #ifndef TAMRES_STORAGE_FAULT_INJECTION_HH
 #define TAMRES_STORAGE_FAULT_INJECTION_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -54,6 +55,14 @@ struct FaultDecision
     bool fail = false;                //!< throw Error{Transient}
     size_t deliver_bytes = SIZE_MAX;  //!< cap on delivered bytes
     int64_t flip_bit = -1;            //!< bit index to flip in the range
+    /**
+     * Wedge this read indefinitely: it blocks until the caller's
+     * CancelToken fires or releaseHangs() is called, then throws
+     * (nothing is delivered). Unlike delay_s — which is capped at
+     * latency_max_s and always completes — a hang models a truly
+     * stuck I/O that only supervision can unblock.
+     */
+    bool hang = false;
 };
 
 /** Scripted fault schedule: full control for deterministic tests. */
@@ -77,6 +86,7 @@ struct FaultPolicy
     double transient_p = 0;          //!< P(throw Error{Transient})
     double truncate_p = 0;           //!< P(short delivery)
     double corrupt_p = 0;            //!< P(one bit flip in the range)
+    double hang_p = 0;               //!< P(read wedges indefinitely)
 
     FaultScript script;              //!< when set, replaces the draws
 };
@@ -112,15 +122,25 @@ class FaultyObjectStore : public ObjectStore
     ReadStats stats() const override;
     void resetStats() override;
 
-    /** The perturbed path: delay / fail / truncate / corrupt. */
+    /** The perturbed path: delay / fail / hang / truncate / corrupt. */
     size_t fetchScanRange(uint64_t id, int from_scans, int to_scans,
                           std::vector<uint8_t> &dst, bool charge_full,
-                          size_t max_bytes) override;
+                          size_t max_bytes = SIZE_MAX,
+                          const CancelToken *cancel = nullptr) override;
 
     const FaultPolicy &policy() const { return policy_; }
 
     /** Reset the per-range attempt counters (replays the schedule). */
     void resetAttempts();
+
+    /**
+     * Permanently release every hung read, current and future: wedged
+     * fetches wake and throw Error{Transient, "hung read released"},
+     * and later hang decisions throw immediately instead of blocking.
+     * The escape hatch for tearing down an unsupervised configuration
+     * whose workers are wedged on purpose.
+     */
+    void releaseHangs();
 
   private:
     FaultDecision decide(const FaultContext &ctx);
@@ -128,7 +148,9 @@ class FaultyObjectStore : public ObjectStore
     ObjectStore *base_;
     FaultPolicy policy_;
 
-    mutable std::mutex mu_; //!< guards attempts_ and fault_stats_
+    mutable std::mutex mu_; //!< guards attempts_, fault_stats_, hangs
+    std::condition_variable hang_cv_;
+    bool hangs_released_ = false;
     std::unordered_map<uint64_t, int> attempts_; //!< keyed on range
     ReadStats fault_stats_; //!< only the faults_* fields are used
 };

@@ -101,7 +101,7 @@ ObjectStore::readScanRangeBytes(uint64_t id, int from_scans,
 size_t
 ObjectStore::fetchScanRange(uint64_t id, int from_scans, int to_scans,
                             std::vector<uint8_t> &dst, bool charge_full,
-                            size_t max_bytes)
+                            size_t max_bytes, const CancelToken *cancel)
 {
     const EncodedImage &obj = get(id);
     tamres_assert(from_scans >= 0 && to_scans >= from_scans &&
@@ -114,19 +114,39 @@ ObjectStore::fetchScanRange(uint64_t id, int from_scans, int to_scans,
                   "delivery buffer holds %zu bytes, range starts at "
                   "%zu", dst.size(), begin);
     const size_t take = std::min(end - begin, max_bytes);
-    dst.insert(dst.end(), obj.bytes.begin() + begin,
-               obj.bytes.begin() + begin + take);
+    // Deliver scan-at-a-time so a cooperative cancellation can land
+    // between chunks: the delivered prefix always ends exactly where
+    // metering says it does, and the caller's buffer never holds a
+    // chunk the stats have not charged.
+    size_t appended = 0;
+    bool fired = false;
+    for (int s = from_scans; s < to_scans && appended < take; ++s) {
+        if (cancel != nullptr && cancel->fired()) {
+            fired = true;
+            break;
+        }
+        const size_t lo = obj.bytesForScans(s);
+        const size_t hi =
+            std::min(obj.bytesForScans(s + 1), begin + take);
+        dst.insert(dst.end(), obj.bytes.begin() + lo,
+                   obj.bytes.begin() + hi);
+        appended += hi - lo;
+    }
     {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.requests;
-        stats_.bytes_read += take;
+        stats_.bytes_read += appended;
         // Charge the full-read denominator once per logical request:
         // on the first successful prefix-starting fetch. Retries of a
-        // failed from == 0 fetch pass charge_full = false.
-        if (from_scans == 0 && charge_full)
+        // failed from == 0 fetch pass charge_full = false, and a
+        // cancelled delivery never charges it (the logical request is
+        // over, not served).
+        if (from_scans == 0 && charge_full && !fired)
             stats_.bytes_full += obj.totalBytes();
     }
-    return take;
+    if (fired)
+        cancel->throwIfFired();
+    return appended;
 }
 
 const EncodedImage &

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "codec/progressive.hh"
+#include "util/cancel.hh"
 
 namespace tamres {
 
@@ -40,6 +41,7 @@ struct ReadStats
     uint64_t faults_transient = 0; //!< reads failed with Transient
     uint64_t faults_truncated = 0; //!< reads short-delivered on purpose
     uint64_t faults_corrupted = 0; //!< reads with an injected bit flip
+    uint64_t faults_hung = 0;      //!< reads wedged until release/cancel
 
     // Circuit-breaker counters (zero without a BreakerObjectStore).
     uint64_t breaker_fast_fails = 0; //!< fetches rejected while Open
@@ -67,6 +69,7 @@ struct ReadStats
         faults_transient += other.faults_transient;
         faults_truncated += other.faults_truncated;
         faults_corrupted += other.faults_corrupted;
+        faults_hung += other.faults_hung;
         breaker_fast_fails += other.breaker_fast_fails;
         breaker_trips += other.breaker_trips;
     }
@@ -143,12 +146,22 @@ class ObjectStore
      * @p max_bytes caps the appended bytes (a fault-injecting subclass
      * uses it to deliver short reads); the metered bytes equal what was
      * actually appended. Returns the appended byte count.
+     *
+     * @p cancel (optional) is a cooperative cancellation token. The
+     * store delivers the range scan-by-scan and checks the token
+     * between chunks; when it fires, the bytes already appended stay
+     * appended AND metered (metering counts work done, not work used),
+     * the full-read denominator is NOT charged, and the fetch throws
+     * the token's reason-mapped error (Cancelled for client/deadline,
+     * fail-fast Transient for watchdog/abandonment — see
+     * util/cancel.hh).
      */
     virtual size_t fetchScanRange(uint64_t id, int from_scans,
                                   int to_scans,
                                   std::vector<uint8_t> &dst,
                                   bool charge_full = true,
-                                  size_t max_bytes = SIZE_MAX);
+                                  size_t max_bytes = SIZE_MAX,
+                                  const CancelToken *cancel = nullptr);
 
     /** Access an object's metadata (scan sizes etc.). */
     virtual const EncodedImage &peek(uint64_t id) const;

@@ -14,6 +14,7 @@ errorKindName(ErrorKind kind)
       case ErrorKind::Truncated: return "truncated";
       case ErrorKind::Corrupt: return "corrupt";
       case ErrorKind::Decode: return "decode";
+      case ErrorKind::Cancelled: return "cancelled";
     }
     return "?";
 }

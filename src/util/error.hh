@@ -42,6 +42,15 @@ enum class ErrorKind : int
      * and must not be resumed. Unrecoverable per request.
      */
     Decode,
+    /**
+     * The request's cooperative CancelToken fired (client cancel or
+     * deadline expiry) and the operation stopped at a clean boundary:
+     * nothing is partially applied past the last completed scan. Not
+     * a tier-health signal — the circuit breaker does not count it
+     * and the retry loop never retries it; the engine maps it to the
+     * Cancelled or Expired terminal by the token's reason.
+     */
+    Cancelled,
 };
 
 /** Short stable name for an ErrorKind ("not-found", "transient", ...). */

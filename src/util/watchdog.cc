@@ -1,0 +1,133 @@
+#include "util/watchdog.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+Watchdog::Watchdog(Config config, FlagFn on_flag)
+    : cfg_(config),
+      clock_(config.clock != nullptr ? config.clock : &Clock::steady()),
+      on_flag_(std::move(on_flag))
+{
+    tamres_assert(cfg_.liveness_budget_s > 0,
+                  "watchdog liveness budget must be positive");
+    if (cfg_.supervise)
+        thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog()
+{
+    stop();
+}
+
+int
+Watchdog::registerWorker()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.push_back(Worker{});
+    return static_cast<int>(workers_.size()) - 1;
+}
+
+void
+Watchdog::beat(int worker, const char *phase, uint64_t request_id)
+{
+    const double now = clock_->now();
+    std::lock_guard<std::mutex> lock(mu_);
+    tamres_assert(worker >= 0 &&
+                  worker < static_cast<int>(workers_.size()),
+                  "beat from unregistered worker %d", worker);
+    Worker &w = workers_[static_cast<size_t>(worker)];
+    w.busy = true;
+    w.flagged = false;
+    w.phase = phase;
+    w.request_id = request_id;
+    w.last_beat_s = now;
+}
+
+void
+Watchdog::idle(int worker)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    tamres_assert(worker >= 0 &&
+                  worker < static_cast<int>(workers_.size()),
+                  "idle from unregistered worker %d", worker);
+    Worker &w = workers_[static_cast<size_t>(worker)];
+    w.busy = false;
+    w.flagged = false;
+    w.phase = "";
+    w.request_id = 0;
+}
+
+int
+Watchdog::poll()
+{
+    const double now = clock_->now();
+    std::vector<WatchdogReport> reports;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (size_t i = 0; i < workers_.size(); ++i) {
+            Worker &w = workers_[i];
+            if (!w.busy || w.flagged)
+                continue;
+            const double silent = now - w.last_beat_s;
+            if (silent < cfg_.liveness_budget_s)
+                continue;
+            w.flagged = true; // once per silent episode
+            ++flags_;
+            WatchdogReport r;
+            r.worker = static_cast<int>(i);
+            r.phase = w.phase;
+            r.request_id = w.request_id;
+            r.silent_s = silent;
+            reports.push_back(r);
+        }
+    }
+    // Callbacks run lock-free so they may re-enter beat()/idle() or
+    // take engine locks without ordering against mu_.
+    for (const WatchdogReport &r : reports)
+        if (on_flag_)
+            on_flag_(r);
+    return static_cast<int>(reports.size());
+}
+
+uint64_t
+Watchdog::flags() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return flags_;
+}
+
+void
+Watchdog::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+Watchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+        // Wall-clock cadence: a wedged worker advances no clock, so
+        // the supervisor must wake on real time (see file docs).
+        cv_.wait_for(lock, std::chrono::duration<double>(
+                               cfg_.poll_interval_s));
+        if (stopping_)
+            break;
+        lock.unlock();
+        poll();
+        lock.lock();
+    }
+}
+
+} // namespace tamres

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Worker-liveness supervision for the serving pipeline.
+ *
+ * Cooperative cancellation (util/cancel.hh) only helps when the code
+ * holding a request still reaches its next token check. The watchdog
+ * covers the residue: a per-worker heartbeat registry plus a
+ * supervisor that flags any *busy* worker silent for longer than the
+ * liveness budget — a wedged storage read, a livelocked retry loop, a
+ * stuck stage — and hands a diagnostic report to a callback that can
+ * fail-fast the stuck request (the staged engine cancels its token
+ * with CancelReason::Watchdog and dumps per-request diagnostics).
+ *
+ * Time has two roles here, deliberately split:
+ *
+ *   - *Budget* time — "how long has this worker been silent" — comes
+ *     from an injectable Clock, so tests drive expiry with a
+ *     ManualClock and assert flag edges deterministically via poll().
+ *   - *Supervision cadence* — how often the background thread wakes
+ *     to evaluate budgets — is wall-clock by necessity (a wedged
+ *     worker cannot advance any clock). Like hedge timing, this is a
+ *     documented exception to the injectable-clock rule; tests that
+ *     need determinism disable the thread (supervise = false) and
+ *     call poll() by hand.
+ *
+ * A worker is flagged at most once per silent episode: the flag arms
+ * again only after the worker beats or goes idle. Idle workers are
+ * never flagged — an empty queue is not a liveness failure.
+ */
+
+#ifndef TAMRES_UTIL_WATCHDOG_HH
+#define TAMRES_UTIL_WATCHDOG_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/clock.hh"
+
+namespace tamres {
+
+/** Diagnostics for one flagged worker, passed to the flag callback. */
+struct WatchdogReport
+{
+    int worker = 0;            //!< registerWorker() index
+    const char *phase = "";    //!< last reported pipeline phase
+    uint64_t request_id = 0;   //!< request the worker was holding
+    double silent_s = 0;       //!< budget-clock seconds since the beat
+};
+
+/** Per-worker heartbeat registry + liveness supervisor. */
+class Watchdog
+{
+  public:
+    struct Config
+    {
+        /** Max budget-clock silence for a busy worker before a flag. */
+        double liveness_budget_s = 1.0;
+        /** Wall-clock cadence of the supervisor thread. */
+        double poll_interval_s = 0.01;
+        /** Budget time source; nullptr = the process steady clock. */
+        const Clock *clock = nullptr;
+        /** Spawn the supervisor thread (false = tests poll() by hand). */
+        bool supervise = true;
+    };
+
+    using FlagFn = std::function<void(const WatchdogReport &)>;
+
+    /**
+     * @p on_flag runs on the supervisor thread (or the poll() caller)
+     * with no watchdog lock held, so it may call back into beat()/
+     * idle() or take its own locks freely. It must not block.
+     */
+    Watchdog(Config config, FlagFn on_flag);
+    ~Watchdog();
+
+    /** Add a worker slot; returns its index. Not before first beat. */
+    int registerWorker();
+
+    /**
+     * Heartbeat: worker @p worker is alive, in @p phase (a static
+     * string), holding request @p request_id. Re-arms the flag.
+     */
+    void beat(int worker, const char *phase, uint64_t request_id);
+
+    /** The worker finished its work item; it cannot be flagged. */
+    void idle(int worker);
+
+    /**
+     * Evaluate every busy worker against the liveness budget NOW (on
+     * the budget clock) and invoke the flag callback for each newly
+     * expired one. Returns the number of flags raised by this call.
+     * The supervisor thread calls this on its cadence; tests with
+     * supervise = false call it directly after advancing a
+     * ManualClock.
+     */
+    int poll();
+
+    /** Total flags raised since construction. */
+    uint64_t flags() const;
+
+    /** Join the supervisor thread (idempotent; dtor calls it). */
+    void stop();
+
+  private:
+    void loop();
+
+    struct Worker
+    {
+        bool busy = false;
+        bool flagged = false;     //!< flagged this silent episode
+        const char *phase = "";
+        uint64_t request_id = 0;
+        double last_beat_s = 0;   //!< budget-clock time of last beat
+    };
+
+    Config cfg_;
+    const Clock *clock_;
+    FlagFn on_flag_;
+
+    mutable std::mutex mu_; //!< guards workers_, flags_, stopping_
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::vector<Worker> workers_;
+    uint64_t flags_ = 0;
+
+    std::thread thread_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_UTIL_WATCHDOG_HH

@@ -19,6 +19,7 @@
 #include "codec/progressive.hh"
 #include "image/synthetic.hh"
 #include "tests/threads_env.hh"
+#include "util/cancel.hh"
 #include "util/error.hh"
 #include "util/rng.hh"
 
@@ -183,6 +184,109 @@ TEST(CodecResume, SuccessiveApproximationAndChromaSubsamplingResume)
                 << "SA prefix " << k << " at " << threads
                 << " threads";
         }
+    }
+}
+
+TEST(CodecResume, CancelledAdvanceStopsOnBitIdenticalPrefix)
+{
+    // Cancellation is only observed BETWEEN scans — a scan is the
+    // atomic decode unit — so however deep the cancel lands, the
+    // suspended prefix must be bit-identical to a clean decode of
+    // that depth, and clearing the token must let the SAME decoder
+    // resume to a bit-identical full decode.
+    const Image src = randomImage(37, 31, 12);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 8;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+
+    for (const int threads : {1, 4}) {
+        ThreadsEnv env(threads);
+        ProgressiveDecoder dec(enc);
+        CancelToken tok;
+        dec.setCancel(&tok);
+        dec.advanceTo(2);
+        tok.cancel(CancelReason::Client);
+        try {
+            dec.advanceTo(enc.numScans());
+            FAIL() << "expected Error{Cancelled}";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Cancelled);
+        }
+        EXPECT_EQ(dec.scansDecoded(), 2)
+            << "cancel must land on the scan boundary, never inside";
+        EXPECT_TRUE(samePixels(dec.image(),
+                               decodeProgressive(enc, 2)))
+            << "cancelled prefix differs from a clean 2-scan decode";
+
+        dec.setCancel(nullptr);
+        dec.advanceTo(enc.numScans());
+        EXPECT_TRUE(samePixels(
+            dec.image(),
+            decodeProgressive(enc, enc.numScans())))
+            << "resume after cancel not bit-identical at " << threads
+            << " threads";
+    }
+}
+
+TEST(CodecResume, WatchdogFiredTokenThrowsFailFastAndStateSurvives)
+{
+    // Supervision firings (Watchdog/Abandoned) surface as fail-fast
+    // Transient — the operation was abandoned, not the request — and
+    // must leave the decoder clean at the boundary for the degrade
+    // path to serve the prefix.
+    const Image src = randomImage(24, 28, 13);
+    const EncodedImage enc = encodeProgressive(src);
+    ProgressiveDecoder dec(enc);
+    CancelToken tok;
+    dec.setCancel(&tok);
+    dec.advanceTo(1);
+    tok.cancel(CancelReason::Watchdog);
+    try {
+        dec.advanceTo(enc.numScans());
+        FAIL() << "expected fail-fast Error{Transient}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Transient);
+        EXPECT_TRUE(e.failFast());
+    }
+    EXPECT_EQ(dec.scansDecoded(), 1);
+    EXPECT_TRUE(samePixels(dec.image(), decodeProgressive(enc, 1)));
+    dec.setCancel(nullptr);
+    dec.advanceTo(enc.numScans());
+    EXPECT_TRUE(samePixels(dec.image(), decodeProgressive(enc)));
+}
+
+TEST(CodecResume, CancelAtEveryBoundaryPreservesBitIdentity)
+{
+    // Exhaustive: for every boundary j, cancel there, verify the
+    // prefix, then re-decode the object cold to full depth and
+    // compare with the never-cancelled reference — cancellation must
+    // leave no trace in either the suspended or the re-served path.
+    const Image src = randomImage(29, 35, 14);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 16;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const Image want = decodeProgressive(enc);
+
+    for (int j = 0; j <= enc.numScans(); ++j) {
+        ProgressiveDecoder dec(enc);
+        CancelToken tok;
+        dec.setCancel(&tok);
+        dec.advanceTo(j);
+        tok.cancel(CancelReason::Deadline);
+        if (j < enc.numScans())
+            EXPECT_THROW(dec.advanceTo(enc.numScans()), Error)
+                << "boundary " << j;
+        EXPECT_EQ(dec.scansDecoded(), j);
+        EXPECT_TRUE(samePixels(dec.image(),
+                               decodeProgressive(enc, j)))
+            << "boundary " << j;
+
+        ProgressiveDecoder cold(enc);
+        cold.advanceTo(enc.numScans());
+        EXPECT_TRUE(samePixels(cold.image(), want))
+            << "re-serve after cancel at boundary " << j;
     }
 }
 

@@ -1033,6 +1033,360 @@ TEST_F(StagedEngineTest, HedgedReadCutsInjectedTailLatency)
     EXPECT_GE(faulty.stats().requests, 2u);
 }
 
+// --------------------------------------------------------------------
+// Request lifecycle supervision: cooperative cancellation, timed-fetch
+// containment of hung reads, and the serving watchdog.
+// --------------------------------------------------------------------
+
+TEST_F(StagedEngineTest, StageTimeoutAbandonsHungReadThenRecovers)
+{
+    // stage_timeout_s bounds the PHYSICAL read, not just backoff (the
+    // documented semantics): a preview read wedged indefinitely is
+    // abandoned when its stage budget lapses and the stage gives up —
+    // but the shortfall is non-fatal. The stage-4 fetch runs on a
+    // FRESH budget, recovers the whole range, and the request lands
+    // Done at full depth, bit-identical to the inline pipeline that
+    // saw the same 0-scan (mid-gray) preview.
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.hang = ctx.from_scans == 0 && ctx.to_scans == 2 &&
+                 ctx.attempt == 0;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry = fastRetry();
+    cfg.retry.stage_timeout_s = 0.05;
+    StagedEngineConfig ref_cfg = cfg;
+    ref_cfg.preview_scans = 0; // what the degraded decision sees
+    const InlineRef ref = inlineReference(0, ref_cfg);
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    StagedRequest req;
+    req.id = 0;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    ASSERT_EQ(req.stateNow(), StagedState::Done);
+    EXPECT_EQ(req.resolution_index, ref.r_idx);
+    EXPECT_EQ(req.scans_read, ref.scans);
+    EXPECT_EQ(req.bytes_read, ref.bytes)
+        << "the recovery fetch delivered the exact clean range";
+    EXPECT_LT(elapsed, 2.0)
+        << "a hung read must be bounded by the stage budget, "
+           "not by the hang";
+
+    const StagedStats st = engine.stats();
+    EXPECT_GE(st.reads_abandoned, 1u);
+    EXPECT_GE(st.retry_giveups, 1u);
+    EXPECT_EQ(faulty.stats().faults_hung, 1u);
+    EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                               st.expired + st.shed_admission +
+                               st.rejected + st.cancelled);
+}
+
+TEST_F(StagedEngineTest, PermanentHangDegradesAndDrainStaysLive)
+{
+    // Every resume-range read wedges on every attempt. With the
+    // timed-fetch bound the request must degrade to its preview
+    // prefix within the stage budget, drain()/stop() must return
+    // promptly (the wedged I/O-pool task is woken by the abandoned
+    // fetch's token, never joined against a hang), and the abandoned
+    // read's late unwind must not double-account bytes_read.
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.hang = ctx.from_scans >= 1;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry = fastRetry();
+    cfg.retry.stage_timeout_s = 0.04;
+    const size_t preview_bytes =
+        store_.peek(0).bytesForScans(cfg.preview_scans);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+        StagedRequest req;
+        req.id = 0;
+        ASSERT_TRUE(engine.submit(req));
+        engine.wait(req);
+
+        ASSERT_EQ(req.stateNow(), StagedState::Degraded);
+        EXPECT_EQ(req.scans_read, cfg.preview_scans)
+            << "degrade serves the clean preview prefix";
+        EXPECT_GT(req.scans_intended, cfg.preview_scans);
+        EXPECT_EQ(req.bytes_read, preview_bytes);
+
+        engine.drain(); // must not wait on the wedged read
+        const StagedStats st = engine.stats();
+        EXPECT_GE(st.reads_abandoned, 1u);
+        EXPECT_GE(st.retry_giveups, 1u);
+        EXPECT_EQ(st.bytes_read, preview_bytes)
+            << "an abandoned read must not meter bytes it never "
+               "delivered";
+        EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                                   st.expired + st.shed_admission +
+                                   st.rejected + st.cancelled);
+        engine.stop();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_LT(elapsed, 5.0)
+        << "drain()/stop() hung on a permanently wedged read";
+}
+
+TEST_F(StagedEngineTest, LateCompletionOfAbandonedReadMetersOnce)
+{
+    // An abandoned read that eventually completes (an uncancellable
+    // injected delay, not a hang) must neither crash nor
+    // double-account: its token fired at abandonment, so the base
+    // store refuses delivery when the sleep finally ends.
+    constexpr double kSlowS = 0.15;
+    FaultPolicy policy;
+    policy.latency_max_s = kSlowS;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.delay_s = ctx.from_scans == 0 && ctx.to_scans == 2 &&
+                            ctx.attempt == 0
+                        ? kSlowS
+                        : 0.0;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry = fastRetry();
+    cfg.retry.stage_timeout_s = 0.03;
+    StagedEngineConfig ref_cfg = cfg;
+    ref_cfg.preview_scans = 0; // the abandoned preview decodes nothing
+    const InlineRef ref = inlineReference(0, ref_cfg);
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    StagedRequest req;
+    req.id = 0;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    ASSERT_EQ(req.stateNow(), StagedState::Done);
+    EXPECT_EQ(req.bytes_read, ref.bytes);
+
+    // stop() joins the I/O pool, so the late completion has settled
+    // by the time stats are read.
+    engine.stop();
+    const StagedStats st = engine.stats();
+    EXPECT_GE(st.reads_abandoned, 1u);
+    EXPECT_EQ(st.bytes_read, ref.bytes)
+        << "late completion double-accounted bytes_read";
+    EXPECT_EQ(st.done, 1u);
+}
+
+TEST_F(StagedEngineTest, ClientCancelTerminatesCancelledAndLeavesNoTrace)
+{
+    // A queued request cancelled before formation must terminate
+    // Cancelled without touching storage; a re-serve of the same
+    // object afterwards must be bit-identical to the clean reference.
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.delay_s = ctx.id == 0 ? 0.03 : 0.0; // occupy the worker
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.decode_workers = 1;
+    const InlineRef ref = inlineReference(1, cfg);
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    StagedRequest busy, victim;
+    busy.id = 0;
+    victim.id = 1;
+    ASSERT_TRUE(engine.submit(busy));
+    ASSERT_TRUE(engine.submit(victim));
+    engine.cancel(victim);
+    engine.wait(busy);
+    engine.wait(victim);
+
+    EXPECT_EQ(busy.stateNow(), StagedState::Done);
+    ASSERT_EQ(victim.stateNow(), StagedState::Cancelled);
+    EXPECT_EQ(victim.bytes_read, 0u)
+        << "cancelled-at-formation must not touch storage";
+
+    // Idempotent + post-terminal cancel is a no-op.
+    engine.cancel(victim);
+
+    StagedRequest again;
+    again.id = 1;
+    ASSERT_TRUE(engine.submit(again));
+    engine.wait(again);
+    ASSERT_EQ(again.stateNow(), StagedState::Done);
+    EXPECT_EQ(again.resolution_index, ref.r_idx);
+    EXPECT_EQ(again.scans_read, ref.scans);
+    EXPECT_EQ(again.bytes_read, ref.bytes)
+        << "re-serve after cancel not bit-identical to clean run";
+
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.cancelled, 1u);
+    EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                               st.expired + st.shed_admission +
+                               st.rejected + st.cancelled);
+}
+
+TEST_F(StagedEngineTest, ClientCancelWakesWedgedReadMidFlight)
+{
+    // No stage timeout, no hedge: the worker runs the synchronous
+    // fetch path and wedges inside a scripted hang. cancel() must
+    // wake the wedged read via the request token (polled between
+    // delivery chunks / in the hang loop), and the request must
+    // terminate Cancelled with its clean preview prefix metered.
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.hang = ctx.from_scans >= 1;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    StagedRequest req;
+    req.id = 0;
+    ASSERT_TRUE(engine.submit(req));
+    while (faulty.stats().faults_hung < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    engine.cancel(req);
+    engine.wait(req);
+
+    ASSERT_EQ(req.stateNow(), StagedState::Cancelled);
+    EXPECT_EQ(req.scans_read, cfg.preview_scans)
+        << "cancellation lands on the clean preview boundary";
+    EXPECT_EQ(req.bytes_read,
+              store_.peek(0).bytesForScans(cfg.preview_scans))
+        << "the bytes actually read are still metered";
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.cancelled, 1u);
+    EXPECT_EQ(st.bytes_read, req.bytes_read);
+}
+
+TEST_F(StagedEngineTest, WatchdogFlagsWedgedWorkerAndFailFasts)
+{
+    // Liveness budgets run on the injectable engine clock: the worker
+    // wedges in a hung read, the ManualClock advances past the
+    // budget, and the supervisor (wall-clock cadence by design) must
+    // flag the silent worker, dump diagnostics, and fail-fast the
+    // request — which degrades to its clean preview prefix.
+    ManualClock clk;
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.hang = ctx.from_scans >= 1;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry = fastRetry();
+    cfg.overload.clock = &clk;
+    cfg.overload.watchdog.enable = true;
+    cfg.overload.watchdog.liveness_budget_s = 1.0;
+    cfg.overload.watchdog.poll_interval_s = 0.002;
+
+    StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+    StagedRequest req;
+    req.id = 0;
+    ASSERT_TRUE(engine.submit(req));
+    // Only once the worker is provably wedged does the budget clock
+    // move — a deterministic flag, not a racy one.
+    while (faulty.stats().faults_hung < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    clk.advance(2.0);
+    engine.wait(req);
+
+    ASSERT_EQ(req.stateNow(), StagedState::Degraded)
+        << "watchdog fail-fast degrades to the decoded prefix";
+    EXPECT_EQ(req.scans_read, cfg.preview_scans);
+    const StagedStats st = engine.stats();
+    EXPECT_GE(st.watchdog_flags, 1u);
+    EXPECT_GE(st.retry_giveups, 1u);
+    EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                               st.expired + st.shed_admission +
+                               st.rejected + st.cancelled);
+}
+
+TEST_F(StagedEngineTest, ChaosWithHangsUnderSupervisionConserves)
+{
+    // Acceptance: seeded chaos including wedged reads (hang_p > 0)
+    // with the full supervision stack on — timed fetches + watchdog —
+    // must terminate EVERY request with a structured terminal, keep
+    // the extended conservation identity exact, and tear down
+    // promptly.
+    StagedEngineConfig cfg = baseConfig();
+    cfg.decode_workers = 2;
+    cfg.decode_batch = 2;
+    cfg.retry = fastRetry();
+    cfg.retry.stage_timeout_s = 0.02;
+    cfg.overload.watchdog.enable = true;
+    cfg.overload.watchdog.liveness_budget_s = 0.5;
+    cfg.overload.watchdog.poll_interval_s = 0.005;
+    ThreadsEnv env(4);
+
+    FaultPolicy policy;
+    policy.seed = 0xD06;
+    policy.hang_p = 0.08;
+    policy.transient_p = 0.05;
+    policy.truncate_p = 0.04;
+    policy.corrupt_p = 0.03;
+    FaultyObjectStore faulty(store_, policy);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        StagedServingEngine engine(faulty, *scale_, nullptr, cfg);
+        std::vector<StagedRequest> reqs(8 * kObjects);
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            reqs[i].id = static_cast<uint64_t>(i % kObjects);
+            ASSERT_TRUE(engine.submit(reqs[i]));
+        }
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            engine.wait(reqs[i]);
+            const StagedState s = reqs[i].stateNow();
+            EXPECT_TRUE(s == StagedState::Done ||
+                        s == StagedState::Degraded ||
+                        s == StagedState::Failed)
+                << "request " << i << " reached state "
+                << static_cast<int>(s);
+        }
+        engine.drain();
+        const StagedStats st = engine.stats();
+        EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                                   st.expired + st.shed_admission +
+                                   st.rejected + st.cancelled)
+            << "conservation identity broken under hangs";
+        EXPECT_GT(st.done, 0u);
+        EXPECT_GE(faulty.stats().faults_hung, 1u)
+            << "the seed produced no hangs; raise hang_p";
+        EXPECT_GE(st.reads_abandoned, faulty.stats().faults_hung)
+            << "every hang must have been contained by abandonment";
+        engine.stop();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_LT(elapsed, 30.0) << "supervised chaos run wedged";
+}
+
 TEST_F(StagedEngineTest, HedgeBudgetZeroNeverHedges)
 {
     // A global in-flight budget of zero disables backups even with

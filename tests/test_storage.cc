@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -14,6 +15,7 @@
 #include "storage/breaker.hh"
 #include "storage/fault_injection.hh"
 #include "storage/object_store.hh"
+#include "util/cancel.hh"
 #include "util/clock.hh"
 #include "util/error.hh"
 
@@ -333,6 +335,186 @@ TEST(FaultInjection, MissingObjectStillNotFound)
         FAIL() << "expected Error{NotFound}";
     } catch (const Error &e) {
         EXPECT_EQ(e.kind(), ErrorKind::NotFound);
+    }
+}
+
+TEST(Cancellation, PreFiredTokenStopsDeliveryBeforeAnyChunk)
+{
+    // The base store polls the token between per-scan delivery
+    // chunks; a token fired before the call delivers nothing,
+    // charges no full-read denominator, and throws by reason.
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(21);
+    store.put(1, enc);
+
+    CancelToken client;
+    client.cancel(CancelReason::Client);
+    std::vector<uint8_t> buf;
+    try {
+        store.fetchScanRange(1, 0, enc.numScans(), buf, true,
+                             SIZE_MAX, &client);
+        FAIL() << "expected Error{Cancelled}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Cancelled);
+    }
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(store.stats().bytes_read, 0u);
+    EXPECT_EQ(store.stats().bytes_full, 0u)
+        << "a fired fetch must not charge the full-read denominator";
+    EXPECT_EQ(store.stats().requests, 1u)
+        << "the attempt itself is still metered";
+
+    // An Abandoned-fired token (timed-fetch supervision) surfaces as
+    // the fail-fast Transient the retry ladder and breaker expect.
+    CancelToken abandoned;
+    abandoned.cancel(CancelReason::Abandoned);
+    try {
+        store.fetchScanRange(1, 0, enc.numScans(), buf, true,
+                             SIZE_MAX, &abandoned);
+        FAIL() << "expected fail-fast Error{Transient}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Transient);
+        EXPECT_TRUE(e.failFast());
+    }
+}
+
+TEST(Cancellation, UnfiredTokenDeliversBitIdenticalBytes)
+{
+    ObjectStore store;
+    const EncodedImage enc = encodeTest(22);
+    store.put(1, enc);
+    CancelToken tok;
+    std::vector<uint8_t> clean, guarded;
+    store.fetchScanRange(1, 0, enc.numScans(), clean, true, SIZE_MAX);
+    EXPECT_EQ(store.fetchScanRange(1, 0, enc.numScans(), guarded,
+                                   true, SIZE_MAX, &tok),
+              clean.size());
+    EXPECT_EQ(guarded, clean);
+}
+
+TEST(FaultInjection, HungReadWakesWhenTokenFires)
+{
+    // A scripted hang wedges the read until supervision fires the
+    // fetch token; the read then throws instead of delivering, and
+    // the hang is metered.
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(23);
+    base.put(1, enc);
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &) {
+        FaultDecision d;
+        d.hang = true;
+        return d;
+    };
+    FaultyObjectStore store(base, policy);
+
+    CancelToken tok;
+    std::atomic<bool> threw{false};
+    std::atomic<bool> fail_fast{false};
+    std::thread reader([&] {
+        std::vector<uint8_t> buf;
+        try {
+            store.fetchScanRange(1, 0, enc.numScans(), buf, true,
+                                 SIZE_MAX, &tok);
+        } catch (const Error &e) {
+            threw.store(e.kind() == ErrorKind::Transient);
+            fail_fast.store(e.failFast());
+        }
+    });
+    // Let the reader reach the hang, then abandon it.
+    while (store.stats().faults_hung < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    tok.cancel(CancelReason::Abandoned);
+    reader.join();
+    EXPECT_TRUE(threw.load());
+    EXPECT_TRUE(fail_fast.load())
+        << "an abandoned hung read must fail fast into the ladder";
+    EXPECT_EQ(store.stats().faults_hung, 1u);
+    EXPECT_EQ(store.stats().bytes_read, 0u);
+}
+
+TEST(FaultInjection, ReleaseHangsWakesWedgedAndDisarmsFutureHangs)
+{
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(24);
+    base.put(1, enc);
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        d.hang = ctx.attempt == 0;
+        return d;
+    };
+    FaultyObjectStore store(base, policy);
+
+    std::atomic<bool> released{false};
+    std::thread reader([&] {
+        std::vector<uint8_t> buf;
+        try {
+            store.fetchScanRange(1, 0, 1, buf, true, SIZE_MAX);
+        } catch (const Error &e) {
+            released.store(e.kind() == ErrorKind::Transient);
+        }
+    });
+    while (store.stats().faults_hung < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    store.releaseHangs();
+    reader.join();
+    EXPECT_TRUE(released.load());
+
+    // Future hang decisions throw immediately instead of blocking —
+    // the escape hatch is permanent.
+    std::vector<uint8_t> buf;
+    store.resetAttempts(); // attempt 0 hangs again by script
+    EXPECT_THROW(store.fetchScanRange(1, 0, 1, buf, true, SIZE_MAX),
+                 Error);
+    EXPECT_EQ(store.stats().faults_hung, 2u);
+    // The next attempt is clean and delivers.
+    EXPECT_EQ(store.fetchScanRange(1, 0, 1, buf, true, SIZE_MAX),
+              enc.bytesForScans(1));
+}
+
+TEST(Breaker, CountsAbandonedReadsButReleasesClientCancels)
+{
+    // Abandoned/watchdog firings arrive as fail-fast Transient and
+    // must count as breaker failures (a tier that wedges reads is
+    // sick); client cancels arrive as Cancelled and must NOT poison
+    // the health window.
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(25);
+    base.put(1, enc);
+
+    BreakerConfig bc;
+    bc.min_samples = 2;
+    bc.failure_threshold = 0.5;
+    {
+        BreakerObjectStore breaker(base, bc);
+        CancelToken abandoned;
+        abandoned.cancel(CancelReason::Abandoned);
+        std::vector<uint8_t> buf;
+        for (int i = 0; i < 2; ++i) {
+            buf.clear();
+            EXPECT_THROW(breaker.fetchScanRange(1, 0, 1, buf, false,
+                                                SIZE_MAX, &abandoned),
+                         Error);
+        }
+        EXPECT_EQ(breaker.state(), BreakerState::Open)
+            << "two abandoned reads are two tier failures";
+        EXPECT_EQ(breaker.breakerStats().trips, 1u);
+    }
+    {
+        BreakerObjectStore breaker(base, bc);
+        CancelToken client;
+        client.cancel(CancelReason::Client);
+        std::vector<uint8_t> buf;
+        for (int i = 0; i < 4; ++i) {
+            buf.clear();
+            EXPECT_THROW(breaker.fetchScanRange(1, 0, 1, buf, false,
+                                                SIZE_MAX, &client),
+                         Error);
+        }
+        EXPECT_EQ(breaker.state(), BreakerState::Closed)
+            << "client cancels say nothing about tier health";
+        EXPECT_EQ(breaker.breakerStats().trips, 0u);
     }
 }
 

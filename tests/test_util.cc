@@ -1,20 +1,27 @@
 /**
  * @file
  * Unit tests for the util module: Rng, Timer, TablePrinter, ThreadPool,
- * env helpers.
+ * env helpers, CancelToken, Watchdog.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "util/cancel.hh"
+#include "util/clock.hh"
 #include "util/env.hh"
+#include "util/error.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
+#include "util/watchdog.hh"
 
 namespace tamres {
 namespace {
@@ -216,6 +223,222 @@ TEST(Env, DoubleAndString)
     unsetenv("TAMRES_TEST_D");
     EXPECT_DOUBLE_EQ(envDouble("TAMRES_TEST_D", 1.0), 1.0);
     EXPECT_EQ(envString("TAMRES_TEST_S", "dflt"), "dflt");
+}
+
+TEST(CancelToken, DefaultIsUnfired)
+{
+    CancelToken tok;
+    EXPECT_FALSE(tok.fired());
+    EXPECT_FALSE(tok.cancelled());
+    EXPECT_EQ(tok.reason(), CancelReason::None);
+    EXPECT_NO_THROW(tok.throwIfFired());
+}
+
+TEST(CancelToken, FirstReasonWins)
+{
+    CancelToken tok;
+    tok.cancel(CancelReason::Client);
+    tok.cancel(CancelReason::Watchdog);
+    EXPECT_TRUE(tok.cancelled());
+    EXPECT_EQ(tok.reason(), CancelReason::Client);
+}
+
+TEST(CancelToken, DeadlineFiresLazilyOnManualClock)
+{
+    ManualClock clk;
+    CancelToken tok;
+    tok.armDeadline(clk, clk.now() + 1.0);
+    EXPECT_FALSE(tok.fired());
+    clk.advance(0.5);
+    EXPECT_FALSE(tok.fired());
+    clk.advance(0.6);
+    EXPECT_TRUE(tok.fired());
+    EXPECT_EQ(tok.reason(), CancelReason::Deadline);
+    // Lazy expiry never set the explicit flag.
+    EXPECT_FALSE(tok.cancelled());
+}
+
+TEST(CancelToken, ExplicitReasonWinsOverExpiredDeadline)
+{
+    ManualClock clk;
+    CancelToken tok;
+    tok.armDeadline(clk, clk.now() + 1.0);
+    tok.cancel(CancelReason::Client);
+    clk.advance(2.0); // deadline also past now
+    EXPECT_EQ(tok.reason(), CancelReason::Client);
+}
+
+TEST(CancelToken, ThrowMappingByReason)
+{
+    // Client/Deadline end the REQUEST: ErrorKind::Cancelled, never
+    // retried. Watchdog/Abandoned end the OPERATION: a fail-fast
+    // Transient that drops into the retry/degrade ladder and counts
+    // as a breaker failure.
+    for (CancelReason r :
+         {CancelReason::Client, CancelReason::Deadline}) {
+        CancelToken tok;
+        tok.cancel(r);
+        try {
+            tok.throwIfFired();
+            FAIL() << "token fired but did not throw";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Cancelled);
+            EXPECT_FALSE(e.failFast());
+        }
+    }
+    for (CancelReason r :
+         {CancelReason::Watchdog, CancelReason::Abandoned}) {
+        CancelToken tok;
+        tok.cancel(r);
+        try {
+            tok.throwIfFired();
+            FAIL() << "token fired but did not throw";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Transient);
+            EXPECT_TRUE(e.failFast());
+        }
+    }
+}
+
+TEST(CancelToken, ResetDisarmsForResubmission)
+{
+    ManualClock clk;
+    CancelToken tok;
+    tok.armDeadline(clk, clk.now() + 0.1);
+    tok.cancel(CancelReason::Client);
+    clk.advance(1.0);
+    tok.reset();
+    EXPECT_FALSE(tok.fired());
+    EXPECT_EQ(tok.reason(), CancelReason::None)
+        << "reset must drop both the flag and the armed deadline";
+}
+
+TEST(CancelToken, ConcurrentCancelKeepsExactlyOneReason)
+{
+    CancelToken tok;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i)
+        threads.emplace_back([&tok, i] {
+            tok.cancel(i % 2 == 0 ? CancelReason::Client
+                                  : CancelReason::Watchdog);
+        });
+    for (auto &t : threads)
+        t.join();
+    const CancelReason r = tok.reason();
+    EXPECT_TRUE(r == CancelReason::Client ||
+                r == CancelReason::Watchdog);
+    EXPECT_EQ(tok.reason(), r) << "reason must be stable once set";
+}
+
+TEST(Watchdog, FlagsOnlySilentBusyWorkers)
+{
+    ManualClock clk;
+    Watchdog::Config cfg;
+    cfg.liveness_budget_s = 1.0;
+    cfg.clock = &clk;
+    cfg.supervise = false; // tests drive poll() by hand
+    std::vector<WatchdogReport> reports;
+    Watchdog wd(cfg, [&](const WatchdogReport &r) {
+        reports.push_back(r);
+    });
+
+    const int a = wd.registerWorker();
+    const int b = wd.registerWorker();
+    wd.beat(a, "fetch", 41);
+    wd.beat(b, "decode", 42);
+    wd.idle(b); // b finished: an empty queue is not a liveness failure
+
+    clk.advance(0.5);
+    EXPECT_EQ(wd.poll(), 0) << "within budget: no flag";
+
+    clk.advance(0.6); // a silent 1.1s now, past the 1.0s budget
+    EXPECT_EQ(wd.poll(), 1);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].worker, a);
+    EXPECT_STREQ(reports[0].phase, "fetch");
+    EXPECT_EQ(reports[0].request_id, 41u);
+    EXPECT_GE(reports[0].silent_s, 1.0);
+
+    // Once per silent episode: the same silence never re-flags.
+    clk.advance(5.0);
+    EXPECT_EQ(wd.poll(), 0);
+    EXPECT_EQ(wd.flags(), 1u);
+
+    // A beat re-arms the flag; fresh silence flags again.
+    wd.beat(a, "fetch", 43);
+    clk.advance(1.5);
+    EXPECT_EQ(wd.poll(), 1);
+    EXPECT_EQ(wd.flags(), 2u);
+    EXPECT_EQ(reports[1].request_id, 43u);
+}
+
+TEST(Watchdog, IdleAndFreshlyBeatenWorkersNeverFlag)
+{
+    ManualClock clk;
+    Watchdog::Config cfg;
+    cfg.liveness_budget_s = 0.1;
+    cfg.clock = &clk;
+    cfg.supervise = false;
+    Watchdog wd(cfg, [](const WatchdogReport &) {
+        FAIL() << "no worker should ever be flagged here";
+    });
+    const int w = wd.registerWorker();
+    for (int i = 0; i < 20; ++i) {
+        wd.beat(w, "loop", 1);
+        clk.advance(0.05); // always beats within half the budget
+        EXPECT_EQ(wd.poll(), 0);
+    }
+    wd.idle(w);
+    clk.advance(100.0);
+    EXPECT_EQ(wd.poll(), 0) << "idle workers are never flagged";
+    EXPECT_EQ(wd.flags(), 0u);
+}
+
+TEST(Watchdog, CallbackMayReenterRegistryWithoutDeadlock)
+{
+    ManualClock clk;
+    Watchdog::Config cfg;
+    cfg.liveness_budget_s = 0.1;
+    cfg.clock = &clk;
+    cfg.supervise = false;
+    Watchdog *self = nullptr;
+    int reentered = 0;
+    Watchdog wd(cfg, [&](const WatchdogReport &r) {
+        // The callback contract: no watchdog lock is held, so it may
+        // call back into beat()/idle() (the engine's flag handler
+        // takes its own locks and cancels request tokens).
+        self->beat(r.worker, "recovered", 7);
+        ++reentered;
+    });
+    self = &wd;
+    const int w = wd.registerWorker();
+    wd.beat(w, "stuck", 6);
+    clk.advance(1.0);
+    EXPECT_EQ(wd.poll(), 1);
+    EXPECT_EQ(reentered, 1);
+    // The re-entrant beat re-armed the worker at the advanced time.
+    clk.advance(0.05);
+    EXPECT_EQ(wd.poll(), 0);
+}
+
+TEST(Watchdog, SupervisorThreadFlagsWithoutManualPolls)
+{
+    // Wall-clock smoke test for the supervised mode: the background
+    // thread must flag a silent busy worker on its own. Generous
+    // bounds — cadence is wall-clock by design (see watchdog.hh).
+    Watchdog::Config cfg;
+    cfg.liveness_budget_s = 0.02;
+    cfg.poll_interval_s = 0.005;
+    std::atomic<int> flagged{0};
+    Watchdog wd(cfg, [&](const WatchdogReport &) { ++flagged; });
+    const int w = wd.registerWorker();
+    wd.beat(w, "wedged", 9);
+    for (int i = 0; i < 400 && flagged.load() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GE(flagged.load(), 1)
+        << "supervisor thread never flagged a 2s-silent worker";
+    wd.stop();
+    EXPECT_GE(wd.flags(), 1u);
 }
 
 } // namespace

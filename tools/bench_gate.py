@@ -61,6 +61,7 @@ GATED_PATTERNS = (
 # GATED_PATTERNS, so a file-scoped entry wins if a key matches both.
 LOWER_GATED_FILES = {
     "BENCH_overload.json": ("p99_ms",),
+    "BENCH_watchdog.json": ("p99_ms", "stall"),
 }
 
 # Built-in per-file margins (CLI --file-margin overrides). The chaos
@@ -70,6 +71,7 @@ LOWER_GATED_FILES = {
 BUILTIN_FILE_MARGINS = {
     "BENCH_faults.json": 0.5,
     "BENCH_overload.json": 0.5,
+    "BENCH_watchdog.json": 0.5,
 }
 
 
