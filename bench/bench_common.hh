@@ -135,6 +135,44 @@
  *                            rate — the gated "supervision holds
  *                            goodput where the control collapses"
  *                            headline ratio
+ *
+ * BENCH_cache.json (written by bench/decode_cache, gated by
+ * tools/bench_gate.py; bytes_read and p99_ms fields gate
+ * lower-is-better via the gate's per-file direction map):
+ *   requests                 Zipf draws served per leg (same fixed
+ *                            sequence in every leg)
+ *   objects                  hot-set size the Zipf draw ranges over
+ *   zipf_alpha               popularity skew (1.0 = classic Zipf)
+ *   entry_bytes              measured footprint of one full-depth
+ *                            cache entry (preview + snapshot +
+ *                            overhead) — capacities are multiples
+ *   legs[]                   one point per leg, in ascending
+ *                            capacity order: off / small / medium /
+ *                            large:
+ *     name, capacity_entries leg name and capacity in entry units
+ *     bytes_read             store bytes the engine actually fetched
+ *                            — lower-is-better gated; hits charge
+ *                            zero, partial hits charge the delta
+ *     p99_ms                 latency p99 over served requests —
+ *                            lower-is-better gated (every physical
+ *                            fetch pays an injected latency tail, so
+ *                            this is the fetches-avoided dividend)
+ *     goodput_rps            (Done + Degraded) per wall-clock second
+ *     done_/degraded_        terminal mix over the leg's requests
+ *     fraction
+ *     cache_hits             stage-1 fetches skipped entirely
+ *     cache_resumes          stage-4 deep fetches resumed partway
+ *     cache_misses           stage-1 lookups that found nothing
+ *     cache_bytes_saved      store bytes the cache made unnecessary
+ *     evictions, entries     LRU evictions and resident entries
+ *   cache_bytes_gain         off-leg bytes_read / large-leg
+ *                            bytes_read — the gated ">= 2x bytes
+ *                            cut on the Zipf mix" headline ratio
+ *                            (named so the lower-is-better
+ *                            "bytes_read" key pattern cannot claim
+ *                            a higher-is-better ratio)
+ *   cache_p99_gain           off-leg p99 / large-leg p99 — the gated
+ *                            "hits skip the latency tail" headline
  */
 
 #ifndef TAMRES_BENCH_BENCH_COMMON_HH

@@ -1188,6 +1188,87 @@ ProgressiveDecoder::ProgressiveDecoder(const EncodedImage &enc)
     }
 }
 
+/**
+ * The shared immutable payload behind DecoderSnapshot: a deep copy of
+ * the coefficient planes plus enough of the stream header to verify a
+ * resume target is the same stream shape the snapshot came from.
+ */
+struct DecoderSnapshot::Blob
+{
+    std::vector<std::vector<int>> coeffs;
+    int decoded = 0;
+    int height = 0;
+    int width = 0;
+    int channels = 0;
+    int quality = 0;
+    ColorMode color = ColorMode::Planar;
+    int num_scans = 0;
+};
+
+int
+DecoderSnapshot::scansDecoded() const
+{
+    return blob_ ? blob_->decoded : 0;
+}
+
+size_t
+DecoderSnapshot::coeffBytes() const
+{
+    if (!blob_)
+        return 0;
+    size_t n = 0;
+    for (const auto &plane : blob_->coeffs)
+        n += plane.size() * sizeof(int);
+    return n;
+}
+
+DecoderSnapshot
+ProgressiveDecoder::snapshot() const
+{
+    const EncodedImage &enc = *st_->enc;
+    auto blob = std::make_shared<DecoderSnapshot::Blob>();
+    blob->coeffs = st_->coeffs;
+    blob->decoded = st_->decoded;
+    blob->height = enc.height;
+    blob->width = enc.width;
+    blob->channels = enc.channels;
+    blob->quality = enc.quality;
+    blob->color = enc.color;
+    blob->num_scans = enc.numScans();
+    DecoderSnapshot snap;
+    snap.blob_ = std::move(blob);
+    return snap;
+}
+
+ProgressiveDecoder::ProgressiveDecoder(const EncodedImage &enc,
+                                       const DecoderSnapshot &snap)
+    : ProgressiveDecoder(enc) // full side-table validation + geometry
+{
+    // A stale snapshot (taken from a different stream shape — e.g. an
+    // object replaced underneath a cache) is a data error: the request
+    // must fail cleanly and fall back to a cold decode, not
+    // reconstruct from mismatched coefficients.
+    tamres_check(snap.valid(), ErrorKind::Corrupt,
+                 "resume from an empty decoder snapshot");
+    const DecoderSnapshot::Blob &b = *snap.blob_;
+    tamres_check(b.height == enc.height && b.width == enc.width &&
+                     b.channels == enc.channels &&
+                     b.quality == enc.quality && b.color == enc.color &&
+                     b.num_scans == enc.numScans(),
+                 ErrorKind::Corrupt,
+                 "decoder snapshot does not match stream header");
+    tamres_check(b.coeffs.size() == st_->coeffs.size(),
+                 ErrorKind::Corrupt,
+                 "decoder snapshot plane count mismatch");
+    for (size_t c = 0; c < b.coeffs.size(); ++c) {
+        tamres_check(b.coeffs[c].size() == st_->coeffs[c].size(),
+                     ErrorKind::Corrupt,
+                     "decoder snapshot plane geometry mismatch");
+    }
+    st_->coeffs = b.coeffs;
+    st_->decoded = b.decoded;
+}
+
 ProgressiveDecoder::~ProgressiveDecoder() = default;
 ProgressiveDecoder::ProgressiveDecoder(ProgressiveDecoder &&) noexcept =
     default;

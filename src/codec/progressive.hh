@@ -243,6 +243,41 @@ EncodedImage encodeProgressive(const Image &img,
                                const ProgressiveConfig &config = {});
 
 /**
+ * An immutable, shareable copy of a ProgressiveDecoder's coefficient
+ * state at a scan boundary, taken with ProgressiveDecoder::snapshot()
+ * and turned back into a live decoder with the resume constructor.
+ * Snapshots are value types over a shared immutable blob: copying one
+ * is a refcount bump, and any number of decoders may be resumed from
+ * the same snapshot concurrently without aliasing mutable state —
+ * each resume deep-copies the coefficients into its own decoder.
+ * This is what lets a decode cache hand one suspended scan prefix to
+ * many requests at once.
+ */
+class DecoderSnapshot
+{
+  public:
+    /** An empty (invalid) snapshot; resuming from it throws. */
+    DecoderSnapshot() = default;
+
+    /** True when the snapshot holds decoder state. */
+    bool valid() const { return blob_ != nullptr; }
+
+    /** Scans decoded into the captured state (0 when invalid). */
+    int scansDecoded() const;
+
+    /**
+     * Bytes of coefficient state the snapshot pins in memory — the
+     * honest size a byte-accounted cache charges for holding it.
+     */
+    size_t coeffBytes() const;
+
+  private:
+    friend class ProgressiveDecoder;
+    struct Blob;
+    std::shared_ptr<const Blob> blob_;
+};
+
+/**
  * Resumable progressive decoder: a state machine that decodes scan
  * prefixes incrementally and can suspend between scans without
  * redoing work. Because scans are independently decodable segments
@@ -275,6 +310,23 @@ class ProgressiveDecoder
 {
   public:
     explicit ProgressiveDecoder(const EncodedImage &enc);
+
+    /**
+     * Resume from a snapshot: construct a decoder over @p enc with
+     * its coefficient state deep-copied from @p snap, as if this
+     * decoder had itself decoded the snapshot's scan prefix. The
+     * stream header must match the one the snapshot was taken from
+     * (geometry, scan script, scan count); a mismatch throws
+     * Error{Corrupt} — a resumed-from-stale-state request must fail
+     * cleanly, not decode garbage. The byte buffer only needs to be
+     * valid from scan_offsets[snap.scansDecoded()] onward: bytes
+     * before the resume point are never read, so a caller may hand a
+     * headerCopy() whose payload is zero-filled up to the resume
+     * offset and append only the ranged bytes it actually fetched.
+     */
+    ProgressiveDecoder(const EncodedImage &enc,
+                       const DecoderSnapshot &snap);
+
     ~ProgressiveDecoder();
 
     ProgressiveDecoder(ProgressiveDecoder &&) noexcept;
@@ -328,6 +380,17 @@ class ProgressiveDecoder
      * one-shot decodeProgressive(enc, scansDecoded()).
      */
     Image image() const;
+
+    /**
+     * Capture the coefficient state at the current scan boundary as
+     * an immutable snapshot. The snapshot owns a deep copy — it does
+     * not borrow the decoder or the stream, so it outlives both, and
+     * this decoder may keep advancing afterwards without disturbing
+     * it. Resuming a fresh decoder from the snapshot is bit-identical
+     * to having decoded the prefix cold (asserted in
+     * tests/test_codec_resume.cc).
+     */
+    DecoderSnapshot snapshot() const;
 
   private:
     struct State;

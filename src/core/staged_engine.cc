@@ -117,7 +117,7 @@ StagedServingEngine::StagedServingEngine(ObjectStore &store,
     tamres_assert(!scale_->resolutions().empty(),
                   "scale model has no resolution grid");
 
-    resolution_hist_.assign(scale_->resolutions().size(), 0);
+    stats_.resolution_hist.assign(scale_->resolutions().size(), 0);
     if (backbone_)
         inner_ = std::make_unique<ServingEngine>(*backbone_,
                                                  cfg_.backbone);
@@ -160,7 +160,7 @@ bool
 StagedServingEngine::submit(StagedRequest &req)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    ++admitted_;
+    ++stats_.admitted;
     // Brownout tier 3: the controller has concluded the system cannot
     // finish the work it already holds — refuse new work with a typed
     // terminal the caller can distinguish from a full queue.
@@ -268,13 +268,13 @@ StagedServingEngine::accountTerminalLocked(const StagedRequest &req,
                                            StagedState terminal)
 {
     switch (terminal) {
-      case StagedState::Done: ++done_; break;
-      case StagedState::Degraded: ++degraded_; break;
-      case StagedState::Failed: ++failed_; break;
-      case StagedState::Expired: ++expired_; break;
-      case StagedState::Shed: ++shed_admission_; break;
-      case StagedState::Rejected: ++rejected_; break;
-      case StagedState::Cancelled: ++cancelled_; break;
+      case StagedState::Done: ++stats_.done; break;
+      case StagedState::Degraded: ++stats_.degraded; break;
+      case StagedState::Failed: ++stats_.failed; break;
+      case StagedState::Expired: ++stats_.expired; break;
+      case StagedState::Shed: ++stats_.shed_admission; break;
+      case StagedState::Rejected: ++stats_.rejected; break;
+      case StagedState::Cancelled: ++stats_.cancelled; break;
       default: break;
     }
 
@@ -325,7 +325,7 @@ StagedServingEngine::brownoutEvaluateLocked(double now_s)
     if (tier < max_tier && n >= bc.min_samples &&
         frac >= bc.high_pressure && since >= bc.min_dwell_s) {
         brownout_tier_.store(tier + 1, std::memory_order_relaxed);
-        ++tier_drops_;
+        ++stats_.tier_drops;
         last_shift_s_ = now_s;
         brown_window_.reset();
         return;
@@ -333,7 +333,7 @@ StagedServingEngine::brownoutEvaluateLocked(double now_s)
     if (tier > 0 && n >= down_samples && frac <= bc.low_pressure &&
         since >= down_dwell) {
         brownout_tier_.store(tier - 1, std::memory_order_relaxed);
-        ++tier_recoveries_;
+        ++stats_.tier_recoveries;
         last_shift_s_ = now_s;
         brown_window_.reset();
         return;
@@ -344,7 +344,7 @@ StagedServingEngine::brownoutEvaluateLocked(double now_s)
     if (tier > 0 && n == 0 &&
         since >= std::max(down_dwell, bc.window_s)) {
         brownout_tier_.store(tier - 1, std::memory_order_relaxed);
-        ++tier_recoveries_;
+        ++stats_.tier_recoveries;
         last_shift_s_ = now_s;
         brown_window_.reset();
     }
@@ -390,36 +390,19 @@ StagedServingEngine::stop()
 StagedStats
 StagedServingEngine::stats() const
 {
+    // One critical section copies the whole counter struct, so every
+    // field in a snapshot is mutually consistent (no field-at-a-time
+    // stitching while workers mutate). The live-state fields are
+    // filled in afterwards from their own sources.
     StagedStats s;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        s = stats_;
         s.decode_queue_depth = static_cast<int>(queue_.size());
-        s.admitted = admitted_;
-        s.decoded = decoded_;
-        s.done = done_;
-        s.shed_admission = shed_admission_;
-        s.expired = expired_;
-        s.rejected = rejected_;
-        s.shed_cap_applied = shed_cap_applied_;
-        s.scans_read = scans_read_;
-        s.bytes_read = bytes_read_;
-        s.failed = failed_;
-        s.degraded = degraded_;
-        s.retries = retries_;
-        s.fetch_faults = fetch_faults_;
-        s.retry_giveups = retry_giveups_;
-        s.hedges_issued = hedges_issued_;
-        s.hedge_wins = hedge_wins_;
-        s.brownout_tier =
-            brownout_tier_.load(std::memory_order_relaxed);
-        s.tier_drops = tier_drops_;
-        s.tier_recoveries = tier_recoveries_;
-        s.brownout_capped = brownout_capped_;
-        s.cancelled = cancelled_;
-        s.reads_abandoned = reads_abandoned_;
-        s.watchdog_flags = watchdog_flags_;
-        s.resolution_hist = resolution_hist_;
     }
+    s.brownout_tier = brownout_tier_.load(std::memory_order_relaxed);
+    if (cfg_.cache)
+        s.cache = cfg_.cache->stats();
     if (inner_)
         s.backbone = inner_->stats();
     return s;
@@ -542,7 +525,7 @@ StagedServingEngine::onWatchdogFlag(const WatchdogReport &report)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        ++watchdog_flags_;
+        ++stats_.watchdog_flags;
     }
     // Holding wd_mu_ pins the request: workers unpublish (under
     // wd_mu_) before the terminal store that lets owners free it.
@@ -596,13 +579,13 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
             req.cancel_.throwIfFired();
         if (cr != CancelReason::None) {
             std::lock_guard<std::mutex> lock(mu_);
-            ++retry_giveups_;
+            ++stats_.retry_giveups;
             return false;
         }
         if (attempt > 0) {
             if (attempt >= rc.max_attempts) {
                 std::lock_guard<std::mutex> lock(mu_);
-                ++retry_giveups_;
+                ++stats_.retry_giveups;
                 return false;
             }
             // Exponential backoff with deterministic jitter in
@@ -624,12 +607,12 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
                     budget, stage_start_s + rc.stage_timeout_s - now());
             if (backoff >= budget) {
                 std::lock_guard<std::mutex> lock(mu_);
-                ++retry_giveups_;
+                ++stats_.retry_giveups;
                 return false;
             }
             {
                 std::lock_guard<std::mutex> lock(mu_);
-                ++retries_;
+                ++stats_.retries;
             }
             ++req.retries;
             if (backoff > 0.0)
@@ -657,12 +640,12 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
                 // so backing off only burns deadline the request
                 // could spend degrading gracefully. Give up NOW.
                 std::lock_guard<std::mutex> lock(mu_);
-                ++fetch_faults_;
-                ++retry_giveups_;
+                ++stats_.fetch_faults;
+                ++stats_.retry_giveups;
                 return false;
             }
             std::lock_guard<std::mutex> lock(mu_);
-            ++fetch_faults_;
+            ++stats_.fetch_faults;
             continue;
         }
         try {
@@ -681,14 +664,14 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
             // scan decoded) and Truncated leave the decoder clean at
             // the previous boundary: trim and refetch.
             std::lock_guard<std::mutex> lock(mu_);
-            ++fetch_faults_;
+            ++stats_.fetch_faults;
             continue;
         }
         if (dec.scansDecoded() < target) {
             // The advance was clean but the delivery was short (an
             // injected truncated read): refetch the missing tail.
             std::lock_guard<std::mutex> lock(mu_);
-            ++fetch_faults_;
+            ++stats_.fetch_faults;
         }
     }
     return true;
@@ -713,7 +696,7 @@ StagedServingEngine::fetchScansWithRetry(StagedRequest &req,
  *    is wedged, and abandon the read the same way.
  *
  * Discarded fetches still meter: a loser or late completion charges
- * its delivered bytes to bytes_read_ when it settles (honest
+ * its delivered bytes to bytes_read when it settles (honest
  * metering; the store meters its own deliveries too), and a fetch
  * whose token fired stops at the next delivery chunk without ever
  * charging the bytes_full denominator. The per-fetch token lives
@@ -797,7 +780,7 @@ StagedServingEngine::guardedFetch(StagedRequest &req, int from,
             }
             if (lost_success && got > 0) {
                 std::lock_guard<std::mutex> lock(mu_);
-                bytes_read_ += got; // a discarded fetch still moved bytes
+                stats_.bytes_read += got; // a discarded fetch still moved bytes
             }
             state->cv.notify_all();
         });
@@ -855,7 +838,7 @@ StagedServingEngine::guardedFetch(StagedRequest &req, int from,
             state->cv.notify_all();
             {
                 std::lock_guard<std::mutex> elock(mu_);
-                ++reads_abandoned_;
+                ++stats_.reads_abandoned;
             }
             if (cr != CancelReason::None)
                 req.cancel_.throwIfFired();
@@ -886,7 +869,7 @@ StagedServingEngine::guardedFetch(StagedRequest &req, int from,
                 lock.unlock();
                 {
                     std::lock_guard<std::mutex> elock(mu_);
-                    ++hedges_issued_;
+                    ++stats_.hedges_issued;
                 }
                 launch(/*is_backup=*/true);
                 lock.lock();
@@ -926,7 +909,7 @@ StagedServingEngine::guardedFetch(StagedRequest &req, int from,
     }
     if (backup_won && req.hedges > 0) {
         std::lock_guard<std::mutex> lk(mu_);
-        ++hedge_wins_;
+        ++stats_.hedge_wins;
     }
     return got;
 }
@@ -973,6 +956,9 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
     bool capped = false;
     bool tier_capped = false;
     bool charged_full = false;
+    // Stage-1 cache hit, when any; carried into stage 2 so a hit's
+    // ready-made preview pixels are reused.
+    DecodeCache::EntryPtr hit;
 
     // Stage-boundary poll: client/deadline firings end the request at
     // the next boundary (the Cancelled catch below maps them);
@@ -1019,14 +1005,50 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
             // request may buy: cheaper decisions, shallower reads.
             if (tier >= 1)
                 kprev = std::min(kprev, std::max(0, bc.preview_cap));
-            if (kprev > 0)
+            // Decode cache, stage 1: a cached prefix at or past the
+            // preview depth replaces the fetch entirely (zero store
+            // bytes charged). The resumed decoder never reads bytes
+            // below its resume offset, so a zero-filled placeholder
+            // prefix stands in for the bytes the skipped fetch would
+            // have delivered; a stage-4 fetch appends real bytes
+            // after it.
+            if (cfg_.cache && kprev > 0)
+                hit = cfg_.cache->lookup(req.id, kprev, num_scans);
+            if (hit) {
+                delivery.bytes.assign(
+                    delivery.scan_offsets[hit->depth], 0);
+                dec = ProgressiveDecoder(delivery, hit->snap);
+                dec.setCancel(&req.cancel_);
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.cache_hits;
+                stats_.cache_bytes_saved += static_cast<uint64_t>(
+                    delivery.scan_offsets[hit->depth]);
+            } else if (kprev > 0) {
+                if (cfg_.cache) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++stats_.cache_misses;
+                }
                 fetchScansWithRetry(req, delivery, dec, kprev, bytes,
                                     charged_full, t0);
+            }
             pollCancel();
             heartbeat(req, "scale-model");
 
             // Stage 2: scale-model inference on the decoded preview.
-            const Image preview_full = dec.image();
+            // A hit may carry its preview pixels ready-made; snapshot-
+            // only entries (and misses) materialize them here.
+            const Image preview_full = hit && !hit->preview.empty()
+                                           ? hit->preview
+                                           : dec.image();
+            // Offer the freshly decoded preview for caching (misses
+            // only — a hit's entry is already resident). A degraded
+            // preview (retry budget ran out short of kprev) is not
+            // offered: the next clean decode defines the cached
+            // prefix.
+            if (cfg_.cache && !hit && kprev > 0 &&
+                dec.scansDecoded() == kprev)
+                cfg_.cache->insert(req.id, kprev, preview_full,
+                                   dec.snapshot());
             const Image preview =
                 resize(centerCropFraction(preview_full,
                                           cfg_.crop_area),
@@ -1092,9 +1114,40 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
         // below what the preview already decoded).
         if (tier >= 1)
             total = std::min(total, std::max(bc.scan_cap, kprev));
-        if (dec.scansDecoded() < total)
+        // Decode cache, stage 4: a cached prefix strictly deeper than
+        // what this request holds (up to the target) lets the decoder
+        // jump ahead and fetch only the missing range — the partial
+        // hit charges only the delta. Same zero-filled placeholder
+        // trick as stage 1.
+        bool fetched_tail = false;
+        if (cfg_.cache && dec.scansDecoded() < total) {
+            const DecodeCache::EntryPtr deep = cfg_.cache->lookup(
+                req.id, dec.scansDecoded() + 1, total);
+            if (deep) {
+                const uint64_t skipped = static_cast<uint64_t>(
+                    delivery.scan_offsets[deep->depth] -
+                    delivery.scan_offsets[dec.scansDecoded()]);
+                delivery.bytes.assign(
+                    delivery.scan_offsets[deep->depth], 0);
+                dec = ProgressiveDecoder(delivery, deep->snap);
+                dec.setCancel(&req.cancel_);
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.cache_resumes;
+                stats_.cache_bytes_saved += skipped;
+            }
+        }
+        if (dec.scansDecoded() < total) {
+            fetched_tail = true;
             fetchScansWithRetry(req, delivery, dec, total, bytes,
                                 charged_full, now());
+        }
+        // Offer the full-depth prefix when this request paid a
+        // physical fetch to reach it. Snapshot-only (empty preview):
+        // decision-only serving never materializes these pixels, and
+        // a resuming hit re-derives them on demand.
+        if (cfg_.cache && fetched_tail && total > 0 &&
+            dec.scansDecoded() == total)
+            cfg_.cache->insert(req.id, total, Image(), dec.snapshot());
         pollCancel();
     } catch (const Error &e) {
         if (e.kind() != ErrorKind::Cancelled)
@@ -1110,8 +1163,8 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
         req.decode_s = now() - req.submit_s_;
         {
             std::lock_guard<std::mutex> lock(mu_);
-            scans_read_ += static_cast<uint64_t>(dec.scansDecoded());
-            bytes_read_ += bytes;
+            stats_.scans_read += static_cast<uint64_t>(dec.scansDecoded());
+            stats_.bytes_read += bytes;
         }
         markTerminal(req,
                      req.cancel_.reason() == CancelReason::Client
@@ -1136,14 +1189,14 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
 
     {
         std::lock_guard<std::mutex> lock(mu_);
-        ++decoded_;
-        scans_read_ += static_cast<uint64_t>(achieved);
-        bytes_read_ += bytes;
-        resolution_hist_[static_cast<size_t>(r_idx)] += 1;
+        ++stats_.decoded;
+        stats_.scans_read += static_cast<uint64_t>(achieved);
+        stats_.bytes_read += bytes;
+        stats_.resolution_hist[static_cast<size_t>(r_idx)] += 1;
         if (capped)
-            ++shed_cap_applied_;
+            ++stats_.shed_cap_applied;
         if (tier_capped)
-            ++brownout_capped_;
+            ++stats_.brownout_capped;
     }
 
     if (!inner_) {

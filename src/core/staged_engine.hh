@@ -117,6 +117,7 @@
 
 #include "core/engine.hh"
 #include "core/scale_model.hh"
+#include "storage/decode_cache.hh"
 #include "storage/object_store.hh"
 #include "util/cancel.hh"
 #include "util/clock.hh"
@@ -373,6 +374,18 @@ struct StagedEngineConfig
      */
     EngineResolutionPolicy shed_cap;
 
+    /**
+     * Optional hot-object decode cache (storage/decode_cache.hh);
+     * nullptr = off. When set, stage 1 consults it before fetching —
+     * a hit at or past the preview depth skips the stage-1 fetch
+     * entirely (zero bytes charged) and a deep hit lets stage 4
+     * resume from the cached snapshot and fetch only the missing
+     * range. The cache must outlive the engine, and the caller should
+     * ObjectStore::attachCache() it to the store's root() so put()
+     * invalidates stale entries. Multiple engines may share one cache.
+     */
+    DecodeCache *cache = nullptr;
+
     /** Fetch retry / degradation policy for storage faults. */
     StagedRetryConfig retry;
 
@@ -385,6 +398,12 @@ struct StagedEngineConfig
 
 /**
  * Counter snapshot from StagedServingEngine::stats().
+ *
+ * Consistency: stats() assembles the whole struct inside ONE critical
+ * section on the engine's counter lock, so the counters in a snapshot
+ * are mutually consistent — e.g. the terminal-conservation identity
+ * below holds within a single snapshot whenever it holds at all, and
+ * bytes_read never lags the decode that charged it.
  *
  * Terminal conservation: once every submitted request has reached a
  * terminal state (all wait()s returned),
@@ -417,7 +436,19 @@ struct StagedStats
     uint64_t cancelled = 0;       //!< terminal Cancelled (client)
     uint64_t reads_abandoned = 0; //!< timed fetches given up in flight
     uint64_t watchdog_flags = 0;  //!< liveness flags raised on workers
+
+    // Decode-cache effect on this engine's traffic (all zero with no
+    // cache configured). A "hit" skipped a stage-1 fetch outright; a
+    // "resume" continued a stage-4 decode from a cached snapshot and
+    // fetched only the missing range; bytes_saved is the physical
+    // store bytes those hits and resumes did NOT fetch.
+    uint64_t cache_hits = 0;        //!< stage-1 fetches skipped
+    uint64_t cache_resumes = 0;     //!< stage-4 resumes from snapshots
+    uint64_t cache_misses = 0;      //!< stage-1 lookups with no entry
+    uint64_t cache_bytes_saved = 0; //!< store bytes not fetched
+
     std::vector<uint64_t> resolution_hist; //!< per resolutions() index
+    DecodeCacheStats cache;       //!< cache-internal counter snapshot
     EngineStats backbone;         //!< inner engine snapshot
 };
 
@@ -562,30 +593,12 @@ class StagedServingEngine
     WindowedOutcomes brown_window_;
     double last_shift_s_ = 0;
 
-    // Counters (all guarded by mu_).
-    uint64_t admitted_ = 0;
-    uint64_t decoded_ = 0;
-    uint64_t done_ = 0;
-    uint64_t shed_admission_ = 0;
-    uint64_t expired_ = 0;
-    uint64_t rejected_ = 0;
-    uint64_t shed_cap_applied_ = 0;
-    uint64_t scans_read_ = 0;
-    uint64_t bytes_read_ = 0;
-    uint64_t failed_ = 0;
-    uint64_t degraded_ = 0;
-    uint64_t retries_ = 0;
-    uint64_t fetch_faults_ = 0;
-    uint64_t retry_giveups_ = 0;
-    uint64_t hedges_issued_ = 0;
-    uint64_t hedge_wins_ = 0;
-    uint64_t tier_drops_ = 0;
-    uint64_t tier_recoveries_ = 0;
-    uint64_t brownout_capped_ = 0;
-    uint64_t cancelled_ = 0;
-    uint64_t reads_abandoned_ = 0;
-    uint64_t watchdog_flags_ = 0;
-    std::vector<uint64_t> resolution_hist_;
+    // Counters: ONE StagedStats guarded by mu_, mutated field-wise by
+    // the workers and copied wholesale by stats() — a snapshot is a
+    // single critical section, never a field-at-a-time stitch. The
+    // live-state fields (decode_queue_depth, brownout_tier, cache,
+    // backbone) are filled in at snapshot time, not maintained here.
+    StagedStats stats_;
 
     std::vector<std::thread> threads_;
 };

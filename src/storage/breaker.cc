@@ -49,26 +49,6 @@ BreakerObjectStore::size() const
     return base_->size();
 }
 
-Image
-BreakerObjectStore::readScans(uint64_t id, int num_scans)
-{
-    return base_->readScans(id, num_scans);
-}
-
-Image
-BreakerObjectStore::readAdditionalScans(uint64_t id, int from_scans,
-                                        int to_scans)
-{
-    return base_->readAdditionalScans(id, from_scans, to_scans);
-}
-
-size_t
-BreakerObjectStore::readScanRangeBytes(uint64_t id, int from_scans,
-                                       int to_scans)
-{
-    return base_->readScanRangeBytes(id, from_scans, to_scans);
-}
-
 const EncodedImage &
 BreakerObjectStore::peek(uint64_t id) const
 {

@@ -38,9 +38,12 @@
  * engine's trim-and-refetch shows up here as extra (successful)
  * fetches, which is the honest signal.
  *
- * Only fetchScanRange is guarded, mirroring FaultyObjectStore: it is
- * the data-plane path the serving engine drives; the decode-side
- * convenience reads and metadata access model control-plane traffic.
+ * Only fetchScanRange is overridden, mirroring FaultyObjectStore: it
+ * is the ONE virtual read primitive of the unified ObjectStore API,
+ * and the convenience reads are non-virtual wrappers that route their
+ * physical transfer through it — so the breaker's verdicts guard
+ * every read entry point identically. Metadata access (peek) stays
+ * unguarded: it moves no payload bytes.
  *
  * All time comes from an injectable Clock so the state machine is
  * deterministic under test (a ManualClock advances cooldowns without
@@ -110,19 +113,16 @@ class BreakerObjectStore : public ObjectStore
   public:
     BreakerObjectStore(ObjectStore &base, BreakerConfig config);
 
-    // Structural + pass-through surface.
+    // Structural + pass-through surface (the convenience reads are
+    // non-virtual wrappers on the base class and need no forwarding).
     void put(uint64_t id, EncodedImage image) override;
     bool contains(uint64_t id) const override;
     uint64_t storedBytes() const override;
     size_t size() const override;
-    Image readScans(uint64_t id, int num_scans) override;
-    Image readAdditionalScans(uint64_t id, int from_scans,
-                              int to_scans) override;
-    size_t readScanRangeBytes(uint64_t id, int from_scans,
-                              int to_scans) override;
     const EncodedImage &peek(uint64_t id) const override;
     ReadStats stats() const override;
     void resetStats() override;
+    ObjectStore &root() override { return base_->root(); }
 
     /** The guarded path: fail fast when Open, probe when HalfOpen. */
     size_t fetchScanRange(uint64_t id, int from_scans, int to_scans,

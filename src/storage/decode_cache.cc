@@ -1,0 +1,176 @@
+#include "storage/decode_cache.hh"
+
+#include "util/logging.hh"
+
+namespace tamres {
+
+namespace {
+
+/**
+ * Fixed per-entry charge covering the index node, the LRU node, the
+ * Entry struct and the shared_ptr control block — so a cache of many
+ * tiny snapshots cannot pretend it is free.
+ */
+constexpr size_t kEntryOverheadBytes = 256;
+
+size_t
+entryBytes(const Image &preview, const DecoderSnapshot &snap)
+{
+    return preview.numel() * sizeof(float) + snap.coeffBytes() +
+           kEntryOverheadBytes;
+}
+
+} // namespace
+
+DecodeCache::DecodeCache(DecodeCacheConfig config) : cfg_(config) {}
+
+DecodeCache::EntryPtr
+DecodeCache::lookup(uint64_t id, int min_depth, int max_depth)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(id);
+    if (it != index_.end() && !it->second.empty()) {
+        // Deepest depth <= max_depth: the first element at or before
+        // the upper bound in the sorted per-id depth map.
+        auto dit = it->second.upper_bound(max_depth);
+        if (dit != it->second.begin()) {
+            --dit;
+            if (dit->first >= min_depth) {
+                // Refresh recency: splice the hit to the LRU front.
+                lru_.splice(lru_.begin(), lru_, dit->second);
+                ++stats_.hits;
+                return *dit->second;
+            }
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+void
+DecodeCache::insert(uint64_t id, int depth, Image preview,
+                    DecoderSnapshot snap)
+{
+    tamres_assert(snap.valid(),
+                  "decode cache entries need a valid snapshot");
+    tamres_assert(snap.scansDecoded() == depth,
+                  "snapshot depth %d does not match entry depth %d",
+                  snap.scansDecoded(), depth);
+    const size_t bytes = entryBytes(preview, snap);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bytes > cfg_.capacity_bytes) {
+        ++stats_.admission_rejects; // could only fit by emptying it
+        return;
+    }
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+        auto dit = it->second.find(depth);
+        if (dit != it->second.end()) {
+            // Already resident: refresh recency, keep the original
+            // (identical — decode is deterministic) entry.
+            lru_.splice(lru_.begin(), lru_, dit->second);
+            return;
+        }
+    }
+    if (cfg_.require_second_hit) {
+        auto &depths = seen_[id];
+        if (depths.insert(depth).second) {
+            // First touch: remember it, admit on the next offer.
+            ++stats_.admission_rejects;
+            if (++seen_count_ > cfg_.seen_capacity) {
+                seen_.clear();
+                seen_count_ = 0;
+            }
+            return;
+        }
+        depths.erase(depth);
+        if (depths.empty())
+            seen_.erase(id);
+        --seen_count_;
+    }
+
+    auto entry = std::make_shared<Entry>();
+    entry->id = id;
+    entry->depth = depth;
+    entry->preview = std::move(preview);
+    entry->snap = std::move(snap);
+    entry->charged_bytes = bytes;
+    lru_.push_front(std::move(entry));
+    index_[id][depth] = lru_.begin();
+    used_bytes_ += bytes;
+    ++stats_.insertions;
+    evictToFitLocked();
+}
+
+void
+DecodeCache::removeLocked(uint64_t id, int depth)
+{
+    auto it = index_.find(id);
+    if (it == index_.end())
+        return;
+    auto dit = it->second.find(depth);
+    if (dit == it->second.end())
+        return;
+    used_bytes_ -= (*dit->second)->charged_bytes;
+    lru_.erase(dit->second);
+    it->second.erase(dit);
+    if (it->second.empty())
+        index_.erase(it);
+}
+
+void
+DecodeCache::evictToFitLocked()
+{
+    while (used_bytes_ > cfg_.capacity_bytes && !lru_.empty()) {
+        const EntryPtr victim = lru_.back();
+        removeLocked(victim->id, victim->depth);
+        ++stats_.evictions;
+    }
+}
+
+void
+DecodeCache::invalidate(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(id);
+    if (it == index_.end())
+        return;
+    while (!it->second.empty()) {
+        removeLocked(id, it->second.begin()->first);
+        ++stats_.invalidations;
+        it = index_.find(id);
+        if (it == index_.end())
+            break;
+    }
+    // Forget admission history too: the new object's first offer is a
+    // genuinely new key.
+    auto sit = seen_.find(id);
+    if (sit != seen_.end()) {
+        seen_count_ -= sit->second.size();
+        seen_.erase(sit);
+    }
+}
+
+void
+DecodeCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    seen_.clear();
+    seen_count_ = 0;
+    used_bytes_ = 0;
+}
+
+DecodeCacheStats
+DecodeCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    DecodeCacheStats out = stats_;
+    out.entries = static_cast<uint64_t>(lru_.size());
+    out.bytes = static_cast<uint64_t>(used_bytes_);
+    return out;
+}
+
+} // namespace tamres

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Hot-object decode cache for Zipfian traffic.
+ *
+ * Under heavy-tailed popularity most ranged reads re-fetch and
+ * re-decode the same preview prefixes. DecodeCache converts that
+ * redundancy into bytes-read and latency savings: entries are keyed
+ * by (object id, scan depth) and hold the decoded preview Image plus
+ * an immutable DecoderSnapshot of the ProgressiveDecoder's state at
+ * that scan boundary, so a request can either reuse the preview
+ * outright or resume a decoder from the snapshot and fetch only the
+ * missing byte range. Full contract in docs/caching.md.
+ *
+ * Correctness anchors:
+ *
+ *  - Bit-identity: a snapshot resume is bit-identical to a cold
+ *    decode of the same depth (codec invariant, asserted in
+ *    tests/test_codec_resume.cc), so a cache hit can never change a
+ *    served result — only how many bytes paid for it.
+ *  - No aliasing: entries are immutable and handed out as
+ *    shared_ptr<const Entry>; resuming deep-copies the coefficients
+ *    into the request's own decoder, so any number of concurrent
+ *    readers share one entry while eviction proceeds underneath them.
+ *  - Invalidation: ObjectStore::put() calls invalidate(id) on every
+ *    cache attached via ObjectStore::attachCache(), so a replaced
+ *    object's stale decodes are dropped before anyone resumes them.
+ *
+ * Sizing and churn control:
+ *
+ *  - Byte-accounted capacity: an entry is charged for its preview
+ *    pixels, its snapshot's coefficient planes, and a fixed metadata
+ *    overhead. Inserting past capacity evicts from the LRU tail.
+ *  - Second-hit admission: the first insert attempt for a key only
+ *    registers it in a bounded seen-table; the entry is admitted on
+ *    the second attempt. One-hit wonders in a Zipf tail thus never
+ *    churn the hot set (disable with require_second_hit = false).
+ *
+ * Thread safety: every method is safe from concurrent decode workers;
+ * one internal mutex guards the index, the LRU list, and the stats.
+ */
+
+#ifndef TAMRES_STORAGE_DECODE_CACHE_HH
+#define TAMRES_STORAGE_DECODE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "codec/progressive.hh"
+#include "image/image.hh"
+
+namespace tamres {
+
+/** DecodeCache knobs. */
+struct DecodeCacheConfig
+{
+    /** Byte budget across all entries (preview + snapshot + overhead). */
+    size_t capacity_bytes = 64u << 20;
+
+    /**
+     * Admit a key only on its SECOND insert attempt (TinyLFU-style
+     * frequency gate at depth 1). False admits everything first-touch.
+     */
+    bool require_second_hit = true;
+
+    /**
+     * Bound on the seen-table the admission gate remembers first
+     * touches in; when full it is cleared wholesale (a coarse reset —
+     * some keys pay one extra miss, nothing is ever served stale).
+     */
+    size_t seen_capacity = 4096;
+};
+
+/** Counter snapshot from DecodeCache::stats(). */
+struct DecodeCacheStats
+{
+    uint64_t hits = 0;              //!< lookups that returned an entry
+    uint64_t misses = 0;            //!< lookups that found nothing
+    uint64_t insertions = 0;        //!< entries admitted
+    uint64_t admission_rejects = 0; //!< inserts gated out (first touch)
+    uint64_t evictions = 0;         //!< entries dropped for capacity
+    uint64_t invalidations = 0;     //!< entries dropped by put()
+    uint64_t entries = 0;           //!< resident entries right now
+    uint64_t bytes = 0;             //!< resident charged bytes right now
+};
+
+/**
+ * Size-bounded, byte-accounted cache of decoded scan prefixes (see
+ * file docs for the full contract).
+ */
+class DecodeCache
+{
+  public:
+    /** One immutable cached prefix. */
+    struct Entry
+    {
+        uint64_t id = 0;       //!< object the prefix belongs to
+        int depth = 0;         //!< scans decoded into this entry
+        Image preview;         //!< decoded image at depth (may be
+                               //!< empty: snapshot-only entries)
+        DecoderSnapshot snap;  //!< resumable decoder state at depth
+        size_t charged_bytes = 0; //!< what capacity accounting charged
+    };
+    using EntryPtr = std::shared_ptr<const Entry>;
+
+    explicit DecodeCache(DecodeCacheConfig config = {});
+
+    DecodeCache(const DecodeCache &) = delete;
+    DecodeCache &operator=(const DecodeCache &) = delete;
+
+    /**
+     * Deepest entry for @p id with min_depth <= depth <= max_depth,
+     * or null. A hit refreshes the entry's LRU position. The returned
+     * entry stays valid (immutable) even if it is evicted or
+     * invalidated after return.
+     */
+    EntryPtr lookup(uint64_t id, int min_depth, int max_depth);
+
+    /**
+     * Offer a decoded prefix for caching. May be gated out by
+     * second-hit admission or a per-entry size above capacity; an
+     * existing entry at the same (id, depth) is refreshed, not
+     * duplicated. @p preview may be empty for snapshot-only entries
+     * (deep prefixes whose pixels were never materialized); @p snap
+     * must be valid. Evicts LRU entries until the newcomer fits.
+     */
+    void insert(uint64_t id, int depth, Image preview,
+                DecoderSnapshot snap);
+
+    /** Drop every entry (any depth) for @p id. */
+    void invalidate(uint64_t id);
+
+    /** Drop everything (admission memory included); stats survive. */
+    void clear();
+
+    /** Counter snapshot (safe while serving). */
+    DecodeCacheStats stats() const;
+
+    const DecodeCacheConfig &config() const { return cfg_; }
+
+  private:
+    using LruList = std::list<EntryPtr>;
+
+    /** Unlink one entry from the index + LRU and refund its bytes. */
+    void removeLocked(uint64_t id, int depth);
+    /** Evict LRU tail entries until used_bytes_ <= capacity. */
+    void evictToFitLocked();
+
+    DecodeCacheConfig cfg_;
+
+    mutable std::mutex mu_; //!< guards everything below
+    LruList lru_;           //!< front = most recently used
+    /** id -> (depth -> LRU position), depths sorted for range lookup. */
+    std::unordered_map<uint64_t, std::map<int, LruList::iterator>>
+        index_;
+    /** Admission memory: id -> depths seen once (bounded, see config). */
+    std::unordered_map<uint64_t, std::unordered_set<int>> seen_;
+    size_t seen_count_ = 0;
+    size_t used_bytes_ = 0;
+    DecodeCacheStats stats_;
+};
+
+} // namespace tamres
+
+#endif // TAMRES_STORAGE_DECODE_CACHE_HH

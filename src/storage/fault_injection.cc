@@ -69,26 +69,6 @@ FaultyObjectStore::size() const
     return base_->size();
 }
 
-Image
-FaultyObjectStore::readScans(uint64_t id, int num_scans)
-{
-    return base_->readScans(id, num_scans);
-}
-
-Image
-FaultyObjectStore::readAdditionalScans(uint64_t id, int from_scans,
-                                       int to_scans)
-{
-    return base_->readAdditionalScans(id, from_scans, to_scans);
-}
-
-size_t
-FaultyObjectStore::readScanRangeBytes(uint64_t id, int from_scans,
-                                      int to_scans)
-{
-    return base_->readScanRangeBytes(id, from_scans, to_scans);
-}
-
 const EncodedImage &
 FaultyObjectStore::peek(uint64_t id) const
 {

@@ -11,12 +11,14 @@
  * seed — the property the fault-schedule tests and the BENCH_faults
  * harness rely on.
  *
- * Only fetchScanRange() — the byte-delivering path the staged serving
- * engine uses — is perturbed. The decode-side convenience reads
- * (readScans / readAdditionalScans) and metadata access (peek) pass
- * through untouched: they model control-plane traffic, and injecting
- * there would corrupt the store's pristine copy rather than a
- * per-request delivery buffer.
+ * Only fetchScanRange() — the ONE virtual read primitive of the
+ * unified ObjectStore API — is overridden, and that is sufficient:
+ * the convenience reads (readScans / readAdditionalScans /
+ * readScanRangeBytes) are non-virtual wrappers that route their
+ * physical transfer through it, so injected faults reach every read
+ * entry point identically. Injection perturbs the per-request
+ * delivery buffer, never the store's pristine copy; metadata access
+ * (peek) stays untouched.
  */
 
 #ifndef TAMRES_STORAGE_FAULT_INJECTION_HH
@@ -108,19 +110,16 @@ class FaultyObjectStore : public ObjectStore
         : base_(&base), policy_(std::move(policy))
     {}
 
-    // Structural + pass-through surface.
+    // Structural + pass-through surface (the convenience reads are
+    // non-virtual wrappers on the base class and need no forwarding).
     void put(uint64_t id, EncodedImage image) override;
     bool contains(uint64_t id) const override;
     uint64_t storedBytes() const override;
     size_t size() const override;
-    Image readScans(uint64_t id, int num_scans) override;
-    Image readAdditionalScans(uint64_t id, int from_scans,
-                              int to_scans) override;
-    size_t readScanRangeBytes(uint64_t id, int from_scans,
-                              int to_scans) override;
     const EncodedImage &peek(uint64_t id) const override;
     ReadStats stats() const override;
     void resetStats() override;
+    ObjectStore &root() override { return base_->root(); }
 
     /** The perturbed path: delay / fail / hang / truncate / corrupt. */
     size_t fetchScanRange(uint64_t id, int from_scans, int to_scans,

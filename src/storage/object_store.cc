@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/decode_cache.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -11,6 +12,29 @@ void
 ObjectStore::put(uint64_t id, EncodedImage image)
 {
     objects_[id] = std::move(image);
+    // Replacing an object's bytes makes any cached decode of the old
+    // bytes wrong — drop them before anyone can resume from them.
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (DecodeCache *cache : caches_)
+        cache->invalidate(id);
+}
+
+void
+ObjectStore::attachCache(DecodeCache *cache)
+{
+    ObjectStore &r = root();
+    std::lock_guard<std::mutex> lock(r.cache_mu_);
+    r.caches_.push_back(cache);
+}
+
+void
+ObjectStore::detachCache(DecodeCache *cache)
+{
+    ObjectStore &r = root();
+    std::lock_guard<std::mutex> lock(r.cache_mu_);
+    r.caches_.erase(
+        std::remove(r.caches_.begin(), r.caches_.end(), cache),
+        r.caches_.end());
 }
 
 bool
@@ -40,62 +64,50 @@ ObjectStore::get(uint64_t id) const
     return it->second;
 }
 
+// The convenience reads are thin non-virtual wrappers over the one
+// virtual primitive. Each builds a per-call delivery buffer, routes
+// the physical transfer (and ALL metering) through fetchScanRange —
+// so a decorator's override applies — and decodes the bytes actually
+// delivered, never the pristine stored object.
+
 Image
 ObjectStore::readScans(uint64_t id, int num_scans)
 {
-    const EncodedImage &obj = get(id);
-    {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.requests;
-        stats_.bytes_read += obj.bytesForScans(num_scans);
-        stats_.bytes_full += obj.totalBytes();
-    }
-    return decodeProgressive(obj, num_scans);
+    EncodedImage delivery = peek(id).headerCopy();
+    fetchScanRange(id, 0, num_scans, delivery.bytes,
+                   /*charge_full=*/true);
+    return decodeProgressive(delivery, num_scans);
 }
 
 Image
 ObjectStore::readAdditionalScans(uint64_t id, int from_scans,
                                  int to_scans)
 {
-    const EncodedImage &obj = get(id);
-    tamres_assert(from_scans >= 0 && to_scans >= from_scans &&
-                  to_scans <= obj.numScans(),
-                  "invalid incremental scan range [%d, %d]",
-                  from_scans, to_scans);
-    const size_t bytes =
-        obj.bytesForScans(to_scans) - obj.bytesForScans(from_scans);
-    {
-        // The full-read denominator was already charged by the first
-        // read of this object in the same logical request (always a
-        // readScans call), so don't double count it — even for a
-        // from_scans == 0 range.
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.requests;
-        stats_.bytes_read += bytes;
-    }
-    return decodeProgressive(obj, to_scans);
+    // The caller already holds (and was charged for) the first
+    // from_scans scans, so the wrapper seeds the delivery buffer with
+    // that prefix unmetered and fetches only the incremental range.
+    // charge_full = false: the full-read denominator belongs to the
+    // logical request's FIRST read, even for a from_scans == 0 range.
+    const EncodedImage &obj = peek(id);
+    EncodedImage delivery = obj.headerCopy();
+    delivery.bytes.assign(obj.bytes.begin(),
+                          obj.bytes.begin() +
+                              obj.bytesForScans(from_scans));
+    fetchScanRange(id, from_scans, to_scans, delivery.bytes,
+                   /*charge_full=*/false);
+    return decodeProgressive(delivery, to_scans);
 }
 
 size_t
 ObjectStore::readScanRangeBytes(uint64_t id, int from_scans,
                                 int to_scans)
 {
-    const EncodedImage &obj = get(id);
-    tamres_assert(from_scans >= 0 && to_scans >= from_scans &&
-                  to_scans <= obj.numScans(),
-                  "invalid incremental scan range [%d, %d]",
-                  from_scans, to_scans);
-    const size_t bytes =
-        obj.bytesForScans(to_scans) - obj.bytesForScans(from_scans);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-    stats_.bytes_read += bytes;
-    // The full-read denominator is charged once per logical request:
-    // on the first (prefix-starting) fetch. Incremental ranges were
-    // already accounted by that fetch, so don't double count it.
-    if (from_scans == 0)
-        stats_.bytes_full += obj.totalBytes();
-    return bytes;
+    // Scratch delivery buffer: a zero-filled placeholder prefix (the
+    // primitive only requires dst.size() == the range's start offset)
+    // plus the fetched range, discarded after metering.
+    std::vector<uint8_t> buf(peek(id).bytesForScans(from_scans));
+    return fetchScanRange(id, from_scans, to_scans, buf,
+                          /*charge_full=*/true);
 }
 
 size_t

@@ -10,9 +10,16 @@
  *
  * Error contract: a read of an id that was never put() throws
  * Error{NotFound} — a data/request error the serving tier maps to a
- * per-request failure, never a process abort. FaultyObjectStore (see
- * storage/fault_injection.hh) layers deterministic fault injection on
- * top of this interface; the read methods are virtual for that reason.
+ * per-request failure, never a process abort.
+ *
+ * Unified read API: fetchScanRange is the ONE virtual read primitive —
+ * the only method that physically delivers and meters payload bytes.
+ * The convenience reads (readScans, readAdditionalScans,
+ * readScanRangeBytes) are non-virtual wrappers implemented on it, so a
+ * decorator (FaultyObjectStore's injection, BreakerObjectStore's
+ * admission, a decode cache's invalidation hook) overrides exactly one
+ * method and its semantics — metering, faults, breaker verdicts —
+ * can never diverge across entry points.
  */
 
 #ifndef TAMRES_STORAGE_OBJECT_STORE_HH
@@ -88,12 +95,20 @@ struct ReadStats
  * id that is not in the store. Callers in the serving tier catch this
  * and fail the one request; it is not an invariant violation.
  */
+class DecodeCache; // storage/decode_cache.hh
+
 class ObjectStore
 {
   public:
     virtual ~ObjectStore() = default;
 
-    /** Insert an encoded image under @p id (replaces any existing). */
+    /**
+     * Insert an encoded image under @p id (replaces any existing).
+     * Invalidates the id in every attached DecodeCache: cached decoded
+     * prefixes of the replaced bytes must never serve the new object.
+     * Decorators forward put() to their base, so the invalidation
+     * fires at any stack depth.
+     */
     virtual void put(uint64_t id, EncodedImage image);
 
     /** True when @p id is present. */
@@ -108,17 +123,26 @@ class ObjectStore
     /**
      * Read the first @p num_scans scans of object @p id, charging their
      * bytes to the store's statistics, and return the decoded preview.
+     *
+     * Non-virtual convenience wrapper over fetchScanRange: it fetches
+     * the [0, num_scans) range into a delivery buffer and decodes the
+     * bytes actually delivered, so a decorator's injected faults and
+     * admission verdicts apply to it identically.
      */
-    virtual Image readScans(uint64_t id, int num_scans);
+    Image readScans(uint64_t id, int num_scans);
 
     /**
      * Read additional scans of an object already partially read in this
      * request context: charges only the incremental bytes between
      * @p from_scans and @p to_scans (the dynamic pipeline's second
      * fetch reuses the scan-1..k bytes it already has).
+     *
+     * Non-virtual wrapper over fetchScanRange(charge_full = false);
+     * the full-read denominator was charged by the logical request's
+     * first read.
      */
-    virtual Image readAdditionalScans(uint64_t id, int from_scans,
-                                      int to_scans);
+    Image readAdditionalScans(uint64_t id, int from_scans,
+                              int to_scans);
 
     /**
      * Meter a ranged read of scans [from_scans, to_scans) WITHOUT
@@ -127,11 +151,18 @@ class ObjectStore
      * the whole prefix. Returns the incremental bytes charged. The
      * full-read denominator is charged once per logical request, on
      * the from_scans == 0 fetch.
+     *
+     * Non-virtual wrapper over fetchScanRange into a scratch delivery
+     * buffer that is discarded after metering.
      */
-    virtual size_t readScanRangeBytes(uint64_t id, int from_scans,
-                                      int to_scans);
+    size_t readScanRangeBytes(uint64_t id, int from_scans,
+                              int to_scans);
 
     /**
+     * THE virtual read primitive — every path that moves payload
+     * bytes out of the store lands here, which is the single method a
+     * decorator overrides.
+     *
      * Physically deliver the bytes of scans [from_scans, to_scans) of
      * object @p id by appending them to @p dst, metering the appended
      * bytes like readScanRangeBytes. Requires dst.size() ==
@@ -172,12 +203,32 @@ class ObjectStore
     /** Reset the read statistics (objects are kept). */
     virtual void resetStats();
 
+    /**
+     * The physical store at the bottom of a decorator stack (the
+     * object that owns the bytes and runs put()). Decorators override
+     * this to forward to their base; the plain store returns itself.
+     */
+    virtual ObjectStore &root() { return *this; }
+
+    /**
+     * Register @p cache for put-invalidation: every subsequent put()
+     * of an id (through this store or any decorator over it — the
+     * registration lands on root()) calls cache->invalidate(id). The
+     * cache must outlive the store or detach first.
+     */
+    void attachCache(DecodeCache *cache);
+
+    /** Remove a previously attached cache (no-op when absent). */
+    void detachCache(DecodeCache *cache);
+
   private:
     const EncodedImage &get(uint64_t id) const;
 
     std::unordered_map<uint64_t, EncodedImage> objects_;
     mutable std::mutex stats_mu_; //!< guards stats_ only
     ReadStats stats_;
+    mutable std::mutex cache_mu_; //!< guards caches_ only
+    std::vector<DecodeCache *> caches_;
 };
 
 /**

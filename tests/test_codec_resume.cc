@@ -15,6 +15,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "codec/progressive.hh"
 #include "image/synthetic.hh"
@@ -288,6 +290,141 @@ TEST(CodecResume, CancelAtEveryBoundaryPreservesBitIdentity)
         EXPECT_TRUE(samePixels(cold.image(), want))
             << "re-serve after cancel at boundary " << j;
     }
+}
+
+TEST(CodecSnapshot, ResumeBitIdenticalAtEveryBoundary)
+{
+    // The decode-cache contract: snapshot() after j scans, hand the
+    // snapshot to a FRESH decoder over a delivery whose payload is
+    // zero-filled up to the resume offset (bytes below the boundary
+    // are never read), and both the resumed prefix and the decode it
+    // continues into must be bit-identical to cold decodes.
+    const Image src = randomImage(39, 31, 21);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 8;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const EncodedImage legacy = asLegacy(enc);
+
+    for (const EncodedImage *stream : {&enc, &legacy}) {
+        const Image want =
+            decodeProgressive(*stream, stream->numScans());
+        for (const int threads : {1, 4}) {
+            ThreadsEnv env(threads);
+            for (int j = 0; j <= stream->numScans(); ++j) {
+                ProgressiveDecoder dec(*stream);
+                dec.advanceTo(j);
+                const DecoderSnapshot snap = dec.snapshot();
+                ASSERT_TRUE(snap.valid());
+                ASSERT_EQ(snap.scansDecoded(), j);
+
+                EncodedImage streamed = stream->headerCopy();
+                streamed.bytes.assign(stream->scan_offsets[j], 0);
+                ProgressiveDecoder resumed(streamed, snap);
+                ASSERT_EQ(resumed.scansDecoded(), j);
+                EXPECT_TRUE(
+                    samePixels(resumed.image(),
+                               decodeProgressive(*stream, j)))
+                    << "resumed prefix " << j << " at " << threads
+                    << " threads, v" << stream->version;
+
+                // The missing range arrives: real bytes appended
+                // after the zero placeholder, decode runs to full.
+                streamed.bytes.insert(
+                    streamed.bytes.end(),
+                    stream->bytes.begin() + stream->scan_offsets[j],
+                    stream->bytes.end());
+                EXPECT_EQ(
+                    resumed.advanceWithBytes(streamed.bytes.size()),
+                    stream->numScans());
+                EXPECT_TRUE(samePixels(resumed.image(), want))
+                    << "resume from snapshot at " << j;
+            }
+        }
+    }
+}
+
+TEST(CodecSnapshot, OneSnapshotServesManyConcurrentResumes)
+{
+    // A cached snapshot is shared by every request that hits it; the
+    // deep-copy-on-resume contract means N concurrent resumes from
+    // ONE snapshot never alias each other's coefficient state. Run
+    // under TSan in CI.
+    const Image src = randomImage(43, 37, 22);
+    ProgressiveConfig cfg;
+    cfg.entropy = EntropyCoder::Huffman;
+    cfg.restart_interval = 16;
+    const EncodedImage enc = encodeProgressive(src, cfg);
+    const Image want = decodeProgressive(enc, enc.numScans());
+    const int j = 2;
+    const Image at_j = decodeProgressive(enc, j);
+
+    ProgressiveDecoder dec(enc);
+    dec.advanceTo(j);
+    const DecoderSnapshot snap = dec.snapshot();
+
+    constexpr int kResumers = 8;
+    std::vector<int> ok(kResumers, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(kResumers);
+    for (int w = 0; w < kResumers; ++w) {
+        workers.emplace_back([&, w] {
+            EncodedImage streamed = enc.headerCopy();
+            streamed.bytes.assign(enc.scan_offsets[j], 0);
+            ProgressiveDecoder resumed(streamed, snap);
+            const bool prefix_ok =
+                samePixels(resumed.image(), at_j);
+            // Half stop at the prefix, half continue to full: mixed
+            // read-only and advancing users of the same snapshot.
+            bool full_ok = true;
+            if (w % 2 == 0) {
+                streamed.bytes.insert(
+                    streamed.bytes.end(),
+                    enc.bytes.begin() + enc.scan_offsets[j],
+                    enc.bytes.end());
+                resumed.advanceWithBytes(streamed.bytes.size());
+                full_ok = samePixels(resumed.image(), want);
+            }
+            ok[w] = prefix_ok && full_ok;
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+    for (int w = 0; w < kResumers; ++w)
+        EXPECT_TRUE(ok[w]) << "resumer " << w;
+
+    // The donor decoder is untouched by the resumes.
+    EXPECT_EQ(dec.scansDecoded(), j);
+    EXPECT_TRUE(samePixels(dec.image(), at_j));
+}
+
+TEST(CodecSnapshotError, MismatchedStreamRejectedAsCorrupt)
+{
+    // A snapshot fingerprints its source stream (geometry, quality,
+    // color, scan script); resuming against a DIFFERENT object —
+    // what a put()-replaced id would look like without invalidation —
+    // must throw Corrupt, never decode garbage.
+    const Image a = randomImage(32, 32, 23);
+    const Image b = randomImage(40, 24, 24);
+    const EncodedImage enc_a = encodeProgressive(a);
+    const EncodedImage enc_b = encodeProgressive(b);
+
+    ProgressiveDecoder dec(enc_a);
+    dec.advanceTo(2);
+    const DecoderSnapshot snap = dec.snapshot();
+
+    EncodedImage streamed = enc_b.headerCopy();
+    streamed.bytes = enc_b.bytes;
+    try {
+        ProgressiveDecoder resumed(streamed, snap);
+        FAIL() << "expected Error{Corrupt}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Corrupt);
+    }
+
+    EXPECT_THROW(ProgressiveDecoder(streamed, DecoderSnapshot{}),
+                 Error)
+        << "an invalid (default) snapshot must be rejected too";
 }
 
 TEST(CodecResumeError, TruncatedAdvanceThrowsAndStateSurvives)

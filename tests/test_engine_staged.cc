@@ -1416,5 +1416,247 @@ TEST_F(StagedEngineTest, HedgeBudgetZeroNeverHedges)
     EXPECT_EQ(req.hedges, 0);
 }
 
+TEST_F(StagedEngineTest, CacheHitSkipsStageOneFetchAndChargesZero)
+{
+    // Serve the same object twice with the decode cache on: the first
+    // request pays the physical fetches and seeds the cache; the
+    // second hits at full depth and must charge ZERO store bytes.
+    StagedEngineConfig cfg = baseConfig();
+    cfg.scan_depth = [](uint64_t, int) { return 4; };
+    DecodeCacheConfig ccfg;
+    ccfg.require_second_hit = false; // deterministic single-pass seed
+    DecodeCache cache(ccfg);
+    cfg.cache = &cache;
+    store_.attachCache(&cache);
+    store_.resetStats();
+    const size_t full4 = store_.peek(0).bytesForScans(4);
+
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    StagedRequest first;
+    first.id = 0;
+    ASSERT_TRUE(engine.submit(first));
+    engine.wait(first);
+    ASSERT_EQ(first.stateNow(), StagedState::Done);
+    EXPECT_EQ(first.bytes_read, full4);
+    EXPECT_EQ(store_.stats().bytes_read, full4);
+
+    StagedRequest second;
+    second.id = 0;
+    ASSERT_TRUE(engine.submit(second));
+    engine.wait(second);
+    ASSERT_EQ(second.stateNow(), StagedState::Done);
+    EXPECT_EQ(second.scans_read, 4);
+    EXPECT_EQ(second.bytes_read, 0u)
+        << "a full-depth hit must skip every physical fetch";
+    EXPECT_EQ(store_.stats().bytes_read, full4)
+        << "the store saw no extra bytes for the hit request";
+
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.cache_hits, 1u);
+    EXPECT_EQ(st.cache_misses, 1u);
+    EXPECT_EQ(st.cache_bytes_saved, full4);
+    EXPECT_EQ(st.cache.hits, st.cache_hits + st.cache_resumes)
+        << "every cache-level hit is an engine hit or resume";
+    engine.stop();
+    store_.detachCache(&cache);
+}
+
+TEST_F(StagedEngineTest, CachePartialHitChargesOnlyTheDelta)
+{
+    // A cached shallow prefix (depth 2) under a deeper decision: the
+    // stage-1 fetch is skipped, and the stage-4 fetch charges exactly
+    // the missing scan range.
+    const EncodedImage &enc = store_.peek(0);
+    const int deep = std::min(5, enc.numScans());
+    DecodeCacheConfig ccfg;
+    ccfg.require_second_hit = false;
+    DecodeCache cache(ccfg);
+    store_.attachCache(&cache);
+
+    {
+        // Seed pass: decisions stop at the preview depth, so the
+        // cache ends up holding depth-2 entries only.
+        StagedEngineConfig cfg = baseConfig();
+        cfg.scan_depth = [](uint64_t, int) { return 2; };
+        cfg.cache = &cache;
+        StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+        StagedRequest req;
+        req.id = 0;
+        ASSERT_TRUE(engine.submit(req));
+        engine.wait(req);
+        ASSERT_EQ(req.stateNow(), StagedState::Done);
+    }
+    store_.resetStats();
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.scan_depth = [deep](uint64_t, int) { return deep; };
+    cfg.cache = &cache;
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    StagedRequest req;
+    req.id = 0;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    ASSERT_EQ(req.stateNow(), StagedState::Done);
+    EXPECT_EQ(req.scans_read, deep);
+    const size_t delta =
+        enc.bytesForScans(deep) - enc.bytesForScans(2);
+    EXPECT_EQ(req.bytes_read, delta)
+        << "a partial hit must charge only the missing range";
+    EXPECT_EQ(store_.stats().bytes_read, delta);
+
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.cache_hits, 1u);
+    EXPECT_EQ(st.cache_bytes_saved, enc.bytesForScans(2));
+
+    // The stage-4 fetch reached the new depth, so a THIRD request is
+    // a full hit: zero bytes.
+    StagedRequest third;
+    third.id = 0;
+    ASSERT_TRUE(engine.submit(third));
+    engine.wait(third);
+    ASSERT_EQ(third.stateNow(), StagedState::Done);
+    EXPECT_EQ(third.bytes_read, 0u);
+    engine.stop();
+    store_.detachCache(&cache);
+}
+
+TEST_F(StagedEngineTest, CacheHitServesBitIdenticalThroughBackbone)
+{
+    // With preview depth == decision depth, round 2 hits the cached
+    // preview entry and must produce byte-for-byte the round-1 (and
+    // inline-reference) backbone output: a cache hit can change only
+    // what the request paid, never what it was served.
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    StagedEngineConfig cfg = baseConfig();
+    cfg.preview_scans = 4;
+    cfg.scan_depth = [](uint64_t, int) { return 4; };
+    DecodeCacheConfig ccfg;
+    ccfg.require_second_hit = false;
+    DecodeCache cache(ccfg);
+    cfg.cache = &cache;
+    store_.attachCache(&cache);
+
+    std::vector<InlineRef> refs;
+    std::vector<Tensor> expected;
+    for (int i = 0; i < kObjects; ++i) {
+        refs.push_back(inlineReference(i, cfg));
+        expected.push_back(g->run(refs.back().input));
+    }
+
+    StagedServingEngine engine(store_, *scale_, g.get(), cfg);
+    for (int round = 0; round < 2; ++round) {
+        std::vector<StagedRequest> reqs(kObjects);
+        for (int i = 0; i < kObjects; ++i) {
+            reqs[i].id = static_cast<uint64_t>(i);
+            ASSERT_TRUE(engine.submit(reqs[i]));
+        }
+        for (int i = 0; i < kObjects; ++i) {
+            engine.wait(reqs[i]);
+            ASSERT_EQ(reqs[i].stateNow(), StagedState::Done)
+                << "round " << round << " object " << i;
+            EXPECT_EQ(reqs[i].resolution_index, refs[i].r_idx);
+            if (round == 1)
+                EXPECT_EQ(reqs[i].bytes_read, 0u)
+                    << "round-2 request " << i << " must be a hit";
+            ASSERT_EQ(reqs[i].infer.output.numel(),
+                      expected[i].numel());
+            EXPECT_EQ(std::memcmp(reqs[i].infer.output.data(),
+                                  expected[i].data(),
+                                  sizeof(float) * expected[i].numel()),
+                      0)
+                << "round " << round << " object " << i
+                << " output diverged";
+        }
+    }
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.cache_hits, static_cast<uint64_t>(kObjects));
+    engine.stop();
+    store_.detachCache(&cache);
+}
+
+TEST_F(StagedEngineTest, CacheStageFourResumeInFixedResolutionMode)
+{
+    // fixed_resolution mode never fetches a preview (kprev == 0), so
+    // the cache engages on the stage-4 path alone: round 2 resumes
+    // from the cached full-depth snapshot and fetches nothing.
+    StagedEngineConfig cfg = baseConfig();
+    cfg.fixed_resolution = kGridLo;
+    cfg.scan_depth = [](uint64_t, int) { return 4; };
+    DecodeCacheConfig ccfg;
+    ccfg.require_second_hit = false;
+    DecodeCache cache(ccfg);
+    cfg.cache = &cache;
+    const size_t full4 = store_.peek(0).bytesForScans(4);
+
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    StagedRequest first;
+    first.id = 0;
+    ASSERT_TRUE(engine.submit(first));
+    engine.wait(first);
+    ASSERT_EQ(first.stateNow(), StagedState::Done);
+    EXPECT_EQ(first.bytes_read, full4);
+
+    StagedRequest second;
+    second.id = 0;
+    ASSERT_TRUE(engine.submit(second));
+    engine.wait(second);
+    ASSERT_EQ(second.stateNow(), StagedState::Done);
+    EXPECT_EQ(second.scans_read, 4);
+    EXPECT_EQ(second.bytes_read, 0u);
+
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.cache_hits, 0u) << "no stage-1 lookup without preview";
+    EXPECT_EQ(st.cache_resumes, 1u);
+    EXPECT_EQ(st.cache_bytes_saved, full4);
+    engine.stop();
+}
+
+TEST_F(StagedEngineTest, CacheOnConservesTerminalsUnderConcurrency)
+{
+    // TSan-exercised: multiple workers, repeated traffic over a small
+    // hot set with the cache on (second-hit admission active, small
+    // capacity to force eviction churn). Terminal conservation and
+    // the hit/resume accounting identity must survive the races.
+    StagedEngineConfig cfg = baseConfig();
+    cfg.decode_workers = 2;
+    cfg.decode_batch = 2;
+    cfg.scan_depth = [](uint64_t, int r_idx) { return 3 + r_idx; };
+    DecodeCacheConfig ccfg;
+    ccfg.capacity_bytes = 512u << 10; // small: churn admissions
+    DecodeCache cache(ccfg);
+    cfg.cache = &cache;
+    store_.attachCache(&cache);
+    store_.resetStats();
+
+    StagedServingEngine engine(store_, *scale_, nullptr, cfg);
+    constexpr int kReqs = 48;
+    std::vector<StagedRequest> reqs(kReqs);
+    for (int i = 0; i < kReqs; ++i) {
+        reqs[i].id = static_cast<uint64_t>(i % kObjects);
+        ASSERT_TRUE(engine.submit(reqs[i]));
+    }
+    for (int i = 0; i < kReqs; ++i)
+        engine.wait(reqs[i]);
+    engine.stop();
+
+    const StagedStats st = engine.stats();
+    EXPECT_EQ(st.admitted, static_cast<uint64_t>(kReqs));
+    EXPECT_EQ(st.admitted,
+              st.done + st.degraded + st.failed + st.expired +
+                  st.shed_admission + st.rejected + st.cancelled)
+        << "terminal conservation with the cache on";
+    EXPECT_EQ(st.done, static_cast<uint64_t>(kReqs));
+    EXPECT_EQ(st.cache.hits, st.cache_hits + st.cache_resumes);
+    // Honest metering: the store's meter matches the engine's even
+    // when hits skipped fetches entirely.
+    EXPECT_EQ(store_.stats().bytes_read, st.bytes_read);
+    EXPECT_LE(st.cache.bytes, ccfg.capacity_bytes);
+    // Hot set of 4 objects over 48 requests: the cache must have
+    // actually engaged.
+    EXPECT_GT(st.cache_hits + st.cache_resumes, 0u);
+    store_.detachCache(&cache);
+}
+
 } // namespace
 } // namespace tamres

@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for the storage module: byte accounting, incremental
- * reads, byte delivery, fault injection, bandwidth model.
+ * reads, byte delivery, fault injection, the hot-object decode cache,
+ * bandwidth model.
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +14,7 @@
 
 #include "image/synthetic.hh"
 #include "storage/breaker.hh"
+#include "storage/decode_cache.hh"
 #include "storage/fault_injection.hh"
 #include "storage/object_store.hh"
 #include "util/cancel.hh"
@@ -714,6 +716,255 @@ TEST(Breaker, ConcurrentFailFastConservesCounters)
     EXPECT_EQ(s.faults_transient + s.breaker_fast_fails,
               static_cast<uint64_t>(kThreads) * kIters);
     EXPECT_GT(s.breaker_fast_fails, 0u);
+}
+
+TEST(FaultInjection, ConvenienceReadsRouteThroughTheFaultPath)
+{
+    // The unified read API: readScans & co. are non-virtual wrappers
+    // whose physical transfer goes through fetchScanRange — the ONE
+    // virtual primitive — so injected faults perturb EVERY read entry
+    // point, and the wrapper decodes the DELIVERED bytes, not the
+    // store's pristine object.
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(26);
+    base.put(1, enc);
+    FaultPolicy policy;
+    policy.script = [](const FaultContext &ctx) {
+        FaultDecision d;
+        if (ctx.attempt == 0)
+            d.fail = true;
+        else if (ctx.attempt == 1)
+            d.deliver_bytes = ctx.range_bytes / 2;
+        return d;
+    };
+    FaultyObjectStore store(base, policy);
+
+    try {
+        store.readScans(1, 2);
+        FAIL() << "expected Error{Transient}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Transient);
+    }
+    try {
+        store.readScans(1, 2);
+        FAIL() << "expected Error{Truncated}";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Truncated)
+            << "a short delivery must fail the wrapper's decode";
+    }
+    const Image img = store.readScans(1, 2);
+    const Image want = decodeProgressive(enc, 2);
+    ASSERT_EQ(img.numel(), want.numel());
+    EXPECT_EQ(std::memcmp(img.data(), want.data(),
+                          sizeof(float) * want.numel()),
+              0);
+}
+
+/** Snapshot of @p enc's decoder state after @p depth scans. */
+DecoderSnapshot
+snapshotAt(const EncodedImage &enc, int depth)
+{
+    ProgressiveDecoder dec(enc);
+    dec.advanceTo(depth);
+    return dec.snapshot();
+}
+
+TEST(DecodeCache, LookupReturnsDeepestEntryInRange)
+{
+    const EncodedImage enc = encodeTest(30);
+    DecodeCacheConfig cfg;
+    cfg.require_second_hit = false;
+    DecodeCache cache(cfg);
+    cache.insert(1, 2, decodeProgressive(enc, 2), snapshotAt(enc, 2));
+    cache.insert(1, 4, Image(), snapshotAt(enc, 4));
+
+    const DecodeCache::EntryPtr deep = cache.lookup(1, 1, enc.numScans());
+    ASSERT_TRUE(deep);
+    EXPECT_EQ(deep->depth, 4);
+    EXPECT_TRUE(deep->preview.empty()) << "snapshot-only entry";
+
+    const DecodeCache::EntryPtr shallow = cache.lookup(1, 1, 3);
+    ASSERT_TRUE(shallow);
+    EXPECT_EQ(shallow->depth, 2);
+    EXPECT_FALSE(shallow->preview.empty());
+
+    EXPECT_EQ(cache.lookup(1, 5, enc.numScans()), nullptr)
+        << "min_depth above every entry";
+    EXPECT_EQ(cache.lookup(1, 3, 3), nullptr)
+        << "nothing inside [3, 3]";
+    EXPECT_EQ(cache.lookup(2, 0, enc.numScans()), nullptr)
+        << "unknown id";
+
+    const DecodeCacheStats s = cache.stats();
+    EXPECT_EQ(s.insertions, 2u);
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(DecodeCache, ByteCapacityDrivesLruEviction)
+{
+    const EncodedImage enc = encodeTest(31);
+    // Measure one snapshot-only entry's charged size, then build a
+    // cache that fits exactly two of them.
+    size_t per_entry = 0;
+    {
+        DecodeCacheConfig probe;
+        probe.require_second_hit = false;
+        DecodeCache c(probe);
+        c.insert(1, 2, Image(), snapshotAt(enc, 2));
+        per_entry = c.stats().bytes;
+        ASSERT_GT(per_entry, 0u);
+    }
+    DecodeCacheConfig cfg;
+    cfg.require_second_hit = false;
+    cfg.capacity_bytes = 2 * per_entry;
+    DecodeCache cache(cfg);
+
+    cache.insert(10, 2, Image(), snapshotAt(enc, 2));
+    cache.insert(11, 2, Image(), snapshotAt(enc, 2));
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_LE(cache.stats().bytes, cfg.capacity_bytes);
+
+    // Touch 10 so 11 is the LRU tail, then overflow: 11 must go.
+    ASSERT_TRUE(cache.lookup(10, 2, 2));
+    cache.insert(12, 2, Image(), snapshotAt(enc, 2));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.stats().bytes, cfg.capacity_bytes);
+    EXPECT_TRUE(cache.lookup(10, 2, 2)) << "recently used survives";
+    EXPECT_FALSE(cache.lookup(11, 2, 2)) << "LRU tail evicted";
+    EXPECT_TRUE(cache.lookup(12, 2, 2));
+
+    // Conservation: everything admitted is resident or evicted.
+    const DecodeCacheStats s = cache.stats();
+    EXPECT_EQ(s.insertions, s.entries + s.evictions + s.invalidations);
+}
+
+TEST(DecodeCache, OversizedEntryNeverAdmitted)
+{
+    const EncodedImage enc = encodeTest(32);
+    DecodeCacheConfig cfg;
+    cfg.require_second_hit = false;
+    cfg.capacity_bytes = 16; // smaller than any real entry
+    DecodeCache cache(cfg);
+    cache.insert(1, 2, decodeProgressive(enc, 2), snapshotAt(enc, 2));
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().admission_rejects, 1u);
+    EXPECT_EQ(cache.lookup(1, 0, enc.numScans()), nullptr);
+}
+
+TEST(DecodeCache, SecondHitAdmissionGatesOneHitWonders)
+{
+    const EncodedImage enc = encodeTest(33);
+    DecodeCache cache; // require_second_hit defaults on
+    cache.insert(1, 2, Image(), snapshotAt(enc, 2));
+    EXPECT_EQ(cache.lookup(1, 2, 2), nullptr)
+        << "first offer only registers the key";
+    EXPECT_EQ(cache.stats().admission_rejects, 1u);
+
+    cache.insert(1, 2, Image(), snapshotAt(enc, 2));
+    EXPECT_TRUE(cache.lookup(1, 2, 2)) << "second offer admits";
+    EXPECT_EQ(cache.stats().insertions, 1u);
+
+    // Depths gate independently: a new depth for a hot id still waits
+    // for its own second offer.
+    cache.insert(1, 4, Image(), snapshotAt(enc, 4));
+    EXPECT_EQ(cache.lookup(1, 4, 4), nullptr);
+
+    // invalidate() forgets admission history: the replaced object's
+    // first offer is a genuinely new key.
+    cache.invalidate(1);
+    EXPECT_EQ(cache.lookup(1, 2, 2), nullptr);
+    cache.insert(1, 2, Image(), snapshotAt(enc, 2));
+    EXPECT_EQ(cache.lookup(1, 2, 2), nullptr)
+        << "history was dropped with the entries";
+    cache.insert(1, 2, Image(), snapshotAt(enc, 2));
+    EXPECT_TRUE(cache.lookup(1, 2, 2));
+}
+
+TEST(DecodeCache, PutInvalidatesThroughDecoratorStack)
+{
+    // The engine attaches the cache to the store's root(); a put()
+    // through ANY decorator layer must drop the id's entries before a
+    // stale snapshot can be resumed.
+    ObjectStore base;
+    const EncodedImage enc = encodeTest(34);
+    base.put(1, enc);
+
+    DecodeCacheConfig cfg;
+    cfg.require_second_hit = false;
+    DecodeCache cache(cfg);
+    FaultyObjectStore faulty(base, FaultPolicy{});
+    BreakerObjectStore store(faulty, BreakerConfig{});
+    store.attachCache(&cache); // lands on root() == base
+
+    cache.insert(1, 2, Image(), snapshotAt(enc, 2));
+    cache.insert(1, 3, Image(), snapshotAt(enc, 3));
+    cache.insert(2, 2, Image(), snapshotAt(enc, 2));
+    ASSERT_TRUE(cache.lookup(1, 2, 3));
+
+    store.put(1, encodeTest(35)); // through both decorators
+    EXPECT_EQ(cache.lookup(1, 0, 99), nullptr)
+        << "every depth for the replaced id must be gone";
+    EXPECT_EQ(cache.stats().invalidations, 2u);
+    EXPECT_TRUE(cache.lookup(2, 2, 2)) << "other ids untouched";
+
+    store.detachCache(&cache);
+    store.put(1, encodeTest(36));
+    EXPECT_TRUE(cache.lookup(2, 2, 2))
+        << "a detached cache no longer sees puts";
+}
+
+TEST(DecodeCache, ConcurrentHitEvictInvalidateConserves)
+{
+    // TSan-exercised: four threads race lookups, inserts and
+    // invalidations on a cache sized to churn. Returned entries stay
+    // usable after eviction/invalidation (immutability), and the
+    // admitted-entry conservation identity holds at quiesce.
+    const EncodedImage enc = encodeTest(37);
+    size_t per_entry = 0;
+    {
+        DecodeCacheConfig probe;
+        probe.require_second_hit = false;
+        DecodeCache c(probe);
+        c.insert(1, 2, Image(), snapshotAt(enc, 2));
+        per_entry = c.stats().bytes;
+    }
+    DecodeCacheConfig cfg;
+    cfg.require_second_hit = false;
+    cfg.capacity_bytes = 3 * per_entry; // forces constant eviction
+    DecodeCache cache(cfg);
+
+    const DecoderSnapshot snap2 = snapshotAt(enc, 2);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 128;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                const uint64_t id =
+                    static_cast<uint64_t>((t * kIters + i) % 8);
+                cache.insert(id, 2, Image(), snap2);
+                const DecodeCache::EntryPtr e =
+                    cache.lookup(id, 1, enc.numScans());
+                if (e) {
+                    // The entry must stay intact however the cache
+                    // churns underneath the reference.
+                    EXPECT_EQ(e->depth, 2);
+                    EXPECT_TRUE(e->snap.valid());
+                }
+                if (i % 16 == 0)
+                    cache.invalidate(id);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    const DecodeCacheStats s = cache.stats();
+    EXPECT_LE(s.bytes, cfg.capacity_bytes);
+    EXPECT_EQ(s.insertions, s.entries + s.evictions + s.invalidations);
 }
 
 TEST(ReadStats, EmptyIsNeutral)

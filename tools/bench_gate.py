@@ -62,6 +62,7 @@ GATED_PATTERNS = (
 LOWER_GATED_FILES = {
     "BENCH_overload.json": ("p99_ms",),
     "BENCH_watchdog.json": ("p99_ms", "stall"),
+    "BENCH_cache.json": ("bytes_read", "p99_ms"),
 }
 
 # Built-in per-file margins (CLI --file-margin overrides). The chaos
@@ -72,6 +73,7 @@ BUILTIN_FILE_MARGINS = {
     "BENCH_faults.json": 0.5,
     "BENCH_overload.json": 0.5,
     "BENCH_watchdog.json": 0.5,
+    "BENCH_cache.json": 0.5,
 }
 
 
