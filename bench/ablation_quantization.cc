@@ -7,9 +7,20 @@
  * batch-1 latency of fp32 library / fp32 tuned / int8 graphs across
  * resolutions, plus the numeric deviation the int8 rewrite introduces
  * at the logits.
+ *
+ * The int8 numbers measure the PLANNED serving path — quantized
+ * graphs run through Graph execution plans exactly like fp32 ones
+ * (blocked quad-K int8 GEMM, prepacked weight panels shared via the
+ * per-graph pack cache, SIMD-dispatched microkernels), so the latency
+ * here is what the engines serve, not a standalone kernel loop. The
+ * naive reference kernel (convForwardInt8) stays on as the
+ * correctness oracle: the planned path is bitwise identical to it by
+ * construction, and this harness re-checks that on a representative
+ * backbone conv before timing anything.
  */
 
 #include <cmath>
+#include <cstring>
 
 #include "bench/bench_common.hh"
 #include "nn/passes.hh"
@@ -32,6 +43,80 @@ relError(const Tensor &got, const Tensor &want)
     return std::sqrt(num / std::max(den, 1e-20));
 }
 
+/**
+ * Oracle check: the planned int8 kernel (prepacked, SIMD-dispatched,
+ * blocked) must be BITWISE identical to the naive reference kernel on
+ * a representative backbone conv. Returns true on exact match.
+ */
+bool
+oracleBitwiseCheck()
+{
+    ConvProblem p;
+    p.n = 2;
+    p.ic = 64;
+    p.ih = p.iw = 28;
+    p.oc = 64;
+    p.kh = p.kw = 3;
+    p.stride = 1;
+    p.pad = 1;
+
+    const int K = p.ic * p.kh * p.kw;
+    Rng rng(4242);
+    Tensor in({p.n, p.ic, p.ih, p.iw});
+    fillUniform(in, rng, -1.0f, 1.0f);
+    std::vector<float> w(static_cast<size_t>(p.oc) * K);
+    for (float &v : w)
+        v = static_cast<float>(rng.uniform(-0.5, 0.5));
+    std::vector<float> bias(static_cast<size_t>(p.oc));
+    for (float &v : bias)
+        v = static_cast<float>(rng.uniform(-0.1, 0.1));
+
+    // Per-output-channel weight quantization, same as QuantConv2d.
+    std::vector<int8_t> wq(w.size());
+    std::vector<float> w_scales(static_cast<size_t>(p.oc));
+    for (int oc = 0; oc < p.oc; ++oc) {
+        const float *row = w.data() + static_cast<size_t>(oc) * K;
+        w_scales[static_cast<size_t>(oc)] =
+            symmetricScale(maxAbsValue(row, static_cast<size_t>(K)));
+        quantizeSymmetric(row, static_cast<size_t>(K),
+                          w_scales[static_cast<size_t>(oc)],
+                          wq.data() + static_cast<size_t>(oc) * K);
+    }
+
+    const size_t out_n = static_cast<size_t>(p.n) * p.oc * p.oh() *
+                         p.ow();
+    std::vector<float> want(out_n), got(out_n);
+    convForwardInt8(p, in.data(), /*act_scale=*/0.0f, wq.data(),
+                    w_scales.data(), bias.data(), /*fused_relu=*/true,
+                    want.data());
+
+    // Planned path: quantize per image (dynamic, same rule as the
+    // oracle), prepack the weights, run the blocked GEMM.
+    const size_t per = static_cast<size_t>(p.ic) * p.ih * p.iw;
+    std::vector<int8_t> qin(static_cast<size_t>(p.n) * per);
+    std::vector<float> act_scales(static_cast<size_t>(p.n));
+    for (int n = 0; n < p.n; ++n) {
+        const float *src = in.data() + static_cast<size_t>(n) * per;
+        act_scales[static_cast<size_t>(n)] =
+            symmetricScale(maxAbsValue(src, per));
+        quantizeSymmetric(src, per, act_scales[static_cast<size_t>(n)],
+                          qin.data() + static_cast<size_t>(n) * per);
+    }
+    ConvConfig cfg; // the quantized path's one fixed blocking
+    PackedConvWeights packed;
+    packConvWeightsInt8(p, cfg, wq.data(), packed);
+    QuantConvEpilogue epi;
+    epi.w_scales = w_scales.data();
+    epi.bias = bias.data();
+    epi.act_scales = act_scales.data();
+    epi.relu = true;
+    convForwardInt8Gemm(p, qin.data(), epi, wq.data(), &packed,
+                        got.data(), cfg);
+
+    return std::memcmp(got.data(), want.data(),
+                       out_n * sizeof(float)) == 0;
+}
+
 } // namespace
 
 int
@@ -40,6 +125,12 @@ main()
     bench::banner("ablation_quantization",
                   "int8 quantization x resolution (Section II-a "
                   "orthogonality claim)");
+
+    const bool oracle_ok = oracleBitwiseCheck();
+    std::printf("planned int8 path vs naive oracle: %s\n",
+                oracle_ok ? "BITWISE IDENTICAL" : "MISMATCH");
+    if (!oracle_ok)
+        return 1;
 
     const std::vector<int> resolutions = {112, 168, 224, 336};
 
@@ -53,19 +144,21 @@ main()
         auto fp32 = bench::buildBackbone(arch);
         optimizeForInference(*fp32);
 
-        // int8 sibling, calibrated on one representative input.
+        // int8 sibling, calibrated on one representative input. The
+        // graph's plans resolve + prepack the int8 weight panels on
+        // first run; the timed runs below pack nothing.
         auto int8 = bench::buildBackbone(arch);
-        optimizeForInference(*int8);
         Tensor cal_in({1, 3, 224, 224});
         Rng cal_rng(99);
         fillUniform(cal_in, cal_rng, 0.0f, 1.0f);
+        optimizeForInference(*int8);
         const QuantCalibration cal =
             calibrateActivations(*int8, {cal_in});
         const int rewritten = quantizeConvs(*int8, &cal);
 
         TablePrinter tab(std::string(name) + " batch-1 latency (ms): " +
                          std::to_string(rewritten) +
-                         " convs rewritten to int8");
+                         " convs rewritten to int8 (planned path)");
         tab.setHeader({"Res", "fp32 lib", "fp32 tuned", "int8",
                        "int8/tuned", "logit relerr"});
         for (int r : resolutions) {
@@ -96,11 +189,11 @@ main()
         "\nexpected shape: the int8 path's logit deviation stays in "
         "the few-percent range at every resolution (quantization "
         "noise does not grow with input size), confirming the two "
-        "levers compose. The vectorized integer GEMM (packed "
-        "widening multiply-adds) beats the tuned fp32 kernels by "
-        "roughly 2x at every resolution, and the advantage persists "
-        "across the whole resolution grid — quantization shifts the "
-        "accuracy-vs-latency frontier of Figs. 8/9 uniformly rather "
-        "than replacing resolution as a knob.\n");
+        "levers compose. The planned int8 GEMM (quad-K packed panels, "
+        "vpmaddwd/vpdpbusd microkernels, prepacked weights) beats the "
+        "tuned fp32 kernels at every resolution, and the advantage "
+        "persists across the whole resolution grid — quantization "
+        "shifts the accuracy-vs-latency frontier of Figs. 8/9 "
+        "uniformly rather than replacing resolution as a knob.\n");
     return 0;
 }

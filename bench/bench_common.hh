@@ -173,6 +173,29 @@
  *                            a higher-is-better ratio)
  *   cache_p99_gain           off-leg p99 / large-leg p99 — the gated
  *                            "hits skip the latency tail" headline
+ *
+ * BENCH_quant.json (written by bench/quantized_serving, gated by
+ * tools/bench_gate.py; p99_ms fields gate lower-is-better via the
+ * gate's per-file direction map):
+ *   workers                  engine worker threads (host parallelism)
+ *   requests                 closed-loop requests per leg
+ *   max_batch                formed-batch cap both legs run under
+ *   convs_quantized          Conv2d ops rewritten to QuantConv2d
+ *   fp32_rps, int8_rps       closed-loop request rate of each leg on
+ *                            the SAME engine (two graphs, two
+ *                            executors per worker; the int8 leg
+ *                            stamps want_int8 on every request) —
+ *                            both higher-is-better gated
+ *   fp32_p50_ms, fp32_p99_ms closed-loop latency percentiles of the
+ *   int8_p50_ms, int8_p99_ms two legs — p99s lower-is-better gated
+ *   int8_speedup             int8_rps / fp32_rps — the gated "the
+ *                            quantized tier buys real headroom"
+ *                            headline ratio (acceptance target: the
+ *                            int8 leg serves strictly more than fp32)
+ *   accuracy_rel_err         mean relative logit error of the int8
+ *                            graph vs its fp32 sibling over a sample
+ *                            batch — informational (ungated): the
+ *                            accuracy cost of the precision tier
  */
 
 #ifndef TAMRES_BENCH_BENCH_COMMON_HH

@@ -54,6 +54,24 @@ makeShedPolicy(int normal_resolution, int shed_resolution,
     };
 }
 
+EngineTierPolicy
+makeTieredShedPolicy(int normal_resolution, int int8_depth,
+                     int shed_depth, int shed_resolution)
+{
+    tamres_assert(int8_depth <= shed_depth,
+                  "precision sheds before resolution: int8_depth must "
+                  "not exceed shed_depth");
+    return [=](int queue_depth) {
+        ServeTier tier;
+        tier.resolution = normal_resolution;
+        if (queue_depth > int8_depth)
+            tier.int8 = true;
+        if (queue_depth > shed_depth)
+            tier.resolution = shed_resolution;
+        return tier;
+    };
+}
+
 ServingEngine::ServingEngine(Graph &graph, EngineConfig config)
     : graph_(&graph), cfg_(std::move(config)),
       epoch_(std::chrono::steady_clock::now())
@@ -74,6 +92,10 @@ ServingEngine::ServingEngine(Graph &graph, EngineConfig config)
     for (auto &w : workers_) {
         w.exec = std::make_unique<Graph::Executor>(*graph_,
                                                    cfg_.plan_capacity);
+        if (cfg_.quant_graph) {
+            w.qexec = std::make_unique<Graph::Executor>(
+                *cfg_.quant_graph, cfg_.plan_capacity);
+        }
         w.items.reserve(cfg_.max_batch);
     }
     threads_.reserve(cfg_.workers);
@@ -165,6 +187,8 @@ ServingEngine::stats() const
     s.shed_admission = shed_admission_;
     s.expired = expired_;
     s.failed = failed_;
+    s.served_int8 = served_int8_;
+    s.batches_int8 = batches_int8_;
     s.mean_batch =
         batches_ > 0 ? static_cast<double>(served_) / batches_ : 0.0;
     s.batch_hist = batch_hist_;
@@ -183,8 +207,11 @@ void
 ServingEngine::workerLoop(int idx)
 {
     Worker &w = workers_[idx];
-    for (const Shape &shape : cfg_.warm_shapes)
+    for (const Shape &shape : cfg_.warm_shapes) {
         w.exec->warm(shape);
+        if (w.qexec)
+            w.qexec->warm(shape);
+    }
 
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -220,14 +247,18 @@ ServingEngine::workerLoop(int idx)
         }
 
         // Batch formation around the oldest request: take every
-        // same-shaped request up to max_batch; if the batch is
-        // partial, linger up to max_delay_us past the front
-        // request's submission for late joiners.
+        // request matching its shape AND precision up to max_batch
+        // (int8 and fp32 requests run different graphs, so they never
+        // share a batch); if the batch is partial, linger up to
+        // max_delay_us past the front request's submission for late
+        // joiners.
         InferenceRequest *front = pending_.front();
         const Shape &key = front->input.shape();
+        const bool key_int8 = front->want_int8;
         int avail = 0;
         for (InferenceRequest *r : pending_) {
-            if (r->input.shape() == key && ++avail >= cfg_.max_batch)
+            if (r->want_int8 == key_int8 && r->input.shape() == key &&
+                ++avail >= cfg_.max_batch)
                 break;
         }
         const double flush_at =
@@ -249,17 +280,26 @@ ServingEngine::workerLoop(int idx)
             InferenceRequest *r = pending_[i];
             if (w.items.size() <
                     static_cast<size_t>(cfg_.max_batch) &&
-                r->input.shape() == key)
+                r->want_int8 == key_int8 && r->input.shape() == key)
                 w.items.push_back(r);
             else
                 pending_[out++] = r;
         }
         pending_.resize(out);
 
+        // Tier decision at formation: precision and resolution come
+        // from the tier policy (or the legacy resolution policy); a
+        // request can also demand int8 outright. Without a quantized
+        // graph the int8 axis degrades to fp32.
         const int depth = static_cast<int>(pending_.size()) +
                           static_cast<int>(w.items.size());
-        const int resolution =
-            cfg_.resolution_policy ? cfg_.resolution_policy(depth) : 0;
+        ServeTier tier;
+        if (cfg_.tier_policy)
+            tier = cfg_.tier_policy(depth);
+        else if (cfg_.resolution_policy)
+            tier.resolution = cfg_.resolution_policy(depth);
+        const bool use_int8 =
+            (key_int8 || tier.int8) && w.qexec != nullptr;
 
         ++active_workers_;
         lock.unlock();
@@ -268,7 +308,7 @@ ServingEngine::workerLoop(int idx)
         // (serveBatch may have thrown before reaching its own stamp).
         bool ok = true;
         try {
-            serveBatch(w, resolution);
+            serveBatch(w, tier.resolution, use_int8);
         } catch (const std::exception &e) {
             ok = false;
             const double t_fail = now();
@@ -287,6 +327,10 @@ ServingEngine::workerLoop(int idx)
         if (ok) {
             ++batches_;
             served_ += w.items.size();
+            if (use_int8) {
+                ++batches_int8_;
+                served_int8_ += w.items.size();
+            }
             batch_hist_[w.items.size()] += 1;
             for (const InferenceRequest *r : w.items) {
                 latency_ring_[latency_idx_] = r->latency_s;
@@ -307,7 +351,7 @@ ServingEngine::workerLoop(int idx)
 }
 
 void
-ServingEngine::serveBatch(Worker &w, int resolution)
+ServingEngine::serveBatch(Worker &w, int resolution, bool use_int8)
 {
     const double start = now();
     const int n = static_cast<int>(w.items.size());
@@ -353,7 +397,7 @@ ServingEngine::serveBatch(Worker &w, int resolution)
         w.items[i]->queue_s = start - w.items[i]->submit_s_;
     }
 
-    w.exec->runInto(buf->input, buf->output);
+    (use_int8 ? *w.qexec : *w.exec).runInto(buf->input, buf->output);
 
     if (buf->item_shape.empty()) {
         buf->item_shape = buf->output.shape();
@@ -369,6 +413,7 @@ ServingEngine::serveBatch(Worker &w, int resolution)
                     buf->output.data() + i * item_out,
                     sizeof(float) * item_out);
         r->resolution = rh;
+        r->served_int8 = use_int8;
         r->batch = n;
         r->latency_s = finish - r->submit_s_;
         // The Done store is deferred to the caller (workerLoop, under

@@ -122,6 +122,38 @@ EngineResolutionPolicy makeShedPolicy(int normal_resolution,
                                       int shed_resolution,
                                       int shed_depth);
 
+/**
+ * A serving tier: the resolution to serve at (0 = native) and whether
+ * to run the int8 quantized backbone instead of fp32. The engine can
+ * shed load along two axes — precision and resolution — and a tier
+ * policy picks the combination from the queue depth at batch
+ * formation.
+ */
+struct ServeTier
+{
+    int resolution = 0; //!< square serving resolution, 0 = native
+    bool int8 = false;  //!< serve on the quantized graph
+};
+
+/**
+ * Queue-depth -> tier hook (the two-axis generalization of
+ * EngineResolutionPolicy). When set, it replaces the resolution
+ * policy. Tiers requesting int8 fall back to fp32 when the engine has
+ * no quant_graph.
+ */
+using EngineTierPolicy = std::function<ServeTier(int queue_depth)>;
+
+/**
+ * Two-stage shedding that drops precision before resolution (int8
+ * costs ~1% accuracy proxy where a resolution drop costs more, so it
+ * is the cheaper first concession): queue deeper than @p int8_depth
+ * serves int8 at normal resolution; deeper than @p shed_depth
+ * (>= int8_depth) serves int8 at @p shed_resolution.
+ */
+EngineTierPolicy makeTieredShedPolicy(int normal_resolution,
+                                      int int8_depth, int shed_depth,
+                                      int shed_resolution);
+
 /** Terminal and transient request states. */
 enum class RequestState : int
 {
@@ -143,9 +175,18 @@ struct InferenceRequest
 {
     Tensor input;
     double deadline_s = 0.0; //!< seconds after submit; 0 = none
+    /**
+     * Ask for the int8 tier outright (input field): the request only
+     * batches with other int8 requests and serves on the quantized
+     * graph when the engine has one. The tier policy can also force
+     * int8 on a whole batch at formation time; served_int8 reports
+     * what actually ran.
+     */
+    bool want_int8 = false;
 
     Tensor output;           //!< per-item result (reused when shaped)
     int resolution = 0;      //!< square resolution actually served
+    bool served_int8 = false; //!< ran on the quantized graph
     int batch = 0;           //!< size of the batch it was served in
     double queue_s = 0.0;    //!< submit -> batch start
     double latency_s = 0.0;  //!< submit -> completion
@@ -178,9 +219,25 @@ struct EngineConfig
     EngineResolutionPolicy resolution_policy;
 
     /**
+     * Queue-depth -> (resolution, precision) hook; when set it
+     * replaces resolution_policy (see makeTieredShedPolicy).
+     */
+    EngineTierPolicy tier_policy;
+
+    /**
+     * The quantized twin of the serving graph (same architecture,
+     * QuantConv2d backbone — build with quantizeGraph on a copy), or
+     * null to disable the int8 tier. Must outlive the engine under
+     * the same mutation contract as the main graph; each worker holds
+     * a private executor over it, so int8 batches replay planned,
+     * prepacked, zero-alloc plans exactly like fp32 ones.
+     */
+    Graph *quant_graph = nullptr;
+
+    /**
      * Input shapes ([batch, C, H, W]) every worker compiles plans for
      * before serving starts, so the first requests already replay
-     * warmed plans.
+     * warmed plans (on the quantized graph too when present).
      */
     std::vector<Shape> warm_shapes;
 };
@@ -194,6 +251,8 @@ struct EngineStats
     uint64_t shed_admission = 0; //!< submits rejected (queue full/stop)
     uint64_t expired = 0;       //!< dropped past their deadline
     uint64_t failed = 0;        //!< requests whose batch threw
+    uint64_t served_int8 = 0;   //!< requests served on the int8 tier
+    uint64_t batches_int8 = 0;  //!< batches run on the quantized graph
     double mean_batch = 0.0;    //!< served / batches
     std::vector<uint64_t> batch_hist; //!< index b = batches of size b
     double p50_latency_s = 0.0; //!< over the sample reservoir
@@ -249,12 +308,13 @@ class ServingEngine
     struct Worker
     {
         std::unique_ptr<Graph::Executor> exec;
+        std::unique_ptr<Graph::Executor> qexec; //!< quant_graph, or null
         std::vector<InferenceRequest *> items; //!< formation scratch
         std::vector<BatchBuffer> buffers;      //!< keyed by shape
     };
 
     void workerLoop(int idx);
-    void serveBatch(Worker &w, int resolution);
+    void serveBatch(Worker &w, int resolution, bool use_int8);
     double now() const;
 
     Graph *graph_;
@@ -273,6 +333,8 @@ class ServingEngine
     uint64_t shed_admission_ = 0;
     uint64_t expired_ = 0;
     uint64_t failed_ = 0;
+    uint64_t served_int8_ = 0;
+    uint64_t batches_int8_ = 0;
     std::vector<uint64_t> batch_hist_;
     std::vector<double> latency_ring_;
     size_t latency_idx_ = 0;

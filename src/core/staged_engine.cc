@@ -1253,6 +1253,18 @@ StagedServingEngine::processOneImpl(StagedRequest &req, int depth)
         req.infer.deadline_s = 0.0;
     }
 
+    // Brownout precision shed: at or past int8_tier the backbone
+    // request is stamped for the quantized graph. Precision comes
+    // before resolution in the degradation ladder (int8_tier is
+    // normally set below the resolution-shedding tier); if the inner
+    // engine carries no quantized graph the flag is a harmless no-op.
+    req.infer.want_int8 = bc.enable && bc.int8_tier > 0 &&
+                          tier >= bc.int8_tier;
+    if (req.infer.want_int8) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.brownout_int8;
+    }
+
     if (!inner_->submit(req.infer)) {
         markTerminal(req, StagedState::Shed);
         return;

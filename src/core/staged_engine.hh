@@ -300,6 +300,17 @@ struct BrownoutConfig
     int scan_cap = 2;          //!< tier >= 1: max total scans
     int resolution_cap = 0;    //!< tier >= 2: res floor (0 = lowest)
     int max_tier = 3;          //!< highest tier the controller may use
+
+    /**
+     * Tier at or above which the backbone stage serves int8 (0 =
+     * never). Precision is shed BEFORE resolution: set int8_tier
+     * below the resolution-shedding tier so overload first drops to
+     * the quantized backbone (cheap, accuracy-close) and only then
+     * shrinks the input. Requires the inner engine to be configured
+     * with a quantized graph (EngineConfig::quant_graph); without one
+     * the flag degrades to fp32 harmlessly.
+     */
+    int int8_tier = 0;
 };
 
 /**
@@ -433,6 +444,7 @@ struct StagedStats
     uint64_t tier_drops = 0;      //!< tier increments (quality down)
     uint64_t tier_recoveries = 0; //!< tier decrements (quality back)
     uint64_t brownout_capped = 0; //!< decisions lowered by the tier
+    uint64_t brownout_int8 = 0;   //!< requests routed to the int8 tier
     uint64_t cancelled = 0;       //!< terminal Cancelled (client)
     uint64_t reads_abandoned = 0; //!< timed fetches given up in flight
     uint64_t watchdog_flags = 0;  //!< liveness flags raised on workers

@@ -546,6 +546,11 @@ struct Scratch
     std::vector<float> wino_u; //!< transformed weights (fork thread)
     std::vector<float> wino_v; //!< input-tile transform (per worker)
     std::vector<float> wino_m; //!< GEMM accumulator (per worker)
+    std::vector<int8_t> qcol;   //!< int8 im2col matrix (quantized path)
+    std::vector<int8_t> qapack; //!< int8 A quad panels (on-the-fly)
+    std::vector<int8_t> qbpack; //!< int8 B quad panels (per worker)
+    std::vector<int32_t> qacc;  //!< padded int32 accumulator panel
+    std::vector<int32_t> qcomp; //!< A row sums (on-the-fly VNNI comp)
 };
 
 Scratch &
@@ -1428,6 +1433,574 @@ depthwiseKernel(const ConvProblem &p, const float *in, const float *w,
         effectiveThreads(cfg));
 }
 
+// ---------------------------------------------------------------------
+// Int8 quantized GEMM (quad-K panels, int32 accumulation)
+// ---------------------------------------------------------------------
+//
+// Same GotoBLAS blocking as the fp32 path, but both operands are int8
+// packed in quad-K interleaved panels: every microkernel consumes k in
+// groups of 4 (a scalar 4-step dot, a vpmaddwd pair of pairs, one
+// vpdpbusd lane, or a NEON smull/padal pair), so the panel layout puts
+// each row's/column's 4 consecutive k values contiguous. k is padded
+// to a multiple of 4 per kc-block with zeros — zero A rows/B columns
+// contribute exactly 0 to every int32 accumulator, which is what makes
+// the padded direct-store scheme below exact.
+//
+// Unlike the fp32 path (which accumulates into C), the int8 path
+// accumulates int32 into a padded per-panel scratch and applies the
+// fp32 epilogue once per output element at the end. Integer adds are
+// associative, so the accumulated value — and hence the epilogue's
+// float result — is bit-identical across SIMD levels, thread counts,
+// blocking choices, batch merging, and prepacked vs on-the-fly
+// weights. Tests memcmp these paths against each other and against
+// the naive reference kernel in quant.cc.
+
+using MicroInt8Fn = void (*)(int kq, const int8_t *ap, const int8_t *bp,
+                             int32_t *c, int ldc, const int32_t *comp);
+
+/** k quads (groups of 4, zero-padded) covering @p kb values. */
+inline int
+quadCount(int kb)
+{
+    return (kb + 3) / 4;
+}
+
+/**
+ * Scalar int8 micro-kernel: C[mr x nr] += A-quads times B-quads over
+ * @p kq k-quads, int32 accumulation. The last parameter (VNNI row
+ * compensation) is unused — this kernel multiplies signed x signed
+ * directly. Defines the supported (mr, nr) set.
+ */
+template <int MR, int NR>
+void
+microKernelInt8(int kq, const int8_t *ap, const int8_t *bp, int32_t *c,
+                int ldc, const int32_t *)
+{
+    int32_t acc[MR][NR] = {};
+    for (int q = 0; q < kq; ++q) {
+        const int8_t *a = ap + q * MR * 4;
+        const int8_t *b = bp + q * NR * 4;
+        for (int i = 0; i < MR; ++i) {
+            for (int j = 0; j < NR; ++j) {
+                int32_t s = 0;
+                for (int u = 0; u < 4; ++u)
+                    s += static_cast<int32_t>(a[i * 4 + u]) *
+                         static_cast<int32_t>(b[j * 4 + u]);
+                acc[i][j] += s;
+            }
+        }
+    }
+    for (int i = 0; i < MR; ++i)
+        for (int j = 0; j < NR; ++j)
+            c[i * ldc + j] += acc[i][j];
+}
+
+/** Scalar fallback for every supported int8 (mr, nr); defines the set. */
+MicroInt8Fn
+microDispatchInt8Scalar(int mr, int nr)
+{
+    switch (mr * 100 + nr) {
+      case 108: return microKernelInt8<1, 8>;
+      case 116: return microKernelInt8<1, 16>;
+      case 208: return microKernelInt8<2, 8>;
+      case 216: return microKernelInt8<2, 16>;
+      case 408: return microKernelInt8<4, 8>;
+      case 416: return microKernelInt8<4, 16>;
+      case 808: return microKernelInt8<8, 8>;
+      case 816: return microKernelInt8<8, 16>;
+      default: return nullptr;
+    }
+}
+
+#if TAMRES_SIMD_X86
+
+/**
+ * AVX2 int8 micro-kernel (nr = 8): widen the quad to i16 and use
+ * vpmaddwd, which is *exact* (i16 x i16 products summed in pairs stay
+ * far below 2^31), unlike vpmaddubsw whose i16 pair sums saturate.
+ * Each madd leaves a column's dot product as two adjacent i32 partial
+ * sums ("pair-lane form"); the epilogue hadd+permute folds them into
+ * column order. Identical int32 result to the scalar template.
+ */
+template <int MR>
+TAMRES_TARGET_AVX2 void
+microKernelInt8Avx2(int kq, const int8_t *ap, const int8_t *bp,
+                    int32_t *c, int ldc, const int32_t *)
+{
+    __m256i acc_lo[MR], acc_hi[MR];
+    for (int i = 0; i < MR; ++i) {
+        acc_lo[i] = _mm256_setzero_si256();
+        acc_hi[i] = _mm256_setzero_si256();
+    }
+    for (int q = 0; q < kq; ++q) {
+        const __m256i braw = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bp + q * 32));
+        const __m256i b_lo =
+            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(braw));
+        const __m256i b_hi =
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(braw, 1));
+        const int8_t *a = ap + q * MR * 4;
+        for (int i = 0; i < MR; ++i) {
+            int32_t a32;
+            std::memcpy(&a32, a + i * 4, 4);
+            const __m256i av = _mm256_broadcastq_epi64(
+                _mm_cvtepi8_epi16(_mm_cvtsi32_si128(a32)));
+            acc_lo[i] =
+                _mm256_add_epi32(acc_lo[i], _mm256_madd_epi16(av, b_lo));
+            acc_hi[i] =
+                _mm256_add_epi32(acc_hi[i], _mm256_madd_epi16(av, b_hi));
+        }
+    }
+    // hadd yields [c0 c1 c4 c5 | c2 c3 c6 c7]; permute to column order.
+    const __m256i perm = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+    for (int i = 0; i < MR; ++i) {
+        const __m256i sums = _mm256_permutevar8x32_epi32(
+            _mm256_hadd_epi32(acc_lo[i], acc_hi[i]), perm);
+        int32_t *dst = c + i * ldc;
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst),
+            _mm256_add_epi32(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i *>(dst)),
+                             sums));
+    }
+}
+
+MicroInt8Fn
+microDispatchInt8Avx2(int mr, int nr)
+{
+    if (nr != 8)
+        return nullptr; // nr=16 stays scalar
+    switch (mr) {
+      case 1: return microKernelInt8Avx2<1>;
+      case 2: return microKernelInt8Avx2<2>;
+      case 4: return microKernelInt8Avx2<4>;
+      default: return nullptr; // 8x8 exceeds the ymm budget
+    }
+}
+
+/**
+ * VNNI int8 micro-kernel (nr = 8): one vpdpbusd per (row, quad).
+ * vpdpbusd multiplies unsigned x signed, so B is offset to u8 by
+ * flipping the sign bit (b + 128) and the surplus 128 * sum(a_row) is
+ * subtracted afterwards using the packed per-row compensation sums —
+ * algebraically exact in int32 (|acc| < 2^28 at the deepest backbone
+ * reduction), so the result is bit-identical to the scalar template.
+ * Padding stays exact on both sides: zero A rows have comp = 0 and
+ * multiply the flipped B by 0; zero B columns contribute 128 * comp,
+ * which the correction removes.
+ */
+template <int MR>
+TAMRES_TARGET_AVX2VNNI void
+microKernelInt8Vnni(int kq, const int8_t *ap, const int8_t *bp,
+                    int32_t *c, int ldc, const int32_t *comp)
+{
+    __m256i acc[MR];
+    for (int i = 0; i < MR; ++i)
+        acc[i] = _mm256_setzero_si256();
+    const __m256i flip = _mm256_set1_epi8(static_cast<char>(-128));
+    for (int q = 0; q < kq; ++q) {
+        const __m256i b = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(bp + q * 32)),
+            flip);
+        const int8_t *a = ap + q * MR * 4;
+        for (int i = 0; i < MR; ++i) {
+            int32_t a32;
+            std::memcpy(&a32, a + i * 4, 4);
+            acc[i] =
+                _mm256_dpbusd_epi32(acc[i], b, _mm256_set1_epi32(a32));
+        }
+    }
+    for (int i = 0; i < MR; ++i) {
+        const __m256i v = _mm256_sub_epi32(
+            acc[i], _mm256_set1_epi32(128 * comp[i]));
+        int32_t *dst = c + i * ldc;
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst),
+            _mm256_add_epi32(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i *>(dst)),
+                             v));
+    }
+}
+
+MicroInt8Fn
+microDispatchInt8Vnni(int mr, int nr)
+{
+    if (nr != 8)
+        return nullptr;
+    switch (mr) {
+      case 1: return microKernelInt8Vnni<1>;
+      case 2: return microKernelInt8Vnni<2>;
+      case 4: return microKernelInt8Vnni<4>;
+      case 8: return microKernelInt8Vnni<8>;
+      default: return nullptr;
+    }
+}
+
+#endif // TAMRES_SIMD_X86
+
+#if TAMRES_SIMD_NEON
+
+/**
+ * NEON int8 micro-kernel (nr = 8): smull widens i8 x i8 products to
+ * i16 (no overflow: |p| <= 127^2), vpadal accumulates adjacent pairs
+ * into i32 lanes — exact, pair-lane form over two columns per
+ * accumulator; vpaddq folds to column order at the end.
+ */
+template <int MR>
+void
+microKernelInt8Neon(int kq, const int8_t *ap, const int8_t *bp,
+                    int32_t *c, int ldc, const int32_t *)
+{
+    int32x4_t acc[MR][4];
+    for (int i = 0; i < MR; ++i)
+        for (int h = 0; h < 4; ++h)
+            acc[i][h] = vdupq_n_s32(0);
+    for (int q = 0; q < kq; ++q) {
+        const int8_t *b = bp + q * 32;
+        const int8x8_t b01 = vld1_s8(b);
+        const int8x8_t b23 = vld1_s8(b + 8);
+        const int8x8_t b45 = vld1_s8(b + 16);
+        const int8x8_t b67 = vld1_s8(b + 24);
+        const int8_t *a = ap + q * MR * 4;
+        for (int i = 0; i < MR; ++i) {
+            uint32_t a32;
+            std::memcpy(&a32, a + i * 4, 4);
+            const int8x8_t av = vreinterpret_s8_u32(vdup_n_u32(a32));
+            acc[i][0] = vpadalq_s16(acc[i][0], vmull_s8(av, b01));
+            acc[i][1] = vpadalq_s16(acc[i][1], vmull_s8(av, b23));
+            acc[i][2] = vpadalq_s16(acc[i][2], vmull_s8(av, b45));
+            acc[i][3] = vpadalq_s16(acc[i][3], vmull_s8(av, b67));
+        }
+    }
+    for (int i = 0; i < MR; ++i) {
+        const int32x4_t s0 = vpaddq_s32(acc[i][0], acc[i][1]);
+        const int32x4_t s1 = vpaddq_s32(acc[i][2], acc[i][3]);
+        int32_t *dst = c + i * ldc;
+        vst1q_s32(dst, vaddq_s32(vld1q_s32(dst), s0));
+        vst1q_s32(dst + 4, vaddq_s32(vld1q_s32(dst + 4), s1));
+    }
+}
+
+MicroInt8Fn
+microDispatchInt8Neon(int mr, int nr)
+{
+    if (nr != 8)
+        return nullptr;
+    switch (mr) {
+      case 1: return microKernelInt8Neon<1>;
+      case 2: return microKernelInt8Neon<2>;
+      case 4: return microKernelInt8Neon<4>;
+      default: return nullptr; // 8x8 exceeds the register budget
+    }
+}
+
+#endif // TAMRES_SIMD_NEON
+
+/**
+ * Best int8 micro-kernel for (mr, nr) at the active SIMD level, same
+ * contract as the fp32 microDispatch: one simdLevel() read per conv
+ * call, scalar fallback for shapes a level lacks. Within the Avx2
+ * branch the VNNI sub-feature switch picks the vpdpbusd variant.
+ */
+MicroInt8Fn
+microDispatchInt8(int mr, int nr)
+{
+    switch (simdLevel()) {
+#if TAMRES_SIMD_X86
+      case SimdLevel::Avx2:
+        if (simdVnni())
+            if (MicroInt8Fn fn = microDispatchInt8Vnni(mr, nr))
+                return fn;
+        if (MicroInt8Fn fn = microDispatchInt8Avx2(mr, nr))
+            return fn;
+        break;
+#endif
+#if TAMRES_SIMD_NEON
+      case SimdLevel::Neon:
+        if (MicroInt8Fn fn = microDispatchInt8Neon(mr, nr))
+            return fn;
+        break;
+#endif
+      default:
+        break;
+    }
+    return microDispatchInt8Scalar(mr, nr);
+}
+
+/**
+ * Pack int8 A rows [row0, row0+mb) x k [k0, k0+kb) into quad-K panels
+ * of @p mr rows (zero-padded to a multiple of mr rows and 4 k values)
+ * and compute the per-row int32 sums the VNNI kernel's unsigned-offset
+ * correction needs (zero for pad rows). Shared by the on-the-fly
+ * packer and packGemmAInt8 so the layouts cannot diverge; every call
+ * counts as one weight-side pack op.
+ */
+void
+packAInt8Block(const int8_t *a, int lda, int row0, int k0, int mb,
+               int kb, int mr, int8_t *dst, int32_t *comp)
+{
+    const int mb_pad = (mb + mr - 1) / mr * mr;
+    const int kq = quadCount(kb);
+    for (int ir = 0; ir < mb_pad; ir += mr) {
+        int8_t *d = dst + static_cast<size_t>(ir) * kq * 4;
+        const int rows = std::min(mr, mb - ir);
+        for (int q = 0; q < kq; ++q) {
+            for (int i = 0; i < mr; ++i) {
+                const int8_t *src =
+                    i < rows ? a + static_cast<int64_t>(row0 + ir + i) *
+                                       lda +
+                                   k0
+                             : nullptr;
+                for (int u = 0; u < 4; ++u) {
+                    const int k = q * 4 + u;
+                    d[q * mr * 4 + i * 4 + u] =
+                        (src && k < kb) ? src[k]
+                                        : static_cast<int8_t>(0);
+                }
+            }
+        }
+    }
+    for (int i = 0; i < mb_pad; ++i) {
+        int32_t s = 0;
+        if (i < mb) {
+            const int8_t *src =
+                a + static_cast<int64_t>(row0 + i) * lda + k0;
+            for (int k = 0; k < kb; ++k)
+                s += src[k];
+        }
+        comp[i] = s;
+    }
+    g_weight_pack_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+/**
+ * Pack one nr-wide int8 B panel (merged column space, like the fp32
+ * multi-B packer): columns [g0, g0 + jw) resolved through the
+ * per-image B matrices, k values [pc, pc + kb) quad-interleaved and
+ * zero-padded (pad columns and the k tail).
+ */
+void
+packBInt8Panel(const int8_t *const *bmats, int N_per, int64_t g0,
+               int jw, int pc, int kb, int nr, int8_t *dst)
+{
+    const int kq = quadCount(kb);
+    for (int j = 0; j < nr; ++j) {
+        const int8_t *src = nullptr;
+        if (j < jw) {
+            const int64_t g = g0 + j;
+            src = bmats[g / N_per] + static_cast<int64_t>(pc) * N_per +
+                  g % N_per;
+        }
+        int8_t *d = dst + j * 4;
+        for (int q = 0; q < kq; ++q) {
+            for (int u = 0; u < 4; ++u) {
+                const int k = q * 4 + u;
+                d[q * nr * 4 + u] =
+                    (src && k < kb)
+                        ? src[static_cast<int64_t>(k) * N_per]
+                        : static_cast<int8_t>(0);
+            }
+        }
+    }
+}
+
+/**
+ * Int8 im2col for one image (ungrouped): B[K = ic*kh*kw][N = oh*ow],
+ * row-major, padding as quantized zero (q(0) = 0, so gathering the
+ * quantized input equals quantizing the gathered input bit-for-bit).
+ */
+void
+im2colInt8(const ConvProblem &p, const int8_t *qin, int n, int8_t *col)
+{
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int N = oh * ow;
+    for (int ic = 0; ic < p.ic; ++ic) {
+        const int8_t *iplane =
+            qin + (static_cast<int64_t>(n) * p.ic + ic) * p.ih * p.iw;
+        for (int ky = 0; ky < p.kh; ++ky) {
+            for (int kx = 0; kx < p.kw; ++kx) {
+                int8_t *crow =
+                    col + (static_cast<int64_t>(ic) * p.kh * p.kw +
+                           ky * p.kw + kx) *
+                              N;
+                for (int y = 0; y < oh; ++y) {
+                    const int iy = y * p.stride + ky - p.pad;
+                    int8_t *dst = crow + y * ow;
+                    if (iy < 0 || iy >= p.ih) {
+                        std::memset(dst, 0, ow);
+                        continue;
+                    }
+                    const int8_t *irow = iplane + iy * p.iw;
+                    const int x_lo_in = kx - p.pad;
+                    if (p.stride == 1 && x_lo_in >= 0 &&
+                        x_lo_in + ow <= p.iw) {
+                        std::memcpy(dst, irow + x_lo_in, ow);
+                        continue;
+                    }
+                    for (int x = 0; x < ow; ++x) {
+                        const int ix = x * p.stride + kx - p.pad;
+                        dst[x] = (ix < 0 || ix >= p.iw)
+                                     ? static_cast<int8_t>(0)
+                                     : irow[ix];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Serial int8 multi-B GEMM over merged columns [c0, c1): int32
+ * accumulation into a padded scratch panel, then the fp32 epilogue.
+ *
+ * The padded direct-store scheme: the accumulator panel is
+ * (M rounded up + mr slack) x nb_pad, and every micro tile stores its
+ * full mr x nr block into it — edge tiles included. A-side pad rows
+ * produce exact zero sums, and micro tiles accumulate, so a pad row
+ * overlapping the next mc-block's real rows just adds 0; B-side pad
+ * columns land in the nb_pad slack and are never read back. No edge
+ * scatter tile, no branches in the store path.
+ *
+ * Bit-identity: every output element's int32 value is the same sum of
+ * the same products regardless of blocking, partition, batch merge or
+ * kernel flavor (integer adds are associative), and the epilogue
+ * evaluates the same float expression as the naive reference kernel —
+ * so the planned path is bitwise identical to it.
+ */
+void
+blockedGemmInt8Range(int M, int N_per, int K,
+                     const int8_t *const *bmats, float *const *cmats,
+                     int64_t c0, int64_t c1, const ConvConfig &cfg,
+                     MicroInt8Fn micro, const PackedGemmAInt8 *prea,
+                     const int8_t *a, const QuantConvEpilogue &epi)
+{
+    const auto [mc, kc, nc] = effectiveBlocking(cfg);
+    const int mr = cfg.mr;
+    const int nr = cfg.nr;
+    const int kq_max = quadCount(kc);
+    const int M_alloc = (M + mr - 1) / mr * mr + mr;
+
+    Scratch &s = scratch();
+    if (!prea) {
+        s.qapack.resize((static_cast<size_t>(mc) + mr) * kq_max * 4);
+        s.qcomp.resize(static_cast<size_t>(mc) + mr);
+    }
+    s.qbpack.resize((static_cast<size_t>(nc) + nr) * kq_max * 4);
+
+    for (int64_t jc = c0; jc < c1; jc += nc) {
+        const int nb = static_cast<int>(std::min<int64_t>(nc, c1 - jc));
+        const int nb_pad = (nb + nr - 1) / nr * nr;
+        s.qacc.resize(static_cast<size_t>(M_alloc) * nb_pad);
+        int32_t *acc = s.qacc.data();
+        std::fill_n(acc, static_cast<size_t>(M_alloc) * nb_pad, 0);
+        for (int pc = 0, pcb = 0; pc < K; pc += kc, ++pcb) {
+            const int kb = std::min(kc, K - pc);
+            const int kq = quadCount(kb);
+            for (int jr = 0; jr < nb_pad; jr += nr) {
+                packBInt8Panel(bmats, N_per, jc + jr,
+                               std::min(nr, nb - jr), pc, kb, nr,
+                               s.qbpack.data() +
+                                   static_cast<size_t>(jr) * kq * 4);
+            }
+            for (int icb = 0; icb * mc < M; ++icb) {
+                const int i0 = icb * mc;
+                const int mb = std::min(mc, M - i0);
+                const int mb_pad = (mb + mr - 1) / mr * mr;
+                const int8_t *apanels;
+                const int32_t *comp;
+                if (prea) {
+                    apanels = prea->block(pcb, icb);
+                    comp = prea->compBlock(pcb, icb);
+                } else {
+                    packAInt8Block(a, K, i0, pc, mb, kb, mr,
+                                   s.qapack.data(), s.qcomp.data());
+                    apanels = s.qapack.data();
+                    comp = s.qcomp.data();
+                }
+                for (int jr = 0; jr < nb_pad; jr += nr) {
+                    const int8_t *bp = s.qbpack.data() +
+                                       static_cast<size_t>(jr) * kq * 4;
+                    for (int ir = 0; ir < mb_pad; ir += mr) {
+                        micro(kq,
+                              apanels + static_cast<size_t>(ir) * kq * 4,
+                              bp,
+                              acc + static_cast<size_t>(i0 + ir) *
+                                        nb_pad +
+                                  jr,
+                              nb_pad, comp + ir);
+                    }
+                }
+            }
+        }
+        // fp32 epilogue over the real rows/columns — written as the
+        // exact expression the naive reference kernel evaluates.
+        for (int m = 0; m < M; ++m) {
+            const float ws = epi.w_scales[m];
+            const float bv = epi.bias ? epi.bias[m] : 0.0f;
+            const int32_t *arow = acc + static_cast<size_t>(m) * nb_pad;
+            int j = 0;
+            while (j < nb) {
+                const int64_t g = jc + j;
+                const int img = static_cast<int>(g / N_per);
+                const int col = static_cast<int>(g % N_per);
+                const int run = static_cast<int>(
+                    std::min<int64_t>(nb - j, N_per - col));
+                const float mult = epi.act_scales[img] * ws;
+                float *orow =
+                    cmats[img] + static_cast<int64_t>(m) * N_per + col;
+                for (int t = 0; t < run; ++t) {
+                    float v =
+                        static_cast<float>(arow[j + t]) * mult + bv;
+                    if (epi.relu && v < 0.0f)
+                        v = 0.0f;
+                    orow[t] = v;
+                }
+                j += run;
+            }
+        }
+    }
+}
+
+/**
+ * Parallel front end of the int8 multi-B GEMM: split the merged
+ * column space across workers, each running the serial range kernel
+ * with private scratch — the fp32 partition scheme and bit-identity
+ * argument apply unchanged (the epilogue writes disjoint column
+ * ranges, so there is no cross-worker output traffic either).
+ */
+void
+blockedGemmInt8MultiB(int M, int N_per, int K, int nimg,
+                      const int8_t *const *bmats, float *const *cmats,
+                      const ConvConfig &cfg, int threads,
+                      MicroInt8Fn micro, const PackedGemmAInt8 *prea,
+                      const int8_t *a, const QuantConvEpilogue &epi)
+{
+    const auto [mc, kc, nc] = effectiveBlocking(cfg);
+    (void)nc;
+    tamres_assert(micro, "unsupported int8 micro-kernel %dx%d", cfg.mr,
+                  cfg.nr);
+    tamres_assert(!prea ||
+                      (prea->M == M && prea->K == K && prea->mc == mc &&
+                       prea->kc == kc && prea->mr == cfg.mr),
+                  "prepacked int8 A does not match this GEMM's "
+                  "blocking");
+    const int64_t total = static_cast<int64_t>(nimg) * N_per;
+    if (threads <= 1 || total < 2 * cfg.nr) {
+        blockedGemmInt8Range(M, N_per, K, bmats, cmats, 0, total, cfg,
+                             micro, prea, a, epi);
+        return;
+    }
+    ThreadPool::global().parallelFor(
+        total,
+        [&](int64_t j0, int64_t j1) {
+            blockedGemmInt8Range(M, N_per, K, bmats, cmats, j0, j1, cfg,
+                                 micro, prea, a, epi);
+        },
+        threads);
+}
+
 } // namespace
 
 bool
@@ -1603,6 +2176,162 @@ convForwardPrepacked(const ConvProblem &p, const float *in,
         im2colKernel(p, in, nullptr, bias, out, cfg, &packed);
     else
         winogradKernel(p, in, nullptr, bias, out, cfg, &packed);
+}
+
+// ---------------------------------------------------------------------
+// Int8 quantized convolution entry points
+// ---------------------------------------------------------------------
+
+bool
+convConfigValidInt8(const ConvProblem &p, const ConvConfig &cfg)
+{
+    return p.groups == 1 && cfg.algo == ConvAlgo::Im2col &&
+           microDispatchInt8Scalar(cfg.mr, cfg.nr) != nullptr &&
+           cfg.mc >= 1 && cfg.kc >= 1 && cfg.nc >= 1 &&
+           cfg.threads >= 0 && cfg.threads <= 1024;
+}
+
+void
+packGemmAInt8(int M, int K, const int8_t *a, int lda,
+              const ConvConfig &cfg, PackedGemmAInt8 &out)
+{
+    const auto [mc, kc, nc] = effectiveBlocking(cfg);
+    (void)nc;
+    const int mr = cfg.mr;
+    out.M = M;
+    out.K = K;
+    out.mc = mc;
+    out.kc = kc;
+    out.mr = mr;
+    const int n_icb = out.nBlocksM();
+    const int n_pcb = out.nBlocksK();
+    out.offsets.assign(static_cast<size_t>(n_pcb) * n_icb, 0);
+    out.comp_offsets.assign(static_cast<size_t>(n_pcb) * n_icb, 0);
+    size_t total = 0;
+    size_t total_comp = 0;
+    for (int pcb = 0; pcb < n_pcb; ++pcb) {
+        const int kb = std::min(kc, K - pcb * kc);
+        const int kq = quadCount(kb);
+        for (int icb = 0; icb < n_icb; ++icb) {
+            const int mb = std::min(mc, M - icb * mc);
+            const int mb_pad = (mb + mr - 1) / mr * mr;
+            const size_t idx = static_cast<size_t>(pcb) * n_icb + icb;
+            out.offsets[idx] = total;
+            out.comp_offsets[idx] = total_comp;
+            total += static_cast<size_t>(mb_pad) * kq * 4;
+            total_comp += static_cast<size_t>(mb_pad);
+        }
+    }
+    out.data.resize(total);
+    out.comp.resize(total_comp);
+    for (int pcb = 0; pcb < n_pcb; ++pcb) {
+        const int kb = std::min(kc, K - pcb * kc);
+        for (int icb = 0; icb < n_icb; ++icb) {
+            const int mb = std::min(mc, M - icb * mc);
+            const size_t idx = static_cast<size_t>(pcb) * n_icb + icb;
+            packAInt8Block(a, lda, icb * mc, pcb * kc, mb, kb, mr,
+                           out.data.data() + out.offsets[idx],
+                           out.comp.data() + out.comp_offsets[idx]);
+        }
+    }
+}
+
+void
+packConvWeightsInt8(const ConvProblem &p, const ConvConfig &cfg,
+                    const int8_t *wq, PackedConvWeights &out)
+{
+    out.problem = p;
+    out.cfg = cfg;
+    out.valid = false;
+    out.quantized = true;
+    out.mats.clear();
+    out.qmats.clear();
+    if (!convConfigValidInt8(p, cfg))
+        return;
+    const int K = p.ic * p.kh * p.kw;
+    out.qmats.resize(1);
+    packGemmAInt8(p.oc, K, wq, K, cfg, out.qmats[0]);
+    out.valid = true;
+}
+
+void
+convForwardInt8Gemm(const ConvProblem &p, const int8_t *qin,
+                    const QuantConvEpilogue &epi, const int8_t *wq,
+                    const PackedConvWeights *packed, float *out,
+                    const ConvConfig &cfg)
+{
+    tamres_assert(convConfigValidInt8(p, cfg),
+                  "invalid int8 conv config %s", cfg.toString().c_str());
+    const PackedGemmAInt8 *prea = nullptr;
+    if (packed) {
+        tamres_assert(packed->valid && packed->quantized,
+                      "convForwardInt8Gemm on invalid or fp32 pack");
+        tamres_assert(convWeightShapeCompatible(packed->problem, p),
+                      "prepacked int8 weights built for different "
+                      "weight geometry");
+        tamres_assert(packed->cfg == cfg,
+                      "prepacked int8 weights built for a different "
+                      "config");
+        prea = &packed->qmats[0];
+    } else {
+        tamres_assert(wq, "convForwardInt8Gemm needs weights");
+    }
+    const int oh = p.oh();
+    const int ow = p.ow();
+    const int K = p.ic * p.kh * p.kw;
+    const int N = oh * ow;
+    const bool pointwise =
+        p.kh == 1 && p.kw == 1 && p.stride == 1 && p.pad == 0;
+
+    // One dispatch read for the whole conv call (same contract as the
+    // fp32 path: a concurrent level/VNNI flip can never mix flavors
+    // inside one output).
+    const MicroInt8Fn micro = microDispatchInt8(cfg.mr, cfg.nr);
+    const int threads = effectiveThreads(cfg);
+    const size_t in_per = static_cast<size_t>(p.ic) * p.ih * p.iw;
+
+    // Batch the merged-column GEMM in chunks capped like the fp32
+    // path. Chunking never changes any output bit (integer adds are
+    // associative; the epilogue is per element), so batch-N stays
+    // identical to N separate batch-1 runs regardless of where the
+    // chunk boundaries fall.
+    int n0 = 0;
+    while (n0 < p.n) {
+        int chunk = std::min(p.n - n0, kMaxBatchedCols);
+        if (!pointwise) {
+            while (chunk > 1 && static_cast<size_t>(K) * N * chunk >
+                                    kBatchedColsIm2colCap)
+                --chunk;
+        }
+        const int8_t *bmats[kMaxBatchedCols];
+        float *cmats[kMaxBatchedCols];
+        Scratch &s = scratch();
+        if (!pointwise) {
+            s.qcol.resize(static_cast<size_t>(K) * N * chunk);
+            ThreadPool::global().parallelFor(
+                chunk,
+                [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i)
+                        im2colInt8(p, qin, n0 + static_cast<int>(i),
+                                   s.qcol.data() +
+                                       static_cast<size_t>(i) * K * N);
+                },
+                threads);
+        }
+        for (int i = 0; i < chunk; ++i) {
+            bmats[i] = pointwise
+                           ? qin + in_per * (n0 + i)
+                           : s.qcol.data() +
+                                 static_cast<size_t>(i) * K * N;
+            cmats[i] = out + static_cast<int64_t>(n0 + i) * p.oc * oh *
+                                 ow;
+        }
+        QuantConvEpilogue chunk_epi = epi;
+        chunk_epi.act_scales = epi.act_scales + n0;
+        blockedGemmInt8MultiB(p.oc, N, K, chunk, bmats, cmats, cfg,
+                              threads, micro, prea, wq, chunk_epi);
+        n0 += chunk;
+    }
 }
 
 } // namespace tamres

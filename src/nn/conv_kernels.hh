@@ -190,23 +190,78 @@ void packGemmA(int M, int K, const float *a, int lda,
                const ConvConfig &cfg, PackedGemmA &out);
 
 /**
+ * One int8 GEMM A-matrix packed into micro-kernel panels for the
+ * quantized path. Layout is quad-K interleaved: within each mr-row
+ * panel, element (k, row) lives at [(k/4)*mr*4 + row*4 + (k%4)], with
+ * k zero-padded per kc-block to a multiple of 4 — the 4-byte groups
+ * every int8 microkernel (scalar quads, vpmaddwd pairs, vpdpbusd
+ * lanes, NEON smull/padal) consumes. Each block additionally carries
+ * per-row int32 weight sums (comp) so the VNNI kernel's unsigned-
+ * offset trick (b + 128) can subtract 128 * comp exactly. Like
+ * PackedGemmA, the layout is ISA-independent and the panels survive
+ * runtime SIMD level (and VNNI switch) changes.
+ */
+struct PackedGemmAInt8
+{
+    int M = 0;  //!< rows of the packed matrix
+    int K = 0;  //!< reduction extent (unpadded)
+    int mc = 0; //!< effective row-block size it was packed with
+    int kc = 0; //!< effective k-block size it was packed with
+    int mr = 0; //!< micro-kernel row count (panel height)
+
+    std::vector<int8_t> data;     //!< all panels, contiguous
+    std::vector<size_t> offsets;  //!< (pcb * nBlocksM() + icb) -> data
+    std::vector<int32_t> comp;    //!< per-block per-row weight sums
+    std::vector<size_t> comp_offsets; //!< same indexing into comp
+
+    int nBlocksM() const { return (M + mc - 1) / mc; }
+    int nBlocksK() const { return (K + kc - 1) / kc; }
+
+    const int8_t *
+    block(int pcb, int icb) const
+    {
+        return data.data() +
+               offsets[static_cast<size_t>(pcb) * nBlocksM() + icb];
+    }
+
+    const int32_t *
+    compBlock(int pcb, int icb) const
+    {
+        return comp.data() +
+               comp_offsets[static_cast<size_t>(pcb) * nBlocksM() +
+                            icb];
+    }
+};
+
+/**
+ * Pack int8 A[M x K] (row stride @p lda) into quad-K panels for
+ * @p cfg's effective GEMM blocking. Counts toward
+ * convWeightPackCount().
+ */
+void packGemmAInt8(int M, int K, const int8_t *a, int lda,
+                   const ConvConfig &cfg, PackedGemmAInt8 &out);
+
+/**
  * A convolution's weights packed for a specific (problem, config):
  * B-panel-layout GEMM panels per group for im2col (and the pointwise
  * fast path), or the 16 transformed-and-packed frequency matrices for
- * winograd. Owned by whoever resolves configs ahead of time — in
- * practice the Graph execution plan, which packs at plan-compile time
- * and re-packs when the KernelSelector generation moves; the pack is
- * invalidated with the plan. Algorithms that read weights directly
- * (reference, direct, depthwise) have nothing to pack (valid stays
- * false) and run the ordinary path.
+ * winograd — or, for the quantized path, quad-K int8 panels in qmats
+ * (quantized == true). Owned by whoever resolves configs ahead of
+ * time — in practice the Graph execution plan, which packs at
+ * plan-compile time and re-packs when the KernelSelector generation
+ * moves; the pack is invalidated with the plan. Algorithms that read
+ * weights directly (reference, direct, depthwise) have nothing to
+ * pack (valid stays false) and run the ordinary path.
  */
 struct PackedConvWeights
 {
     ConvProblem problem; //!< shape the pack was built for
     ConvConfig cfg;      //!< config the pack was built for
     bool valid = false;  //!< packed data present and usable
+    bool quantized = false; //!< int8 pack: qmats holds the panels
     std::vector<PackedGemmA> mats; //!< per group (im2col) or per
                                    //!< winograd frequency (16)
+    std::vector<PackedGemmAInt8> qmats; //!< int8 panels (quantized)
 };
 
 /** True when @p algo has a prepackable weight matrix. */
@@ -252,6 +307,67 @@ void convForwardPrepacked(const ConvProblem &p, const float *in,
  * across steady-state planned runs; monotonic, relaxed ordering.
  */
 uint64_t convWeightPackCount();
+
+// ---------------------------------------------------------------------
+// Int8 quantized convolution (planned path)
+// ---------------------------------------------------------------------
+
+/**
+ * The fp32 epilogue applied to the int32 GEMM accumulators of the
+ * quantized path. Each output element (oc, image, pixel) becomes
+ *
+ *     v = float(acc32) * (act_scales[image] * w_scales[oc]) + bias[oc]
+ *     if (relu && v < 0) v = 0
+ *
+ * written exactly as that expression so the planned path is *bitwise*
+ * identical to the naive reference kernel (integer accumulation is
+ * exact and order-independent; the float expression is evaluated
+ * identically). act_scales has one entry per image in the batch:
+ * static (calibrated) scales repeat the same value, dynamic scales are
+ * computed per image — never per batch — so batch-N output equals N
+ * concatenated batch-1 outputs bit-for-bit.
+ */
+struct QuantConvEpilogue
+{
+    const float *w_scales;   //!< per-output-channel weight scales [oc]
+    const float *bias;       //!< fp32 bias [oc], or nullptr
+    const float *act_scales; //!< per-image activation scales [n]
+    bool relu = false;       //!< fused max(0, v)
+};
+
+/**
+ * True when (@p p, @p cfg) can run the blocked int8 GEMM path:
+ * ungrouped, Im2col algorithm, and an (mr, nr) shape the int8
+ * microkernel table supports. The int8 path has no winograd/direct
+ * variants — quantized convs that fail this run nothing (QuantConv2d
+ * only emits valid configs).
+ */
+bool convConfigValidInt8(const ConvProblem &p, const ConvConfig &cfg);
+
+/**
+ * Build the quantized packed-weight form of int8 weights @p wq
+ * ([oc x ic*kh*kw], row-major) for (@p p, @p cfg): quad-K A panels
+ * plus per-row compensation sums in out.qmats[0], out.quantized set.
+ * Leaves @p out invalid when convConfigValidInt8 fails.
+ */
+void packConvWeightsInt8(const ConvProblem &p, const ConvConfig &cfg,
+                         const int8_t *wq, PackedConvWeights &out);
+
+/**
+ * Quantized convolution over an already-quantized int8 input
+ * (@p qin, NCHW, quantized per image with @p epi.act_scales). Weights
+ * come from @p packed when non-null (must be valid, quantized, built
+ * for @p cfg and weight-shape-compatible — the steady-state call then
+ * performs no weight packing), else packed on the fly from @p wq.
+ * int32 accumulation throughout; the fp32 epilogue writes @p out
+ * (overwrites, never accumulates). Output is bitwise identical across
+ * SIMD levels (scalar / AVX2 / VNNI / NEON), thread counts, batch
+ * sizes, and prepacked vs on-the-fly weights.
+ */
+void convForwardInt8Gemm(const ConvProblem &p, const int8_t *qin,
+                         const QuantConvEpilogue &epi, const int8_t *wq,
+                         const PackedConvWeights *packed, float *out,
+                         const ConvConfig &cfg);
 
 } // namespace tamres
 

@@ -4,6 +4,7 @@
 
 #include "nn/kernel_selector.hh"
 #include "nn/ops.hh"
+#include "nn/quant.hh"
 #include "util/timer.hh"
 
 namespace tamres {
@@ -196,6 +197,23 @@ Graph::packFor(Conv2d &conv, const Shape &in0, const ConvConfig &cfg)
     return pack;
 }
 
+std::shared_ptr<const PackedConvWeights>
+Graph::packFor(QuantConv2d &conv, const Shape &in0,
+               const ConvConfig &cfg)
+{
+    const ConvProblem p = conv.problemFor(in0);
+    std::lock_guard<std::mutex> lock(pack_mutex_);
+    for (const PackEntry &e : pack_cache_) {
+        if (e.conv == &conv && e.cfg == cfg &&
+            convWeightShapeCompatible(e.problem, p))
+            return e.pack;
+    }
+    auto pack = std::make_shared<PackedConvWeights>();
+    conv.packWeights(in0, cfg, *pack);
+    pack_cache_.push_back(PackEntry{&conv, cfg, p, pack});
+    return pack;
+}
+
 std::unique_ptr<Graph::Plan>
 Graph::buildPlan(const Shape &input_shape)
 {
@@ -277,11 +295,16 @@ Graph::buildPlan(const Shape &input_shape)
         PlanStep &st = plan->steps[k++];
         st.op = nodes_[i].op.get();
         st.conv = dynamic_cast<Conv2d *>(st.op);
+        if (!st.conv)
+            st.qconv = dynamic_cast<QuantConv2d *>(st.op);
         if (!nodes_[i].inputs.empty())
             st.in0_shape = shapes[nodes_[i].inputs[0]];
         if (st.conv) {
             st.cfg = st.conv->configFor(st.in0_shape);
             st.packed = packFor(*st.conv, st.in0_shape, st.cfg);
+        } else if (st.qconv) {
+            st.cfg = st.qconv->configFor(st.in0_shape);
+            st.packed = packFor(*st.qconv, st.in0_shape, st.cfg);
         }
         if (i == output_) {
             st.external_out = true;
@@ -387,13 +410,24 @@ Graph::Executor::planFor(const Shape &input_shape)
     const uint64_t gen = KernelSelector::instance().generation();
     if (plan.selector_gen != gen) {
         for (PlanStep &st : plan.steps) {
-            if (!st.conv)
-                continue;
-            const ConvConfig cfg = st.conv->configFor(st.in0_shape);
-            if (!(cfg == st.cfg) || !(st.packed->cfg == cfg)) {
-                st.cfg = cfg;
-                st.packed =
-                    graph_->packFor(*st.conv, st.in0_shape, cfg);
+            if (st.conv) {
+                const ConvConfig cfg = st.conv->configFor(st.in0_shape);
+                if (!(cfg == st.cfg) || !(st.packed->cfg == cfg)) {
+                    st.cfg = cfg;
+                    st.packed =
+                        graph_->packFor(*st.conv, st.in0_shape, cfg);
+                }
+            } else if (st.qconv) {
+                // Quantized configs ignore the selector, but keep the
+                // re-resolve uniform so the invariant (plan cfg ==
+                // pack cfg) cannot silently diverge.
+                const ConvConfig cfg =
+                    st.qconv->configFor(st.in0_shape);
+                if (!(cfg == st.cfg) || !(st.packed->cfg == cfg)) {
+                    st.cfg = cfg;
+                    st.packed =
+                        graph_->packFor(*st.qconv, st.in0_shape, cfg);
+                }
             }
         }
         plan.selector_gen = gen;
@@ -419,6 +453,8 @@ Graph::executePlan(Plan &plan, const Tensor &input, Tensor &out)
             observer_(*st.op, st.ins);
         if (st.conv)
             st.conv->forwardWith(st.cfg, st.packed.get(), st.ins, dst);
+        else if (st.qconv)
+            st.qconv->forwardWith(st.cfg, st.packed.get(), st.ins, dst);
         else
             st.op->forward(st.ins, dst);
     }

@@ -252,6 +252,7 @@ class Graph
     {
         Op *op = nullptr;
         class Conv2d *conv = nullptr; //!< non-null for Conv2d steps
+        class QuantConv2d *qconv = nullptr; //!< non-null for int8 convs
         ConvConfig cfg;               //!< resolved config when conv
         /**
          * Prepacked weights for conv steps, resolved at plan compile
@@ -307,6 +308,11 @@ class Graph
      */
     std::shared_ptr<const PackedConvWeights>
     packFor(class Conv2d &conv, const Shape &in0,
+            const ConvConfig &cfg);
+
+    /** Same cache for quantized convs (int8 quad-K panel packs). */
+    std::shared_ptr<const PackedConvWeights>
+    packFor(class QuantConv2d &conv, const Shape &in0,
             const ConvConfig &cfg);
 
     std::vector<Node> nodes_;

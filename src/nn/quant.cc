@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/graph.hh"
+#include "nn/passes.hh"
 
 namespace tamres {
 
@@ -213,12 +214,74 @@ void
 QuantConv2d::forward(const std::vector<const Tensor *> &inputs,
                      Tensor &out)
 {
+    // Unplanned runs take the same blocked GEMM as the planned path
+    // (packing weights on the fly) — bitwise identical output.
+    forwardWith(configFor(inputs[0]->shape()), nullptr, inputs, out);
+}
+
+ConvConfig
+QuantConv2d::configFor(const Shape &input) const
+{
+    (void)input;
+    // One fixed blocking: the defaults (Im2col, 4x8 micro tile,
+    // 64/128/512 cache blocks) are valid for every int8 problem and
+    // keep the shared weight pack identical across resolutions and
+    // batch sizes, so the per-graph pack cache resolves to a single
+    // pack per layer.
+    ConvConfig cfg;
+    tamres_assert(convConfigValidInt8(problemFor(input), cfg),
+                  "default int8 config invalid for '%s'",
+                  name().c_str());
+    return cfg;
+}
+
+void
+QuantConv2d::packWeights(const Shape &input, const ConvConfig &cfg,
+                         PackedConvWeights &out) const
+{
+    packConvWeightsInt8(problemFor(input), cfg, wq_.data(), out);
+}
+
+void
+QuantConv2d::forwardWith(const ConvConfig &cfg,
+                         const PackedConvWeights *packed,
+                         const std::vector<const Tensor *> &inputs,
+                         Tensor &out)
+{
     const Tensor &in = *inputs[0];
     const ConvProblem p = problemFor(in.shape());
-    convForwardInt8(p, in.data(), act_scale_, wq_.data(),
-                    w_scales_.data(),
-                    has_bias_ ? bias_.data() : nullptr, fused_relu_,
-                    out.data());
+
+    // Quantize the input per image: the static (calibrated) scale when
+    // present, else each image's own max — never the batch max, so
+    // batch-N equals N concatenated batch-1 runs bit-for-bit.
+    thread_local std::vector<int8_t> qin;
+    thread_local std::vector<float> scales;
+    const size_t per = static_cast<size_t>(p.ic) * p.ih * p.iw;
+    qin.resize(per * p.n);
+    scales.resize(p.n);
+    for (int n = 0; n < p.n; ++n) {
+        const float *in_n = in.data() + per * n;
+        const float scale =
+            act_scale_ > 0.0f ? act_scale_
+                              : symmetricScale(maxAbsValue(in_n, per));
+        scales[n] = scale;
+        quantizeSymmetric(in_n, per, scale, qin.data() + per * n);
+    }
+
+    QuantConvEpilogue epi;
+    epi.w_scales = w_scales_.data();
+    epi.bias = has_bias_ ? bias_.data() : nullptr;
+    epi.act_scales = scales.data();
+    epi.relu = fused_relu_;
+
+    const PackedConvWeights *use =
+        (packed && packed->valid && packed->quantized &&
+         packed->cfg == cfg &&
+         convWeightShapeCompatible(packed->problem, p))
+            ? packed
+            : nullptr;
+    convForwardInt8Gemm(p, qin.data(), epi, wq_.data(), use, out.data(),
+                        cfg);
 }
 
 int64_t
@@ -252,21 +315,37 @@ int
 quantizeConvs(Graph &graph, const QuantCalibration *cal)
 {
     int rewritten = 0;
-    for (Graph::NodeId id = 1; id < graph.numNodes(); ++id) {
-        auto *conv = dynamic_cast<Conv2d *>(graph.opAt(id));
-        if (conv == nullptr || conv->groups() != 1)
-            continue;
-        float act_scale = 0.0f;
-        if (cal != nullptr) {
-            const auto it = cal->act_max.find(conv->name());
-            if (it != cal->act_max.end())
-                act_scale = symmetricScale(it->second);
+    {
+        // Defer plan invalidation across the whole rewrite sweep so
+        // the plan version bumps once per effective call, not once per
+        // replaced conv (same discipline as optimizeForInference).
+        Graph::PlanInvalidationDefer defer(graph);
+        for (Graph::NodeId id = 1; id < graph.numNodes(); ++id) {
+            auto *conv = dynamic_cast<Conv2d *>(graph.opAt(id));
+            if (conv == nullptr || conv->groups() != 1)
+                continue;
+            float act_scale = 0.0f;
+            if (cal != nullptr) {
+                const auto it = cal->act_max.find(conv->name());
+                if (it != cal->act_max.end())
+                    act_scale = symmetricScale(it->second);
+            }
+            graph.replaceOp(id, std::make_unique<QuantConv2d>(
+                                    *conv, act_scale));
+            ++rewritten;
         }
-        graph.replaceOp(id,
-                        std::make_unique<QuantConv2d>(*conv, act_scale));
-        ++rewritten;
     }
+    // An idempotent re-run (nothing left to rewrite) must not bump.
+    if (rewritten > 0)
+        graph.invalidatePlans();
     return rewritten;
+}
+
+int
+quantizeGraph(Graph &graph, const QuantCalibration *cal)
+{
+    optimizeForInference(graph);
+    return quantizeConvs(graph, cal);
 }
 
 } // namespace tamres

@@ -60,6 +60,36 @@ activeLevel()
     return level;
 }
 
+bool
+probeVnni()
+{
+#if TAMRES_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx512vnni") &&
+           __builtin_cpu_supports("avx512vl");
+#else
+    return false;
+#endif
+}
+
+/** Initial VNNI switch: detection capped by TAMRES_VNNI. */
+bool
+initialVnni()
+{
+    if (!simdVnniDetected())
+        return false;
+    const char *v = std::getenv("TAMRES_VNNI");
+    if (v && (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0))
+        return false;
+    return true;
+}
+
+std::atomic<bool> &
+activeVnni()
+{
+    static std::atomic<bool> on{initialVnni()};
+    return on;
+}
+
 } // namespace
 
 SimdLevel
@@ -82,6 +112,28 @@ setSimdLevel(SimdLevel level)
         level = SimdLevel::Scalar;
     activeLevel().store(level, std::memory_order_relaxed);
     return level;
+}
+
+bool
+simdVnniDetected()
+{
+    static const bool detected = probeVnni();
+    return detected;
+}
+
+bool
+simdVnni()
+{
+    return activeVnni().load(std::memory_order_relaxed);
+}
+
+bool
+setSimdVnni(bool on)
+{
+    if (on && !simdVnniDetected())
+        on = false;
+    activeVnni().store(on, std::memory_order_relaxed);
+    return on;
 }
 
 } // namespace tamres

@@ -54,8 +54,15 @@
 #if TAMRES_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
 /** Marks a function compiled for AVX2+FMA regardless of -march. */
 #define TAMRES_TARGET_AVX2 __attribute__((target("avx2,fma")))
+/**
+ * Marks a function compiled for AVX2+FMA plus the 256-bit EVEX VNNI
+ * dot-product instructions (vpdpbusd). Only executed when
+ * simdVnniActive() says the host has AVX512-VNNI+VL.
+ */
+#define TAMRES_TARGET_AVX2VNNI \
+    __attribute__((target("avx2,fma,avx512vnni,avx512vl")))
 #else
-#define TAMRES_TARGET_AVX2
+#define TAMRES_TARGET_AVX2VNNI
 #endif
 
 namespace tamres {
@@ -88,6 +95,39 @@ SimdLevel simdLevel();
  */
 SimdLevel setSimdLevel(SimdLevel level);
 
+/**
+ * Whether the host supports the 256-bit VNNI dot product (AVX512-VNNI
+ * with AVX512-VL), probed once. VNNI is a *sub-feature* of the Avx2
+ * dispatch level, not a level of its own: the int8 microkernels pick
+ * the vpdpbusd variant inside the Avx2 branch when this (and the
+ * runtime switch below) allows it. Always false off x86.
+ */
+bool simdVnniDetected();
+
+/**
+ * The active VNNI switch: starts at simdVnniDetected() capped by the
+ * TAMRES_VNNI environment variable ("off"/"0" disables; anything else
+ * trusts detection). Cheap relaxed atomic load.
+ */
+bool simdVnni();
+
+/**
+ * Enable/disable the VNNI sub-feature at runtime (clamped to the
+ * detection — requesting it on a host without VNNI stays false).
+ * Returns the value actually applied. Lets tests compare the
+ * vpmaddwd and vpdpbusd int8 kernels bitwise in one process.
+ */
+bool setSimdVnni(bool on);
+
+/**
+ * True when the int8 dispatch may run the VNNI microkernel: active
+ * level is Avx2 AND the VNNI switch is on.
+ */
+inline bool simdVnniActive()
+{
+    return simdLevel() == SimdLevel::Avx2 && simdVnni();
+}
+
 /** RAII override for tests/benches comparing dispatch paths. */
 class SimdLevelGuard
 {
@@ -103,6 +143,23 @@ class SimdLevelGuard
 
   private:
     SimdLevel prev_;
+};
+
+/** RAII override of the VNNI sub-feature switch. */
+class SimdVnniGuard
+{
+  public:
+    explicit SimdVnniGuard(bool on)
+        : prev_(simdVnni())
+    {
+        setSimdVnni(on);
+    }
+    ~SimdVnniGuard() { setSimdVnni(prev_); }
+    SimdVnniGuard(const SimdVnniGuard &) = delete;
+    SimdVnniGuard &operator=(const SimdVnniGuard &) = delete;
+
+  private:
+    bool prev_;
 };
 
 } // namespace tamres

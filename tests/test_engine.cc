@@ -28,6 +28,7 @@
 #include "nn/graph.hh"
 #include "nn/kernel_selector.hh"
 #include "nn/passes.hh"
+#include "nn/quant.hh"
 #include "tensor/tensor_ops.hh"
 #include "tests/threads_env.hh"
 #include "util/rng.hh"
@@ -642,6 +643,215 @@ TEST(ServingEngineSteadyState, BatchPathIsAllocAndPackFree)
     EXPECT_EQ(g_alloc_count.load(), allocs)
         << (g_alloc_count.load() - allocs)
         << " heap allocations in 3 steady-state engine rounds";
+}
+
+// --- Int8 precision tier ---------------------------------------------
+
+/** The fp32 graph's calibrated int8 twin (same seed). */
+std::unique_ptr<Graph>
+quantTwin(uint64_t seed = 5)
+{
+    auto q = buildResNet18(8, seed);
+    quantizeGraph(*q); // optimizeForInference + quantizeConvs
+    return q;
+}
+
+TEST(QuantizedPlan, BatchBitIdenticalPerItemAcrossLevelsAndThreads)
+{
+    // Dynamic per-IMAGE activation scales: batch-N through the
+    // planned quantized graph must be bitwise equal to N separate
+    // batch-1 runs, at every dispatch level and thread count.
+    auto q = quantTwin();
+    const int res = 48;
+    const Tensor batched = randomInput(res, 21, 4);
+    for (const SimdLevel level : {SimdLevel::Scalar, simdDetected()}) {
+        SimdLevelGuard guard(level);
+        std::vector<Tensor> refs;
+        {
+            ThreadsEnv env(1);
+            for (int i = 0; i < 4; ++i)
+                refs.push_back(q->run(itemOf(batched, i)));
+        }
+        for (const int threads : {1, 4}) {
+            ThreadsEnv env(threads);
+            const Tensor out = q->run(batched);
+            ASSERT_EQ(out.dim(0), 4);
+            const int64_t per = out.numel() / 4;
+            for (int i = 0; i < 4; ++i) {
+                EXPECT_TRUE(bitIdentical(out.data() + i * per,
+                                         refs[i].data(), per))
+                    << "int8 item " << i << " at "
+                    << simdLevelName(level) << ", " << threads
+                    << " threads";
+            }
+        }
+    }
+}
+
+TEST(TieredShedPolicy, ShedsPrecisionBeforeResolution)
+{
+    const EngineTierPolicy policy =
+        makeTieredShedPolicy(224, /*int8_depth=*/4, /*shed_depth=*/8,
+                             /*shed_resolution=*/112);
+    const ServeTier calm = policy(2);
+    EXPECT_FALSE(calm.int8);
+    EXPECT_EQ(calm.resolution, 224);
+    const ServeTier busy = policy(6); // precision sheds first
+    EXPECT_TRUE(busy.int8);
+    EXPECT_EQ(busy.resolution, 224);
+    const ServeTier slammed = policy(12); // then resolution
+    EXPECT_TRUE(slammed.int8);
+    EXPECT_EQ(slammed.resolution, 112);
+}
+
+TEST(ServingEngineInt8, WantInt8ServesOnQuantizedGraphBitIdentical)
+{
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    auto q = quantTwin();
+    const int res = 48;
+
+    EngineConfig cfg = smallEngineConfig(2, 4);
+    cfg.quant_graph = q.get();
+    ServingEngine engine(*g, cfg);
+
+    // Mixed traffic: int8 and fp32 requests interleaved. Each must be
+    // served on its own graph — bitwise equal to that graph's direct
+    // execution — and stamped accordingly.
+    Tensor fp32_expect, int8_expect;
+    std::vector<InferenceRequest> reqs(8);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        reqs[i].input = randomInput(res, 96);
+        reqs[i].want_int8 = (i % 2) == 1;
+    }
+    {
+        ThreadsEnv env(1);
+        fp32_expect = g->run(reqs[0].input);
+        int8_expect = q->run(reqs[1].input);
+    }
+    for (auto &r : reqs)
+        ASSERT_TRUE(engine.submit(r));
+    for (auto &r : reqs) {
+        engine.wait(r);
+        ASSERT_EQ(r.stateNow(), RequestState::Done);
+        EXPECT_EQ(r.served_int8, r.want_int8);
+        const Tensor &expect = r.want_int8 ? int8_expect : fp32_expect;
+        EXPECT_TRUE(bitIdentical(r.output.data(), expect.data(),
+                                 expect.numel()))
+            << (r.want_int8 ? "int8" : "fp32") << " request diverged "
+            << "from direct execution";
+    }
+    const EngineStats st = engine.stats();
+    EXPECT_EQ(st.served, reqs.size());
+    EXPECT_EQ(st.served_int8, reqs.size() / 2);
+    EXPECT_GE(st.batches_int8, 1u);
+}
+
+TEST(ServingEngineInt8, TierPolicyShedsToInt8UnderDepth)
+{
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    auto q = quantTwin();
+    const int res = 48;
+
+    EngineConfig cfg = smallEngineConfig(1, 4);
+    cfg.quant_graph = q.get();
+    // int8_depth = 0: any queue at all sheds precision. Requests do
+    // NOT ask for int8 — the overload policy imposes it.
+    cfg.tier_policy = makeTieredShedPolicy(0, 0, 1000, 0);
+    ServingEngine engine(*g, cfg);
+
+    Tensor expect;
+    std::vector<InferenceRequest> reqs(6);
+    for (auto &r : reqs)
+        r.input = randomInput(res, 96);
+    {
+        ThreadsEnv env(1);
+        expect = q->run(reqs[0].input);
+    }
+    for (auto &r : reqs)
+        ASSERT_TRUE(engine.submit(r));
+    for (auto &r : reqs) {
+        engine.wait(r);
+        ASSERT_EQ(r.stateNow(), RequestState::Done);
+        EXPECT_TRUE(r.served_int8)
+            << "tier policy with int8_depth=0 must shed precision";
+        EXPECT_TRUE(bitIdentical(r.output.data(), expect.data(),
+                                 expect.numel()));
+    }
+    const EngineStats st = engine.stats();
+    EXPECT_EQ(st.served_int8, reqs.size());
+}
+
+TEST(ServingEngineInt8, WithoutQuantGraphInt8DegradesToFp32)
+{
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    const int res = 48;
+
+    ServingEngine engine(*g, smallEngineConfig(1, 2));
+    InferenceRequest r;
+    r.input = randomInput(res, 96);
+    r.want_int8 = true;
+    Tensor expect;
+    {
+        ThreadsEnv env(1);
+        expect = g->run(r.input);
+    }
+    ASSERT_TRUE(engine.submit(r));
+    engine.wait(r);
+    ASSERT_EQ(r.stateNow(), RequestState::Done);
+    EXPECT_FALSE(r.served_int8);
+    EXPECT_TRUE(
+        bitIdentical(r.output.data(), expect.data(), expect.numel()));
+    EXPECT_EQ(engine.stats().served_int8, 0u);
+}
+
+TEST(ServingEngineSteadyState, QuantizedBatchPathIsAllocAndPackFree)
+{
+    ThreadsEnv env(1);
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    auto q = quantTwin();
+    const int res = 48;
+
+    EngineConfig cfg = smallEngineConfig(1, 4);
+    cfg.quant_graph = q.get();
+    cfg.max_delay_us = 100000; // let all four requests join one batch
+    cfg.warm_shapes = {{1, 3, res, res}, {2, 3, res, res},
+                       {3, 3, res, res}, {4, 3, res, res}};
+    ServingEngine engine(*g, cfg);
+
+    std::vector<InferenceRequest> reqs(4);
+    for (auto &r : reqs) {
+        r.input = randomInput(res, 96);
+        r.want_int8 = true;
+    }
+
+    auto serveRound = [&] {
+        for (auto &r : reqs)
+            ASSERT_TRUE(engine.submit(r));
+        for (auto &r : reqs) {
+            engine.wait(r);
+            ASSERT_EQ(r.stateNow(), RequestState::Done);
+            ASSERT_TRUE(r.served_int8);
+        }
+    };
+
+    // Warm every batch size the formation race can produce (1..4) and
+    // the request objects' output tensors.
+    for (int i = 0; i < 3; ++i)
+        serveRound();
+
+    const uint64_t packs = convWeightPackCount();
+    const uint64_t allocs = g_alloc_count.load();
+    for (int i = 0; i < 3; ++i)
+        serveRound();
+    EXPECT_EQ(convWeightPackCount(), packs)
+        << "steady-state quantized engine batches packed weights";
+    EXPECT_EQ(g_alloc_count.load(), allocs)
+        << (g_alloc_count.load() - allocs)
+        << " heap allocations in 3 steady-state quantized rounds";
 }
 
 } // namespace

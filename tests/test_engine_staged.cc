@@ -22,6 +22,7 @@
 #include "nn/builders.hh"
 #include "nn/conv_kernels.hh"
 #include "nn/passes.hh"
+#include "nn/quant.hh"
 #include "sim/dataset.hh"
 #include "storage/breaker.hh"
 #include "storage/fault_injection.hh"
@@ -974,6 +975,84 @@ TEST_F(StagedEngineTest, BrownoutTierCapsDepthAndResolution)
         EXPECT_GT(engine.stats().brownout_capped, 0u);
     // max_tier honored: pressure never pushed past 2.
     EXPECT_LE(engine.stats().brownout_tier, 2);
+}
+
+TEST_F(StagedEngineTest, BrownoutShedsToInt8BackboneTier)
+{
+    // Precision before resolution: with int8_tier = 1 the first
+    // brownout step routes backbone traffic to the quantized graph.
+    // Scripted faults climb the tier; once the store heals, a clean
+    // request must serve Done on the int8 backbone, bit-identical to
+    // the quantized graph's direct execution on the exact input the
+    // engine built — and terminal conservation must hold throughout.
+    auto g = buildResNet18(8, 5);
+    optimizeForInference(*g);
+    auto q = buildResNet18(8, 5);
+    quantizeGraph(*q);
+
+    ManualClock clk;
+    std::atomic<bool> failing{true};
+    FaultPolicy policy;
+    policy.script = [&failing](const FaultContext &ctx) {
+        FaultDecision d;
+        d.fail = failing.load() && ctx.from_scans >= 1;
+        return d;
+    };
+    FaultyObjectStore faulty(store_, policy);
+
+    StagedEngineConfig cfg = baseConfig();
+    cfg.retry = fastRetry();
+    cfg.backbone.quant_graph = q.get();
+    cfg.overload.clock = &clk;
+    cfg.overload.brownout.enable = true;
+    cfg.overload.brownout.window_s = 1.0;
+    cfg.overload.brownout.min_samples = 4;
+    cfg.overload.brownout.high_pressure = 0.5;
+    cfg.overload.brownout.min_dwell_s = 0.5;
+    cfg.overload.brownout.max_tier = 1;  // precision only
+    cfg.overload.brownout.int8_tier = 1; // tier 1 -> int8 backbone
+    cfg.overload.brownout.preview_cap = 8; // depth caps out of the way
+    cfg.overload.brownout.scan_cap = 8;
+
+    StagedServingEngine engine(faulty, *scale_, g.get(), cfg);
+
+    // Pressure round: every request degrades, the window fills with
+    // bad outcomes, the tier climbs to 1.
+    clk.advance(1.0);
+    for (int i = 0; i < 4; ++i) {
+        StagedRequest req;
+        req.id = static_cast<uint64_t>(i % kObjects);
+        ASSERT_TRUE(engine.submit(req));
+        engine.wait(req);
+    }
+    ASSERT_EQ(engine.stats().brownout_tier, 1);
+
+    // Healthy request at tier 1: full scan depth and resolution (only
+    // precision shed), served on the quantized backbone.
+    failing.store(false);
+    StagedRequest req;
+    req.id = 1;
+    ASSERT_TRUE(engine.submit(req));
+    engine.wait(req);
+    ASSERT_EQ(req.stateNow(), StagedState::Done);
+    EXPECT_TRUE(req.infer.want_int8);
+    EXPECT_TRUE(req.infer.served_int8)
+        << "tier >= int8_tier must serve on the quantized graph";
+    const Tensor expect = q->run(req.infer.input);
+    ASSERT_EQ(req.infer.output.numel(), expect.numel());
+    EXPECT_EQ(std::memcmp(req.infer.output.data(), expect.data(),
+                          sizeof(float) * expect.numel()),
+              0)
+        << "int8-tier output diverged from the quantized graph";
+
+    engine.drain();
+    const StagedStats st = engine.stats();
+    EXPECT_GE(st.brownout_int8, 1u);
+    EXPECT_GE(st.backbone.served_int8, 1u);
+    EXPECT_EQ(st.admitted, st.done + st.degraded + st.failed +
+                               st.expired + st.shed_admission +
+                               st.rejected + st.cancelled)
+        << "terminal conservation with the int8 tier active";
 }
 
 TEST_F(StagedEngineTest, HedgedReadCutsInjectedTailLatency)

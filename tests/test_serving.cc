@@ -10,6 +10,7 @@
 #include "core/serving.hh"
 #include "nn/ops.hh"
 #include "nn/passes.hh"
+#include "nn/quant.hh"
 #include "tensor/tensor_ops.hh"
 
 namespace tamres {
@@ -87,6 +88,46 @@ TEST(OptimizeForInference, ReachesFixpointWithOneInvalidation)
     const Tensor again = g->run(in);
     EXPECT_EQ(maxAbsDiff(after, again), 0.0f)
         << "idempotent rerun changed the graph";
+}
+
+TEST(QuantizeConvs, BumpsPlanVersionExactlyOnceAndIsIdempotent)
+{
+    auto g = buildResNet18(8, /*seed=*/5);
+    Tensor in({1, 3, 64, 64});
+    Rng rng(7);
+    fillUniform(in, rng, 0.0f, 1.0f);
+    optimizeForInference(*g);
+    g->run(in); // compile a plan so the bump is observable
+
+    // The rewrite loop runs under one PlanInvalidationDefer: however
+    // many convs it replaces, the plan version moves exactly once.
+    const uint64_t v0 = g->planVersion();
+    const int rewritten = quantizeConvs(*g);
+    EXPECT_GT(rewritten, 0);
+    EXPECT_EQ(g->planVersion(), v0 + 1)
+        << "quantizeConvs must invalidate plans exactly once";
+
+    // Idempotence: nothing left to rewrite, and a no-op call must
+    // not bump plan versions at all (no spurious replans while
+    // executors serve).
+    const int again = quantizeConvs(*g);
+    EXPECT_EQ(again, 0);
+    EXPECT_EQ(g->planVersion(), v0 + 1)
+        << "a no-op quantizeConvs call must not invalidate plans";
+
+    // quantizeGraph composes the passes: each bumps at most once.
+    auto h = buildResNet18(8, /*seed=*/5);
+    h->run(in);
+    const uint64_t hv0 = h->planVersion();
+    const int hq = quantizeGraph(*h);
+    EXPECT_EQ(hq, rewritten);
+    EXPECT_EQ(h->planVersion(), hv0 + 2)
+        << "quantizeGraph = optimizeForInference (one bump) + "
+           "quantizeConvs (one bump)";
+    EXPECT_EQ(quantizeGraph(*h), 0);
+    EXPECT_EQ(h->planVersion(), hv0 + 3)
+        << "idempotent rerun: optimizeForInference's harmless bump "
+           "only, no quantizeConvs bump";
 }
 
 TEST(OptimizeForInference, MatchesManualPassPipeline)

@@ -63,6 +63,7 @@ LOWER_GATED_FILES = {
     "BENCH_overload.json": ("p99_ms",),
     "BENCH_watchdog.json": ("p99_ms", "stall"),
     "BENCH_cache.json": ("bytes_read", "p99_ms"),
+    "BENCH_quant.json": ("p99_ms",),
 }
 
 # Built-in per-file margins (CLI --file-margin overrides). The chaos
@@ -74,6 +75,7 @@ BUILTIN_FILE_MARGINS = {
     "BENCH_overload.json": 0.5,
     "BENCH_watchdog.json": 0.5,
     "BENCH_cache.json": 0.5,
+    "BENCH_quant.json": 0.5,
 }
 
 
